@@ -1,0 +1,108 @@
+// Ablation (ours; DESIGN.md §5) — contribution of each Table II feature
+// group to delay-prediction accuracy.
+//
+// Protocol: retrain the delay model with one feature group disabled (its
+// columns zeroed, which makes them unsplittable constants) and measure the
+// change in mean absolute %error on the unseen test designs.  Also reports
+// the full model's gain-based feature importance.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "features/features.hpp"
+#include "gen/designs.hpp"
+#include "ml/gbdt.hpp"
+#include "util/stats.hpp"
+
+using namespace aigml;
+
+namespace {
+
+/// Copies a dataset with the given feature columns zeroed out.
+ml::Dataset zero_columns(const ml::Dataset& src, const std::vector<int>& columns) {
+  ml::Dataset out(src.feature_names());
+  std::vector<double> row(src.num_features());
+  for (std::size_t i = 0; i < src.num_rows(); ++i) {
+    const auto r = src.row(i);
+    std::copy(r.begin(), r.end(), row.begin());
+    for (const int c : columns) row[static_cast<std::size_t>(c)] = 0.0;
+    out.append(row, src.label(i), src.tag(i));
+  }
+  return out;
+}
+
+double test_error(const flow::ExperimentData& data, const ml::GbdtModel& model,
+                  const std::vector<int>& zeroed) {
+  RunningStats err;
+  for (const auto& name : gen::test_designs()) {
+    const auto& ds = data.per_design.at(name).delay;
+    const ml::Dataset masked = zeroed.empty() ? ds : zero_columns(ds, zeroed);
+    const auto pred = model.predict_all(masked);
+    err.add(absolute_percent_error(pred, masked.labels()).mean_pct);
+  }
+  return err.mean();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: feature groups",
+                      "drop-one-group retraining + gain importance of the full model");
+  auto pipeline = bench::load_pipeline();
+  ml::GbdtParams params = flow::default_gbdt_params();
+  // Keep the ablation affordable: the relative deltas are stable with a
+  // smaller ensemble.
+  params.num_trees = std::min(params.num_trees, 250);
+
+  const auto baseline_model = ml::GbdtModel::train(pipeline.data.delay_train, params);
+  const double baseline_err = test_error(pipeline.data, baseline_model, {});
+  std::printf("\nfull model (%d trees): test mean %%err = %.2f%%\n\n", params.num_trees,
+              baseline_err);
+
+  std::printf("%-30s %-16s %-12s\n", "group removed", "test mean %err", "delta");
+  struct Row {
+    std::string name;
+    double err;
+  };
+  std::vector<Row> rows;
+  for (const auto& group : features::feature_groups()) {
+    const ml::Dataset masked_train = zero_columns(pipeline.data.delay_train, group.indices);
+    const auto model = ml::GbdtModel::train(masked_train, params);
+    const double err = test_error(pipeline.data, model, group.indices);
+    rows.push_back({group.name, err});
+    std::printf("%-30s %-16.2f %+.2f\n", group.name.c_str(), err, err - baseline_err);
+  }
+
+  std::printf("\n-- gain-based feature importance (full model) --\n");
+  const auto importance = pipeline.models.delay.feature_importance();
+  const auto& names = features::feature_names();
+  std::vector<std::size_t> order(importance.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return importance[a] > importance[b]; });
+  for (const std::size_t i : order) {
+    if (importance[i] < 1e-4) continue;
+    std::printf("  %-38s %6.2f%%\n", names[i].c_str(), importance[i] * 100.0);
+  }
+
+  double worst_delta = 0.0;
+  std::string worst_group;
+  for (const auto& row : rows) {
+    if (row.err - baseline_err > worst_delta) {
+      worst_delta = row.err - baseline_err;
+      worst_group = row.name;
+    }
+  }
+  std::printf("\n");
+  char measured[200];
+  std::snprintf(measured, sizeof measured,
+                "most load-bearing group: '%s' (+%.2f pts of test error when removed)",
+                worst_group.c_str(), worst_delta);
+  bench::print_claim(
+      "Table II groups each capture a distinct miscorrelation source (depth change, fanout "
+      "load, path multiplicity)",
+      measured);
+  return 0;
+}

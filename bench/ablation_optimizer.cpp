@@ -1,0 +1,81 @@
+// Ablation (ours; paper §IV motivates SA over deterministic search) —
+// simulated annealing vs greedy first-improvement descent.
+//
+// Paper's rationale for SA: "SA allows [accepting] temporary
+// cost-increasing solutions with a certain probability ... allowing
+// 'hill-climbing' that can enable the optimization to potentially find
+// better solutions later."  This bench quantifies that choice under the
+// ground-truth cost on several designs and seeds.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "gen/designs.hpp"
+#include "opt/cost.hpp"
+#include "opt/greedy.hpp"
+#include "opt/sa.hpp"
+#include "util/stats.hpp"
+
+using namespace aigml;
+
+int main() {
+  bench::print_header("Ablation: SA vs greedy",
+                      "hill-climbing acceptance vs strict descent (ground-truth cost)");
+  const int iterations = scaled(80, 16);
+  std::printf("protocol: %d iterations, 3 seeds per design, weights (1.0, 0.5)\n\n", iterations);
+
+  std::printf("%-8s %-10s %-14s %-14s %-10s\n", "design", "seed", "SA best cost",
+              "greedy best", "SA wins?");
+  RunningStats sa_costs, greedy_costs;
+  int sa_wins = 0, ties = 0, total = 0;
+  for (const char* name : {"EX00", "EX68", "EX02"}) {
+    const aig::Aig g = gen::build_design(name);
+    for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+      opt::GroundTruthCost gt_sa(cell::mini_sky130());
+      opt::SaParams sa_params;
+      sa_params.iterations = iterations;
+      sa_params.seed = seed;
+      const auto sa = opt::simulated_annealing(g, gt_sa, sa_params);
+
+      opt::GroundTruthCost gt_greedy(cell::mini_sky130());
+      opt::GreedyParams greedy_params;
+      greedy_params.iterations = iterations;
+      greedy_params.seed = seed;
+      const auto greedy = opt::greedy_descent(g, gt_greedy, greedy_params);
+
+      sa_costs.add(sa.best_cost);
+      greedy_costs.add(greedy.best_cost);
+      const bool win = sa.best_cost < greedy.best_cost - 1e-9;
+      const bool tie = std::abs(sa.best_cost - greedy.best_cost) <= 1e-9;
+      sa_wins += win;
+      ties += tie;
+      ++total;
+      std::printf("%-8s %-10llu %-14.4f %-14.4f %s\n", name,
+                  static_cast<unsigned long long>(seed), sa.best_cost, greedy.best_cost,
+                  tie ? "tie" : (win ? "yes" : "no"));
+    }
+  }
+
+  std::printf("\nSA mean best cost %.4f vs greedy %.4f; SA wins %d/%d (ties %d)\n\n",
+              sa_costs.mean(), greedy_costs.mean(), sa_wins, total, ties);
+  char measured[220];
+  std::snprintf(measured, sizeof measured,
+                "SA mean best cost %.4f vs greedy %.4f across %d runs (SA wins %d, ties %d)",
+                sa_costs.mean(), greedy_costs.mean(), total, sa_wins, ties);
+  bench::print_claim("SA's hill-climbing escapes local optima a strict-descent search gets "
+                     "stuck in (SEC. IV rationale)",
+                     measured);
+  if (sa_costs.mean() <= greedy_costs.mean() + 1e-6) {
+    std::printf("shape HOLDS: SA at least matches greedy on average\n");
+  } else {
+    std::printf(
+        "shape NUANCED (honest negative result at this scale): with *macro-script* moves —\n"
+        "each move is itself a full optimization pass — and repo-scale budgets (%d\n"
+        "iterations), strict descent is the stronger search: exploratory acceptance wastes\n"
+        "evaluations that greedy spends exploiting. The paper's SA rationale concerns\n"
+        "thousands-of-iteration budgets [5] and tunable cost trade-offs, which this bench's\n"
+        "budget does not reach; raise AIGML_SCALE to probe the crossover.\n",
+        iterations);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+#pragma once
+// Shared harness utilities for the experiment benches: headers, PAPER vs
+// MEASURED summary lines, scaled budgets, and the shared dataset/model
+// pipeline (cached under AIGML_CACHE_DIR so the expensive labeling runs
+// once across all benches).
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "flow/experiment.hpp"
+#include "util/env.hpp"
+
+namespace aigml::bench {
+
+inline void print_header(const std::string& experiment, const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), description.c_str());
+  std::printf("scale: AIGML_SCALE=%.2f (1.0 = repo default, ~67 = paper scale)\n", env_scale());
+  std::printf("================================================================\n");
+}
+
+inline void print_claim(const std::string& paper, const std::string& measured) {
+  std::printf("PAPER:    %s\n", paper.c_str());
+  std::printf("MEASURED: %s\n", measured.c_str());
+}
+
+/// Default per-design variant budget for dataset-backed experiments.
+inline int variants_per_design() { return scaled(600, 24); }
+
+/// Shared experiment pipeline: datasets (cached) + trained delay/area models
+/// (also cached, keyed by the dataset and model configuration).
+struct Pipeline {
+  flow::ExperimentData data;
+  flow::TrainedModels models;
+};
+
+inline Pipeline load_pipeline() {
+  const std::filesystem::path cache_dir = env_cache_dir();
+  flow::DataGenParams gen_params;
+  gen_params.num_variants = variants_per_design();
+  std::printf("[pipeline] preparing datasets (%d variants/design, cache: %s)...\n",
+              gen_params.num_variants, cache_dir.string().c_str());
+  Pipeline p;
+  p.data = flow::prepare_experiment_data(cell::mini_sky130(), gen_params, cache_dir);
+
+  const ml::GbdtParams gbdt = flow::default_gbdt_params();
+  const std::string model_stem = "model_n" + std::to_string(gen_params.num_variants) + "_t" +
+                                 std::to_string(gbdt.num_trees) + "_d" +
+                                 std::to_string(gbdt.max_depth);
+  const auto delay_path = cache_dir / (model_stem + "_delay.gbdt");
+  const auto area_path = cache_dir / (model_stem + "_area.gbdt");
+  if (std::filesystem::exists(delay_path) && std::filesystem::exists(area_path)) {
+    std::printf("[pipeline] loading cached models\n");
+    p.models.delay = ml::GbdtModel::load(delay_path);
+    p.models.area = ml::GbdtModel::load(area_path);
+  } else {
+    std::printf("[pipeline] training GBDT models (%d trees, depth %d, lr %.3f)...\n",
+                gbdt.num_trees, gbdt.max_depth, gbdt.learning_rate);
+    p.models = flow::train_models(p.data, gbdt);
+    p.models.delay.save(delay_path);
+    p.models.area.save(area_path);
+    std::printf("[pipeline] trained in %.1f s (delay) + %.1f s (area)\n",
+                p.models.delay_log.train_seconds, p.models.area_log.train_seconds);
+  }
+  return p;
+}
+
+}  // namespace aigml::bench

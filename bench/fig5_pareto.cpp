@@ -1,0 +1,106 @@
+// Fig. 5 — Pareto-optimal delay/area fronts of the three flows on a test
+// design, plus the §II-B iso-area delay comparison.
+//
+// Paper: sweeping the SA hyperparameters (cost weights x temperature decay)
+// per flow, the ML flow's front nearly coincides with the ground-truth
+// front, and both clearly dominate the baseline (proxy) front.  §II-B:
+// at equal area, ground-truth-optimized AIGs can be up to 22.7% better in
+// delay than baseline-optimized ones.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "gen/designs.hpp"
+#include "opt/cost.hpp"
+#include "opt/sweep.hpp"
+#include "util/stats.hpp"
+
+using namespace aigml;
+
+namespace {
+
+void print_front(const char* name, const std::vector<opt::ParetoPoint>& front) {
+  std::printf("%s front (%zu points):\n", name, front.size());
+  std::printf("  %-14s %-14s\n", "delay (ps)", "area (um2)");
+  for (const auto& p : front) {
+    std::printf("  %-14.1f %-14.1f\n", p.delay, p.area);
+  }
+}
+
+/// Mean best-delay advantage of front `a` over front `b` across the area
+/// budgets where both are defined (positive = a is better).
+double mean_delay_advantage(const std::vector<opt::ParetoPoint>& a,
+                            const std::vector<opt::ParetoPoint>& b) {
+  RunningStats adv;
+  for (const auto& probe : b) {
+    const double da = opt::delay_at_area(a, probe.area);
+    const double db = opt::delay_at_area(b, probe.area);
+    if (std::isfinite(da) && std::isfinite(db) && db > 0) {
+      adv.add((db - da) / db * 100.0);
+    }
+  }
+  return adv.mean();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 5", "Pareto fronts of baseline vs ground-truth vs ML flows");
+  const auto pipeline = bench::load_pipeline();
+
+  const std::string design = "EX02";  // a test (unseen) design, as in the paper
+  const aig::Aig g = gen::build_design(design);
+  std::printf("design: %s (test split; %zu AND nodes)\n", design.c_str(), g.num_ands());
+
+  opt::SweepConfig config;
+  config.iterations = scaled(120, 20);
+  config.weight_pairs = {{1.0, 0.0}, {1.0, 0.3}, {1.0, 0.7}, {0.6, 1.0}};
+  config.decays = {0.93, 0.975};
+  std::printf("sweep: %zu weight pairs x %zu decays, %d iterations each\n\n",
+              config.weight_pairs.size(), config.decays.size(), config.iterations);
+
+  const auto& lib = cell::mini_sky130();
+
+  opt::ProxyCost proxy;
+  const auto base = opt::sweep_flow(g, proxy, lib, config);
+  std::printf("[baseline]     total %.1f s\n", base.total_seconds);
+
+  opt::GroundTruthCost gt(lib);
+  const auto truth = opt::sweep_flow(g, gt, lib, config);
+  std::printf("[ground truth] total %.1f s\n", truth.total_seconds);
+
+  opt::MlCost mlc(pipeline.models.delay, pipeline.models.area);
+  const auto mlf = opt::sweep_flow(g, mlc, lib, config);
+  std::printf("[ml flow]      total %.1f s\n\n", mlf.total_seconds);
+
+  print_front("baseline (proxy)", base.front);
+  print_front("ground-truth", truth.front);
+  print_front("ml", mlf.front);
+
+  const double gt_vs_base = mean_delay_advantage(truth.front, base.front);
+  const double ml_vs_base = mean_delay_advantage(mlf.front, base.front);
+  const double ml_vs_gt = mean_delay_advantage(mlf.front, truth.front);
+
+  std::printf("\niso-area delay advantage (mean over area budgets):\n");
+  std::printf("  ground-truth vs baseline: %+.1f%%\n", gt_vs_base);
+  std::printf("  ml           vs baseline: %+.1f%%\n", ml_vs_base);
+  std::printf("  ml           vs ground-truth: %+.1f%% (≈0 means matching quality)\n\n",
+              ml_vs_gt);
+
+  char measured[256];
+  std::snprintf(measured, sizeof measured,
+                "ground-truth front beats baseline by %+.1f%% iso-area delay; ML front beats "
+                "baseline by %+.1f%% and tracks ground truth within %+.1f%%",
+                gt_vs_base, ml_vs_base, ml_vs_gt);
+  bench::print_claim(
+      "ML front nearly coincides with the ground-truth front; both dominate the baseline; "
+      "ground truth up to 22.7% better delay at iso-area (SEC. II-B)",
+      measured);
+  // Shape: ground truth dominates the baseline, and the ML front tracks the
+  // ground-truth front closely (the repo-scale predictor is trained on 67x
+  // less data than the paper's, so "closely" is a few percent here).
+  const bool holds = gt_vs_base > 0.0 && ml_vs_gt > -5.0;
+  std::printf("shape %s: ground truth beats proxies and the ML front tracks ground truth\n",
+              holds ? "HOLDS" : "DEVIATES");
+  return 0;
+}

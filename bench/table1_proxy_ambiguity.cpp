@@ -1,0 +1,101 @@
+// Table I — Post-mapping performance for two AIGs with the same number of
+// levels and nodes.
+//
+// Paper: two AIG variants of the same circuit with identical (level, node
+// count) proxies map to netlists with substantially different delay
+// (1.75 ns vs 1.33 ns) and area (803.27 vs 770.74 um^2).  A proxy-driven
+// optimizer cannot distinguish them and may discard the better candidate.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "aig/analysis.hpp"
+#include "bench/common.hpp"
+#include "flow/datagen.hpp"
+#include "gen/circuits.hpp"
+#include "mapper/mapper.hpp"
+#include "sta/sta.hpp"
+#include "util/rng.hpp"
+
+using namespace aigml;
+
+int main() {
+  bench::print_header("Table I", "same (level, node-count) proxy, different post-mapping PPA");
+  const int count = scaled(400, 60);
+  std::printf("workload: 7x7 array multiplier, %d unique AIG variants\n\n", count);
+
+  const auto& lib = cell::mini_sky130();
+  Rng rng(0x7AB1E1);
+
+  struct Entry {
+    double delay_ps, area_um2;
+  };
+  std::map<std::pair<std::uint32_t, std::size_t>, std::vector<Entry>> buckets;
+
+  std::vector<aig::Aig> pool{gen::multiplier(7).cleanup()};
+  std::unordered_set<std::uint64_t> seen{pool.front().structural_hash()};
+  int made = 1, attempts = 0;
+  while (made < count && attempts < count * 20) {
+    ++attempts;
+    const std::size_t pick = std::max(rng.next_below(pool.size()), rng.next_below(pool.size()));
+    aig::Aig candidate = flow::random_variant_step(pool[pick], rng);
+    if (!seen.insert(candidate.structural_hash()).second) continue;
+    const auto netlist = map::map_to_cells(candidate, lib);
+    const auto sta = sta::run_sta(netlist, lib, {});
+    buckets[{aig::aig_level(candidate), candidate.num_ands()}].push_back(
+        Entry{sta.max_delay_ps, sta.total_area_um2});
+    pool.push_back(std::move(candidate));
+    ++made;
+  }
+
+  // Find the proxy bucket with the widest delay gap.
+  double best_ratio = 1.0;
+  std::pair<std::uint32_t, std::size_t> best_key{0, 0};
+  Entry slow{}, fast{};
+  int ambiguous_buckets = 0;
+  for (const auto& [key, entries] : buckets) {
+    if (entries.size() < 2) continue;
+    ++ambiguous_buckets;
+    const auto [lo, hi] = std::minmax_element(
+        entries.begin(), entries.end(),
+        [](const Entry& a, const Entry& b) { return a.delay_ps < b.delay_ps; });
+    const double ratio = hi->delay_ps / lo->delay_ps;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best_key = key;
+      slow = *hi;
+      fast = *lo;
+    }
+  }
+
+  std::printf("proxy buckets with >= 2 structurally distinct AIGs: %d\n\n", ambiguous_buckets);
+  std::printf("%-12s %-8s %-12s %-22s %-22s\n", "AIG", "Level", "Node Count",
+              "Post-mapping Delay (ps)", "Post-mapping Area (um2)");
+  std::printf("%-12s %-8u %-12zu %-22.1f %-22.1f\n", "AIG1 (slow)", best_key.first,
+              best_key.second, slow.delay_ps, slow.area_um2);
+  std::printf("%-12s %-8u %-12zu %-22.1f %-22.1f\n\n", "AIG2 (fast)", best_key.first,
+              best_key.second, fast.delay_ps, fast.area_um2);
+
+  char measured[256];
+  std::snprintf(measured, sizeof measured,
+                "equal proxies (level %u, %zu nodes) hide a %.1f%% delay gap (%.0f vs %.0f ps) "
+                "and a %.1f%% area gap",
+                best_key.first, best_key.second, (best_ratio - 1.0) * 100.0, slow.delay_ps,
+                fast.delay_ps, (slow.area_um2 / fast.area_um2 - 1.0) * 100.0);
+  bench::print_claim(
+      "AIG1/AIG2: identical proxies (14 levels, 178 nodes) but 1.75 vs 1.33 ns delay "
+      "(31.6% gap) and 803.27 vs 770.74 um2 area (4.2% gap)",
+      measured);
+  std::printf("shape %s: identical proxies conceal a real delay difference\n",
+              best_ratio > 1.015 ? "HOLDS" : "DEVIATES");
+  std::printf(
+      "note: the paper mines 40k variants/design for its extreme pair; this pool is %d\n"
+      "variants, so the widest same-proxy gap found is correspondingly smaller. The\n"
+      "qualitative point — an optimizer ranking by (level, nodes) cannot separate these\n"
+      "candidates — is unchanged. Raise AIGML_SCALE for wider pools.\n",
+      count);
+  return 0;
+}

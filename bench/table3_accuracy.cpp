@@ -1,0 +1,76 @@
+// Table III — Accuracy of the XGBoost-style model for timing prediction.
+//
+// Paper: trained on 40k variants each of EX00/EX08/EX28/EX68 and tested on
+// the unseen designs EX02/EX11/EX16/EX54, the delay model achieves 4.03%
+// mean absolute error on average (max 39.85%, average std 3.27%).
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "gen/designs.hpp"
+#include "ml/gbdt.hpp"
+#include "util/stats.hpp"
+
+using namespace aigml;
+
+int main() {
+  bench::print_header("Table III", "GBDT timing-prediction accuracy, train vs unseen designs");
+  const auto pipeline = bench::load_pipeline();
+
+  const auto rows = flow::evaluate_accuracy(pipeline.data, pipeline.models);
+
+  std::printf("\n-- delay model --\n");
+  std::printf("%-10s %-8s %-10s %-12s %-12s %-12s\n", "design", "PI/PO", "#rows",
+              "mean %err", "max %err", "std %err");
+  RunningStats mean_acc, std_acc;
+  double global_max = 0.0;
+  auto print_block = [&](bool training) {
+    std::printf("%s\n", training ? "Training" : "Test");
+    for (const auto& row : rows) {
+      if (row.training != training) continue;
+      const auto& spec = gen::design_spec(row.design);
+      char pipo[16];
+      std::snprintf(pipo, sizeof pipo, "%d/%d", spec.num_inputs, spec.num_outputs);
+      std::printf("%-10s %-8s %-10zu %-12.2f %-12.2f %-12.2f\n", row.design.c_str(), pipo,
+                  row.delay_error.count, row.delay_error.mean_pct, row.delay_error.max_pct,
+                  row.delay_error.std_pct);
+      mean_acc.add(row.delay_error.mean_pct);
+      std_acc.add(row.delay_error.std_pct);
+      global_max = std::max(global_max, row.delay_error.max_pct);
+    }
+  };
+  print_block(true);
+  print_block(false);
+  std::printf("%-10s %-8s %-10s %-12.2f %-12.2f %-12.2f\n", "Avg/Max", "", "", mean_acc.mean(),
+              global_max, std_acc.mean());
+
+  std::printf("\n-- area model (paper predicts area alongside delay) --\n");
+  std::printf("%-10s %-12s %-12s %-12s\n", "design", "mean %err", "max %err", "std %err");
+  for (const auto& row : rows) {
+    std::printf("%-10s %-12.2f %-12.2f %-12.2f\n", row.design.c_str(), row.area_error.mean_pct,
+                row.area_error.max_pct, row.area_error.std_pct);
+  }
+
+  // Generalization summary: test-design mean error.
+  RunningStats train_err, test_err;
+  for (const auto& row : rows) {
+    (row.training ? train_err : test_err).add(row.delay_error.mean_pct);
+  }
+
+  std::printf("\n");
+  char measured[256];
+  std::snprintf(measured, sizeof measured,
+                "delay mean %%err: %.2f%% avg across designs (train %.2f%%, unseen %.2f%%), "
+                "max %.2f%%, avg std %.2f%%",
+                mean_acc.mean(), train_err.mean(), test_err.mean(), global_max, std_acc.mean());
+  bench::print_claim(
+      "average prediction error 4.03% across designs, max 39.85%, average std 3.27%; "
+      "test designs only modestly worse than training designs (good generalization)",
+      measured);
+  std::printf("shape %s: single-digit mean error, generalizing to unseen designs\n",
+              mean_acc.mean() < 10.0 && test_err.mean() < 10.0 ? "HOLDS" : "DEVIATES");
+  std::printf("note: at AIGML_SCALE=1 the dataset is %d variants/design vs the paper's 40k;\n"
+              "      accuracy improves with scale (run with AIGML_SCALE=10 or more).\n",
+              bench::variants_per_design());
+  return 0;
+}

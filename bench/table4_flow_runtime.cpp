@@ -1,0 +1,72 @@
+// Table IV — Runtime for the three flows (per SA iteration).
+//
+// Paper columns: Baseline(s) | Ground-Truth-flow Mapping+STA(s) | ML-flow
+// ML-inference(s) with % reduction vs the ground-truth flow.  Headline:
+// the ML flow cuts the evaluation overhead by 80.83% on average and up to
+// 88.79% while preserving solution quality.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "gen/designs.hpp"
+#include "opt/cost.hpp"
+#include "opt/sa.hpp"
+#include "util/stats.hpp"
+
+using namespace aigml;
+
+int main() {
+  bench::print_header("Table IV", "per-iteration evaluation runtime of the three flows");
+  const auto pipeline = bench::load_pipeline();
+  const int iterations = scaled(30, 8);
+  std::printf("protocol: %d SA iterations per design per flow; columns report the\n"
+              "evaluation component per iteration (the quantity Table IV isolates)\n\n",
+              iterations);
+
+  std::printf("%-8s %-14s %-22s %-26s\n", "design", "baseline (s)", "GT mapping+STA (s)",
+              "ML inference (s)  (reduction)");
+  RunningStats reductions;
+  double max_reduction = 0.0;
+  for (const auto& spec : gen::design_specs()) {
+    const aig::Aig g = gen::build_design(spec.name);
+    opt::SaParams params;
+    params.iterations = iterations;
+    params.seed = 0x7AB4;
+
+    opt::ProxyCost proxy;
+    const auto base_run = opt::simulated_annealing(g, proxy, params);
+    // Baseline column: full per-iteration cost (transform + graph processing)
+    // as in the paper.
+    const double base_s = base_run.seconds_per_iteration();
+
+    opt::GroundTruthCost gt(cell::mini_sky130());
+    const auto gt_run = opt::simulated_annealing(g, gt, params);
+    const double gt_eval_s =
+        gt_run.total_eval_seconds / static_cast<double>(gt_run.history.size());
+
+    opt::MlCost mlc(pipeline.models.delay, pipeline.models.area);
+    const auto ml_run = opt::simulated_annealing(g, mlc, params);
+    const double ml_eval_s =
+        ml_run.total_eval_seconds / static_cast<double>(ml_run.history.size());
+
+    const double reduction_pct = (1.0 - ml_eval_s / gt_eval_s) * 100.0;
+    reductions.add(reduction_pct);
+    max_reduction = std::max(max_reduction, reduction_pct);
+    std::printf("%-8s %-14.4f %-22.4f %.4f  (%+.2f%%)\n", spec.name.c_str(), base_s, gt_eval_s,
+                ml_eval_s, -reduction_pct);
+  }
+  std::printf("\nAvg reduction: -%.2f%%   Max reduction: -%.2f%%\n\n", reductions.mean(),
+              max_reduction);
+
+  char measured[200];
+  std::snprintf(measured, sizeof measured,
+                "ML inference replaces mapping+STA with an average -%.2f%% (max -%.2f%%) "
+                "evaluation-time reduction",
+                reductions.mean(), max_reduction);
+  bench::print_claim("-80.83% average / -88.79% max evaluation-runtime reduction vs the "
+                     "ground-truth flow",
+                     measured);
+  std::printf("shape %s: ML evaluation is a small fraction of mapping+STA\n",
+              reductions.mean() > 50.0 ? "HOLDS" : "DEVIATES");
+  return 0;
+}

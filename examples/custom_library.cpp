@@ -1,0 +1,64 @@
+// Example: define a custom standard-cell library and compare mappings.
+//
+//   $ ./custom_library
+//
+// Shows the minilib text format, loading a user-defined library, and how
+// library choice changes mapped delay/area for the same logic.  The custom
+// library below is deliberately inverter-poor and NAND-centric, like a
+// minimal ASIC kit.
+
+#include <cstdio>
+
+#include "aig/sim.hpp"
+#include "celllib/library.hpp"
+#include "gen/circuits.hpp"
+#include "mapper/mapper.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+
+using namespace aigml;
+
+int main() {
+  // A 4-cell NAND-only kit, in the minilib text format (truth tables are
+  // hex over the low 2^n bits; delays ps; caps fF; area um2).
+  const std::string minimal_kit = R"(minilib nand_kit
+cell INV_K inputs 1 function 0x1 area 3.0 cap 2.0 intrinsic 40 resistance 3.0
+cell NAND2_K inputs 2 function 0x7 area 4.2 cap 2.3 intrinsic 52 resistance 3.6
+cell NAND3_K inputs 3 function 0x7f area 6.0 cap 2.5 intrinsic 64 resistance 4.1
+cell NAND4_K inputs 4 function 0x7fff area 7.8 cap 2.7 intrinsic 76 resistance 4.6
+end
+)";
+  const cell::Library kit = cell::Library::from_text(minimal_kit);
+  std::printf("loaded '%s' with %zu cells\n", kit.name().c_str(), kit.cells().size());
+
+  const aig::Aig design = gen::comparator(8);
+  std::printf("design: 8-bit comparator (%zu ANDs)\n\n", design.num_ands());
+
+  auto report = [&](const cell::Library& lib) {
+    const auto netlist = map::map_to_cells(design, lib);
+    const auto timing = sta::run_sta(netlist, lib, {});
+    std::printf("library %-12s: %4zu gates, %8.1f um2, %7.1f ps\n", lib.name().c_str(),
+                netlist.num_gates(), timing.total_area_um2, timing.max_delay_ps);
+    // Mapping must preserve the function regardless of the library.
+    const bool ok = aig::equivalent(design, net::to_aig(netlist, lib));
+    std::printf("  equivalence: %s;  cell mix:", ok ? "PASS" : "FAIL");
+    for (const auto& [cell_name, count] : netlist.cell_histogram(lib)) {
+      std::printf(" %s x%d", cell_name.c_str(), count);
+    }
+    std::printf("\n");
+  };
+
+  report(kit);
+  report(cell::mini_sky130());
+
+  std::printf(
+      "\nthe rich library wins on both axes: XOR/AOI/MUX cells absorb logic that the\n"
+      "NAND kit must spell out, and multiple drive strengths tame fanout delay.\n");
+
+  // Round-trip the built-in library through the text format.
+  const auto text = cell::mini_sky130().to_text();
+  const auto back = cell::Library::from_text(text);
+  std::printf("mini_sky130 text round-trip: %zu cells -> %zu cells\n",
+              cell::mini_sky130().cells().size(), back.cells().size());
+  return 0;
+}

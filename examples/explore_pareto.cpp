@@ -1,0 +1,76 @@
+// Example: design-space exploration with the three optimization flows.
+//
+//   $ ./explore_pareto
+//
+// A miniature Fig. 5: run the SA hyperparameter sweep on one design under
+// the baseline (proxy), ground-truth (map+STA), and ML (predictor) cost
+// functions, then compare the resulting delay/area Pareto fronts and the
+// time each flow took.
+
+#include <cstdio>
+
+#include "flow/datagen.hpp"
+#include "gen/circuits.hpp"
+#include "ml/gbdt.hpp"
+#include "opt/cost.hpp"
+#include "opt/sweep.hpp"
+
+using namespace aigml;
+
+namespace {
+
+void show(const char* name, const opt::SweepResult& result) {
+  std::printf("\n[%s] %zu runs in %.1f s; front:\n", name, result.runs.size(),
+              result.total_seconds);
+  for (const auto& p : result.front) {
+    std::printf("   delay %8.1f ps   area %9.1f um2\n", p.delay, p.area);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto& lib = cell::mini_sky130();
+  const aig::Aig design = gen::alu(6);
+  std::printf("design: alu6 (%zu ANDs)\n", design.num_ands());
+
+  // Train the predictor on this design's own variants — the "known design"
+  // usage mode; bench/fig5_pareto exercises the unseen-design mode.
+  flow::DataGenParams gen_params;
+  gen_params.num_variants = 200;
+  std::printf("training the delay/area predictors on %d labeled variants...\n",
+              gen_params.num_variants);
+  const auto data = flow::generate_dataset(design, "alu6", lib, gen_params);
+  ml::GbdtParams gbdt_params;
+  gbdt_params.num_trees = 300;
+  gbdt_params.max_depth = 6;
+  const auto delay_model = ml::GbdtModel::train(data.delay, gbdt_params);
+  const auto area_model = ml::GbdtModel::train(data.area, gbdt_params);
+
+  opt::SweepConfig config;
+  config.iterations = 60;
+  config.weight_pairs = {{1.0, 0.0}, {1.0, 0.5}, {0.5, 1.0}};
+  config.decays = {0.95};
+
+  opt::ProxyCost proxy;
+  const auto base = opt::sweep_flow(design, proxy, lib, config);
+  show("baseline: proxy metrics", base);
+
+  opt::GroundTruthCost gt(lib);
+  const auto truth = opt::sweep_flow(design, gt, lib, config);
+  show("ground truth: map+STA each iteration", truth);
+
+  opt::MlCost mlc(delay_model, area_model);
+  const auto mlf = opt::sweep_flow(design, mlc, lib, config);
+  show("ml flow: features + GBDT inference", mlf);
+
+  // Iso-area comparison at the baseline front's area budgets.
+  std::printf("\niso-area best delay (ps):\n");
+  std::printf("%-14s %-12s %-14s %-10s\n", "area budget", "baseline", "ground-truth", "ml");
+  for (const auto& p : base.front) {
+    std::printf("%-14.1f %-12.1f %-14.1f %-10.1f\n", p.area,
+                opt::delay_at_area(base.front, p.area), opt::delay_at_area(truth.front, p.area),
+                opt::delay_at_area(mlf.front, p.area));
+  }
+  return 0;
+}

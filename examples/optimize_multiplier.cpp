@@ -1,0 +1,62 @@
+// Example: why proxy metrics mislead — the paper's motivating scenario.
+//
+//   $ ./optimize_multiplier
+//
+// Optimizes a multiplier with proxy-guided SA and ground-truth-guided SA,
+// then maps both results and compares the *actual* post-mapping delay/area.
+// The proxy flow "wins" on its own metric (levels/nodes) yet loses after
+// mapping — the miscorrelation that motivates ML-based timing prediction.
+
+#include <cstdio>
+
+#include "aig/analysis.hpp"
+#include "aig/sim.hpp"
+#include "gen/circuits.hpp"
+#include "opt/cost.hpp"
+#include "opt/sa.hpp"
+
+using namespace aigml;
+
+int main() {
+  const auto& lib = cell::mini_sky130();
+  const aig::Aig design = gen::multiplier(6);
+  std::printf("design: 6x6 array multiplier (%zu ANDs, %u levels)\n\n", design.num_ands(),
+              aig::aig_level(design));
+
+  opt::SaParams params;
+  params.iterations = 120;
+  params.weight_delay = 1.0;
+  params.weight_area = 0.3;
+  params.seed = 99;
+
+  opt::GroundTruthCost scorer(lib);  // used only for final, fair scoring
+
+  // Flow A: proxy-guided.
+  opt::ProxyCost proxy;
+  const auto proxy_run = opt::simulated_annealing(design, proxy, params);
+  const auto proxy_truth = scorer.evaluate(proxy_run.best);
+  std::printf("[proxy-guided]        best proxies: %u levels / %zu nodes\n",
+              aig::aig_level(proxy_run.best), proxy_run.best.num_ands());
+  std::printf("                      actual mapped: %.1f ps, %.1f um2 (%.2f s total)\n",
+              proxy_truth.delay, proxy_truth.area, proxy_run.total_seconds);
+
+  // Flow B: ground-truth-guided (slow but honest).
+  opt::GroundTruthCost gt(lib);
+  const auto gt_run = opt::simulated_annealing(design, gt, params);
+  const auto gt_truth = scorer.evaluate(gt_run.best);
+  std::printf("[ground-truth-guided] best proxies: %u levels / %zu nodes\n",
+              aig::aig_level(gt_run.best), gt_run.best.num_ands());
+  std::printf("                      actual mapped: %.1f ps, %.1f um2 (%.2f s total)\n",
+              gt_truth.delay, gt_truth.area, gt_run.total_seconds);
+
+  const double delay_gain = (proxy_truth.delay - gt_truth.delay) / proxy_truth.delay * 100.0;
+  std::printf("\nground-truth guidance improved actual delay by %+.1f%% while the proxy flow\n"
+              "chased levels/nodes; it cost %.1fx the runtime — the gap the ML flow closes.\n",
+              delay_gain, gt_run.total_seconds / proxy_run.total_seconds);
+
+  // Both flows preserve the function, of course.
+  std::printf("equivalence: proxy %s, ground-truth %s\n",
+              aig::equivalent(design, proxy_run.best) ? "PASS" : "FAIL",
+              aig::equivalent(design, gt_run.best) ? "PASS" : "FAIL");
+  return 0;
+}

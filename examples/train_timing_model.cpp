@@ -1,0 +1,81 @@
+// Example: train a post-mapping delay predictor for your own design.
+//
+//   $ ./train_timing_model
+//
+// Demonstrates the paper's data pipeline on a single design: generate
+// labeled AIG variants (map+STA ground truth), extract Table II features,
+// train the GBDT, inspect accuracy and feature importance, and save the
+// model for later use with MlCost / an optimization flow.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "features/features.hpp"
+#include "flow/datagen.hpp"
+#include "gen/circuits.hpp"
+#include "ml/gbdt.hpp"
+#include "util/stats.hpp"
+
+using namespace aigml;
+
+int main() {
+  const auto& lib = cell::mini_sky130();
+
+  // Any combinational AIG works; here, an 8-bit carry-lookahead adder.
+  const aig::Aig design = gen::adder_cla(8);
+  std::printf("design: cla8 (%zu ANDs)\n", design.num_ands());
+
+  // 1. Generate labeled variants (this is the expensive, offline step).
+  flow::DataGenParams params;
+  params.num_variants = 300;
+  params.seed = 2026;
+  std::printf("generating %d labeled variants...\n", params.num_variants);
+  const auto data = flow::generate_dataset(design, "cla8", lib, params);
+  std::printf("labeled %zu variants in %.1f s\n", data.unique_variants,
+              data.generation_seconds);
+
+  // 2. Split 80/20 (interleaved) and train.
+  std::vector<std::size_t> train_rows, test_rows;
+  for (std::size_t i = 0; i < data.delay.num_rows(); ++i) {
+    (i % 5 == 4 ? test_rows : train_rows).push_back(i);
+  }
+  const auto train = data.delay.subset(train_rows);
+  const auto test = data.delay.subset(test_rows);
+
+  ml::GbdtParams gbdt_params;
+  gbdt_params.num_trees = 400;
+  gbdt_params.max_depth = 6;
+  gbdt_params.learning_rate = 0.08;
+  ml::TrainLog log;
+  const auto model = ml::GbdtModel::train(train, gbdt_params, &test, &log);
+  std::printf("trained %zu trees in %.2f s\n", model.num_trees(), log.train_seconds);
+
+  // 3. Accuracy on held-out variants.
+  const auto preds = model.predict_all(test);
+  const auto err = absolute_percent_error(preds, test.labels());
+  std::printf("held-out: RMSE %.1f ps, mean %%err %.2f%%, max %%err %.2f%%, R^2 %.3f\n",
+              ml::rmse(preds, test.labels()), err.mean_pct, err.max_pct,
+              ml::r_squared(preds, test.labels()));
+
+  // 4. What did the model learn?  (gain-based importance, top 5)
+  const auto importance = model.feature_importance();
+  const auto& names = features::feature_names();
+  std::vector<std::size_t> order(importance.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return importance[x] > importance[y]; });
+  std::printf("top features:\n");
+  for (std::size_t rank = 0; rank < 5 && rank < order.size(); ++rank) {
+    std::printf("  %-38s %5.1f%%\n", names[order[rank]].c_str(),
+                importance[order[rank]] * 100.0);
+  }
+
+  // 5. Persist for reuse (e.g. with opt::MlCost in an SA flow).
+  const auto path = std::filesystem::temp_directory_path() / "cla8_delay.gbdt";
+  model.save(path);
+  const auto reloaded = ml::GbdtModel::load(path);
+  std::printf("model saved to %s and reloaded (%zu trees)\n", path.string().c_str(),
+              reloaded.num_trees());
+  return 0;
+}

@@ -1,0 +1,35 @@
+#pragma once
+// ASCII AIGER ("aag") serialization, for interoperability with external
+// tools (ABC, aigtoaig, ...) and for golden-file tests.
+//
+// Only the combinational subset is supported: latches are rejected on read
+// and never produced on write.  Symbol table entries (i/o names) and comments
+// are preserved where present.
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace aigml::aig {
+
+/// Writes `g` in aag format.
+void write_aiger(const Aig& g, std::ostream& out);
+void write_aiger_file(const Aig& g, const std::filesystem::path& path);
+[[nodiscard]] std::string to_aiger_string(const Aig& g);
+
+/// Parses an aag stream.  Throws std::runtime_error with a line-numbered
+/// message on malformed input or when latches are present.
+[[nodiscard]] Aig read_aiger(std::istream& in);
+[[nodiscard]] Aig read_aiger_file(const std::filesystem::path& path);
+[[nodiscard]] Aig from_aiger_string(const std::string& text);
+
+/// Binary AIGER ("aig" header): delta-encoded AND section, the format most
+/// external tools exchange.  Same combinational-only restrictions.
+void write_aiger_binary(const Aig& g, std::ostream& out);
+[[nodiscard]] Aig read_aiger_binary(std::istream& in);
+/// Dispatches on the magic word ("aag " vs "aig ").
+[[nodiscard]] Aig read_aiger_auto_file(const std::filesystem::path& path);
+
+}  // namespace aigml::aig

@@ -1,0 +1,187 @@
+#include "aig/analysis.hpp"
+
+#include <algorithm>
+
+namespace aigml::aig {
+
+std::vector<std::uint32_t> levels(const Aig& g) {
+  std::vector<std::uint32_t> lvl(g.num_nodes(), 0);
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (!g.is_and(id)) continue;
+    const std::uint32_t l0 = lvl[lit_var(g.fanin0(id))];
+    const std::uint32_t l1 = lvl[lit_var(g.fanin1(id))];
+    lvl[id] = 1 + std::max(l0, l1);
+  }
+  return lvl;
+}
+
+std::uint32_t aig_level(const Aig& g) {
+  const auto lvl = levels(g);
+  std::uint32_t best = 0;
+  for (const Lit o : g.outputs()) best = std::max(best, lvl[lit_var(o)]);
+  return best;
+}
+
+std::vector<std::uint32_t> node_depths(const Aig& g) {
+  std::vector<std::uint32_t> depth(g.num_nodes(), 0);
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    switch (g.kind(id)) {
+      case NodeKind::Constant:
+        depth[id] = 0;
+        break;
+      case NodeKind::Input:
+        depth[id] = 1;
+        break;
+      case NodeKind::And: {
+        const std::uint32_t d0 = depth[lit_var(g.fanin0(id))];
+        const std::uint32_t d1 = depth[lit_var(g.fanin1(id))];
+        depth[id] = 1 + std::max(d0, d1);
+        break;
+      }
+    }
+  }
+  return depth;
+}
+
+std::vector<double> weighted_depths(const Aig& g, const std::vector<double>& weights) {
+  std::vector<double> depth(g.num_nodes(), 0.0);
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    switch (g.kind(id)) {
+      case NodeKind::Constant:
+        depth[id] = 0.0;
+        break;
+      case NodeKind::Input:
+        depth[id] = weights[id];
+        break;
+      case NodeKind::And: {
+        const double d0 = depth[lit_var(g.fanin0(id))];
+        const double d1 = depth[lit_var(g.fanin1(id))];
+        depth[id] = weights[id] + std::max(d0, d1);
+        break;
+      }
+    }
+  }
+  return depth;
+}
+
+std::vector<std::uint32_t> fanout_counts(const Aig& g) {
+  std::vector<std::uint32_t> fanout(g.num_nodes(), 0);
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (!g.is_and(id)) continue;
+    ++fanout[lit_var(g.fanin0(id))];
+    ++fanout[lit_var(g.fanin1(id))];
+  }
+  for (const Lit o : g.outputs()) ++fanout[lit_var(o)];
+  return fanout;
+}
+
+std::vector<double> path_counts(const Aig& g) {
+  constexpr double kSaturate = 1e300;
+  std::vector<double> paths(g.num_nodes(), 0.0);
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    switch (g.kind(id)) {
+      case NodeKind::Constant:
+        paths[id] = 0.0;
+        break;
+      case NodeKind::Input:
+        paths[id] = 1.0;
+        break;
+      case NodeKind::And: {
+        const double p = paths[lit_var(g.fanin0(id))] + paths[lit_var(g.fanin1(id))];
+        paths[id] = std::min(p, kSaturate);
+        break;
+      }
+    }
+  }
+  return paths;
+}
+
+std::vector<NodeId> critical_path_nodes(const Aig& g) {
+  const auto depth = node_depths(g);
+  std::uint32_t max_depth = 0;
+  for (const Lit o : g.outputs()) max_depth = std::max(max_depth, depth[lit_var(o)]);
+  if (max_depth == 0) return {};
+
+  // height(n): max node count from n (inclusive) down to an output driver on
+  // which n lies.  Only meaningful for nodes in the output cone.
+  std::vector<std::uint32_t> height(g.num_nodes(), 0);
+  std::vector<char> in_cone(g.num_nodes(), 0);
+  for (const Lit o : g.outputs()) {
+    const NodeId v = lit_var(o);
+    in_cone[v] = 1;
+    height[v] = std::max(height[v], 1u);
+  }
+  // Reverse topological sweep (node ids are topologically ordered).
+  for (NodeId id = static_cast<NodeId>(g.num_nodes()); id-- > 0;) {
+    if (!in_cone[id] || !g.is_and(id)) continue;
+    for (const Lit f : {g.fanin0(id), g.fanin1(id)}) {
+      const NodeId v = lit_var(f);
+      in_cone[v] = 1;
+      height[v] = std::max(height[v], height[id] + 1);
+    }
+  }
+  std::vector<NodeId> result;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (!in_cone[id] || g.is_constant(id)) continue;
+    // A node lies on a maximum-depth path iff depth + height - 1 == max_depth
+    // (the node itself is counted by both terms).
+    if (depth[id] + height[id] - 1 == max_depth) result.push_back(id);
+  }
+  return result;
+}
+
+std::vector<char> reachable_from_outputs(const Aig& g) {
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::vector<NodeId> stack;
+  for (const Lit o : g.outputs()) stack.push_back(lit_var(o));
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (seen[id]) continue;
+    seen[id] = 1;
+    if (g.is_and(id)) {
+      stack.push_back(lit_var(g.fanin0(id)));
+      stack.push_back(lit_var(g.fanin1(id)));
+    }
+  }
+  return seen;
+}
+
+std::vector<NodeId> cone_of(const Aig& g, NodeId root) {
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::vector<NodeId> stack{root};
+  std::vector<NodeId> cone;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (seen[id] || !g.is_and(id)) continue;
+    seen[id] = 1;
+    cone.push_back(id);
+    stack.push_back(lit_var(g.fanin0(id)));
+    stack.push_back(lit_var(g.fanin1(id)));
+  }
+  std::sort(cone.begin(), cone.end());  // node ids are topological
+  return cone;
+}
+
+std::uint32_t mffc_size(const Aig& g, NodeId root, const std::vector<std::uint32_t>& fanouts) {
+  if (!g.is_and(root)) return 0;
+  // Simulate dereferencing: a fanin joins the MFFC when all its fanouts are
+  // already inside.
+  std::vector<std::uint32_t> deref(g.num_nodes(), 0);
+  std::vector<NodeId> stack{root};
+  std::uint32_t size = 0;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    ++size;
+    for (const Lit f : {g.fanin0(id), g.fanin1(id)}) {
+      const NodeId v = lit_var(f);
+      if (!g.is_and(v)) continue;
+      if (++deref[v] == fanouts[v]) stack.push_back(v);
+    }
+  }
+  return size;
+}
+
+}  // namespace aigml::aig

@@ -1,0 +1,63 @@
+#pragma once
+// Structural analyses over an Aig: levels, node-count depths (the paper's
+// depth convention for feature extraction), fanout counts, per-output path
+// counts, critical-path node sets, and cone extraction.
+//
+// Depth conventions
+// -----------------
+// * `levels()` — classic AIG level: level(PI) = level(const) = 0,
+//   level(AND) = 1 + max(level(fanins)).  `aig_level()` is the max over
+//   output drivers.  This is the proxy delay metric the paper critiques.
+// * `node_depths()` — the paper's Fig. 4 convention used by features:
+//   the number of graph nodes on the longest PI→node path, *including* the
+//   PI node and the node itself (POs are ports, not nodes):
+//   depth(PI) = 1, depth(AND) = 1 + max(depth(fanins)), depth(const) = 0.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace aigml::aig {
+
+/// level(id) per node (see header comment).
+[[nodiscard]] std::vector<std::uint32_t> levels(const Aig& g);
+
+/// Max level over output drivers; 0 for constant-only graphs.
+[[nodiscard]] std::uint32_t aig_level(const Aig& g);
+
+/// Node-count depth per node (paper's Fig. 4 convention).
+[[nodiscard]] std::vector<std::uint32_t> node_depths(const Aig& g);
+
+/// Generic weighted depth: wdepth(n) = weight[n] + max over AND fanins
+/// (wdepth of PI = weight[PI]; constants contribute 0).  `weights` is indexed
+/// by node id.  Used for the fanout-weighted and binary-weighted path-depth
+/// features.
+[[nodiscard]] std::vector<double> weighted_depths(const Aig& g, const std::vector<double>& weights);
+
+/// Fanout count per node: number of AND fanin references plus primary-output
+/// references.  Complemented and regular references both count.
+[[nodiscard]] std::vector<std::uint32_t> fanout_counts(const Aig& g);
+
+/// Number of distinct PI→node paths per node, saturating at ~1e300 (double).
+/// paths(PI) = 1, paths(AND) = paths(fanin0.var) + paths(fanin1.var).
+[[nodiscard]] std::vector<double> path_counts(const Aig& g);
+
+/// Ids of nodes lying on at least one maximum-node-depth path from a PI to an
+/// output driver (the "long path" of Table II: path depth == aig depth).
+[[nodiscard]] std::vector<NodeId> critical_path_nodes(const Aig& g);
+
+/// Per-node flag: reachable from the outputs (i.e. alive after cleanup).
+[[nodiscard]] std::vector<char> reachable_from_outputs(const Aig& g);
+
+/// Ids of AND nodes in the transitive fanin cone of `root` (including `root`
+/// if it is an AND), in topological order.
+[[nodiscard]] std::vector<NodeId> cone_of(const Aig& g, NodeId root);
+
+/// Size of the maximum fanout-free cone of `root`: the AND nodes that would
+/// die if `root` were removed (i.e. nodes whose every path to an output goes
+/// through `root`).  `fanouts` must come from fanout_counts().
+[[nodiscard]] std::uint32_t mffc_size(const Aig& g, NodeId root,
+                                      const std::vector<std::uint32_t>& fanouts);
+
+}  // namespace aigml::aig

@@ -1,0 +1,133 @@
+#include "aig/cuts.hpp"
+
+#include <algorithm>
+
+namespace aigml::aig {
+
+bool Cut::subset_of(const Cut& other) const noexcept {
+  if (size > other.size) return false;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    while (j < other.size && other.leaves[j] < leaves[i]) ++j;
+    if (j == other.size || other.leaves[j] != leaves[i]) return false;
+  }
+  return true;
+}
+
+bool merge_cuts(const Cut& cut0, bool complement0, const Cut& cut1, bool complement1,
+                int cut_size, Cut& out) {
+  // Merge the sorted leaf lists.
+  std::array<NodeId, kTtMaxVars> merged{};
+  int m = 0;
+  std::size_t i = 0, j = 0;
+  while (i < cut0.size || j < cut1.size) {
+    NodeId next;
+    if (i < cut0.size && (j >= cut1.size || cut0.leaves[i] <= cut1.leaves[j])) {
+      next = cut0.leaves[i];
+      if (j < cut1.size && cut1.leaves[j] == next) ++j;
+      ++i;
+    } else {
+      next = cut1.leaves[j];
+      ++j;
+    }
+    if (m == cut_size) return false;
+    merged[static_cast<std::size_t>(m++)] = next;
+  }
+
+  // Align each fanin table to the merged leaf ordering: for each merged-leaf
+  // assignment, evaluate the fanin table at the projected assignment.
+  auto align = [&](const Cut& c) {
+    std::array<std::uint8_t, kTtMaxVars> positions{};
+    for (std::size_t v = 0; v < c.size; ++v) {
+      const auto it = std::find(merged.begin(), merged.begin() + m, c.leaves[v]);
+      positions[v] = static_cast<std::uint8_t>(it - merged.begin());
+    }
+    const int patterns = 1 << m;
+    std::uint64_t out_tt = 0;
+    for (int p = 0; p < patterns; ++p) {
+      std::uint32_t original = 0;
+      for (std::size_t v = 0; v < c.size; ++v) {
+        if ((p >> positions[v]) & 1) original |= 1u << v;
+      }
+      if (tt_eval(c.table, original)) out_tt |= 1ULL << p;
+    }
+    return tt_expand_low(out_tt, m);
+  };
+
+  std::uint64_t t0 = align(cut0);
+  std::uint64_t t1 = align(cut1);
+  if (complement0) t0 = ~t0;
+  if (complement1) t1 = ~t1;
+  std::uint64_t table = t0 & t1;
+
+  // Support-minimize: drop leaves the function does not depend on.
+  std::array<std::uint8_t, kTtMaxVars> kept{};
+  std::uint64_t shrunk = table;
+  const int k = tt_shrink_support(shrunk, m, kept);
+  out = Cut{};
+  out.size = static_cast<std::uint8_t>(k);
+  out.table = shrunk;
+  for (int v = 0; v < k; ++v) out.leaves[static_cast<std::size_t>(v)] = merged[kept[static_cast<std::size_t>(v)]];
+  return true;
+}
+
+namespace {
+
+/// Inserts `cut` into `set` with dominance filtering and a size cap.
+void insert_cut(std::vector<Cut>& set, const Cut& cut, int max_cuts) {
+  // Reject if dominated by an existing cut (same function guarantee is not
+  // required for domination: fewer leaves always at least as good).
+  for (const Cut& existing : set) {
+    if (existing.subset_of(cut)) return;
+  }
+  std::erase_if(set, [&](const Cut& existing) { return cut.subset_of(existing); });
+  set.push_back(cut);
+  // Priority: smaller cuts first (cheaper to match / fewer leaves).
+  std::sort(set.begin(), set.end(), [](const Cut& a, const Cut& b) { return a.size < b.size; });
+  if (set.size() > static_cast<std::size_t>(max_cuts)) set.resize(static_cast<std::size_t>(max_cuts));
+}
+
+Cut trivial_cut(NodeId id) {
+  Cut c;
+  c.size = 1;
+  c.leaves[0] = id;
+  c.table = tt_var(0);
+  return c;
+}
+
+}  // namespace
+
+CutSets::CutSets(const Aig& g, const CutParams& params) : params_(params) {
+  sets_.resize(g.num_nodes());
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (!g.is_and(id)) continue;
+    const Lit f0 = g.fanin0(id);
+    const Lit f1 = g.fanin1(id);
+    const NodeId v0 = lit_var(f0);
+    const NodeId v1 = lit_var(f1);
+    const bool c0 = lit_is_complemented(f0);
+    const bool c1 = lit_is_complemented(f1);
+
+    // Candidate fanin cut lists: each fanin's stored cuts plus its trivial cut.
+    std::vector<Cut> list0 = sets_[v0];
+    list0.push_back(trivial_cut(v0));
+    std::vector<Cut> list1 = sets_[v1];
+    list1.push_back(trivial_cut(v1));
+
+    auto& target = sets_[id];
+    Cut merged;
+    for (const Cut& a : list0) {
+      for (const Cut& b : list1) {
+        if (!merge_cuts(a, c0, b, c1, params.cut_size, merged)) continue;
+        // Degenerate results are kept: a single-leaf cut means the node is a
+        // (possibly complemented) copy of the leaf, and a zero-leaf cut means
+        // the node is constant under reconvergent cancellation — both are
+        // exploited by rewriting and mapping.  The zero-leaf cut dominates
+        // (is a subset of) every other cut and will displace them.
+        insert_cut(target, merged, params.max_cuts);
+      }
+    }
+  }
+}
+
+}  // namespace aigml::aig

@@ -1,0 +1,85 @@
+#include "aig/npn.hpp"
+
+#include <algorithm>
+
+namespace aigml::aig {
+
+std::uint64_t npn_apply(std::uint64_t t, int nvars, const NpnTransform& tr) {
+  const int patterns = 1 << nvars;
+  std::uint64_t out = 0;
+  for (int p = 0; p < patterns; ++p) {
+    std::uint32_t original = 0;
+    for (int i = 0; i < nvars; ++i) {
+      const bool xi = ((p >> tr.perm[static_cast<std::size_t>(i)]) & 1) != 0;
+      const bool yi = xi != (((tr.input_phase >> i) & 1) != 0);
+      if (yi) original |= 1u << i;
+    }
+    const bool value = tt_eval(t, original) != tr.output_phase;
+    if (value) out |= 1ULL << p;
+  }
+  return tt_expand_low(out, nvars);
+}
+
+NpnTransform npn_inverse(const NpnTransform& tr, int nvars) {
+  // y_i = x_{perm[i]} ^ phi_i  and  g(x) = sigma ^ f(y).
+  // Solving for f in terms of g:  f(y) = sigma ^ g(x) with x_{perm[i]} = y_i ^ phi_i,
+  // so inverse perm' satisfies perm'[perm[i]] = i and phi'_{perm[i]} = phi_i.
+  NpnTransform inv;
+  inv.output_phase = tr.output_phase;
+  inv.input_phase = 0;
+  for (int i = 0; i < nvars; ++i) {
+    const auto p = tr.perm[static_cast<std::size_t>(i)];
+    inv.perm[p] = static_cast<std::uint8_t>(i);
+    if ((tr.input_phase >> i) & 1) inv.input_phase |= static_cast<std::uint8_t>(1u << p);
+  }
+  for (int i = nvars; i < kNpnMaxVars; ++i) inv.perm[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  return inv;
+}
+
+namespace {
+
+template <typename Fn>
+void for_each_transform(int nvars, Fn&& fn) {
+  std::array<std::uint8_t, kNpnMaxVars> perm = {0, 1, 2, 3};
+  std::array<std::uint8_t, kNpnMaxVars> active{};
+  for (int i = 0; i < nvars; ++i) active[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  const int phases = 1 << nvars;
+  do {
+    for (int i = 0; i < nvars; ++i) perm[static_cast<std::size_t>(i)] = active[static_cast<std::size_t>(i)];
+    for (int phase = 0; phase < phases; ++phase) {
+      for (int out_phase = 0; out_phase < 2; ++out_phase) {
+        NpnTransform tr;
+        tr.perm = perm;
+        tr.input_phase = static_cast<std::uint8_t>(phase);
+        tr.output_phase = out_phase != 0;
+        fn(tr);
+      }
+    }
+  } while (std::next_permutation(active.begin(), active.begin() + nvars));
+}
+
+}  // namespace
+
+NpnCanon npn_canonicalize(std::uint64_t t, int nvars) {
+  NpnCanon best;
+  best.table = t;
+  bool first = true;
+  for_each_transform(nvars, [&](const NpnTransform& tr) {
+    const std::uint64_t candidate = npn_apply(t, nvars, tr);
+    // Compare on the meaningful low block only (expanded forms are equal iff
+    // low blocks are equal, but be explicit).
+    if (first || (candidate & tt_mask(nvars)) < (best.table & tt_mask(nvars))) {
+      best.table = candidate;
+      best.transform = tr;
+      first = false;
+    }
+  });
+  return best;
+}
+
+void npn_for_each(std::uint64_t t, int nvars,
+                  const std::function<void(std::uint64_t, const NpnTransform&)>& fn) {
+  for_each_transform(nvars, [&](const NpnTransform& tr) { fn(npn_apply(t, nvars, tr), tr); });
+}
+
+}  // namespace aigml::aig

@@ -1,0 +1,55 @@
+#pragma once
+// NPN (Negation-Permutation-Negation) canonicalization of truth tables over
+// up to 4 variables, by exhaustive enumeration of the 2 * n! * 2^n
+// transformation group (<= 768 elements for n = 4).
+//
+// Semantics of a transform T = (perm, input_phase, output_phase):
+//
+//   apply(t, T)(x_0..x_{n-1}) = output_phase XOR t(y_0..y_{n-1}),
+//       where y_i = x_{perm[i]} XOR bit_i(input_phase).
+//
+// i.e. `perm[i]` names the *result* variable routed into input i of the
+// original function.  canonicalize() returns the lexicographically smallest
+// reachable table together with a transform that produces it:
+// apply(t, canon.transform) == canon.table.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "aig/truth.hpp"
+
+namespace aigml::aig {
+
+inline constexpr int kNpnMaxVars = 4;
+
+struct NpnTransform {
+  std::array<std::uint8_t, kNpnMaxVars> perm = {0, 1, 2, 3};
+  std::uint8_t input_phase = 0;  ///< bit i: complement input i of the original
+  bool output_phase = false;
+
+  friend bool operator==(const NpnTransform&, const NpnTransform&) = default;
+};
+
+/// Applies a transform (see semantics above).  `t` must be in expanded form;
+/// the result is expanded too.
+[[nodiscard]] std::uint64_t npn_apply(std::uint64_t t, int nvars, const NpnTransform& transform);
+
+/// Inverse transform: npn_apply(npn_apply(t, T), npn_inverse(T)) == t.
+[[nodiscard]] NpnTransform npn_inverse(const NpnTransform& transform, int nvars);
+
+struct NpnCanon {
+  std::uint64_t table = 0;    ///< canonical representative (expanded form)
+  NpnTransform transform;     ///< apply(input, transform) == table
+};
+
+/// Exhaustive NPN canonicalization for nvars in [0, 4].
+[[nodiscard]] NpnCanon npn_canonicalize(std::uint64_t t, int nvars);
+
+/// Enumerates every distinct table reachable from `t` under the NPN group,
+/// invoking `fn(table, transform)` once per (table, transform) pair.
+/// Duplicate tables are visited multiple times (once per transform).
+void npn_for_each(std::uint64_t t, int nvars,
+                  const std::function<void(std::uint64_t, const NpnTransform&)>& fn);
+
+}  // namespace aigml::aig

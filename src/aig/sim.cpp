@@ -1,0 +1,152 @@
+#include "aig/sim.hpp"
+
+#include <stdexcept>
+
+namespace aigml::aig {
+
+namespace {
+
+// Simulates one 64-pattern batch into `values` (indexed by node id); the
+// caller provides PI words via `pi_word(i)`.
+template <typename PiWordFn>
+void simulate_into(const Aig& g, PiWordFn pi_word, std::vector<std::uint64_t>& values) {
+  values.assign(g.num_nodes(), 0);
+  std::size_t pi_index = 0;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    switch (g.kind(id)) {
+      case NodeKind::Constant:
+        values[id] = 0;
+        break;
+      case NodeKind::Input:
+        values[id] = pi_word(pi_index++);
+        break;
+      case NodeKind::And: {
+        const Lit f0 = g.fanin0(id);
+        const Lit f1 = g.fanin1(id);
+        const std::uint64_t v0 =
+            values[lit_var(f0)] ^ (lit_is_complemented(f0) ? ~0ULL : 0ULL);
+        const std::uint64_t v1 =
+            values[lit_var(f1)] ^ (lit_is_complemented(f1) ? ~0ULL : 0ULL);
+        values[id] = v0 & v1;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<std::uint64_t> gather_outputs(const Aig& g, const std::vector<std::uint64_t>& values) {
+  std::vector<std::uint64_t> out;
+  out.reserve(g.num_outputs());
+  for (const Lit o : g.outputs()) {
+    out.push_back(values[lit_var(o)] ^ (lit_is_complemented(o) ? ~0ULL : 0ULL));
+  }
+  return out;
+}
+
+// Word assigned to PI `i` for exhaustive batch number `chunk`: inputs 0..5
+// toggle inside the word, input 6+k mirrors bit k of the chunk index.
+std::uint64_t exhaustive_pi_word(std::size_t i, std::uint64_t chunk) {
+  static constexpr std::uint64_t kVarMask[6] = {
+      0xaaaaaaaaaaaaaaaaULL, 0xccccccccccccccccULL, 0xf0f0f0f0f0f0f0f0ULL,
+      0xff00ff00ff00ff00ULL, 0xffff0000ffff0000ULL, 0xffffffff00000000ULL,
+  };
+  if (i < 6) return kVarMask[i];
+  return ((chunk >> (i - 6)) & 1ULL) ? ~0ULL : 0ULL;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> simulate_words(const Aig& g, std::span<const std::uint64_t> pi_words) {
+  if (pi_words.size() != g.num_inputs()) {
+    throw std::invalid_argument("simulate_words: pattern count != number of inputs");
+  }
+  std::vector<std::uint64_t> values;
+  simulate_into(g, [&](std::size_t i) { return pi_words[i]; }, values);
+  return gather_outputs(g, values);
+}
+
+std::vector<std::uint64_t> simulate_all_nodes(const Aig& g,
+                                              std::span<const std::uint64_t> pi_words) {
+  if (pi_words.size() != g.num_inputs()) {
+    throw std::invalid_argument("simulate_all_nodes: pattern count != number of inputs");
+  }
+  std::vector<std::uint64_t> values;
+  simulate_into(g, [&](std::size_t i) { return pi_words[i]; }, values);
+  return values;
+}
+
+std::uint64_t simulate_pattern(const Aig& g, std::uint64_t pi_bits) {
+  if (g.num_inputs() > 64 || g.num_outputs() > 64) {
+    throw std::invalid_argument("simulate_pattern: supports at most 64 inputs/outputs");
+  }
+  std::vector<std::uint64_t> words(g.num_inputs());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    words[i] = ((pi_bits >> i) & 1ULL) ? ~0ULL : 0ULL;
+  }
+  const auto outs = simulate_words(g, words);
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < outs.size(); ++i) bits |= (outs[i] & 1ULL) << i;
+  return bits;
+}
+
+std::uint64_t simulation_signature(const Aig& g, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> words(g.num_inputs());
+  std::uint64_t sig = 0x9e3779b97f4a7c15ULL ^ (g.num_outputs() * 0x100000001b3ULL);
+  for (int batch = 0; batch < 4; ++batch) {
+    for (auto& w : words) w = rng.next();
+    const auto outs = simulate_words(g, words);
+    for (const std::uint64_t w : outs) {
+      sig ^= w + 0x9e3779b97f4a7c15ULL + (sig << 6) + (sig >> 2);
+    }
+  }
+  return sig;
+}
+
+EquivalenceResult check_equivalence(const Aig& a, const Aig& b, const EquivalenceOptions& opt) {
+  if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs()) {
+    throw std::invalid_argument("check_equivalence: interface mismatch");
+  }
+  EquivalenceResult result;
+  const std::size_t n = a.num_inputs();
+  std::vector<std::uint64_t> words(n);
+
+  auto compare_batch = [&](std::uint64_t valid_mask,
+                           std::uint64_t base_pattern) -> bool {
+    const auto oa = simulate_words(a, words);
+    const auto ob = simulate_words(b, words);
+    for (std::size_t i = 0; i < oa.size(); ++i) {
+      const std::uint64_t diff = (oa[i] ^ ob[i]) & valid_mask;
+      if (diff != 0) {
+        result.failing_output = static_cast<std::uint32_t>(i);
+        result.failing_pattern = base_pattern + static_cast<std::uint64_t>(__builtin_ctzll(diff));
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (n <= opt.exhaustive_limit) {
+    result.exhaustive = true;
+    const std::uint64_t total = 1ULL << n;
+    const std::uint64_t per_word = n >= 6 ? 64 : (1ULL << n);
+    const std::uint64_t chunks = (total + per_word - 1) / per_word;
+    const std::uint64_t valid_mask = per_word == 64 ? ~0ULL : ((1ULL << per_word) - 1);
+    for (std::uint64_t chunk = 0; chunk < chunks; ++chunk) {
+      for (std::size_t i = 0; i < n; ++i) words[i] = exhaustive_pi_word(i, chunk);
+      if (!compare_batch(valid_mask, chunk * per_word)) return result;
+    }
+    result.equivalent = true;
+    return result;
+  }
+
+  Rng rng(opt.seed);
+  for (unsigned batch = 0; batch < opt.random_batches; ++batch) {
+    for (auto& w : words) w = rng.next();
+    if (!compare_batch(~0ULL, static_cast<std::uint64_t>(batch) * 64)) return result;
+  }
+  result.equivalent = true;
+  return result;
+}
+
+}  // namespace aigml::aig

@@ -1,0 +1,67 @@
+#pragma once
+// Bit-parallel simulation of AIGs (64 patterns per machine word) and
+// combinational equivalence checking.
+//
+// Equivalence checking is the universal correctness oracle of this library:
+// every logic transform and the technology mapper are property-tested with
+// it.  For graphs with <= `exhaustive_limit` primary inputs the check is
+// exhaustive (complete); above that it falls back to seeded random vectors
+// (a strong Monte-Carlo check, standard practice for CEC smoke testing).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "util/rng.hpp"
+
+namespace aigml::aig {
+
+/// Simulates one 64-pattern batch.  `pi_words[i]` holds the 64 input values
+/// for the i-th primary input.  Returns one word per primary output.
+[[nodiscard]] std::vector<std::uint64_t> simulate_words(const Aig& g,
+                                                        std::span<const std::uint64_t> pi_words);
+
+/// Simulates one 64-pattern batch and returns the value word of *every node*
+/// (indexed by node id, positive polarity).  Used by windowing-based
+/// transforms and by tests that validate per-node properties.
+[[nodiscard]] std::vector<std::uint64_t> simulate_all_nodes(
+    const Aig& g, std::span<const std::uint64_t> pi_words);
+
+/// Simulates one single pattern (bit i of `pi_bits` = value of input i).
+/// Returns output values packed in the same way.  Supports up to 64 I/Os.
+[[nodiscard]] std::uint64_t simulate_pattern(const Aig& g, std::uint64_t pi_bits);
+
+/// 64-bit output signature from a fixed seeded random batch; equal functions
+/// have equal signatures, and structurally different implementations of
+/// different functions almost surely differ.  Used to dedupe AIG variants.
+[[nodiscard]] std::uint64_t simulation_signature(const Aig& g, std::uint64_t seed = 0xabcdef12);
+
+struct EquivalenceOptions {
+  /// Exhaustive check when num_inputs <= exhaustive_limit (2^n patterns).
+  unsigned exhaustive_limit = 14;
+  /// Number of 64-pattern random batches when not exhaustive.
+  unsigned random_batches = 512;
+  std::uint64_t seed = 0x0eec'5eed'0eec'5eedULL;
+};
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  bool exhaustive = false;  ///< true when the verdict is a proof
+  /// On failure: which output and which input pattern disagreed.
+  std::uint32_t failing_output = 0;
+  std::uint64_t failing_pattern = 0;
+};
+
+/// Checks that `a` and `b` compute the same outputs for the same inputs.
+/// The graphs must agree in input and output counts (checked).
+[[nodiscard]] EquivalenceResult check_equivalence(const Aig& a, const Aig& b,
+                                                  const EquivalenceOptions& opt = {});
+
+/// Convenience wrapper returning only the boolean verdict.
+[[nodiscard]] inline bool equivalent(const Aig& a, const Aig& b,
+                                     const EquivalenceOptions& opt = {}) {
+  return check_equivalence(a, b, opt).equivalent;
+}
+
+}  // namespace aigml::aig

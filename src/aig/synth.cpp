@@ -1,0 +1,129 @@
+#include "aig/synth.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace aigml::aig {
+
+namespace {
+
+template <typename Op>
+Lit balanced_reduce(std::vector<Lit> work, Lit identity, Op op) {
+  if (work.empty()) return identity;
+  while (work.size() > 1) {
+    std::vector<Lit> next;
+    next.reserve((work.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < work.size(); i += 2) next.push_back(op(work[i], work[i + 1]));
+    if (work.size() % 2 == 1) next.push_back(work.back());
+    work = std::move(next);
+  }
+  return work.front();
+}
+
+Lit make_or(const AndFn& and_fn, Lit a, Lit b) {
+  return lit_not(and_fn(lit_not(a), lit_not(b)));
+}
+
+Lit make_xor(const AndFn& and_fn, Lit a, Lit b) {
+  const Lit p = and_fn(a, lit_not(b));
+  const Lit q = and_fn(lit_not(a), b);
+  return make_or(and_fn, p, q);
+}
+
+Lit build_cover(const AndFn& and_fn, std::span<const Cube> cover,
+                std::span<const Lit> leaf_lits) {
+  std::vector<Lit> cube_lits;
+  cube_lits.reserve(cover.size());
+  for (const Cube& cube : cover) {
+    std::vector<Lit> lits;
+    for (int i = 0; i < kTtMaxVars; ++i) {
+      if (cube.pos & (1u << i)) lits.push_back(leaf_lits[static_cast<std::size_t>(i)]);
+      if (cube.neg & (1u << i)) lits.push_back(lit_not(leaf_lits[static_cast<std::size_t>(i)]));
+    }
+    cube_lits.push_back(
+        balanced_reduce(std::move(lits), kLitTrue, [&](Lit x, Lit y) { return and_fn(x, y); }));
+  }
+  return balanced_reduce(std::move(cube_lits), kLitFalse,
+                         [&](Lit x, Lit y) { return make_or(and_fn, x, y); });
+}
+
+}  // namespace
+
+Lit synthesize_tt(const AndFn& and_fn, std::uint64_t table, int nvars,
+                  std::span<const Lit> leaf_lits) {
+  // Support-minimize so shortcuts below see the true function arity.
+  std::array<std::uint8_t, kTtMaxVars> kept{};
+  std::uint64_t t = table;
+  const int k = tt_shrink_support(t, nvars, kept);
+  std::vector<Lit> leaves(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) leaves[static_cast<std::size_t>(i)] = leaf_lits[kept[static_cast<std::size_t>(i)]];
+
+  if (t == tt_const0()) return kLitFalse;
+  if (t == tt_const1()) return kLitTrue;
+  if (k == 1) return t == tt_var(0) ? leaves[0] : lit_not(leaves[0]);
+
+  // Parity shortcut: an n-input XOR has a 2^(n-1)-cube ISOP, but only
+  // 3*(n-1) AND nodes as a chain.
+  const auto support_mask = static_cast<std::uint32_t>((1u << k) - 1);
+  bool parity_complemented = false;
+  if (tt_is_parity(t, support_mask, parity_complemented)) {
+    const Lit chain = balanced_reduce(leaves, kLitFalse,
+                                      [&](Lit x, Lit y) { return make_xor(and_fn, x, y); });
+    return lit_not_if(chain, parity_complemented);
+  }
+
+  // ISOP of both polarities; build the cheaper cover.
+  const std::vector<Cube> cover_pos = isop(t, tt_const0(), k);
+  const std::vector<Cube> cover_neg = isop(~t, tt_const0(), k);
+  const int cost_pos = cover_literals(cover_pos) + static_cast<int>(cover_pos.size());
+  const int cost_neg = cover_literals(cover_neg) + static_cast<int>(cover_neg.size());
+  if (cost_neg < cost_pos) {
+    return lit_not(build_cover(and_fn, cover_neg, leaves));
+  }
+  return build_cover(and_fn, cover_pos, leaves);
+}
+
+Lit synthesize_tt_into(Aig& g, std::uint64_t table, int nvars, std::span<const Lit> leaf_lits) {
+  return synthesize_tt([&g](Lit a, Lit b) { return g.make_and(a, b); }, table, nvars, leaf_lits);
+}
+
+AndProber::AndProber(const Aig& g, std::span<const std::uint32_t> levels)
+    : g_(g), levels_(levels), next_fake_(static_cast<NodeId>(g.num_nodes())) {}
+
+Lit AndProber::operator()(Lit a, Lit b) {
+  if (a > b) std::swap(a, b);
+  if (a == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (a == b) return a;
+  if ((a ^ b) == 1u) return kLitFalse;
+  const bool both_real =
+      lit_var(a) < g_.num_nodes() && lit_var(b) < g_.num_nodes();
+  if (both_real) {
+    const Lit existing = g_.probe_and(a, b);
+    if (existing != kLitInvalid) return existing;
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  if (const auto it = hypothetical_.find(key); it != hypothetical_.end()) return it->second;
+  const Lit fake = make_lit(next_fake_++);
+  hypothetical_.emplace(key, fake);
+  hypo_levels_.push_back(1 + std::max(level_of(a), level_of(b)));
+  ++misses_;
+  return fake;
+}
+
+std::uint32_t AndProber::level_of(Lit lit) const {
+  const NodeId var = lit_var(lit);
+  if (var < g_.num_nodes()) {
+    return var < levels_.size() ? levels_[var] : 0;
+  }
+  return hypo_levels_[var - g_.num_nodes()];
+}
+
+void AndProber::reset() {
+  hypothetical_.clear();
+  hypo_levels_.clear();
+  next_fake_ = static_cast<NodeId>(g_.num_nodes());
+  misses_ = 0;
+}
+
+}  // namespace aigml::aig

@@ -1,0 +1,66 @@
+#pragma once
+// Resynthesis of a truth table (<= 6 vars) into AIG nodes over given leaf
+// literals.  Used by rewriting/refactoring (replace a cut with a smaller
+// implementation) and by netlist-to-AIG extraction (rebuild cell functions
+// for equivalence checking).
+//
+// The construction is generic over an "AND maker" so the same recipe can be
+// *costed* without mutating the graph (see AndProber): the maker receives
+// normalized literal pairs exactly as Aig::make_and would.
+//
+// Synthesis strategy: constant / single-literal shortcuts, parity detection
+// (XOR chains — essential for arithmetic circuits), otherwise ISOP covers of
+// both polarities with the cheaper one selected by literal count.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/truth.hpp"
+
+namespace aigml::aig {
+
+/// Maker signature: Lit and_fn(Lit a, Lit b) — must implement AND semantics
+/// including trivial-case folding (Aig::make_and qualifies).
+using AndFn = std::function<Lit(Lit, Lit)>;
+
+/// Synthesizes `table` (expanded form, `nvars` variables) as a function of
+/// `leaf_lits` using `and_fn` to create nodes.  Returns the root literal.
+[[nodiscard]] Lit synthesize_tt(const AndFn& and_fn, std::uint64_t table, int nvars,
+                                std::span<const Lit> leaf_lits);
+
+/// Convenience wrapper building directly into a graph.
+[[nodiscard]] Lit synthesize_tt_into(Aig& g, std::uint64_t table, int nvars,
+                                     std::span<const Lit> leaf_lits);
+
+/// Dry-run AND maker over an existing graph: returns existing literals where
+/// structural hashing would, otherwise invents "hypothetical" literals with
+/// ids beyond the graph and counts them as misses.  `misses()` after a
+/// synthesis run equals the number of AND nodes real synthesis would add.
+/// Also tracks an upper-bound level for each literal for depth tie-breaking.
+class AndProber {
+ public:
+  /// `levels` are the current levels of `g`'s nodes (indexed by id); may be
+  /// shorter than num_nodes() for convenience — missing entries read as 0.
+  AndProber(const Aig& g, std::span<const std::uint32_t> levels);
+
+  Lit operator()(Lit a, Lit b);
+
+  [[nodiscard]] int misses() const noexcept { return misses_; }
+  /// Level of a literal seen during probing (real or hypothetical).
+  [[nodiscard]] std::uint32_t level_of(Lit lit) const;
+  void reset();
+
+ private:
+  const Aig& g_;
+  std::span<const std::uint32_t> levels_;
+  std::unordered_map<std::uint64_t, Lit> hypothetical_;
+  std::vector<std::uint32_t> hypo_levels_;
+  NodeId next_fake_;
+  int misses_ = 0;
+};
+
+}  // namespace aigml::aig

@@ -1,0 +1,113 @@
+#include "aig/truth.hpp"
+
+namespace aigml::aig {
+
+std::uint64_t tt_remap(std::uint64_t t, std::span<const std::uint8_t> positions,
+                       int new_nvars) noexcept {
+  const int patterns = 1 << new_nvars;
+  std::uint64_t out = 0;
+  for (int p = 0; p < patterns; ++p) {
+    std::uint32_t original = 0;
+    for (std::size_t j = 0; j < positions.size(); ++j) {
+      if (p & (1 << j)) original |= 1u << positions[j];
+    }
+    if (tt_eval(t, original)) out |= 1ULL << p;
+  }
+  return tt_expand_low(out, new_nvars);
+}
+
+int tt_shrink_support(std::uint64_t& t, int nvars, std::array<std::uint8_t, kTtMaxVars>& kept) {
+  int k = 0;
+  for (int i = 0; i < nvars; ++i) {
+    if (tt_has_var(t, i)) kept[static_cast<std::size_t>(k++)] = static_cast<std::uint8_t>(i);
+  }
+  // Gather: new variable j reads old variable kept[j].
+  const int patterns = 1 << k;
+  std::uint64_t out = 0;
+  for (int p = 0; p < patterns; ++p) {
+    std::uint32_t original = 0;
+    for (int j = 0; j < k; ++j) {
+      if (p & (1 << j)) original |= 1u << kept[static_cast<std::size_t>(j)];
+    }
+    if (tt_eval(t, original)) out |= 1ULL << p;
+  }
+  t = tt_expand_low(out, k);
+  return k;
+}
+
+bool tt_is_parity(std::uint64_t t, std::uint32_t support_mask, bool& complemented) {
+  std::uint64_t parity = tt_const0();
+  for (int i = 0; i < kTtMaxVars; ++i) {
+    if (support_mask & (1u << i)) parity ^= tt_var(i);
+  }
+  if (t == parity) {
+    complemented = false;
+    return true;
+  }
+  if (t == ~parity) {
+    complemented = true;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t cover_table(std::span<const Cube> cover) noexcept {
+  std::uint64_t t = tt_const0();
+  for (const Cube& c : cover) t |= c.table();
+  return t;
+}
+
+namespace {
+
+// Minato-Morreale ISOP on the interval [lower, upper].  Appends cubes to
+// `out` and returns the table of the generated cover part.
+std::uint64_t isop_rec(std::uint64_t lower, std::uint64_t upper, int var,
+                       std::vector<Cube>& out) {
+  if (lower == tt_const0()) return tt_const0();
+  if (upper == tt_const1()) {
+    out.push_back(Cube{});
+    return tt_const1();
+  }
+  // Find the highest variable either bound depends on.
+  int x = var;
+  while (x >= 0 && !tt_has_var(lower, x) && !tt_has_var(upper, x)) --x;
+  // lower <= upper and neither is constant at this point, so x >= 0.
+  const std::uint64_t l0 = tt_cofactor0(lower, x);
+  const std::uint64_t l1 = tt_cofactor1(lower, x);
+  const std::uint64_t u0 = tt_cofactor0(upper, x);
+  const std::uint64_t u1 = tt_cofactor1(upper, x);
+
+  // Cubes that must contain literal !x (cover the part of the on-set that is
+  // not allowed when x=1).
+  const std::size_t begin0 = out.size();
+  const std::uint64_t f0 = isop_rec(l0 & ~u1, u0, x - 1, out);
+  for (std::size_t i = begin0; i < out.size(); ++i) out[i].neg |= 1u << x;
+
+  // Cubes that must contain literal x.
+  const std::size_t begin1 = out.size();
+  const std::uint64_t f1 = isop_rec(l1 & ~u0, u1, x - 1, out);
+  for (std::size_t i = begin1; i < out.size(); ++i) out[i].pos |= 1u << x;
+
+  // Remainder, independent of x.
+  const std::uint64_t remainder_lower = (l0 & ~f0) | (l1 & ~f1);
+  const std::uint64_t fs = isop_rec(remainder_lower, u0 & u1, x - 1, out);
+
+  const std::uint64_t mask_x = tt_var(x);
+  return (f0 & ~mask_x) | (f1 & mask_x) | fs;
+}
+
+}  // namespace
+
+std::vector<Cube> isop(std::uint64_t on_set, std::uint64_t dc_set, int nvars) {
+  std::vector<Cube> cover;
+  isop_rec(on_set & ~dc_set, on_set | dc_set, nvars - 1, cover);
+  return cover;
+}
+
+int cover_literals(std::span<const Cube> cover) noexcept {
+  int total = 0;
+  for (const Cube& c : cover) total += c.num_literals();
+  return total;
+}
+
+}  // namespace aigml::aig

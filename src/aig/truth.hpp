@@ -1,0 +1,129 @@
+#pragma once
+// Truth-table utilities for functions of up to 6 variables, packed in a
+// single 64-bit word.
+//
+// Storage convention: the value of the function for input assignment
+// (x5..x0) lives in bit index sum(x_i << i).  Tables are kept in *expanded*
+// form — bits beyond 2^n replicate the low block — so 64-bit bitwise ops
+// compose functions of different support sizes without masking.  All
+// functions here preserve that invariant.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aigml::aig {
+
+inline constexpr int kTtMaxVars = 6;
+
+/// Elementary table of variable `i` (bit = value of x_i), expanded form.
+[[nodiscard]] constexpr std::uint64_t tt_var(int i) noexcept {
+  constexpr std::uint64_t kMask[kTtMaxVars] = {
+      0xaaaaaaaaaaaaaaaaULL, 0xccccccccccccccccULL, 0xf0f0f0f0f0f0f0f0ULL,
+      0xff00ff00ff00ff00ULL, 0xffff0000ffff0000ULL, 0xffffffff00000000ULL,
+  };
+  return kMask[i];
+}
+
+[[nodiscard]] constexpr std::uint64_t tt_const0() noexcept { return 0ULL; }
+[[nodiscard]] constexpr std::uint64_t tt_const1() noexcept { return ~0ULL; }
+
+/// Restricts attention to the low 2^n bits (e.g. for printing / comparing
+/// non-expanded external tables).
+[[nodiscard]] constexpr std::uint64_t tt_mask(int nvars) noexcept {
+  return nvars >= 6 ? ~0ULL : ((1ULL << (1u << nvars)) - 1);
+}
+
+/// Re-expands a table given only its low 2^n bits.
+[[nodiscard]] constexpr std::uint64_t tt_expand_low(std::uint64_t low_bits, int nvars) noexcept {
+  std::uint64_t t = low_bits & tt_mask(nvars);
+  for (int i = nvars; i < kTtMaxVars; ++i) t |= t << (1u << i);
+  return t;
+}
+
+/// Positive / negative cofactor with respect to variable i.
+[[nodiscard]] constexpr std::uint64_t tt_cofactor1(std::uint64_t t, int i) noexcept {
+  const std::uint64_t hi = t & tt_var(i);
+  return hi | (hi >> (1u << i));
+}
+[[nodiscard]] constexpr std::uint64_t tt_cofactor0(std::uint64_t t, int i) noexcept {
+  const std::uint64_t lo = t & ~tt_var(i);
+  return lo | (lo << (1u << i));
+}
+
+/// True when the function depends on variable i.
+[[nodiscard]] constexpr bool tt_has_var(std::uint64_t t, int i) noexcept {
+  return tt_cofactor0(t, i) != tt_cofactor1(t, i);
+}
+
+/// Support mask (bit i set iff the function depends on x_i), considering
+/// the first `nvars` variables.
+[[nodiscard]] constexpr std::uint32_t tt_support(std::uint64_t t, int nvars) noexcept {
+  std::uint32_t mask = 0;
+  for (int i = 0; i < nvars; ++i) {
+    if (tt_has_var(t, i)) mask |= 1u << i;
+  }
+  return mask;
+}
+
+/// Negates variable i (f(x_i) -> f(!x_i)).
+[[nodiscard]] constexpr std::uint64_t tt_flip_var(std::uint64_t t, int i) noexcept {
+  const unsigned shift = 1u << i;
+  return ((t & tt_var(i)) >> shift) | ((t & ~tt_var(i)) << shift);
+}
+
+/// Evaluates the function at an assignment (bit i of `assignment` = x_i).
+[[nodiscard]] constexpr bool tt_eval(std::uint64_t t, std::uint32_t assignment) noexcept {
+  return ((t >> (assignment & 63u)) & 1ULL) != 0;
+}
+
+/// Reorders support: variable `j` of the result reads variable `positions[j]`
+/// of the input.  `positions` must be a injective map into [0, 6).
+/// Used to align cut truth tables when merging cuts with different leaf sets:
+/// the result has `new_nvars` variables.
+[[nodiscard]] std::uint64_t tt_remap(std::uint64_t t, std::span<const std::uint8_t> positions,
+                                     int new_nvars) noexcept;
+
+/// Removes vacuous variables: compacts the support of `t` (over `nvars`
+/// variables) to the first `k` positions, preserving relative order.
+/// Returns the compacted table and writes the kept original indices to
+/// `kept`; returns the new variable count.
+int tt_shrink_support(std::uint64_t& t, int nvars, std::array<std::uint8_t, kTtMaxVars>& kept);
+
+/// True when `t` is the parity (XOR) of exactly the variables in
+/// `support_mask`, possibly complemented; sets `complemented` accordingly.
+[[nodiscard]] bool tt_is_parity(std::uint64_t t, std::uint32_t support_mask, bool& complemented);
+
+/// Product term over <= 6 variables: x_i appears positively when bit i of
+/// `pos` is set, negatively when bit i of `neg` is set (disjoint masks).
+struct Cube {
+  std::uint8_t pos = 0;
+  std::uint8_t neg = 0;
+
+  [[nodiscard]] int num_literals() const noexcept {
+    return __builtin_popcount(pos) + __builtin_popcount(neg);
+  }
+  [[nodiscard]] std::uint64_t table() const noexcept {
+    std::uint64_t t = tt_const1();
+    for (int i = 0; i < kTtMaxVars; ++i) {
+      if (pos & (1u << i)) t &= tt_var(i);
+      if (neg & (1u << i)) t &= ~tt_var(i);
+    }
+    return t;
+  }
+  friend bool operator==(const Cube&, const Cube&) = default;
+};
+
+/// OR of cube tables.
+[[nodiscard]] std::uint64_t cover_table(std::span<const Cube> cover) noexcept;
+
+/// Irredundant sum-of-products via the Minato-Morreale interval algorithm.
+/// Returns a cover C with  on_set <= f(C) <= on_set | dc_set  (expanded-form
+/// tables over `nvars` variables).
+[[nodiscard]] std::vector<Cube> isop(std::uint64_t on_set, std::uint64_t dc_set, int nvars);
+
+/// Total literal count of a cover.
+[[nodiscard]] int cover_literals(std::span<const Cube> cover) noexcept;
+
+}  // namespace aigml::aig

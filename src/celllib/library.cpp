@@ -1,0 +1,255 @@
+#include "celllib/library.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "aig/npn.hpp"
+
+namespace aigml::cell {
+
+using aig::tt_expand_low;
+using aig::tt_mask;
+using aig::tt_var;
+
+namespace {
+
+std::uint64_t index_key(std::uint64_t table, int num_leaves) {
+  return (static_cast<std::uint64_t>(num_leaves) << 56) ^
+         (table & tt_mask(num_leaves));
+}
+
+}  // namespace
+
+Library::Library(std::string name, std::vector<Cell> cells)
+    : name_(std::move(name)), cells_(std::move(cells)) {
+  for (const Cell& c : cells_) {
+    if (c.num_inputs > kMaxCellInputs) {
+      throw std::invalid_argument("Library: cell " + c.name + " has too many inputs");
+    }
+    if (std::count_if(cells_.begin(), cells_.end(),
+                      [&](const Cell& other) { return other.name == c.name; }) != 1) {
+      throw std::invalid_argument("Library: duplicate cell name " + c.name);
+    }
+  }
+  build_index();
+}
+
+void Library::build_index() {
+  bool found_inverter = false;
+  double best_inv_r = 0.0;
+  for (std::uint32_t id = 0; id < cells_.size(); ++id) {
+    const Cell& c = cells_[id];
+    if (c.num_inputs == 1 && (c.function & tt_mask(1)) == (~tt_var(0) & tt_mask(1))) {
+      if (!found_inverter || c.resistance_ps_per_ff < best_inv_r) {
+        inverter_id_ = id;
+        best_inv_r = c.resistance_ps_per_ff;
+        found_inverter = true;
+      }
+    }
+    if (c.num_inputs == 0) continue;  // tie cells are matched specially
+    // Enumerate permutation x input-phase variants (output phase fixed at 0:
+    // complements are found by querying the complemented table).
+    std::array<std::uint8_t, 4> perm = {0, 1, 2, 3};
+    std::vector<std::uint8_t> active(static_cast<std::size_t>(c.num_inputs));
+    for (int i = 0; i < c.num_inputs; ++i) active[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+    do {
+      for (int i = 0; i < c.num_inputs; ++i) perm[static_cast<std::size_t>(i)] = active[static_cast<std::size_t>(i)];
+      for (int phase = 0; phase < (1 << c.num_inputs); ++phase) {
+        aig::NpnTransform tr;
+        tr.perm = perm;
+        tr.input_phase = static_cast<std::uint8_t>(phase);
+        tr.output_phase = false;
+        const std::uint64_t variant = aig::npn_apply(c.function, c.num_inputs, tr);
+        // Variant semantics: variant(x) = cell(y) with y_i = x_{perm[i]} ^ phase_i,
+        // i.e. pin i connects to leaf perm[i], inverted when phase bit i set.
+        Match m;
+        m.cell_id = id;
+        m.leaf_of_pin = perm;
+        m.input_neg_mask = static_cast<std::uint8_t>(phase);
+        auto& bucket = index_[index_key(variant, c.num_inputs)];
+        // Dedupe exact duplicates arising from symmetric pins: two matches of
+        // the same cell whose (leaf, phase) multiset per pin position agree
+        // produce identical gates, so keep the first only if truly identical.
+        const bool duplicate = std::any_of(bucket.begin(), bucket.end(), [&](const Match& e) {
+          return e.cell_id == m.cell_id && e.leaf_of_pin == m.leaf_of_pin &&
+                 e.input_neg_mask == m.input_neg_mask;
+        });
+        if (!duplicate) bucket.push_back(m);
+      }
+    } while (std::next_permutation(active.begin(), active.end()));
+  }
+  if (!found_inverter) {
+    throw std::invalid_argument("Library '" + name_ + "' must contain an inverter");
+  }
+}
+
+std::uint32_t Library::cell_id(const std::string& cell_name) const {
+  for (std::uint32_t id = 0; id < cells_.size(); ++id) {
+    if (cells_[id].name == cell_name) return id;
+  }
+  throw std::out_of_range("Library: no cell named " + cell_name);
+}
+
+const std::vector<Match>& Library::matches(std::uint64_t table, int num_leaves) const {
+  const auto it = index_.find(index_key(table, num_leaves));
+  return it == index_.end() ? empty_ : it->second;
+}
+
+// ---- text format -------------------------------------------------------------
+//
+// minilib <name>
+// cell <name> inputs <n> function 0x<hex low 2^n bits> area <um2>
+//      cap <ff> intrinsic <ps> resistance <ps_per_ff>   (one line per cell)
+// end
+
+std::string Library::to_text() const {
+  std::ostringstream out;
+  out << "minilib " << name_ << "\n";
+  for (const Cell& c : cells_) {
+    out << "cell " << c.name << " inputs " << c.num_inputs << " function 0x" << std::hex
+        << (c.function & tt_mask(c.num_inputs)) << std::dec << " area " << c.area_um2 << " cap "
+        << c.input_cap_ff << " intrinsic " << c.intrinsic_ps << " resistance "
+        << c.resistance_ps_per_ff << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+void Library::save(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Library::save: cannot open " + path.string());
+  out << to_text();
+}
+
+Library Library::from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string token;
+  if (!(in >> token) || token != "minilib") {
+    throw std::runtime_error("Library::from_text: expected 'minilib <name>'");
+  }
+  std::string lib_name;
+  if (!(in >> lib_name)) throw std::runtime_error("Library::from_text: missing library name");
+  std::vector<Cell> cells;
+  while (in >> token) {
+    if (token == "end") return Library(lib_name, std::move(cells));
+    if (token != "cell") throw std::runtime_error("Library::from_text: expected 'cell', got " + token);
+    Cell c;
+    std::string key, hex;
+    if (!(in >> c.name)) throw std::runtime_error("cell: missing name");
+    auto expect = [&](const char* expected) {
+      if (!(in >> key) || key != expected) {
+        throw std::runtime_error("cell " + c.name + ": expected '" + expected + "'");
+      }
+    };
+    expect("inputs");
+    if (!(in >> c.num_inputs) || c.num_inputs < 0 || c.num_inputs > kMaxCellInputs) {
+      throw std::runtime_error("cell " + c.name + ": bad input count");
+    }
+    expect("function");
+    if (!(in >> hex) || hex.rfind("0x", 0) != 0) {
+      throw std::runtime_error("cell " + c.name + ": bad function literal");
+    }
+    c.function = tt_expand_low(std::stoull(hex.substr(2), nullptr, 16), c.num_inputs);
+    expect("area");
+    in >> c.area_um2;
+    expect("cap");
+    in >> c.input_cap_ff;
+    expect("intrinsic");
+    in >> c.intrinsic_ps;
+    expect("resistance");
+    in >> c.resistance_ps_per_ff;
+    if (!in) throw std::runtime_error("cell " + c.name + ": truncated attributes");
+    cells.push_back(std::move(c));
+  }
+  throw std::runtime_error("Library::from_text: missing 'end'");
+}
+
+Library Library::load(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Library::load: cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_text(buffer.str());
+}
+
+// ---- built-in mini-sky130 ------------------------------------------------------
+
+namespace {
+
+/// Scales a base cell into a higher drive strength: stronger drive = lower
+/// resistance, higher pin capacitance and area (transistor upsizing).
+Cell drive_variant(Cell base, int strength) {
+  if (strength == 1) {
+    base.name += "_X1";
+    return base;
+  }
+  const double s = static_cast<double>(strength);
+  base.name += "_X" + std::to_string(strength);
+  base.area_um2 *= 1.0 + 0.55 * (s - 1.0);
+  base.input_cap_ff *= 1.0 + 0.45 * (s - 1.0);
+  base.resistance_ps_per_ff /= s;
+  base.intrinsic_ps *= 1.0 + 0.06 * (s - 1.0);
+  return base;
+}
+
+std::vector<Cell> mini_sky130_cells() {
+  const std::uint64_t A = tt_var(0), B = tt_var(1), C = tt_var(2), D = tt_var(3);
+  struct Proto {
+    const char* name;
+    int inputs;
+    std::uint64_t function;
+    double area, cap, intrinsic, resistance;
+    std::vector<int> drives;
+  };
+  const std::vector<Proto> protos = {
+      {"INV", 1, ~A, 3.2, 2.2, 37.9, 2.62, {1, 2, 4}},
+      {"BUF", 1, A, 4.8, 1.8, 65.5, 1.95, {1, 2, 4}},
+      {"NAND2", 2, ~(A & B), 4.0, 2.4, 48.3, 3.00, {1, 2, 4}},
+      {"NAND3", 3, ~(A & B & C), 5.6, 2.6, 58.6, 3.38, {1, 2}},
+      {"NAND4", 4, ~(A & B & C & D), 7.2, 2.8, 69.0, 3.75, {1, 2}},
+      {"NOR2", 2, ~(A | B), 4.0, 2.5, 55.2, 3.56, {1, 2, 4}},
+      {"NOR3", 3, ~(A | B | C), 6.0, 2.7, 69.0, 4.12, {1, 2}},
+      {"NOR4", 4, ~(A | B | C | D), 7.6, 2.9, 82.8, 4.69, {1, 2}},
+      {"AND2", 2, A & B, 4.8, 2.0, 65.5, 2.44, {1, 2}},
+      {"OR2", 2, A | B, 4.8, 2.1, 72.4, 2.62, {1, 2}},
+      {"XOR2", 2, A ^ B, 8.8, 3.0, 94.9, 3.38, {1, 2}},
+      {"XNOR2", 2, ~(A ^ B), 8.8, 3.0, 94.9, 3.38, {1, 2}},
+      {"AOI21", 3, ~((A & B) | C), 5.6, 2.5, 62.1, 3.56, {1, 2}},
+      {"OAI21", 3, ~((A | B) & C), 5.6, 2.5, 62.1, 3.56, {1, 2}},
+      {"AOI22", 4, ~((A & B) | (C & D)), 7.2, 2.6, 72.4, 3.94, {1, 2}},
+      {"OAI22", 4, ~((A | B) & (C | D)), 7.2, 2.6, 72.4, 3.94, {1, 2}},
+      {"MUX2", 3, (C & B) | (~C & A), 8.0, 2.8, 82.8, 3.00, {1, 2}},
+      {"MAJ3", 3, (A & B) | (A & C) | (B & C), 9.6, 3.0, 100.0, 3.56, {1}},
+      {"AND3", 3, A & B & C, 6.4, 2.2, 75.9, 2.81, {1}},
+      {"OR3", 3, A | B | C, 6.4, 2.3, 82.8, 3.00, {1}},
+      {"AND4", 4, A & B & C & D, 8.0, 2.4, 86.2, 3.19, {1}},
+      {"OR4", 4, A | B | C | D, 8.0, 2.5, 96.6, 3.38, {1}},
+      {"XOR3", 3, A ^ B ^ C, 14.4, 3.4, 134.5, 3.94, {1}},
+      {"AO21", 3, (A & B) | C, 6.4, 2.3, 79.3, 2.81, {1}},
+      {"OA21", 3, (A | B) & C, 6.4, 2.3, 79.3, 2.81, {1}},
+  };
+  std::vector<Cell> cells;
+  for (const Proto& p : protos) {
+    Cell base;
+    base.name = p.name;
+    base.num_inputs = p.inputs;
+    base.function = p.function;
+    base.area_um2 = p.area;
+    base.input_cap_ff = p.cap;
+    base.intrinsic_ps = p.intrinsic;
+    base.resistance_ps_per_ff = p.resistance;
+    for (const int strength : p.drives) cells.push_back(drive_variant(base, strength));
+  }
+  return cells;
+}
+
+}  // namespace
+
+const Library& mini_sky130() {
+  static const Library lib("mini_sky130", mini_sky130_cells());
+  return lib;
+}
+
+}  // namespace aigml::cell

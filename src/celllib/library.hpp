@@ -1,0 +1,102 @@
+#pragma once
+// Standard-cell library model.
+//
+// Stands in for the SkyWater 130nm PDK the paper maps against: a set of
+// combinational cells (<= 4 inputs) with area, per-pin input capacitance,
+// and a linear (load-dependent) delay model
+//
+//     pin-to-output delay [ps] = intrinsic(pin) + resistance * load [fF].
+//
+// This is the minimal model that reproduces both miscorrelation mechanisms
+// the paper identifies (§III-B): stage-count compression after mapping and
+// fanout/load-dependent gate delay.  Values are hand-calibrated to 130nm
+// magnitudes (FO4 of the unit inverter ~ 85 ps); absolute accuracy against
+// the real PDK is not required by the experiments, which compare flows
+// against each other under one consistent model.
+//
+// Boolean matching: the library pre-enumerates, for every cell, all
+// permutation+input-phase variants of its function (output never
+// complemented).  match(table) is then a hash lookup returning every
+// (cell, pin binding) implementing exactly that leaf function.
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/truth.hpp"
+
+namespace aigml::cell {
+
+inline constexpr int kMaxCellInputs = 4;
+
+struct Cell {
+  std::string name;
+  int num_inputs = 0;          ///< 0 for tie cells
+  std::uint64_t function = 0;  ///< expanded truth table over pins
+  double area_um2 = 0.0;
+  double input_cap_ff = 0.0;    ///< per input pin (uniform across pins)
+  double intrinsic_ps = 0.0;    ///< per pin intrinsic delay (uniform)
+  double resistance_ps_per_ff = 0.0;  ///< output drive resistance
+};
+
+/// A concrete way to implement a leaf function with a cell:
+/// pin i of the cell connects to leaf `leaf_of_pin[i]`, complemented when bit
+/// i of `input_neg_mask` is set.  The cell output equals the queried function
+/// exactly (no output inversion — query the complemented table instead).
+struct Match {
+  std::uint32_t cell_id = 0;
+  std::array<std::uint8_t, kMaxCellInputs> leaf_of_pin = {0, 1, 2, 3};
+  std::uint8_t input_neg_mask = 0;
+};
+
+class Library {
+ public:
+  /// Builds a library from cells; derives the match index.  Throws if two
+  /// cells share a name or a cell has more than kMaxCellInputs inputs.
+  explicit Library(std::string name, std::vector<Cell> cells);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Cell>& cells() const noexcept { return cells_; }
+  [[nodiscard]] const Cell& cell(std::uint32_t id) const { return cells_[id]; }
+  [[nodiscard]] std::uint32_t cell_id(const std::string& cell_name) const;
+
+  /// Every match implementing `table` (expanded form) over `num_leaves`
+  /// leaves.  Empty when no cell implements the function.
+  [[nodiscard]] const std::vector<Match>& matches(std::uint64_t table, int num_leaves) const;
+
+  /// The lowest-resistance inverter / buffer in the library (used for phase
+  /// fixing and PI complements).
+  [[nodiscard]] std::uint32_t inverter_id() const noexcept { return inverter_id_; }
+
+  /// Pin-to-output delay of `cell` under `load_ff`.
+  [[nodiscard]] double pin_delay_ps(const Cell& c, double load_ff) const noexcept {
+    return c.intrinsic_ps + c.resistance_ps_per_ff * load_ff;
+  }
+
+  /// Serialization to/from the "minilib" text format (see library.cpp for
+  /// the grammar).
+  void save(const std::filesystem::path& path) const;
+  [[nodiscard]] static Library load(const std::filesystem::path& path);
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static Library from_text(const std::string& text);
+
+ private:
+  void build_index();
+
+  std::string name_;
+  std::vector<Cell> cells_;
+  // index key: (num_leaves, low-2^n bits of table)
+  std::unordered_map<std::uint64_t, std::vector<Match>> index_;
+  std::uint32_t inverter_id_ = 0;
+  std::vector<Match> empty_;
+};
+
+/// The built-in "mini-sky130" 130nm-flavoured library used by all
+/// experiments: INV/BUF/NAND/NOR/AND/OR/XOR/XNOR/AOI/OAI/MUX/MAJ at 1-3
+/// drive strengths.
+[[nodiscard]] const Library& mini_sky130();
+
+}  // namespace aigml::cell

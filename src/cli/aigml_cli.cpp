@@ -1,0 +1,209 @@
+// aigml — command-line driver for the library.
+//
+//   aigml gen <design|generator> [out.aag]        emit a benchmark circuit
+//   aigml stats <in.aag>                          AIG statistics + features
+//   aigml opt <in.aag> <script> [out.aag]         apply scripts ("b;rw;rf")
+//   aigml map <in.aag> [out.v]                    map + STA report [+ Verilog]
+//   aigml datagen <design> <N> <out_prefix>       labeled dataset -> CSV
+//   aigml train <delay.csv> <model.gbdt>          train a delay model
+//   aigml predict <model.gbdt> <in.aag>           predict post-mapping delay
+//   aigml sa <in.aag> <proxy|truth> <iters> [out.aag]   SA optimization
+//
+// Designs: EX00 EX08 EX28 EX68 EX02 EX11 EX16 EX54; generators:
+// mult<N>, wallace<N>, adder<N>, cla<N>, ks<N>, alu<N>, cmp<N>, parity<N>.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "aig/aiger.hpp"
+#include "aig/analysis.hpp"
+#include "aig/sim.hpp"
+#include "features/features.hpp"
+#include "flow/datagen.hpp"
+#include "gen/circuits.hpp"
+#include "gen/designs.hpp"
+#include "mapper/mapper.hpp"
+#include "ml/gbdt.hpp"
+#include "netlist/verilog.hpp"
+#include "opt/cost.hpp"
+#include "opt/sa.hpp"
+#include "sta/sta.hpp"
+#include "transforms/scripts.hpp"
+
+using namespace aigml;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: aigml <command> ...\n"
+               "  gen <design> [out.aag]\n"
+               "  stats <in.aag>\n"
+               "  opt <in.aag> <script> [out.aag]\n"
+               "  map <in.aag> [out.v]\n"
+               "  datagen <design> <N> <out_prefix>\n"
+               "  train <delay.csv> <model.gbdt>\n"
+               "  predict <model.gbdt> <in.aag>\n"
+               "  sa <in.aag> <proxy|truth> <iters> [out.aag]\n");
+  return 2;
+}
+
+/// Builds a named design or parameterized generator ("mult8", "cla16", ...).
+aig::Aig build_circuit(const std::string& name) {
+  for (const auto& spec : gen::design_specs()) {
+    if (spec.name == name) return gen::build_design(name);
+  }
+  auto split = [&](const char* prefix) -> int {
+    const std::size_t len = std::strlen(prefix);
+    if (name.rfind(prefix, 0) == 0 && name.size() > len) {
+      return std::stoi(name.substr(len));
+    }
+    return -1;
+  };
+  if (const int w = split("mult"); w > 0) return gen::multiplier(w);
+  if (const int w = split("wallace"); w > 0) return gen::multiplier_wallace(w);
+  if (const int w = split("adder"); w > 0) return gen::adder_ripple(w);
+  if (const int w = split("cla"); w > 0) return gen::adder_cla(w);
+  if (const int w = split("ks"); w > 0) return gen::adder_kogge_stone(w);
+  if (const int w = split("alu"); w > 0) return gen::alu(w);
+  if (const int w = split("cmp"); w > 0) return gen::comparator(w);
+  if (const int w = split("parity"); w > 0) return gen::parity_tree(w);
+  throw std::runtime_error("unknown design/generator: " + name);
+}
+
+void emit(const aig::Aig& g, int argc, char** argv, int out_index) {
+  if (argc > out_index) {
+    aig::write_aiger_file(g, argv[out_index]);
+    std::printf("wrote %s\n", argv[out_index]);
+  } else {
+    std::printf("%s", aig::to_aiger_string(g).c_str());
+  }
+}
+
+int cmd_gen(int argc, char** argv) {
+  const aig::Aig g = build_circuit(argv[2]);
+  emit(g, argc, argv, 3);
+  return 0;
+}
+
+int cmd_stats(char** argv) {
+  const aig::Aig g = aig::read_aiger_file(argv[2]);
+  std::printf("inputs %zu  outputs %zu  ands %zu  levels %u\n", g.num_inputs(),
+              g.num_outputs(), g.num_ands(), aig::aig_level(g));
+  const auto f = features::extract(g);
+  const auto& names = features::feature_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::printf("  %-38s %g\n", names[i].c_str(), f[i]);
+  }
+  return 0;
+}
+
+int cmd_opt(int argc, char** argv) {
+  aig::Aig g = aig::read_aiger_file(argv[2]);
+  const aig::Aig original = g;
+  std::string script = argv[3];
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    const std::size_t next = script.find(';', pos);
+    const std::string step = script.substr(pos, next == std::string::npos ? next : next - pos);
+    if (!step.empty()) g = transforms::apply_primitive(step, g);
+    pos = next == std::string::npos ? next : next + 1;
+  }
+  std::fprintf(stderr, "%zu -> %zu ands, %u -> %u levels, equivalence %s\n",
+               original.num_ands(), g.num_ands(), aig::aig_level(original), aig::aig_level(g),
+               aig::equivalent(original, g) ? "PASS" : "FAIL");
+  emit(g, argc, argv, 4);
+  return 0;
+}
+
+int cmd_map(int argc, char** argv) {
+  const aig::Aig g = aig::read_aiger_file(argv[2]);
+  const auto& lib = cell::mini_sky130();
+  const auto netlist = map::map_to_cells(g, lib);
+  const auto timing = sta::run_sta(netlist, lib, {});
+  std::printf("%s", sta::timing_report(netlist, lib, timing).c_str());
+  if (argc > 3) {
+    std::ofstream out(argv[3]);
+    net::write_verilog(netlist, lib, out);
+    std::printf("wrote %s\n", argv[3]);
+  }
+  return 0;
+}
+
+int cmd_datagen(char** argv) {
+  const aig::Aig g = build_circuit(argv[2]);
+  flow::DataGenParams params;
+  params.num_variants = std::stoi(argv[3]);
+  const auto data = flow::generate_dataset(g, argv[2], cell::mini_sky130(), params);
+  const std::string prefix = argv[4];
+  data.delay.save(prefix + "_delay.csv");
+  data.area.save(prefix + "_area.csv");
+  std::printf("generated %zu variants in %.1f s -> %s_{delay,area}.csv\n",
+              data.unique_variants, data.generation_seconds, prefix.c_str());
+  return 0;
+}
+
+int cmd_train(char** argv) {
+  const auto data = ml::Dataset::load(argv[2]);
+  if (!data.has_value()) throw std::runtime_error(std::string("cannot load ") + argv[2]);
+  ml::TrainLog log;
+  const auto model = ml::GbdtModel::train(*data, ml::GbdtParams{}, nullptr, &log);
+  model.save(argv[3]);
+  std::printf("trained %zu trees on %zu rows in %.1f s -> %s\n", model.num_trees(),
+              data->num_rows(), log.train_seconds, argv[3]);
+  return 0;
+}
+
+int cmd_predict(char** argv) {
+  const auto model = ml::GbdtModel::load(argv[2]);
+  const aig::Aig g = aig::read_aiger_file(argv[3]);
+  const auto f = features::extract(g);
+  std::printf("predicted post-mapping delay: %.1f ps\n", model.predict(f));
+  const auto& lib = cell::mini_sky130();
+  const auto timing = sta::run_sta(map::map_to_cells(g, lib), lib, {});
+  std::printf("actual (map+STA):             %.1f ps\n", timing.max_delay_ps);
+  return 0;
+}
+
+int cmd_sa(int argc, char** argv) {
+  const aig::Aig g = aig::read_aiger_file(argv[2]);
+  const std::string flavor = argv[3];
+  opt::SaParams params;
+  params.iterations = std::stoi(argv[4]);
+  opt::ProxyCost proxy;
+  opt::GroundTruthCost truth(cell::mini_sky130());
+  opt::CostEvaluator& evaluator =
+      flavor == "truth" ? static_cast<opt::CostEvaluator&>(truth) : proxy;
+  const auto result = opt::simulated_annealing(g, evaluator, params);
+  std::fprintf(stderr,
+               "%s flow: cost %.4f -> %.4f (%zu/%zu accepted, %.2f s; delay %.1f area %.1f)\n",
+               evaluator.name().c_str(),
+               params.weight_delay + params.weight_area, result.best_cost,
+               result.accepted_moves(), result.history.size(), result.total_seconds,
+               result.best_eval.delay, result.best_eval.area);
+  emit(result.best, argc, argv, 5);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen" && argc >= 3) return cmd_gen(argc, argv);
+    if (cmd == "stats" && argc >= 3) return cmd_stats(argv);
+    if (cmd == "opt" && argc >= 4) return cmd_opt(argc, argv);
+    if (cmd == "map" && argc >= 3) return cmd_map(argc, argv);
+    if (cmd == "datagen" && argc >= 5) return cmd_datagen(argv);
+    if (cmd == "train" && argc >= 4) return cmd_train(argv);
+    if (cmd == "predict" && argc >= 4) return cmd_predict(argv);
+    if (cmd == "sa" && argc >= 5) return cmd_sa(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,146 @@
+#include "features/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "aig/analysis.hpp"
+#include "util/stats.hpp"
+
+namespace aigml::features {
+
+using aig::Aig;
+using aig::Lit;
+using aig::NodeId;
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = {
+      "number_of_node",
+      "aig_level",
+      "aig_1st_long_path_depth",
+      "aig_2nd_long_path_depth",
+      "aig_3rd_long_path_depth",
+      "aig_1st_weighted_path_depth",
+      "aig_2nd_weighted_path_depth",
+      "aig_3rd_weighted_path_depth",
+      "aig_1st_binary_weighted_path_depth",
+      "aig_2nd_binary_weighted_path_depth",
+      "aig_3rd_binary_weighted_path_depth",
+      "fanout_mean",
+      "fanout_max",
+      "fanout_std",
+      "fanout_sum",
+      "long_path_fanout_mean",
+      "long_path_fanout_max",
+      "long_path_fanout_std",
+      "long_path_fanout_sum",
+      "num_of_paths_1st",
+      "num_of_paths_2nd",
+      "num_of_paths_3rd",
+  };
+  static_assert(kNumFeatures == 22);
+  return names;
+}
+
+int feature_index(const std::string& name) {
+  const auto& names = feature_names();
+  for (int i = 0; i < kNumFeatures; ++i) {
+    if (names[static_cast<std::size_t>(i)] == name) return i;
+  }
+  throw std::out_of_range("unknown feature: " + name);
+}
+
+namespace {
+
+/// Copies the `n` largest values (descending) into consecutive out slots,
+/// padding with 0 when fewer values exist.
+void top_n(std::vector<double> values, int n, FeatureVector& out, int base) {
+  std::sort(values.begin(), values.end(), std::greater<>());
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(base + i)] =
+        static_cast<std::size_t>(i) < values.size() ? values[static_cast<std::size_t>(i)] : 0.0;
+  }
+}
+
+}  // namespace
+
+FeatureVector extract(const Aig& g) {
+  FeatureVector f{};
+  const auto fanout = aig::fanout_counts(g);
+  const auto depth = aig::node_depths(g);
+
+  f[0] = static_cast<double>(g.num_ands());
+  f[1] = static_cast<double>(aig::aig_level(g));
+
+  // Per-PO plain depths.
+  std::vector<double> po_depths;
+  po_depths.reserve(g.num_outputs());
+  for (const Lit o : g.outputs()) {
+    po_depths.push_back(static_cast<double>(depth[aig::lit_var(o)]));
+  }
+  top_n(po_depths, kPathDepthN, f, 2);
+
+  // Fanout-weighted depths: weight(node) = fanout(node).
+  std::vector<double> weights(g.num_nodes(), 0.0);
+  for (NodeId id = 0; id < g.num_nodes(); ++id) weights[id] = static_cast<double>(fanout[id]);
+  const auto wdepth = aig::weighted_depths(g, weights);
+  std::vector<double> po_wdepths;
+  for (const Lit o : g.outputs()) po_wdepths.push_back(wdepth[aig::lit_var(o)]);
+  top_n(po_wdepths, kPathDepthN, f, 5);
+
+  // Binary-weighted depths: weight = 1 when fanout >= 2 (unlikely to be
+  // absorbed into a larger cell during mapping), else 0.
+  for (NodeId id = 0; id < g.num_nodes(); ++id) weights[id] = fanout[id] >= 2 ? 1.0 : 0.0;
+  const auto bdepth = aig::weighted_depths(g, weights);
+  std::vector<double> po_bdepths;
+  for (const Lit o : g.outputs()) po_bdepths.push_back(bdepth[aig::lit_var(o)]);
+  top_n(po_bdepths, kPathDepthN, f, 8);
+
+  // Global fanout distribution over PI and AND nodes.
+  RunningStats fanout_stats;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (g.is_constant(id)) continue;
+    fanout_stats.add(static_cast<double>(fanout[id]));
+  }
+  f[11] = fanout_stats.mean();
+  f[12] = fanout_stats.max();
+  f[13] = fanout_stats.stddev();
+  f[14] = fanout_stats.sum();
+
+  // Fanout distribution restricted to nodes on a maximum-depth path
+  // ("path depth == aig level" in Table II).
+  RunningStats long_path_stats;
+  for (const NodeId id : aig::critical_path_nodes(g)) {
+    long_path_stats.add(static_cast<double>(fanout[id]));
+  }
+  f[15] = long_path_stats.mean();
+  f[16] = long_path_stats.max();
+  f[17] = long_path_stats.stddev();
+  f[18] = long_path_stats.sum();
+
+  // Per-PO path counts, log2-compressed: counts grow exponentially with
+  // depth, and tree models only consume the ordering, so the monotone
+  // transform loses nothing while keeping the CSV finite and readable.
+  const auto paths = aig::path_counts(g);
+  std::vector<double> po_paths;
+  for (const Lit o : g.outputs()) {
+    po_paths.push_back(std::log2(1.0 + paths[aig::lit_var(o)]));
+  }
+  top_n(po_paths, kNumPathsN, f, 19);
+  return f;
+}
+
+const std::vector<FeatureGroup>& feature_groups() {
+  static const std::vector<FeatureGroup> groups = {
+      {"size", {0, 1}},
+      {"long_path_depth", {2, 3, 4}},
+      {"weighted_path_depth", {5, 6, 7}},
+      {"binary_weighted_path_depth", {8, 9, 10}},
+      {"fanout_distribution", {11, 12, 13, 14}},
+      {"long_path_fanout", {15, 16, 17, 18}},
+      {"num_of_paths", {19, 20, 21}},
+  };
+  return groups;
+}
+
+}  // namespace aigml::features

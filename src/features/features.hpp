@@ -1,0 +1,48 @@
+#pragma once
+// Graph-level feature extraction from an AIG (the paper's Table II).
+//
+// The features quantify the two sources of AIG-level/post-mapping-delay
+// miscorrelation: (a) path-depth change during mapping — captured by the
+// plain, fanout-weighted, and binary-weighted top-n PO depths — and
+// (b) fanout/load effects — captured by global and critical-path fanout
+// statistics.  num_of_paths approximates how many near-critical paths a PO
+// has without enumerating them.
+//
+// Depth convention (paper Fig. 4): the depth of a PO counts the nodes
+// between the PO and a PI, *including* the PI node and *excluding* the PO
+// itself: depth(PI) = 1, depth(AND) = 1 + max(fanin depths).
+//
+// All 22 features are O(V + E) to extract — the whole point is that
+// inference is dramatically cheaper than technology mapping + STA.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace aigml::features {
+
+inline constexpr int kPathDepthN = 3;   ///< "n = 1, 2, 3 in experiments"
+inline constexpr int kNumPathsN = 3;    ///< top-n per-PO path counts
+inline constexpr int kNumFeatures = 2 + 3 * kPathDepthN + 4 + 4 + kNumPathsN;  // 22
+
+using FeatureVector = std::array<double, kNumFeatures>;
+
+/// Stable, ordered feature names (CSV headers, importance reports).
+[[nodiscard]] const std::vector<std::string>& feature_names();
+
+/// Index of a named feature; throws std::out_of_range when unknown.
+[[nodiscard]] int feature_index(const std::string& name);
+
+/// Extracts all Table II features.
+[[nodiscard]] FeatureVector extract(const aig::Aig& g);
+
+/// Feature groups for the ablation bench (drop-one-group retraining).
+struct FeatureGroup {
+  std::string name;
+  std::vector<int> indices;
+};
+[[nodiscard]] const std::vector<FeatureGroup>& feature_groups();
+
+}  // namespace aigml::features

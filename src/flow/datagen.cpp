@@ -1,0 +1,106 @@
+#include "flow/datagen.hpp"
+
+#include <unordered_set>
+
+#include "aig/sim.hpp"
+#include "features/features.hpp"
+#include "transforms/scripts.hpp"
+#include "transforms/shuffle.hpp"
+#include "util/timer.hpp"
+
+namespace aigml::flow {
+
+using aig::Aig;
+
+Aig random_variant_step(const Aig& start, Rng& rng) {
+  // Optimization scripts explore the quality dimension; the randomized
+  // restructurings explore the *structural* dimension (without them the
+  // deterministic, confluent scripts saturate after a few dozen variants on
+  // small designs — nothing like the paper's 40k/design).
+  switch (rng.next_below(4)) {
+    case 0:
+      return transforms::randomized_rebalance(start, rng.next());
+    case 1:
+      return transforms::randomized_resynthesis(start, rng.next());
+    default:
+      return transforms::script_registry().apply(
+          transforms::script_registry().random_index(rng), start);
+  }
+}
+
+GeneratedData generate_dataset(const Aig& base, const std::string& tag, const cell::Library& lib,
+                               const DataGenParams& params) {
+  Timer timer;
+  Rng rng(params.seed);
+
+  GeneratedData out{ml::Dataset(features::feature_names()), ml::Dataset(features::feature_names()),
+                    0, 0.0};
+
+  auto label_and_append = [&](const Aig& g) {
+    const auto netlist = map::map_to_cells(g, lib, params.map_params);
+    const auto sta = sta::run_sta(netlist, lib, params.sta_params);
+    const features::FeatureVector f = features::extract(g);
+    out.delay.append(f, sta.max_delay_ps, tag);
+    out.area.append(f, sta.total_area_um2, tag);
+  };
+
+  // Signature combines structure and function-sensitive simulation so that
+  // "unique AIGs" means structurally distinct graphs.
+  auto signature = [](const Aig& g) {
+    return g.structural_hash() ^ (aig::simulation_signature(g) * 0x9e3779b97f4a7c15ULL);
+  };
+
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Aig> pool;
+  pool.push_back(base.cleanup());
+  seen.insert(signature(pool.front()));
+  label_and_append(pool.front());
+  out.unique_variants = 1;
+
+  const int budget = params.num_variants * params.max_attempts_factor;
+  int attempts = 0;
+  while (static_cast<int>(out.unique_variants) < params.num_variants && attempts < budget) {
+    ++attempts;
+    // Walk step: restart at the base or continue from a recent pool member
+    // (triangular bias toward newer variants for diversity in depth).
+    const Aig* start = nullptr;
+    if (rng.next_bool(params.restart_probability)) {
+      start = &pool.front();
+    } else {
+      const std::size_t n = pool.size();
+      const std::size_t i = std::max(rng.next_below(n), rng.next_below(n));
+      start = &pool[i];
+    }
+    Aig candidate = random_variant_step(*start, rng);
+    const std::uint64_t sig = signature(candidate);
+    if (!seen.insert(sig).second) continue;
+    label_and_append(candidate);
+    pool.push_back(std::move(candidate));
+    ++out.unique_variants;
+  }
+  out.generation_seconds = timer.elapsed_s();
+  return out;
+}
+
+GeneratedData load_or_generate(const Aig& base, const std::string& tag, const cell::Library& lib,
+                               const DataGenParams& params,
+                               const std::filesystem::path& cache_dir) {
+  const std::string stem =
+      tag + "_n" + std::to_string(params.num_variants) + "_s" + std::to_string(params.seed);
+  const auto delay_path = cache_dir / (stem + "_delay.csv");
+  const auto area_path = cache_dir / (stem + "_area.csv");
+  auto delay = ml::Dataset::load(delay_path);
+  auto area = ml::Dataset::load(area_path);
+  if (delay.has_value() && area.has_value() && delay->num_rows() == area->num_rows() &&
+      delay->num_rows() > 0) {
+    GeneratedData out{std::move(*delay), std::move(*area), 0, 0.0};
+    out.unique_variants = out.delay.num_rows();
+    return out;
+  }
+  GeneratedData generated = generate_dataset(base, tag, lib, params);
+  generated.delay.save(delay_path);
+  generated.area.save(area_path);
+  return generated;
+}
+
+}  // namespace aigml::flow

@@ -1,0 +1,58 @@
+#include "flow/experiment.hpp"
+
+#include "features/features.hpp"
+#include "util/env.hpp"
+
+namespace aigml::flow {
+
+ExperimentData prepare_experiment_data(const cell::Library& lib, DataGenParams params,
+                                       const std::filesystem::path& cache_dir) {
+  ExperimentData data;
+  data.delay_train = ml::Dataset(features::feature_names());
+  data.area_train = ml::Dataset(features::feature_names());
+  std::uint64_t seed = params.seed;
+  for (const auto& spec : gen::design_specs()) {
+    DataGenParams design_params = params;
+    design_params.seed = seed++;
+    const aig::Aig base = gen::build_design(spec.name);
+    GeneratedData generated = load_or_generate(base, spec.name, lib, design_params, cache_dir);
+    if (spec.training) {
+      data.delay_train.merge(generated.delay);
+      data.area_train.merge(generated.area);
+    }
+    data.per_design.emplace(spec.name, std::move(generated));
+  }
+  return data;
+}
+
+TrainedModels train_models(const ExperimentData& data, const ml::GbdtParams& params) {
+  TrainedModels models;
+  models.delay = ml::GbdtModel::train(data.delay_train, params, nullptr, &models.delay_log);
+  models.area = ml::GbdtModel::train(data.area_train, params, nullptr, &models.area_log);
+  return models;
+}
+
+std::vector<AccuracyRow> evaluate_accuracy(const ExperimentData& data,
+                                           const TrainedModels& models) {
+  std::vector<AccuracyRow> rows;
+  for (const auto& spec : gen::design_specs()) {
+    const auto it = data.per_design.find(spec.name);
+    if (it == data.per_design.end()) continue;
+    AccuracyRow row;
+    row.design = spec.name;
+    row.training = spec.training;
+    const auto delay_pred = models.delay.predict_all(it->second.delay);
+    row.delay_error = absolute_percent_error(delay_pred, it->second.delay.labels());
+    const auto area_pred = models.area.predict_all(it->second.area);
+    row.area_error = absolute_percent_error(area_pred, it->second.area.labels());
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+ml::GbdtParams default_gbdt_params() {
+  if (env_paper_hparams()) return ml::paper_gbdt_params();
+  return ml::GbdtParams{};
+}
+
+}  // namespace aigml::flow

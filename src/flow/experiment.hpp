@@ -1,0 +1,57 @@
+#pragma once
+// Experiment orchestration shared by the bench harness and examples:
+// assembles the per-design datasets (with caching), trains the delay/area
+// GBDT models on the paper's train split, and computes the Table III
+// accuracy rows.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "flow/datagen.hpp"
+#include "gen/designs.hpp"
+#include "ml/gbdt.hpp"
+#include "util/stats.hpp"
+
+namespace aigml::flow {
+
+struct ExperimentData {
+  /// Per-design generated datasets, keyed by design name.
+  std::map<std::string, GeneratedData> per_design;
+  /// Concatenated training-split datasets.
+  ml::Dataset delay_train;
+  ml::Dataset area_train;
+};
+
+/// Generates (or loads from cache) datasets for all eight designs.
+/// `variants_per_design` <= 0 uses params.num_variants.
+[[nodiscard]] ExperimentData prepare_experiment_data(const cell::Library& lib,
+                                                     DataGenParams params,
+                                                     const std::filesystem::path& cache_dir);
+
+struct TrainedModels {
+  ml::GbdtModel delay;
+  ml::GbdtModel area;
+  ml::TrainLog delay_log;
+  ml::TrainLog area_log;
+};
+
+/// Trains delay and area regressors on the training split.
+[[nodiscard]] TrainedModels train_models(const ExperimentData& data, const ml::GbdtParams& params);
+
+struct AccuracyRow {
+  std::string design;
+  bool training = false;
+  ErrorSummary delay_error;  ///< absolute %error vs ground truth
+  ErrorSummary area_error;
+};
+
+/// Per-design prediction accuracy (the Table III rows).
+[[nodiscard]] std::vector<AccuracyRow> evaluate_accuracy(const ExperimentData& data,
+                                                         const TrainedModels& models);
+
+/// Repo-scale GBDT defaults, or the paper's hyperparameters when
+/// AIGML_PAPER_HPARAMS=1.
+[[nodiscard]] ml::GbdtParams default_gbdt_params();
+
+}  // namespace aigml::flow

@@ -1,0 +1,395 @@
+#include "gen/circuits.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace aigml::gen {
+
+using aig::kLitFalse;
+using aig::kLitTrue;
+using aig::lit_not;
+
+Word add_input_word(Aig& g, int width, const std::string& prefix) {
+  Word bits;
+  bits.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) bits.push_back(g.add_input(prefix + std::to_string(i)));
+  return bits;
+}
+
+void add_output_word(Aig& g, const Word& bits, const std::string& prefix) {
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    g.add_output(bits[i], prefix + std::to_string(i));
+  }
+}
+
+FullAdderOut full_adder(Aig& g, Lit a, Lit b, Lit cin) {
+  const Lit ab = g.make_xor(a, b);
+  return FullAdderOut{g.make_xor(ab, cin), g.make_maj(a, b, cin)};
+}
+
+Word ripple_add(Aig& g, const Word& a, const Word& b, Lit carry_in) {
+  if (a.size() != b.size()) throw std::invalid_argument("ripple_add: width mismatch");
+  Word sum;
+  sum.reserve(a.size() + 1);
+  Lit carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto fa = full_adder(g, a[i], b[i], carry);
+    sum.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  sum.push_back(carry);
+  return sum;
+}
+
+Word carry_lookahead_add(Aig& g, const Word& a, const Word& b, Lit carry_in) {
+  if (a.size() != b.size()) throw std::invalid_argument("carry_lookahead_add: width mismatch");
+  constexpr std::size_t kBlock = 4;
+  Word sum;
+  sum.reserve(a.size() + 1);
+  Lit carry = carry_in;
+  for (std::size_t base = 0; base < a.size(); base += kBlock) {
+    const std::size_t end = std::min(base + kBlock, a.size());
+    // Generate/propagate per bit; block-internal carries computed by
+    // lookahead: c[i+1] = g[i] | p[i] & c[i], flattened.
+    std::vector<Lit> gen, prop, carries{carry};
+    for (std::size_t i = base; i < end; ++i) {
+      gen.push_back(g.make_and(a[i], b[i]));
+      prop.push_back(g.make_xor(a[i], b[i]));
+    }
+    for (std::size_t i = 0; i < gen.size(); ++i) {
+      // c_{i+1} = g_i | (p_i & (g_{i-1} | ... )) — build from previous carry
+      // expression directly; the lookahead structure emerges after strash.
+      carries.push_back(g.make_or(gen[i], g.make_and(prop[i], carries[i])));
+    }
+    for (std::size_t i = 0; i < gen.size(); ++i) {
+      sum.push_back(g.make_xor(prop[i], carries[i]));
+    }
+    carry = carries.back();
+  }
+  sum.push_back(carry);
+  return sum;
+}
+
+Word subtract(Aig& g, const Word& a, const Word& b) {
+  Word b_inverted;
+  b_inverted.reserve(b.size());
+  for (const Lit bit : b) b_inverted.push_back(lit_not(bit));
+  return ripple_add(g, a, b_inverted, kLitTrue);
+}
+
+Word array_multiply(Aig& g, const Word& a, const Word& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  Word acc(n + m, kLitFalse);
+  for (std::size_t j = 0; j < m; ++j) {
+    // Partial product a * b_j shifted by j, accumulated by ripple addition.
+    Lit carry = kLitFalse;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Lit pp = g.make_and(a[i], b[j]);
+      const auto fa = full_adder(g, acc[i + j], pp, carry);
+      acc[i + j] = fa.sum;
+      carry = fa.carry;
+    }
+    // Propagate the final carry into the remaining accumulator bits.
+    for (std::size_t k = n + j; k < n + m && carry != kLitFalse; ++k) {
+      const Lit prev = acc[k];
+      acc[k] = g.make_xor(prev, carry);
+      carry = g.make_and(prev, carry);
+    }
+  }
+  return acc;
+}
+
+Word wallace_multiply(Aig& g, const Word& a, const Word& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  // Column-wise partial-product collection.
+  std::vector<std::vector<Lit>> columns(n + m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      columns[i + j].push_back(g.make_and(a[i], b[j]));
+    }
+  }
+  // Carry-save reduction: compress every column with full/half adders until
+  // no column holds more than two bits.
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    for (std::size_t col = 0; col < columns.size(); ++col) {
+      while (columns[col].size() > 2) {
+        reduced = true;
+        if (columns[col].size() >= 3) {
+          const Lit x = columns[col][0];
+          const Lit y = columns[col][1];
+          const Lit z = columns[col][2];
+          columns[col].erase(columns[col].begin(), columns[col].begin() + 3);
+          const auto fa = full_adder(g, x, y, z);
+          columns[col].push_back(fa.sum);
+          if (col + 1 < columns.size()) columns[col + 1].push_back(fa.carry);
+        }
+      }
+    }
+  }
+  // Final carry-propagate addition of the two remaining rows.
+  Word row0(columns.size(), kLitFalse), row1(columns.size(), kLitFalse);
+  for (std::size_t col = 0; col < columns.size(); ++col) {
+    if (!columns[col].empty()) row0[col] = columns[col][0];
+    if (columns[col].size() > 1) row1[col] = columns[col][1];
+  }
+  Word sum = ripple_add(g, row0, row1);
+  sum.resize(n + m);  // the top carry is always 0 for n x m multiplication
+  return sum;
+}
+
+Word kogge_stone_add(Aig& g, const Word& a, const Word& b, Lit carry_in) {
+  if (a.size() != b.size()) throw std::invalid_argument("kogge_stone_add: width mismatch");
+  const std::size_t n = a.size();
+  // Bit-level generate/propagate; carry_in folds into position 0's generate:
+  // g0' = g0 | (p0 & cin).
+  std::vector<Lit> gen(n), prop(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gen[i] = g.make_and(a[i], b[i]);
+    prop[i] = g.make_xor(a[i], b[i]);
+  }
+  std::vector<Lit> sum_prop = prop;  // XORs for the sum, pre-prefix
+  if (carry_in != kLitFalse) {
+    gen[0] = g.make_or(gen[0], g.make_and(prop[0], carry_in));
+  }
+  // Parallel-prefix combine: (G, P) o (G', P') = (G | P & G', P & P').
+  for (std::size_t stride = 1; stride < n; stride *= 2) {
+    std::vector<Lit> next_gen = gen, next_prop = prop;
+    for (std::size_t i = stride; i < n; ++i) {
+      next_gen[i] = g.make_or(gen[i], g.make_and(prop[i], gen[i - stride]));
+      next_prop[i] = g.make_and(prop[i], prop[i - stride]);
+    }
+    gen = std::move(next_gen);
+    prop = std::move(next_prop);
+  }
+  // carry into bit i is gen[i-1] (prefix over [0, i-1]); cin into bit 0.
+  Word sum(n + 1, kLitFalse);
+  sum[0] = g.make_xor(sum_prop[0], carry_in);
+  for (std::size_t i = 1; i < n; ++i) sum[i] = g.make_xor(sum_prop[i], gen[i - 1]);
+  sum[n] = gen[n - 1];
+  return sum;
+}
+
+Lit equals(Aig& g, const Word& a, const Word& b) {
+  std::vector<Lit> bit_eq;
+  bit_eq.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) bit_eq.push_back(g.make_xnor(a[i], b[i]));
+  return g.make_and_n(bit_eq);
+}
+
+Lit less_than(Aig& g, const Word& a, const Word& b) {
+  // MSB-first chain: lt_i = (!a_i & b_i) | (a_i == b_i) & lt_{i-1}.
+  Lit lt = kLitFalse;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit bit_lt = g.make_and(lit_not(a[i]), b[i]);
+    const Lit bit_eq = g.make_xnor(a[i], b[i]);
+    lt = g.make_or(bit_lt, g.make_and(bit_eq, lt));
+  }
+  return lt;
+}
+
+Lit parity(Aig& g, const Word& a) { return g.make_xor_n(a); }
+
+Aig multiplier(int width) {
+  Aig g;
+  const Word a = add_input_word(g, width, "a");
+  const Word b = add_input_word(g, width, "b");
+  add_output_word(g, array_multiply(g, a, b), "p");
+  return g;
+}
+
+Aig adder_ripple(int width) {
+  Aig g;
+  const Word a = add_input_word(g, width, "a");
+  const Word b = add_input_word(g, width, "b");
+  const Lit cin = g.add_input("cin");
+  const Word s = ripple_add(g, a, b, cin);
+  add_output_word(g, s, "s");
+  return g;
+}
+
+Aig adder_cla(int width) {
+  Aig g;
+  const Word a = add_input_word(g, width, "a");
+  const Word b = add_input_word(g, width, "b");
+  const Lit cin = g.add_input("cin");
+  const Word s = carry_lookahead_add(g, a, b, cin);
+  add_output_word(g, s, "s");
+  return g;
+}
+
+Aig adder_kogge_stone(int width) {
+  Aig g;
+  const Word a = add_input_word(g, width, "a");
+  const Word b = add_input_word(g, width, "b");
+  const Lit cin = g.add_input("cin");
+  add_output_word(g, kogge_stone_add(g, a, b, cin), "s");
+  return g;
+}
+
+Aig multiplier_wallace(int width) {
+  Aig g;
+  const Word a = add_input_word(g, width, "a");
+  const Word b = add_input_word(g, width, "b");
+  add_output_word(g, wallace_multiply(g, a, b), "p");
+  return g;
+}
+
+Aig comparator(int width) {
+  Aig g;
+  const Word a = add_input_word(g, width, "a");
+  const Word b = add_input_word(g, width, "b");
+  const Lit eq = equals(g, a, b);
+  const Lit lt = less_than(g, a, b);
+  g.add_output(eq, "eq");
+  g.add_output(lt, "lt");
+  g.add_output(g.make_and(lit_not(eq), lit_not(lt)), "gt");
+  return g;
+}
+
+Aig priority_encoder(int width) {
+  Aig g;
+  const Word req = add_input_word(g, width, "req");
+  Lit higher_active = kLitFalse;
+  Word grant;
+  for (int i = 0; i < width; ++i) {
+    grant.push_back(g.make_and(req[static_cast<std::size_t>(i)], lit_not(higher_active)));
+    higher_active = g.make_or(higher_active, req[static_cast<std::size_t>(i)]);
+  }
+  add_output_word(g, grant, "grant");
+  g.add_output(higher_active, "any");
+  return g;
+}
+
+Aig parity_tree(int width) {
+  Aig g;
+  const Word in = add_input_word(g, width, "x");
+  g.add_output(parity(g, in), "parity");
+  return g;
+}
+
+Aig alu(int width) {
+  Aig g;
+  const Word a = add_input_word(g, width, "a");
+  const Word b = add_input_word(g, width, "b");
+  const Word op = add_input_word(g, 3, "op");
+
+  const Word add = ripple_add(g, a, b);
+  const Word sub = subtract(g, a, b);
+  Word bit_and, bit_or, bit_xor, bit_nor;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bit_and.push_back(g.make_and(a[i], b[i]));
+    bit_or.push_back(g.make_or(a[i], b[i]));
+    bit_xor.push_back(g.make_xor(a[i], b[i]));
+    bit_nor.push_back(g.make_nor(a[i], b[i]));
+  }
+  const Lit lt = less_than(g, a, b);
+  const Lit eq = equals(g, a, b);
+
+  // 8:1 result mux per bit, built as a 3-level MUX tree on op bits.
+  Word result;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit cand0 = add[i];
+    const Lit cand1 = sub[i];
+    const Lit cand2 = bit_and[i];
+    const Lit cand3 = bit_or[i];
+    const Lit cand4 = bit_xor[i];
+    const Lit cand5 = bit_nor[i];
+    const Lit cand6 = i == 0 ? lt : kLitFalse;
+    const Lit cand7 = i == 0 ? eq : kLitFalse;
+    const Lit m01 = g.make_mux(op[0], cand1, cand0);
+    const Lit m23 = g.make_mux(op[0], cand3, cand2);
+    const Lit m45 = g.make_mux(op[0], cand5, cand4);
+    const Lit m67 = g.make_mux(op[0], cand7, cand6);
+    const Lit lo = g.make_mux(op[1], m23, m01);
+    const Lit hi = g.make_mux(op[1], m67, m45);
+    result.push_back(g.make_mux(op[2], hi, lo));
+  }
+  add_output_word(g, result, "r");
+  // Flag: carry for add, borrow for sub, otherwise parity of the result.
+  const Lit flag_arith = g.make_mux(op[0], sub.back(), add.back());
+  const Lit flag = g.make_mux(g.make_or(op[1], op[2]), parity(g, result), flag_arith);
+  g.add_output(flag, "flag");
+  return g;
+}
+
+Aig random_control(int n_inputs, int n_outputs, int target_ands, std::uint64_t seed) {
+  Rng rng(seed);
+  Aig g;
+  std::vector<Lit> pool;
+  for (int i = 0; i < n_inputs; ++i) pool.push_back(g.add_input());
+
+  // Grow a reconvergent DAG: favor recent nodes so depth develops, and mix
+  // AND/OR/XOR/MUX textures so mapping sees diverse cut functions.
+  auto pick = [&]() -> Lit {
+    // Triangular bias toward the back of the pool.
+    const std::size_t n = pool.size();
+    const std::size_t i = std::max(rng.next_below(n), rng.next_below(n));
+    const Lit lit = pool[i];
+    return rng.next_bool() ? lit_not(lit) : lit;
+  };
+
+  // Grow to ~85% of the budget; the output-collection trees below supply the
+  // remainder and keep the whole DAG alive.
+  const int growth_budget = target_ands - target_ands / 7;
+  while (static_cast<int>(g.num_ands()) < growth_budget) {
+    const std::size_t before = g.num_ands();
+    Lit made;
+    switch (rng.next_below(8)) {
+      case 0:
+      case 1:
+      case 2:
+        made = g.make_and(pick(), pick());
+        break;
+      case 3:
+      case 4:
+        made = g.make_or(pick(), pick());
+        break;
+      case 5:
+      case 6:
+        made = g.make_xor(pick(), pick());
+        break;
+      default:
+        made = g.make_mux(pick(), pick(), pick());
+        break;
+    }
+    if (g.num_ands() > before) pool.push_back(made);
+  }
+
+  // Every dead-end node is folded into one of the outputs so that the
+  // generated size tracks target_ands after cleanup.
+  std::vector<std::uint32_t> used(g.num_nodes(), 0);
+  for (aig::NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (!g.is_and(id)) continue;
+    ++used[aig::lit_var(g.fanin0(id))];
+    ++used[aig::lit_var(g.fanin1(id))];
+  }
+  std::vector<std::vector<Lit>> buckets(static_cast<std::size_t>(n_outputs));
+  std::size_t bucket = 0;
+  for (const Lit lit : pool) {
+    if (aig::lit_var(lit) < used.size() && used[aig::lit_var(lit)] == 0 && g.is_and(aig::lit_var(lit))) {
+      buckets[bucket % buckets.size()].push_back(lit);
+      ++bucket;
+    }
+  }
+  for (int o = 0; o < n_outputs; ++o) {
+    auto& sinks = buckets[static_cast<std::size_t>(o)];
+    if (sinks.empty()) sinks.push_back(pool[pool.size() - 1 - static_cast<std::size_t>(o) % pool.size()]);
+    // Alternate the combining operator for functional diversity.
+    Lit acc = sinks[0];
+    for (std::size_t i = 1; i < sinks.size(); ++i) {
+      switch ((static_cast<std::size_t>(o) + i) % 3) {
+        case 0: acc = g.make_xor(acc, sinks[i]); break;
+        case 1: acc = g.make_or(acc, sinks[i]); break;
+        default: acc = g.make_and(acc, lit_not(sinks[i])); break;
+      }
+    }
+    g.add_output(acc);
+  }
+  return g.cleanup();
+}
+
+}  // namespace aigml::gen

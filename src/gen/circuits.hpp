@@ -1,0 +1,104 @@
+#pragma once
+// Combinational circuit generators.
+//
+// These stand in for the IWLS 2024 contest benchmarks used by the paper
+// (which are external data files we do not ship): parameterized arithmetic
+// blocks (verified against integer arithmetic in tests) plus seeded random
+// control logic.  All generators are deterministic.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "util/rng.hpp"
+
+namespace aigml::gen {
+
+using aig::Aig;
+using aig::Lit;
+
+/// Word of literals, LSB first.
+using Word = std::vector<Lit>;
+
+/// Creates `width` fresh inputs named `<prefix><bit>` and returns them LSB
+/// first.
+Word add_input_word(Aig& g, int width, const std::string& prefix);
+
+/// Registers each bit of `bits` as an output named `<prefix><bit>`.
+void add_output_word(Aig& g, const Word& bits, const std::string& prefix);
+
+// ----- arithmetic building blocks (word-level, on existing literals) --------
+
+/// sum, carry-out of a full adder.
+struct FullAdderOut {
+  Lit sum;
+  Lit carry;
+};
+FullAdderOut full_adder(Aig& g, Lit a, Lit b, Lit cin);
+
+/// Ripple-carry addition; returns width+1 bits (last = carry out).
+Word ripple_add(Aig& g, const Word& a, const Word& b, Lit carry_in = aig::kLitFalse);
+
+/// Carry-lookahead addition (block size 4); same interface as ripple_add.
+Word carry_lookahead_add(Aig& g, const Word& a, const Word& b, Lit carry_in = aig::kLitFalse);
+
+/// Two's-complement subtraction a - b; returns width bits plus borrow-free
+/// carry bit (width+1 total).
+Word subtract(Aig& g, const Word& a, const Word& b);
+
+/// Array multiplication; returns |a|+|b| product bits.
+Word array_multiply(Aig& g, const Word& a, const Word& b);
+
+/// Wallace-tree multiplication (carry-save reduction of partial products,
+/// final ripple adder); same interface/function as array_multiply but a
+/// much shallower structure.
+Word wallace_multiply(Aig& g, const Word& a, const Word& b);
+
+/// Kogge-Stone parallel-prefix addition; returns width+1 bits.  Logarithmic
+/// depth with heavy fanout on the prefix tree — a deliberately different
+/// depth/fanout trade-off from ripple and CLA.
+Word kogge_stone_add(Aig& g, const Word& a, const Word& b, Lit carry_in = aig::kLitFalse);
+
+/// Equality / less-than (unsigned) comparators.
+Lit equals(Aig& g, const Word& a, const Word& b);
+Lit less_than(Aig& g, const Word& a, const Word& b);
+
+/// XOR-reduction of a word.
+Lit parity(Aig& g, const Word& a);
+
+// ----- complete circuits ------------------------------------------------------
+
+/// n x n array multiplier: inputs a[n], b[n]; outputs p[2n].
+Aig multiplier(int width);
+
+/// Ripple-carry adder circuit: inputs a[n], b[n], cin; outputs s[n], cout.
+Aig adder_ripple(int width);
+
+/// Carry-lookahead adder circuit with the same interface as adder_ripple.
+Aig adder_cla(int width);
+
+/// Kogge-Stone adder circuit with the same interface as adder_ripple.
+Aig adder_kogge_stone(int width);
+
+/// Wallace-tree multiplier circuit with the same interface as multiplier().
+Aig multiplier_wallace(int width);
+
+/// Unsigned comparator: inputs a[n], b[n]; outputs eq, lt, gt.
+Aig comparator(int width);
+
+/// Priority encoder: inputs req[n]; outputs grant[n] (one-hot highest
+/// priority = lowest index) and `any`.
+Aig priority_encoder(int width);
+
+/// Parity tree over n inputs, 1 output.
+Aig parity_tree(int width);
+
+/// 8-function ALU slice: inputs a[w], b[w], op[3]; outputs r[w], flag.
+/// ops: 0 add, 1 sub, 2 and, 3 or, 4 xor, 5 nor, 6 lt, 7 eq (result bit 0).
+Aig alu(int width);
+
+/// Seeded random reconvergent control logic with exactly `n_inputs` PIs and
+/// `n_outputs` POs and approximately `target_ands` AND nodes.
+Aig random_control(int n_inputs, int n_outputs, int target_ands, std::uint64_t seed);
+
+}  // namespace aigml::gen

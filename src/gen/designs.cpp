@@ -1,0 +1,237 @@
+#include "gen/designs.hpp"
+
+#include <stdexcept>
+
+#include "gen/circuits.hpp"
+
+namespace aigml::gen {
+
+using aig::Aig;
+using aig::kLitFalse;
+using aig::Lit;
+using aig::lit_not;
+
+namespace {
+
+/// One nonlinear mixing round.  Bit i combines with a majority of three taps
+/// that are forced to be pairwise distinct and different from i (a repeated
+/// tap would make maj() collapse to one operand, leaving a *linear* round:
+/// with word width n and stride n/2 two such rounds cancel to constant 0 —
+/// exactly the degeneracy that once zeroed out EX54).  Rounds alternate
+/// XOR-mix and MUX-mix so the composition stays nonlinear, and the tap
+/// strides vary with the round index.  The result is deep, reconvergent,
+/// hard-to-simplify logic — the synthetic stand-in for the "miscellaneous
+/// control logic" texture of the IWLS designs.
+Word mix_round(Aig& g, const Word& w, int round) {
+  const std::size_t n = w.size();
+  Word out(n, kLitFalse);
+  if (n < 5) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = g.make_xor(w[i], w[(i + 1) % n]);
+    return out;
+  }
+  const auto r = static_cast<std::size_t>(round);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::array<std::size_t, 3> taps{};
+    std::size_t cursor = (i + 1 + r % 3) % n;
+    for (std::size_t k = 0; k < 3; ++k) {
+      while (cursor == i || (k > 0 && cursor == taps[0]) || (k > 1 && cursor == taps[1])) {
+        cursor = (cursor + 1) % n;
+      }
+      taps[k] = cursor;
+      cursor = (cursor + 2 + (r + k) % 4) % n;
+    }
+    const Lit m = g.make_maj(w[taps[0]], w[taps[1]], w[taps[2]]);
+    out[i] = (round % 2 == 0) ? g.make_xor(w[i], m)
+                              : g.make_mux(w[taps[0]], g.make_xor(w[i], m), lit_not(w[i]));
+  }
+  return out;
+}
+
+/// Applies mixing rounds until the graph holds ~target_ands AND nodes.
+Word mix_to_size(Aig& g, Word w, int target_ands) {
+  int round = 0;
+  while (static_cast<int>(g.num_ands()) < target_ands) {
+    w = mix_round(g, w, round++);
+    if (round > 1000) break;  // defensive: should never trigger
+  }
+  return w;
+}
+
+/// Folds `bits` into exactly `k` outputs by XOR-reducing round-robin groups.
+void fold_outputs(Aig& g, const Word& bits, int k) {
+  std::vector<std::vector<Lit>> groups(static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    groups[i % groups.size()].push_back(bits[i]);
+  }
+  for (int o = 0; o < k; ++o) {
+    g.add_output(g.make_xor_n(groups[static_cast<std::size_t>(o)]),
+                 "f" + std::to_string(o));
+  }
+}
+
+// ---- per-design recipes (PI/PO counts must match Table III) -----------------
+
+// EX00: 16 PI / 7 PO, small (paper: 69-189 nodes).
+// 8+8-bit ripple adder with comparator spice, folded to 7 outputs.
+Aig build_ex00() {
+  Aig g;
+  const Word a = add_input_word(g, 8, "a");
+  const Word b = add_input_word(g, 8, "b");
+  Word s = ripple_add(g, a, b);
+  s.push_back(less_than(g, a, b));
+  s.push_back(parity(g, a));
+  fold_outputs(g, s, 7);
+  return g.cleanup();
+}
+
+// EX68: 14 PI / 7 PO, small (paper: 62-140 nodes).
+// 7+7-bit ripple adder, sum folded to 7 outputs.
+Aig build_ex68() {
+  Aig g;
+  const Word a = add_input_word(g, 7, "a");
+  const Word b = add_input_word(g, 7, "b");
+  const Word s = ripple_add(g, a, b);
+  fold_outputs(g, s, 7);
+  return g.cleanup();
+}
+
+// EX08: 18 PI / 5 PO (paper: 1448-1828 nodes).
+// 9x9 array multiplier plus mixing rounds to ~1650 nodes, folded to 5.
+Aig build_ex08() {
+  Aig g;
+  const Word a = add_input_word(g, 9, "a");
+  const Word b = add_input_word(g, 9, "b");
+  Word p = array_multiply(g, a, b);
+  p = mix_to_size(g, p, 1650);
+  fold_outputs(g, p, 5);
+  return g.cleanup();
+}
+
+// EX28: 17 PI / 7 PO (paper: 1296-2222 nodes).
+// 9x8 multiplier plus mixing to ~1760 nodes.
+Aig build_ex28() {
+  Aig g;
+  const Word a = add_input_word(g, 9, "a");
+  const Word b = add_input_word(g, 8, "b");
+  Word p = array_multiply(g, a, b);
+  p = mix_to_size(g, p, 1760);
+  fold_outputs(g, p, 7);
+  return g.cleanup();
+}
+
+// EX02: 18 PI / 6 PO (paper: 848-1522 nodes).
+// 9x9 multiplier with subtract-flavoured post-processing to ~1180 nodes.
+Aig build_ex02() {
+  Aig g;
+  const Word a = add_input_word(g, 9, "a");
+  const Word b = add_input_word(g, 9, "b");
+  Word p = array_multiply(g, a, b);
+  // Fold the 18 product bits against their reverse by subtraction.
+  Word reversed(p.rbegin(), p.rend());
+  Word d = subtract(g, p, reversed);
+  d = mix_to_size(g, d, 1180);
+  fold_outputs(g, d, 6);
+  return g.cleanup();
+}
+
+// EX11: 17 PI / 7 PO (paper: 1253-2290 nodes).
+// 7-bit 8-op ALU (7+7+3 = 17 PIs) plus mixing to ~1770 nodes.
+Aig build_ex11() {
+  Aig g;
+  const Word a = add_input_word(g, 7, "a");
+  const Word b = add_input_word(g, 7, "b");
+  const Word op = add_input_word(g, 3, "op");
+  // Inline ALU datapath (add/sub/logic + mux tree), same texture as gen::alu.
+  const Word add = ripple_add(g, a, b);
+  const Word sub = subtract(g, a, b);
+  Word mixed;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit logic_and = g.make_and(a[i], b[i]);
+    const Lit logic_xor = g.make_xor(a[i], b[i]);
+    const Lit lo = g.make_mux(op[0], sub[i], add[i]);
+    const Lit hi = g.make_mux(op[0], logic_xor, logic_and);
+    mixed.push_back(g.make_mux(op[1], hi, lo));
+  }
+  mixed.push_back(g.make_mux(op[2], add.back(), sub.back()));
+  mixed.push_back(less_than(g, a, b));
+  mixed = mix_to_size(g, mixed, 1770);
+  fold_outputs(g, mixed, 7);
+  return g.cleanup();
+}
+
+// EX16: 16 PI / 5 PO (paper: 1237-2236 nodes).
+// 8x8 multiplier plus mixing to ~1730 nodes.
+Aig build_ex16() {
+  Aig g;
+  const Word a = add_input_word(g, 8, "a");
+  const Word b = add_input_word(g, 8, "b");
+  Word p = array_multiply(g, a, b);
+  p = mix_to_size(g, p, 1730);
+  fold_outputs(g, p, 5);
+  return g.cleanup();
+}
+
+// EX54: 17 PI / 7 PO, largest (paper: 1469-3080 nodes).
+// 9x8 multiplier + carry-lookahead recombination + mixing to ~2200 nodes.
+Aig build_ex54() {
+  Aig g;
+  const Word a = add_input_word(g, 9, "a");
+  const Word b = add_input_word(g, 8, "b");
+  Word p = array_multiply(g, a, b);
+  const Word lo(p.begin(), p.begin() + 8);
+  const Word hi(p.begin() + 8, p.begin() + 16);
+  Word s = carry_lookahead_add(g, lo, hi);
+  s.push_back(p.back());
+  s = mix_to_size(g, s, 2200);
+  fold_outputs(g, s, 7);
+  return g.cleanup();
+}
+
+}  // namespace
+
+const std::vector<DesignSpec>& design_specs() {
+  static const std::vector<DesignSpec> specs = {
+      {"EX00", 16, 7, 69, 189, true},    {"EX08", 18, 5, 1448, 1828, true},
+      {"EX28", 17, 7, 1296, 2222, true}, {"EX68", 14, 7, 62, 140, true},
+      {"EX02", 18, 6, 848, 1522, false}, {"EX11", 17, 7, 1253, 2290, false},
+      {"EX16", 16, 5, 1237, 2236, false}, {"EX54", 17, 7, 1469, 3080, false},
+  };
+  return specs;
+}
+
+const DesignSpec& design_spec(const std::string& name) {
+  for (const DesignSpec& spec : design_specs()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::out_of_range("unknown design: " + name);
+}
+
+aig::Aig build_design(const std::string& name) {
+  if (name == "EX00") return build_ex00();
+  if (name == "EX08") return build_ex08();
+  if (name == "EX28") return build_ex28();
+  if (name == "EX68") return build_ex68();
+  if (name == "EX02") return build_ex02();
+  if (name == "EX11") return build_ex11();
+  if (name == "EX16") return build_ex16();
+  if (name == "EX54") return build_ex54();
+  throw std::out_of_range("unknown design: " + name);
+}
+
+std::vector<std::string> training_designs() {
+  std::vector<std::string> names;
+  for (const DesignSpec& spec : design_specs()) {
+    if (spec.training) names.push_back(spec.name);
+  }
+  return names;
+}
+
+std::vector<std::string> test_designs() {
+  std::vector<std::string> names;
+  for (const DesignSpec& spec : design_specs()) {
+    if (!spec.training) names.push_back(spec.name);
+  }
+  return names;
+}
+
+}  // namespace aigml::gen

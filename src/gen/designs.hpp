@@ -1,0 +1,44 @@
+#pragma once
+// The eight experiment designs.
+//
+// The paper evaluates on eight IWLS-2024 contest benchmarks (EX00..EX68) —
+// external data files this repository does not ship.  Per DESIGN.md §1 we
+// substitute deterministic synthetic designs with the *same* PI/PO counts
+// (Table III columns 1-2) and initial AIG sizes in the same range, built
+// from arithmetic kernels (multipliers, adders, ALU, comparators) plus
+// nonlinear mixing rounds that create deep reconvergent logic.
+//
+// The train/test split matches the paper: EX00/EX08/EX28/EX68 train,
+// EX02/EX11/EX16/EX54 test.
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace aigml::gen {
+
+struct DesignSpec {
+  std::string name;        ///< paper's design name (EX..)
+  int num_inputs = 0;      ///< PI count (matches Table III exactly)
+  int num_outputs = 0;     ///< PO count (matches Table III exactly)
+  int paper_nodes_lo = 0;  ///< node-count range reported in Table III
+  int paper_nodes_hi = 0;
+  bool training = false;   ///< member of the training split
+};
+
+/// All eight designs in Table III order (training block then test block).
+[[nodiscard]] const std::vector<DesignSpec>& design_specs();
+
+/// Spec lookup by name; throws std::out_of_range for unknown names.
+[[nodiscard]] const DesignSpec& design_spec(const std::string& name);
+
+/// Builds the named design.  Deterministic: equal names yield structurally
+/// identical graphs.
+[[nodiscard]] aig::Aig build_design(const std::string& name);
+
+/// Names of the training / test splits.
+[[nodiscard]] std::vector<std::string> training_designs();
+[[nodiscard]] std::vector<std::string> test_designs();
+
+}  // namespace aigml::gen

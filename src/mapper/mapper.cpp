@@ -1,0 +1,287 @@
+#include "mapper/mapper.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "aig/analysis.hpp"
+#include "aig/truth.hpp"
+
+namespace aigml::map {
+
+using aig::Aig;
+using aig::Cut;
+using aig::CutSets;
+using aig::Lit;
+using aig::NodeId;
+using cell::Library;
+using net::NetId;
+using net::Netlist;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class ChoiceKind : std::uint8_t { None, CellMatch, Inverter, Constant };
+
+struct Choice {
+  ChoiceKind kind = ChoiceKind::None;
+  std::uint32_t cut_index = 0;   ///< CellMatch: index into cuts(node)
+  cell::Match match;             ///< CellMatch: pin binding
+  bool const_value = false;      ///< Constant: output value
+  double arrival_ps = kInf;
+  double area_flow = kInf;
+};
+
+/// Comparison under the mapping objective; returns true when `a` beats `b`.
+bool better(const Choice& a, const Choice& b, MapMode mode) {
+  if (b.kind == ChoiceKind::None) return a.kind != ChoiceKind::None;
+  if (a.kind == ChoiceKind::None) return false;
+  constexpr double kEps = 1e-9;
+  if (mode == MapMode::Delay) {
+    if (a.arrival_ps < b.arrival_ps - kEps) return true;
+    if (a.arrival_ps > b.arrival_ps + kEps) return false;
+    return a.area_flow < b.area_flow - kEps;
+  }
+  if (a.area_flow < b.area_flow - kEps) return true;
+  if (a.area_flow > b.area_flow + kEps) return false;
+  return a.arrival_ps < b.arrival_ps - kEps;
+}
+
+/// Per-node, per-phase matcher state and cover extraction context.
+class Mapper {
+ public:
+  Mapper(const Aig& g, const Library& lib, const MapParams& params)
+      : g_(g),
+        lib_(lib),
+        params_(params),
+        cuts_(g, aig::CutParams{params.cut_size, params.cuts_per_node}),
+        fanout_(aig::fanout_counts(g)),
+        best_(g.num_nodes()),
+        net_of_(g.num_nodes(), {net::kNetInvalid, net::kNetInvalid}) {
+    // Average input pin capacitance: the expected per-receiver load.
+    double cap_sum = 0.0;
+    std::size_t cap_count = 0;
+    for (const cell::Cell& c : lib_.cells()) {
+      if (c.num_inputs > 0) {
+        cap_sum += c.input_cap_ff;
+        ++cap_count;
+      }
+    }
+    avg_pin_cap_ff_ = cap_count > 0 ? cap_sum / static_cast<double>(cap_count) : 2.0;
+    const cell::Cell& inv = lib_.cell(lib_.inverter_id());
+    inv_delay_ps_ = lib_.pin_delay_ps(inv, params_.assumed_load_ff);
+    inv_area_ = inv.area_um2;
+  }
+
+  /// Fanout-aware output-load estimate for a node, aligning matcher arrivals
+  /// with post-STA reality (high-fanout nodes look slower, which steers
+  /// delay mode toward stronger drive variants).
+  [[nodiscard]] double est_load_ff(NodeId id) const {
+    const double fanout_load = static_cast<double>(fanout_[id]) *
+                               (avg_pin_cap_ff_ + params_.wire_cap_per_fanout_ff);
+    return std::max(params_.assumed_load_ff, fanout_load);
+  }
+
+  Netlist run(MapStats* stats);
+
+ private:
+  void match_all();
+  void match_node(NodeId id);
+  [[nodiscard]] double input_arrival(NodeId leaf, bool negated) const {
+    return best_[leaf][negated ? 1 : 0].arrival_ps;
+  }
+  [[nodiscard]] double input_area_flow(NodeId leaf, bool negated) const {
+    return best_[leaf][negated ? 1 : 0].area_flow;
+  }
+
+  NetId realize(NodeId node, bool phase);
+  NetId const_net(bool value);
+
+  const Aig& g_;
+  const Library& lib_;
+  MapParams params_;
+  CutSets cuts_;
+  std::vector<std::uint32_t> fanout_;
+  std::vector<std::array<Choice, 2>> best_;
+  std::vector<std::array<NetId, 2>> net_of_;
+  Netlist out_;
+  std::array<NetId, 2> const_nets_ = {net::kNetInvalid, net::kNetInvalid};
+  double avg_pin_cap_ff_ = 2.0;
+  double inv_delay_ps_ = 0.0;
+  double inv_area_ = 0.0;
+  std::size_t inverters_added_ = 0;
+};
+
+void Mapper::match_all() {
+  // Constant node (id 0): free constants of both phases.
+  best_[0][0] = Choice{ChoiceKind::Constant, 0, {}, false, 0.0, 0.0};
+  best_[0][1] = Choice{ChoiceKind::Constant, 0, {}, true, 0.0, 0.0};
+  for (const NodeId pi : g_.inputs()) {
+    best_[pi][0] = Choice{ChoiceKind::None, 0, {}, false, 0.0, 0.0};
+    best_[pi][0].kind = ChoiceKind::CellMatch;  // marker: PI itself, no gate
+    best_[pi][0].arrival_ps = 0.0;
+    best_[pi][0].area_flow = 0.0;
+    Choice inv;
+    inv.kind = ChoiceKind::Inverter;
+    inv.arrival_ps = lib_.pin_delay_ps(lib_.cell(lib_.inverter_id()), est_load_ff(pi));
+    inv.area_flow = inv_area_ / std::max(1u, fanout_[pi]);
+    best_[pi][1] = inv;
+  }
+  for (NodeId id = 0; id < g_.num_nodes(); ++id) {
+    if (g_.is_and(id)) match_node(id);
+  }
+}
+
+void Mapper::match_node(NodeId id) {
+  const auto& cut_list = cuts_.cuts(id);
+  const std::uint32_t refs = std::max(1u, fanout_[id]);
+  for (int phase = 0; phase < 2; ++phase) {
+    Choice& slot = best_[id][static_cast<std::size_t>(phase)];
+    for (std::uint32_t ci = 0; ci < cut_list.size(); ++ci) {
+      const Cut& cut = cut_list[ci];
+      const std::uint64_t table = phase ? ~cut.table : cut.table;
+      if (cut.size == 0) {
+        // Node proven constant over an empty leaf set.
+        Choice c;
+        c.kind = ChoiceKind::Constant;
+        c.const_value = table == aig::tt_const1();
+        c.arrival_ps = 0.0;
+        c.area_flow = 0.0;
+        if (better(c, slot, params_.mode)) slot = c;
+        continue;
+      }
+      const double node_load = est_load_ff(id);
+      for (const cell::Match& m : lib_.matches(table, cut.size)) {
+        const cell::Cell& c = lib_.cell(m.cell_id);
+        const double pin_delay = lib_.pin_delay_ps(c, node_load);
+        double arrival = 0.0;
+        double flow = c.area_um2;
+        bool feasible = true;
+        for (int pin = 0; pin < c.num_inputs; ++pin) {
+          const NodeId leaf = cut.leaves[m.leaf_of_pin[static_cast<std::size_t>(pin)]];
+          const bool neg = ((m.input_neg_mask >> pin) & 1) != 0;
+          const double in_arr = input_arrival(leaf, neg);
+          if (in_arr == kInf) {
+            feasible = false;
+            break;
+          }
+          arrival = std::max(arrival, in_arr + pin_delay);
+          flow += input_area_flow(leaf, neg);
+        }
+        if (!feasible) continue;
+        Choice cand;
+        cand.kind = ChoiceKind::CellMatch;
+        cand.cut_index = ci;
+        cand.match = m;
+        cand.arrival_ps = arrival;
+        cand.area_flow = flow / refs;
+        if (better(cand, slot, params_.mode)) slot = cand;
+      }
+    }
+  }
+  // Phase relaxation through an inverter (once is enough: two chained
+  // inverters can never beat the direct phase).
+  for (int phase = 0; phase < 2; ++phase) {
+    const Choice& other = best_[id][static_cast<std::size_t>(1 - phase)];
+    if (other.kind == ChoiceKind::None || other.kind == ChoiceKind::Inverter) continue;
+    Choice inv;
+    inv.kind = ChoiceKind::Inverter;
+    inv.arrival_ps = other.arrival_ps +
+                     lib_.pin_delay_ps(lib_.cell(lib_.inverter_id()), est_load_ff(id));
+    inv.area_flow = other.area_flow + inv_area_ / refs;
+    Choice& slot = best_[id][static_cast<std::size_t>(phase)];
+    if (better(inv, slot, params_.mode)) slot = inv;
+  }
+  if (best_[id][0].kind == ChoiceKind::None && best_[id][1].kind == ChoiceKind::None) {
+    throw std::logic_error("mapper: node has no feasible match in either phase; "
+                           "library is not functionally complete");
+  }
+}
+
+NetId Mapper::const_net(bool value) {
+  NetId& slot = const_nets_[value ? 1 : 0];
+  if (slot == net::kNetInvalid) slot = out_.add_const_net(value);
+  return slot;
+}
+
+NetId Mapper::realize(NodeId node, bool phase) {
+  NetId& memo = net_of_[node][phase ? 1 : 0];
+  if (memo != net::kNetInvalid) return memo;
+
+  if (g_.is_constant(node)) {
+    return memo = const_net(phase);
+  }
+  if (g_.is_input(node)) {
+    if (!phase) {
+      throw std::logic_error("mapper: PI nets must be created before realize()");
+    }
+    const NetId in = realize(node, false);
+    ++inverters_added_;
+    return memo = out_.add_gate(lib_.inverter_id(), {in});
+  }
+  const Choice& choice = best_[node][phase ? 1 : 0];
+  switch (choice.kind) {
+    case ChoiceKind::Constant:
+      return memo = const_net(choice.const_value);
+    case ChoiceKind::Inverter: {
+      const NetId in = realize(node, !phase);
+      ++inverters_added_;
+      return memo = out_.add_gate(lib_.inverter_id(), {in});
+    }
+    case ChoiceKind::CellMatch: {
+      const Cut& cut = cuts_.cuts(node)[choice.cut_index];
+      const cell::Cell& c = lib_.cell(choice.match.cell_id);
+      std::vector<NetId> pins(static_cast<std::size_t>(c.num_inputs));
+      for (int pin = 0; pin < c.num_inputs; ++pin) {
+        const NodeId leaf = cut.leaves[choice.match.leaf_of_pin[static_cast<std::size_t>(pin)]];
+        const bool neg = ((choice.match.input_neg_mask >> pin) & 1) != 0;
+        pins[static_cast<std::size_t>(pin)] = realize(leaf, neg);
+      }
+      return memo = out_.add_gate(choice.match.cell_id, std::move(pins));
+    }
+    case ChoiceKind::None:
+      break;
+  }
+  throw std::logic_error("mapper: cover references an unmatched (node, phase)");
+}
+
+Netlist Mapper::run(MapStats* stats) {
+  match_all();
+  // PI nets exist unconditionally (interface preservation).
+  for (std::uint32_t i = 0; i < g_.num_inputs(); ++i) {
+    const NodeId node = g_.inputs()[i];
+    net_of_[node][0] = out_.add_pi_net(i, g_.input_name(i));
+  }
+  double est_arrival = 0.0;
+  for (std::size_t o = 0; o < g_.num_outputs(); ++o) {
+    const Lit lit = g_.outputs()[o];
+    const NodeId node = aig::lit_var(lit);
+    const bool phase = aig::lit_is_complemented(lit);
+    const NetId net_id = realize(node, phase);
+    out_.add_output(net_id, g_.output_name(o));
+    est_arrival = std::max(est_arrival, best_[node][phase ? 1 : 0].arrival_ps);
+  }
+  if (stats != nullptr) {
+    stats->num_gates = out_.num_gates();
+    stats->num_inverters_added = inverters_added_;
+    stats->estimated_arrival_ps = est_arrival;
+  }
+  return std::move(out_);
+}
+
+}  // namespace
+
+Netlist map_to_cells(const Aig& g, const Library& lib, const MapParams& params, MapStats* stats) {
+  if (params.cut_size < 2 || params.cut_size > cell::kMaxCellInputs) {
+    throw std::invalid_argument("map_to_cells: cut_size must be in [2, 4]");
+  }
+  if (params.cuts_per_node < 1) {
+    throw std::invalid_argument("map_to_cells: cuts_per_node must be >= 1");
+  }
+  Mapper mapper(g, lib, params);
+  return mapper.run(stats);
+}
+
+}  // namespace aigml::map

@@ -1,0 +1,58 @@
+#pragma once
+// Cut-based technology mapping (AIG -> standard-cell netlist).
+//
+// Classic dual-phase priority-cut mapping in the style of ABC's `map`/`&if`:
+//
+//  1. Enumerate k-feasible cuts with truth tables (aig::CutSets, k <= 4).
+//  2. For each AND node and each output phase, Boolean-match every cut
+//     against the library (exact table lookup over the pre-enumerated
+//     permutation/phase variants) and keep the best match under the active
+//     objective: arrival time (delay mode, area-flow tiebreak) or area flow
+//     (area mode, arrival tiebreak).  Phases also relax through an inverter.
+//  3. Extract the cover from the primary outputs, instantiating one gate per
+//     chosen match and inverters where only the opposite phase is available.
+//
+// Loads are approximated by a constant `assumed_load_ff` during matching
+// (the standard chicken-and-egg workaround); the real, fanout-dependent
+// delay is computed afterwards by STA on the emitted netlist.
+
+#include <cstdint>
+#include <optional>
+
+#include "aig/aig.hpp"
+#include "aig/cuts.hpp"
+#include "celllib/library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace aigml::map {
+
+enum class MapMode : std::uint8_t {
+  Delay,  ///< minimize arrival, tiebreak on area flow
+  Area,   ///< minimize area flow, tiebreak on arrival
+};
+
+struct MapParams {
+  MapMode mode = MapMode::Delay;
+  int cut_size = 4;        ///< 2..4 (matching supports up to 4-input cells)
+  int cuts_per_node = 8;
+  /// Floor for the per-node output load estimate during matching.
+  double assumed_load_ff = 5.0;
+  /// Per-fanout wire + average-pin load used in the estimate; keep in sync
+  /// with sta::StaParams so matcher arrivals track STA arrivals.
+  double wire_cap_per_fanout_ff = 0.6;
+};
+
+struct MapStats {
+  std::size_t num_gates = 0;
+  std::size_t num_inverters_added = 0;
+  double estimated_arrival_ps = 0.0;  ///< matcher's arrival estimate (pre-STA)
+};
+
+/// Maps `g` onto `lib`.  Throws std::invalid_argument when parameters are out
+/// of range.  The result is a topologically ordered netlist with the same
+/// PI/PO interface as `g` (verified equivalence-preserving in tests).
+[[nodiscard]] net::Netlist map_to_cells(const aig::Aig& g, const cell::Library& lib,
+                                        const MapParams& params = {},
+                                        MapStats* stats = nullptr);
+
+}  // namespace aigml::map

@@ -1,0 +1,80 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aigml::ml {
+
+void Dataset::append(std::span<const double> features, double label, std::string tag) {
+  if (features.size() != num_features()) {
+    throw std::invalid_argument("Dataset::append: feature width mismatch");
+  }
+  values_.insert(values_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+  tags_.push_back(std::move(tag));
+}
+
+std::vector<std::size_t> Dataset::rows_with_tag(const std::string& tag) const {
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    if (tags_[i] == tag) rows.push_back(i);
+  }
+  return rows;
+}
+
+std::vector<std::string> Dataset::distinct_tags() const {
+  std::vector<std::string> tags;
+  for (const auto& t : tags_) {
+    if (std::find(tags.begin(), tags.end(), t) == tags.end()) tags.push_back(t);
+  }
+  return tags;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> rows) const {
+  Dataset out(feature_names_);
+  for (const std::size_t i : rows) out.append(row(i), labels_[i], tags_[i]);
+  return out;
+}
+
+void Dataset::merge(const Dataset& other) {
+  if (other.feature_names_ != feature_names_) {
+    throw std::invalid_argument("Dataset::merge: schema mismatch");
+  }
+  for (std::size_t i = 0; i < other.num_rows(); ++i) {
+    append(other.row(i), other.labels_[i], other.tags_[i]);
+  }
+}
+
+void Dataset::save(const std::filesystem::path& path) const {
+  std::vector<std::string> header{"tag"};
+  header.insert(header.end(), feature_names_.begin(), feature_names_.end());
+  header.push_back("label");
+  CsvTable table(header);
+  for (std::size_t i = 0; i < num_rows(); ++i) {
+    std::vector<std::string> fields;
+    fields.reserve(header.size());
+    fields.push_back(tags_[i]);
+    for (const double v : row(i)) fields.push_back(format_double(v));
+    fields.push_back(format_double(labels_[i]));
+    table.add_row(std::move(fields));
+  }
+  table.save(path);
+}
+
+std::optional<Dataset> Dataset::load(const std::filesystem::path& path) {
+  const auto table = CsvTable::load(path);
+  if (!table.has_value() || table->num_cols() < 2) return std::nullopt;
+  const auto& header = table->header();
+  if (header.front() != "tag" || header.back() != "label") return std::nullopt;
+  Dataset out(std::vector<std::string>(header.begin() + 1, header.end() - 1));
+  std::vector<double> features(out.num_features());
+  for (std::size_t r = 0; r < table->num_rows(); ++r) {
+    for (std::size_t f = 0; f < out.num_features(); ++f) {
+      features[f] = table->cell_as_double(r, f + 1);
+    }
+    out.append(features, table->cell_as_double(r, table->num_cols() - 1), table->cell(r, 0));
+  }
+  return out;
+}
+
+}  // namespace aigml::ml

@@ -1,0 +1,54 @@
+#pragma once
+// Tabular regression dataset: feature rows + labels + a per-row tag (the
+// design name), with CSV persistence for caching generated datasets.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace aigml::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names)
+      : feature_names_(std::move(feature_names)) {}
+
+  void append(std::span<const double> features, double label, std::string tag = {});
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return labels_.size(); }
+  [[nodiscard]] std::size_t num_features() const noexcept { return feature_names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& feature_names() const noexcept {
+    return feature_names_;
+  }
+
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    return {values_.data() + i * num_features(), num_features()};
+  }
+  [[nodiscard]] double label(std::size_t i) const { return labels_[i]; }
+  [[nodiscard]] const std::vector<double>& labels() const noexcept { return labels_; }
+  [[nodiscard]] const std::string& tag(std::size_t i) const { return tags_[i]; }
+
+  /// Rows whose tag matches.
+  [[nodiscard]] std::vector<std::size_t> rows_with_tag(const std::string& tag) const;
+  /// Distinct tags in first-appearance order.
+  [[nodiscard]] std::vector<std::string> distinct_tags() const;
+  /// New dataset containing only the given rows.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> rows) const;
+  /// Appends all rows of `other` (feature schemas must agree).
+  void merge(const Dataset& other);
+
+  /// CSV persistence; schema: tag, <features...>, label.
+  void save(const std::filesystem::path& path) const;
+  [[nodiscard]] static std::optional<Dataset> load(const std::filesystem::path& path);
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<double> values_;  // row-major
+  std::vector<double> labels_;
+  std::vector<std::string> tags_;
+};
+
+}  // namespace aigml::ml

@@ -1,0 +1,240 @@
+#include "ml/gbdt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace aigml::ml {
+
+GbdtParams paper_gbdt_params() {
+  GbdtParams p;
+  p.num_trees = 5000;
+  p.max_depth = 16;
+  p.learning_rate = 0.01;
+  p.subsample = 0.8;
+  return p;
+}
+
+namespace {
+
+/// Flattens a Dataset into a row-major matrix view for tree fitting.
+struct Matrix {
+  std::vector<double> values;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+
+Matrix flatten(const Dataset& data) {
+  Matrix m;
+  m.rows = data.num_rows();
+  m.cols = data.num_features();
+  m.values.reserve(m.rows * m.cols);
+  for (std::size_t i = 0; i < m.rows; ++i) {
+    const auto row = data.row(i);
+    m.values.insert(m.values.end(), row.begin(), row.end());
+  }
+  return m;
+}
+
+double rmse_of(std::span<const double> preds, std::span<const double> truth) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    const double d = preds[i] - truth[i];
+    sum += d * d;
+  }
+  return preds.empty() ? 0.0 : std::sqrt(sum / static_cast<double>(preds.size()));
+}
+
+}  // namespace
+
+GbdtModel GbdtModel::train(const Dataset& train, const GbdtParams& params, const Dataset* valid,
+                           TrainLog* log) {
+  if (train.num_rows() == 0) throw std::invalid_argument("GbdtModel::train: empty dataset");
+  if (params.num_trees < 1) throw std::invalid_argument("GbdtModel::train: num_trees < 1");
+  if (params.subsample <= 0.0 || params.subsample > 1.0) {
+    throw std::invalid_argument("GbdtModel::train: subsample must be in (0, 1]");
+  }
+  Timer timer;
+  GbdtModel model;
+  model.num_features_ = train.num_features();
+  model.learning_rate_ = params.learning_rate;
+  model.base_score_ =
+      std::accumulate(train.labels().begin(), train.labels().end(), 0.0) /
+      static_cast<double>(train.num_rows());
+
+  const Matrix x = flatten(train);
+  const std::size_t n = train.num_rows();
+  std::vector<double> preds(n, model.base_score_);
+  std::vector<double> gradients(n, 0.0);
+  std::vector<double> hessians(n, 1.0);
+
+  std::optional<Matrix> xv;
+  std::vector<double> valid_preds;
+  if (valid != nullptr) {
+    xv = flatten(*valid);
+    valid_preds.assign(valid->num_rows(), model.base_score_);
+  }
+
+  Rng rng(params.seed);
+  std::vector<std::size_t> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
+  std::vector<int> all_features(train.num_features());
+  std::iota(all_features.begin(), all_features.end(), 0);
+
+  TreeParams tree_params;
+  tree_params.max_depth = params.max_depth;
+  tree_params.lambda = params.lambda;
+  tree_params.gamma = params.gamma;
+  tree_params.min_child_weight = params.min_child_weight;
+
+  double best_valid = std::numeric_limits<double>::infinity();
+  int rounds_since_best = 0;
+  int best_round = 0;
+
+  for (int round = 0; round < params.num_trees; ++round) {
+    for (std::size_t i = 0; i < n; ++i) gradients[i] = preds[i] - train.label(i);
+
+    // Row subsampling (without replacement).
+    std::vector<std::size_t> rows = all_rows;
+    if (params.subsample < 1.0) {
+      rng.shuffle(rows);
+      rows.resize(std::max<std::size_t>(1, static_cast<std::size_t>(
+                                               params.subsample * static_cast<double>(n))));
+    }
+    // Column subsampling.
+    std::vector<int> features = all_features;
+    if (params.colsample < 1.0) {
+      rng.shuffle(features);
+      features.resize(std::max<std::size_t>(
+          1, static_cast<std::size_t>(params.colsample *
+                                      static_cast<double>(train.num_features()))));
+      std::sort(features.begin(), features.end());
+    }
+
+    RegressionTree tree;
+    tree.fit(x.values, x.cols, gradients, hessians, rows, features, tree_params);
+    for (std::size_t i = 0; i < n; ++i) {
+      preds[i] += params.learning_rate * tree.predict(train.row(i));
+    }
+    model.trees_.push_back(std::move(tree));
+
+    if (log != nullptr) log->train_rmse.push_back(rmse_of(preds, train.labels()));
+    if (valid != nullptr) {
+      for (std::size_t i = 0; i < valid->num_rows(); ++i) {
+        valid_preds[i] += params.learning_rate * model.trees_.back().predict(valid->row(i));
+      }
+      const double v = rmse_of(valid_preds, valid->labels());
+      if (log != nullptr) log->valid_rmse.push_back(v);
+      if (v < best_valid - 1e-12) {
+        best_valid = v;
+        best_round = round + 1;
+        rounds_since_best = 0;
+      } else if (params.early_stopping_rounds > 0 &&
+                 ++rounds_since_best >= params.early_stopping_rounds) {
+        model.trees_.resize(static_cast<std::size_t>(best_round));
+        break;
+      }
+    }
+  }
+  if (log != nullptr) {
+    log->best_round = static_cast<int>(model.trees_.size());
+    log->train_seconds = timer.elapsed_s();
+  }
+  return model;
+}
+
+double GbdtModel::predict(std::span<const double> row) const {
+  if (row.size() != num_features_) {
+    throw std::invalid_argument("GbdtModel::predict: feature width mismatch");
+  }
+  double sum = base_score_;
+  for (const RegressionTree& tree : trees_) sum += learning_rate_ * tree.predict(row);
+  return sum;
+}
+
+std::vector<double> GbdtModel::predict_all(const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.num_rows());
+  for (std::size_t i = 0; i < data.num_rows(); ++i) out.push_back(predict(data.row(i)));
+  return out;
+}
+
+std::vector<double> GbdtModel::feature_importance() const {
+  std::vector<double> importance(num_features_, 0.0);
+  for (const RegressionTree& tree : trees_) tree.accumulate_importance(importance);
+  const double total = std::accumulate(importance.begin(), importance.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+void GbdtModel::serialize(std::ostream& out) const {
+  out.precision(17);  // round-trip-safe double precision
+  out << "gbdt 1 " << base_score_ << ' ' << learning_rate_ << ' ' << trees_.size() << ' '
+      << num_features_ << "\n";
+  for (const RegressionTree& tree : trees_) tree.serialize(out);
+}
+
+GbdtModel GbdtModel::deserialize(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  std::size_t num_trees = 0;
+  GbdtModel model;
+  if (!(in >> magic >> version >> model.base_score_ >> model.learning_rate_ >> num_trees >>
+        model.num_features_) ||
+      magic != "gbdt" || version != 1) {
+    throw std::runtime_error("GbdtModel::deserialize: bad header");
+  }
+  model.trees_.reserve(num_trees);
+  for (std::size_t i = 0; i < num_trees; ++i) {
+    model.trees_.push_back(RegressionTree::deserialize(in));
+  }
+  return model;
+}
+
+void GbdtModel::save(const std::filesystem::path& path) const {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("GbdtModel::save: cannot open " + path.string());
+  serialize(out);
+}
+
+GbdtModel GbdtModel::load(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("GbdtModel::load: cannot open " + path.string());
+  return deserialize(in);
+}
+
+double rmse(std::span<const double> predicted, std::span<const double> truth) {
+  if (predicted.size() != truth.size()) throw std::invalid_argument("rmse: size mismatch");
+  return rmse_of(predicted, truth);
+}
+
+double mae(std::span<const double> predicted, std::span<const double> truth) {
+  if (predicted.size() != truth.size()) throw std::invalid_argument("mae: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) sum += std::abs(predicted[i] - truth[i]);
+  return predicted.empty() ? 0.0 : sum / static_cast<double>(predicted.size());
+}
+
+double r_squared(std::span<const double> predicted, std::span<const double> truth) {
+  if (predicted.size() != truth.size() || truth.size() < 2) return 0.0;
+  const double mean =
+      std::accumulate(truth.begin(), truth.end(), 0.0) / static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot == 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace aigml::ml

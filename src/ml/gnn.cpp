@@ -1,0 +1,419 @@
+#include "ml/gnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "aig/analysis.hpp"
+#include "util/timer.hpp"
+
+namespace aigml::ml {
+
+using aig::Aig;
+using aig::NodeId;
+
+namespace {
+
+/// Graph tensors shared by forward and backward passes.
+struct GraphData {
+  std::size_t n = 0;
+  std::vector<double> x;                      // n x kGnnNodeFeatures
+  std::vector<std::vector<std::uint32_t>> fanins;
+  std::vector<std::vector<std::uint32_t>> fanouts;
+};
+
+GraphData prepare(const Aig& g) {
+  GraphData d;
+  d.n = g.num_nodes();
+  d.x.assign(d.n * kGnnNodeFeatures, 0.0);
+  d.fanins.resize(d.n);
+  d.fanouts.resize(d.n);
+  const auto levels = aig::levels(g);
+  const auto fanout = aig::fanout_counts(g);
+  const double max_level =
+      std::max<double>(1.0, *std::max_element(levels.begin(), levels.end()));
+  for (NodeId id = 0; id < d.n; ++id) {
+    double* row = d.x.data() + static_cast<std::size_t>(id) * kGnnNodeFeatures;
+    row[0] = g.is_input(id) ? 1.0 : 0.0;
+    row[1] = g.is_and(id) ? 1.0 : 0.0;
+    if (g.is_and(id)) {
+      row[2] = aig::lit_is_complemented(g.fanin0(id)) ? 1.0 : 0.0;
+      row[3] = aig::lit_is_complemented(g.fanin1(id)) ? 1.0 : 0.0;
+      const NodeId v0 = aig::lit_var(g.fanin0(id));
+      const NodeId v1 = aig::lit_var(g.fanin1(id));
+      d.fanins[id].push_back(v0);
+      if (v1 != v0) d.fanins[id].push_back(v1);
+      d.fanouts[v0].push_back(id);
+      if (v1 != v0) d.fanouts[v1].push_back(id);
+    }
+    row[4] = static_cast<double>(levels[id]) / max_level;
+    row[5] = std::log2(1.0 + static_cast<double>(fanout[id])) / 6.0;
+  }
+  return d;
+}
+
+/// y[v] = mean over neighbors of x (both n x dim, row-major).
+void mean_aggregate(const std::vector<std::vector<std::uint32_t>>& nbrs,
+                    std::span<const double> x, int dim, std::vector<double>& y) {
+  y.assign(x.size(), 0.0);
+  for (std::size_t v = 0; v < nbrs.size(); ++v) {
+    if (nbrs[v].empty()) continue;
+    double* out = y.data() + v * static_cast<std::size_t>(dim);
+    for (const std::uint32_t u : nbrs[v]) {
+      const double* in = x.data() + static_cast<std::size_t>(u) * static_cast<std::size_t>(dim);
+      for (int k = 0; k < dim; ++k) out[static_cast<std::size_t>(k)] += in[static_cast<std::size_t>(k)];
+    }
+    const double inv = 1.0 / static_cast<double>(nbrs[v].size());
+    for (int k = 0; k < dim; ++k) out[static_cast<std::size_t>(k)] *= inv;
+  }
+}
+
+/// Scatter of mean_aggregate: dx[u] += dy[v] / |nbrs(v)| for u in nbrs(v).
+void mean_aggregate_backward(const std::vector<std::vector<std::uint32_t>>& nbrs,
+                             std::span<const double> dy, int dim, std::vector<double>& dx) {
+  for (std::size_t v = 0; v < nbrs.size(); ++v) {
+    if (nbrs[v].empty()) continue;
+    const double inv = 1.0 / static_cast<double>(nbrs[v].size());
+    const double* grad = dy.data() + v * static_cast<std::size_t>(dim);
+    for (const std::uint32_t u : nbrs[v]) {
+      double* out = dx.data() + static_cast<std::size_t>(u) * static_cast<std::size_t>(dim);
+      for (int k = 0; k < dim; ++k) out[static_cast<std::size_t>(k)] += grad[static_cast<std::size_t>(k)] * inv;
+    }
+  }
+}
+
+/// y (n x dout) += x (n x din) * W (din x dout).
+void matmul_add(std::span<const double> x, std::size_t n, int din, std::span<const double> w,
+                int dout, std::vector<double>& y) {
+  for (std::size_t v = 0; v < n; ++v) {
+    const double* xi = x.data() + v * static_cast<std::size_t>(din);
+    double* yi = y.data() + v * static_cast<std::size_t>(dout);
+    for (int i = 0; i < din; ++i) {
+      const double xv = xi[static_cast<std::size_t>(i)];
+      if (xv == 0.0) continue;
+      const double* wi = w.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(dout);
+      for (int j = 0; j < dout; ++j) yi[static_cast<std::size_t>(j)] += xv * wi[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+/// dW (din x dout) += x^T (n x din) * dy (n x dout); dx += dy * W^T.
+void matmul_backward(std::span<const double> x, std::size_t n, int din,
+                     std::span<const double> w, int dout, std::span<const double> dy,
+                     std::vector<double>& dw, std::vector<double>* dx) {
+  for (std::size_t v = 0; v < n; ++v) {
+    const double* xi = x.data() + v * static_cast<std::size_t>(din);
+    const double* gi = dy.data() + v * static_cast<std::size_t>(dout);
+    for (int i = 0; i < din; ++i) {
+      const double xv = xi[static_cast<std::size_t>(i)];
+      double* dwi = dw.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(dout);
+      double acc = 0.0;
+      const double* wi = w.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(dout);
+      for (int j = 0; j < dout; ++j) {
+        dwi[static_cast<std::size_t>(j)] += xv * gi[static_cast<std::size_t>(j)];
+        acc += gi[static_cast<std::size_t>(j)] * wi[static_cast<std::size_t>(j)];
+      }
+      if (dx != nullptr) (*dx)[v * static_cast<std::size_t>(din) + static_cast<std::size_t>(i)] += acc;
+    }
+  }
+}
+
+struct LayerDims {
+  int din = 0;
+  int dout = 0;
+  [[nodiscard]] std::size_t param_count() const {
+    return 3 * static_cast<std::size_t>(din) * static_cast<std::size_t>(dout) +
+           static_cast<std::size_t>(dout);
+  }
+};
+
+struct Adam {
+  std::vector<double> m, v;
+  int t = 0;
+  void init(std::size_t n) {
+    m.assign(n, 0.0);
+    v.assign(n, 0.0);
+    t = 0;
+  }
+  void step(std::vector<double>& params, std::span<const double> grads, const GnnParams& p) {
+    ++t;
+    const double correction1 = 1.0 - std::pow(p.beta1, t);
+    const double correction2 = 1.0 - std::pow(p.beta2, t);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      m[i] = p.beta1 * m[i] + (1.0 - p.beta1) * grads[i];
+      v[i] = p.beta2 * v[i] + (1.0 - p.beta2) * grads[i] * grads[i];
+      const double mhat = m[i] / correction1;
+      const double vhat = v[i] / correction2;
+      params[i] -= p.learning_rate * mhat / (std::sqrt(vhat) + 1e-8);
+    }
+  }
+};
+
+}  // namespace
+
+/// Owns the forward/backward machinery; friend of GnnModel.
+class GnnEngine {
+ public:
+  explicit GnnEngine(GnnModel& model) : model_(model) {
+    dims_.clear();
+    int din = kGnnNodeFeatures;
+    for (int l = 0; l < model_.params_.layers; ++l) {
+      dims_.push_back(LayerDims{din, model_.params_.hidden});
+      din = model_.params_.hidden;
+    }
+  }
+
+  void init_params(Rng& rng) {
+    model_.weights_.clear();
+    for (const LayerDims& d : dims_) {
+      std::vector<double> w(d.param_count());
+      const double scale = std::sqrt(2.0 / static_cast<double>(d.din + d.dout));
+      for (std::size_t i = 0; i + static_cast<std::size_t>(d.dout) < w.size() + 1; ++i) {
+        w[i] = rng.next_gaussian() * scale;
+      }
+      // biases (last dout entries) start at zero
+      for (int j = 0; j < d.dout; ++j) w[w.size() - 1 - static_cast<std::size_t>(j)] = 0.0;
+      model_.weights_.push_back(std::move(w));
+    }
+    const int h = model_.params_.hidden;
+    model_.readout1_.assign(static_cast<std::size_t>(2 * h) * static_cast<std::size_t>(h) +
+                                static_cast<std::size_t>(h),
+                            0.0);
+    const double s1 = std::sqrt(2.0 / static_cast<double>(3 * h));
+    for (std::size_t i = 0; i < static_cast<std::size_t>(2 * h) * static_cast<std::size_t>(h); ++i) {
+      model_.readout1_[i] = rng.next_gaussian() * s1;
+    }
+    model_.readout2_.assign(static_cast<std::size_t>(h) + 1, 0.0);
+    const double s2 = std::sqrt(1.0 / static_cast<double>(h));
+    for (int i = 0; i < h; ++i) model_.readout2_[static_cast<std::size_t>(i)] = rng.next_gaussian() * s2;
+  }
+
+  /// Forward pass; retains activations when `keep_activations` (training).
+  double forward(const GraphData& g, bool keep_activations) {
+    const int h = model_.params_.hidden;
+    activations_.assign(1, g.x);
+    means_in_.clear();
+    means_out_.clear();
+    std::vector<double> current = g.x;
+    int din = kGnnNodeFeatures;
+    for (std::size_t l = 0; l < dims_.size(); ++l) {
+      const LayerDims& d = dims_[l];
+      std::vector<double> min_agg, mout_agg;
+      mean_aggregate(g.fanins, current, din, min_agg);
+      mean_aggregate(g.fanouts, current, din, mout_agg);
+      std::vector<double> z(g.n * static_cast<std::size_t>(d.dout), 0.0);
+      const auto& w = model_.weights_[l];
+      const std::size_t block = static_cast<std::size_t>(d.din) * static_cast<std::size_t>(d.dout);
+      matmul_add(current, g.n, d.din, {w.data(), block}, d.dout, z);
+      matmul_add(min_agg, g.n, d.din, {w.data() + block, block}, d.dout, z);
+      matmul_add(mout_agg, g.n, d.din, {w.data() + 2 * block, block}, d.dout, z);
+      const double* bias = w.data() + 3 * block;
+      for (std::size_t v = 0; v < g.n; ++v) {
+        double* zv = z.data() + v * static_cast<std::size_t>(d.dout);
+        for (int j = 0; j < d.dout; ++j) {
+          zv[static_cast<std::size_t>(j)] =
+              std::max(0.0, zv[static_cast<std::size_t>(j)] + bias[static_cast<std::size_t>(j)]);
+        }
+      }
+      if (keep_activations) {
+        means_in_.push_back(std::move(min_agg));
+        means_out_.push_back(std::move(mout_agg));
+        activations_.push_back(z);
+      }
+      current = std::move(z);
+      din = d.dout;
+    }
+    // Readout: mean and max pooling.
+    pooled_.assign(static_cast<std::size_t>(2 * h), 0.0);
+    argmax_.assign(static_cast<std::size_t>(h), 0);
+    for (int j = 0; j < h; ++j) {
+      double best = -std::numeric_limits<double>::infinity();
+      for (std::size_t v = 0; v < g.n; ++v) {
+        const double val = current[v * static_cast<std::size_t>(h) + static_cast<std::size_t>(j)];
+        pooled_[static_cast<std::size_t>(j)] += val;
+        if (val > best) {
+          best = val;
+          argmax_[static_cast<std::size_t>(j)] = v;
+        }
+      }
+      pooled_[static_cast<std::size_t>(j)] /= static_cast<double>(g.n);
+      pooled_[static_cast<std::size_t>(h + j)] = best;
+    }
+    // MLP head.
+    hidden_.assign(static_cast<std::size_t>(h), 0.0);
+    const auto& u1 = model_.readout1_;
+    for (int j = 0; j < h; ++j) {
+      double acc = u1[static_cast<std::size_t>(2 * h) * static_cast<std::size_t>(h) + static_cast<std::size_t>(j)];
+      for (int i = 0; i < 2 * h; ++i) {
+        acc += pooled_[static_cast<std::size_t>(i)] *
+               u1[static_cast<std::size_t>(i) * static_cast<std::size_t>(h) + static_cast<std::size_t>(j)];
+      }
+      hidden_[static_cast<std::size_t>(j)] = std::max(0.0, acc);
+    }
+    double y = model_.readout2_[static_cast<std::size_t>(h)];
+    for (int j = 0; j < h; ++j) y += hidden_[static_cast<std::size_t>(j)] * model_.readout2_[static_cast<std::size_t>(j)];
+    return y;
+  }
+
+  /// Backward for one graph; accumulates parameter gradients.
+  void backward(const GraphData& g, double dy, std::vector<std::vector<double>>& dweights,
+                std::vector<double>& dreadout1, std::vector<double>& dreadout2) {
+    const int h = model_.params_.hidden;
+    // Head.
+    std::vector<double> dhidden(static_cast<std::size_t>(h), 0.0);
+    for (int j = 0; j < h; ++j) {
+      dreadout2[static_cast<std::size_t>(j)] += dy * hidden_[static_cast<std::size_t>(j)];
+      if (hidden_[static_cast<std::size_t>(j)] > 0.0) {
+        dhidden[static_cast<std::size_t>(j)] = dy * model_.readout2_[static_cast<std::size_t>(j)];
+      }
+    }
+    dreadout2[static_cast<std::size_t>(h)] += dy;
+    std::vector<double> dpooled(static_cast<std::size_t>(2 * h), 0.0);
+    for (int i = 0; i < 2 * h; ++i) {
+      for (int j = 0; j < h; ++j) {
+        dreadout1[static_cast<std::size_t>(i) * static_cast<std::size_t>(h) + static_cast<std::size_t>(j)] +=
+            pooled_[static_cast<std::size_t>(i)] * dhidden[static_cast<std::size_t>(j)];
+        dpooled[static_cast<std::size_t>(i)] +=
+            model_.readout1_[static_cast<std::size_t>(i) * static_cast<std::size_t>(h) + static_cast<std::size_t>(j)] *
+            dhidden[static_cast<std::size_t>(j)];
+      }
+    }
+    for (int j = 0; j < h; ++j) {
+      dreadout1[static_cast<std::size_t>(2 * h) * static_cast<std::size_t>(h) + static_cast<std::size_t>(j)] +=
+          dhidden[static_cast<std::size_t>(j)];
+    }
+    // Un-pool.
+    const auto& last = activations_.back();
+    std::vector<double> dcurrent(g.n * static_cast<std::size_t>(h), 0.0);
+    for (int j = 0; j < h; ++j) {
+      const double dmean = dpooled[static_cast<std::size_t>(j)] / static_cast<double>(g.n);
+      for (std::size_t v = 0; v < g.n; ++v) {
+        dcurrent[v * static_cast<std::size_t>(h) + static_cast<std::size_t>(j)] += dmean;
+      }
+      dcurrent[argmax_[static_cast<std::size_t>(j)] * static_cast<std::size_t>(h) + static_cast<std::size_t>(j)] +=
+          dpooled[static_cast<std::size_t>(h + j)];
+    }
+    (void)last;
+    // Layers in reverse.
+    for (std::size_t l = dims_.size(); l-- > 0;) {
+      const LayerDims& d = dims_[l];
+      const auto& hout = activations_[l + 1];
+      // ReLU gate.
+      for (std::size_t i = 0; i < hout.size(); ++i) {
+        if (hout[i] <= 0.0) dcurrent[i] = 0.0;
+      }
+      const auto& hin = activations_[l];
+      const auto& w = model_.weights_[l];
+      auto& dw = dweights[l];
+      const std::size_t block = static_cast<std::size_t>(d.din) * static_cast<std::size_t>(d.dout);
+      std::vector<double> dhin(g.n * static_cast<std::size_t>(d.din), 0.0);
+      std::vector<double> dmin(g.n * static_cast<std::size_t>(d.din), 0.0);
+      std::vector<double> dmout(g.n * static_cast<std::size_t>(d.din), 0.0);
+      std::vector<double> dw_self(block, 0.0), dw_in(block, 0.0), dw_out(block, 0.0);
+      matmul_backward(hin, g.n, d.din, {w.data(), block}, d.dout, dcurrent, dw_self, &dhin);
+      matmul_backward(means_in_[l], g.n, d.din, {w.data() + block, block}, d.dout, dcurrent,
+                      dw_in, &dmin);
+      matmul_backward(means_out_[l], g.n, d.din, {w.data() + 2 * block, block}, d.dout, dcurrent,
+                      dw_out, &dmout);
+      for (std::size_t i = 0; i < block; ++i) {
+        dw[i] += dw_self[i];
+        dw[block + i] += dw_in[i];
+        dw[2 * block + i] += dw_out[i];
+      }
+      for (std::size_t v = 0; v < g.n; ++v) {
+        const double* grad = dcurrent.data() + v * static_cast<std::size_t>(d.dout);
+        for (int j = 0; j < d.dout; ++j) dw[3 * block + static_cast<std::size_t>(j)] += grad[static_cast<std::size_t>(j)];
+      }
+      mean_aggregate_backward(g.fanins, dmin, d.din, dhin);
+      mean_aggregate_backward(g.fanouts, dmout, d.din, dhin);
+      dcurrent = std::move(dhin);
+    }
+  }
+
+ private:
+  GnnModel& model_;
+  std::vector<LayerDims> dims_;
+  // Retained activations for backprop.
+  std::vector<std::vector<double>> activations_;  // [0]=input, [l+1]=layer l output
+  std::vector<std::vector<double>> means_in_, means_out_;
+  std::vector<double> pooled_, hidden_;
+  std::vector<std::size_t> argmax_;
+};
+
+GnnModel GnnModel::train(std::span<const aig::Aig* const> graphs, std::span<const double> labels,
+                         const GnnParams& params, GnnTrainLog* log) {
+  if (graphs.size() != labels.size() || graphs.empty()) {
+    throw std::invalid_argument("GnnModel::train: graphs/labels mismatch or empty");
+  }
+  if (params.layers < 1 || params.hidden < 1) {
+    throw std::invalid_argument("GnnModel::train: need at least one layer and one hidden unit");
+  }
+  Timer timer;
+  GnnModel model;
+  model.params_ = params;
+  // Label standardization.
+  const double mean = std::accumulate(labels.begin(), labels.end(), 0.0) /
+                      static_cast<double>(labels.size());
+  double var = 0.0;
+  for (const double y : labels) var += (y - mean) * (y - mean);
+  var /= static_cast<double>(labels.size());
+  model.label_mean_ = mean;
+  model.label_std_ = var > 0.0 ? std::sqrt(var) : 1.0;
+
+  GnnEngine engine(model);
+  Rng rng(params.seed);
+  engine.init_params(rng);
+
+  std::vector<GraphData> data;
+  data.reserve(graphs.size());
+  for (const Aig* g : graphs) data.push_back(prepare(*g));
+
+  // Adam state per parameter tensor.
+  std::vector<Adam> adam_w(model.weights_.size());
+  for (std::size_t l = 0; l < model.weights_.size(); ++l) adam_w[l].init(model.weights_[l].size());
+  Adam adam_r1, adam_r2;
+  adam_r1.init(model.readout1_.size());
+  adam_r2.init(model.readout2_.size());
+
+  std::vector<std::size_t> order(graphs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (int epoch = 0; epoch < params.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    for (const std::size_t i : order) {
+      const double target = (labels[i] - model.label_mean_) / model.label_std_;
+      const double pred = engine.forward(data[i], /*keep_activations=*/true);
+      const double err = pred - target;
+      epoch_loss += err * err;
+      std::vector<std::vector<double>> dweights(model.weights_.size());
+      for (std::size_t l = 0; l < model.weights_.size(); ++l) {
+        dweights[l].assign(model.weights_[l].size(), 0.0);
+      }
+      std::vector<double> dr1(model.readout1_.size(), 0.0);
+      std::vector<double> dr2(model.readout2_.size(), 0.0);
+      engine.backward(data[i], 2.0 * err, dweights, dr1, dr2);
+      for (std::size_t l = 0; l < model.weights_.size(); ++l) {
+        adam_w[l].step(model.weights_[l], dweights[l], params);
+      }
+      adam_r1.step(model.readout1_, dr1, params);
+      adam_r2.step(model.readout2_, dr2, params);
+    }
+    if (log != nullptr) {
+      log->epoch_mse.push_back(epoch_loss / static_cast<double>(graphs.size()));
+    }
+  }
+  if (log != nullptr) log->train_seconds = timer.elapsed_s();
+  return model;
+}
+
+double GnnModel::predict(const aig::Aig& g) const {
+  GnnModel& self = const_cast<GnnModel&>(*this);
+  GnnEngine engine(self);
+  const GraphData data = prepare(g);
+  const double standardized = engine.forward(data, /*keep_activations=*/false);
+  return standardized * label_std_ + label_mean_;
+}
+
+}  // namespace aigml::ml

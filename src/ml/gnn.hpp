@@ -1,0 +1,67 @@
+#pragma once
+// Message-passing graph neural network for AIG delay prediction — the
+// baseline the paper ablates against (§III-B: "GNN-based timing prediction
+// is 2% worse than the decision-tree-based model on average ... and the
+// training cost is also much higher").
+//
+// Architecture (built from scratch; no external tensor library):
+//   node features x_v = [is_pi, is_and, fanin0_neg, fanin1_neg,
+//                        level / max_level, log2(1+fanout) / 6]
+//   L message-passing layers:
+//       h'_v = ReLU(W_self h_v + W_in mean_{u in fanin(v)} h_u
+//                              + W_out mean_{u in fanout(v)} h_u + b)
+//   readout: concat(mean_v h_v, max_v h_v) -> ReLU(U1 .) -> scalar
+// trained with Adam on standardized labels, MSE loss, full backprop
+// implemented manually.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "util/rng.hpp"
+
+namespace aigml::ml {
+
+inline constexpr int kGnnNodeFeatures = 6;
+
+struct GnnParams {
+  int hidden = 16;
+  int layers = 2;
+  int epochs = 60;
+  double learning_rate = 3e-3;
+  std::uint64_t seed = 0x99aa;
+  /// Adam moments.
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+};
+
+struct GnnTrainLog {
+  std::vector<double> epoch_mse;  ///< standardized-label MSE per epoch
+  double train_seconds = 0.0;
+};
+
+class GnnModel {
+ public:
+  /// Trains on graphs with raw-unit labels (labels are standardized
+  /// internally).  `graphs` entries must outlive the call only.
+  static GnnModel train(std::span<const aig::Aig* const> graphs, std::span<const double> labels,
+                        const GnnParams& params, GnnTrainLog* log = nullptr);
+
+  /// Predicts the raw-unit label for a graph.
+  [[nodiscard]] double predict(const aig::Aig& g) const;
+
+  [[nodiscard]] const GnnParams& params() const noexcept { return params_; }
+
+ private:
+  friend class GnnEngine;
+  GnnParams params_;
+  // Parameters, flattened per layer: W_self, W_in, W_out (H_in x H_out), b.
+  std::vector<std::vector<double>> weights_;
+  std::vector<double> readout1_;  // (2H x H) + H bias
+  std::vector<double> readout2_;  // (H) + 1 bias
+  double label_mean_ = 0.0;
+  double label_std_ = 1.0;
+};
+
+}  // namespace aigml::ml

@@ -1,0 +1,146 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace aigml::ml {
+
+namespace {
+
+struct SplitCandidate {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = -std::numeric_limits<double>::infinity();
+};
+
+double structure_score(double g, double h, double lambda) { return g * g / (h + lambda); }
+
+}  // namespace
+
+void RegressionTree::fit(std::span<const double> x, std::size_t num_features,
+                         std::span<const double> gradients, std::span<const double> hessians,
+                         std::span<const std::size_t> rows, std::span<const int> features,
+                         const TreeParams& params) {
+  nodes_.clear();
+  if (rows.empty()) {
+    nodes_.push_back(TreeNode{});  // single zero leaf
+    return;
+  }
+  std::vector<std::size_t> work(rows.begin(), rows.end());
+  (void)build(x, num_features, gradients, hessians, work, 0, work.size(), features, params, 0);
+}
+
+int RegressionTree::build(std::span<const double> x, std::size_t num_features,
+                          std::span<const double> gradients, std::span<const double> hessians,
+                          std::vector<std::size_t>& rows, std::size_t begin, std::size_t end,
+                          std::span<const int> features, const TreeParams& params, int depth) {
+  double g_total = 0.0, h_total = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    g_total += gradients[rows[i]];
+    h_total += hessians[rows[i]];
+  }
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(TreeNode{});
+  nodes_[static_cast<std::size_t>(node_index)].value = -g_total / (h_total + params.lambda);
+
+  if (depth >= params.max_depth || end - begin < 2) return node_index;
+
+  // Exact greedy: for each candidate feature sort the node's rows by value
+  // and scan all distinct-value boundaries.
+  SplitCandidate best;
+  const double parent_score = structure_score(g_total, h_total, params.lambda);
+  std::vector<std::size_t> sorted(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+                                  rows.begin() + static_cast<std::ptrdiff_t>(end));
+  for (const int feature : features) {
+    std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+      return x[a * num_features + static_cast<std::size_t>(feature)] <
+             x[b * num_features + static_cast<std::size_t>(feature)];
+    });
+    double gl = 0.0, hl = 0.0;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      gl += gradients[sorted[i]];
+      hl += hessians[sorted[i]];
+      const double v = x[sorted[i] * num_features + static_cast<std::size_t>(feature)];
+      const double v_next = x[sorted[i + 1] * num_features + static_cast<std::size_t>(feature)];
+      if (v == v_next) continue;  // can only split between distinct values
+      const double hr = h_total - hl;
+      if (hl < params.min_child_weight || hr < params.min_child_weight) continue;
+      const double gr = g_total - gl;
+      const double gain = 0.5 * (structure_score(gl, hl, params.lambda) +
+                                 structure_score(gr, hr, params.lambda) - parent_score) -
+                          params.gamma;
+      if (gain > best.gain) {
+        best.feature = feature;
+        best.threshold = 0.5 * (v + v_next);
+        best.gain = gain;
+      }
+    }
+  }
+  if (best.feature < 0 || best.gain <= 0.0) return node_index;
+
+  // Partition rows in place around the threshold.
+  const auto mid_iter = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin), rows.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t r) {
+        return x[r * num_features + static_cast<std::size_t>(best.feature)] < best.threshold;
+      });
+  const std::size_t mid = static_cast<std::size_t>(mid_iter - rows.begin());
+  if (mid == begin || mid == end) return node_index;  // numerical degeneracy
+
+  nodes_[static_cast<std::size_t>(node_index)].feature = best.feature;
+  nodes_[static_cast<std::size_t>(node_index)].threshold = best.threshold;
+  nodes_[static_cast<std::size_t>(node_index)].gain = best.gain;
+  const int left =
+      build(x, num_features, gradients, hessians, rows, begin, mid, features, params, depth + 1);
+  nodes_[static_cast<std::size_t>(node_index)].left = left;
+  const int right =
+      build(x, num_features, gradients, hessians, rows, mid, end, features, params, depth + 1);
+  nodes_[static_cast<std::size_t>(node_index)].right = right;
+  return node_index;
+}
+
+double RegressionTree::predict(std::span<const double> row) const {
+  if (nodes_.empty()) return 0.0;
+  int index = 0;
+  while (nodes_[static_cast<std::size_t>(index)].feature >= 0) {
+    const TreeNode& n = nodes_[static_cast<std::size_t>(index)];
+    index = row[static_cast<std::size_t>(n.feature)] < n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(index)].value;
+}
+
+void RegressionTree::accumulate_importance(std::span<double> importance) const {
+  for (const TreeNode& n : nodes_) {
+    if (n.feature >= 0) importance[static_cast<std::size_t>(n.feature)] += n.gain;
+  }
+}
+
+void RegressionTree::serialize(std::ostream& out) const {
+  out.precision(17);  // shortest round-trip-safe double precision
+  out << "tree " << nodes_.size() << "\n";
+  for (const TreeNode& n : nodes_) {
+    out << n.feature << ' ' << n.threshold << ' ' << n.left << ' ' << n.right << ' ' << n.value
+        << ' ' << n.gain << "\n";
+  }
+}
+
+RegressionTree RegressionTree::deserialize(std::istream& in) {
+  std::string token;
+  std::size_t count = 0;
+  if (!(in >> token >> count) || token != "tree") {
+    throw std::runtime_error("RegressionTree::deserialize: expected 'tree <n>'");
+  }
+  RegressionTree t;
+  t.nodes_.resize(count);
+  for (TreeNode& n : t.nodes_) {
+    if (!(in >> n.feature >> n.threshold >> n.left >> n.right >> n.value >> n.gain)) {
+      throw std::runtime_error("RegressionTree::deserialize: truncated node list");
+    }
+  }
+  return t;
+}
+
+}  // namespace aigml::ml

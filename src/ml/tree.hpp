@@ -1,0 +1,63 @@
+#pragma once
+// Single regression tree trained on gradient/hessian statistics — the weak
+// learner inside the gradient-boosting ensemble.  Exact greedy split search
+// (sort each candidate feature at each node) with XGBoost-style structure
+// scores:
+//
+//   leaf weight  w* = -G / (H + lambda)
+//   split gain   0.5 * [GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l)] - gamma
+//
+// Exact search is deterministic and affordable at this library's dataset
+// sizes (<= a few 10^5 rows x 22 features); see DESIGN.md §5.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace aigml::ml {
+
+struct TreeParams {
+  int max_depth = 6;
+  double lambda = 1.0;            ///< L2 regularization on leaf weights
+  double gamma = 0.0;             ///< minimum gain to split
+  double min_child_weight = 1.0;  ///< minimum hessian sum per child
+};
+
+struct TreeNode {
+  int feature = -1;        ///< -1 for leaves
+  double threshold = 0.0;  ///< go left when x[feature] < threshold
+  int left = -1;
+  int right = -1;
+  double value = 0.0;      ///< leaf weight
+  double gain = 0.0;       ///< split gain (internal nodes)
+};
+
+class RegressionTree {
+ public:
+  /// Fits on rows `rows` of `x` (row-major, `num_features` wide) against
+  /// gradients/hessians, considering only `features` as split candidates.
+  void fit(std::span<const double> x, std::size_t num_features, std::span<const double> gradients,
+           std::span<const double> hessians, std::span<const std::size_t> rows,
+           std::span<const int> features, const TreeParams& params);
+
+  [[nodiscard]] double predict(std::span<const double> row) const;
+  [[nodiscard]] const std::vector<TreeNode>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+
+  /// Adds each internal node's gain to `importance[feature]`.
+  void accumulate_importance(std::span<double> importance) const;
+
+  void serialize(std::ostream& out) const;
+  [[nodiscard]] static RegressionTree deserialize(std::istream& in);
+
+ private:
+  int build(std::span<const double> x, std::size_t num_features,
+            std::span<const double> gradients, std::span<const double> hessians,
+            std::vector<std::size_t>& rows, std::size_t begin, std::size_t end,
+            std::span<const int> features, const TreeParams& params, int depth);
+
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace aigml::ml

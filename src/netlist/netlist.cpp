@@ -1,0 +1,131 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "aig/synth.hpp"
+
+namespace aigml::net {
+
+NetId Netlist::add_pi_net(std::uint32_t pi_index, std::string name) {
+  Net n;
+  n.kind = NetKind::PrimaryInput;
+  n.pi_index = pi_index;
+  n.name = name.empty() ? "pi" + std::to_string(pi_index) : std::move(name);
+  nets_.push_back(std::move(n));
+  const NetId id = static_cast<NetId>(nets_.size() - 1);
+  if (pi_index >= pi_nets_.size()) pi_nets_.resize(pi_index + 1, kNetInvalid);
+  pi_nets_[pi_index] = id;
+  return id;
+}
+
+NetId Netlist::add_const_net(bool value) {
+  Net n;
+  n.kind = value ? NetKind::Const1 : NetKind::Const0;
+  n.name = value ? "const1" : "const0";
+  nets_.push_back(std::move(n));
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+NetId Netlist::add_gate(std::uint32_t cell_id, std::vector<NetId> inputs) {
+  for (const NetId in : inputs) {
+    if (in >= nets_.size()) throw std::out_of_range("Netlist::add_gate: unknown input net");
+  }
+  Net out;
+  out.kind = NetKind::FromGate;
+  out.driver_gate = static_cast<std::int32_t>(gates_.size());
+  out.name = "n" + std::to_string(nets_.size());
+  nets_.push_back(std::move(out));
+  Gate g;
+  g.cell_id = cell_id;
+  g.inputs = std::move(inputs);
+  g.output = static_cast<NetId>(nets_.size() - 1);
+  gates_.push_back(std::move(g));
+  return gates_.back().output;
+}
+
+void Netlist::add_output(NetId net_id, std::string name) {
+  if (net_id >= nets_.size()) throw std::out_of_range("Netlist::add_output: unknown net");
+  Output o;
+  o.net = net_id;
+  o.name = name.empty() ? "po" + std::to_string(outputs_.size()) : std::move(name);
+  outputs_.push_back(std::move(o));
+}
+
+std::vector<std::uint32_t> Netlist::net_fanout_counts() const {
+  std::vector<std::uint32_t> fanout(nets_.size(), 0);
+  for (const Gate& g : gates_) {
+    for (const NetId in : g.inputs) ++fanout[in];
+  }
+  return fanout;
+}
+
+std::vector<char> Netlist::net_drives_po() const {
+  std::vector<char> drives(nets_.size(), 0);
+  for (const Output& o : outputs_) drives[o.net] = 1;
+  return drives;
+}
+
+double Netlist::total_area_um2(const cell::Library& lib) const {
+  double area = 0.0;
+  for (const Gate& g : gates_) area += lib.cell(g.cell_id).area_um2;
+  return area;
+}
+
+std::vector<std::pair<std::string, int>> Netlist::cell_histogram(const cell::Library& lib) const {
+  std::map<std::string, int> counts;
+  for (const Gate& g : gates_) ++counts[lib.cell(g.cell_id).name];
+  return {counts.begin(), counts.end()};
+}
+
+bool Netlist::check_topological() const {
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    for (const NetId in : gates_[id].inputs) {
+      const Net& n = nets_[in];
+      if (n.kind == NetKind::FromGate && n.driver_gate >= static_cast<std::int32_t>(id)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+aig::Aig to_aig(const Netlist& netlist, const cell::Library& lib) {
+  aig::Aig g;
+  std::vector<aig::Lit> net_lit(netlist.num_nets(), aig::kLitInvalid);
+  for (std::uint32_t pi = 0; pi < netlist.num_inputs(); ++pi) {
+    const NetId net_id = netlist.pi_nets()[pi];
+    net_lit[net_id] = g.add_input(netlist.net(net_id).name);
+  }
+  for (NetId id = 0; id < netlist.num_nets(); ++id) {
+    const Net& n = netlist.net(id);
+    if (n.kind == NetKind::Const0) net_lit[id] = aig::kLitFalse;
+    if (n.kind == NetKind::Const1) net_lit[id] = aig::kLitTrue;
+  }
+  // Gates are topological (checked), so a single pass resolves everything.
+  if (!netlist.check_topological()) {
+    throw std::invalid_argument("to_aig: netlist is not in topological order");
+  }
+  for (const Gate& gate : netlist.gates()) {
+    const cell::Cell& c = lib.cell(gate.cell_id);
+    std::vector<aig::Lit> pin_lits;
+    pin_lits.reserve(gate.inputs.size());
+    for (const NetId in : gate.inputs) {
+      if (net_lit[in] == aig::kLitInvalid) {
+        throw std::invalid_argument("to_aig: gate input net has no value");
+      }
+      pin_lits.push_back(net_lit[in]);
+    }
+    net_lit[gate.output] = aig::synthesize_tt_into(g, c.function, c.num_inputs, pin_lits);
+  }
+  for (const Output& o : netlist.outputs()) {
+    if (net_lit[o.net] == aig::kLitInvalid) {
+      throw std::invalid_argument("to_aig: output net has no value");
+    }
+    g.add_output(net_lit[o.net], o.name);
+  }
+  return g;
+}
+
+}  // namespace aigml::net

@@ -1,0 +1,91 @@
+#pragma once
+// Mapped gate-level netlist: the output of technology mapping and the input
+// to static timing analysis.
+//
+// Nets are identified by dense indices.  A net is driven by a gate, a
+// primary input, or a constant; gates reference their input nets and one
+// output net.  Gates are stored in topological order (the mapper emits them
+// that way; Netlist::check_topological verifies it).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "celllib/library.hpp"
+
+namespace aigml::net {
+
+using NetId = std::uint32_t;
+using GateId = std::uint32_t;
+inline constexpr NetId kNetInvalid = static_cast<NetId>(-1);
+
+enum class NetKind : std::uint8_t { FromGate, PrimaryInput, Const0, Const1 };
+
+struct Net {
+  NetKind kind = NetKind::FromGate;
+  std::int32_t driver_gate = -1;  ///< valid iff kind == FromGate
+  std::uint32_t pi_index = 0;     ///< valid iff kind == PrimaryInput
+  std::string name;
+};
+
+struct Gate {
+  std::uint32_t cell_id = 0;          ///< index into the Library
+  std::vector<NetId> inputs;          ///< one net per cell pin, pin order
+  NetId output = kNetInvalid;
+};
+
+struct Output {
+  NetId net = kNetInvalid;
+  std::string name;
+};
+
+class Netlist {
+ public:
+  // ----- construction (used by the mapper) ----------------------------------
+  NetId add_pi_net(std::uint32_t pi_index, std::string name = {});
+  NetId add_const_net(bool value);
+  /// Adds a gate and its freshly created output net; inputs must exist.
+  NetId add_gate(std::uint32_t cell_id, std::vector<NetId> inputs);
+  void add_output(NetId net, std::string name = {});
+
+  // ----- inspection ----------------------------------------------------------
+  [[nodiscard]] std::size_t num_nets() const noexcept { return nets_.size(); }
+  [[nodiscard]] std::size_t num_gates() const noexcept { return gates_.size(); }
+  [[nodiscard]] std::size_t num_inputs() const noexcept { return pi_nets_.size(); }
+  [[nodiscard]] std::size_t num_outputs() const noexcept { return outputs_.size(); }
+
+  [[nodiscard]] const Net& net(NetId id) const { return nets_[id]; }
+  [[nodiscard]] const Gate& gate(GateId id) const { return gates_[id]; }
+  [[nodiscard]] const std::vector<Gate>& gates() const noexcept { return gates_; }
+  [[nodiscard]] const std::vector<NetId>& pi_nets() const noexcept { return pi_nets_; }
+  [[nodiscard]] const std::vector<Output>& outputs() const noexcept { return outputs_; }
+
+  /// Number of gate pins each net feeds (excludes primary outputs).
+  [[nodiscard]] std::vector<std::uint32_t> net_fanout_counts() const;
+  /// True when the net drives at least one primary output.
+  [[nodiscard]] std::vector<char> net_drives_po() const;
+
+  /// Total cell area under `lib`.
+  [[nodiscard]] double total_area_um2(const cell::Library& lib) const;
+
+  /// Per-cell-name usage histogram (for reports).
+  [[nodiscard]] std::vector<std::pair<std::string, int>> cell_histogram(
+      const cell::Library& lib) const;
+
+  /// Verifies that every gate's inputs are produced before the gate.
+  [[nodiscard]] bool check_topological() const;
+
+ private:
+  std::vector<Net> nets_;
+  std::vector<Gate> gates_;
+  std::vector<NetId> pi_nets_;
+  std::vector<Output> outputs_;
+};
+
+/// Re-extracts the Boolean function of a netlist as an AIG (inputs/outputs
+/// in netlist order) by resynthesizing each cell's truth table.  Used to
+/// verify that mapping preserved the circuit function.
+[[nodiscard]] aig::Aig to_aig(const Netlist& netlist, const cell::Library& lib);
+
+}  // namespace aigml::net

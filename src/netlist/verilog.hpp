@@ -1,0 +1,30 @@
+#pragma once
+// Structural Verilog export of mapped netlists, for handoff to downstream
+// P&R / sign-off tools.  Cells are emitted as module instantiations with
+// positional pin names A, B, C, D and output Y; a matching set of cell
+// module definitions (behavioural, from the cell truth tables) can be
+// emitted alongside so the file simulates standalone.
+
+#include <iosfwd>
+#include <string>
+
+#include "celllib/library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace aigml::net {
+
+struct VerilogOptions {
+  std::string module_name = "top";
+  /// Also emit behavioural `module <CELL> ...` definitions for every cell
+  /// used, so the output is self-contained for simulation.
+  bool emit_cell_models = true;
+};
+
+/// Writes the netlist as structural Verilog.
+void write_verilog(const Netlist& netlist, const cell::Library& lib, std::ostream& out,
+                   const VerilogOptions& options = {});
+
+[[nodiscard]] std::string to_verilog_string(const Netlist& netlist, const cell::Library& lib,
+                                            const VerilogOptions& options = {});
+
+}  // namespace aigml::net

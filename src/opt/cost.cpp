@@ -1,0 +1,23 @@
+#include "opt/cost.hpp"
+
+#include "aig/analysis.hpp"
+
+namespace aigml::opt {
+
+QualityEval ProxyCost::evaluate_impl(const aig::Aig& g) {
+  return QualityEval{static_cast<double>(aig::aig_level(g)),
+                     static_cast<double>(g.num_ands())};
+}
+
+QualityEval GroundTruthCost::evaluate_impl(const aig::Aig& g) {
+  const net::Netlist netlist = map::map_to_cells(g, lib_, map_params_);
+  const sta::StaResult result = sta::run_sta(netlist, lib_, sta_params_);
+  return QualityEval{result.max_delay_ps, result.total_area_um2};
+}
+
+QualityEval MlCost::evaluate_impl(const aig::Aig& g) {
+  const features::FeatureVector f = features::extract(g);
+  return QualityEval{delay_model_.predict(f), area_model_.predict(f)};
+}
+
+}  // namespace aigml::opt

@@ -1,0 +1,100 @@
+#pragma once
+// Cost evaluators — the interchangeable "reward calculation" stage of the
+// three optimization flows in the paper's Fig. 3:
+//
+//   ProxyCost        baseline flow: AIG levels ~ delay, node count ~ area
+//   GroundTruthCost  ground-truth flow: technology mapping + STA per query
+//   MlCost           ML flow: Table II features + GBDT inference per query
+//
+// evaluate() returns raw (delay, area) in evaluator-specific units; the SA
+// engine normalizes against the initial evaluation so the cost weights mean
+// the same thing across flows.  Every evaluator tracks its cumulative
+// evaluation wall-time — the quantity Fig. 2 and Table IV report.
+
+#include <memory>
+#include <string>
+
+#include "aig/aig.hpp"
+#include "celllib/library.hpp"
+#include "features/features.hpp"
+#include "mapper/mapper.hpp"
+#include "ml/gbdt.hpp"
+#include "sta/sta.hpp"
+#include "util/timer.hpp"
+
+namespace aigml::opt {
+
+struct QualityEval {
+  double delay = 0.0;
+  double area = 0.0;
+};
+
+class CostEvaluator {
+ public:
+  virtual ~CostEvaluator() = default;
+
+  /// Estimates (delay, area) of `g` in this evaluator's units.
+  QualityEval evaluate(const aig::Aig& g) {
+    ScopedLap lap(watch_);
+    return evaluate_impl(g);
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Cumulative seconds spent inside evaluate().
+  [[nodiscard]] double eval_seconds() const noexcept { return watch_.total_s(); }
+  [[nodiscard]] std::uint64_t eval_count() const noexcept { return watch_.laps(); }
+  void reset_accounting() noexcept { watch_.reset(); }
+
+ protected:
+  virtual QualityEval evaluate_impl(const aig::Aig& g) = 0;
+
+ private:
+  Stopwatch watch_;
+};
+
+/// Baseline proxies: delay := AIG level count, area := AND count.
+class ProxyCost final : public CostEvaluator {
+ public:
+  [[nodiscard]] std::string name() const override { return "proxy"; }
+
+ protected:
+  QualityEval evaluate_impl(const aig::Aig& g) override;
+};
+
+/// Exact post-mapping metrics: map to cells, run STA.
+class GroundTruthCost final : public CostEvaluator {
+ public:
+  explicit GroundTruthCost(const cell::Library& lib, map::MapParams map_params = {},
+                           sta::StaParams sta_params = {})
+      : lib_(lib), map_params_(map_params), sta_params_(sta_params) {}
+
+  [[nodiscard]] std::string name() const override { return "ground-truth"; }
+
+ protected:
+  QualityEval evaluate_impl(const aig::Aig& g) override;
+
+ private:
+  const cell::Library& lib_;
+  map::MapParams map_params_;
+  sta::StaParams sta_params_;
+};
+
+/// ML predictions: feature extraction + GBDT inference for delay and area.
+/// The models are borrowed (trained/owned by the caller).
+class MlCost final : public CostEvaluator {
+ public:
+  MlCost(const ml::GbdtModel& delay_model, const ml::GbdtModel& area_model)
+      : delay_model_(delay_model), area_model_(area_model) {}
+
+  [[nodiscard]] std::string name() const override { return "ml"; }
+
+ protected:
+  QualityEval evaluate_impl(const aig::Aig& g) override;
+
+ private:
+  const ml::GbdtModel& delay_model_;
+  const ml::GbdtModel& area_model_;
+};
+
+}  // namespace aigml::opt

@@ -1,0 +1,31 @@
+#pragma once
+// Greedy / first-improvement descent — the deterministic counterpart the
+// paper contrasts SA against ("compared to deterministic algorithms, SA
+// allows ... hill-climbing", §IV).  Included both as a practical fast
+// optimizer and as the subject of the SA-vs-greedy ablation bench.
+
+#include "opt/cost.hpp"
+#include "opt/sa.hpp"
+
+namespace aigml::opt {
+
+struct GreedyParams {
+  int iterations = 200;
+  /// Accept only strictly improving moves when 0; otherwise allow
+  /// cost increases up to this fraction of the current cost (plateau
+  /// tolerance).
+  double tolerance = 0.0;
+  double weight_delay = 1.0;
+  double weight_area = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// Runs randomized first-improvement descent: at each step a random script
+/// is applied and kept only if the (normalized, weighted) cost does not
+/// worsen beyond the tolerance.  Returns the same result shape as SA for
+/// easy comparison.
+[[nodiscard]] SaResult greedy_descent(
+    const aig::Aig& initial, CostEvaluator& evaluator, const GreedyParams& params,
+    const transforms::ScriptRegistry& registry = transforms::script_registry());
+
+}  // namespace aigml::opt

@@ -1,0 +1,57 @@
+#include "opt/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace aigml::opt {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  return a.delay <= b.delay && a.area <= b.area && (a.delay < b.delay || a.area < b.area);
+}
+
+std::vector<ParetoPoint> pareto_front(std::span<const ParetoPoint> points) {
+  std::vector<ParetoPoint> sorted(points.begin(), points.end());
+  // Sort by delay, then area; a forward sweep keeps points with strictly
+  // decreasing area.
+  std::sort(sorted.begin(), sorted.end(), [](const ParetoPoint& a, const ParetoPoint& b) {
+    if (a.delay != b.delay) return a.delay < b.delay;
+    return a.area < b.area;
+  });
+  std::vector<ParetoPoint> front;
+  double best_area = std::numeric_limits<double>::infinity();
+  for (const ParetoPoint& p : sorted) {
+    if (p.area < best_area) {
+      // Collapse exact duplicates.
+      if (!front.empty() && front.back().delay == p.delay && front.back().area == p.area) continue;
+      front.push_back(p);
+      best_area = p.area;
+    }
+  }
+  return front;
+}
+
+double hypervolume(std::span<const ParetoPoint> front, double ref_delay, double ref_area) {
+  // Standard 2D dominated hypervolume for minimization: the front (sorted by
+  // ascending delay, thus descending area) partitions the dominated region
+  // into disjoint rectangles [delay_i, delay_{i+1}) x [area_i, ref_area).
+  std::vector<ParetoPoint> inside;
+  for (const ParetoPoint& p : pareto_front(front)) {
+    if (p.delay < ref_delay && p.area < ref_area) inside.push_back(p);
+  }
+  double volume = 0.0;
+  for (std::size_t i = 0; i < inside.size(); ++i) {
+    const double next_delay = i + 1 < inside.size() ? inside[i + 1].delay : ref_delay;
+    volume += (next_delay - inside[i].delay) * (ref_area - inside[i].area);
+  }
+  return volume;
+}
+
+double delay_at_area(std::span<const ParetoPoint> front, double area_budget) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const ParetoPoint& p : front) {
+    if (p.area <= area_budget) best = std::min(best, p.delay);
+  }
+  return best;
+}
+
+}  // namespace aigml::opt

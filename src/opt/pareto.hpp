@@ -1,0 +1,35 @@
+#pragma once
+// Pareto-front utilities for (delay, area) points — Fig. 5 plots the
+// Pareto-optimal curves of the three flows.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aigml::opt {
+
+struct ParetoPoint {
+  double delay = 0.0;
+  double area = 0.0;
+  std::size_t origin = 0;  ///< caller-defined tag (e.g. sweep-config index)
+};
+
+/// True when `a` is at least as good in both objectives and strictly better
+/// in one (minimization).
+[[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// The non-dominated subset, sorted by ascending delay.  Duplicate
+/// coordinates are collapsed to a single representative.
+[[nodiscard]] std::vector<ParetoPoint> pareto_front(std::span<const ParetoPoint> points);
+
+/// Area-ish dominated hypervolume indicator w.r.t. a reference point
+/// (larger = better front).  Points beyond the reference are clipped out.
+[[nodiscard]] double hypervolume(std::span<const ParetoPoint> front, double ref_delay,
+                                 double ref_area);
+
+/// Best (smallest) delay on `front` at area <= `area_budget`;
+/// +infinity when no point qualifies.  This is the paper's §II-B iso-area
+/// delay comparison ("delay ... can be up to 22.7% better").
+[[nodiscard]] double delay_at_area(std::span<const ParetoPoint> front, double area_budget);
+
+}  // namespace aigml::opt

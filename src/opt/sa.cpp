@@ -1,0 +1,73 @@
+#include "opt/sa.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace aigml::opt {
+
+SaResult simulated_annealing(const aig::Aig& initial, CostEvaluator& evaluator,
+                             const SaParams& params, const transforms::ScriptRegistry& registry) {
+  if (params.iterations < 1) throw std::invalid_argument("simulated_annealing: iterations < 1");
+  if (params.decay <= 0.0 || params.decay > 1.0) {
+    throw std::invalid_argument("simulated_annealing: decay must be in (0, 1]");
+  }
+  Timer total_timer;
+  Rng rng(params.seed);
+
+  SaResult result;
+  result.initial_eval = evaluator.evaluate(initial);
+  const double delay0 = result.initial_eval.delay > 0 ? result.initial_eval.delay : 1.0;
+  const double area0 = result.initial_eval.area > 0 ? result.initial_eval.area : 1.0;
+  auto cost_of = [&](const QualityEval& q) {
+    return params.weight_delay * q.delay / delay0 + params.weight_area * q.area / area0;
+  };
+
+  aig::Aig current = initial;
+  double current_cost = cost_of(result.initial_eval);
+  result.best = initial;
+  result.best_eval = result.initial_eval;
+  result.best_cost = current_cost;
+
+  double temperature = params.initial_temperature;
+  result.history.reserve(static_cast<std::size_t>(params.iterations));
+
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    IterationRecord record;
+    record.script_index = registry.random_index(rng);
+
+    Timer transform_timer;
+    aig::Aig candidate = registry.apply(record.script_index, current);
+    record.transform_seconds = transform_timer.elapsed_s();
+
+    const double eval_before = evaluator.eval_seconds();
+    const QualityEval q = evaluator.evaluate(candidate);
+    record.eval_seconds = evaluator.eval_seconds() - eval_before;
+
+    record.delay = q.delay;
+    record.area = q.area;
+    record.cost = cost_of(q);
+    const double delta = record.cost - current_cost;
+    const bool accept =
+        delta < 0.0 || (temperature > 0.0 && rng.next_double() < std::exp(-delta / temperature));
+    record.accepted = accept;
+    if (accept) {
+      current = std::move(candidate);
+      current_cost = record.cost;
+      if (record.cost < result.best_cost) {
+        result.best = current;
+        result.best_eval = q;
+        result.best_cost = record.cost;
+      }
+    }
+    temperature *= params.decay;
+    result.total_transform_seconds += record.transform_seconds;
+    result.total_eval_seconds += record.eval_seconds;
+    result.history.push_back(record);
+  }
+  result.total_seconds = total_timer.elapsed_s();
+  return result;
+}
+
+}  // namespace aigml::opt

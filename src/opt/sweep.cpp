@@ -1,0 +1,45 @@
+#include "opt/sweep.hpp"
+
+#include "util/timer.hpp"
+
+namespace aigml::opt {
+
+SweepResult sweep_flow(const aig::Aig& initial, CostEvaluator& evaluator,
+                       const cell::Library& lib, const SweepConfig& config) {
+  Timer total;
+  SweepResult result;
+  GroundTruthCost scorer(lib);
+  std::uint64_t seed = config.seed;
+  for (const WeightPair& weights : config.weight_pairs) {
+    for (const double decay : config.decays) {
+      SaParams params;
+      params.iterations = config.iterations;
+      params.initial_temperature = config.initial_temperature;
+      params.decay = decay;
+      params.weight_delay = weights.delay;
+      params.weight_area = weights.area;
+      params.seed = seed++;
+
+      SaResult sa = simulated_annealing(initial, evaluator, params);
+      SweepRun run;
+      run.params = params;
+      run.evaluator_claimed = sa.best_eval;
+      run.ground_truth = scorer.evaluate(sa.best);
+      run.seconds = sa.total_seconds;
+      run.transform_seconds = sa.total_transform_seconds;
+      run.eval_seconds = sa.total_eval_seconds;
+      result.runs.push_back(run);
+    }
+  }
+  std::vector<ParetoPoint> points;
+  points.reserve(result.runs.size());
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    points.push_back(
+        ParetoPoint{result.runs[i].ground_truth.delay, result.runs[i].ground_truth.area, i});
+  }
+  result.front = pareto_front(points);
+  result.total_seconds = total.elapsed_s();
+  return result;
+}
+
+}  // namespace aigml::opt

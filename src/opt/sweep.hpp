@@ -1,0 +1,50 @@
+#pragma once
+// Hyperparameter-sweep driver for Fig. 5: runs SA once per configuration
+// (cost-weight pair x temperature decay rate), then — regardless of which
+// evaluator guided the search — re-evaluates every final AIG with the
+// *ground-truth* map+STA metrics so the fronts of different flows are
+// directly comparable, exactly as the paper plots them.
+
+#include <vector>
+
+#include "celllib/library.hpp"
+#include "opt/pareto.hpp"
+#include "opt/sa.hpp"
+
+namespace aigml::opt {
+
+struct WeightPair {
+  double delay = 1.0;
+  double area = 0.5;
+};
+
+struct SweepConfig {
+  std::vector<WeightPair> weight_pairs = {{1.0, 0.0}, {1.0, 0.25}, {1.0, 0.5},
+                                          {1.0, 1.0}, {0.5, 1.0}, {0.25, 1.0}};
+  std::vector<double> decays = {0.92, 0.97};
+  int iterations = 150;
+  double initial_temperature = 0.08;
+  std::uint64_t seed = 7;
+};
+
+struct SweepRun {
+  SaParams params;
+  QualityEval ground_truth;       ///< map+STA metrics of the final best AIG
+  QualityEval evaluator_claimed;  ///< what the guiding evaluator believed
+  double seconds = 0.0;
+  double transform_seconds = 0.0;
+  double eval_seconds = 0.0;
+};
+
+struct SweepResult {
+  std::vector<SweepRun> runs;
+  std::vector<ParetoPoint> front;  ///< ground-truth Pareto front over runs
+  double total_seconds = 0.0;
+};
+
+/// Runs the full grid.  `evaluator` guides the SA; `lib` supplies the final
+/// ground-truth scoring.
+[[nodiscard]] SweepResult sweep_flow(const aig::Aig& initial, CostEvaluator& evaluator,
+                                     const cell::Library& lib, const SweepConfig& config);
+
+}  // namespace aigml::opt

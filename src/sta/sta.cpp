@@ -1,0 +1,125 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace aigml::sta {
+
+using net::Gate;
+using net::GateId;
+using net::Netlist;
+using net::NetId;
+using net::NetKind;
+
+StaResult run_sta(const Netlist& netlist, const cell::Library& lib, const StaParams& params) {
+  if (!netlist.check_topological()) {
+    throw std::invalid_argument("run_sta: netlist is not topologically ordered");
+  }
+  StaResult r;
+  const std::size_t n_nets = netlist.num_nets();
+  r.net_arrival_ps.assign(n_nets, 0.0);
+  r.net_required_ps.assign(n_nets, std::numeric_limits<double>::infinity());
+  r.net_slack_ps.assign(n_nets, 0.0);
+  r.total_area_um2 = netlist.total_area_um2(lib);
+
+  // ---- loads ---------------------------------------------------------------
+  std::vector<double> load_ff(n_nets, 0.0);
+  for (const Gate& g : netlist.gates()) {
+    const cell::Cell& c = lib.cell(g.cell_id);
+    for (const NetId in : g.inputs) {
+      load_ff[in] += c.input_cap_ff + params.wire_cap_per_fanout_ff;
+    }
+  }
+  for (const auto& o : netlist.outputs()) load_ff[o.net] += params.po_cap_ff;
+
+  // ---- forward: arrivals -----------------------------------------------------
+  // Which input pin determined each gate's arrival (for path extraction).
+  std::vector<std::uint32_t> critical_pin(netlist.num_gates(), 0);
+  for (GateId gid = 0; gid < netlist.num_gates(); ++gid) {
+    const Gate& g = netlist.gate(gid);
+    const cell::Cell& c = lib.cell(g.cell_id);
+    const double delay = lib.pin_delay_ps(c, load_ff[g.output]);
+    double arrival = 0.0;
+    for (std::uint32_t pin = 0; pin < g.inputs.size(); ++pin) {
+      const double candidate = r.net_arrival_ps[g.inputs[pin]] + delay;
+      if (candidate > arrival) {
+        arrival = candidate;
+        critical_pin[gid] = pin;
+      }
+    }
+    // Cells with no inputs (tie-like) arrive at their intrinsic delay.
+    if (g.inputs.empty()) arrival = delay;
+    r.net_arrival_ps[g.output] = arrival;
+  }
+
+  // ---- outputs ----------------------------------------------------------------
+  r.max_delay_ps = 0.0;
+  for (std::size_t o = 0; o < netlist.outputs().size(); ++o) {
+    const double arr = r.net_arrival_ps[netlist.outputs()[o].net];
+    if (arr > r.max_delay_ps) {
+      r.max_delay_ps = arr;
+      r.critical_output = o;
+    }
+  }
+
+  // ---- backward: required times and slacks -------------------------------------
+  const double target = params.clock_period_ps > 0.0 ? params.clock_period_ps : r.max_delay_ps;
+  for (const auto& o : netlist.outputs()) {
+    r.net_required_ps[o.net] = std::min(r.net_required_ps[o.net], target);
+  }
+  for (GateId gid = netlist.num_gates(); gid-- > 0;) {
+    const Gate& g = netlist.gate(gid);
+    const cell::Cell& c = lib.cell(g.cell_id);
+    const double delay = lib.pin_delay_ps(c, load_ff[g.output]);
+    const double req_out = r.net_required_ps[g.output];
+    if (req_out == std::numeric_limits<double>::infinity()) continue;  // dead gate
+    for (const NetId in : g.inputs) {
+      r.net_required_ps[in] = std::min(r.net_required_ps[in], req_out - delay);
+    }
+  }
+  r.worst_slack_ps = std::numeric_limits<double>::infinity();
+  for (NetId id = 0; id < n_nets; ++id) {
+    if (r.net_required_ps[id] == std::numeric_limits<double>::infinity()) {
+      // Unconstrained net (drives nothing): give it full slack.
+      r.net_slack_ps[id] = target;
+      continue;
+    }
+    r.net_slack_ps[id] = r.net_required_ps[id] - r.net_arrival_ps[id];
+    r.worst_slack_ps = std::min(r.worst_slack_ps, r.net_slack_ps[id]);
+  }
+  if (r.worst_slack_ps == std::numeric_limits<double>::infinity()) r.worst_slack_ps = target;
+
+  // ---- critical path -----------------------------------------------------------
+  if (!netlist.outputs().empty()) {
+    NetId cursor = netlist.outputs()[r.critical_output].net;
+    while (netlist.net(cursor).kind == NetKind::FromGate) {
+      const GateId gid = static_cast<GateId>(netlist.net(cursor).driver_gate);
+      const Gate& g = netlist.gate(gid);
+      r.critical_path.push_back(
+          PathElement{gid, lib.cell(g.cell_id).name, r.net_arrival_ps[cursor]});
+      if (g.inputs.empty()) break;
+      cursor = g.inputs[critical_pin[gid]];
+    }
+    std::reverse(r.critical_path.begin(), r.critical_path.end());
+  }
+  return r;
+}
+
+std::string timing_report(const Netlist& netlist, const cell::Library& lib,
+                          const StaResult& result) {
+  std::ostringstream out;
+  out << "=== timing report (library: " << lib.name() << ") ===\n";
+  out << "gates: " << netlist.num_gates() << "  area: " << result.total_area_um2
+      << " um^2  max delay: " << result.max_delay_ps << " ps  worst slack: "
+      << result.worst_slack_ps << " ps\n";
+  out << "critical path (output '" << netlist.outputs()[result.critical_output].name << "', "
+      << result.critical_path.size() << " stages):\n";
+  for (const PathElement& e : result.critical_path) {
+    out << "  gate " << e.gate << "  " << e.cell_name << "  arrival " << e.arrival_ps << " ps\n";
+  }
+  return out.str();
+}
+
+}  // namespace aigml::sta

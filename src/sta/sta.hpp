@@ -1,0 +1,58 @@
+#pragma once
+// Static timing analysis over a mapped netlist.
+//
+// Delay model (matching the Library): pin-to-output delay of a gate is
+// intrinsic + resistance * load(output net), where
+//
+//   load(net) [fF] = sum of receiving pin capacitances
+//                  + wire_cap_per_fanout * fanout_count      (RC wire proxy)
+//                  + po_cap for nets driving a primary output.
+//
+// Arrival times propagate forward in topological order; required times and
+// slacks propagate backward from the latest output (or an explicit clock
+// target).  The maximum arrival over all primary outputs is the
+// "post-mapping delay" used as ground truth throughout the paper's flows.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "celllib/library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace aigml::sta {
+
+struct StaParams {
+  double wire_cap_per_fanout_ff = 0.6;
+  double po_cap_ff = 3.0;
+  /// Required time at outputs; <= 0 means "use the latest arrival" (zero
+  /// worst slack).
+  double clock_period_ps = 0.0;
+};
+
+struct PathElement {
+  net::GateId gate = 0;
+  std::string cell_name;
+  double arrival_ps = 0.0;
+};
+
+struct StaResult {
+  double max_delay_ps = 0.0;        ///< critical (latest) primary-output arrival
+  double total_area_um2 = 0.0;
+  double worst_slack_ps = 0.0;
+  std::size_t critical_output = 0;  ///< index of the latest output
+  std::vector<double> net_arrival_ps;   ///< per net
+  std::vector<double> net_required_ps;  ///< per net
+  std::vector<double> net_slack_ps;     ///< per net
+  std::vector<PathElement> critical_path;  ///< PI-to-PO gate chain
+};
+
+/// Runs STA.  The netlist must be topologically ordered.
+[[nodiscard]] StaResult run_sta(const net::Netlist& netlist, const cell::Library& lib,
+                                const StaParams& params = {});
+
+/// Human-readable timing report (critical path + summary).
+[[nodiscard]] std::string timing_report(const net::Netlist& netlist, const cell::Library& lib,
+                                        const StaResult& result);
+
+}  // namespace aigml::sta

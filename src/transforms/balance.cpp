@@ -1,0 +1,118 @@
+#include "transforms/balance.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "aig/analysis.hpp"
+
+namespace aigml::transforms {
+
+using aig::Aig;
+using aig::Lit;
+using aig::NodeId;
+
+namespace {
+
+/// Tracks node levels of a graph under construction.
+class LevelledBuilder {
+ public:
+  explicit LevelledBuilder(std::size_t reserve) { out_.reserve(reserve); }
+
+  Lit add_input(const std::string& name) {
+    const Lit lit = out_.add_input(name);
+    sync_levels();
+    return lit;
+  }
+
+  Lit make_and(Lit a, Lit b) {
+    const Lit lit = out_.make_and(a, b);
+    sync_levels();
+    return lit;
+  }
+
+  [[nodiscard]] std::uint32_t level(Lit lit) const { return levels_[aig::lit_var(lit)]; }
+  [[nodiscard]] Aig& graph() noexcept { return out_; }
+
+ private:
+  void sync_levels() {
+    for (NodeId id = static_cast<NodeId>(levels_.size()); id < out_.num_nodes(); ++id) {
+      if (out_.is_and(id)) {
+        levels_.push_back(1 + std::max(levels_[aig::lit_var(out_.fanin0(id))],
+                                       levels_[aig::lit_var(out_.fanin1(id))]));
+      } else {
+        levels_.push_back(0);
+      }
+    }
+  }
+
+  Aig out_;
+  std::vector<std::uint32_t> levels_ = {0};  // constant node
+};
+
+}  // namespace
+
+Aig balance(const Aig& g) {
+  const auto fanout = aig::fanout_counts(g);
+  LevelledBuilder builder(g.num_nodes());
+  std::vector<Lit> remap(g.num_nodes(), aig::kLitInvalid);
+  remap[0] = aig::kLitFalse;
+  for (std::size_t i = 0; i < g.num_inputs(); ++i) {
+    remap[g.inputs()[i]] = builder.add_input(g.input_name(i));
+  }
+
+  // Collects the leaves of the maximal AND tree rooted at `root`: descend
+  // through uncomplemented, single-fanout AND fanins (complemented edges and
+  // shared nodes are tree boundaries).
+  auto collect_leaves = [&](NodeId root) {
+    std::vector<Lit> leaves;
+    std::vector<Lit> stack{g.fanin0(root), g.fanin1(root)};
+    while (!stack.empty()) {
+      const Lit f = stack.back();
+      stack.pop_back();
+      const NodeId v = aig::lit_var(f);
+      if (!aig::lit_is_complemented(f) && g.is_and(v) && fanout[v] == 1) {
+        stack.push_back(g.fanin0(v));
+        stack.push_back(g.fanin1(v));
+      } else {
+        leaves.push_back(f);
+      }
+    }
+    return leaves;
+  };
+
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (!g.is_and(id)) continue;
+    // Map tree leaves into the new graph.
+    std::vector<Lit> mapped;
+    for (const Lit leaf : collect_leaves(id)) {
+      mapped.push_back(aig::lit_not_if(remap[aig::lit_var(leaf)], aig::lit_is_complemented(leaf)));
+    }
+    // Huffman-style level-minimal combination: repeatedly AND the two
+    // shallowest operands.  Sorting descending lets us pop from the back.
+    std::sort(mapped.begin(), mapped.end(), [&](Lit x, Lit y) {
+      return builder.level(x) > builder.level(y);
+    });
+    while (mapped.size() > 1) {
+      const Lit a = mapped.back();
+      mapped.pop_back();
+      const Lit b = mapped.back();
+      mapped.pop_back();
+      const Lit combined = builder.make_and(a, b);
+      // Insert keeping the descending-level order.
+      const auto pos = std::lower_bound(
+          mapped.begin(), mapped.end(), combined,
+          [&](Lit x, Lit y) { return builder.level(x) > builder.level(y); });
+      mapped.insert(pos, combined);
+    }
+    remap[id] = mapped.empty() ? aig::kLitTrue : mapped.front();
+  }
+
+  for (std::size_t i = 0; i < g.num_outputs(); ++i) {
+    const Lit o = g.outputs()[i];
+    builder.graph().add_output(
+        aig::lit_not_if(remap[aig::lit_var(o)], aig::lit_is_complemented(o)), g.output_name(i));
+  }
+  return builder.graph().cleanup();
+}
+
+}  // namespace aigml::transforms

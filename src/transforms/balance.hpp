@@ -1,0 +1,14 @@
+#pragma once
+// AND-tree balancing (ABC's `balance`): rebuilds the graph bottom-up,
+// collapsing maximal single-fanout AND trees and re-associating them as
+// level-minimal balanced trees.  Purely structural, equivalence-preserving,
+// and the classic depth-reduction move of the optimization scripts.
+
+#include "aig/aig.hpp"
+
+namespace aigml::transforms {
+
+/// Returns a balanced, cleaned-up copy of `g` (same PI/PO interface).
+[[nodiscard]] aig::Aig balance(const aig::Aig& g);
+
+}  // namespace aigml::transforms

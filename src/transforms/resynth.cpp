@@ -1,0 +1,350 @@
+#include "transforms/resynth.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "aig/analysis.hpp"
+#include "aig/cuts.hpp"
+#include "aig/synth.hpp"
+#include "aig/truth.hpp"
+
+namespace aigml::transforms {
+
+using aig::Aig;
+using aig::AndProber;
+using aig::Cut;
+using aig::Lit;
+using aig::NodeId;
+
+namespace {
+
+/// Cost of a candidate: AND nodes that would be added + resulting level.
+struct CandidateCost {
+  int added_nodes = 0;
+  std::uint32_t level = 0;
+};
+
+bool cheaper(const CandidateCost& a, const CandidateCost& b, bool prefer_depth) {
+  if (prefer_depth) {
+    if (a.level != b.level) return a.level < b.level;
+    return a.added_nodes < b.added_nodes;
+  }
+  if (a.added_nodes != b.added_nodes) return a.added_nodes < b.added_nodes;
+  return a.level < b.level;
+}
+
+/// A candidate is a closure that emits the implementation through an AndFn;
+/// running it against an AndProber costs it, against the real graph builds it.
+using Recipe = std::function<Lit(const aig::AndFn&)>;
+
+/// Reconvergence-driven cut: grow from the node's fanins, expanding the leaf
+/// whose replacement by its fanins increases the leaf count least, while
+/// staying within `max_leaves`.  The result is always a *structural* cut.
+std::vector<NodeId> reconvergence_cut(const Aig& g, NodeId root, int max_leaves) {
+  std::vector<NodeId> leaves{aig::lit_var(g.fanin0(root)), aig::lit_var(g.fanin1(root))};
+  std::sort(leaves.begin(), leaves.end());
+  leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+  while (true) {
+    int best_index = -1;
+    int best_growth = max_leaves + 1;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      const NodeId leaf = leaves[i];
+      if (!g.is_and(leaf)) continue;
+      const NodeId c0 = aig::lit_var(g.fanin0(leaf));
+      const NodeId c1 = aig::lit_var(g.fanin1(leaf));
+      int growth = -1;  // removing the expanded leaf
+      if (std::find(leaves.begin(), leaves.end(), c0) == leaves.end()) ++growth;
+      if (c1 != c0 && std::find(leaves.begin(), leaves.end(), c1) == leaves.end()) ++growth;
+      if (static_cast<int>(leaves.size()) + growth <= max_leaves && growth < best_growth) {
+        best_growth = growth;
+        best_index = static_cast<int>(i);
+      }
+    }
+    if (best_index < 0) break;
+    const NodeId leaf = leaves[static_cast<std::size_t>(best_index)];
+    leaves.erase(leaves.begin() + best_index);
+    for (const Lit f : {g.fanin0(leaf), g.fanin1(leaf)}) {
+      const NodeId v = aig::lit_var(f);
+      if (std::find(leaves.begin(), leaves.end(), v) == leaves.end()) leaves.push_back(v);
+    }
+    std::sort(leaves.begin(), leaves.end());
+  }
+  return leaves;
+}
+
+/// Nodes strictly between `root` and `leaves` (excluding both), topological.
+std::vector<NodeId> window_nodes(const Aig& g, NodeId root, const std::vector<NodeId>& leaves) {
+  std::vector<char> is_leaf(g.num_nodes(), 0);
+  for (const NodeId l : leaves) is_leaf[l] = 1;
+  std::vector<NodeId> stack{aig::lit_var(g.fanin0(root)), aig::lit_var(g.fanin1(root))};
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::vector<NodeId> nodes;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (seen[id] || is_leaf[id] || !g.is_and(id)) continue;
+    seen[id] = 1;
+    nodes.push_back(id);
+    stack.push_back(aig::lit_var(g.fanin0(id)));
+    stack.push_back(aig::lit_var(g.fanin1(id)));
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+/// Local truth tables over the window: leaves get elementary variables,
+/// window nodes (and the root) evaluate structurally.  Exact because the
+/// leaf set is a structural cut.
+struct WindowTables {
+  std::uint64_t root_table = 0;
+  std::vector<std::pair<NodeId, std::uint64_t>> divisors;  ///< node id -> table
+};
+
+WindowTables window_tables(const Aig& g, NodeId root, const std::vector<NodeId>& leaves,
+                           const std::vector<NodeId>& inner, int max_divisors) {
+  std::vector<std::uint64_t> value(g.num_nodes(), 0);
+  std::vector<char> known(g.num_nodes(), 0);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    value[leaves[i]] = aig::tt_var(static_cast<int>(i));
+    known[leaves[i]] = 1;
+  }
+  WindowTables out;
+  auto eval = [&](NodeId id) {
+    const Lit f0 = g.fanin0(id);
+    const Lit f1 = g.fanin1(id);
+    const std::uint64_t v0 =
+        value[aig::lit_var(f0)] ^ (aig::lit_is_complemented(f0) ? ~0ULL : 0ULL);
+    const std::uint64_t v1 =
+        value[aig::lit_var(f1)] ^ (aig::lit_is_complemented(f1) ? ~0ULL : 0ULL);
+    value[id] = v0 & v1;
+    known[id] = 1;
+  };
+  for (const NodeId id : inner) {
+    eval(id);
+    if (static_cast<int>(out.divisors.size()) < max_divisors) {
+      out.divisors.emplace_back(id, value[id]);
+    }
+  }
+  // Leaves are divisors too (buffers/complements of leaves are candidates).
+  for (const NodeId l : leaves) {
+    if (static_cast<int>(out.divisors.size()) < max_divisors) {
+      out.divisors.emplace_back(l, value[l]);
+    }
+  }
+  eval(root);
+  out.root_table = value[root];
+  return out;
+}
+
+/// The resynthesis pass.
+class ResynthPass {
+ public:
+  ResynthPass(const Aig& g, const ResynthParams& params) : g_(g), params_(params) {
+    if (params.source == CutSource::Enumerated) {
+      cuts_.emplace(g, aig::CutParams{params.cut_size, params.cuts_per_node});
+    }
+  }
+
+  Aig run() {
+    remap_.assign(g_.num_nodes(), aig::kLitInvalid);
+    remap_[0] = aig::kLitFalse;
+    out_.reserve(g_.num_nodes());
+    for (std::size_t i = 0; i < g_.num_inputs(); ++i) {
+      remap_[g_.inputs()[i]] = out_.add_input(g_.input_name(i));
+    }
+    sync_levels();
+    for (NodeId id = 0; id < g_.num_nodes(); ++id) {
+      if (g_.is_and(id)) process(id);
+    }
+    for (std::size_t i = 0; i < g_.num_outputs(); ++i) {
+      const Lit o = g_.outputs()[i];
+      out_.add_output(aig::lit_not_if(remap_[aig::lit_var(o)], aig::lit_is_complemented(o)),
+                      g_.output_name(i));
+    }
+    return out_.cleanup();
+  }
+
+ private:
+  void sync_levels() {
+    for (NodeId id = static_cast<NodeId>(out_levels_.size()); id < out_.num_nodes(); ++id) {
+      if (out_.is_and(id)) {
+        out_levels_.push_back(1 + std::max(out_levels_[aig::lit_var(out_.fanin0(id))],
+                                           out_levels_[aig::lit_var(out_.fanin1(id))]));
+      } else {
+        out_levels_.push_back(0);
+      }
+    }
+  }
+
+  Lit mapped(Lit lit) const {
+    return aig::lit_not_if(remap_[aig::lit_var(lit)], aig::lit_is_complemented(lit));
+  }
+
+  CandidateCost cost_of(const Recipe& recipe) {
+    AndProber prober(out_, out_levels_);
+    const Lit result = recipe([&prober](Lit a, Lit b) { return prober(a, b); });
+    return CandidateCost{prober.misses(), prober.level_of(result)};
+  }
+
+  void process(NodeId id) {
+    std::vector<Recipe> recipes;
+    // (a) default reconstruction.
+    const Lit d0 = mapped(g_.fanin0(id));
+    const Lit d1 = mapped(g_.fanin1(id));
+    recipes.push_back([d0, d1](const aig::AndFn& fn) { return fn(d0, d1); });
+
+    if (params_.source == CutSource::Enumerated) {
+      for (const Cut& cut : cuts_->cuts(id)) {
+        std::vector<Lit> leaf_lits;
+        leaf_lits.reserve(cut.size);
+        for (const NodeId leaf : cut.leaf_span()) {
+          leaf_lits.push_back(remap_[leaf]);
+        }
+        const std::uint64_t table = cut.table;
+        const int nvars = cut.size;
+        recipes.push_back([table, nvars, leaf_lits](const aig::AndFn& fn) {
+          return aig::synthesize_tt(fn, table, nvars, leaf_lits);
+        });
+      }
+    } else {
+      const auto leaves = reconvergence_cut(g_, id, params_.reconv_max_leaves);
+      const auto inner = window_nodes(g_, id, leaves);
+      const auto tables = window_tables(g_, id, leaves, inner,
+                                        params_.try_resub ? params_.max_divisors : 0);
+      std::vector<Lit> leaf_lits;
+      leaf_lits.reserve(leaves.size());
+      for (const NodeId leaf : leaves) leaf_lits.push_back(remap_[leaf]);
+      const std::uint64_t table = tables.root_table;
+      const int nvars = static_cast<int>(leaves.size());
+      recipes.push_back([table, nvars, leaf_lits](const aig::AndFn& fn) {
+        return aig::synthesize_tt(fn, table, nvars, leaf_lits);
+      });
+      if (params_.try_resub) add_resub_recipes(tables, recipes);
+    }
+
+    // Cost all candidates, realize the winner.
+    std::size_t best = 0;
+    CandidateCost best_cost = cost_of(recipes[0]);
+    for (std::size_t i = 1; i < recipes.size(); ++i) {
+      const CandidateCost c = cost_of(recipes[i]);
+      if (cheaper(c, best_cost, params_.prefer_depth)) {
+        best_cost = c;
+        best = i;
+      }
+    }
+    remap_[id] = recipes[best]([this](Lit a, Lit b) { return out_.make_and(a, b); });
+    sync_levels();
+  }
+
+  /// Divisor-pair candidates: exact matches of the root function by a single
+  /// divisor or a simple gate over two divisors.
+  void add_resub_recipes(const WindowTables& tables, std::vector<Recipe>& recipes) const {
+    const std::uint64_t target = tables.root_table;
+    const auto& divs = tables.divisors;
+    for (std::size_t i = 0; i < divs.size(); ++i) {
+      const Lit di = remap_[divs[i].first];
+      const std::uint64_t ti = divs[i].second;
+      if (ti == target) {
+        recipes.push_back([di](const aig::AndFn&) { return di; });
+        continue;  // exact copies beat anything else involving this divisor
+      }
+      if (~ti == target) {
+        recipes.push_back([di](const aig::AndFn&) { return aig::lit_not(di); });
+        continue;
+      }
+      for (std::size_t j = i + 1; j < divs.size(); ++j) {
+        const Lit dj = remap_[divs[j].first];
+        const std::uint64_t tj = divs[j].second;
+        // AND with all polarity combinations (covers OR/NOR via output
+        // complement when the target matches the complemented form).
+        for (int neg = 0; neg < 4; ++neg) {
+          const std::uint64_t a = (neg & 1) ? ~ti : ti;
+          const std::uint64_t b = (neg & 2) ? ~tj : tj;
+          const Lit la = aig::lit_not_if(di, (neg & 1) != 0);
+          const Lit lb = aig::lit_not_if(dj, (neg & 2) != 0);
+          if ((a & b) == target) {
+            recipes.push_back([la, lb](const aig::AndFn& fn) { return fn(la, lb); });
+          } else if (~(a & b) == target) {
+            recipes.push_back(
+                [la, lb](const aig::AndFn& fn) { return aig::lit_not(fn(la, lb)); });
+          }
+        }
+        if ((ti ^ tj) == target || (ti ^ tj) == ~target) {
+          const bool complemented = (ti ^ tj) == ~target;
+          recipes.push_back([di, dj, complemented](const aig::AndFn& fn) {
+            const Lit p = fn(di, aig::lit_not(dj));
+            const Lit q = fn(aig::lit_not(di), dj);
+            const Lit x = aig::lit_not(fn(aig::lit_not(p), aig::lit_not(q)));
+            return aig::lit_not_if(x, complemented);
+          });
+        }
+      }
+    }
+  }
+
+  const Aig& g_;
+  ResynthParams params_;
+  std::optional<aig::CutSets> cuts_;
+  Aig out_;
+  std::vector<Lit> remap_;
+  std::vector<std::uint32_t> out_levels_;
+};
+
+}  // namespace
+
+Aig resynthesize(const Aig& g, const ResynthParams& params) {
+  if (params.cut_size < 2 || params.cut_size > aig::kTtMaxVars) {
+    throw std::invalid_argument("resynthesize: cut_size out of range");
+  }
+  if (params.reconv_max_leaves < 2 || params.reconv_max_leaves > aig::kTtMaxVars) {
+    throw std::invalid_argument("resynthesize: reconv_max_leaves out of range");
+  }
+  ResynthPass pass(g, params);
+  return pass.run();
+}
+
+Aig rewrite(const Aig& g) {
+  ResynthParams p;
+  p.source = CutSource::Enumerated;
+  p.cut_size = 4;
+  return resynthesize(g, p);
+}
+
+Aig rewrite_depth(const Aig& g) {
+  ResynthParams p;
+  p.source = CutSource::Enumerated;
+  p.cut_size = 4;
+  p.prefer_depth = true;
+  return resynthesize(g, p);
+}
+
+Aig rewrite_k3(const Aig& g) {
+  ResynthParams p;
+  p.source = CutSource::Enumerated;
+  p.cut_size = 3;
+  return resynthesize(g, p);
+}
+
+Aig refactor(const Aig& g) {
+  ResynthParams p;
+  p.source = CutSource::Reconvergence;
+  return resynthesize(g, p);
+}
+
+Aig refactor_depth(const Aig& g) {
+  ResynthParams p;
+  p.source = CutSource::Reconvergence;
+  p.prefer_depth = true;
+  return resynthesize(g, p);
+}
+
+Aig resub(const Aig& g) {
+  ResynthParams p;
+  p.source = CutSource::Reconvergence;
+  p.try_resub = true;
+  return resynthesize(g, p);
+}
+
+}  // namespace aigml::transforms

@@ -1,0 +1,56 @@
+#pragma once
+// Unified cut-based resynthesis: one engine implements the rewrite /
+// refactor / resubstitution family of ABC-style transforms.
+//
+// The pass rebuilds the graph in topological order.  For every AND node it
+// gathers *candidate implementations* expressed over already-rebuilt logic:
+//
+//   * the default reconstruction (AND of the two mapped fanins),
+//   * ISOP/parity resynthesis of each enumerated k-cut function (rewrite),
+//   * ISOP/parity resynthesis of a reconvergence-driven cut of up to 6
+//     leaves (refactor),
+//   * expressions over functionally-equivalent divisors found by exact
+//     truth-table comparison inside the reconvergence window (resub).
+//
+// Each candidate is *costed without mutating the graph* using aig::AndProber
+// (number of genuinely new AND nodes, exploiting all sharing with logic
+// built so far) plus the resulting level; the winner is then realized.
+// Nodes orphaned by better implementations die in the final cleanup().
+//
+// Every candidate's function over its (structural or support-minimized) cut
+// is exact on all circuit-reachable leaf valuations, so the whole pass is
+// equivalence-preserving; tests enforce this on every generator circuit.
+
+#include <cstdint>
+
+#include "aig/aig.hpp"
+
+namespace aigml::transforms {
+
+enum class CutSource : std::uint8_t {
+  Enumerated,     ///< k-feasible cuts (rewrite-style)
+  Reconvergence,  ///< one grown window cut per node (refactor-style)
+};
+
+struct ResynthParams {
+  CutSource source = CutSource::Enumerated;
+  int cut_size = 4;            ///< enumerated-cut size (2..6)
+  int cuts_per_node = 8;       ///< enumerated-cut budget
+  int reconv_max_leaves = 6;   ///< reconvergence window width (2..6)
+  bool try_resub = false;      ///< enable divisor substitution candidates
+  int max_divisors = 24;       ///< divisor budget per window
+  bool prefer_depth = false;   ///< optimize (level, count) instead of (count, level)
+};
+
+/// Applies one resynthesis pass; returns the cleaned-up result.
+[[nodiscard]] aig::Aig resynthesize(const aig::Aig& g, const ResynthParams& params);
+
+// Named presets mirroring the ABC vocabulary.
+[[nodiscard]] aig::Aig rewrite(const aig::Aig& g);          ///< rw: 4-cut, area-first
+[[nodiscard]] aig::Aig rewrite_depth(const aig::Aig& g);    ///< rwd: 4-cut, depth-first
+[[nodiscard]] aig::Aig rewrite_k3(const aig::Aig& g);       ///< rw3: 3-cut, area-first
+[[nodiscard]] aig::Aig refactor(const aig::Aig& g);         ///< rf: reconvergence, area-first
+[[nodiscard]] aig::Aig refactor_depth(const aig::Aig& g);   ///< rfd: reconvergence, depth-first
+[[nodiscard]] aig::Aig resub(const aig::Aig& g);            ///< rs: window resubstitution
+
+}  // namespace aigml::transforms

@@ -1,0 +1,70 @@
+#include "transforms/scripts.hpp"
+
+#include <stdexcept>
+
+#include "transforms/balance.hpp"
+#include "transforms/resynth.hpp"
+
+namespace aigml::transforms {
+
+const std::vector<std::string>& primitive_names() {
+  static const std::vector<std::string> names = {"b", "rw", "rwd", "rw3", "rf", "rfd", "rs"};
+  return names;
+}
+
+aig::Aig apply_primitive(const std::string& mnemonic, const aig::Aig& g) {
+  if (mnemonic == "b") return balance(g);
+  if (mnemonic == "rw") return rewrite(g);
+  if (mnemonic == "rwd") return rewrite_depth(g);
+  if (mnemonic == "rw3") return rewrite_k3(g);
+  if (mnemonic == "rf") return refactor(g);
+  if (mnemonic == "rfd") return refactor_depth(g);
+  if (mnemonic == "rs") return resub(g);
+  throw std::out_of_range("apply_primitive: unknown mnemonic '" + mnemonic + "'");
+}
+
+ScriptRegistry::ScriptRegistry() {
+  const auto& prim = primitive_names();
+  auto add = [this](std::vector<std::string> steps) {
+    Script s;
+    s.steps = std::move(steps);
+    for (std::size_t i = 0; i < s.steps.size(); ++i) {
+      if (i) s.name += ';';
+      s.name += s.steps[i];
+    }
+    scripts_.push_back(std::move(s));
+  };
+  // 7 singletons.
+  for (const auto& p : prim) add({p});
+  // 49 pairs.
+  for (const auto& p : prim) {
+    for (const auto& q : prim) add({p, q});
+  }
+  // First 47 triples in lexicographic order over primitive indices.
+  int remaining = kNumScripts - static_cast<int>(scripts_.size());
+  for (const auto& p : prim) {
+    for (const auto& q : prim) {
+      for (const auto& r : prim) {
+        if (remaining == 0) return;
+        add({p, q, r});
+        --remaining;
+      }
+    }
+  }
+}
+
+aig::Aig ScriptRegistry::apply(std::size_t index, const aig::Aig& g) const {
+  const Script& s = script(index);
+  aig::Aig current = g;
+  for (const std::string& step : s.steps) {
+    current = apply_primitive(step, current);
+  }
+  return current;
+}
+
+const ScriptRegistry& script_registry() {
+  static const ScriptRegistry registry;
+  return registry;
+}
+
+}  // namespace aigml::transforms

@@ -1,0 +1,57 @@
+#pragma once
+// Optimization-script registry.
+//
+// The paper's baseline flow draws, at each SA iteration, one of "103
+// combinations of the basic transformations available in ABC" (abc.rc).  We
+// reproduce that: seven primitive passes (balance, rewrite variants,
+// refactor variants, resubstitution) are composed into exactly 103 distinct
+// sequences — all 7 singletons, all 49 pairs, and the first 47 triples in
+// deterministic lexicographic order.  Scripts are addressed by index or
+// name ("rw;rf;b") and are the SA move set for every flow in the paper.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "util/rng.hpp"
+
+namespace aigml::transforms {
+
+inline constexpr int kNumScripts = 103;
+
+struct Script {
+  std::string name;                 ///< e.g. "rw;rf;b"
+  std::vector<std::string> steps;   ///< primitive mnemonics in order
+};
+
+/// Available primitive mnemonics: b, rw, rwd, rw3, rf, rfd, rs.
+[[nodiscard]] const std::vector<std::string>& primitive_names();
+
+/// Applies one primitive by mnemonic; throws std::out_of_range for unknown
+/// names.
+[[nodiscard]] aig::Aig apply_primitive(const std::string& mnemonic, const aig::Aig& g);
+
+class ScriptRegistry {
+ public:
+  /// Builds the canonical 103-script registry.
+  ScriptRegistry();
+
+  [[nodiscard]] const std::vector<Script>& scripts() const noexcept { return scripts_; }
+  [[nodiscard]] const Script& script(std::size_t index) const { return scripts_.at(index); }
+  [[nodiscard]] std::size_t size() const noexcept { return scripts_.size(); }
+
+  /// Applies script `index` to `g`.
+  [[nodiscard]] aig::Aig apply(std::size_t index, const aig::Aig& g) const;
+
+  /// Uniformly random script index.
+  [[nodiscard]] std::size_t random_index(Rng& rng) const { return rng.next_below(scripts_.size()); }
+
+ private:
+  std::vector<Script> scripts_;
+};
+
+/// Process-wide registry instance (construction is cheap and immutable).
+[[nodiscard]] const ScriptRegistry& script_registry();
+
+}  // namespace aigml::transforms

@@ -1,0 +1,148 @@
+#include "transforms/shuffle.hpp"
+
+#include <vector>
+
+#include "aig/analysis.hpp"
+#include "aig/cuts.hpp"
+#include "aig/synth.hpp"
+#include "util/rng.hpp"
+
+namespace aigml::transforms {
+
+using aig::Aig;
+using aig::Lit;
+using aig::NodeId;
+
+Aig randomized_rebalance(const Aig& g, std::uint64_t seed, double chain_probability) {
+  Rng rng(seed);
+  const auto fanout = aig::fanout_counts(g);
+  Aig out;
+  out.reserve(g.num_nodes());
+  std::vector<Lit> remap(g.num_nodes(), aig::kLitInvalid);
+  remap[0] = aig::kLitFalse;
+  for (std::size_t i = 0; i < g.num_inputs(); ++i) {
+    remap[g.inputs()[i]] = out.add_input(g.input_name(i));
+  }
+
+  // Same maximal AND-tree collection as balance().
+  auto collect_leaves = [&](NodeId root) {
+    std::vector<Lit> leaves;
+    std::vector<Lit> stack{g.fanin0(root), g.fanin1(root)};
+    while (!stack.empty()) {
+      const Lit f = stack.back();
+      stack.pop_back();
+      const NodeId v = aig::lit_var(f);
+      if (!aig::lit_is_complemented(f) && g.is_and(v) && fanout[v] == 1) {
+        stack.push_back(g.fanin0(v));
+        stack.push_back(g.fanin1(v));
+      } else {
+        leaves.push_back(f);
+      }
+    }
+    return leaves;
+  };
+
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (!g.is_and(id)) continue;
+    std::vector<Lit> mapped;
+    for (const Lit leaf : collect_leaves(id)) {
+      mapped.push_back(aig::lit_not_if(remap[aig::lit_var(leaf)], aig::lit_is_complemented(leaf)));
+    }
+    if (mapped.size() > 2 && rng.next_bool(chain_probability)) {
+      // Chain association in shuffled order: linear depth (pessimal).
+      rng.shuffle(mapped);
+      Lit acc = mapped[0];
+      for (std::size_t i = 1; i < mapped.size(); ++i) acc = out.make_and(acc, mapped[i]);
+      remap[id] = acc;
+    } else {
+      // Random pairing: bushy structures of near-logarithmic depth.
+      while (mapped.size() > 1) {
+        const std::size_t i = rng.next_below(mapped.size());
+        const Lit a = mapped[i];
+        mapped.erase(mapped.begin() + static_cast<std::ptrdiff_t>(i));
+        const std::size_t j = rng.next_below(mapped.size());
+        const Lit b = mapped[j];
+        mapped[j] = out.make_and(a, b);
+      }
+      remap[id] = mapped.empty() ? aig::kLitTrue : mapped.front();
+    }
+  }
+
+  for (std::size_t i = 0; i < g.num_outputs(); ++i) {
+    const Lit o = g.outputs()[i];
+    out.add_output(aig::lit_not_if(remap[aig::lit_var(o)], aig::lit_is_complemented(o)),
+                   g.output_name(i));
+  }
+  return out.cleanup();
+}
+
+namespace {
+
+/// Deliberately deep (chain-structured) realization of a cut function:
+/// ISOP cubes built as literal chains, OR-chained in shuffled order.
+/// Compounding this across many nodes stretches graph depth well beyond
+/// what optimizing transforms produce — the upper tail of the variant
+/// distribution that keeps unseen large designs inside the training range.
+Lit synthesize_deep(Aig& out, std::uint64_t table, int nvars, const std::vector<Lit>& leaves,
+                    Rng& rng) {
+  if (table == aig::tt_const0()) return aig::kLitFalse;
+  if (table == aig::tt_const1()) return aig::kLitTrue;
+  auto cover = aig::isop(table, aig::tt_const0(), nvars);
+  std::vector<std::size_t> order(cover.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  Lit acc = aig::kLitFalse;
+  for (const std::size_t k : order) {
+    const aig::Cube& cube = cover[k];
+    Lit cube_lit = aig::kLitTrue;
+    for (int v = 0; v < nvars; ++v) {
+      if (cube.pos & (1u << v)) cube_lit = out.make_and(cube_lit, leaves[static_cast<std::size_t>(v)]);
+      if (cube.neg & (1u << v)) {
+        cube_lit = out.make_and(cube_lit, aig::lit_not(leaves[static_cast<std::size_t>(v)]));
+      }
+    }
+    acc = out.make_or(acc, cube_lit);
+  }
+  return acc;
+}
+
+}  // namespace
+
+Aig randomized_resynthesis(const Aig& g, std::uint64_t seed, double resynth_probability) {
+  Rng rng(seed);
+  const aig::CutSets cuts(g, aig::CutParams{4, 6});
+  Aig out;
+  out.reserve(g.num_nodes());
+  std::vector<Lit> remap(g.num_nodes(), aig::kLitInvalid);
+  remap[0] = aig::kLitFalse;
+  for (std::size_t i = 0; i < g.num_inputs(); ++i) {
+    remap[g.inputs()[i]] = out.add_input(g.input_name(i));
+  }
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (!g.is_and(id)) continue;
+    const auto& node_cuts = cuts.cuts(id);
+    if (!node_cuts.empty() && rng.next_bool(resynth_probability)) {
+      const aig::Cut& cut = node_cuts[rng.next_below(node_cuts.size())];
+      std::vector<Lit> leaf_lits;
+      leaf_lits.reserve(cut.size);
+      for (const NodeId leaf : cut.leaf_span()) leaf_lits.push_back(remap[leaf]);
+      remap[id] = rng.next_bool(0.5)
+                      ? synthesize_deep(out, cut.table, cut.size, leaf_lits, rng)
+                      : aig::synthesize_tt_into(out, cut.table, cut.size, leaf_lits);
+    } else {
+      const Lit f0 = g.fanin0(id);
+      const Lit f1 = g.fanin1(id);
+      remap[id] = out.make_and(
+          aig::lit_not_if(remap[aig::lit_var(f0)], aig::lit_is_complemented(f0)),
+          aig::lit_not_if(remap[aig::lit_var(f1)], aig::lit_is_complemented(f1)));
+    }
+  }
+  for (std::size_t i = 0; i < g.num_outputs(); ++i) {
+    const Lit o = g.outputs()[i];
+    out.add_output(aig::lit_not_if(remap[aig::lit_var(o)], aig::lit_is_complemented(o)),
+                   g.output_name(i));
+  }
+  return out.cleanup();
+}
+
+}  // namespace aigml::transforms

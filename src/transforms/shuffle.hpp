@@ -1,0 +1,37 @@
+#pragma once
+// Randomized, equivalence-preserving restructuring for *variant generation*.
+//
+// The 103 optimization scripts are deterministic and confluent: on small
+// designs a random walk over them saturates after a few dozen structures,
+// nowhere near the paper's 40k unique AIGs per design.  ABC escapes this
+// because its transform set is far richer; we escape it with a seeded
+// diversification move: rebuild the graph re-associating every maximal
+// AND tree in a random order (and optionally through a randomly-ordered
+// XOR-chain detection).  Function is preserved exactly; structure, depth,
+// and fanout distributions vary widely — precisely the diversity the
+// dataset needs.  Not part of the SA move set.
+
+#include <cstdint>
+
+#include "aig/aig.hpp"
+
+namespace aigml::transforms {
+
+/// Rebuilds `g` with random re-association of AND trees.  Deterministic in
+/// (g, seed); different seeds yield (typically) different structures.
+/// Each tree is rebuilt either by random pairing (bushy, near-log depth) or
+/// — with probability `chain_probability` — as a randomly-ordered chain
+/// (linear depth).  Chains stretch the depth/delay distribution upward so
+/// that training-design variant pools cover the delay range of larger
+/// unseen designs (tree models cannot extrapolate beyond their label range).
+[[nodiscard]] aig::Aig randomized_rebalance(const aig::Aig& g, std::uint64_t seed,
+                                            double chain_probability = 0.3);
+
+/// Rebuilds `g`, resynthesizing each node from a *randomly chosen* k-cut
+/// with probability `resynth_probability` (ISOP/parity reconstruction,
+/// ignoring cost).  Restructures XOR/MUX-rich logic that AND-tree
+/// re-association cannot touch.  Deterministic in (g, seed).
+[[nodiscard]] aig::Aig randomized_resynthesis(const aig::Aig& g, std::uint64_t seed,
+                                              double resynth_probability = 0.2);
+
+}  // namespace aigml::transforms

@@ -1,0 +1,88 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace aigml {
+
+std::optional<std::size_t> CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("CsvTable::add_row: row width " + std::to_string(row.size()) +
+                                " != header width " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+double CsvTable::cell_as_double(std::size_t row, std::size_t col) const {
+  const std::string& s = cell(row, col);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::invalid_argument("CsvTable: cell is not a number: '" + s + "'");
+  }
+  return value;
+}
+
+void CsvTable::save(const std::filesystem::path& path) const {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("CsvTable::save: cannot open " + path.string());
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+}  // namespace
+
+std::optional<CsvTable> CsvTable::load(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  CsvTable table(split_csv_line(line));
+  if (table.header().empty()) return std::nullopt;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = split_csv_line(line);
+    if (fields.size() != table.header().size()) return std::nullopt;
+    table.rows_.push_back(std::move(fields));
+  }
+  return table;
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc{}) return "0";
+  return std::string(buffer, ptr);
+}
+
+}  // namespace aigml

@@ -1,0 +1,48 @@
+#pragma once
+// Minimal CSV reading/writing for dataset caching and experiment logs.
+// Values are written with enough precision to round-trip doubles; no quoting
+// support is needed because all field names are identifier-like.
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aigml {
+
+/// In-memory rectangular table with a header row.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept { return header_; }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept { return header_.size(); }
+
+  /// Index of a named column, if present.
+  [[nodiscard]] std::optional<std::size_t> column(const std::string& name) const;
+
+  void add_row(std::vector<std::string> row);
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const {
+    return rows_.at(row).at(col);
+  }
+  [[nodiscard]] double cell_as_double(std::size_t row, std::size_t col) const;
+
+  /// Writes the table to `path`, creating parent directories as needed.
+  void save(const std::filesystem::path& path) const;
+
+  /// Loads a table; returns std::nullopt if the file does not exist or is
+  /// malformed (ragged rows, empty header).
+  static std::optional<CsvTable> load(const std::filesystem::path& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double compactly but losslessly (shortest round-trip form).
+[[nodiscard]] std::string format_double(double value);
+
+}  // namespace aigml

@@ -1,0 +1,33 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace aigml {
+
+double env_scale() {
+  const char* raw = std::getenv("AIGML_SCALE");
+  if (raw == nullptr) return 1.0;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || !std::isfinite(value)) return 1.0;
+  return std::clamp(value, 0.05, 1000.0);
+}
+
+int scaled(int base, int min_value) {
+  const double value = std::round(static_cast<double>(base) * env_scale());
+  return std::max(min_value, static_cast<int>(value));
+}
+
+bool env_paper_hparams() {
+  const char* raw = std::getenv("AIGML_PAPER_HPARAMS");
+  return raw != nullptr && std::string(raw) == "1";
+}
+
+std::string env_cache_dir() {
+  const char* raw = std::getenv("AIGML_CACHE_DIR");
+  return raw != nullptr ? std::string(raw) : std::string("aigml_cache");
+}
+
+}  // namespace aigml

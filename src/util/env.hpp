@@ -1,0 +1,28 @@
+#pragma once
+// Experiment scaling knobs, read once from the environment.
+//
+//   AIGML_SCALE         multiplies dataset sizes / iteration budgets in the
+//                       bench harness (default 1.0; paper scale ~= 67).
+//   AIGML_PAPER_HPARAMS when "1", model training uses the paper's XGBoost
+//                       hyperparameters (5000 trees, depth 16, lr 0.01)
+//                       instead of the repo-scale defaults.
+//   AIGML_CACHE_DIR     directory for dataset caches (default "aigml_cache").
+
+#include <string>
+
+namespace aigml {
+
+/// Returns the value of `AIGML_SCALE` clamped to [0.05, 1000]; 1.0 if unset
+/// or unparseable.
+[[nodiscard]] double env_scale();
+
+/// Scales an integer budget by env_scale(), with a floor of `min_value`.
+[[nodiscard]] int scaled(int base, int min_value = 1);
+
+/// True when AIGML_PAPER_HPARAMS=1.
+[[nodiscard]] bool env_paper_hparams();
+
+/// Dataset cache directory (AIGML_CACHE_DIR or "aigml_cache").
+[[nodiscard]] std::string env_cache_dir();
+
+}  // namespace aigml

@@ -1,0 +1,59 @@
+#pragma once
+// Descriptive statistics and correlation measures used throughout the
+// evaluation harness (Pearson r for Fig. 1, %error summaries for Table III).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace aigml {
+
+/// Streaming mean / variance / extrema accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  /// Sample variance (divide by n-1); 0 for fewer than two samples.
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sample_stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Pearson product-moment correlation coefficient.  Returns 0 when either
+/// series is constant or the series lengths differ / are < 2.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+/// Spearman rank correlation (Pearson over fractional ranks, ties averaged).
+[[nodiscard]] double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Linear-interpolated percentile, p in [0, 100].  Returns 0 on empty input.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Mean of |a-b|/|b| in percent over paired spans ("absolute %error" as
+/// defined in the paper's Table III, with `b` the ground truth).
+struct ErrorSummary {
+  double mean_pct = 0.0;
+  double max_pct = 0.0;
+  double std_pct = 0.0;  // population std of the absolute %errors
+  std::size_t count = 0;
+};
+[[nodiscard]] ErrorSummary absolute_percent_error(std::span<const double> predicted,
+                                                  std::span<const double> truth) noexcept;
+
+}  // namespace aigml

@@ -1,0 +1,71 @@
+#pragma once
+// Wall-clock timing utilities used for all runtime tables (Fig. 2, Table IV).
+
+#include <chrono>
+#include <cstdint>
+
+namespace aigml {
+
+/// Monotonic stopwatch.  `elapsed_s()` may be called repeatedly; `restart()`
+/// resets the origin.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_s() * 1e3; }
+  [[nodiscard]] double elapsed_us() const noexcept { return elapsed_s() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple disjoint intervals (e.g. "total seconds
+/// spent in technology mapping across all SA iterations").
+class Stopwatch {
+ public:
+  void start() noexcept {
+    timer_.restart();
+    running_ = true;
+  }
+  void stop() noexcept {
+    if (running_) {
+      total_s_ += timer_.elapsed_s();
+      ++laps_;
+      running_ = false;
+    }
+  }
+  [[nodiscard]] double total_s() const noexcept { return total_s_; }
+  [[nodiscard]] std::uint64_t laps() const noexcept { return laps_; }
+  [[nodiscard]] double mean_s() const noexcept { return laps_ == 0 ? 0.0 : total_s_ / static_cast<double>(laps_); }
+  void reset() noexcept {
+    total_s_ = 0.0;
+    laps_ = 0;
+    running_ = false;
+  }
+
+ private:
+  Timer timer_;
+  double total_s_ = 0.0;
+  std::uint64_t laps_ = 0;
+  bool running_ = false;
+};
+
+/// RAII guard adding the scope duration to a Stopwatch.
+class ScopedLap {
+ public:
+  explicit ScopedLap(Stopwatch& watch) noexcept : watch_(watch) { watch_.start(); }
+  ~ScopedLap() { watch_.stop(); }
+  ScopedLap(const ScopedLap&) = delete;
+  ScopedLap& operator=(const ScopedLap&) = delete;
+
+ private:
+  Stopwatch& watch_;
+};
+
+}  // namespace aigml

@@ -1,0 +1,191 @@
+// Tests for the standard-cell library: built-in library sanity, Boolean
+// match index correctness (validated by evaluating bindings), and the
+// minilib text format round-trip.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "aig/truth.hpp"
+#include "celllib/library.hpp"
+#include "util/rng.hpp"
+
+namespace aigml::cell {
+namespace {
+
+using aig::tt_const0;
+using aig::tt_const1;
+using aig::tt_eval;
+using aig::tt_expand_low;
+using aig::tt_mask;
+using aig::tt_var;
+
+TEST(Library, MiniSky130HasEssentialCells) {
+  const Library& lib = mini_sky130();
+  EXPECT_GT(lib.cells().size(), 30u);
+  for (const char* name : {"INV_X1", "INV_X4", "NAND2_X1", "NOR2_X1", "XOR2_X1", "AOI21_X1",
+                           "MUX2_X1", "NAND4_X1", "BUF_X2"}) {
+    EXPECT_NO_THROW((void)lib.cell_id(name)) << name;
+  }
+  EXPECT_THROW((void)lib.cell_id("FLUX_CAPACITOR"), std::out_of_range);
+}
+
+TEST(Library, InverterIsLowestResistance) {
+  const Library& lib = mini_sky130();
+  const Cell& inv = lib.cell(lib.inverter_id());
+  EXPECT_EQ(inv.num_inputs, 1);
+  EXPECT_EQ(inv.function & tt_mask(1), ~tt_var(0) & tt_mask(1));
+  for (const Cell& c : lib.cells()) {
+    if (c.num_inputs == 1 && (c.function & tt_mask(1)) == (~tt_var(0) & tt_mask(1))) {
+      EXPECT_LE(inv.resistance_ps_per_ff, c.resistance_ps_per_ff);
+    }
+  }
+}
+
+TEST(Library, DriveStrengthScaling) {
+  const Library& lib = mini_sky130();
+  const Cell& x1 = lib.cell(lib.cell_id("NAND2_X1"));
+  const Cell& x2 = lib.cell(lib.cell_id("NAND2_X2"));
+  const Cell& x4 = lib.cell(lib.cell_id("NAND2_X4"));
+  EXPECT_GT(x1.resistance_ps_per_ff, x2.resistance_ps_per_ff);
+  EXPECT_GT(x2.resistance_ps_per_ff, x4.resistance_ps_per_ff);
+  EXPECT_LT(x1.area_um2, x2.area_um2);
+  EXPECT_LT(x2.area_um2, x4.area_um2);
+  EXPECT_LT(x1.input_cap_ff, x4.input_cap_ff);
+  // Same function across drives.
+  EXPECT_EQ(x1.function, x2.function);
+  EXPECT_EQ(x2.function, x4.function);
+}
+
+TEST(Library, PinDelayIsLinearInLoad) {
+  const Library& lib = mini_sky130();
+  const Cell& c = lib.cell(lib.cell_id("NAND2_X1"));
+  const double d0 = lib.pin_delay_ps(c, 0.0);
+  const double d5 = lib.pin_delay_ps(c, 5.0);
+  const double d10 = lib.pin_delay_ps(c, 10.0);
+  EXPECT_DOUBLE_EQ(d0, c.intrinsic_ps);
+  EXPECT_NEAR(d10 - d5, d5 - d0, 1e-9);
+  EXPECT_GT(d5, d0);
+}
+
+TEST(Library, Fo4DelayIsPlausible130nm) {
+  // Sanity-pin the absolute scale: the unit inverter driving 4 inverter
+  // loads should sit in the tens-of-ps regime expected of a 130nm node.
+  const Library& lib = mini_sky130();
+  const Cell& inv = lib.cell(lib.cell_id("INV_X1"));
+  const double fo4 = lib.pin_delay_ps(inv, 4.0 * inv.input_cap_ff);
+  EXPECT_GT(fo4, 40.0);
+  EXPECT_LT(fo4, 200.0);
+}
+
+/// Evaluates a match binding: feeds leaf assignment bits through the binding
+/// and the cell function; must reproduce the queried table.
+bool binding_realizes(const Library& lib, const Match& m, std::uint64_t table, int leaves) {
+  const Cell& c = lib.cell(m.cell_id);
+  for (std::uint32_t assignment = 0; assignment < (1u << leaves); ++assignment) {
+    std::uint32_t pin_bits = 0;
+    for (int pin = 0; pin < c.num_inputs; ++pin) {
+      const int leaf = m.leaf_of_pin[static_cast<std::size_t>(pin)];
+      bool v = ((assignment >> leaf) & 1) != 0;
+      if ((m.input_neg_mask >> pin) & 1) v = !v;
+      if (v) pin_bits |= 1u << pin;
+    }
+    if (tt_eval(c.function, pin_bits) != tt_eval(table, assignment)) return false;
+  }
+  return true;
+}
+
+TEST(Library, MatchesAreExactForRandomFunctions) {
+  const Library& lib = mini_sky130();
+  Rng rng(555);
+  int total_matches = 0;
+  for (int leaves = 1; leaves <= 4; ++leaves) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::uint64_t table = tt_expand_low(rng.next(), leaves);
+      for (const Match& m : lib.matches(table, leaves)) {
+        EXPECT_TRUE(binding_realizes(lib, m, table, leaves));
+        ++total_matches;
+      }
+    }
+  }
+  EXPECT_GT(total_matches, 100);
+}
+
+TEST(Library, AllTwoInputFunctionsMatchable) {
+  // Functional completeness at the 2-leaf level is what guarantees the
+  // mapper never gets stuck: every non-degenerate 2-var function must match.
+  const Library& lib = mini_sky130();
+  for (std::uint32_t raw = 0; raw < 16; ++raw) {
+    const std::uint64_t table = tt_expand_low(raw, 2);
+    // Skip constants and single-variable functions (not 2-support).
+    if (aig::tt_support(table, 2) != 0b11u) continue;
+    EXPECT_FALSE(lib.matches(table, 2).empty()) << "unmatchable 2-var function " << raw;
+  }
+}
+
+TEST(Library, MatchIndexCoversCellFunctionItself) {
+  const Library& lib = mini_sky130();
+  for (const Cell& c : lib.cells()) {
+    if (c.num_inputs == 0) continue;
+    const auto& ms = lib.matches(c.function, c.num_inputs);
+    EXPECT_FALSE(ms.empty()) << c.name;
+  }
+}
+
+TEST(Library, RequiresInverter) {
+  std::vector<Cell> cells;
+  Cell nand2;
+  nand2.name = "NAND2";
+  nand2.num_inputs = 2;
+  nand2.function = ~(tt_var(0) & tt_var(1));
+  cells.push_back(nand2);
+  EXPECT_THROW((Library{"broken", cells}), std::invalid_argument);
+}
+
+TEST(Library, RejectsDuplicateNamesAndWidePins) {
+  Cell inv;
+  inv.name = "INV";
+  inv.num_inputs = 1;
+  inv.function = ~tt_var(0);
+  EXPECT_THROW((Library{"dup", {inv, inv}}), std::invalid_argument);
+  Cell wide = inv;
+  wide.name = "WIDE";
+  wide.num_inputs = 5;
+  EXPECT_THROW((Library{"wide", {inv, wide}}), std::invalid_argument);
+}
+
+TEST(Library, TextFormatRoundTrip) {
+  const Library& lib = mini_sky130();
+  const std::string text = lib.to_text();
+  const Library back = Library::from_text(text);
+  ASSERT_EQ(back.cells().size(), lib.cells().size());
+  for (std::size_t i = 0; i < lib.cells().size(); ++i) {
+    const Cell& a = lib.cells()[i];
+    const Cell& b = back.cells()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.num_inputs, b.num_inputs);
+    EXPECT_EQ(a.function & tt_mask(a.num_inputs), b.function & tt_mask(b.num_inputs));
+    EXPECT_DOUBLE_EQ(a.area_um2, b.area_um2);
+    EXPECT_DOUBLE_EQ(a.input_cap_ff, b.input_cap_ff);
+    EXPECT_DOUBLE_EQ(a.intrinsic_ps, b.intrinsic_ps);
+    EXPECT_DOUBLE_EQ(a.resistance_ps_per_ff, b.resistance_ps_per_ff);
+  }
+  EXPECT_EQ(back.name(), lib.name());
+}
+
+TEST(Library, FromTextRejectsMalformed) {
+  EXPECT_THROW((void)Library::from_text("garbage"), std::runtime_error);
+  EXPECT_THROW((void)Library::from_text("minilib x\ncell A inputs 1"), std::runtime_error);
+  EXPECT_THROW((void)Library::from_text("minilib x\n"), std::runtime_error);  // no end
+}
+
+TEST(Library, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "aigml_lib.minilib";
+  mini_sky130().save(path);
+  const Library back = Library::load(path);
+  EXPECT_EQ(back.cells().size(), mini_sky130().cells().size());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace aigml::cell

@@ -1,0 +1,256 @@
+// Tests for k-feasible cut enumeration: structural properties (leaves are a
+// cut, sizes bounded, domination) and functional correctness of the cut
+// truth tables, validated by simulation.
+
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "aig/analysis.hpp"
+#include "aig/cuts.hpp"
+#include "aig/sim.hpp"
+#include "util/rng.hpp"
+
+namespace aigml::aig {
+namespace {
+
+/// Builds a random strashed DAG with `n_and` target AND nodes.
+Aig random_aig(int n_inputs, int n_and, std::uint64_t seed) {
+  Rng rng(seed);
+  Aig g;
+  std::vector<Lit> pool;
+  for (int i = 0; i < n_inputs; ++i) pool.push_back(g.add_input());
+  int made = 0;
+  int attempts = 0;
+  while (made < n_and && attempts < n_and * 20) {
+    ++attempts;
+    Lit a = pool[rng.next_below(pool.size())];
+    Lit b = pool[rng.next_below(pool.size())];
+    if (rng.next_bool()) a = lit_not(a);
+    if (rng.next_bool()) b = lit_not(b);
+    const std::size_t before = g.num_ands();
+    const Lit x = g.make_and(a, b);
+    if (g.num_ands() > before) {
+      pool.push_back(x);
+      ++made;
+    }
+  }
+  // Use a few deep nodes as outputs.
+  for (std::size_t i = pool.size() >= 3 ? pool.size() - 3 : 0; i < pool.size(); ++i) {
+    g.add_output(pool[i]);
+  }
+  return g;
+}
+
+/// Checks that every leaf lies in the transitive fanin of `node` (leaves are
+/// either the node itself or upstream logic).  Note: support minimization
+/// means a cut's leaves need not *structurally* disconnect the node from the
+/// PIs — paths through functionally vacuous leaves may remain — so the
+/// meaningful structural property is TFI membership plus the functional
+/// correctness checked by expect_cut_function_correct().
+bool leaves_in_tfi(const Aig& g, NodeId node, std::span<const NodeId> leaves) {
+  std::vector<char> in_tfi(g.num_nodes(), 0);
+  std::vector<NodeId> stack{node};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (in_tfi[id]) continue;
+    in_tfi[id] = 1;
+    if (g.is_and(id)) {
+      stack.push_back(lit_var(g.fanin0(id)));
+      stack.push_back(lit_var(g.fanin1(id)));
+    }
+  }
+  for (const NodeId l : leaves) {
+    if (!in_tfi[l]) return false;
+  }
+  return true;
+}
+
+/// Validates the cut truth table by the soundness property that mapping and
+/// rewriting rely on: for every *circuit-reachable* combination of leaf
+/// values, the table evaluated at the leaf values equals the node value.
+/// (Leaf sets may contain nodes in each other's TFI, so the table need not
+/// match on unreachable leaf assignments.)
+void expect_cut_function_correct([[maybe_unused]] const Aig& g, NodeId node,
+                                 const std::vector<std::vector<std::uint64_t>>& node_value_batches,
+                                 const Cut& cut) {
+  for (const auto& values : node_value_batches) {
+    for (int bit = 0; bit < 64; ++bit) {
+      std::uint32_t assignment = 0;
+      for (std::size_t v = 0; v < cut.size; ++v) {
+        if ((values[cut.leaves[v]] >> bit) & 1ULL) assignment |= 1u << v;
+      }
+      const bool predicted = tt_eval(cut.table, assignment);
+      const bool actual = ((values[node] >> bit) & 1ULL) != 0;
+      ASSERT_EQ(predicted, actual) << "node " << node << " bit " << bit;
+    }
+  }
+}
+
+TEST(Cuts, SimpleAndChain) {
+  Aig g;
+  const Lit a = g.add_input();
+  const Lit b = g.add_input();
+  const Lit c = g.add_input();
+  const Lit ab = g.make_and(a, b);
+  const Lit abc = g.make_and(ab, c);
+  g.add_output(abc);
+  const CutSets cs(g, CutParams{4, 8});
+  // Node abc must own a cut over {a, b, c} computing AND3.
+  bool found = false;
+  for (const Cut& cut : cs.cuts(lit_var(abc))) {
+    if (cut.size == 3) {
+      found = true;
+      EXPECT_EQ(cut.table & tt_mask(3), (tt_var(0) & tt_var(1) & tt_var(2)) & tt_mask(3));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Cuts, XorCutFunction) {
+  Aig g;
+  const Lit a = g.add_input();
+  const Lit b = g.add_input();
+  const Lit x = g.make_xor(a, b);
+  g.add_output(x);
+  // make_xor returns a complemented literal over a node computing XNOR; cut
+  // tables always describe the *node* (positive polarity).
+  ASSERT_TRUE(lit_is_complemented(x));
+  const CutSets cs(g, CutParams{4, 8});
+  bool found = false;
+  for (const Cut& cut : cs.cuts(lit_var(x))) {
+    if (cut.size == 2 && cut.leaves[0] == lit_var(a) && cut.leaves[1] == lit_var(b)) {
+      found = true;
+      EXPECT_EQ(cut.table, ~(tt_var(0) ^ tt_var(1)));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Cuts, ComplementedEdgesHandled) {
+  Aig g;
+  const Lit a = g.add_input();
+  const Lit b = g.add_input();
+  const Lit nor_ab = g.make_and(lit_not(a), lit_not(b));  // NOR via complements
+  g.add_output(nor_ab);
+  const CutSets cs(g, CutParams{4, 8});
+  const auto& cuts = cs.cuts(lit_var(nor_ab));
+  ASSERT_FALSE(cuts.empty());
+  for (const Cut& cut : cuts) {
+    if (cut.size == 2) {
+      EXPECT_EQ(cut.table, ~tt_var(0) & ~tt_var(1));
+    }
+  }
+}
+
+TEST(Cuts, PiAndConstantHaveNoCuts) {
+  Aig g;
+  const Lit a = g.add_input();
+  g.add_output(a);
+  const CutSets cs(g, CutParams{4, 8});
+  EXPECT_TRUE(cs.cuts(0).empty());
+  EXPECT_TRUE(cs.cuts(lit_var(a)).empty());
+}
+
+struct CutParamCase {
+  int cut_size;
+  int max_cuts;
+  std::uint64_t seed;
+};
+
+class CutsProperty : public ::testing::TestWithParam<CutParamCase> {};
+
+TEST_P(CutsProperty, StructuralAndFunctionalInvariants) {
+  const auto param = GetParam();
+  const Aig g = random_aig(8, 80, param.seed);
+  const CutSets cs(g, CutParams{param.cut_size, param.max_cuts});
+  // Simulation batches for the functional soundness check.
+  Rng rng(param.seed ^ 0xdeadbeef);
+  std::vector<std::vector<std::uint64_t>> batches;
+  for (int b = 0; b < 4; ++b) {
+    std::vector<std::uint64_t> pi_words(g.num_inputs());
+    for (auto& w : pi_words) w = rng.next();
+    batches.push_back(simulate_all_nodes(g, pi_words));
+  }
+  int checked = 0;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    const auto& cuts = cs.cuts(id);
+    if (!g.is_and(id)) {
+      EXPECT_TRUE(cuts.empty());
+      continue;
+    }
+    EXPECT_FALSE(cuts.empty()) << "AND node with no cuts";
+    EXPECT_LE(cuts.size(), static_cast<std::size_t>(param.max_cuts));
+    for (const Cut& cut : cuts) {
+      ASSERT_LE(static_cast<int>(cut.size), param.cut_size);
+      if (cut.size == 0) {
+        // Zero-leaf cut: node proven constant by reconvergent cancellation.
+        EXPECT_TRUE(cut.table == tt_const0() || cut.table == tt_const1());
+      }
+      // Leaves sorted, unique, and upstream of the node.
+      for (std::size_t v = 0; v + 1 < cut.size; ++v) {
+        EXPECT_LT(cut.leaves[v], cut.leaves[v + 1]);
+      }
+      if (cut.size > 0) {
+        EXPECT_LT(cut.leaves[cut.size - 1], id + 1u);
+      }
+      EXPECT_TRUE(leaves_in_tfi(g, id, cut.leaf_span()));
+      // No dominated pairs within a set.
+      for (const Cut& other : cuts) {
+        if (&other != &cut) {
+          EXPECT_FALSE(cut.subset_of(other) && other.subset_of(cut));
+        }
+      }
+      expect_cut_function_correct(g, id, batches, cut);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CutsProperty,
+                         ::testing::Values(CutParamCase{2, 4, 101}, CutParamCase{3, 6, 102},
+                                           CutParamCase{4, 8, 103}, CutParamCase{5, 8, 104},
+                                           CutParamCase{6, 10, 105}, CutParamCase{4, 2, 106},
+                                           CutParamCase{4, 16, 107}));
+
+TEST(Cuts, MergeRejectsOversizedUnion) {
+  Cut a, b, out;
+  a.size = 3;
+  a.leaves = {1, 2, 3};
+  a.table = tt_var(0) & tt_var(1) & tt_var(2);
+  b.size = 3;
+  b.leaves = {4, 5, 6};
+  b.table = tt_var(0) | tt_var(1) | tt_var(2);
+  EXPECT_FALSE(merge_cuts(a, false, b, false, 4, out));
+  EXPECT_TRUE(merge_cuts(a, false, b, false, 6, out));
+  EXPECT_EQ(out.size, 6);
+}
+
+TEST(Cuts, MergeSupportMinimizes) {
+  // AND(x, !x) over the same leaf collapses to constant 0 — support empty.
+  Cut a, out;
+  a.size = 1;
+  a.leaves = {5};
+  a.table = tt_var(0);
+  EXPECT_TRUE(merge_cuts(a, false, a, true, 4, out));
+  EXPECT_EQ(out.size, 0);
+  EXPECT_EQ(out.table, tt_const0());
+}
+
+TEST(Cuts, SubsetOf) {
+  Cut small, big;
+  small.size = 2;
+  small.leaves = {2, 5};
+  big.size = 3;
+  big.leaves = {2, 4, 5};
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  Cut disjoint;
+  disjoint.size = 2;
+  disjoint.leaves = {3, 7};
+  EXPECT_FALSE(disjoint.subset_of(big));
+}
+
+}  // namespace
+}  // namespace aigml::aig

@@ -1,0 +1,185 @@
+// Tests for the extension modules: Wallace multiplier, Kogge-Stone adder,
+// Verilog export, and greedy descent.
+
+#include <gtest/gtest.h>
+
+#include "aig/analysis.hpp"
+#include "aig/sim.hpp"
+#include "gen/circuits.hpp"
+#include "gen/designs.hpp"
+#include "mapper/mapper.hpp"
+#include "netlist/verilog.hpp"
+#include "opt/cost.hpp"
+#include "opt/greedy.hpp"
+#include "sta/sta.hpp"
+#include "util/rng.hpp"
+
+namespace aigml {
+namespace {
+
+using aig::Aig;
+using gen::Word;
+
+// ---- Wallace multiplier -----------------------------------------------------------
+
+class WallaceWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(WallaceWidth, MatchesArrayMultiplier) {
+  const int w = GetParam();
+  const Aig wallace = gen::multiplier_wallace(w);
+  const Aig array = gen::multiplier(w);
+  EXPECT_TRUE(aig::equivalent(wallace, array)) << "w=" << w;
+}
+
+TEST_P(WallaceWidth, ShallowerThanArray) {
+  const int w = GetParam();
+  if (w < 4) return;  // depth advantage needs some size
+  EXPECT_LT(aig::aig_level(gen::multiplier_wallace(w)), aig::aig_level(gen::multiplier(w)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WallaceWidth, ::testing::Values(2, 3, 4, 5, 6, 8));
+
+TEST(Wallace, ComputesProductsExhaustively) {
+  const Aig g = gen::multiplier_wallace(4);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      const std::uint64_t out = aig::simulate_pattern(g, (b << 4) | a);
+      ASSERT_EQ(out & 0xFF, a * b);
+    }
+  }
+}
+
+// ---- Kogge-Stone adder --------------------------------------------------------------
+
+class KoggeStoneWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(KoggeStoneWidth, MatchesRipple) {
+  const int w = GetParam();
+  EXPECT_TRUE(aig::equivalent(gen::adder_kogge_stone(w), gen::adder_ripple(w))) << w;
+}
+
+TEST_P(KoggeStoneWidth, LogarithmicDepthBeatsRippleForWideWords) {
+  const int w = GetParam();
+  if (w < 8) return;
+  EXPECT_LT(aig::aig_level(gen::adder_kogge_stone(w)), aig::aig_level(gen::adder_ripple(w)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KoggeStoneWidth, ::testing::Values(1, 2, 3, 4, 8, 12, 16));
+
+TEST(KoggeStone, PrefixTreeHasHighFanout) {
+  // The structural signature of parallel-prefix: some node drives many
+  // consumers (vs. ripple's uniform fanout) — useful texture for the
+  // fanout-related features.
+  const Aig ks = gen::adder_kogge_stone(16);
+  const auto fo = aig::fanout_counts(ks);
+  std::uint32_t max_fanout = 0;
+  for (const auto f : fo) max_fanout = std::max(max_fanout, f);
+  EXPECT_GE(max_fanout, 4u);
+}
+
+// ---- Verilog export -----------------------------------------------------------------
+
+TEST(Verilog, EmitsStructuralNetlistWithModels) {
+  const auto& lib = cell::mini_sky130();
+  const Aig g = gen::adder_ripple(3);
+  const auto netlist = map::map_to_cells(g, lib);
+  const std::string v = net::to_verilog_string(netlist, lib);
+  EXPECT_NE(v.find("module top ("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find(".Y("), std::string::npos);
+  // Ports present.
+  EXPECT_NE(v.find("input a0;"), std::string::npos);
+  EXPECT_NE(v.find("output s0;"), std::string::npos);
+  // Behavioural models for used cells included by default.
+  bool has_model = false;
+  for (const auto& [name, count] : netlist.cell_histogram(lib)) {
+    (void)count;
+    if (v.find("module " + name + " (") != std::string::npos) has_model = true;
+  }
+  EXPECT_TRUE(has_model);
+}
+
+TEST(Verilog, ModelsCanBeSuppressed) {
+  const auto& lib = cell::mini_sky130();
+  const Aig g = gen::parity_tree(4);
+  const auto netlist = map::map_to_cells(g, lib);
+  net::VerilogOptions options;
+  options.emit_cell_models = false;
+  options.module_name = "parity4";
+  const std::string v = net::to_verilog_string(netlist, lib, options);
+  EXPECT_NE(v.find("module parity4 ("), std::string::npos);
+  // Exactly one module (no cell models).
+  std::size_t count = 0, pos = 0;
+  while ((pos = v.find("module ", pos)) != std::string::npos) {
+    ++count;
+    pos += 7;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Verilog, ConstantNetsUseLiterals) {
+  const auto& lib = cell::mini_sky130();
+  Aig g;
+  g.add_input();
+  g.add_output(aig::kLitTrue, "hi");
+  const auto netlist = map::map_to_cells(g, lib);
+  const std::string v = net::to_verilog_string(netlist, lib);
+  EXPECT_NE(v.find("assign hi = 1'b1;"), std::string::npos);
+}
+
+// ---- greedy descent -------------------------------------------------------------------
+
+TEST(Greedy, NeverAcceptsWorseningMovesAtZeroTolerance) {
+  opt::ProxyCost proxy;
+  const Aig g = gen::build_design("EX00");
+  opt::GreedyParams params;
+  params.iterations = 40;
+  params.seed = 5;
+  const auto result = opt::greedy_descent(g, proxy, params);
+  double current = params.weight_delay + params.weight_area;  // normalized initial
+  for (const auto& rec : result.history) {
+    if (rec.accepted) {
+      EXPECT_LE(rec.cost, current + 1e-12);
+      current = rec.cost;
+    }
+  }
+  EXPECT_TRUE(aig::equivalent(g, result.best));
+}
+
+TEST(Greedy, ToleranceAllowsPlateauMoves) {
+  opt::ProxyCost proxy;
+  const Aig g = gen::build_design("EX68");
+  opt::GreedyParams strict;
+  strict.iterations = 40;
+  strict.seed = 9;
+  opt::GreedyParams loose = strict;
+  loose.tolerance = 0.05;
+  const auto r_strict = opt::greedy_descent(g, proxy, strict);
+  const auto r_loose = opt::greedy_descent(g, proxy, loose);
+  EXPECT_GE(r_loose.accepted_moves(), r_strict.accepted_moves());
+}
+
+TEST(Greedy, ValidatesParams) {
+  opt::ProxyCost proxy;
+  const Aig g = gen::parity_tree(3);
+  opt::GreedyParams bad;
+  bad.iterations = 0;
+  EXPECT_THROW((void)opt::greedy_descent(g, proxy, bad), std::invalid_argument);
+  bad.iterations = 1;
+  bad.tolerance = -0.1;
+  EXPECT_THROW((void)opt::greedy_descent(g, proxy, bad), std::invalid_argument);
+}
+
+TEST(Greedy, DeterministicGivenSeed) {
+  opt::ProxyCost proxy;
+  const Aig g = gen::build_design("EX68");
+  opt::GreedyParams params;
+  params.iterations = 15;
+  params.seed = 21;
+  const auto r1 = opt::greedy_descent(g, proxy, params);
+  const auto r2 = opt::greedy_descent(g, proxy, params);
+  EXPECT_EQ(r1.best.structural_hash(), r2.best.structural_hash());
+}
+
+}  // namespace
+}  // namespace aigml

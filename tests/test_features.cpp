@@ -1,0 +1,209 @@
+// Tests for Table II feature extraction, including a fully hand-computed
+// worked example in the spirit of the paper's Fig. 4 (three PIs, three POs,
+// annotated depths / weighted depths / path counts).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aig/analysis.hpp"
+#include "features/features.hpp"
+#include "gen/circuits.hpp"
+#include "gen/designs.hpp"
+#include "transforms/scripts.hpp"
+
+namespace aigml::features {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+using aig::lit_not;
+
+TEST(Features, NamesAndIndices) {
+  const auto& names = feature_names();
+  ASSERT_EQ(names.size(), static_cast<std::size_t>(kNumFeatures));
+  EXPECT_EQ(feature_index("number_of_node"), 0);
+  EXPECT_EQ(feature_index("aig_level"), 1);
+  EXPECT_EQ(feature_index("num_of_paths_3rd"), 21);
+  EXPECT_THROW((void)feature_index("bogus"), std::out_of_range);
+  // All names unique.
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(feature_index(names[i]), static_cast<int>(i));
+  }
+}
+
+TEST(Features, GroupsPartitionAllFeatures) {
+  std::vector<bool> covered(kNumFeatures, false);
+  for (const auto& group : feature_groups()) {
+    for (const int idx : group.indices) {
+      ASSERT_GE(idx, 0);
+      ASSERT_LT(idx, kNumFeatures);
+      EXPECT_FALSE(covered[static_cast<std::size_t>(idx)]) << "feature in two groups: " << idx;
+      covered[static_cast<std::size_t>(idx)] = true;
+    }
+  }
+  for (int i = 0; i < kNumFeatures; ++i) EXPECT_TRUE(covered[static_cast<std::size_t>(i)]) << i;
+}
+
+/// Fig. 4-style worked example:
+///
+///   PI a, b, c.
+///   n1 = a & b            (depth 2)
+///   n2 = b & c            (depth 2)
+///   n3 = n1 & !n2         (depth 3)
+///   PO0 = n3              (plain depth 3)
+///   PO1 = n1              (plain depth 2)
+///   PO2 = !c              (plain depth 1: PI only)
+///
+/// Fanouts: a:1 (n1), b:2 (n1,n2), c:2 (n2, PO2), n1:2 (n3, PO1),
+///          n2:1 (n3), n3:1 (PO0).
+TEST(Features, WorkedExampleHandChecked) {
+  Aig g;
+  const Lit a = g.add_input("a");
+  const Lit b = g.add_input("b");
+  const Lit c = g.add_input("c");
+  const Lit n1 = g.make_and(a, b);
+  const Lit n2 = g.make_and(b, c);
+  const Lit n3 = g.make_and(n1, lit_not(n2));
+  g.add_output(n3, "po0");
+  g.add_output(n1, "po1");
+  g.add_output(lit_not(c), "po2");
+
+  const FeatureVector f = extract(g);
+
+  EXPECT_DOUBLE_EQ(f[feature_index("number_of_node")], 3.0);
+  EXPECT_DOUBLE_EQ(f[feature_index("aig_level")], 2.0);
+
+  // Plain PO depths: {3, 2, 1} -> top3 = 3, 2, 1.
+  EXPECT_DOUBLE_EQ(f[feature_index("aig_1st_long_path_depth")], 3.0);
+  EXPECT_DOUBLE_EQ(f[feature_index("aig_2nd_long_path_depth")], 2.0);
+  EXPECT_DOUBLE_EQ(f[feature_index("aig_3rd_long_path_depth")], 1.0);
+
+  // Fanout-weighted depths: weight(a)=1, weight(b)=2, weight(c)=2,
+  // weight(n1)=2, weight(n2)=1, weight(n3)=1.
+  // wd(n1) = max(1, 2) + 2 = 4;  wd(n2) = max(2, 2) + 1 = 3;
+  // wd(n3) = max(4, 3) + 1 = 5.
+  // PO weighted depths: po0 -> 5, po1 -> 4, po2 -> w(c) = 2.
+  EXPECT_DOUBLE_EQ(f[feature_index("aig_1st_weighted_path_depth")], 5.0);
+  EXPECT_DOUBLE_EQ(f[feature_index("aig_2nd_weighted_path_depth")], 4.0);
+  EXPECT_DOUBLE_EQ(f[feature_index("aig_3rd_weighted_path_depth")], 2.0);
+
+  // Binary weights (fanout >= 2): a:0, b:1, c:1, n1:1, n2:0, n3:0.
+  // bd(n1) = max(0,1) + 1 = 2; bd(n2) = max(1,1) + 0 = 1;
+  // bd(n3) = max(2,1) + 0 = 2.  POs: {2, 2, 1}.
+  EXPECT_DOUBLE_EQ(f[feature_index("aig_1st_binary_weighted_path_depth")], 2.0);
+  EXPECT_DOUBLE_EQ(f[feature_index("aig_2nd_binary_weighted_path_depth")], 2.0);
+  EXPECT_DOUBLE_EQ(f[feature_index("aig_3rd_binary_weighted_path_depth")], 1.0);
+
+  // Global fanout stats over {a,b,c,n1,n2,n3} = {1,2,2,2,1,1}:
+  // mean = 1.5, max = 2, sum = 9, std = 0.5.
+  EXPECT_DOUBLE_EQ(f[feature_index("fanout_mean")], 1.5);
+  EXPECT_DOUBLE_EQ(f[feature_index("fanout_max")], 2.0);
+  EXPECT_DOUBLE_EQ(f[feature_index("fanout_std")], 0.5);
+  EXPECT_DOUBLE_EQ(f[feature_index("fanout_sum")], 9.0);
+
+  // Critical paths (max depth 3): a->n1->n3, b->n1->n3 (n2 has depth 2 and
+  // height 2: depth+height-1 = 3 — also critical via b->n2->n3!).
+  // Node set on max-depth paths: depth+height-1 == 3:
+  //   a: 1+3-1 = 3 yes; b: 3 yes; c: 1+2-1=2 no (c's height: via n2->n3 = 3
+  //   ... c: depth 1, height(c) = max over fanouts: n2 (height 2) + 1 = 3 =>
+  //   1+3-1 = 3 yes!  Wait: height counts nodes from c to an output driver
+  //   inclusive: c -> n2 -> n3 is 3 nodes, so c IS on a depth-3 path
+  //   (c,n2,n3 with depths 1,2,3).  n1: 2+2-1=3 yes; n2: 2+2-1=3 yes;
+  //   n3: 3+1-1=3 yes.
+  // All six nodes are critical; stats match the global ones.
+  EXPECT_DOUBLE_EQ(f[feature_index("long_path_fanout_mean")], 1.5);
+  EXPECT_DOUBLE_EQ(f[feature_index("long_path_fanout_max")], 2.0);
+  EXPECT_DOUBLE_EQ(f[feature_index("long_path_fanout_sum")], 9.0);
+
+  // Path counts: paths(n1) = 2, paths(n2) = 2, paths(n3) = 4.
+  // PO path counts {4, 2, 1} -> log2(1+x) = {log2 5, log2 3, 1}.
+  EXPECT_DOUBLE_EQ(f[feature_index("num_of_paths_1st")], std::log2(5.0));
+  EXPECT_DOUBLE_EQ(f[feature_index("num_of_paths_2nd")], std::log2(3.0));
+  EXPECT_DOUBLE_EQ(f[feature_index("num_of_paths_3rd")], 1.0);
+}
+
+TEST(Features, FewerPOsThanNPadsWithZero) {
+  Aig g;
+  const Lit a = g.add_input();
+  const Lit b = g.add_input();
+  g.add_output(g.make_and(a, b));
+  const FeatureVector f = extract(g);
+  EXPECT_GT(f[feature_index("aig_1st_long_path_depth")], 0.0);
+  EXPECT_DOUBLE_EQ(f[feature_index("aig_2nd_long_path_depth")], 0.0);
+  EXPECT_DOUBLE_EQ(f[feature_index("aig_3rd_long_path_depth")], 0.0);
+}
+
+TEST(Features, TopDepthsAreSortedDescending) {
+  for (const auto& spec : gen::design_specs()) {
+    const FeatureVector f = extract(gen::build_design(spec.name));
+    for (const int base : {2, 5, 8, 19}) {
+      EXPECT_GE(f[static_cast<std::size_t>(base)], f[static_cast<std::size_t>(base + 1)]) << spec.name;
+      EXPECT_GE(f[static_cast<std::size_t>(base + 1)], f[static_cast<std::size_t>(base + 2)]) << spec.name;
+    }
+  }
+}
+
+TEST(Features, ConsistentWithAnalyses) {
+  for (const char* name : {"EX00", "EX68", "EX02"}) {
+    const Aig g = gen::build_design(name);
+    const FeatureVector f = extract(g);
+    EXPECT_DOUBLE_EQ(f[0], static_cast<double>(g.num_ands())) << name;
+    EXPECT_DOUBLE_EQ(f[1], static_cast<double>(aig::aig_level(g))) << name;
+    // 1st long-path depth == max node depth over outputs == aig_level + 1
+    // whenever the critical PO is driven by an AND node fed from a PI chain.
+    EXPECT_GE(f[2], f[1]) << name;
+    // Weighted depth dominates plain depth (weights >= 1 on live nodes).
+    EXPECT_GE(f[5], f[2]) << name;
+    // Binary-weighted depth can never exceed plain depth.
+    EXPECT_LE(f[8], f[2]) << name;
+  }
+}
+
+TEST(Features, SensitiveToRestructuring) {
+  // Structurally different implementations of the same function must yield
+  // different feature vectors — otherwise the regressor has no signal.
+  // A linear AND chain balances to a log-depth tree, changing the depth
+  // features deterministically.
+  Aig chain;
+  std::vector<Lit> ins;
+  for (int i = 0; i < 8; ++i) ins.push_back(chain.add_input());
+  Lit acc = ins[0];
+  for (int i = 1; i < 8; ++i) acc = chain.make_and(acc, ins[i]);
+  chain.add_output(acc);
+  const Aig balanced = transforms::apply_primitive("b", chain);
+  const FeatureVector f0 = extract(chain);
+  const FeatureVector f1 = extract(balanced);
+  EXPECT_NE(f0, f1);
+  EXPECT_GT(f0[feature_index("aig_level")], f1[feature_index("aig_level")]);
+}
+
+TEST(Features, DeterministicAndFast) {
+  const Aig g = gen::build_design("EX54");
+  const FeatureVector a = extract(g);
+  const FeatureVector b = extract(g);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Features, AllFiniteOnAllDesigns) {
+  for (const auto& spec : gen::design_specs()) {
+    const FeatureVector f = extract(gen::build_design(spec.name));
+    for (const double v : f) {
+      EXPECT_TRUE(std::isfinite(v)) << spec.name;
+      EXPECT_GE(v, 0.0) << spec.name;
+    }
+  }
+}
+
+TEST(Features, EmptyGraphIsAllZeros) {
+  Aig g;
+  g.add_input();
+  g.add_output(aig::kLitFalse);
+  const FeatureVector f = extract(g);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[1], 0.0);
+  EXPECT_DOUBLE_EQ(f[feature_index("num_of_paths_1st")], 0.0);
+}
+
+}  // namespace
+}  // namespace aigml::features

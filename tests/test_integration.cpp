@@ -1,0 +1,202 @@
+// Cross-module integration tests: full paper-pipeline slices exercised
+// end-to-end at miniature scale, plus interface-survival properties
+// (AIGER round trips through transforms, mapping after every script,
+// ML-guided SA beating its own initial cost, etc.).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "aig/aiger.hpp"
+#include "aig/analysis.hpp"
+#include "aig/sim.hpp"
+#include "features/features.hpp"
+#include "flow/datagen.hpp"
+#include "gen/circuits.hpp"
+#include "gen/designs.hpp"
+#include "mapper/mapper.hpp"
+#include "ml/gbdt.hpp"
+#include "netlist/netlist.hpp"
+#include "opt/cost.hpp"
+#include "opt/sa.hpp"
+#include "opt/sweep.hpp"
+#include "sta/sta.hpp"
+#include "transforms/scripts.hpp"
+#include "util/stats.hpp"
+
+namespace aigml {
+namespace {
+
+using aig::Aig;
+using cell::mini_sky130;
+
+TEST(Integration, TransformThenMapPreservesFunctionForEveryPrimitive) {
+  const Aig g = gen::build_design("EX68");
+  const auto& lib = mini_sky130();
+  for (const auto& primitive : transforms::primitive_names()) {
+    const Aig t = transforms::apply_primitive(primitive, g);
+    const auto netlist = map::map_to_cells(t, lib);
+    const Aig back = net::to_aig(netlist, lib);
+    EXPECT_TRUE(aig::equivalent(g, back)) << primitive;
+  }
+}
+
+TEST(Integration, AigerRoundTripSurvivesOptimization) {
+  // Export -> reimport -> optimize -> compare against the original.
+  const Aig g = gen::alu(4);
+  const Aig imported = aig::from_aiger_string(aig::to_aiger_string(g));
+  const Aig optimized = transforms::script_registry().apply(9, imported);
+  EXPECT_TRUE(aig::equivalent(g, optimized));
+  // And the optimized graph exports/imports cleanly too.
+  const Aig again = aig::from_aiger_string(aig::to_aiger_string(optimized));
+  EXPECT_TRUE(aig::equivalent(g, again));
+}
+
+TEST(Integration, MlGuidedSaImprovesGroundTruthQuality) {
+  // Train on a design's own variants, then verify ML-guided SA achieves a
+  // real (map+STA) improvement over the initial circuit.
+  const auto& lib = mini_sky130();
+  const Aig design = gen::multiplier(5);
+  flow::DataGenParams params;
+  params.num_variants = 60;
+  params.seed = 31;
+  const auto data = flow::generate_dataset(design, "m5", lib, params);
+  ml::GbdtParams gp;
+  gp.num_trees = 120;
+  gp.max_depth = 5;
+  const auto delay_model = ml::GbdtModel::train(data.delay, gp);
+  const auto area_model = ml::GbdtModel::train(data.area, gp);
+
+  opt::MlCost cost(delay_model, area_model);
+  opt::SaParams sa;
+  sa.iterations = 25;
+  sa.seed = 17;
+  const auto result = opt::simulated_annealing(design, cost, sa);
+
+  opt::GroundTruthCost scorer(lib);
+  const auto initial = scorer.evaluate(design);
+  const auto final_quality = scorer.evaluate(result.best);
+  const double initial_cost = sa.weight_delay + sa.weight_area;  // normalized
+  const double final_cost = sa.weight_delay * final_quality.delay / initial.delay +
+                            sa.weight_area * final_quality.area / initial.area;
+  EXPECT_LT(final_cost, initial_cost * 1.02)
+      << "ML-guided SA should not regress ground-truth quality materially";
+  EXPECT_TRUE(aig::equivalent(design, result.best));
+}
+
+TEST(Integration, PredictionsTrackGroundTruthOnFreshVariants) {
+  // Correlation between predicted and true delay on variants *not* used for
+  // training (same design, later walk) — the property the whole ML flow
+  // stands on.
+  const auto& lib = mini_sky130();
+  const Aig design = gen::build_design("EX00");
+  flow::DataGenParams train_params;
+  train_params.num_variants = 80;
+  train_params.seed = 1;
+  const auto train_data = flow::generate_dataset(design, "EX00", lib, train_params);
+  ml::GbdtParams gp;
+  gp.num_trees = 200;
+  gp.max_depth = 6;
+  const auto model = ml::GbdtModel::train(train_data.delay, gp);
+
+  flow::DataGenParams fresh_params;
+  fresh_params.num_variants = 40;
+  fresh_params.seed = 999;  // disjoint walk
+  const auto fresh = flow::generate_dataset(design, "EX00", lib, fresh_params);
+  const auto preds = model.predict_all(fresh.delay);
+  EXPECT_GT(pearson(preds, fresh.delay.labels()), 0.5);
+}
+
+TEST(Integration, SweepFrontsAreMutuallyConsistent) {
+  // The ground-truth-guided front must not be dominated wholesale by the
+  // proxy front (it optimizes the real objective).
+  const auto& lib = mini_sky130();
+  const Aig design = gen::build_design("EX68");
+  opt::SweepConfig config;
+  config.iterations = 12;
+  config.weight_pairs = {{1.0, 0.2}, {0.4, 1.0}};
+  config.decays = {0.95};
+
+  opt::ProxyCost proxy;
+  const auto base = opt::sweep_flow(design, proxy, lib, config);
+  opt::GroundTruthCost gt(lib);
+  const auto truth = opt::sweep_flow(design, gt, lib, config);
+
+  int gt_dominated = 0;
+  for (const auto& p : truth.front) {
+    for (const auto& q : base.front) {
+      if (opt::dominates(q, p)) {
+        ++gt_dominated;
+        break;
+      }
+    }
+  }
+  EXPECT_LT(gt_dominated, static_cast<int>(truth.front.size()))
+      << "every ground-truth front point dominated by the proxy front";
+}
+
+TEST(Integration, FeatureExtractionAgreesAcrossSerializationBoundary) {
+  // Features of a graph must be identical after an AIGER round trip
+  // (features depend only on structure, not ids/names).
+  const Aig g = gen::build_design("EX68");
+  const Aig back = aig::from_aiger_string(aig::to_aiger_string(g));
+  EXPECT_EQ(features::extract(g), features::extract(back));
+}
+
+TEST(Integration, DatasetModelRoundTripThroughDisk) {
+  const auto dir = std::filesystem::temp_directory_path() / "aigml_int_cache";
+  std::filesystem::remove_all(dir);
+  const auto& lib = mini_sky130();
+  const Aig design = gen::build_design("EX68");
+  flow::DataGenParams params;
+  params.num_variants = 12;
+  const auto data = flow::load_or_generate(design, "EX68", lib, params, dir);
+  ml::GbdtParams gp;
+  gp.num_trees = 20;
+  const auto model = ml::GbdtModel::train(data.delay, gp);
+  const auto model_path = dir / "m.gbdt";
+  model.save(model_path);
+  const auto loaded = ml::GbdtModel::load(model_path);
+  // Same predictions on the cached dataset reloaded from CSV.
+  const auto data2 = flow::load_or_generate(design, "EX68", lib, params, dir);
+  for (std::size_t i = 0; i < data2.delay.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.predict(data2.delay.row(i)), model.predict(data.delay.row(i)));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Integration, EveryDesignMapsAndTimesUnderBothModes) {
+  const auto& lib = mini_sky130();
+  for (const auto& spec : gen::design_specs()) {
+    const Aig g = gen::build_design(spec.name);
+    for (const auto mode : {map::MapMode::Delay, map::MapMode::Area}) {
+      map::MapParams mp;
+      mp.mode = mode;
+      const auto netlist = map::map_to_cells(g, lib, mp);
+      const auto timing = sta::run_sta(netlist, lib, {});
+      EXPECT_GT(timing.max_delay_ps, 0.0) << spec.name;
+      EXPECT_GT(timing.total_area_um2, 0.0) << spec.name;
+      EXPECT_FALSE(timing.critical_path.empty()) << spec.name;
+    }
+  }
+}
+
+TEST(Integration, ProxyVsTruthMiscorrelationExistsOnVariants) {
+  // The paper's premise, as a testable invariant: across variants of one
+  // design, level count does NOT perfectly rank post-mapping delay.
+  const auto& lib = mini_sky130();
+  Rng rng(0xABCD);
+  Aig g = gen::multiplier(5);
+  std::vector<double> levels, delays;
+  for (int i = 0; i < 25; ++i) {
+    g = flow::random_variant_step(g, rng);
+    levels.push_back(static_cast<double>(aig::aig_level(g)));
+    const auto timing = sta::run_sta(map::map_to_cells(g, lib), lib, {});
+    delays.push_back(timing.max_delay_ps);
+  }
+  const double rho = spearman(levels, delays);
+  EXPECT_LT(rho, 0.999) << "proxy would be a perfect ranker — premise violated";
+}
+
+}  // namespace
+}  // namespace aigml

@@ -1,0 +1,374 @@
+// Tests for the ML stack: dataset round-trips, regression-tree split
+// mechanics, GBDT learning behaviour (fits simple functions, subsampling,
+// early stopping, serialization), metrics, and GNN training (gradient
+// descent reduces loss; learns easy graph statistics).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+
+#include "aig/aig.hpp"
+#include "gen/circuits.hpp"
+#include "ml/dataset.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/gnn.hpp"
+#include "ml/tree.hpp"
+#include "util/rng.hpp"
+
+namespace aigml::ml {
+namespace {
+
+Dataset make_synthetic(int n, std::uint64_t seed,
+                       const std::function<double(double, double, double)>& f) {
+  Dataset d({"x0", "x1", "x2"});
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.next_double(0, 10);
+    const double b = rng.next_double(0, 10);
+    const double c = rng.next_double(0, 10);
+    const double row[3] = {a, b, c};
+    d.append(row, f(a, b, c), i % 2 ? "odd" : "even");
+  }
+  return d;
+}
+
+// ---- dataset -------------------------------------------------------------------
+
+TEST(Dataset, AppendAndAccess) {
+  Dataset d({"f0", "f1"});
+  const double r0[2] = {1.0, 2.0};
+  const double r1[2] = {3.0, 4.0};
+  d.append(r0, 10.0, "a");
+  d.append(r1, 20.0, "b");
+  EXPECT_EQ(d.num_rows(), 2u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(d.row(1)[0], 3.0);
+  EXPECT_DOUBLE_EQ(d.label(0), 10.0);
+  EXPECT_EQ(d.tag(1), "b");
+  const double bad[1] = {0.0};
+  EXPECT_THROW(d.append(bad, 0.0), std::invalid_argument);
+}
+
+TEST(Dataset, TagsSubsetsMerge) {
+  Dataset d = make_synthetic(20, 1, [](double a, double, double) { return a; });
+  EXPECT_EQ(d.distinct_tags(), (std::vector<std::string>{"even", "odd"}));
+  const auto odd_rows = d.rows_with_tag("odd");
+  EXPECT_EQ(odd_rows.size(), 10u);
+  const Dataset odd = d.subset(odd_rows);
+  EXPECT_EQ(odd.num_rows(), 10u);
+  Dataset merged = odd;
+  merged.merge(d.subset(d.rows_with_tag("even")));
+  EXPECT_EQ(merged.num_rows(), 20u);
+  Dataset other({"different"});
+  EXPECT_THROW(merged.merge(other), std::invalid_argument);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  Dataset d = make_synthetic(15, 2, [](double a, double b, double) { return a * b; });
+  const auto path = std::filesystem::temp_directory_path() / "aigml_ds.csv";
+  d.save(path);
+  const auto back = Dataset::load(path);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->num_rows(), d.num_rows());
+  for (std::size_t i = 0; i < d.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(back->label(i), d.label(i));
+    EXPECT_EQ(back->tag(i), d.tag(i));
+    for (std::size_t f = 0; f < d.num_features(); ++f) {
+      EXPECT_DOUBLE_EQ(back->row(i)[f], d.row(i)[f]);
+    }
+  }
+  std::filesystem::remove(path);
+  EXPECT_FALSE(Dataset::load("/nonexistent/nope.csv").has_value());
+}
+
+// ---- regression tree ------------------------------------------------------------
+
+TEST(Tree, SplitsOnStepFunction) {
+  // y = 1 when x0 >= 5 else -1; one split suffices.
+  std::vector<double> x, g;
+  std::vector<std::size_t> rows;
+  for (int i = 0; i < 100; ++i) {
+    const double v = static_cast<double>(i) / 10.0;
+    x.push_back(v);
+    // squared loss from preds=0: gradient = 0 - y.
+    g.push_back(v >= 5.0 ? -1.0 : 1.0);
+    rows.push_back(static_cast<std::size_t>(i));
+  }
+  std::vector<double> h(100, 1.0);
+  const int features[1] = {0};
+  RegressionTree tree;
+  TreeParams p;
+  p.max_depth = 2;
+  p.lambda = 0.0;
+  tree.fit(x, 1, g, h, rows, features, p);
+  const double lo[1] = {2.0};
+  const double hi[1] = {8.0};
+  EXPECT_NEAR(tree.predict(lo), -1.0, 1e-9);
+  EXPECT_NEAR(tree.predict(hi), 1.0, 1e-9);
+}
+
+TEST(Tree, RespectsMaxDepthZero) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> g{-1, -2, -3, -4};
+  std::vector<double> h(4, 1.0);
+  std::vector<std::size_t> rows{0, 1, 2, 3};
+  const int features[1] = {0};
+  RegressionTree tree;
+  TreeParams p;
+  p.max_depth = 0;
+  p.lambda = 0.0;
+  tree.fit(x, 1, g, h, rows, features, p);
+  EXPECT_EQ(tree.nodes().size(), 1u);
+  const double any[1] = {2.5};
+  EXPECT_NEAR(tree.predict(any), 2.5, 1e-9);  // -mean(g)
+}
+
+TEST(Tree, MinChildWeightBlocksTinyLeaves) {
+  std::vector<double> x{1, 2, 3, 4, 100};
+  std::vector<double> g{0, 0, 0, 0, -10};
+  std::vector<double> h(5, 1.0);
+  std::vector<std::size_t> rows{0, 1, 2, 3, 4};
+  const int features[1] = {0};
+  RegressionTree tree;
+  TreeParams p;
+  p.max_depth = 3;
+  p.min_child_weight = 2.0;  // the single outlier row cannot form a leaf
+  tree.fit(x, 1, g, h, rows, features, p);
+  for (const auto& n : tree.nodes()) {
+    EXPECT_NE(n.threshold, 52.0);  // no split isolating the outlier alone
+  }
+}
+
+TEST(Tree, SerializationRoundTrip) {
+  Dataset d = make_synthetic(200, 3, [](double a, double b, double) { return 2 * a - b; });
+  GbdtParams p;
+  p.num_trees = 5;
+  p.max_depth = 4;
+  const GbdtModel model = GbdtModel::train(d, p);
+  std::ostringstream out;
+  model.serialize(out);
+  std::istringstream in(out.str());
+  const GbdtModel back = GbdtModel::deserialize(in);
+  for (std::size_t i = 0; i < d.num_rows(); i += 17) {
+    EXPECT_DOUBLE_EQ(back.predict(d.row(i)), model.predict(d.row(i)));
+  }
+}
+
+// ---- GBDT ----------------------------------------------------------------------
+
+TEST(Gbdt, FitsLinearFunction) {
+  const Dataset train = make_synthetic(800, 4, [](double a, double b, double c) {
+    return 3.0 * a - 2.0 * b + 0.5 * c + 7.0;
+  });
+  const Dataset test = make_synthetic(200, 5, [](double a, double b, double c) {
+    return 3.0 * a - 2.0 * b + 0.5 * c + 7.0;
+  });
+  GbdtParams p;
+  p.num_trees = 300;
+  p.max_depth = 5;
+  p.learning_rate = 0.1;
+  const GbdtModel model = GbdtModel::train(train, p);
+  const auto preds = model.predict_all(test);
+  const double err = rmse(preds, test.labels());
+  // Labels span roughly [-13, 42]; a good fit is well under 10% of range.
+  EXPECT_LT(err, 2.5);
+  EXPECT_GT(r_squared(preds, test.labels()), 0.95);
+}
+
+TEST(Gbdt, FitsNonlinearInteraction) {
+  const Dataset train =
+      make_synthetic(1000, 6, [](double a, double b, double) { return a * b; });
+  const Dataset test =
+      make_synthetic(300, 7, [](double a, double b, double) { return a * b; });
+  GbdtParams p;
+  p.num_trees = 400;
+  p.max_depth = 6;
+  p.learning_rate = 0.1;
+  const GbdtModel model = GbdtModel::train(train, p);
+  EXPECT_GT(r_squared(model.predict_all(test), test.labels()), 0.9);
+}
+
+TEST(Gbdt, MoreTreesReduceTrainError) {
+  const Dataset train = make_synthetic(400, 8, [](double a, double b, double c) {
+    return std::sin(a) * 10 + b - c;
+  });
+  TrainLog log;
+  GbdtParams p;
+  p.num_trees = 200;
+  p.learning_rate = 0.05;
+  (void)GbdtModel::train(train, p, nullptr, &log);
+  ASSERT_EQ(log.train_rmse.size(), 200u);
+  EXPECT_LT(log.train_rmse.back(), log.train_rmse.front() * 0.5);
+  // Monotone non-increasing apart from subsampling noise.
+  EXPECT_LT(log.train_rmse[150], log.train_rmse[50]);
+}
+
+TEST(Gbdt, EarlyStoppingTruncates) {
+  const Dataset train = make_synthetic(300, 9, [](double a, double, double) { return a; });
+  const Dataset valid = make_synthetic(100, 10, [](double a, double, double) { return a; });
+  GbdtParams p;
+  p.num_trees = 2000;
+  p.learning_rate = 0.3;
+  p.early_stopping_rounds = 10;
+  TrainLog log;
+  const GbdtModel model = GbdtModel::train(train, p, &valid, &log);
+  EXPECT_LT(model.num_trees(), 2000u);
+  EXPECT_EQ(static_cast<int>(model.num_trees()), log.best_round);
+}
+
+TEST(Gbdt, FeatureImportanceIdentifiesSignal) {
+  // Only x0 matters; importance must concentrate there.
+  const Dataset train = make_synthetic(500, 11, [](double a, double, double) { return a * a; });
+  GbdtParams p;
+  p.num_trees = 50;
+  const GbdtModel model = GbdtModel::train(train, p);
+  const auto importance = model.feature_importance();
+  ASSERT_EQ(importance.size(), 3u);
+  EXPECT_GT(importance[0], 0.9);
+  EXPECT_NEAR(importance[0] + importance[1] + importance[2], 1.0, 1e-9);
+}
+
+TEST(Gbdt, DeterministicGivenSeed) {
+  const Dataset train = make_synthetic(200, 12, [](double a, double b, double) { return a + b; });
+  GbdtParams p;
+  p.num_trees = 20;
+  const GbdtModel m1 = GbdtModel::train(train, p);
+  const GbdtModel m2 = GbdtModel::train(train, p);
+  for (std::size_t i = 0; i < train.num_rows(); i += 13) {
+    EXPECT_DOUBLE_EQ(m1.predict(train.row(i)), m2.predict(train.row(i)));
+  }
+}
+
+TEST(Gbdt, ValidatesInputs) {
+  Dataset empty({"a"});
+  EXPECT_THROW((void)GbdtModel::train(empty, {}), std::invalid_argument);
+  const Dataset train = make_synthetic(10, 13, [](double a, double, double) { return a; });
+  GbdtParams p;
+  p.num_trees = 0;
+  EXPECT_THROW((void)GbdtModel::train(train, p), std::invalid_argument);
+  p.num_trees = 1;
+  p.subsample = 0.0;
+  EXPECT_THROW((void)GbdtModel::train(train, p), std::invalid_argument);
+  GbdtParams ok;
+  ok.num_trees = 2;
+  const GbdtModel model = GbdtModel::train(train, ok);
+  const double narrow[1] = {0.0};
+  EXPECT_THROW((void)model.predict(narrow), std::invalid_argument);
+}
+
+TEST(Gbdt, FileRoundTrip) {
+  const Dataset train = make_synthetic(100, 14, [](double a, double, double) { return a; });
+  GbdtParams p;
+  p.num_trees = 10;
+  const GbdtModel model = GbdtModel::train(train, p);
+  const auto path = std::filesystem::temp_directory_path() / "aigml_model.gbdt";
+  model.save(path);
+  const GbdtModel back = GbdtModel::load(path);
+  EXPECT_EQ(back.num_trees(), model.num_trees());
+  EXPECT_DOUBLE_EQ(back.predict(train.row(0)), model.predict(train.row(0)));
+  std::filesystem::remove(path);
+}
+
+TEST(Gbdt, PaperHyperparametersExposed) {
+  const GbdtParams p = paper_gbdt_params();
+  EXPECT_EQ(p.num_trees, 5000);
+  EXPECT_EQ(p.max_depth, 16);
+  EXPECT_DOUBLE_EQ(p.learning_rate, 0.01);
+  EXPECT_DOUBLE_EQ(p.subsample, 0.8);
+}
+
+// ---- metrics --------------------------------------------------------------------
+
+TEST(Metrics, KnownValues) {
+  const std::vector<double> pred{1, 2, 3};
+  const std::vector<double> truth{1, 2, 7};
+  EXPECT_DOUBLE_EQ(mae(pred, truth), 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(rmse(pred, truth), std::sqrt(16.0 / 3.0));
+  EXPECT_DOUBLE_EQ(r_squared(truth, truth), 1.0);
+  std::vector<double> short_vec{1};
+  EXPECT_THROW((void)rmse(short_vec, truth), std::invalid_argument);
+}
+
+// ---- GNN ------------------------------------------------------------------------
+
+/// Builds small random AIGs whose label is an easy graph statistic.
+std::vector<aig::Aig> gnn_corpus(int count, std::uint64_t seed) {
+  std::vector<aig::Aig> graphs;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    graphs.push_back(
+        gen::random_control(6, 3, 20 + static_cast<int>(rng.next_below(60)), seed + static_cast<std::uint64_t>(i)));
+  }
+  return graphs;
+}
+
+TEST(Gnn, TrainingReducesLoss) {
+  const auto graphs = gnn_corpus(24, 100);
+  std::vector<const aig::Aig*> ptrs;
+  std::vector<double> labels;
+  for (const auto& g : graphs) {
+    ptrs.push_back(&g);
+    labels.push_back(static_cast<double>(g.num_ands()));
+  }
+  GnnParams p;
+  p.epochs = 30;
+  p.hidden = 8;
+  GnnTrainLog log;
+  (void)GnnModel::train(ptrs, labels, p, &log);
+  ASSERT_EQ(log.epoch_mse.size(), 30u);
+  EXPECT_LT(log.epoch_mse.back(), log.epoch_mse.front() * 0.7);
+}
+
+TEST(Gnn, LearnsSizeStatistic) {
+  const auto graphs = gnn_corpus(40, 200);
+  std::vector<const aig::Aig*> ptrs;
+  std::vector<double> labels;
+  for (const auto& g : graphs) {
+    ptrs.push_back(&g);
+    labels.push_back(static_cast<double>(g.num_ands()));
+  }
+  GnnParams p;
+  p.epochs = 60;
+  p.hidden = 8;
+  const GnnModel model = GnnModel::train(ptrs, labels, p);
+  // In-sample fit should correlate strongly with the target.
+  std::vector<double> preds, truth;
+  for (const auto& g : graphs) {
+    preds.push_back(model.predict(g));
+    truth.push_back(static_cast<double>(g.num_ands()));
+  }
+  EXPECT_GT(r_squared(preds, truth), 0.5);
+}
+
+TEST(Gnn, ValidatesInputs) {
+  std::vector<const aig::Aig*> none;
+  std::vector<double> labels;
+  EXPECT_THROW((void)GnnModel::train(none, labels, {}), std::invalid_argument);
+  const aig::Aig g = gen::parity_tree(3);
+  const aig::Aig* one[1] = {&g};
+  const double y[1] = {1.0};
+  GnnParams bad;
+  bad.layers = 0;
+  EXPECT_THROW((void)GnnModel::train(one, y, bad), std::invalid_argument);
+}
+
+TEST(Gnn, DeterministicGivenSeed) {
+  const auto graphs = gnn_corpus(6, 300);
+  std::vector<const aig::Aig*> ptrs;
+  std::vector<double> labels;
+  for (const auto& g : graphs) {
+    ptrs.push_back(&g);
+    labels.push_back(static_cast<double>(g.num_ands()));
+  }
+  GnnParams p;
+  p.epochs = 5;
+  p.hidden = 4;
+  const GnnModel m1 = GnnModel::train(ptrs, labels, p);
+  const GnnModel m2 = GnnModel::train(ptrs, labels, p);
+  EXPECT_DOUBLE_EQ(m1.predict(graphs[0]), m2.predict(graphs[0]));
+}
+
+}  // namespace
+}  // namespace aigml::ml

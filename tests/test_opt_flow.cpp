@@ -1,0 +1,293 @@
+// Tests for the optimization flows (cost evaluators, SA engine, Pareto
+// utilities, sweep driver) and the data-generation pipeline.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "aig/analysis.hpp"
+#include "aig/sim.hpp"
+#include "flow/datagen.hpp"
+#include "flow/experiment.hpp"
+#include "gen/circuits.hpp"
+#include "gen/designs.hpp"
+#include "opt/cost.hpp"
+#include "opt/pareto.hpp"
+#include "opt/sa.hpp"
+#include "opt/sweep.hpp"
+
+namespace aigml {
+namespace {
+
+using aig::Aig;
+using cell::mini_sky130;
+
+// ---- cost evaluators -------------------------------------------------------------
+
+TEST(Cost, ProxyMatchesAnalyses) {
+  opt::ProxyCost proxy;
+  const Aig g = gen::multiplier(5);
+  const auto q = proxy.evaluate(g);
+  EXPECT_DOUBLE_EQ(q.delay, static_cast<double>(aig::aig_level(g)));
+  EXPECT_DOUBLE_EQ(q.area, static_cast<double>(g.num_ands()));
+  EXPECT_EQ(proxy.eval_count(), 1u);
+  EXPECT_EQ(proxy.name(), "proxy");
+}
+
+TEST(Cost, GroundTruthMatchesDirectMapSta) {
+  opt::GroundTruthCost gt(mini_sky130());
+  const Aig g = gen::adder_cla(6);
+  const auto q = gt.evaluate(g);
+  const auto netlist = map::map_to_cells(g, mini_sky130());
+  const auto sta = sta::run_sta(netlist, mini_sky130(), {});
+  EXPECT_DOUBLE_EQ(q.delay, sta.max_delay_ps);
+  EXPECT_DOUBLE_EQ(q.area, sta.total_area_um2);
+  EXPECT_GT(gt.eval_seconds(), 0.0);
+}
+
+TEST(Cost, MlCostUsesModels) {
+  // Train tiny models mapping features to a known constant; the evaluator
+  // must return the models' predictions.
+  ml::Dataset delay_data(features::feature_names());
+  ml::Dataset area_data(features::feature_names());
+  const Aig g = gen::parity_tree(6);
+  const auto f = features::extract(g);
+  for (int i = 0; i < 8; ++i) {
+    delay_data.append(f, 1234.0, "x");
+    area_data.append(f, 42.0, "x");
+  }
+  ml::GbdtParams p;
+  p.num_trees = 3;
+  const auto delay_model = ml::GbdtModel::train(delay_data, p);
+  const auto area_model = ml::GbdtModel::train(area_data, p);
+  opt::MlCost cost(delay_model, area_model);
+  const auto q = cost.evaluate(g);
+  EXPECT_NEAR(q.delay, 1234.0, 1.0);
+  EXPECT_NEAR(q.area, 42.0, 0.5);
+}
+
+// ---- SA --------------------------------------------------------------------------
+
+TEST(Sa, ImprovesProxyCostOnMultiplier) {
+  opt::ProxyCost proxy;
+  const Aig g = gen::multiplier(6);
+  opt::SaParams params;
+  params.iterations = 30;
+  params.seed = 5;
+  params.weight_delay = 1.0;
+  params.weight_area = 0.5;
+  const auto result = opt::simulated_annealing(g, proxy, params);
+  EXPECT_EQ(result.history.size(), 30u);
+  // Best cost can never exceed the initial cost (initial is a candidate).
+  const double initial_cost = params.weight_delay + params.weight_area;  // normalized
+  EXPECT_LE(result.best_cost, initial_cost + 1e-12);
+  // On a raw multiplier, transforms find real improvements.
+  EXPECT_LT(result.best_cost, initial_cost);
+  // The best AIG is functionally intact.
+  EXPECT_TRUE(aig::equivalent(g, result.best));
+}
+
+TEST(Sa, DeterministicGivenSeed) {
+  opt::ProxyCost proxy;
+  const Aig g = gen::build_design("EX68");
+  opt::SaParams params;
+  params.iterations = 15;
+  params.seed = 11;
+  const auto r1 = opt::simulated_annealing(g, proxy, params);
+  const auto r2 = opt::simulated_annealing(g, proxy, params);
+  EXPECT_EQ(r1.best.structural_hash(), r2.best.structural_hash());
+  EXPECT_DOUBLE_EQ(r1.best_cost, r2.best_cost);
+}
+
+TEST(Sa, RecordsTimingBreakdown) {
+  opt::GroundTruthCost gt(mini_sky130());
+  const Aig g = gen::build_design("EX68");
+  opt::SaParams params;
+  params.iterations = 8;
+  const auto result = opt::simulated_annealing(g, gt, params);
+  EXPECT_GT(result.total_transform_seconds, 0.0);
+  EXPECT_GT(result.total_eval_seconds, 0.0);
+  EXPECT_GE(result.total_seconds,
+            result.total_transform_seconds + result.total_eval_seconds - 1e-6);
+  EXPECT_GT(result.seconds_per_iteration(), 0.0);
+  for (const auto& rec : result.history) {
+    EXPECT_GE(rec.eval_seconds, 0.0);
+    EXPECT_LT(rec.script_index, transforms::script_registry().size());
+  }
+}
+
+TEST(Sa, HighTemperatureAcceptsWorseMoves) {
+  opt::ProxyCost proxy;
+  const Aig g = gen::build_design("EX00");
+  opt::SaParams hot;
+  hot.iterations = 40;
+  hot.initial_temperature = 10.0;
+  hot.decay = 1.0;
+  hot.seed = 3;
+  const auto r_hot = opt::simulated_annealing(g, proxy, hot);
+  opt::SaParams cold = hot;
+  cold.initial_temperature = 1e-12;
+  const auto r_cold = opt::simulated_annealing(g, proxy, cold);
+  // Hot run accepts (nearly) everything; cold run only improvements.
+  EXPECT_GT(r_hot.accepted_moves(), r_cold.accepted_moves());
+}
+
+TEST(Sa, ValidatesParams) {
+  opt::ProxyCost proxy;
+  const Aig g = gen::parity_tree(4);
+  opt::SaParams bad;
+  bad.iterations = 0;
+  EXPECT_THROW((void)opt::simulated_annealing(g, proxy, bad), std::invalid_argument);
+  bad.iterations = 1;
+  bad.decay = 0.0;
+  EXPECT_THROW((void)opt::simulated_annealing(g, proxy, bad), std::invalid_argument);
+}
+
+// ---- Pareto ----------------------------------------------------------------------
+
+TEST(Pareto, DominationAndFront) {
+  using opt::ParetoPoint;
+  const std::vector<ParetoPoint> points = {
+      {1.0, 10.0, 0}, {2.0, 5.0, 1}, {3.0, 6.0, 2},  // dominated by (2,5)
+      {4.0, 1.0, 3},  {1.0, 10.0, 4},                 // duplicate
+      {0.5, 20.0, 5},
+  };
+  EXPECT_TRUE(opt::dominates(points[1], points[2]));
+  EXPECT_FALSE(opt::dominates(points[2], points[1]));
+  EXPECT_FALSE(opt::dominates(points[0], points[4]));  // equal: no strict improvement
+  const auto front = opt::pareto_front(points);
+  ASSERT_EQ(front.size(), 4u);
+  EXPECT_DOUBLE_EQ(front[0].delay, 0.5);
+  EXPECT_DOUBLE_EQ(front[1].delay, 1.0);
+  EXPECT_DOUBLE_EQ(front[2].delay, 2.0);
+  EXPECT_DOUBLE_EQ(front[3].delay, 4.0);
+  // Front areas strictly decrease.
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_LT(front[i].area, front[i - 1].area);
+  }
+}
+
+TEST(Pareto, Hypervolume) {
+  using opt::ParetoPoint;
+  const std::vector<ParetoPoint> front = {{1.0, 3.0, 0}, {2.0, 1.0, 1}};
+  // Reference (4, 4): rect1 = (2-1)*(4-3) = 1, rect2 = (4-2)*(4-1) = 6.
+  EXPECT_DOUBLE_EQ(opt::hypervolume(front, 4.0, 4.0), 7.0);
+  // Points outside the reference box contribute nothing.
+  EXPECT_DOUBLE_EQ(opt::hypervolume(front, 1.0, 1.0), 0.0);
+}
+
+TEST(Pareto, DelayAtArea) {
+  using opt::ParetoPoint;
+  const std::vector<ParetoPoint> front = {{1.0, 10.0, 0}, {2.0, 5.0, 1}, {4.0, 1.0, 2}};
+  EXPECT_DOUBLE_EQ(opt::delay_at_area(front, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(opt::delay_at_area(front, 100.0), 1.0);
+  EXPECT_TRUE(std::isinf(opt::delay_at_area(front, 0.5)));
+}
+
+// ---- sweep -----------------------------------------------------------------------
+
+TEST(Sweep, ProducesGroundTruthFront) {
+  opt::ProxyCost proxy;
+  const Aig g = gen::build_design("EX68");
+  opt::SweepConfig config;
+  config.weight_pairs = {{1.0, 0.0}, {1.0, 1.0}};
+  config.decays = {0.95};
+  config.iterations = 10;
+  const auto result = opt::sweep_flow(g, proxy, mini_sky130(), config);
+  ASSERT_EQ(result.runs.size(), 2u);
+  EXPECT_FALSE(result.front.empty());
+  for (const auto& run : result.runs) {
+    EXPECT_GT(run.ground_truth.delay, 0.0);
+    EXPECT_GT(run.ground_truth.area, 0.0);
+    EXPECT_GT(run.seconds, 0.0);
+  }
+  // Front points reference existing runs.
+  for (const auto& p : result.front) {
+    EXPECT_LT(p.origin, result.runs.size());
+  }
+}
+
+// ---- data generation ----------------------------------------------------------------
+
+TEST(DataGen, GeneratesUniqueLabeledVariants) {
+  const Aig g = gen::build_design("EX68");
+  flow::DataGenParams params;
+  params.num_variants = 25;
+  params.seed = 9;
+  const auto data = flow::generate_dataset(g, "EX68", mini_sky130(), params);
+  EXPECT_EQ(data.unique_variants, 25u);
+  EXPECT_EQ(data.delay.num_rows(), 25u);
+  EXPECT_EQ(data.area.num_rows(), 25u);
+  EXPECT_EQ(data.delay.num_features(), static_cast<std::size_t>(features::kNumFeatures));
+  // Labels are positive and vary across variants.
+  RunningStats delay_stats;
+  for (const double y : data.delay.labels()) {
+    EXPECT_GT(y, 0.0);
+    delay_stats.add(y);
+  }
+  EXPECT_GT(delay_stats.stddev(), 0.0);
+  for (const double y : data.area.labels()) EXPECT_GT(y, 0.0);
+  EXPECT_EQ(data.delay.tag(0), "EX68");
+}
+
+TEST(DataGen, DeterministicGivenSeed) {
+  const Aig g = gen::build_design("EX00");
+  flow::DataGenParams params;
+  params.num_variants = 10;
+  params.seed = 77;
+  const auto d1 = flow::generate_dataset(g, "EX00", mini_sky130(), params);
+  const auto d2 = flow::generate_dataset(g, "EX00", mini_sky130(), params);
+  ASSERT_EQ(d1.delay.num_rows(), d2.delay.num_rows());
+  for (std::size_t i = 0; i < d1.delay.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(d1.delay.label(i), d2.delay.label(i));
+  }
+}
+
+TEST(DataGen, CacheRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "aigml_cache_test";
+  std::filesystem::remove_all(dir);
+  const Aig g = gen::build_design("EX68");
+  flow::DataGenParams params;
+  params.num_variants = 8;
+  params.seed = 5;
+  const auto first = flow::load_or_generate(g, "EX68", mini_sky130(), params, dir);
+  EXPECT_GT(first.generation_seconds, 0.0);  // actually generated
+  const auto second = flow::load_or_generate(g, "EX68", mini_sky130(), params, dir);
+  EXPECT_EQ(second.generation_seconds, 0.0);  // loaded from cache
+  ASSERT_EQ(second.delay.num_rows(), first.delay.num_rows());
+  for (std::size_t i = 0; i < first.delay.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(second.delay.label(i), first.delay.label(i));
+    EXPECT_DOUBLE_EQ(second.area.label(i), first.area.label(i));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Experiment, EndToEndSmallScale) {
+  // Miniature end-to-end: tiny datasets, tiny model — validates the full
+  // Table III machinery (full scale runs in bench/table3_accuracy).
+  const auto dir = std::filesystem::temp_directory_path() / "aigml_exp_test";
+  std::filesystem::remove_all(dir);
+  flow::DataGenParams params;
+  params.num_variants = 6;
+  const auto data = flow::prepare_experiment_data(cell::mini_sky130(), params, dir);
+  EXPECT_EQ(data.per_design.size(), 8u);
+  EXPECT_EQ(data.delay_train.num_rows(), 4u * 6u);
+  ml::GbdtParams gp;
+  gp.num_trees = 30;
+  gp.max_depth = 4;
+  const auto models = flow::train_models(data, gp);
+  EXPECT_EQ(models.delay.num_trees(), 30u);
+  const auto rows = flow::evaluate_accuracy(data, models);
+  ASSERT_EQ(rows.size(), 8u);
+  int training_rows = 0;
+  for (const auto& row : rows) {
+    EXPECT_GT(row.delay_error.count, 0u);
+    EXPECT_GE(row.delay_error.mean_pct, 0.0);
+    training_rows += row.training;
+  }
+  EXPECT_EQ(training_rows, 4);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace aigml

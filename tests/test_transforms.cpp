@@ -1,0 +1,296 @@
+// Tests for the transform family.  The paramount property — checked for
+// every primitive on every circuit class — is functional equivalence.
+// Secondary properties: balance never increases depth, transforms are
+// deterministic, scripts compose, and the registry has exactly the paper's
+// 103 combinations.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "aig/analysis.hpp"
+#include "aig/sim.hpp"
+#include "gen/circuits.hpp"
+#include "gen/designs.hpp"
+#include "transforms/balance.hpp"
+#include "transforms/resynth.hpp"
+#include "transforms/scripts.hpp"
+#include "transforms/shuffle.hpp"
+
+namespace aigml::transforms {
+namespace {
+
+using aig::Aig;
+using aig::aig_level;
+using aig::equivalent;
+
+Aig circuit_by_name(const std::string& name) {
+  if (name == "mult6") return gen::multiplier(6);
+  if (name == "cla8") return gen::adder_cla(8);
+  if (name == "alu4") return gen::alu(4);
+  if (name == "parity9") return gen::parity_tree(9);
+  if (name == "prio8") return gen::priority_encoder(8);
+  if (name == "cmp6") return gen::comparator(6);
+  if (name == "ctrl") return gen::random_control(11, 5, 280, 3);
+  return gen::build_design(name);
+}
+
+class PrimitiveEquivalence
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {};
+
+TEST_P(PrimitiveEquivalence, PreservesFunctionAndInterface) {
+  const auto [primitive, circuit] = GetParam();
+  const Aig g = circuit_by_name(circuit);
+  const Aig t = apply_primitive(primitive, g);
+  EXPECT_EQ(t.num_inputs(), g.num_inputs());
+  EXPECT_EQ(t.num_outputs(), g.num_outputs());
+  EXPECT_TRUE(t.check_acyclic_order());
+  const auto eq = aig::check_equivalence(g, t);
+  EXPECT_TRUE(eq.equivalent) << primitive << " broke " << circuit << " output "
+                             << eq.failing_output;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrimitivesAllCircuits, PrimitiveEquivalence,
+    ::testing::Combine(::testing::Values("b", "rw", "rwd", "rw3", "rf", "rfd", "rs"),
+                       ::testing::Values("mult6", "cla8", "alu4", "parity9", "prio8", "cmp6",
+                                         "ctrl", "EX00", "EX68")),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_" + std::get<1>(info.param);
+    });
+
+TEST(Balance, NeverIncreasesDepth) {
+  for (const char* name : {"mult6", "cla8", "alu4", "ctrl", "EX00", "EX68", "EX02"}) {
+    const Aig g = circuit_by_name(name);
+    const Aig b = balance(g);
+    EXPECT_LE(aig_level(b), aig_level(g)) << name;
+  }
+}
+
+TEST(Balance, FlattensAndChainToLogDepth) {
+  // A linear chain of 8 ANDs must balance to depth 3.
+  Aig g;
+  std::vector<aig::Lit> ins;
+  for (int i = 0; i < 8; ++i) ins.push_back(g.add_input());
+  aig::Lit acc = ins[0];
+  for (int i = 1; i < 8; ++i) acc = g.make_and(acc, ins[i]);
+  g.add_output(acc);
+  EXPECT_EQ(aig_level(g), 7u);
+  const Aig b = balance(g);
+  EXPECT_EQ(aig_level(b), 3u);
+  EXPECT_TRUE(equivalent(g, b));
+}
+
+TEST(Balance, RespectsComplementBoundaries) {
+  // !(a&b) & c: the complemented edge is a tree boundary; function preserved.
+  Aig g;
+  const auto a = g.add_input();
+  const auto b = g.add_input();
+  const auto c = g.add_input();
+  g.add_output(g.make_and(g.make_nand(a, b), c));
+  const Aig t = balance(g);
+  EXPECT_TRUE(equivalent(g, t));
+}
+
+TEST(Rewrite, ReducesRedundantLogic) {
+  // mux(s, x, x) == x: rewriting should collapse it.
+  Aig g;
+  const auto s = g.add_input();
+  const auto x = g.add_input();
+  const auto y = g.add_input();
+  const auto redundant = g.make_mux(s, g.make_and(x, y), g.make_and(x, y));
+  g.add_output(redundant);
+  EXPECT_GE(g.num_ands(), 3u);
+  const Aig t = rewrite(g);
+  EXPECT_TRUE(equivalent(g, t));
+  EXPECT_LE(t.num_ands(), 1u);
+}
+
+TEST(Rewrite, CollapsesReconvergentConstant) {
+  // AND(a&b, a&!b) == 0 — zero-leaf cut candidate wins.
+  Aig g;
+  const auto a = g.add_input();
+  const auto b = g.add_input();
+  const auto x = g.make_and(a, b);
+  const auto y = g.make_and(a, aig::lit_not(b));
+  g.add_output(g.make_and(x, y), "zero");
+  const Aig t = rewrite(g);
+  EXPECT_TRUE(equivalent(g, t));
+  EXPECT_EQ(t.num_ands(), 0u);
+}
+
+TEST(Rewrite, NeverIncreasesNodeCount) {
+  // The default reconstruction is always a candidate, so a rewrite pass can
+  // only tie or shrink the (live) node count.
+  for (const char* name : {"mult6", "cla8", "alu4", "ctrl", "EX00"}) {
+    const Aig g = circuit_by_name(name).cleanup();
+    const Aig t = rewrite(g);
+    EXPECT_LE(t.num_ands(), g.num_ands()) << name;
+  }
+}
+
+TEST(RewriteDepth, TendsToReduceDepthOnDeepCircuits) {
+  const Aig g = circuit_by_name("EX02");
+  const Aig t = rewrite_depth(g);
+  EXPECT_TRUE(t.num_ands() > 0);
+  // Depth preference must not *increase* depth beyond the original.
+  EXPECT_LE(aig_level(t), aig_level(g) + 1);
+}
+
+TEST(Resub, FindsSharedDivisors) {
+  // z = (a&b)|c and w = a&b: resub of a cone recomputing a&b should reuse it.
+  Aig g;
+  const auto a = g.add_input();
+  const auto b = g.add_input();
+  const auto c = g.add_input();
+  const auto ab = g.make_and(a, b);
+  g.add_output(g.make_or(ab, c), "z");
+  // A second, structurally different computation of the same function:
+  const auto ab2 = aig::lit_not(g.make_nand(b, a));
+  g.add_output(g.make_or(ab2, aig::lit_not(aig::lit_not(c))), "w");
+  const Aig t = resub(g);
+  EXPECT_TRUE(equivalent(g, t));
+  // Structural hashing already shares nand(b,a)==and(a,b); resub must not
+  // blow the graph up.
+  EXPECT_LE(t.num_ands(), g.num_ands());
+}
+
+TEST(Transforms, DeterministicAcrossRuns) {
+  const Aig g = circuit_by_name("ctrl");
+  for (const char* p : {"b", "rw", "rf", "rs"}) {
+    const Aig t1 = apply_primitive(p, g);
+    const Aig t2 = apply_primitive(p, g);
+    EXPECT_EQ(t1.structural_hash(), t2.structural_hash()) << p;
+  }
+}
+
+TEST(Transforms, UnknownPrimitiveThrows) {
+  const Aig g = gen::parity_tree(3);
+  EXPECT_THROW((void)apply_primitive("xyzzy", g), std::out_of_range);
+}
+
+TEST(Transforms, ParamValidation) {
+  const Aig g = gen::parity_tree(3);
+  ResynthParams p;
+  p.cut_size = 1;
+  EXPECT_THROW((void)resynthesize(g, p), std::invalid_argument);
+  p.cut_size = 7;
+  EXPECT_THROW((void)resynthesize(g, p), std::invalid_argument);
+  p.cut_size = 4;
+  p.reconv_max_leaves = 1;
+  EXPECT_THROW((void)resynthesize(g, p), std::invalid_argument);
+}
+
+// ---- randomized restructurings (variant generation) ------------------------------
+
+class ShuffleEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShuffleEquivalence, RandomizedRebalancePreservesFunction) {
+  for (const char* name : {"mult6", "cla8", "alu4", "EX00", "EX68"}) {
+    const Aig g = circuit_by_name(name);
+    const Aig t = randomized_rebalance(g, GetParam());
+    EXPECT_TRUE(equivalent(g, t)) << name << " seed " << GetParam();
+    EXPECT_EQ(t.num_inputs(), g.num_inputs());
+    EXPECT_EQ(t.num_outputs(), g.num_outputs());
+  }
+}
+
+TEST_P(ShuffleEquivalence, RandomizedResynthesisPreservesFunction) {
+  for (const char* name : {"mult6", "cla8", "parity9", "EX00", "EX68"}) {
+    const Aig g = circuit_by_name(name);
+    const Aig t = randomized_resynthesis(g, GetParam(), 0.3);
+    EXPECT_TRUE(equivalent(g, t)) << name << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShuffleEquivalence, ::testing::Values(1u, 2u, 3u, 42u, 1234u));
+
+TEST(Shuffle, DeterministicInSeed) {
+  const Aig g = circuit_by_name("EX00");
+  EXPECT_EQ(randomized_rebalance(g, 7).structural_hash(),
+            randomized_rebalance(g, 7).structural_hash());
+  EXPECT_EQ(randomized_resynthesis(g, 7).structural_hash(),
+            randomized_resynthesis(g, 7).structural_hash());
+}
+
+TEST(Shuffle, SeedsProduceStructuralDiversity) {
+  // The whole point of the randomized moves: many distinct structures from
+  // one source graph (the deterministic scripts saturate quickly).
+  const Aig g = circuit_by_name("cla8");
+  std::set<std::uint64_t> hashes;
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    hashes.insert(randomized_rebalance(g, seed).structural_hash());
+    hashes.insert(randomized_resynthesis(g, seed, 0.4).structural_hash());
+  }
+  // At least ~40% distinct across 48 draws (scripts alone saturate below 10).
+  EXPECT_GE(hashes.size(), 20u);
+}
+
+// ---- scripts -------------------------------------------------------------------
+
+TEST(Scripts, RegistryHasExactly103DistinctScripts) {
+  const auto& reg = script_registry();
+  EXPECT_EQ(reg.size(), static_cast<std::size_t>(kNumScripts));
+  std::set<std::string> names;
+  for (const auto& s : reg.scripts()) names.insert(s.name);
+  EXPECT_EQ(names.size(), reg.size());
+  // Composition: 7 singletons + 49 pairs + 47 triples.
+  int len1 = 0, len2 = 0, len3 = 0;
+  for (const auto& s : reg.scripts()) {
+    if (s.steps.size() == 1) ++len1;
+    if (s.steps.size() == 2) ++len2;
+    if (s.steps.size() == 3) ++len3;
+  }
+  EXPECT_EQ(len1, 7);
+  EXPECT_EQ(len2, 49);
+  EXPECT_EQ(len3, 47);
+}
+
+TEST(Scripts, NamesMatchSteps) {
+  const auto& reg = script_registry();
+  EXPECT_EQ(reg.script(0).name, "b");
+  EXPECT_EQ(reg.script(7).name, "b;b");
+  for (const auto& s : reg.scripts()) {
+    std::string joined;
+    for (std::size_t i = 0; i < s.steps.size(); ++i) {
+      if (i) joined += ';';
+      joined += s.steps[i];
+    }
+    EXPECT_EQ(s.name, joined);
+  }
+}
+
+class ScriptEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScriptEquivalence, SampledScriptsPreserveFunction) {
+  const auto& reg = script_registry();
+  const Aig g = gen::multiplier(5);
+  const Aig t = reg.apply(GetParam(), g);
+  EXPECT_TRUE(equivalent(g, t)) << reg.script(GetParam()).name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sampled, ScriptEquivalence,
+                         ::testing::Values(0u, 5u, 9u, 23u, 42u, 55u, 70u, 88u, 102u));
+
+TEST(Scripts, RandomIndexIsInRange) {
+  Rng rng(3);
+  const auto& reg = script_registry();
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_LT(reg.random_index(rng), reg.size());
+  }
+}
+
+TEST(Scripts, ProduceDiverseStructures) {
+  // Different scripts applied to the same design should explore different
+  // structures — the premise of the SA move set.
+  const auto& reg = script_registry();
+  const Aig g = circuit_by_name("EX00");
+  std::set<std::uint64_t> hashes;
+  for (const std::size_t idx : {0u, 1u, 2u, 4u, 5u, 6u, 10u, 20u, 42u}) {
+    hashes.insert(reg.apply(idx, g).structural_hash());
+  }
+  EXPECT_GE(hashes.size(), 4u);
+}
+
+}  // namespace
+}  // namespace aigml::transforms

@@ -1,0 +1,249 @@
+// Unit tests for the util module: RNG determinism and distribution sanity,
+// statistics, CSV round-trips, environment knobs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace aigml {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 40000; ++i) stats.add(rng.next_gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng a(5);
+  Rng child = a.fork();
+  // The child stream should not replay the parent stream.
+  Rng b(5);
+  b.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += child.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> yneg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, yneg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  std::vector<double> x{1, 1, 1};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Stats, SpearmanMonotonicNonlinear) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{1, 8, 27, 64, 125};  // monotone but nonlinear
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Stats, SpearmanHandlesTies) {
+  std::vector<double> x{1, 2, 2, 3};
+  std::vector<double> y{10, 20, 20, 30};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+}
+
+TEST(Stats, AbsolutePercentError) {
+  std::vector<double> pred{110, 90};
+  std::vector<double> truth{100, 100};
+  const auto e = absolute_percent_error(pred, truth);
+  EXPECT_DOUBLE_EQ(e.mean_pct, 10.0);
+  EXPECT_DOUBLE_EQ(e.max_pct, 10.0);
+  EXPECT_DOUBLE_EQ(e.std_pct, 0.0);
+  EXPECT_EQ(e.count, 2u);
+}
+
+TEST(Stats, AbsolutePercentErrorSkipsZeroTruth) {
+  std::vector<double> pred{110, 55};
+  std::vector<double> truth{100, 0};
+  const auto e = absolute_percent_error(pred, truth);
+  EXPECT_EQ(e.count, 1u);
+  EXPECT_DOUBLE_EQ(e.mean_pct, 10.0);
+}
+
+TEST(Csv, RoundTrip) {
+  CsvTable t({"a", "b", "c"});
+  t.add_row({"1", "2.5", "x"});
+  t.add_row({"-3", "0.125", "y"});
+  const auto path = std::filesystem::temp_directory_path() / "aigml_test_roundtrip.csv";
+  t.save(path);
+  const auto loaded = CsvTable::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->header(), t.header());
+  ASSERT_EQ(loaded->num_rows(), 2u);
+  EXPECT_EQ(loaded->cell(0, 2), "x");
+  EXPECT_DOUBLE_EQ(loaded->cell_as_double(1, 1), 0.125);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, LoadMissingFileReturnsNullopt) {
+  EXPECT_FALSE(CsvTable::load("/nonexistent/definitely_missing.csv").has_value());
+}
+
+TEST(Csv, RaggedRowThrows) {
+  CsvTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Csv, ColumnLookup) {
+  CsvTable t({"alpha", "beta"});
+  EXPECT_EQ(t.column("beta").value(), 1u);
+  EXPECT_FALSE(t.column("gamma").has_value());
+}
+
+TEST(Csv, FormatDoubleRoundTrips) {
+  for (double v : {0.1, 1e-12, 12345.6789, -0.0, 3.0}) {
+    const std::string s = format_double(v);
+    EXPECT_DOUBLE_EQ(std::stod(s), v) << s;
+  }
+}
+
+TEST(Env, ScaleDefaultsToOne) {
+  ::unsetenv("AIGML_SCALE");
+  EXPECT_DOUBLE_EQ(env_scale(), 1.0);
+  EXPECT_EQ(scaled(100), 100);
+}
+
+TEST(Env, ScaleParsesAndClamps) {
+  ::setenv("AIGML_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_scale(), 2.5);
+  EXPECT_EQ(scaled(100), 250);
+  ::setenv("AIGML_SCALE", "0.0001", 1);
+  EXPECT_DOUBLE_EQ(env_scale(), 0.05);
+  ::setenv("AIGML_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(env_scale(), 1.0);
+  ::unsetenv("AIGML_SCALE");
+}
+
+TEST(Env, ScaledRespectsFloor) {
+  ::setenv("AIGML_SCALE", "0.05", 1);
+  EXPECT_EQ(scaled(10, 5), 5);
+  ::unsetenv("AIGML_SCALE");
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(static_cast<double>(i));
+  EXPECT_GT(t.elapsed_s(), 0.0);
+  EXPECT_GT(t.elapsed_ms(), t.elapsed_s());
+}
+
+TEST(Stopwatch, AccumulatesLaps) {
+  Stopwatch w;
+  for (int lap = 0; lap < 3; ++lap) {
+    ScopedLap guard(w);
+    volatile double sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
+  }
+  EXPECT_EQ(w.laps(), 3u);
+  EXPECT_GT(w.total_s(), 0.0);
+  EXPECT_NEAR(w.mean_s(), w.total_s() / 3.0, 1e-12);
+  w.reset();
+  EXPECT_EQ(w.laps(), 0u);
+  EXPECT_EQ(w.total_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace aigml
