@@ -1,0 +1,88 @@
+// Datagen throughput bench: measures labeled variants/second of
+// flow::generate_dataset across thread counts, checks the determinism
+// contract (same seed => identical datasets at every thread count), and
+// emits BENCH_datagen.json so the perf trajectory is tracked across PRs.
+// Run with --smoke for a CI-sized workload.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "celllib/library.hpp"
+#include "flow/datagen.hpp"
+#include "gen/designs.hpp"
+#include "util/parallel.hpp"
+
+using namespace aigml;
+
+namespace {
+
+bool same_dataset(const ml::Dataset& a, const ml::Dataset& b) {
+  if (a.num_rows() != b.num_rows() || a.num_features() != b.num_features()) return false;
+  for (std::size_t i = 0; i < a.num_rows(); ++i) {
+    if (a.label(i) != b.label(i) || a.tag(i) != b.tag(i)) return false;
+    const auto ra = a.row(i);
+    const auto rb = b.row(i);
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      if (ra[j] != rb[j]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_datagen.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  const aig::Aig base = gen::build_design("EX02");
+  const auto& lib = cell::mini_sky130();
+
+  flow::DataGenParams params;
+  params.num_variants = smoke ? 40 : 200;
+
+  struct Row {
+    int threads;
+    std::size_t variants;
+    double seconds;
+    double vps;
+  };
+  std::vector<Row> rows;
+  flow::GeneratedData reference;
+  bool deterministic = true;
+  for (const int threads : {1, 2, 4}) {
+    params.num_threads = threads;
+    auto data = flow::generate_dataset(base, "EX02", lib, params);
+    const double vps = static_cast<double>(data.unique_variants) / data.generation_seconds;
+    std::printf("datagen[threads=%d]: %zu variants in %.2f s = %.1f variants/s\n", threads,
+                data.unique_variants, data.generation_seconds, vps);
+    rows.push_back({threads, data.unique_variants, data.generation_seconds, vps});
+    if (threads == 1) {
+      reference = std::move(data);
+    } else if (!same_dataset(reference.delay, data.delay) ||
+               !same_dataset(reference.area, data.area)) {
+      deterministic = false;
+    }
+  }
+  std::printf("determinism (threads=1 vs others): %s\n", deterministic ? "IDENTICAL" : "MISMATCH");
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"datagen\",\n  \"design\": \"EX02\",\n  \"hardware_threads\": "
+      << default_num_threads() << ",\n  \"deterministic_across_threads\": "
+      << (deterministic ? "true" : "false") << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "    {\"threads\": " << rows[i].threads << ", \"variants\": " << rows[i].variants
+        << ", \"seconds\": " << rows[i].seconds << ", \"variants_per_sec\": " << rows[i].vps
+        << (i + 1 < rows.size() ? "},\n" : "}\n");
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return deterministic ? 0 : 1;
+}

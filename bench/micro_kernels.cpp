@@ -86,6 +86,18 @@ void BM_FeatureExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_FeatureExtraction);
 
+void BM_AnalysisCache(benchmark::State& state) {
+  // The fused sweep feeding features, cost evaluators, and datagen.
+  const aig::Aig& g = design("EX02");
+  for (auto _ : state) {
+    aig::AnalysisCache cache(g);
+    benchmark::DoNotOptimize(cache.max_depth());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_AnalysisCache);
+
 void BM_GbdtInference(benchmark::State& state) {
   // Model shape comparable to the repo-scale delay model.
   ml::Dataset train(features::feature_names());
@@ -104,6 +116,27 @@ void BM_GbdtInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GbdtInference)->Arg(100)->Arg(600);
+
+void BM_GbdtPredictAll(benchmark::State& state) {
+  // Batched inference over the flattened SoA forest (dataset-accuracy path).
+  ml::Dataset train(features::feature_names());
+  Rng rng(4);
+  std::vector<double> row(features::kNumFeatures);
+  for (int i = 0; i < 300; ++i) {
+    for (auto& v : row) v = rng.next_double(0, 100);
+    train.append(row, rng.next_double(500, 5000), "syn");
+  }
+  ml::GbdtParams p;
+  p.num_trees = 200;
+  const auto model = ml::GbdtModel::train(train, p);
+  for (auto _ : state) {
+    auto preds = model.predict_all(train);
+    benchmark::DoNotOptimize(preds[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(train.num_rows()));
+}
+BENCHMARK(BM_GbdtPredictAll);
 
 void BM_MlEvaluation(benchmark::State& state) {
   // Features + inference: the ML flow's per-iteration evaluation cost.

@@ -4,6 +4,78 @@
 
 namespace aigml::aig {
 
+AnalysisCache::AnalysisCache(const Aig& g) {
+  const std::size_t n = g.num_nodes();
+  constexpr double kSaturate = 1e300;
+
+  // Sweep 1: fanout counts (must complete before the weighted depths, which
+  // read the fanout of every node including ones later in topo order).
+  fanout_.assign(n, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    if (!g.is_and(id)) continue;
+    ++fanout_[lit_var(g.fanin0(id))];
+    ++fanout_[lit_var(g.fanin1(id))];
+  }
+  for (const Lit o : g.outputs()) ++fanout_[lit_var(o)];
+
+  // Sweep 2 (fused forward pass): levels, depths, both weighted depths, and
+  // path counts in a single topological walk.
+  level_.assign(n, 0);
+  depth_.assign(n, 0);
+  wdepth_.assign(n, 0.0);
+  bdepth_.assign(n, 0.0);
+  paths_.assign(n, 0.0);
+  for (NodeId id = 0; id < n; ++id) {
+    switch (g.kind(id)) {
+      case NodeKind::Constant:
+        break;  // all-zero defaults are correct
+      case NodeKind::Input:
+        depth_[id] = 1;
+        wdepth_[id] = static_cast<double>(fanout_[id]);
+        bdepth_[id] = fanout_[id] >= 2 ? 1.0 : 0.0;
+        paths_[id] = 1.0;
+        break;
+      case NodeKind::And: {
+        const NodeId v0 = lit_var(g.fanin0(id));
+        const NodeId v1 = lit_var(g.fanin1(id));
+        level_[id] = 1 + std::max(level_[v0], level_[v1]);
+        depth_[id] = 1 + std::max(depth_[v0], depth_[v1]);
+        wdepth_[id] = static_cast<double>(fanout_[id]) + std::max(wdepth_[v0], wdepth_[v1]);
+        bdepth_[id] = (fanout_[id] >= 2 ? 1.0 : 0.0) + std::max(bdepth_[v0], bdepth_[v1]);
+        paths_[id] = std::min(paths_[v0] + paths_[v1], kSaturate);
+        break;
+      }
+    }
+  }
+  for (const Lit o : g.outputs()) {
+    aig_level_ = std::max(aig_level_, level_[lit_var(o)]);
+    max_depth_ = std::max(max_depth_, depth_[lit_var(o)]);
+  }
+
+  // Sweep 3 (reverse pass): height below each node in the output cone, from
+  // which critical-path membership follows (depth + height - 1 == max depth).
+  if (max_depth_ == 0) return;
+  std::vector<std::uint32_t> height(n, 0);
+  std::vector<char> in_cone(n, 0);
+  for (const Lit o : g.outputs()) {
+    const NodeId v = lit_var(o);
+    in_cone[v] = 1;
+    height[v] = std::max(height[v], 1u);
+  }
+  for (NodeId id = static_cast<NodeId>(n); id-- > 0;) {
+    if (!in_cone[id] || !g.is_and(id)) continue;
+    for (const Lit f : {g.fanin0(id), g.fanin1(id)}) {
+      const NodeId v = lit_var(f);
+      in_cone[v] = 1;
+      height[v] = std::max(height[v], height[id] + 1);
+    }
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    if (!in_cone[id] || g.is_constant(id)) continue;
+    if (depth_[id] + height[id] - 1 == max_depth_) critical_.push_back(id);
+  }
+}
+
 std::vector<std::uint32_t> levels(const Aig& g) {
   std::vector<std::uint32_t> lvl(g.num_nodes(), 0);
   for (NodeId id = 0; id < g.num_nodes(); ++id) {

@@ -20,6 +20,51 @@
 
 namespace aigml::aig {
 
+/// Fused structural analysis: one fanout sweep + one forward sweep + one
+/// reverse sweep compute everything the feature extractor, cost evaluators,
+/// and data generator need — levels, node-count depths, fanout counts, the
+/// fanout-weighted and binary-(fanout>=2)-weighted depths, saturating path
+/// counts, and critical-path membership.  Replaces five-plus independent
+/// whole-graph traversals per features::extract() call (see DESIGN.md §3).
+///
+/// Field semantics match the legacy free functions below exactly; the
+/// equivalence is locked in by tests/test_parallel.cpp.
+class AnalysisCache {
+ public:
+  explicit AnalysisCache(const Aig& g);
+
+  [[nodiscard]] const std::vector<std::uint32_t>& levels() const noexcept { return level_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& depths() const noexcept { return depth_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& fanouts() const noexcept { return fanout_; }
+  /// weighted_depths with weight(node) = fanout(node).
+  [[nodiscard]] const std::vector<double>& fanout_weighted_depths() const noexcept {
+    return wdepth_;
+  }
+  /// weighted_depths with weight(node) = 1 when fanout >= 2 else 0.
+  [[nodiscard]] const std::vector<double>& binary_weighted_depths() const noexcept {
+    return bdepth_;
+  }
+  [[nodiscard]] const std::vector<double>& path_counts() const noexcept { return paths_; }
+  /// Nodes on at least one maximum-node-depth PI->output path, ascending id.
+  [[nodiscard]] const std::vector<NodeId>& critical_nodes() const noexcept { return critical_; }
+
+  /// Max level over output drivers (== aig_level(g)).
+  [[nodiscard]] std::uint32_t aig_level() const noexcept { return aig_level_; }
+  /// Max node-count depth over output drivers.
+  [[nodiscard]] std::uint32_t max_depth() const noexcept { return max_depth_; }
+
+ private:
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::uint32_t> fanout_;
+  std::vector<double> wdepth_;
+  std::vector<double> bdepth_;
+  std::vector<double> paths_;
+  std::vector<NodeId> critical_;
+  std::uint32_t aig_level_ = 0;
+  std::uint32_t max_depth_ = 0;
+};
+
 /// level(id) per node (see header comment).
 [[nodiscard]] std::vector<std::uint32_t> levels(const Aig& g);
 

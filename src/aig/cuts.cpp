@@ -34,24 +34,24 @@ bool merge_cuts(const Cut& cut0, bool complement0, const Cut& cut1, bool complem
     merged[static_cast<std::size_t>(m++)] = next;
   }
 
-  // Align each fanin table to the merged leaf ordering: for each merged-leaf
-  // assignment, evaluate the fanin table at the projected assignment.
+  // Align each fanin table to the merged leaf ordering.  Both leaf lists are
+  // sorted, so each cut's leaves map to strictly increasing merged positions;
+  // alignment is then just sliding variables upward past the inserted
+  // (vacuous) ones — O(1) bit ops per adjacent swap, no 2^m pattern loop.
   auto align = [&](const Cut& c) {
     std::array<std::uint8_t, kTtMaxVars> positions{};
+    std::size_t j = 0;
     for (std::size_t v = 0; v < c.size; ++v) {
-      const auto it = std::find(merged.begin(), merged.begin() + m, c.leaves[v]);
-      positions[v] = static_cast<std::uint8_t>(it - merged.begin());
+      while (merged[j] != c.leaves[v]) ++j;
+      positions[v] = static_cast<std::uint8_t>(j++);
     }
-    const int patterns = 1 << m;
-    std::uint64_t out_tt = 0;
-    for (int p = 0; p < patterns; ++p) {
-      std::uint32_t original = 0;
-      for (std::size_t v = 0; v < c.size; ++v) {
-        if ((p >> positions[v]) & 1) original |= 1u << v;
+    std::uint64_t t = c.table;
+    for (int v = static_cast<int>(c.size) - 1; v >= 0; --v) {
+      for (int i = v; i < positions[static_cast<std::size_t>(v)]; ++i) {
+        t = tt_swap_adjacent(t, i);
       }
-      if (tt_eval(c.table, original)) out_tt |= 1ULL << p;
     }
-    return tt_expand_low(out_tt, m);
+    return t;
   };
 
   std::uint64_t t0 = align(cut0);
@@ -73,7 +73,11 @@ bool merge_cuts(const Cut& cut0, bool complement0, const Cut& cut1, bool complem
 
 namespace {
 
-/// Inserts `cut` into `set` with dominance filtering and a size cap.
+/// Inserts `cut` into the size-ordered working buffer with dominance
+/// filtering and a size cap.  One positional insertion replaces the seed's
+/// full std::sort after every insert; the buffer stays ordered by cut size
+/// (ascending — smaller cuts are cheaper to match), insertion-ordered within
+/// equal sizes.
 void insert_cut(std::vector<Cut>& set, const Cut& cut, int max_cuts) {
   // Reject if dominated by an existing cut (same function guarantee is not
   // required for domination: fewer leaves always at least as good).
@@ -81,10 +85,14 @@ void insert_cut(std::vector<Cut>& set, const Cut& cut, int max_cuts) {
     if (existing.subset_of(cut)) return;
   }
   std::erase_if(set, [&](const Cut& existing) { return cut.subset_of(existing); });
-  set.push_back(cut);
-  // Priority: smaller cuts first (cheaper to match / fewer leaves).
-  std::sort(set.begin(), set.end(), [](const Cut& a, const Cut& b) { return a.size < b.size; });
-  if (set.size() > static_cast<std::size_t>(max_cuts)) set.resize(static_cast<std::size_t>(max_cuts));
+  // Insertion position: after all cuts of size <= cut.size.
+  std::size_t pos = set.size();
+  while (pos > 0 && set[pos - 1].size > cut.size) --pos;
+  if (set.size() == static_cast<std::size_t>(max_cuts)) {
+    if (pos == set.size()) return;  // would be the largest: evicted on arrival
+    set.pop_back();                 // evict the current largest instead
+  }
+  set.insert(set.begin() + static_cast<std::ptrdiff_t>(pos), cut);
 }
 
 Cut trivial_cut(NodeId id) {
@@ -98,7 +106,10 @@ Cut trivial_cut(NodeId id) {
 }  // namespace
 
 CutSets::CutSets(const Aig& g, const CutParams& params) : params_(params) {
-  sets_.resize(g.num_nodes());
+  extents_.resize(g.num_nodes());
+  arena_.reserve(g.num_ands() * static_cast<std::size_t>(params.max_cuts) / 2);
+  std::vector<Cut> work;  // reused per-node working buffer
+  work.reserve(static_cast<std::size_t>(params.max_cuts) + 1);
   for (NodeId id = 0; id < g.num_nodes(); ++id) {
     if (!g.is_and(id)) continue;
     const Lit f0 = g.fanin0(id);
@@ -108,25 +119,32 @@ CutSets::CutSets(const Aig& g, const CutParams& params) : params_(params) {
     const bool c0 = lit_is_complemented(f0);
     const bool c1 = lit_is_complemented(f1);
 
-    // Candidate fanin cut lists: each fanin's stored cuts plus its trivial cut.
-    std::vector<Cut> list0 = sets_[v0];
-    list0.push_back(trivial_cut(v0));
-    std::vector<Cut> list1 = sets_[v1];
-    list1.push_back(trivial_cut(v1));
+    // Candidate fanin cut lists: each fanin's stored cuts (read in place from
+    // the arena — appends only happen after both loops finish) plus its
+    // trivial cut, materialized once on the stack.
+    const std::span<const Cut> cuts0 = cuts(v0);
+    const std::span<const Cut> cuts1 = cuts(v1);
+    const Cut triv0 = trivial_cut(v0);
+    const Cut triv1 = trivial_cut(v1);
 
-    auto& target = sets_[id];
+    work.clear();
     Cut merged;
-    for (const Cut& a : list0) {
-      for (const Cut& b : list1) {
+    for (std::size_t i = 0; i <= cuts0.size(); ++i) {
+      const Cut& a = i < cuts0.size() ? cuts0[i] : triv0;
+      for (std::size_t j = 0; j <= cuts1.size(); ++j) {
+        const Cut& b = j < cuts1.size() ? cuts1[j] : triv1;
         if (!merge_cuts(a, c0, b, c1, params.cut_size, merged)) continue;
         // Degenerate results are kept: a single-leaf cut means the node is a
         // (possibly complemented) copy of the leaf, and a zero-leaf cut means
         // the node is constant under reconvergent cancellation — both are
         // exploited by rewriting and mapping.  The zero-leaf cut dominates
         // (is a subset of) every other cut and will displace them.
-        insert_cut(target, merged, params.max_cuts);
+        insert_cut(work, merged, params.max_cuts);
       }
     }
+    extents_[id] = {static_cast<std::uint32_t>(arena_.size()),
+                    static_cast<std::uint32_t>(work.size())};
+    arena_.insert(arena_.end(), work.begin(), work.end());
   }
 }
 

@@ -42,19 +42,36 @@ struct CutParams {
   int max_cuts = 8;   ///< max non-trivial cuts kept per node
 };
 
-/// Per-node cut sets.  Entry [id] lists the node's non-trivial cuts (for PIs
+/// Per-node cut sets.  cuts(id) lists the node's non-trivial cuts (for PIs
 /// and the constant node, the list is empty); the implicit trivial cut is
 /// always additionally considered during merging.
+///
+/// Storage is a single flat arena: enumeration proceeds in topological order,
+/// each node's final cut list is appended contiguously once, and per-node
+/// views are (offset, count) spans into the arena.  Fanin cut lists are read
+/// in place — no per-node vectors, no copies, no per-insert sort (a working
+/// buffer of at most max_cuts entries is kept size-ordered by positional
+/// insertion).
 class CutSets {
  public:
   CutSets(const Aig& g, const CutParams& params);
 
-  [[nodiscard]] const std::vector<Cut>& cuts(NodeId id) const { return sets_[id]; }
-  [[nodiscard]] std::size_t num_nodes() const noexcept { return sets_.size(); }
+  [[nodiscard]] std::span<const Cut> cuts(NodeId id) const {
+    const Extent e = extents_[id];
+    return {arena_.data() + e.offset, e.count};
+  }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return extents_.size(); }
+  /// Total cuts stored across all nodes.
+  [[nodiscard]] std::size_t num_cuts() const noexcept { return arena_.size(); }
   [[nodiscard]] const CutParams& params() const noexcept { return params_; }
 
  private:
-  std::vector<std::vector<Cut>> sets_;
+  struct Extent {
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+  };
+  std::vector<Cut> arena_;
+  std::vector<Extent> extents_;
   CutParams params_;
 };
 

@@ -21,17 +21,15 @@ int tt_shrink_support(std::uint64_t& t, int nvars, std::array<std::uint8_t, kTtM
   for (int i = 0; i < nvars; ++i) {
     if (tt_has_var(t, i)) kept[static_cast<std::size_t>(k++)] = static_cast<std::uint8_t>(i);
   }
-  // Gather: new variable j reads old variable kept[j].
-  const int patterns = 1 << k;
-  std::uint64_t out = 0;
-  for (int p = 0; p < patterns; ++p) {
-    std::uint32_t original = 0;
-    for (int j = 0; j < k; ++j) {
-      if (p & (1 << j)) original |= 1u << kept[static_cast<std::size_t>(j)];
+  // Compact: slide each kept variable down into position j with adjacent
+  // swaps (vacuous variables commute freely), O(1) bit ops per swap instead
+  // of a 2^k per-pattern gather.  The result is expanded form by
+  // construction: it depends on no variable >= k.
+  for (int j = 0; j < k; ++j) {
+    for (int i = kept[static_cast<std::size_t>(j)]; i > j; --i) {
+      t = tt_swap_adjacent(t, i - 1);
     }
-    if (tt_eval(t, original)) out |= 1ULL << p;
   }
-  t = tt_expand_low(out, k);
   return k;
 }
 

@@ -78,17 +78,30 @@ inline constexpr int kTtMaxVars = 6;
   return ((t >> (assignment & 63u)) & 1ULL) != 0;
 }
 
+/// Exchanges variables i and i+1 (i in [0, 5)) in O(1) bit operations —
+/// the building block for variable reordering without a per-pattern loop.
+[[nodiscard]] constexpr std::uint64_t tt_swap_adjacent(std::uint64_t t, int i) noexcept {
+  const std::uint64_t hi_lo = tt_var(i) & ~tt_var(i + 1);  // x_i=1, x_{i+1}=0
+  const std::uint64_t lo_hi = ~tt_var(i) & tt_var(i + 1);  // x_i=0, x_{i+1}=1
+  const unsigned shift = 1u << i;
+  return (t & ~(hi_lo | lo_hi)) | ((t & hi_lo) << shift) | ((t & lo_hi) >> shift);
+}
+
 /// Reorders support: variable `j` of the result reads variable `positions[j]`
 /// of the input.  `positions` must be a injective map into [0, 6).
-/// Used to align cut truth tables when merging cuts with different leaf sets:
-/// the result has `new_nvars` variables.
+/// General-purpose fallback for arbitrary permutations; the cut-merging hot
+/// path instead slides variables with tt_swap_adjacent (its leaf maps are
+/// always monotone).  The result has `new_nvars` variables.
 [[nodiscard]] std::uint64_t tt_remap(std::uint64_t t, std::span<const std::uint8_t> positions,
                                      int new_nvars) noexcept;
 
 /// Removes vacuous variables: compacts the support of `t` (over `nvars`
 /// variables) to the first `k` positions, preserving relative order.
 /// Returns the compacted table and writes the kept original indices to
-/// `kept`; returns the new variable count.
+/// `kept`; returns the new variable count.  `t` must be in expanded form
+/// (the compaction slides variables with tt_swap_adjacent, so stale bits in
+/// positions >= 2^nvars would be interleaved into the result); run raw
+/// low-bits tables through tt_expand_low first.
 int tt_shrink_support(std::uint64_t& t, int nvars, std::array<std::uint8_t, kTtMaxVars>& kept);
 
 /// True when `t` is the parity (XOR) of exactly the variables in

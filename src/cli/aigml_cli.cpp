@@ -13,6 +13,7 @@
 // mult<N>, wallace<N>, adder<N>, cla<N>, ks<N>, alu<N>, cmp<N>, parity<N>.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -31,6 +32,7 @@
 #include "opt/sa.hpp"
 #include "sta/sta.hpp"
 #include "transforms/scripts.hpp"
+#include "util/parallel.hpp"
 
 using namespace aigml;
 
@@ -38,7 +40,7 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: aigml <command> ...\n"
+               "usage: aigml [--threads N] <command> ...\n"
                "  gen <design> [out.aag]\n"
                "  stats <in.aag>\n"
                "  opt <in.aag> <script> [out.aag]\n"
@@ -46,7 +48,11 @@ int usage() {
                "  datagen <design> <N> <out_prefix>\n"
                "  train <delay.csv> <model.gbdt>\n"
                "  predict <model.gbdt> <in.aag>\n"
-               "  sa <in.aag> <proxy|truth> <iters> [out.aag]\n");
+               "  sa <in.aag> <proxy|truth> <iters> [out.aag]\n"
+               "options:\n"
+               "  --threads N   worker threads for parallel stages (datagen\n"
+               "                labeling); default: AIGML_THREADS or all cores.\n"
+               "                Results are identical at any thread count.\n");
   return 2;
 }
 
@@ -190,6 +196,33 @@ int cmd_sa(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip global options (currently just --threads N) before dispatch.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --threads requires a value\n");
+        return 2;
+      }
+      value = argv[++i];
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      value = argv[i] + 10;
+    }
+    if (value != nullptr) {
+      char* end = nullptr;
+      const long n = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "error: --threads expects a non-negative integer (0 = auto)\n");
+        return 2;
+      }
+      set_default_threads(static_cast<int>(n));
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argv[out] = nullptr;
+  argc = out;
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {

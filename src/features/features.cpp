@@ -64,37 +64,33 @@ void top_n(std::vector<double> values, int n, FeatureVector& out, int base) {
 
 }  // namespace
 
-FeatureVector extract(const Aig& g) {
+FeatureVector extract(const Aig& g) { return extract(g, aig::AnalysisCache(g)); }
+
+FeatureVector extract(const Aig& g, const aig::AnalysisCache& cache) {
   FeatureVector f{};
-  const auto fanout = aig::fanout_counts(g);
-  const auto depth = aig::node_depths(g);
+  const auto& fanout = cache.fanouts();
+  const auto& depth = cache.depths();
 
   f[0] = static_cast<double>(g.num_ands());
-  f[1] = static_cast<double>(aig::aig_level(g));
+  f[1] = static_cast<double>(cache.aig_level());
 
-  // Per-PO plain depths.
-  std::vector<double> po_depths;
+  // Per-PO plain, fanout-weighted, and binary-weighted depths (the weighted
+  // variants come from the same fused sweep; see aig::AnalysisCache).
+  const auto& wdepth = cache.fanout_weighted_depths();
+  const auto& bdepth = cache.binary_weighted_depths();
+  std::vector<double> po_depths, po_wdepths, po_bdepths;
   po_depths.reserve(g.num_outputs());
+  po_wdepths.reserve(g.num_outputs());
+  po_bdepths.reserve(g.num_outputs());
   for (const Lit o : g.outputs()) {
-    po_depths.push_back(static_cast<double>(depth[aig::lit_var(o)]));
+    const NodeId v = aig::lit_var(o);
+    po_depths.push_back(static_cast<double>(depth[v]));
+    po_wdepths.push_back(wdepth[v]);
+    po_bdepths.push_back(bdepth[v]);
   }
-  top_n(po_depths, kPathDepthN, f, 2);
-
-  // Fanout-weighted depths: weight(node) = fanout(node).
-  std::vector<double> weights(g.num_nodes(), 0.0);
-  for (NodeId id = 0; id < g.num_nodes(); ++id) weights[id] = static_cast<double>(fanout[id]);
-  const auto wdepth = aig::weighted_depths(g, weights);
-  std::vector<double> po_wdepths;
-  for (const Lit o : g.outputs()) po_wdepths.push_back(wdepth[aig::lit_var(o)]);
-  top_n(po_wdepths, kPathDepthN, f, 5);
-
-  // Binary-weighted depths: weight = 1 when fanout >= 2 (unlikely to be
-  // absorbed into a larger cell during mapping), else 0.
-  for (NodeId id = 0; id < g.num_nodes(); ++id) weights[id] = fanout[id] >= 2 ? 1.0 : 0.0;
-  const auto bdepth = aig::weighted_depths(g, weights);
-  std::vector<double> po_bdepths;
-  for (const Lit o : g.outputs()) po_bdepths.push_back(bdepth[aig::lit_var(o)]);
-  top_n(po_bdepths, kPathDepthN, f, 8);
+  top_n(std::move(po_depths), kPathDepthN, f, 2);
+  top_n(std::move(po_wdepths), kPathDepthN, f, 5);
+  top_n(std::move(po_bdepths), kPathDepthN, f, 8);
 
   // Global fanout distribution over PI and AND nodes.
   RunningStats fanout_stats;
@@ -110,7 +106,7 @@ FeatureVector extract(const Aig& g) {
   // Fanout distribution restricted to nodes on a maximum-depth path
   // ("path depth == aig level" in Table II).
   RunningStats long_path_stats;
-  for (const NodeId id : aig::critical_path_nodes(g)) {
+  for (const NodeId id : cache.critical_nodes()) {
     long_path_stats.add(static_cast<double>(fanout[id]));
   }
   f[15] = long_path_stats.mean();
@@ -121,12 +117,13 @@ FeatureVector extract(const Aig& g) {
   // Per-PO path counts, log2-compressed: counts grow exponentially with
   // depth, and tree models only consume the ordering, so the monotone
   // transform loses nothing while keeping the CSV finite and readable.
-  const auto paths = aig::path_counts(g);
+  const auto& paths = cache.path_counts();
   std::vector<double> po_paths;
+  po_paths.reserve(g.num_outputs());
   for (const Lit o : g.outputs()) {
     po_paths.push_back(std::log2(1.0 + paths[aig::lit_var(o)]));
   }
-  top_n(po_paths, kNumPathsN, f, 19);
+  top_n(std::move(po_paths), kNumPathsN, f, 19);
   return f;
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "aig/analysis.hpp"
 
 namespace aigml::features {
 
@@ -35,8 +36,13 @@ using FeatureVector = std::array<double, kNumFeatures>;
 /// Index of a named feature; throws std::out_of_range when unknown.
 [[nodiscard]] int feature_index(const std::string& name);
 
-/// Extracts all Table II features.
+/// Extracts all Table II features (builds an aig::AnalysisCache internally —
+/// one fused traversal instead of the historical five).
 [[nodiscard]] FeatureVector extract(const aig::Aig& g);
+
+/// Same, over a caller-provided cache (for callers that also need the raw
+/// analyses, e.g. cost evaluators mixing features with structural metrics).
+[[nodiscard]] FeatureVector extract(const aig::Aig& g, const aig::AnalysisCache& cache);
 
 /// Feature groups for the ablation bench (drop-one-group retraining).
 struct FeatureGroup {

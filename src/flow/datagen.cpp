@@ -6,6 +6,7 @@
 #include "features/features.hpp"
 #include "transforms/scripts.hpp"
 #include "transforms/shuffle.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace aigml::flow {
@@ -28,55 +29,124 @@ Aig random_variant_step(const Aig& start, Rng& rng) {
   }
 }
 
+namespace {
+
+/// Post-mapping delay/area + Table II features for one variant.  Pure
+/// function of (g, lib, params) — safe to evaluate from any worker thread.
+struct Label {
+  features::FeatureVector features{};
+  double delay_ps = 0.0;
+  double area_um2 = 0.0;
+};
+
+Label label_variant(const Aig& g, const cell::Library& lib, const DataGenParams& params) {
+  Label out;
+  const auto netlist = map::map_to_cells(g, lib, params.map_params);
+  const auto sta = sta::run_sta(netlist, lib, params.sta_params);
+  out.features = features::extract(g);
+  out.delay_ps = sta.max_delay_ps;
+  out.area_um2 = sta.total_area_um2;
+  return out;
+}
+
+/// Signature combines structure and function-sensitive simulation so that
+/// "unique AIGs" means structurally distinct graphs.
+std::uint64_t signature(const Aig& g) {
+  return g.structural_hash() ^ (aig::simulation_signature(g) * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+
 GeneratedData generate_dataset(const Aig& base, const std::string& tag, const cell::Library& lib,
                                const DataGenParams& params) {
   Timer timer;
   Rng rng(params.seed);
+  ThreadPool pool_threads(params.num_threads);
 
   GeneratedData out{ml::Dataset(features::feature_names()), ml::Dataset(features::feature_names()),
                     0, 0.0};
-
-  auto label_and_append = [&](const Aig& g) {
-    const auto netlist = map::map_to_cells(g, lib, params.map_params);
-    const auto sta = sta::run_sta(netlist, lib, params.sta_params);
-    const features::FeatureVector f = features::extract(g);
-    out.delay.append(f, sta.max_delay_ps, tag);
-    out.area.append(f, sta.total_area_um2, tag);
-  };
-
-  // Signature combines structure and function-sensitive simulation so that
-  // "unique AIGs" means structurally distinct graphs.
-  auto signature = [](const Aig& g) {
-    return g.structural_hash() ^ (aig::simulation_signature(g) * 0x9e3779b97f4a7c15ULL);
+  auto commit = [&](const Label& l) {
+    out.delay.append(l.features, l.delay_ps, tag);
+    out.area.append(l.features, l.area_um2, tag);
   };
 
   std::unordered_set<std::uint64_t> seen;
   std::vector<Aig> pool;
   pool.push_back(base.cleanup());
   seen.insert(signature(pool.front()));
-  label_and_append(pool.front());
+  commit(label_variant(pool.front(), lib, params));
   out.unique_variants = 1;
 
+  // Determinism contract (DESIGN.md §2): every random draw happens on the
+  // coordinator thread, in a schedule that depends only on (seed, batch_size,
+  // pool state) — never on the thread count.  Workers evaluate pure functions
+  // of coordinator-chosen inputs; results are committed in plan order.
+  const int batch = params.resolved_batch_size();
   const int budget = params.num_variants * params.max_attempts_factor;
   int attempts = 0;
+
+  struct Plan {
+    std::size_t start = 0;  ///< pool index the walk step departs from
+    Rng rng;                ///< private stream for the step (fork by task id)
+  };
+  std::vector<Plan> plans;
+  struct Candidate {
+    Aig g;
+    std::uint64_t sig = 0;
+  };
+
   while (static_cast<int>(out.unique_variants) < params.num_variants && attempts < budget) {
-    ++attempts;
-    // Walk step: restart at the base or continue from a recent pool member
+    // Phase 1 (coordinator): draw a speculative batch of walk plans.  Walk
+    // step: restart at the base or continue from a recent pool member
     // (triangular bias toward newer variants for diversity in depth).
-    const Aig* start = nullptr;
-    if (rng.next_bool(params.restart_probability)) {
-      start = &pool.front();
-    } else {
-      const std::size_t n = pool.size();
-      const std::size_t i = std::max(rng.next_below(n), rng.next_below(n));
-      start = &pool[i];
+    const int want = std::min(batch, budget - attempts);
+    plans.clear();
+    for (int k = 0; k < want; ++k) {
+      Plan p;
+      if (rng.next_bool(params.restart_probability)) {
+        p.start = 0;
+      } else {
+        const std::size_t n = pool.size();
+        p.start = std::max(rng.next_below(n), rng.next_below(n));
+      }
+      p.rng = rng.fork(static_cast<std::uint64_t>(attempts + k));
+      plans.push_back(p);
     }
-    Aig candidate = random_variant_step(*start, rng);
-    const std::uint64_t sig = signature(candidate);
-    if (!seen.insert(sig).second) continue;
-    label_and_append(candidate);
-    pool.push_back(std::move(candidate));
-    ++out.unique_variants;
+    attempts += want;
+
+    // Phase 2 (parallel): generate candidates + structural signatures.
+    auto candidates = pool_threads.parallel_map<Candidate>(
+        plans.size(), [&](std::size_t k) {
+          Candidate c;
+          c.g = random_variant_step(pool[plans[k].start], plans[k].rng);
+          c.sig = signature(c.g);
+          return c;
+        });
+
+    // Phase 3 (coordinator): dedup in plan order, stopping at the target so
+    // the committed set never depends on how far a batch overshoots.
+    std::vector<std::size_t> fresh;
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+      if (static_cast<int>(out.unique_variants) + static_cast<int>(fresh.size()) >=
+          params.num_variants) {
+        break;
+      }
+      if (seen.insert(candidates[k].sig).second) fresh.push_back(k);
+    }
+
+    // Phase 4 (parallel): label only the survivors — mapping + STA dominate
+    // the pipeline, so duplicates must not reach this phase.
+    auto labels = pool_threads.parallel_map<Label>(
+        fresh.size(), [&](std::size_t k) {
+          return label_variant(candidates[fresh[k]].g, lib, params);
+        });
+
+    // Phase 5 (coordinator): commit rows and grow the pool, in plan order.
+    for (std::size_t k = 0; k < fresh.size(); ++k) {
+      commit(labels[k]);
+      pool.push_back(std::move(candidates[fresh[k]].g));
+      ++out.unique_variants;
+    }
   }
   out.generation_seconds = timer.elapsed_s();
   return out;
@@ -85,8 +155,13 @@ GeneratedData generate_dataset(const Aig& base, const std::string& tag, const ce
 GeneratedData load_or_generate(const Aig& base, const std::string& tag, const cell::Library& lib,
                                const DataGenParams& params,
                                const std::filesystem::path& cache_dir) {
-  const std::string stem =
-      tag + "_n" + std::to_string(params.num_variants) + "_s" + std::to_string(params.seed);
+  // The batch size is part of the deterministic schedule (it changes which
+  // variants get generated), so it belongs in the cache key; thread count
+  // does not (results are bit-identical at any thread count).  The "v2"
+  // schema marker separates these caches from the pre-batching generator's.
+  const std::string stem = tag + "_v2_n" + std::to_string(params.num_variants) + "_s" +
+                           std::to_string(params.seed) + "_b" +
+                           std::to_string(params.resolved_batch_size());
   const auto delay_path = cache_dir / (stem + "_delay.csv");
   const auto area_path = cache_dir / (stem + "_area.csv");
   auto delay = ml::Dataset::load(delay_path);

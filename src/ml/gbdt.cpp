@@ -146,15 +146,57 @@ GbdtModel GbdtModel::train(const Dataset& train, const GbdtParams& params, const
     log->best_round = static_cast<int>(model.trees_.size());
     log->train_seconds = timer.elapsed_s();
   }
+  model.build_flat_forest();
   return model;
+}
+
+void GbdtModel::build_flat_forest() {
+  flat_nodes_.clear();
+  flat_roots_.clear();
+  flat_roots_.reserve(trees_.size());
+  std::size_t total = 0;
+  for (const RegressionTree& tree : trees_) total += std::max<std::size_t>(tree.nodes().size(), 1);
+  flat_nodes_.reserve(total);
+  for (const RegressionTree& tree : trees_) {
+    flat_roots_.push_back(static_cast<std::uint32_t>(flat_nodes_.size()));
+    const auto& nodes = tree.nodes();
+    if (nodes.empty()) {
+      flat_nodes_.push_back(FlatNode{});  // leaf with value 0 == empty-tree predict
+      continue;
+    }
+    // DFS pre-order re-layout: emit node, then its whole left subtree (so the
+    // left child is implicitly index + 1), then the right subtree.
+    auto emit = [&](auto&& self, int src) -> std::int32_t {
+      const TreeNode& n = nodes[static_cast<std::size_t>(src)];
+      const auto dst = static_cast<std::int32_t>(flat_nodes_.size());
+      if (n.feature < 0) {
+        flat_nodes_.push_back(FlatNode{-1, 0, n.value});
+        return dst;
+      }
+      flat_nodes_.push_back(FlatNode{n.feature, 0, n.threshold});
+      (void)self(self, n.left);
+      flat_nodes_[static_cast<std::size_t>(dst)].right = self(self, n.right);
+      return dst;
+    };
+    (void)emit(emit, 0);
+  }
 }
 
 double GbdtModel::predict(std::span<const double> row) const {
   if (row.size() != num_features_) {
     throw std::invalid_argument("GbdtModel::predict: feature width mismatch");
   }
+  const FlatNode* nodes = flat_nodes_.data();
   double sum = base_score_;
-  for (const RegressionTree& tree : trees_) sum += learning_rate_ * tree.predict(row);
+  for (const std::uint32_t root : flat_roots_) {
+    std::size_t i = root;
+    while (nodes[i].feature >= 0) {
+      i = row[static_cast<std::size_t>(nodes[i].feature)] < nodes[i].value
+              ? i + 1
+              : static_cast<std::size_t>(nodes[i].right);
+    }
+    sum += learning_rate_ * nodes[i].value;
+  }
   return sum;
 }
 
@@ -196,6 +238,7 @@ GbdtModel GbdtModel::deserialize(std::istream& in) {
   for (std::size_t i = 0; i < num_trees; ++i) {
     model.trees_.push_back(RegressionTree::deserialize(in));
   }
+  model.build_flat_forest();
   return model;
 }
 

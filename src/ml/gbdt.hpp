@@ -72,7 +72,23 @@ class GbdtModel {
   [[nodiscard]] static GbdtModel load(const std::filesystem::path& path);
 
  private:
+  /// One node of the inference-optimized forest: the whole ensemble lives in
+  /// a single contiguous array laid out tree-by-tree in DFS pre-order, so a
+  /// left descent is always `index + 1` and only the right-child index is
+  /// stored.  16 bytes/node (vs 40 for TreeNode) and no per-tree pointer
+  /// chasing — predict() streams through one allocation.
+  struct FlatNode {
+    std::int32_t feature = -1;  ///< split feature; -1 marks a leaf
+    std::int32_t right = 0;     ///< right-child index (internal nodes only)
+    double value = 0.0;         ///< internal: threshold; leaf: leaf weight
+  };
+
+  /// Rebuilds flat_nodes_/flat_roots_ from trees_ (called after train/load).
+  void build_flat_forest();
+
   std::vector<RegressionTree> trees_;
+  std::vector<FlatNode> flat_nodes_;
+  std::vector<std::uint32_t> flat_roots_;  ///< root index per tree
   double base_score_ = 0.0;
   double learning_rate_ = 0.0;
   std::size_t num_features_ = 0;

@@ -1,0 +1,89 @@
+#pragma once
+// Minimal fixed-size thread pool with blocking parallel_for / parallel_map.
+//
+// Design constraints (see DESIGN.md §2):
+// * No work stealing, no task graph — the library's parallel sections are
+//   flat index ranges (label a batch of AIG variants, map a vector), and a
+//   shared atomic cursor balances uneven task costs well enough.
+// * Determinism lives one level up: callers draw any randomness *before*
+//   submitting tasks (Rng::fork(task_id)) and commit results in index order,
+//   so outputs are bit-identical for 1 thread and N threads.
+// * parallel_for(1 thread) degenerates to a plain loop on the calling
+//   thread — zero synchronization — which keeps the single-thread path as
+//   fast as the pre-pool code.
+//
+// Thread-count resolution: explicit argument > AIGML_THREADS env var >
+// std::thread::hardware_concurrency().
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace aigml {
+
+/// Process-default worker count: the value set by set_default_threads() if
+/// any, else AIGML_THREADS, else hardware_concurrency() (at least 1).
+[[nodiscard]] int default_num_threads();
+
+/// Overrides default_num_threads() (the CLI --threads flag); n <= 0 resets
+/// to the environment/hardware default.
+void set_default_threads(int n);
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means default_num_threads().  A pool
+  /// of 1 spawns no threads at all.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int num_threads() const noexcept { return num_threads_; }
+
+  /// Runs fn(i) for every i in [0, n), distributing indices over the pool
+  /// (the calling thread participates).  Blocks until all tasks finish.
+  /// The first exception thrown by any task is rethrown here; remaining
+  /// indices are abandoned.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// parallel_for that collects fn(i) into a vector in index order (results
+  /// are positioned deterministically regardless of execution order).
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
+    // vector<bool> bit-packs: concurrent out[i] writes would race on shared
+    // bytes.  Use parallel_map<char> and convert if you need flags.
+    static_assert(!std::is_same_v<T, bool>, "parallel_map<bool> would data-race");
+    std::vector<T> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  void worker_loop();
+  void run_tasks();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::atomic<std::size_t> next_index_{0};
+  std::uint64_t epoch_ = 0;
+  int participants_target_ = 0;   ///< workers wanted this job: min(workers, n-1)
+  int participants_claimed_ = 0;  ///< workers that joined this job so far
+  int busy_workers_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace aigml

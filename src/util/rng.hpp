@@ -125,6 +125,15 @@ class Rng {
   /// of evaluation order).
   Rng fork() noexcept { return Rng(next()); }
 
+  /// Derive the child stream for task `task_id` *without* advancing this
+  /// generator.  The same (parent state, task_id) pair always yields the same
+  /// stream, so a coordinator can hand out per-task generators whose output
+  /// is independent of scheduling order and thread count.
+  [[nodiscard]] Rng fork(std::uint64_t task_id) const noexcept {
+    std::uint64_t mix = state_[0] ^ rotl(state_[1], 29) ^ (task_id + 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(mix));
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
