@@ -12,11 +12,16 @@
 // Designs: EX00 EX08 EX28 EX68 EX02 EX11 EX16 EX54; generators:
 // mult<N>, wallace<N>, adder<N>, cla<N>, ks<N>, alu<N>, cmp<N>, parity<N>.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <future>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "aig/aiger.hpp"
 #include "aig/analysis.hpp"
@@ -30,6 +35,10 @@
 #include "netlist/verilog.hpp"
 #include "opt/cost.hpp"
 #include "opt/sa.hpp"
+#include "serve/client.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
 #include "sta/sta.hpp"
 #include "transforms/scripts.hpp"
 #include "util/parallel.hpp"
@@ -47,12 +56,17 @@ int usage() {
                "  map <in.aag> [out.v]\n"
                "  datagen <design> <N> <out_prefix>\n"
                "  train <delay.csv> <model.gbdt>\n"
-               "  predict <model.gbdt> <in.aag>\n"
+               "  predict <model.gbdt> <in.aag> [more.aag ...]\n"
                "  sa <in.aag> <proxy|truth> <iters> [out.aag]\n"
+               "  serve --models DIR [--port P] [--host H] [--batch N] [--wait-us U]\n"
+               "  client [--port P] [--host H] predict <model> <in.aag>\n"
+               "  client [--port P] [--host H] features <model> <f0> <f1> ...\n"
+               "  client [--port P] [--host H] reload|stats|ping\n"
                "options:\n"
                "  --threads N   worker threads for parallel stages (datagen\n"
-               "                labeling); default: AIGML_THREADS or all cores.\n"
-               "                Results are identical at any thread count.\n");
+               "                labeling, serve extraction); default:\n"
+               "                AIGML_THREADS or all cores.  Results are\n"
+               "                identical at any thread count.\n");
   return 2;
 }
 
@@ -162,15 +176,146 @@ int cmd_train(char** argv) {
   return 0;
 }
 
-int cmd_predict(char** argv) {
-  const auto model = ml::GbdtModel::load(argv[2]);
-  const aig::Aig g = aig::read_aiger_file(argv[3]);
-  const auto f = features::extract(g);
-  std::printf("predicted post-mapping delay: %.1f ps\n", model.predict(f));
-  const auto& lib = cell::mini_sky130();
-  const auto timing = sta::run_sta(map::map_to_cells(g, lib), lib, {});
-  std::printf("actual (map+STA):             %.1f ps\n", timing.max_delay_ps);
+int cmd_predict(int argc, char** argv) {
+  if (argc == 4) {
+    // Single file: keep the predicted-vs-actual report.
+    const auto model = ml::GbdtModel::load(argv[2]);
+    const aig::Aig g = aig::read_aiger_file(argv[3]);
+    const auto f = features::extract(g);
+    std::printf("predicted post-mapping delay: %.1f ps\n", model.predict(f));
+    const auto& lib = cell::mini_sky130();
+    const auto timing = sta::run_sta(map::map_to_cells(g, lib), lib, {});
+    std::printf("actual (map+STA):             %.1f ps\n", timing.max_delay_ps);
+    return 0;
+  }
+  // Multiple files route through the PredictService batch path: the model
+  // is loaded once, extraction fans out over the thread pool, and one
+  // predict_all pass answers the whole batch.  A file that fails to read
+  // or predict is reported on its own line without dropping the others.
+  serve::ModelRegistry registry;
+  registry.install("delay", ml::GbdtModel::load(argv[2]));
+  serve::PredictService service(registry);
+  std::vector<std::optional<std::future<double>>> futures;
+  std::vector<std::string> read_errors(static_cast<std::size_t>(argc - 3));
+  for (int i = 3; i < argc; ++i) {
+    try {
+      futures.push_back(service.submit("delay", aig::read_aiger_file(argv[i])));
+    } catch (const std::exception& e) {
+      futures.push_back(std::nullopt);
+      read_errors[static_cast<std::size_t>(i - 3)] = e.what();
+    }
+  }
+  int failures = 0;
+  for (int i = 3; i < argc; ++i) {
+    const auto slot = static_cast<std::size_t>(i - 3);
+    try {
+      if (!futures[slot].has_value()) throw std::runtime_error(read_errors[slot]);
+      std::printf("%-32s %.1f ps\n", argv[i], futures[slot]->get());
+    } catch (const std::exception& e) {
+      std::printf("%-32s FAILED (%s)\n", argv[i], e.what());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+/// Parses a --port value, rejecting anything outside 1..65535 (a silent
+/// uint16 truncation would bind/dial the wrong port).
+std::uint16_t parse_port(const std::string& text) {
+  const int port = std::stoi(text);
+  if (port < 1 || port > 65535) {
+    throw std::runtime_error("port " + text + " out of range 1..65535");
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+int cmd_serve(int argc, char** argv) {
+  std::string models_dir;
+  serve::ServerParams server_params;
+  serve::ServiceParams service_params;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error(flag + " requires a value");
+      return argv[++i];
+    };
+    if (flag == "--models") {
+      models_dir = value();
+    } else if (flag == "--port") {
+      server_params.port = parse_port(value());
+    } else if (flag == "--host") {
+      server_params.host = value();
+    } else if (flag == "--batch") {
+      service_params.max_batch = std::stoi(value());
+    } else if (flag == "--wait-us") {
+      service_params.batch_wait_us = std::stoi(value());
+    } else {
+      throw std::runtime_error("serve: unknown option " + flag);
+    }
+  }
+  if (models_dir.empty()) throw std::runtime_error("serve: --models DIR is required");
+
+  serve::ModelRegistry registry{std::filesystem::path(models_dir)};
+  serve::PredictService service(registry, service_params);
+  serve::PredictServer server(registry, service, server_params);
+  server.start();
+  std::printf("aigml serve: listening on %s:%u (%zu model(s) from %s)\n",
+              server_params.host.c_str(), server.port(), registry.size(), models_dir.c_str());
+  for (const auto& info : registry.list()) {
+    std::printf("  model %-16s v%llu  %zu trees, %zu features\n", info.name.c_str(),
+                static_cast<unsigned long long>(info.version), info.num_trees,
+                info.num_features);
+  }
+  std::fflush(stdout);
+  server.wait();  // runs until the process is signalled
   return 0;
+}
+
+int cmd_client(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int i = 2;
+  for (; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (flag == "--port" && i + 1 < argc) {
+      port = parse_port(argv[++i]);
+    } else {
+      break;
+    }
+  }
+  if (port == 0) throw std::runtime_error("client: --port P is required");
+  if (i >= argc) throw std::runtime_error("client: missing subcommand");
+  const std::string sub = argv[i++];
+
+  serve::Client client(host, port);
+  if (sub == "predict") {
+    if (argc - i < 2) throw std::runtime_error("client predict: need <model> <in.aag>");
+    const aig::Aig g = aig::read_aiger_file(argv[i + 1]);
+    std::printf("%.17g\n", client.predict(argv[i], g));
+    return 0;
+  }
+  if (sub == "features") {
+    if (argc - i < 2) throw std::runtime_error("client features: need <model> <f0> ...");
+    std::vector<double> row;
+    for (int j = i + 1; j < argc; ++j) row.push_back(std::stod(argv[j]));
+    std::printf("%.17g\n", client.predict_features(argv[i], row));
+    return 0;
+  }
+  if (sub == "reload") {
+    std::printf("%s\n", client.reload().c_str());
+    return 0;
+  }
+  if (sub == "stats") {
+    std::printf("%s\n", client.stats().c_str());
+    return 0;
+  }
+  if (sub == "ping") {
+    std::printf("%s\n", client.ping().c_str());
+    return 0;
+  }
+  throw std::runtime_error("client: unknown subcommand '" + sub + "'");
 }
 
 int cmd_sa(int argc, char** argv) {
@@ -225,6 +370,9 @@ int main(int argc, char** argv) {
   argc = out;
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  // Every failure below — missing file, corrupt model, bad flag value,
+  // refused connection — must exit 1 with a one-line `aigml: <message>`,
+  // never an uncaught-exception terminate.
   try {
     if (cmd == "gen" && argc >= 3) return cmd_gen(argc, argv);
     if (cmd == "stats" && argc >= 3) return cmd_stats(argv);
@@ -232,10 +380,15 @@ int main(int argc, char** argv) {
     if (cmd == "map" && argc >= 3) return cmd_map(argc, argv);
     if (cmd == "datagen" && argc >= 5) return cmd_datagen(argv);
     if (cmd == "train" && argc >= 4) return cmd_train(argv);
-    if (cmd == "predict" && argc >= 4) return cmd_predict(argv);
+    if (cmd == "predict" && argc >= 4) return cmd_predict(argc, argv);
     if (cmd == "sa" && argc >= 5) return cmd_sa(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "client" && argc >= 3) return cmd_client(argc, argv);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr, "aigml: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "aigml: unknown error\n");
     return 1;
   }
   return usage();

@@ -66,6 +66,14 @@ void top_n(std::vector<double> values, int n, FeatureVector& out, int base) {
 
 FeatureVector extract(const Aig& g) { return extract(g, aig::AnalysisCache(g)); }
 
+void extract_into(const Aig& g, std::span<double> out) {
+  if (out.size() != kNumFeatures) {
+    throw std::invalid_argument("features::extract_into: row width != kNumFeatures");
+  }
+  const FeatureVector f = extract(g);
+  std::copy(f.begin(), f.end(), out.begin());
+}
+
 FeatureVector extract(const Aig& g, const aig::AnalysisCache& cache) {
   FeatureVector f{};
   const auto& fanout = cache.fanouts();

@@ -16,6 +16,7 @@
 // inference is dramatically cheaper than technology mapping + STA.
 
 #include <array>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,11 @@ using FeatureVector = std::array<double, kNumFeatures>;
 /// Same, over a caller-provided cache (for callers that also need the raw
 /// analyses, e.g. cost evaluators mixing features with structural metrics).
 [[nodiscard]] FeatureVector extract(const aig::Aig& g, const aig::AnalysisCache& cache);
+
+/// Extracts directly into a caller-provided row of a batch feature matrix
+/// (serve::PredictService fans extraction out into one flat matrix and runs
+/// a single predict_all pass).  out.size() must be kNumFeatures.
+void extract_into(const aig::Aig& g, std::span<double> out);
 
 /// Feature groups for the ablation bench (drop-one-group retraining).
 struct FeatureGroup {

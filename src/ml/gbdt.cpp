@@ -207,6 +207,19 @@ std::vector<double> GbdtModel::predict_all(const Dataset& data) const {
   return out;
 }
 
+std::vector<double> GbdtModel::predict_all(std::span<const double> values,
+                                           std::size_t num_rows) const {
+  if (values.size() != num_rows * num_features_) {
+    throw std::invalid_argument("GbdtModel::predict_all: matrix size mismatch");
+  }
+  std::vector<double> out;
+  out.reserve(num_rows);
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    out.push_back(predict(values.subspan(i * num_features_, num_features_)));
+  }
+  return out;
+}
+
 std::vector<double> GbdtModel::feature_importance() const {
   std::vector<double> importance(num_features_, 0.0);
   for (const RegressionTree& tree : trees_) tree.accumulate_importance(importance);
@@ -231,12 +244,38 @@ GbdtModel GbdtModel::deserialize(std::istream& in) {
   GbdtModel model;
   if (!(in >> magic >> version >> model.base_score_ >> model.learning_rate_ >> num_trees >>
         model.num_features_) ||
-      magic != "gbdt" || version != 1) {
-    throw std::runtime_error("GbdtModel::deserialize: bad header");
+      magic != "gbdt") {
+    throw std::runtime_error("GbdtModel::deserialize: bad header (expected 'gbdt <version> ...')");
+  }
+  if (version != 1) {
+    throw std::runtime_error("GbdtModel::deserialize: unsupported format version " +
+                             std::to_string(version) + " (this build reads version 1)");
+  }
+  // Sanity bounds: a corrupt count must fail loudly here, not as a
+  // bad_alloc (or a silently mispredicting ensemble) later.
+  constexpr std::size_t kMaxTrees = 1u << 20;
+  constexpr std::size_t kMaxFeatures = 1u << 16;
+  if (num_trees > kMaxTrees || model.num_features_ == 0 || model.num_features_ > kMaxFeatures) {
+    throw std::runtime_error("GbdtModel::deserialize: implausible header (trees=" +
+                             std::to_string(num_trees) +
+                             ", features=" + std::to_string(model.num_features_) + ")");
+  }
+  if (!std::isfinite(model.base_score_) || !std::isfinite(model.learning_rate_)) {
+    throw std::runtime_error("GbdtModel::deserialize: non-finite base score / learning rate");
   }
   model.trees_.reserve(num_trees);
   for (std::size_t i = 0; i < num_trees; ++i) {
     model.trees_.push_back(RegressionTree::deserialize(in));
+    // Tree-local structure is validated by RegressionTree::deserialize; the
+    // feature width is only known here.
+    for (const TreeNode& n : model.trees_.back().nodes()) {
+      if (n.feature >= static_cast<int>(model.num_features_)) {
+        throw std::runtime_error("GbdtModel::deserialize: tree " + std::to_string(i) +
+                                 " splits on feature " + std::to_string(n.feature) +
+                                 " but the model has " + std::to_string(model.num_features_) +
+                                 " features");
+      }
+    }
   }
   model.build_flat_forest();
   return model;

@@ -58,6 +58,11 @@ class GbdtModel {
 
   [[nodiscard]] double predict(std::span<const double> row) const;
   [[nodiscard]] std::vector<double> predict_all(const Dataset& data) const;
+  /// Batch inference over a row-major matrix of `num_rows` feature rows
+  /// (values.size() == num_rows * num_features()).  One streaming pass over
+  /// the flat forest; bit-identical to calling predict() per row.
+  [[nodiscard]] std::vector<double> predict_all(std::span<const double> values,
+                                                std::size_t num_rows) const;
 
   [[nodiscard]] std::size_t num_trees() const noexcept { return trees_.size(); }
   [[nodiscard]] std::size_t num_features() const noexcept { return num_features_; }

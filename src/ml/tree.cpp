@@ -1,10 +1,13 @@
 #include "ml/tree.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace aigml::ml {
 
@@ -133,11 +136,67 @@ RegressionTree RegressionTree::deserialize(std::istream& in) {
   if (!(in >> token >> count) || token != "tree") {
     throw std::runtime_error("RegressionTree::deserialize: expected 'tree <n>'");
   }
+  // A count this large cannot come from a real model (trees are depth <= ~20,
+  // so <= ~2^21 nodes); reject before resize() turns corruption into a
+  // multi-gigabyte allocation.
+  constexpr std::size_t kMaxNodes = std::size_t{1} << 26;
+  if (count > kMaxNodes) {
+    throw std::runtime_error("RegressionTree::deserialize: implausible node count " +
+                             std::to_string(count));
+  }
   RegressionTree t;
   t.nodes_.resize(count);
-  for (TreeNode& n : t.nodes_) {
+  const int n_nodes = static_cast<int>(count);
+  for (int index = 0; index < n_nodes; ++index) {
+    TreeNode& n = t.nodes_[static_cast<std::size_t>(index)];
     if (!(in >> n.feature >> n.threshold >> n.left >> n.right >> n.value >> n.gain)) {
       throw std::runtime_error("RegressionTree::deserialize: truncated node list");
+    }
+    if (!std::isfinite(n.threshold) || !std::isfinite(n.value)) {
+      throw std::runtime_error("RegressionTree::deserialize: non-finite node " +
+                               std::to_string(index));
+    }
+    if (n.feature >= 0) {
+      // Children strictly after the parent: predict() walks monotonically
+      // increasing indices, so this also rules out traversal cycles.
+      if (n.left <= index || n.left >= n_nodes || n.right <= index || n.right >= n_nodes) {
+        throw std::runtime_error("RegressionTree::deserialize: child index out of range at node " +
+                                 std::to_string(index));
+      }
+    }
+  }
+  // The range checks alone still admit DAGs (two parents sharing a child
+  // makes build_flat_forest's per-path DFS exponential) and degenerate
+  // deep chains (recursion overflow).  One iterative DFS proves the nodes
+  // form a single tree of sane depth: every node visited exactly once, all
+  // nodes reachable from the root, depth bounded.
+  if (count > 0) {
+    constexpr int kMaxDepth = 64;  // paper-scale max_depth is 16
+    std::vector<char> visited(count, 0);
+    std::vector<std::pair<int, int>> stack{{0, 0}};  // (node, depth)
+    std::size_t visits = 0;
+    while (!stack.empty()) {
+      const auto [index, depth] = stack.back();
+      stack.pop_back();
+      if (visited[static_cast<std::size_t>(index)] != 0) {
+        throw std::runtime_error("RegressionTree::deserialize: node " + std::to_string(index) +
+                                 " has two parents (not a tree)");
+      }
+      if (depth > kMaxDepth) {
+        throw std::runtime_error("RegressionTree::deserialize: tree deeper than " +
+                                 std::to_string(kMaxDepth));
+      }
+      visited[static_cast<std::size_t>(index)] = 1;
+      ++visits;
+      const TreeNode& n = t.nodes_[static_cast<std::size_t>(index)];
+      if (n.feature >= 0) {
+        stack.push_back({n.right, depth + 1});
+        stack.push_back({n.left, depth + 1});
+      }
+    }
+    if (visits != count) {
+      throw std::runtime_error("RegressionTree::deserialize: " +
+                               std::to_string(count - visits) + " unreachable node(s)");
     }
   }
   return t;

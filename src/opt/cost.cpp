@@ -18,7 +18,7 @@ QualityEval GroundTruthCost::evaluate_impl(const aig::Aig& g) {
 QualityEval MlCost::evaluate_impl(const aig::Aig& g) {
   // extract() runs one fused AnalysisCache traversal (see aig/analysis.hpp).
   const features::FeatureVector f = features::extract(g);
-  return QualityEval{delay_model_.predict(f), area_model_.predict(f)};
+  return QualityEval{delay_model_->predict(f), area_model_->predict(f)};
 }
 
 }  // namespace aigml::opt

@@ -12,6 +12,7 @@
 // evaluation wall-time — the quantity Fig. 2 and Table IV report.
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "aig/aig.hpp"
@@ -81,11 +82,23 @@ class GroundTruthCost final : public CostEvaluator {
 };
 
 /// ML predictions: feature extraction + GBDT inference for delay and area.
-/// The models are borrowed (trained/owned by the caller).
+/// Two ownership modes: borrow models trained/owned by the caller, or hold
+/// shared immutable snapshots handed out by serve::ModelRegistry (see
+/// serve::make_ml_cost) — the snapshot stays valid for this evaluator's
+/// lifetime even if the registry hot-swaps a newer version underneath.
 class MlCost final : public CostEvaluator {
  public:
   MlCost(const ml::GbdtModel& delay_model, const ml::GbdtModel& area_model)
-      : delay_model_(delay_model), area_model_(area_model) {}
+      : delay_model_(&delay_model), area_model_(&area_model) {}
+
+  MlCost(std::shared_ptr<const ml::GbdtModel> delay_model,
+         std::shared_ptr<const ml::GbdtModel> area_model)
+      : delay_snapshot_(std::move(delay_model)), area_snapshot_(std::move(area_model)),
+        delay_model_(delay_snapshot_.get()), area_model_(area_snapshot_.get()) {
+    if (delay_model_ == nullptr || area_model_ == nullptr) {
+      throw std::invalid_argument("MlCost: null model snapshot");
+    }
+  }
 
   [[nodiscard]] std::string name() const override { return "ml"; }
 
@@ -93,8 +106,10 @@ class MlCost final : public CostEvaluator {
   QualityEval evaluate_impl(const aig::Aig& g) override;
 
  private:
-  const ml::GbdtModel& delay_model_;
-  const ml::GbdtModel& area_model_;
+  std::shared_ptr<const ml::GbdtModel> delay_snapshot_;  ///< keepalives (may be null
+  std::shared_ptr<const ml::GbdtModel> area_snapshot_;   ///< in borrowing mode)
+  const ml::GbdtModel* delay_model_;
+  const ml::GbdtModel* area_model_;
 };
 
 }  // namespace aigml::opt

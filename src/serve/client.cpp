@@ -1,0 +1,49 @@
+#include "serve/client.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "aig/aiger.hpp"
+#include "serve/protocol.hpp"
+
+namespace aigml::serve {
+
+Client::Client(const std::string& host, std::uint16_t port)
+    : socket_(tcp_connect(host, port)), reader_(socket_) {}
+
+std::string Client::request(const std::string& line) {
+  socket_.send_all(line + "\n");
+  std::string response;
+  if (!reader_.read_line(response)) {
+    throw std::runtime_error("serve::Client: server closed the connection");
+  }
+  if (response.rfind("OK", 0) == 0) {
+    return response.size() > 3 ? response.substr(3) : std::string();
+  }
+  if (response.rfind("ERR ", 0) == 0) {
+    throw std::runtime_error("server: " + response.substr(4));
+  }
+  throw std::runtime_error("serve::Client: malformed response '" + response + "'");
+}
+
+double Client::predict(const std::string& model, const aig::Aig& g) {
+  const std::string payload =
+      request("PREDICT " + model + " " + escape_line(aig::to_aiger_string(g)));
+  return std::stod(payload);
+}
+
+double Client::predict_features(const std::string& model, std::span<const double> row) {
+  std::string line = "FEATURES " + model;
+  for (const double v : row) line += " " + format_double(v);
+  return std::stod(request(line));
+}
+
+std::string Client::reload() { return request("RELOAD"); }
+
+std::string Client::stats() { return request("STATS"); }
+
+std::string Client::ping() { return request("PING"); }
+
+void Client::quit() { (void)request("QUIT"); }
+
+}  // namespace aigml::serve

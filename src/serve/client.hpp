@@ -1,0 +1,40 @@
+#pragma once
+// Client — blocking TCP client for the aigml prediction protocol.  One
+// connection, one outstanding request at a time (the server pipelines
+// across connections, not within one).  Used by `aigml client`, the serve
+// tests, and the concurrent-clients leg of bench_serve.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "aig/aig.hpp"
+#include "util/socket.hpp"
+
+namespace aigml::serve {
+
+class Client {
+ public:
+  Client(const std::string& host, std::uint16_t port);
+
+  /// Ships `g` inline (escaped aag) and returns the predicted delay.
+  [[nodiscard]] double predict(const std::string& model, const aig::Aig& g);
+  /// Prediction from a pre-extracted feature row.
+  [[nodiscard]] double predict_features(const std::string& model, std::span<const double> row);
+  /// Asks the server to re-scan its model directory; returns the summary.
+  std::string reload();
+  /// One-line JSON stats document.
+  [[nodiscard]] std::string stats();
+  [[nodiscard]] std::string ping();
+  void quit();
+
+  /// Sends a raw request line, returns the response payload after "OK";
+  /// throws std::runtime_error carrying the message after "ERR".
+  std::string request(const std::string& line);
+
+ private:
+  Socket socket_;
+  LineReader reader_;
+};
+
+}  // namespace aigml::serve

@@ -1,0 +1,77 @@
+#include "serve/protocol.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace aigml::serve {
+
+std::string escape_line(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\\': out += "\\\\"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_line(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      out += text[i];
+      continue;
+    }
+    if (i + 1 >= text.size()) throw std::runtime_error("unescape_line: dangling backslash");
+    switch (text[++i]) {
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case '\\': out += '\\'; break;
+      default:
+        throw std::runtime_error(std::string("unescape_line: unknown escape '\\") + text[i] + "'");
+    }
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string sanitize_message(std::string_view message) {
+  std::string out;
+  out.reserve(message.size());
+  for (const char c : message) {
+    out += (c == '\n' || c == '\r') ? ' ' : c;
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace aigml::serve

@@ -1,0 +1,41 @@
+#pragma once
+// Wire protocol shared by serve::PredictServer and serve::Client.
+//
+// Newline-delimited text, one request line -> one response line:
+//
+//   request  := "PREDICT" SP model SP escaped-aag
+//             | "FEATURES" SP model SP double*      (model-width doubles)
+//             | "RELOAD" | "STATS" | "PING" | "QUIT"
+//   response := "OK" [SP payload] | "ERR" SP message
+//
+// Multi-line AIGER documents travel inside one protocol line via the
+// escape_line() encoding ('\n' -> "\\n", '\r' -> "\\r", '\\' -> "\\\\").
+// Numeric payloads are printed with round-trip-safe precision
+// (format_double), so a value that crosses the wire parses back to the
+// exact same double the server computed — the serve smoke test compares it
+// bit-for-bit against a local GbdtModel::predict.
+
+#include <string>
+#include <string_view>
+
+namespace aigml::serve {
+
+/// Folds a multi-line document onto one protocol line.
+[[nodiscard]] std::string escape_line(std::string_view text);
+/// Inverse of escape_line; throws std::runtime_error on a dangling or
+/// unknown escape.
+[[nodiscard]] std::string unescape_line(std::string_view text);
+
+/// Shortest round-trip-safe decimal rendering ("%.17g").
+[[nodiscard]] std::string format_double(double value);
+
+/// Replaces control characters so an arbitrary error message stays a single
+/// protocol line.
+[[nodiscard]] std::string sanitize_message(std::string_view message);
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters) — STATS model names come from raw file
+/// stems and must not be able to break the one-line JSON document.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace aigml::serve

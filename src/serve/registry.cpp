@@ -1,0 +1,129 @@
+#include "serve/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "opt/cost.hpp"
+
+namespace aigml::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::int64_t mtime_ns(const fs::path& path) {
+  std::error_code ec;
+  const auto t = fs::last_write_time(path, ec);
+  if (ec) return 0;
+  return static_cast<std::int64_t>(t.time_since_epoch().count());
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(fs::path dir) : dir_(std::move(dir)) {
+  if (!fs::is_directory(dir_)) {
+    throw std::runtime_error("ModelRegistry: not a directory: " + dir_.string());
+  }
+  const ReloadReport report = reload();
+  if (report.loaded == 0 && !report.errors.empty()) {
+    std::string msg = "ModelRegistry: no loadable models in " + dir_.string();
+    for (const auto& e : report.errors) msg += "\n  " + e;
+    throw std::runtime_error(msg);
+  }
+}
+
+void ModelRegistry::install(const std::string& name, ml::GbdtModel model) {
+  auto snapshot = std::make_shared<const ml::GbdtModel>(std::move(model));
+  const std::lock_guard lock(mutex_);
+  Entry& entry = entries_[name];
+  entry.model = std::move(snapshot);
+  entry.version += 1;
+  entry.path.clear();
+  entry.file_size = -1;
+  entry.file_mtime_ns = 0;
+}
+
+std::shared_ptr<const ml::GbdtModel> ModelRegistry::get(const std::string& name) const {
+  auto snapshot = try_get(name);
+  if (snapshot == nullptr) throw std::out_of_range("ModelRegistry: unknown model '" + name + "'");
+  return snapshot;
+}
+
+std::shared_ptr<const ml::GbdtModel> ModelRegistry::try_get(const std::string& name) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.model;
+}
+
+ReloadReport ModelRegistry::reload() {
+  ReloadReport report;
+  if (dir_.empty()) return report;
+
+  struct Candidate {
+    std::string name;
+    fs::path path;
+    std::int64_t size = 0;
+    std::int64_t mtime = 0;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& dirent : fs::directory_iterator(dir_)) {
+    if (!dirent.is_regular_file() || dirent.path().extension() != ".gbdt") continue;
+    std::error_code ec;
+    const auto size = static_cast<std::int64_t>(fs::file_size(dirent.path(), ec));
+    candidates.push_back(
+        {dirent.path().stem().string(), dirent.path(), ec ? 0 : size, mtime_ns(dirent.path())});
+  }
+
+  for (const Candidate& c : candidates) {
+    {
+      const std::lock_guard lock(mutex_);
+      const auto it = entries_.find(c.name);
+      if (it != entries_.end() && it->second.file_size == c.size &&
+          it->second.file_mtime_ns == c.mtime) {
+        ++report.unchanged;
+        continue;
+      }
+    }
+    // Parse outside the lock — loading a 5000-tree model must not stall
+    // concurrent get() calls.
+    std::shared_ptr<const ml::GbdtModel> snapshot;
+    try {
+      snapshot = std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(c.path));
+    } catch (const std::exception& e) {
+      report.errors.push_back(c.path.string() + ": " + e.what());
+      continue;  // keep the previous snapshot, if any
+    }
+    const std::lock_guard lock(mutex_);
+    Entry& entry = entries_[c.name];
+    entry.model = std::move(snapshot);
+    entry.version += 1;
+    entry.path = c.path.string();
+    entry.file_size = c.size;
+    entry.file_mtime_ns = c.mtime;
+    ++report.loaded;
+  }
+  return report;
+}
+
+std::vector<ModelInfo> ModelRegistry::list() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<ModelInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back({name, entry.version, entry.model->num_trees(), entry.model->num_features(),
+                   entry.path});
+  }
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  const std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+opt::MlCost make_ml_cost(const ModelRegistry& registry, const std::string& delay_model,
+                         const std::string& area_model) {
+  return opt::MlCost(registry.get(delay_model), registry.get(area_model));
+}
+
+}  // namespace aigml::serve

@@ -1,0 +1,98 @@
+#pragma once
+// ModelRegistry — named, versioned GBDT models with atomic hot-swap.
+//
+// The registry owns one immutable snapshot per model name.  get() hands out
+// std::shared_ptr<const GbdtModel> copies, so a long-lived client (an open
+// optimization loop, an in-flight batch) keeps predicting against the
+// snapshot it started with even while reload() swaps in a newer version —
+// no client ever observes a half-loaded model, and old snapshots stay valid
+// until their last holder drops them.
+//
+// Disk layout: every `<name>.gbdt` directly inside the model directory is a
+// model named `<name>`.  reload() re-reads the directory; a model that
+// fails to parse keeps its previous snapshot (the failure is reported, not
+// propagated into serving).  Versions count successful (re)loads per name,
+// starting at 1.
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ml/gbdt.hpp"
+
+namespace aigml::opt {
+class MlCost;
+}
+
+namespace aigml::serve {
+
+struct ModelInfo {
+  std::string name;
+  std::uint64_t version = 0;       ///< bumps on every successful (re)load / install
+  std::size_t num_trees = 0;
+  std::size_t num_features = 0;
+  std::string path;                ///< empty for install()ed in-memory models
+};
+
+struct ReloadReport {
+  std::size_t loaded = 0;                   ///< models (re)loaded this pass
+  std::size_t unchanged = 0;                ///< files whose mtime+size were unchanged
+  std::vector<std::string> errors;          ///< per-file load failures ("file: what()")
+};
+
+class ModelRegistry {
+ public:
+  /// Empty registry with no backing directory (in-process use: install()).
+  ModelRegistry() = default;
+  /// Registry backed by `dir`; performs an initial reload().  Throws when
+  /// the directory does not exist or the initial scan loads zero models and
+  /// encounters errors.
+  explicit ModelRegistry(std::filesystem::path dir);
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Registers / replaces an in-memory model under `name` (atomic swap).
+  void install(const std::string& name, ml::GbdtModel model);
+
+  /// Current snapshot for `name`; throws std::out_of_range when unknown.
+  [[nodiscard]] std::shared_ptr<const ml::GbdtModel> get(const std::string& name) const;
+  /// Like get() but returns nullptr when unknown.
+  [[nodiscard]] std::shared_ptr<const ml::GbdtModel> try_get(const std::string& name) const;
+
+  /// Re-scans the model directory, loading new and changed files.  Parsing
+  /// happens outside the registry lock; each successfully parsed model is
+  /// swapped in atomically.  No-op (besides the scan) without a directory.
+  ReloadReport reload();
+
+  [[nodiscard]] std::vector<ModelInfo> list() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const ml::GbdtModel> model;
+    std::uint64_t version = 0;
+    std::string path;
+    std::int64_t file_size = -1;    ///< -1 for in-memory installs
+    std::int64_t file_mtime_ns = 0;
+  };
+
+  std::filesystem::path dir_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// opt::MlCost over the registry's *current* delay/area snapshots — the
+/// in-process path by which optimization loops (SA, greedy) share the same
+/// hot-reloadable models the server hands out.  The evaluator pins the
+/// snapshots it was built with; build a fresh one to pick up a reload.
+[[nodiscard]] opt::MlCost make_ml_cost(const ModelRegistry& registry,
+                                       const std::string& delay_model,
+                                       const std::string& area_model);
+
+}  // namespace aigml::serve

@@ -1,0 +1,182 @@
+#include "serve/server.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "aig/aiger.hpp"
+#include "serve/protocol.hpp"
+
+namespace aigml::serve {
+
+namespace {
+
+/// Splits "CMD arg rest..." into (CMD, arg, rest); missing parts are empty.
+struct RequestLine {
+  std::string command;
+  std::string arg;
+  std::string payload;
+};
+
+RequestLine split_request(const std::string& line) {
+  RequestLine out;
+  const std::size_t c_end = line.find(' ');
+  out.command = line.substr(0, c_end);
+  if (c_end == std::string::npos) return out;
+  const std::size_t a_begin = line.find_first_not_of(' ', c_end);
+  if (a_begin == std::string::npos) return out;
+  const std::size_t a_end = line.find(' ', a_begin);
+  out.arg = line.substr(a_begin, a_end == std::string::npos ? a_end : a_end - a_begin);
+  if (a_end == std::string::npos) return out;
+  const std::size_t p_begin = line.find_first_not_of(' ', a_end);
+  if (p_begin != std::string::npos) out.payload = line.substr(p_begin);
+  return out;
+}
+
+}  // namespace
+
+PredictServer::PredictServer(ModelRegistry& registry, PredictService& service,
+                             ServerParams params)
+    : registry_(registry), service_(service), params_(std::move(params)) {}
+
+PredictServer::~PredictServer() { stop(); }
+
+void PredictServer::start() {
+  listener_ = std::make_unique<TcpListener>(params_.host, params_.port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+std::uint16_t PredictServer::port() const {
+  if (listener_ == nullptr) throw std::logic_error("PredictServer::port: not started");
+  return listener_->port();
+}
+
+void PredictServer::wait() {
+  const std::lock_guard lock(join_mutex_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void PredictServer::stop() {
+  {
+    const std::lock_guard lock(conn_mutex_);
+    stopping_ = true;
+  }
+  if (listener_ != nullptr) listener_->close();
+  wait();
+  // The accept loop is down — no new connections can be registered.
+  std::vector<Connection> connections;
+  {
+    const std::lock_guard lock(conn_mutex_);
+    connections.swap(connections_);
+  }
+  for (Connection& conn : connections) {
+    conn.socket->shutdown_both();  // wakes a handler blocked in read
+  }
+  for (Connection& conn : connections) {
+    if (conn.thread.joinable()) conn.thread.join();
+  }
+}
+
+void PredictServer::accept_loop() {
+  while (true) {
+    Socket accepted = listener_->accept();
+    if (!accepted.valid()) return;  // listener closed by stop()
+    auto socket = std::make_shared<Socket>(std::move(accepted));
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    const std::lock_guard lock(conn_mutex_);
+    if (stopping_) return;  // raced with stop(): drop the connection
+    // Reap finished handlers so a long-lived server does not accumulate
+    // one joinable thread per past connection.
+    std::erase_if(connections_, [](Connection& c) {
+      if (!c.done->load(std::memory_order_acquire)) return false;
+      c.thread.join();
+      return true;
+    });
+    Connection conn;
+    conn.socket = socket;
+    conn.done = done;
+    conn.thread = std::thread([this, socket, done] {
+      handle_connection(socket);
+      done->store(true, std::memory_order_release);
+    });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void PredictServer::handle_connection(std::shared_ptr<Socket> socket) {
+  try {
+    LineReader reader(*socket);
+    std::string line;
+    while (reader.read_line(line)) {
+      if (line.empty()) continue;
+      const std::string response = handle_request(line);
+      socket->send_all(response + "\n");
+      if (line.substr(0, line.find(' ')) == "QUIT") return;
+    }
+  } catch (const std::exception&) {
+    // Connection-level failure (peer reset, send on closed socket): drop
+    // the connection; the service and other connections are unaffected.
+  }
+}
+
+std::string PredictServer::handle_request(const std::string& line) {
+  const RequestLine request = split_request(line);
+  try {
+    if (request.command == "PING") return "OK pong";
+    if (request.command == "QUIT") return "OK bye";
+
+    if (request.command == "PREDICT") {
+      if (request.arg.empty() || request.payload.empty()) {
+        return "ERR usage: PREDICT <model> <escaped-aag>";
+      }
+      const aig::Aig g = aig::from_aiger_string(unescape_line(request.payload));
+      return "OK " + format_double(service_.predict(request.arg, g));
+    }
+
+    if (request.command == "FEATURES") {
+      if (request.arg.empty() || request.payload.empty()) {
+        return "ERR usage: FEATURES <model> <f0> <f1> ...";
+      }
+      std::istringstream in(request.payload);
+      std::vector<double> row;
+      double v = 0.0;
+      while (in >> v) row.push_back(v);
+      if (!in.eof()) return "ERR FEATURES: non-numeric feature value";
+      return "OK " +
+             format_double(service_.submit_features(request.arg, std::move(row)).get());
+    }
+
+    if (request.command == "RELOAD") {
+      const ReloadReport report = registry_.reload();
+      std::string response = "OK loaded=" + std::to_string(report.loaded) +
+                             " unchanged=" + std::to_string(report.unchanged) +
+                             " errors=" + std::to_string(report.errors.size());
+      for (const std::string& e : report.errors) response += " [" + sanitize_message(e) + "]";
+      return response;
+    }
+
+    if (request.command == "STATS") {
+      const ServiceStats stats = service_.stats();
+      std::ostringstream out;
+      out << "OK {\"models\":[";
+      bool first = true;
+      for (const ModelInfo& info : registry_.list()) {
+        out << (first ? "" : ",") << "{\"name\":\"" << json_escape(info.name)
+            << "\",\"version\":" << info.version << ",\"trees\":" << info.num_trees
+            << ",\"features\":" << info.num_features << "}";
+        first = false;
+      }
+      out << "],\"requests\":" << stats.requests << ",\"completed\":" << stats.completed
+          << ",\"failed\":" << stats.failed << ",\"batches\":" << stats.batches
+          << ",\"max_batch\":" << stats.max_batch << ",\"busy_seconds\":" << stats.busy_seconds
+          << "}";
+      return out.str();
+    }
+
+    return "ERR unknown command '" + sanitize_message(request.command) + "'";
+  } catch (const std::exception& e) {
+    return "ERR " + sanitize_message(e.what());
+  }
+}
+
+}  // namespace aigml::serve

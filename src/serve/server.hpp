@@ -1,0 +1,73 @@
+#pragma once
+// PredictServer — TCP front end over (ModelRegistry, PredictService).
+//
+// One accept thread, one handler thread per connection; every handler
+// submits into the shared PredictService, so requests from independent
+// clients coalesce into the same micro-batches.  The protocol grammar
+// lives in serve/protocol.hpp (and DESIGN.md §6).
+//
+// stop() is thread-safe and idempotent: it closes the listener (waking the
+// accept loop), shuts down live connections (waking their read loops), and
+// joins every thread before returning.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
+#include "util/socket.hpp"
+
+namespace aigml::serve {
+
+struct ServerParams {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (query via port())
+};
+
+class PredictServer {
+ public:
+  PredictServer(ModelRegistry& registry, PredictService& service, ServerParams params = {});
+  ~PredictServer();
+
+  PredictServer(const PredictServer&) = delete;
+  PredictServer& operator=(const PredictServer&) = delete;
+
+  /// Binds and starts the accept loop; throws when the port is taken.
+  void start();
+  /// Port actually bound (after start()).
+  [[nodiscard]] std::uint16_t port() const;
+  /// Blocks until stop() is called from another thread (or forever).
+  void wait();
+  void stop();
+
+  /// Handles one already-parsed request line (the same dispatcher the
+  /// socket path uses — exposed for protocol tests without a socket).
+  [[nodiscard]] std::string handle_request(const std::string& line);
+
+ private:
+  void accept_loop();
+  void handle_connection(std::shared_ptr<Socket> socket);
+
+  ModelRegistry& registry_;
+  PredictService& service_;
+  ServerParams params_;
+  std::unique_ptr<TcpListener> listener_;
+  std::thread accept_thread_;
+
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<Socket> socket;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex conn_mutex_;
+  std::vector<Connection> connections_;
+  bool stopping_ = false;
+  std::mutex join_mutex_;  ///< serializes wait()/stop() joining the accept thread
+};
+
+}  // namespace aigml::serve

@@ -1,0 +1,197 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "features/features.hpp"
+#include "util/timer.hpp"
+
+namespace aigml::serve {
+
+PredictService::PredictService(ModelRegistry& registry, ServiceParams params)
+    : registry_(registry),
+      params_{std::max(1, params.max_batch), std::max(0, params.batch_wait_us),
+              params.num_threads},
+      pool_(params.num_threads),
+      drainer_([this] { drainer_loop(); }) {}
+
+PredictService::~PredictService() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  drainer_.join();
+}
+
+std::future<double> PredictService::submit(std::string model, aig::Aig graph) {
+  Request request;
+  request.model = std::move(model);
+  request.graph = std::move(graph);
+  return enqueue(std::move(request));
+}
+
+std::future<double> PredictService::submit_features(std::string model,
+                                                    std::vector<double> features) {
+  Request request;
+  request.model = std::move(model);
+  request.features = std::move(features);
+  return enqueue(std::move(request));
+}
+
+double PredictService::predict(const std::string& model, const aig::Aig& graph) {
+  return submit(model, graph).get();
+}
+
+std::vector<double> PredictService::predict_batch(const std::string& model,
+                                                  std::span<const aig::Aig> graphs) {
+  std::vector<std::future<double>> futures;
+  futures.reserve(graphs.size());
+  for (const aig::Aig& g : graphs) futures.push_back(submit(model, g));
+  std::vector<double> out;
+  out.reserve(graphs.size());
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+ServiceStats PredictService::stats() const {
+  const std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::future<double> PredictService::enqueue(Request request) {
+  auto future = request.promise.get_future();
+  {
+    const std::lock_guard lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("PredictService: service is shutting down");
+    }
+    queue_.push_back(std::move(request));
+    ++stats_.requests;
+  }
+  queue_cv_.notify_all();
+  return future;
+}
+
+void PredictService::drainer_loop() {
+  std::vector<Request> batch;
+  while (true) {
+    {
+      std::unique_lock lock(mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      // Micro-batching window: the first request opens a short coalescing
+      // wait so closely-spaced concurrent submitters share one batch.
+      if (!stopping_ && params_.batch_wait_us > 0 &&
+          queue_.size() < static_cast<std::size_t>(params_.max_batch)) {
+        queue_cv_.wait_for(
+            lock, std::chrono::microseconds(params_.batch_wait_us),
+            [&] { return stopping_ || queue_.size() >= static_cast<std::size_t>(params_.max_batch); });
+      }
+      const std::size_t take =
+          std::min(queue_.size(), static_cast<std::size_t>(params_.max_batch));
+      batch.clear();
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++stats_.batches;
+      stats_.max_batch = std::max(stats_.max_batch, static_cast<std::uint64_t>(take));
+    }
+    Timer timer;
+    process_batch(batch);
+    const double busy = timer.elapsed_s();
+    const std::lock_guard lock(mutex_);
+    stats_.busy_seconds += busy;
+  }
+}
+
+void PredictService::process_batch(std::vector<Request>& batch) {
+  // Group by model, preserving submission order within each group.
+  std::vector<std::pair<std::string, std::vector<std::size_t>>> groups;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == batch[i].model; });
+    if (it == groups.end()) {
+      groups.push_back({batch[i].model, {i}});
+    } else {
+      it->second.push_back(i);
+    }
+  }
+
+  std::uint64_t completed = 0, failed = 0;
+  for (auto& [model_name, indices] : groups) {
+    const std::shared_ptr<const ml::GbdtModel> snapshot = registry_.try_get(model_name);
+    if (snapshot == nullptr) {
+      for (const std::size_t i : indices) {
+        batch[i].promise.set_exception(std::make_exception_ptr(
+            std::out_of_range("PredictService: unknown model '" + model_name + "'")));
+        ++failed;
+      }
+      continue;
+    }
+    const std::size_t width = snapshot->num_features();
+    const std::size_t n = indices.size();
+    std::vector<double> matrix(n * width, 0.0);
+    std::vector<char> ok(n, 1);
+    std::vector<std::string> errors(n);
+    // Fan extraction out; per-item failures are recorded, never thrown out
+    // of the pool (an exception would abandon the rest of the batch).
+    pool_.parallel_for(n, [&](std::size_t i) {
+      Request& request = batch[indices[i]];
+      const std::span<double> row(matrix.data() + i * width, width);
+      try {
+        if (request.graph.has_value()) {
+          if (width != features::kNumFeatures) {
+            throw std::runtime_error("model '" + model_name + "' expects " +
+                                     std::to_string(width) + " features, extraction yields " +
+                                     std::to_string(int{features::kNumFeatures}));
+          }
+          features::extract_into(*request.graph, row);
+        } else {
+          if (request.features.size() != width) {
+            throw std::runtime_error("feature row width " +
+                                     std::to_string(request.features.size()) +
+                                     " != model width " + std::to_string(width));
+          }
+          std::copy(request.features.begin(), request.features.end(), row.begin());
+        }
+      } catch (const std::exception& e) {
+        ok[i] = 0;
+        errors[i] = e.what();
+      }
+    });
+
+    // Compact the valid rows and answer them with one predict_all pass.
+    std::vector<std::size_t> valid;
+    valid.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ok[i] != 0) valid.push_back(i);
+    }
+    std::vector<double> compact(valid.size() * width);
+    for (std::size_t v = 0; v < valid.size(); ++v) {
+      std::copy_n(matrix.data() + valid[v] * width, width, compact.data() + v * width);
+    }
+    const std::vector<double> predictions = snapshot->predict_all(compact, valid.size());
+    for (std::size_t v = 0; v < valid.size(); ++v) {
+      batch[indices[valid[v]]].promise.set_value(predictions[v]);
+      ++completed;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ok[i] == 0) {
+        batch[indices[i]].promise.set_exception(
+            std::make_exception_ptr(std::runtime_error("PredictService: " + errors[i])));
+        ++failed;
+      }
+    }
+  }
+
+  const std::lock_guard lock(mutex_);
+  stats_.completed += completed;
+  stats_.failed += failed;
+}
+
+}  // namespace aigml::serve

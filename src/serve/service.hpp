@@ -1,0 +1,104 @@
+#pragma once
+// PredictService — micro-batching inference engine over a ModelRegistry.
+//
+// Concurrent callers submit() AIGs (or pre-extracted feature rows) and get
+// std::future<double>s back.  A dedicated drainer thread coalesces pending
+// requests into batches: after the first request arrives it waits up to
+// `batch_wait_us` for the queue to fill (bounded by `max_batch`), then
+// groups the batch by model, fans feature extraction out over the shared
+// util::ThreadPool into one flat row-major matrix, and answers each model
+// group with a single GbdtModel::predict_all pass over the flat DFS forest.
+// Batched results are bit-identical to one-at-a-time predict() — batching
+// changes scheduling, never values (tests/test_serve.cpp locks this in).
+//
+// The registry snapshot for a batch is taken once per model group, so a
+// concurrent hot-swap (reload/install) flips predictions between two valid
+// model versions at a batch boundary — never mid-batch and never torn.
+//
+// Failure model: per-request errors (unknown model, malformed AIG, feature
+// width mismatch) surface as exceptions on that request's future; they
+// never affect neighbouring requests in the same batch.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "serve/registry.hpp"
+#include "util/parallel.hpp"
+
+namespace aigml::serve {
+
+struct ServiceParams {
+  int max_batch = 64;       ///< most requests coalesced into one batch
+  int batch_wait_us = 200;  ///< coalescing window after the first request
+  int num_threads = 0;      ///< extraction pool width; 0 = default_num_threads()
+};
+
+struct ServiceStats {
+  std::uint64_t requests = 0;   ///< submitted
+  std::uint64_t completed = 0;  ///< futures fulfilled with a value
+  std::uint64_t failed = 0;     ///< futures fulfilled with an exception
+  std::uint64_t batches = 0;    ///< drain passes executed
+  std::uint64_t max_batch = 0;  ///< largest batch observed
+  double busy_seconds = 0.0;    ///< drainer time spent extracting + predicting
+};
+
+class PredictService {
+ public:
+  explicit PredictService(ModelRegistry& registry, ServiceParams params = {});
+  /// Completes every queued request before returning (late submits fail).
+  ~PredictService();
+
+  PredictService(const PredictService&) = delete;
+  PredictService& operator=(const PredictService&) = delete;
+
+  /// Queues delay prediction of `graph` under `model`.
+  [[nodiscard]] std::future<double> submit(std::string model, aig::Aig graph);
+  /// Same, for a pre-extracted feature row (width must match the model).
+  [[nodiscard]] std::future<double> submit_features(std::string model,
+                                                    std::vector<double> features);
+
+  /// Blocking conveniences over submit().
+  [[nodiscard]] double predict(const std::string& model, const aig::Aig& graph);
+  /// Submits all graphs before waiting on any — the batch path.
+  [[nodiscard]] std::vector<double> predict_batch(const std::string& model,
+                                                  std::span<const aig::Aig> graphs);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceParams& params() const noexcept { return params_; }
+
+ private:
+  struct Request {
+    std::string model;
+    std::optional<aig::Aig> graph;  ///< extraction path when set ...
+    std::vector<double> features;   ///< ... else a pre-extracted row
+    std::promise<double> promise;
+  };
+
+  [[nodiscard]] std::future<double> enqueue(Request request);
+  void drainer_loop();
+  void process_batch(std::vector<Request>& batch);
+
+  ModelRegistry& registry_;
+  const ServiceParams params_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  ServiceStats stats_;
+
+  std::thread drainer_;  ///< last member: joins before the rest tears down
+};
+
+}  // namespace aigml::serve

@@ -1,0 +1,200 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace aigml {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("socket: cannot parse IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Socket::send_all(std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a vanished peer must surface as an exception on this
+    // connection's handler, not a process-wide SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("socket send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t Socket::recv_some(char* out, std::size_t max) {
+  while (true) {
+    const ssize_t n = ::recv(fd_, out, max, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    throw_errno("socket recv");
+  }
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket create");
+  Socket s(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("socket connect to " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return s;
+}
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket create");
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("socket bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("socket listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("socket getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  fd_.store(fd, std::memory_order_release);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+Socket TcpListener::accept() {
+  while (true) {
+    const int listen_fd = fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) return Socket();
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    const int err = errno;
+    // Only a deliberate concurrent close() ends the loop (EBADF/EINVAL on
+    // the closed fd).  Everything else — a connection aborted while in the
+    // backlog (ECONNABORTED), fd exhaustion (EMFILE/ENFILE), transient
+    // resource pressure — must not kill a long-running server's accept
+    // loop; retry, backing off briefly on resource errors to avoid a spin.
+    if (fd_.load(std::memory_order_acquire) < 0 || err == EBADF || err == EINVAL) {
+      return Socket();
+    }
+    if (err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+void TcpListener::close() noexcept {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    // shutdown() wakes a thread blocked in accept(); close() alone does not
+    // reliably do so on Linux.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+bool LineReader::read_line(std::string& line) {
+  while (true) {
+    const std::size_t nl = buffer_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      line.assign(buffer_, pos_, nl - pos_);
+      pos_ = nl + 1;
+      if (pos_ == buffer_.size()) {
+        buffer_.clear();
+        pos_ = 0;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    if (eof_) {
+      if (pos_ < buffer_.size()) {
+        line.assign(buffer_, pos_, buffer_.size() - pos_);
+        buffer_.clear();
+        pos_ = 0;
+        return true;
+      }
+      return false;
+    }
+    char chunk[4096];
+    const std::size_t n = socket_->recv_some(chunk, sizeof(chunk));
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    if (pos_ > 0) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+    }
+    buffer_.append(chunk, n);
+  }
+}
+
+}  // namespace aigml

@@ -1,0 +1,89 @@
+#pragma once
+// Minimal RAII wrappers over POSIX TCP sockets — the transport under the
+// serving layer (serve/server, serve/client).  Deliberately tiny: blocking
+// I/O only, IPv4 loopback-oriented, no TLS, no poll loop.  The serving
+// protocol is newline-delimited text, so the only read primitive offered is
+// a buffered line reader.
+//
+// Every failure surfaces as std::runtime_error carrying errno text; a
+// cleanly closed peer surfaces as read_line() returning false.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace aigml {
+
+/// Movable owner of a connected socket fd.  send/recv raw bytes.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Writes the whole buffer (looping over partial writes).
+  void send_all(std::string_view data);
+  /// Reads at most `max` bytes; returns 0 on orderly peer shutdown.
+  [[nodiscard]] std::size_t recv_some(char* out, std::size_t max);
+  /// Disables further sends/receives without closing the fd (wakes peers).
+  void shutdown_both() noexcept;
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to host:port (numeric IPv4 dotted quad or "localhost").
+[[nodiscard]] Socket tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Listening socket bound to host:port; port 0 picks an ephemeral port
+/// (query the choice via port()).  close() may be called from a different
+/// thread than the one blocked in accept() — that is the supported way to
+/// stop an accept loop.
+class TcpListener {
+ public:
+  TcpListener(const std::string& host, std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Blocks for the next connection.  Returns an invalid Socket once
+  /// close() has been called from another thread.
+  [[nodiscard]] Socket accept();
+  void close() noexcept;
+
+ private:
+  std::atomic<int> fd_{-1};
+  std::uint16_t port_ = 0;
+};
+
+/// Buffered newline-delimited reader over a Socket.  Lines are returned
+/// without the trailing '\n' (a trailing '\r' is also stripped).
+class LineReader {
+ public:
+  explicit LineReader(Socket& socket) : socket_(&socket) {}
+
+  /// Reads the next line into `line`; false on end of stream.  A final
+  /// unterminated line before EOF is returned as a line.
+  [[nodiscard]] bool read_line(std::string& line);
+
+ private:
+  Socket* socket_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  bool eof_ = false;
+};
+
+}  // namespace aigml

@@ -109,6 +109,99 @@ TEST(Robustness, GbdtDeserializeRejectsFuzz) {
   }
 }
 
+namespace {
+
+/// Trains a real (tiny) model and returns its serialized text — the
+/// starting point for structured corruptions.
+std::string serialized_tiny_gbdt() {
+  ml::Dataset d({"x", "y"});
+  Rng rng(4);
+  for (int i = 0; i < 60; ++i) {
+    const double row[2] = {rng.next_double(), rng.next_double()};
+    d.append(row, row[0] + 2.0 * row[1], "t");
+  }
+  ml::GbdtParams p;
+  p.num_trees = 8;
+  p.max_depth = 3;
+  std::ostringstream out;
+  ml::GbdtModel::train(d, p).serialize(out);
+  return out.str();
+}
+
+void expect_model_rejected(const std::string& text, const char* context) {
+  std::istringstream in(text);
+  try {
+    (void)ml::GbdtModel::deserialize(in);
+    ADD_FAILURE() << "accepted corrupt model: " << context;
+  } catch (const std::exception& e) {
+    // serve::ModelRegistry surfaces this message over RELOAD — it must
+    // actually say something.
+    EXPECT_STRNE(e.what(), "") << context;
+  }
+}
+
+}  // namespace
+
+// The serving registry hot-loads .gbdt files while requests are in flight;
+// a truncated or hand-edited file must fail the load loudly (the registry
+// then keeps the previous snapshot) — never crash, hang on a huge
+// allocation, or come back as a silently mispredicting ensemble.
+TEST(Robustness, GbdtDeserializeRejectsStructuredCorruptions) {
+  const std::string valid = serialized_tiny_gbdt();
+  {
+    std::istringstream in(valid);
+    EXPECT_NO_THROW((void)ml::GbdtModel::deserialize(in));  // baseline sanity
+  }
+  for (const double frac : {0.1, 0.35, 0.5, 0.75, 0.95}) {
+    expect_model_rejected(
+        valid.substr(0, static_cast<std::size_t>(static_cast<double>(valid.size()) * frac)),
+        "truncation");
+  }
+  expect_model_rejected("gbXt" + valid.substr(4), "bad magic");
+  ASSERT_EQ(valid.rfind("gbdt 1", 0), 0u);
+  expect_model_rejected("gbdt 2" + valid.substr(6), "unsupported format version");
+  expect_model_rejected("gbdt 1 0 0.1 999999999 22\n", "implausible tree count");
+  expect_model_rejected("gbdt 1 0 0.1 1 0\ntree 1\n-1 0 -1 -1 0 0\n", "zero features");
+  expect_model_rejected("gbdt 1 0 0.1 1 99999999\ntree 1\n-1 0 -1 -1 0 0\n",
+                        "implausible feature count");
+  expect_model_rejected(
+      "gbdt 1 0 0.1 1 2\ntree 3\n5 0.5 1 2 0 0\n-1 0 -1 -1 1 0\n-1 0 -1 -1 2 0\n",
+      "split feature beyond model width");
+  expect_model_rejected("gbdt 1 0 0.1 1 2\ntree 1\n0 0.5 5 6 0 0\n", "child index out of range");
+  expect_model_rejected(
+      "gbdt 1 0 0.1 1 2\ntree 3\n1 0.5 0 2 0 0\n-1 0 -1 -1 1 0\n-1 0 -1 -1 2 0\n",
+      "backward child edge (traversal cycle)");
+  expect_model_rejected("gbdt 1 0 0.1 1 2\ntree 18446744073709551615\n",
+                        "node count near SIZE_MAX");
+  // Shared child (left == right): passes per-node range checks but makes a
+  // DAG whose per-path flattening would be exponential.
+  expect_model_rejected("gbdt 1 0 0.1 1 2\ntree 2\n0 0.5 1 1 0 0\n-1 0 -1 -1 1 0\n",
+                        "shared child (DAG, not a tree)");
+  {
+    // A 70-deep right-leaning chain: structurally a valid tree, but far
+    // beyond any trainable depth — must be rejected before the recursive
+    // flattener turns it into a stack hazard at scale.
+    const int chain = 70;
+    std::string text = "gbdt 1 0 0.1 1 2\ntree " + std::to_string(2 * chain + 1) + "\n";
+    for (int k = 0; k < chain; ++k) {
+      text += "0 0.5 " + std::to_string(2 * k + 1) + " " + std::to_string(2 * k + 2) + " 0 0\n";
+      text += "-1 0 -1 -1 1 0\n";
+    }
+    text += "-1 0 -1 -1 2 0\n";
+    expect_model_rejected(text, "implausibly deep chain");
+  }
+}
+
+TEST(Robustness, GbdtLoadFromDiskFailsCleanly) {
+  EXPECT_THROW((void)ml::GbdtModel::load("/nonexistent/dir/model.gbdt"), std::runtime_error);
+
+  const auto path = std::filesystem::temp_directory_path() / "aigml_truncated.gbdt";
+  const std::string valid = serialized_tiny_gbdt();
+  std::ofstream(path) << valid.substr(0, valid.size() / 2);
+  EXPECT_THROW((void)ml::GbdtModel::load(path), std::exception);
+  std::filesystem::remove(path);
+}
+
 TEST(Robustness, DatasetLoadRejectsMalformedCsv) {
   const auto dir = std::filesystem::temp_directory_path();
   const auto path = dir / "aigml_bad.csv";

@@ -1,0 +1,339 @@
+// Serving-layer suite: ModelRegistry snapshot/hot-swap semantics,
+// PredictService micro-batching (batched results bit-identical to
+// one-at-a-time GbdtModel::predict, per-request error isolation), the TCP
+// server/client round trip, and the wire protocol helpers.  The
+// concurrency tests (hot-swap under load, concurrent clients) also run
+// under ThreadSanitizer in CI.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "aig/analysis.hpp"
+#include "features/features.hpp"
+#include "gen/circuits.hpp"
+#include "ml/gbdt.hpp"
+#include "opt/cost.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "transforms/scripts.hpp"
+#include "util/rng.hpp"
+
+namespace aigml {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Fixture {
+  std::vector<aig::Aig> variants;
+  ml::GbdtModel model;
+};
+
+/// Distinct optimized variants of mult4 plus a small GBDT trained on them
+/// (levels as labels — the tests only care about exact reproducibility).
+Fixture make_fixture(std::uint64_t seed, int num_trees = 30) {
+  Fixture fx;
+  const aig::Aig base = gen::multiplier(4);
+  const auto& scripts = transforms::script_registry();
+  Rng rng(seed);
+  ml::Dataset data(features::feature_names());
+  for (int i = 0; i < 16; ++i) {
+    fx.variants.push_back(scripts.apply(scripts.random_index(rng), base));
+    data.append(features::extract(fx.variants.back()),
+                static_cast<double>(aig::aig_level(fx.variants.back())) +
+                    0.1 * static_cast<double>(rng.next_below(10)),
+                "fx");
+  }
+  ml::GbdtParams params;
+  params.num_trees = num_trees;
+  params.max_depth = 3;
+  params.seed = seed;
+  fx.model = ml::GbdtModel::train(data, params);
+  return fx;
+}
+
+/// Temp directory removed on scope exit.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& stem)
+      : path(fs::temp_directory_path() / (stem + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(ServeRegistry, InstallGetVersioning) {
+  Fixture fx = make_fixture(0xA0);
+  serve::ModelRegistry registry;
+  EXPECT_EQ(registry.try_get("delay"), nullptr);
+  EXPECT_THROW((void)registry.get("delay"), std::out_of_range);
+
+  registry.install("delay", fx.model);
+  const auto snapshot = registry.get("delay");
+  ASSERT_NE(snapshot, nullptr);
+  const auto f = features::extract(fx.variants[0]);
+  EXPECT_EQ(snapshot->predict(f), fx.model.predict(f));
+
+  const auto info = registry.list();
+  ASSERT_EQ(info.size(), 1u);
+  EXPECT_EQ(info[0].name, "delay");
+  EXPECT_EQ(info[0].version, 1u);
+
+  registry.install("delay", fx.model);
+  EXPECT_EQ(registry.list()[0].version, 2u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ServeRegistry, OldSnapshotStaysValidAfterSwap) {
+  Fixture a = make_fixture(0xA1, 20);
+  Fixture b = make_fixture(0xB1, 25);
+  serve::ModelRegistry registry;
+  registry.install("delay", a.model);
+  const auto old_snapshot = registry.get("delay");
+
+  registry.install("delay", b.model);
+  const auto f = features::extract(a.variants[0]);
+  // The pre-swap snapshot still answers with the old model's exact value;
+  // a fresh get() sees the new one.
+  EXPECT_EQ(old_snapshot->predict(f), a.model.predict(f));
+  EXPECT_EQ(registry.get("delay")->predict(f), b.model.predict(f));
+}
+
+TEST(ServeRegistry, DirectoryLoadReloadAndCorruptFileKeepsOldSnapshot) {
+  Fixture a = make_fixture(0xA2, 20);
+  Fixture b = make_fixture(0xB2, 25);
+  TempDir dir("aigml_serve_registry");
+  a.model.save(dir.path / "delay.gbdt");
+
+  serve::ModelRegistry registry(dir.path);
+  ASSERT_EQ(registry.size(), 1u);
+  const auto f = features::extract(a.variants[0]);
+  EXPECT_EQ(registry.get("delay")->predict(f), a.model.predict(f));
+
+  // Unchanged file => unchanged snapshot.
+  auto report = registry.reload();
+  EXPECT_EQ(report.loaded, 0u);
+  EXPECT_EQ(report.unchanged, 1u);
+
+  // New bytes => hot swap to the new model and a version bump.
+  b.model.save(dir.path / "delay.gbdt");
+  report = registry.reload();
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_EQ(registry.get("delay")->predict(f), b.model.predict(f));
+  EXPECT_EQ(registry.list()[0].version, 2u);
+
+  // Corrupt file => load error reported, previous snapshot keeps serving.
+  std::ofstream(dir.path / "delay.gbdt") << "gbdt 1 corrupt";
+  report = registry.reload();
+  EXPECT_EQ(report.loaded, 0u);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(registry.get("delay")->predict(f), b.model.predict(f));
+}
+
+TEST(ServeRegistry, ConstructorRejectsMissingDirectory) {
+  EXPECT_THROW(serve::ModelRegistry{fs::path("/nonexistent/aigml_models")}, std::runtime_error);
+}
+
+TEST(ServeService, BatchedBitIdenticalToSinglePredict) {
+  Fixture fx = make_fixture(0xC0);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  serve::PredictService service(registry);
+
+  const std::vector<double> batched = service.predict_batch("delay", fx.variants);
+  ASSERT_EQ(batched.size(), fx.variants.size());
+  for (std::size_t i = 0; i < fx.variants.size(); ++i) {
+    EXPECT_EQ(batched[i], fx.model.predict(features::extract(fx.variants[i]))) << "variant " << i;
+  }
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, fx.variants.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST(ServeService, FeatureRowPathMatchesGraphPath) {
+  Fixture fx = make_fixture(0xC1);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  serve::PredictService service(registry);
+
+  const auto f = features::extract(fx.variants[3]);
+  const double via_features =
+      service.submit_features("delay", std::vector<double>(f.begin(), f.end())).get();
+  EXPECT_EQ(via_features, service.predict("delay", fx.variants[3]));
+}
+
+TEST(ServeService, PerRequestErrorsAreIsolated) {
+  Fixture fx = make_fixture(0xC2);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  serve::PredictService service(registry);
+
+  auto unknown = service.submit("nope", fx.variants[0]);
+  auto bad_width = service.submit_features("delay", {1.0, 2.0});
+  auto good = service.submit("delay", fx.variants[0]);
+  EXPECT_THROW((void)unknown.get(), std::out_of_range);
+  EXPECT_THROW((void)bad_width.get(), std::runtime_error);
+  EXPECT_EQ(good.get(), fx.model.predict(features::extract(fx.variants[0])));
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ServeService, HotSwapUnderConcurrentLoadNeverTearsPredictions) {
+  Fixture a = make_fixture(0xD0, 20);
+  Fixture b = make_fixture(0xD1, 25);
+  const std::vector<aig::Aig>& variants = a.variants;
+
+  // Exact per-variant answers under each model; the two models must differ
+  // for the test to mean anything.
+  std::vector<double> expect_a, expect_b;
+  bool differ = false;
+  for (const aig::Aig& g : variants) {
+    const auto f = features::extract(g);
+    expect_a.push_back(a.model.predict(f));
+    expect_b.push_back(b.model.predict(f));
+    differ = differ || expect_a.back() != expect_b.back();
+  }
+  ASSERT_TRUE(differ);
+
+  serve::ModelRegistry registry;
+  registry.install("delay", a.model);
+  serve::PredictService service(registry, {.max_batch = 8, .batch_wait_us = 50});
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      for (int iter = 0; !stop.load(); ++iter) {
+        const std::size_t v = static_cast<std::size_t>(iter) % variants.size();
+        const double got = service.predict("delay", variants[v]);
+        if (got != expect_a[v] && got != expect_b[v]) torn.fetch_add(1);
+      }
+    });
+  }
+  for (int swap = 0; swap < 50; ++swap) {
+    registry.install("delay", swap % 2 == 0 ? b.model : a.model);
+    std::this_thread::yield();  // let reader batches interleave with swaps
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  // Every concurrent prediction matched one of the two installed snapshots
+  // exactly — hot swap flips between versions, never mixes them.
+  EXPECT_EQ(torn.load(), 0);
+}
+
+TEST(ServeService, MakeMlCostUsesRegistrySnapshots) {
+  Fixture fx = make_fixture(0xC3);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  registry.install("area", fx.model);
+
+  opt::MlCost from_registry = serve::make_ml_cost(registry, "delay", "area");
+  opt::MlCost borrowed(fx.model, fx.model);
+  const auto a = from_registry.evaluate(fx.variants[1]);
+  const auto b = borrowed.evaluate(fx.variants[1]);
+  EXPECT_EQ(a.delay, b.delay);
+  EXPECT_EQ(a.area, b.area);
+  EXPECT_THROW((void)serve::make_ml_cost(registry, "delay", "nope"), std::out_of_range);
+}
+
+TEST(ServeProtocol, EscapeRoundTripAndErrors) {
+  const std::string text = "aag 3 1 0 1 1\n2\n4\\path\r\nend";
+  const std::string escaped = serve::escape_line(text);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(serve::unescape_line(escaped), text);
+  EXPECT_THROW((void)serve::unescape_line("dangling\\"), std::runtime_error);
+  EXPECT_THROW((void)serve::unescape_line("bad\\q"), std::runtime_error);
+}
+
+TEST(ServeServer, RoundTripPredictReloadStats) {
+  Fixture fx = make_fixture(0xE0);
+  TempDir dir("aigml_serve_server");
+  fx.model.save(dir.path / "delay.gbdt");
+
+  serve::ModelRegistry registry(dir.path);
+  serve::PredictService service(registry);
+  serve::PredictServer server(registry, service);
+  server.start();
+
+  serve::Client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.ping(), "pong");
+
+  // The value that crossed the wire parses back to the server's exact
+  // double (%.17g round trip).
+  for (int i = 0; i < 3; ++i) {
+    const double remote = client.predict("delay", fx.variants[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(remote,
+              fx.model.predict(features::extract(fx.variants[static_cast<std::size_t>(i)])));
+  }
+
+  const auto f = features::extract(fx.variants[5]);
+  EXPECT_EQ(client.predict_features("delay", std::vector<double>(f.begin(), f.end())),
+            fx.model.predict(f));
+
+  EXPECT_NE(client.reload().find("unchanged=1"), std::string::npos);
+  const std::string stats = client.stats();
+  EXPECT_NE(stats.find("\"requests\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"name\":\"delay\""), std::string::npos);
+
+  EXPECT_THROW((void)client.predict("nope", fx.variants[0]), std::runtime_error);
+  client.quit();
+  server.stop();
+}
+
+TEST(ServeServer, HandleRequestRejectsMalformedLines) {
+  Fixture fx = make_fixture(0xE1);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  serve::PredictService service(registry);
+  serve::PredictServer server(registry, service);
+
+  EXPECT_EQ(server.handle_request("PING"), "OK pong");
+  EXPECT_EQ(server.handle_request("NOPE").rfind("ERR", 0), 0u);
+  EXPECT_EQ(server.handle_request("PREDICT").rfind("ERR usage", 0), 0u);
+  EXPECT_EQ(server.handle_request("PREDICT delay not-an-aag").rfind("ERR", 0), 0u);
+  EXPECT_EQ(server.handle_request("FEATURES delay 1 2 x").rfind("ERR", 0), 0u);
+  EXPECT_EQ(server.handle_request("FEATURES delay 1 2").rfind("ERR", 0), 0u);
+}
+
+TEST(ServeServer, ConcurrentClientsGetExactAnswers) {
+  Fixture fx = make_fixture(0xE2);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  serve::PredictService service(registry, {.max_batch = 16, .batch_wait_us = 100});
+  serve::PredictServer server(registry, service);
+  server.start();
+
+  std::vector<double> expected;
+  for (const aig::Aig& g : fx.variants) expected.push_back(fx.model.predict(features::extract(g)));
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      serve::Client client("127.0.0.1", server.port());
+      for (int i = 0; i < 10; ++i) {
+        const std::size_t v = static_cast<std::size_t>(i) % fx.variants.size();
+        if (client.predict("delay", fx.variants[v]) != expected[v]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace aigml
