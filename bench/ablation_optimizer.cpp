@@ -11,9 +11,7 @@
 
 #include "bench/common.hpp"
 #include "gen/designs.hpp"
-#include "opt/cost.hpp"
-#include "opt/greedy.hpp"
-#include "opt/sa.hpp"
+#include "opt/recipe.hpp"
 #include "util/stats.hpp"
 
 using namespace aigml;
@@ -28,20 +26,21 @@ int main() {
               "greedy best", "SA wins?");
   RunningStats sa_costs, greedy_costs;
   int sa_wins = 0, ties = 0, total = 0;
+  opt::CostContext ctx;
+  ctx.library = &cell::mini_sky130();
   for (const char* name : {"EX00", "EX68", "EX02"}) {
     const aig::Aig g = gen::build_design(name);
     for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
-      opt::GroundTruthCost gt_sa(cell::mini_sky130());
-      opt::SaParams sa_params;
-      sa_params.iterations = iterations;
-      sa_params.seed = seed;
-      const auto sa = opt::simulated_annealing(g, gt_sa, sa_params);
+      opt::Recipe recipe;
+      recipe.iterations = iterations;
+      recipe.seed = seed;
+      recipe.cost = "gt";
 
-      opt::GroundTruthCost gt_greedy(cell::mini_sky130());
-      opt::GreedyParams greedy_params;
-      greedy_params.iterations = iterations;
-      greedy_params.seed = seed;
-      const auto greedy = opt::greedy_descent(g, gt_greedy, greedy_params);
+      recipe.strategy = "sa";
+      const auto sa = opt::run(recipe, g, ctx);
+
+      recipe.strategy = "greedy";
+      const auto greedy = opt::run(recipe, g, ctx);
 
       sa_costs.add(sa.best_cost);
       greedy_costs.add(greedy.best_cost);

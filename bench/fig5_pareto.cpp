@@ -11,7 +11,6 @@
 
 #include "bench/common.hpp"
 #include "gen/designs.hpp"
-#include "opt/cost.hpp"
 #include "opt/sweep.hpp"
 #include "util/stats.hpp"
 
@@ -61,16 +60,23 @@ int main() {
 
   const auto& lib = cell::mini_sky130();
 
-  opt::ProxyCost proxy;
-  const auto base = opt::sweep_flow(g, proxy, lib, config);
+  // Recipe lists per flow, executed in parallel on the process-default
+  // thread pool (bit-identical to a serial sweep).
+  opt::CostContext ctx;
+  ctx.library = &lib;
+  ctx.delay_model = opt::borrow_model(pipeline.models.delay);
+  ctx.area_model = opt::borrow_model(pipeline.models.area);
+
+  config.cost = "proxy";
+  const auto base = opt::run_sweep(g, config.to_recipes(), ctx, 0);
   std::printf("[baseline]     total %.1f s\n", base.total_seconds);
 
-  opt::GroundTruthCost gt(lib);
-  const auto truth = opt::sweep_flow(g, gt, lib, config);
+  config.cost = "gt";
+  const auto truth = opt::run_sweep(g, config.to_recipes(), ctx, 0);
   std::printf("[ground truth] total %.1f s\n", truth.total_seconds);
 
-  opt::MlCost mlc(pipeline.models.delay, pipeline.models.area);
-  const auto mlf = opt::sweep_flow(g, mlc, lib, config);
+  config.cost = "ml";
+  const auto mlf = opt::run_sweep(g, config.to_recipes(), ctx, 0);
   std::printf("[ml flow]      total %.1f s\n\n", mlf.total_seconds);
 
   print_front("baseline (proxy)", base.front);

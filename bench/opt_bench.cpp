@@ -1,0 +1,105 @@
+// Recipe-sweep throughput bench: runs the same recipe list serially and in
+// parallel on util::ThreadPool, checks the determinism contract (identical
+// runs and Pareto front at every thread count), and emits BENCH_opt.json so
+// the optimization-layer perf trajectory is tracked across PRs.  Run with
+// --smoke for a CI-sized workload.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "celllib/library.hpp"
+#include "gen/designs.hpp"
+#include "opt/sweep.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+using namespace aigml;
+
+namespace {
+
+bool same_runs(const opt::SweepResult& a, const opt::SweepResult& b) {
+  if (a.runs.size() != b.runs.size() || a.front.size() != b.front.size()) return false;
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    if (a.runs[i].ground_truth.delay != b.runs[i].ground_truth.delay ||
+        a.runs[i].ground_truth.area != b.runs[i].ground_truth.area ||
+        a.runs[i].evaluator_claimed.delay != b.runs[i].evaluator_claimed.delay ||
+        a.runs[i].evaluator_claimed.area != b.runs[i].evaluator_claimed.area ||
+        a.runs[i].evals != b.runs[i].evals) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    if (a.front[i].delay != b.front[i].delay || a.front[i].area != b.front[i].area ||
+        a.front[i].origin != b.front[i].origin) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_opt.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  const aig::Aig g = gen::build_design("EX68");
+  const auto& lib = cell::mini_sky130();
+  opt::CostContext ctx;
+  ctx.library = &lib;
+
+  // Ground-truth-guided sweep: every iteration maps + times the candidate,
+  // so the per-recipe tasks are heavy enough for the pool to matter.
+  opt::SweepConfig config;
+  config.iterations = smoke ? 12 : 60;
+  config.weight_pairs = {{1.0, 0.0}, {1.0, 0.5}, {1.0, 1.0}, {0.5, 1.0}};
+  config.decays = {0.93, 0.97};
+  config.cost = "gt";
+  const std::vector<opt::Recipe> recipes = config.to_recipes();
+  std::printf("sweep: %zu recipes (cost=%s, %d iterations each)\n", recipes.size(),
+              config.cost.c_str(), config.iterations);
+
+  struct Row {
+    int threads;
+    double seconds;
+  };
+  std::vector<Row> rows;
+  opt::SweepResult reference;
+  bool deterministic = true;
+  for (const int threads : {1, 2, 4}) {
+    auto result = opt::run_sweep(g, recipes, ctx, threads);
+    std::printf("run_sweep[threads=%d]: %zu runs in %.2f s (front: %zu points)\n", threads,
+                result.runs.size(), result.total_seconds, result.front.size());
+    rows.push_back({threads, result.total_seconds});
+    if (threads == 1) {
+      reference = std::move(result);
+    } else if (!same_runs(reference, result)) {
+      deterministic = false;
+    }
+  }
+  const double speedup = rows.back().seconds > 0 ? rows.front().seconds / rows.back().seconds : 0;
+  std::printf("determinism (serial vs parallel): %s; serial/4-thread speedup %.2fx\n",
+              deterministic ? "IDENTICAL" : "MISMATCH", speedup);
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"opt\",\n  \"design\": \"EX68\",\n  \"recipes\": " << recipes.size()
+      << ",\n  \"iterations\": " << config.iterations
+      << ",\n  \"cost\": \"" << config.cost << "\",\n  \"hardware_threads\": "
+      << default_num_threads() << ",\n  \"deterministic_across_threads\": "
+      << (deterministic ? "true" : "false") << ",\n  \"speedup_1_to_4\": " << speedup
+      << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "    {\"threads\": " << rows[i].threads << ", \"seconds\": " << rows[i].seconds
+        << (i + 1 < rows.size() ? "},\n" : "}\n");
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return deterministic ? 0 : 1;
+}

@@ -12,7 +12,6 @@
 #include "flow/datagen.hpp"
 #include "gen/circuits.hpp"
 #include "ml/gbdt.hpp"
-#include "opt/cost.hpp"
 #include "opt/sweep.hpp"
 
 using namespace aigml;
@@ -52,16 +51,24 @@ int main() {
   config.weight_pairs = {{1.0, 0.0}, {1.0, 0.5}, {0.5, 1.0}};
   config.decays = {0.95};
 
-  opt::ProxyCost proxy;
-  const auto base = opt::sweep_flow(design, proxy, lib, config);
+  // One CostContext serves all three flows: the library backs "gt" (and the
+  // final re-scoring), the in-memory models back "ml".  Each recipe list
+  // runs in parallel on the process-default thread pool (num_threads = 0) —
+  // results are identical to a serial sweep.
+  opt::CostContext ctx;
+  ctx.library = &lib;
+  ctx.delay_model = opt::borrow_model(delay_model);
+  ctx.area_model = opt::borrow_model(area_model);
+
+  const auto base = opt::run_sweep(design, config.to_recipes(), ctx, 0);
   show("baseline: proxy metrics", base);
 
-  opt::GroundTruthCost gt(lib);
-  const auto truth = opt::sweep_flow(design, gt, lib, config);
+  config.cost = "gt";
+  const auto truth = opt::run_sweep(design, config.to_recipes(), ctx, 0);
   show("ground truth: map+STA each iteration", truth);
 
-  opt::MlCost mlc(delay_model, area_model);
-  const auto mlf = opt::sweep_flow(design, mlc, lib, config);
+  config.cost = "ml";
+  const auto mlf = opt::run_sweep(design, config.to_recipes(), ctx, 0);
   show("ml flow: features + GBDT inference", mlf);
 
   // Iso-area comparison at the baseline front's area budgets.

@@ -12,8 +12,7 @@
 #include "aig/analysis.hpp"
 #include "aig/sim.hpp"
 #include "gen/circuits.hpp"
-#include "opt/cost.hpp"
-#include "opt/sa.hpp"
+#include "opt/recipe.hpp"
 
 using namespace aigml;
 
@@ -23,17 +22,21 @@ int main() {
   std::printf("design: 6x6 array multiplier (%zu ANDs, %u levels)\n\n", design.num_ands(),
               aig::aig_level(design));
 
-  opt::SaParams params;
-  params.iterations = 120;
-  params.weight_delay = 1.0;
-  params.weight_area = 0.3;
-  params.seed = 99;
+  // The two flows differ by exactly one recipe key: the cost spec.
+  opt::Recipe recipe;
+  recipe.iterations = 120;
+  recipe.weight_delay = 1.0;
+  recipe.weight_area = 0.3;
+  recipe.seed = 99;
 
+  opt::CostContext ctx;
+  ctx.library = &lib;
   opt::GroundTruthCost scorer(lib);  // used only for final, fair scoring
 
   // Flow A: proxy-guided.
-  opt::ProxyCost proxy;
-  const auto proxy_run = opt::simulated_annealing(design, proxy, params);
+  recipe.cost = "proxy";
+  std::printf("recipe: %s\n", recipe.to_string().c_str());
+  const auto proxy_run = opt::run(recipe, design, ctx);
   const auto proxy_truth = scorer.evaluate(proxy_run.best);
   std::printf("[proxy-guided]        best proxies: %u levels / %zu nodes\n",
               aig::aig_level(proxy_run.best), proxy_run.best.num_ands());
@@ -41,8 +44,9 @@ int main() {
               proxy_truth.delay, proxy_truth.area, proxy_run.total_seconds);
 
   // Flow B: ground-truth-guided (slow but honest).
-  opt::GroundTruthCost gt(lib);
-  const auto gt_run = opt::simulated_annealing(design, gt, params);
+  recipe.cost = "gt";
+  std::printf("recipe: %s\n", recipe.to_string().c_str());
+  const auto gt_run = opt::run(recipe, design, ctx);
   const auto gt_truth = scorer.evaluate(gt_run.best);
   std::printf("[ground-truth-guided] best proxies: %u levels / %zu nodes\n",
               aig::aig_level(gt_run.best), gt_run.best.num_ands());

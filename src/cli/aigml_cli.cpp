@@ -2,12 +2,20 @@
 //
 //   aigml gen <design|generator> [out.aag]        emit a benchmark circuit
 //   aigml stats <in.aag>                          AIG statistics + features
+//   aigml opt <in.aag> --recipe R                 recipe-driven optimization
 //   aigml opt <in.aag> <script> [out.aag]         apply scripts ("b;rw;rf")
 //   aigml map <in.aag> [out.v]                    map + STA report [+ Verilog]
 //   aigml datagen <design> <N> <out_prefix>       labeled dataset -> CSV
 //   aigml train <delay.csv> <model.gbdt>          train a delay model
-//   aigml predict <model.gbdt> <in.aag>           predict post-mapping delay
-//   aigml sa <in.aag> <proxy|truth> <iters> [out.aag]   SA optimization
+//   aigml predict <model.gbdt> <in.aag> [...]     predict post-mapping delay
+//   aigml sa <in.aag> <proxy|truth> <iters>       back-compat alias for
+//                                                 `opt --recipe "strategy=sa;..."`
+//   aigml serve --models DIR                      TCP prediction server
+//   aigml client ... <sub> [args]                 talk to a running server
+//
+// Every command declares its arguments through util::ArgParser, and usage()
+// renders those same declarations — the help text cannot drift from what a
+// command accepts.
 //
 // Designs: EX00 EX08 EX28 EX68 EX02 EX11 EX16 EX54; generators:
 // mult<N>, wallace<N>, adder<N>, cla<N>, ks<N>, alu<N>, cmp<N>, parity<N>.
@@ -33,40 +41,122 @@
 #include "mapper/mapper.hpp"
 #include "ml/gbdt.hpp"
 #include "netlist/verilog.hpp"
-#include "opt/cost.hpp"
-#include "opt/sa.hpp"
+#include "opt/recipe.hpp"
 #include "serve/client.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "sta/sta.hpp"
 #include "transforms/scripts.hpp"
+#include "util/args.hpp"
 #include "util/parallel.hpp"
 
 using namespace aigml;
 
 namespace {
 
+// ---- per-command argument declarations (usage() renders these) ---------------
+
+ArgParser gen_parser() {
+  ArgParser p("gen");
+  p.positional("design", "named design or generator (mult8, cla16, ...)")
+      .positional("out.aag", "output path (stdout when omitted)", false);
+  return p;
+}
+
+ArgParser stats_parser() {
+  ArgParser p("stats");
+  p.positional("in.aag", "AIGER file to analyze");
+  return p;
+}
+
+ArgParser opt_parser() {
+  ArgParser p("opt");
+  p.positional("in.aag", "AIGER file to optimize")
+      .positional("script", "primitive script chain, e.g. \"b;rw;rf\" (script mode)", false)
+      .positional("out.aag", "output path for script mode (stdout when omitted)", false)
+      .option("recipe", "R", "declarative run, e.g. \"strategy=sa;iters=200;cost=proxy\"")
+      .option("out", "FILE", "write the best AIG to FILE")
+      .option("report", "FORMAT", "print a machine-readable run report (json)");
+  return p;
+}
+
+ArgParser map_parser() {
+  ArgParser p("map");
+  p.positional("in.aag", "AIGER file to map")
+      .positional("out.v", "write the mapped netlist as Verilog", false);
+  return p;
+}
+
+ArgParser datagen_parser() {
+  ArgParser p("datagen");
+  p.positional("design", "named design or generator")
+      .positional("N", "number of labeled variants")
+      .positional("out_prefix", "writes <prefix>_delay.csv and <prefix>_area.csv");
+  return p;
+}
+
+ArgParser train_parser() {
+  ArgParser p("train");
+  p.positional("data.csv", "labeled dataset (from datagen)")
+      .positional("model.gbdt", "output model path");
+  return p;
+}
+
+ArgParser predict_parser() {
+  ArgParser p("predict");
+  p.positional("model.gbdt", "trained model")
+      .positional("in.aag", "AIGER file to predict")
+      .variadic("more.aag", "additional files (batched through PredictService)");
+  return p;
+}
+
+ArgParser sa_parser() {
+  ArgParser p("sa");
+  p.positional("in.aag", "AIGER file to optimize")
+      .positional("flavor", "cost oracle: proxy | truth")
+      .positional("iters", "SA iteration budget")
+      .positional("out.aag", "output path (stdout when omitted)", false)
+      .option("report", "FORMAT", "print a machine-readable run report (json)");
+  return p;
+}
+
+ArgParser serve_parser() {
+  ArgParser p("serve");
+  p.option("models", "DIR", "model directory (required; every <name>.gbdt is served)")
+      .option("port", "P", "TCP port (default: ephemeral)")
+      .option("host", "H", "bind address", "127.0.0.1")
+      .option("batch", "N", "max requests coalesced per batch", "64")
+      .option("wait-us", "U", "batch coalescing window in microseconds", "200");
+  return p;
+}
+
+ArgParser client_parser() {
+  ArgParser p("client");
+  p.positional("subcommand", "predict <model> <in.aag> | features <model> <f0> ... | "
+                             "reload | stats | ping")
+      .variadic("args", "subcommand arguments")
+      .option("host", "H", "server address", "127.0.0.1")
+      .option("port", "P", "server port (required)");
+  return p;
+}
+
 int usage() {
+  std::fprintf(stderr, "usage: aigml [--threads N] <command> ...\n");
+  for (const auto& make : {gen_parser, stats_parser, opt_parser, map_parser, datagen_parser,
+                           train_parser, predict_parser, sa_parser, serve_parser,
+                           client_parser}) {
+    const ArgParser p = make();
+    std::fprintf(stderr, "  %s\n", p.usage_line().c_str());
+    const std::string options = p.options_help();
+    if (!options.empty()) std::fprintf(stderr, "%s", options.c_str());
+  }
   std::fprintf(stderr,
-               "usage: aigml [--threads N] <command> ...\n"
-               "  gen <design> [out.aag]\n"
-               "  stats <in.aag>\n"
-               "  opt <in.aag> <script> [out.aag]\n"
-               "  map <in.aag> [out.v]\n"
-               "  datagen <design> <N> <out_prefix>\n"
-               "  train <delay.csv> <model.gbdt>\n"
-               "  predict <model.gbdt> <in.aag> [more.aag ...]\n"
-               "  sa <in.aag> <proxy|truth> <iters> [out.aag]\n"
-               "  serve --models DIR [--port P] [--host H] [--batch N] [--wait-us U]\n"
-               "  client [--port P] [--host H] predict <model> <in.aag>\n"
-               "  client [--port P] [--host H] features <model> <f0> <f1> ...\n"
-               "  client [--port P] [--host H] reload|stats|ping\n"
-               "options:\n"
-               "  --threads N   worker threads for parallel stages (datagen\n"
-               "                labeling, serve extraction); default:\n"
-               "                AIGML_THREADS or all cores.  Results are\n"
-               "                identical at any thread count.\n");
+               "global options:\n"
+               "    --threads N        worker threads for parallel stages (datagen\n"
+               "                       labeling, serve extraction, recipe sweeps);\n"
+               "                       default: AIGML_THREADS or all cores.  Results\n"
+               "                       are identical at any thread count.\n");
   return 2;
 }
 
@@ -93,23 +183,27 @@ aig::Aig build_circuit(const std::string& name) {
   throw std::runtime_error("unknown design/generator: " + name);
 }
 
-void emit(const aig::Aig& g, int argc, char** argv, int out_index) {
-  if (argc > out_index) {
-    aig::write_aiger_file(g, argv[out_index]);
-    std::printf("wrote %s\n", argv[out_index]);
+void emit(const aig::Aig& g, const std::string& out_path) {
+  if (!out_path.empty()) {
+    aig::write_aiger_file(g, out_path);
+    std::printf("wrote %s\n", out_path.c_str());
   } else {
     std::printf("%s", aig::to_aiger_string(g).c_str());
   }
 }
 
 int cmd_gen(int argc, char** argv) {
-  const aig::Aig g = build_circuit(argv[2]);
-  emit(g, argc, argv, 3);
+  ArgParser args = gen_parser();
+  args.parse(argc, argv);
+  const aig::Aig g = build_circuit(args.get("design"));
+  emit(g, args.has("out.aag") ? args.get("out.aag") : "");
   return 0;
 }
 
-int cmd_stats(char** argv) {
-  const aig::Aig g = aig::read_aiger_file(argv[2]);
+int cmd_stats(int argc, char** argv) {
+  ArgParser args = stats_parser();
+  args.parse(argc, argv);
+  const aig::Aig g = aig::read_aiger_file(args.get("in.aag"));
   std::printf("inputs %zu  outputs %zu  ands %zu  levels %u\n", g.num_inputs(),
               g.num_outputs(), g.num_ands(), aig::aig_level(g));
   const auto f = features::extract(g);
@@ -120,44 +214,139 @@ int cmd_stats(char** argv) {
   return 0;
 }
 
+void print_json_report(const opt::Recipe& recipe, const std::string& evaluator_name,
+                       const opt::OptResult& result, bool equivalent) {
+  std::printf("{\n");
+  std::printf("  \"recipe\": \"%s\",\n", recipe.to_string().c_str());
+  std::printf("  \"strategy\": \"%s\",\n", recipe.strategy.c_str());
+  std::printf("  \"cost\": \"%s\",\n", evaluator_name.c_str());
+  std::printf("  \"initial\": {\"delay\": %.17g, \"area\": %.17g, \"cost\": %.17g},\n",
+              result.initial_eval.delay, result.initial_eval.area, result.initial_cost);
+  std::printf("  \"best\": {\"delay\": %.17g, \"area\": %.17g, \"cost\": %.17g},\n",
+              result.best_eval.delay, result.best_eval.area, result.best_cost);
+  std::printf("  \"improved\": %s,\n",
+              result.best_cost < result.initial_cost ? "true" : "false");
+  std::printf("  \"equivalent\": %s,\n", equivalent ? "true" : "false");
+  std::printf("  \"iterations\": %zu,\n", result.history.size());
+  std::printf("  \"accepted\": %zu,\n", result.accepted_moves());
+  std::printf("  \"evals\": %llu,\n", static_cast<unsigned long long>(result.eval_count));
+  std::printf("  \"stop_reason\": \"%s\",\n", opt::to_string(result.stop_reason));
+  std::printf("  \"total_seconds\": %.6f,\n", result.total_seconds);
+  std::printf("  \"transform_seconds\": %.6f,\n", result.total_transform_seconds);
+  std::printf("  \"eval_seconds\": %.6f\n", result.total_eval_seconds);
+  std::printf("}\n");
+}
+
+/// Shared engine of `aigml opt --recipe` and the `aigml sa` alias.
+int run_recipe(const opt::Recipe& recipe, const aig::Aig& g, const std::string& out_path,
+               const std::string& report) {
+  if (!report.empty() && report != "json") {
+    throw std::runtime_error("opt: unknown report format '" + report + "' (expected json)");
+  }
+  opt::CostContext ctx;
+  ctx.library = &cell::mini_sky130();
+  const auto evaluator = opt::make_cost(recipe.cost, ctx);
+  const auto strategy = recipe.make_strategy();
+  const opt::OptResult result = strategy->run(g, *evaluator, recipe.stop_condition());
+  const bool equivalent = aig::equivalent(g, result.best);
+
+  std::fprintf(stderr,
+               "%s via %s: cost %.4f -> %.4f (%zu/%zu accepted, %llu evals, %.2f s; "
+               "delay %.1f area %.1f; stop: %s; equivalence %s)\n",
+               strategy->name().c_str(), evaluator->name().c_str(),
+               result.initial_cost, result.best_cost, result.accepted_moves(),
+               result.history.size(), static_cast<unsigned long long>(result.eval_count),
+               result.total_seconds, result.best_eval.delay, result.best_eval.area,
+               opt::to_string(result.stop_reason), equivalent ? "PASS" : "FAIL");
+  if (report == "json") {
+    print_json_report(recipe, evaluator->name(), result, equivalent);
+    if (!out_path.empty()) {
+      aig::write_aiger_file(result.best, out_path);
+      std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    }
+  } else {
+    emit(result.best, out_path);
+  }
+  return equivalent ? 0 : 1;
+}
+
 int cmd_opt(int argc, char** argv) {
-  aig::Aig g = aig::read_aiger_file(argv[2]);
-  const aig::Aig original = g;
-  std::string script = argv[3];
+  ArgParser args = opt_parser();
+  args.parse(argc, argv);
+  const aig::Aig g = aig::read_aiger_file(args.get("in.aag"));
+
+  if (args.has("recipe")) {
+    if (args.has("script")) {
+      throw std::runtime_error("opt: give a positional script or --recipe, not both");
+    }
+    return run_recipe(opt::Recipe::parse(args.get("recipe")), g,
+                      args.has("out") ? args.get("out") : "", args.get("report"));
+  }
+
+  // Script mode: apply a fixed primitive chain.
+  if (!args.has("script")) {
+    throw std::runtime_error("opt: need a script (\"b;rw;rf\") or --recipe");
+  }
+  const std::string script = args.get("script");
+  aig::Aig out = g;
   std::size_t pos = 0;
   while (pos != std::string::npos) {
     const std::size_t next = script.find(';', pos);
     const std::string step = script.substr(pos, next == std::string::npos ? next : next - pos);
-    if (!step.empty()) g = transforms::apply_primitive(step, g);
+    if (!step.empty()) out = transforms::apply_primitive(step, out);
     pos = next == std::string::npos ? next : next + 1;
   }
-  std::fprintf(stderr, "%zu -> %zu ands, %u -> %u levels, equivalence %s\n",
-               original.num_ands(), g.num_ands(), aig::aig_level(original), aig::aig_level(g),
-               aig::equivalent(original, g) ? "PASS" : "FAIL");
-  emit(g, argc, argv, 4);
+  std::fprintf(stderr, "%zu -> %zu ands, %u -> %u levels, equivalence %s\n", g.num_ands(),
+               out.num_ands(), aig::aig_level(g), aig::aig_level(out),
+               aig::equivalent(g, out) ? "PASS" : "FAIL");
+  emit(out, args.has("out") ? args.get("out")
+                            : (args.has("out.aag") ? args.get("out.aag") : ""));
   return 0;
 }
 
+int cmd_sa(int argc, char** argv) {
+  ArgParser args = sa_parser();
+  args.parse(argc, argv);
+  const std::string flavor = args.get("flavor");
+  opt::Recipe recipe;  // defaults mirror the legacy SaParams
+  recipe.strategy = "sa";
+  recipe.iterations = args.get_int("iters");
+  if (flavor == "proxy") {
+    recipe.cost = "proxy";
+  } else if (flavor == "truth" || flavor == "gt") {
+    recipe.cost = "gt";
+  } else {
+    throw std::runtime_error("sa: unknown flavor '" + flavor + "' (expected proxy | truth)");
+  }
+  const aig::Aig g = aig::read_aiger_file(args.get("in.aag"));
+  return run_recipe(recipe, g, args.has("out.aag") ? args.get("out.aag") : "",
+                    args.get("report"));
+}
+
 int cmd_map(int argc, char** argv) {
-  const aig::Aig g = aig::read_aiger_file(argv[2]);
+  ArgParser args = map_parser();
+  args.parse(argc, argv);
+  const aig::Aig g = aig::read_aiger_file(args.get("in.aag"));
   const auto& lib = cell::mini_sky130();
   const auto netlist = map::map_to_cells(g, lib);
   const auto timing = sta::run_sta(netlist, lib, {});
   std::printf("%s", sta::timing_report(netlist, lib, timing).c_str());
-  if (argc > 3) {
-    std::ofstream out(argv[3]);
+  if (args.has("out.v")) {
+    std::ofstream out(args.get("out.v"));
     net::write_verilog(netlist, lib, out);
-    std::printf("wrote %s\n", argv[3]);
+    std::printf("wrote %s\n", args.get("out.v").c_str());
   }
   return 0;
 }
 
-int cmd_datagen(char** argv) {
-  const aig::Aig g = build_circuit(argv[2]);
+int cmd_datagen(int argc, char** argv) {
+  ArgParser args = datagen_parser();
+  args.parse(argc, argv);
+  const aig::Aig g = build_circuit(args.get("design"));
   flow::DataGenParams params;
-  params.num_variants = std::stoi(argv[3]);
-  const auto data = flow::generate_dataset(g, argv[2], cell::mini_sky130(), params);
-  const std::string prefix = argv[4];
+  params.num_variants = args.get_int("N");
+  const auto data = flow::generate_dataset(g, args.get("design"), cell::mini_sky130(), params);
+  const std::string prefix = args.get("out_prefix");
   data.delay.save(prefix + "_delay.csv");
   data.area.save(prefix + "_area.csv");
   std::printf("generated %zu variants in %.1f s -> %s_{delay,area}.csv\n",
@@ -165,22 +354,26 @@ int cmd_datagen(char** argv) {
   return 0;
 }
 
-int cmd_train(char** argv) {
-  const auto data = ml::Dataset::load(argv[2]);
-  if (!data.has_value()) throw std::runtime_error(std::string("cannot load ") + argv[2]);
+int cmd_train(int argc, char** argv) {
+  ArgParser args = train_parser();
+  args.parse(argc, argv);
+  const auto data = ml::Dataset::load(args.get("data.csv"));
+  if (!data.has_value()) throw std::runtime_error("cannot load " + args.get("data.csv"));
   ml::TrainLog log;
   const auto model = ml::GbdtModel::train(*data, ml::GbdtParams{}, nullptr, &log);
-  model.save(argv[3]);
+  model.save(args.get("model.gbdt"));
   std::printf("trained %zu trees on %zu rows in %.1f s -> %s\n", model.num_trees(),
-              data->num_rows(), log.train_seconds, argv[3]);
+              data->num_rows(), log.train_seconds, args.get("model.gbdt").c_str());
   return 0;
 }
 
 int cmd_predict(int argc, char** argv) {
-  if (argc == 4) {
+  ArgParser args = predict_parser();
+  args.parse(argc, argv);
+  if (args.rest().empty()) {
     // Single file: keep the predicted-vs-actual report.
-    const auto model = ml::GbdtModel::load(argv[2]);
-    const aig::Aig g = aig::read_aiger_file(argv[3]);
+    const auto model = ml::GbdtModel::load(args.get("model.gbdt"));
+    const aig::Aig g = aig::read_aiger_file(args.get("in.aag"));
     const auto f = features::extract(g);
     std::printf("predicted post-mapping delay: %.1f ps\n", model.predict(f));
     const auto& lib = cell::mini_sky130();
@@ -192,75 +385,52 @@ int cmd_predict(int argc, char** argv) {
   // is loaded once, extraction fans out over the thread pool, and one
   // predict_all pass answers the whole batch.  A file that fails to read
   // or predict is reported on its own line without dropping the others.
+  std::vector<std::string> files{args.get("in.aag")};
+  files.insert(files.end(), args.rest().begin(), args.rest().end());
   serve::ModelRegistry registry;
-  registry.install("delay", ml::GbdtModel::load(argv[2]));
+  registry.install("delay", ml::GbdtModel::load(args.get("model.gbdt")));
   serve::PredictService service(registry);
   std::vector<std::optional<std::future<double>>> futures;
-  std::vector<std::string> read_errors(static_cast<std::size_t>(argc - 3));
-  for (int i = 3; i < argc; ++i) {
+  std::vector<std::string> read_errors(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
     try {
-      futures.push_back(service.submit("delay", aig::read_aiger_file(argv[i])));
+      futures.push_back(service.submit("delay", aig::read_aiger_file(files[i])));
     } catch (const std::exception& e) {
       futures.push_back(std::nullopt);
-      read_errors[static_cast<std::size_t>(i - 3)] = e.what();
+      read_errors[i] = e.what();
     }
   }
   int failures = 0;
-  for (int i = 3; i < argc; ++i) {
-    const auto slot = static_cast<std::size_t>(i - 3);
+  for (std::size_t i = 0; i < files.size(); ++i) {
     try {
-      if (!futures[slot].has_value()) throw std::runtime_error(read_errors[slot]);
-      std::printf("%-32s %.1f ps\n", argv[i], futures[slot]->get());
+      if (!futures[i].has_value()) throw std::runtime_error(read_errors[i]);
+      std::printf("%-32s %.1f ps\n", files[i].c_str(), futures[i]->get());
     } catch (const std::exception& e) {
-      std::printf("%-32s FAILED (%s)\n", argv[i], e.what());
+      std::printf("%-32s FAILED (%s)\n", files[i].c_str(), e.what());
       ++failures;
     }
   }
   return failures == 0 ? 0 : 1;
 }
 
-/// Parses a --port value, rejecting anything outside 1..65535 (a silent
-/// uint16 truncation would bind/dial the wrong port).
-std::uint16_t parse_port(const std::string& text) {
-  const int port = std::stoi(text);
-  if (port < 1 || port > 65535) {
-    throw std::runtime_error("port " + text + " out of range 1..65535");
-  }
-  return static_cast<std::uint16_t>(port);
-}
-
 int cmd_serve(int argc, char** argv) {
-  std::string models_dir;
+  ArgParser args = serve_parser();
+  args.parse(argc, argv);
+  if (!args.has("models")) throw std::runtime_error("serve: --models DIR is required");
   serve::ServerParams server_params;
+  server_params.host = args.get("host");
+  if (args.has("port")) server_params.port = args.get_port("port");
   serve::ServiceParams service_params;
-  for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) throw std::runtime_error(flag + " requires a value");
-      return argv[++i];
-    };
-    if (flag == "--models") {
-      models_dir = value();
-    } else if (flag == "--port") {
-      server_params.port = parse_port(value());
-    } else if (flag == "--host") {
-      server_params.host = value();
-    } else if (flag == "--batch") {
-      service_params.max_batch = std::stoi(value());
-    } else if (flag == "--wait-us") {
-      service_params.batch_wait_us = std::stoi(value());
-    } else {
-      throw std::runtime_error("serve: unknown option " + flag);
-    }
-  }
-  if (models_dir.empty()) throw std::runtime_error("serve: --models DIR is required");
+  service_params.max_batch = args.get_int("batch");
+  service_params.batch_wait_us = args.get_int("wait-us");
 
-  serve::ModelRegistry registry{std::filesystem::path(models_dir)};
+  serve::ModelRegistry registry{std::filesystem::path(args.get("models"))};
   serve::PredictService service(registry, service_params);
   serve::PredictServer server(registry, service, server_params);
   server.start();
   std::printf("aigml serve: listening on %s:%u (%zu model(s) from %s)\n",
-              server_params.host.c_str(), server.port(), registry.size(), models_dir.c_str());
+              server_params.host.c_str(), server.port(), registry.size(),
+              args.get("models").c_str());
   for (const auto& info : registry.list()) {
     std::printf("  model %-16s v%llu  %zu trees, %zu features\n", info.name.c_str(),
                 static_cast<unsigned long long>(info.version), info.num_trees,
@@ -272,35 +442,24 @@ int cmd_serve(int argc, char** argv) {
 }
 
 int cmd_client(int argc, char** argv) {
-  std::string host = "127.0.0.1";
-  std::uint16_t port = 0;
-  int i = 2;
-  for (; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag == "--host" && i + 1 < argc) {
-      host = argv[++i];
-    } else if (flag == "--port" && i + 1 < argc) {
-      port = parse_port(argv[++i]);
-    } else {
-      break;
-    }
-  }
-  if (port == 0) throw std::runtime_error("client: --port P is required");
-  if (i >= argc) throw std::runtime_error("client: missing subcommand");
-  const std::string sub = argv[i++];
+  ArgParser args = client_parser();
+  args.parse(argc, argv);
+  if (!args.has("port")) throw std::runtime_error("client: --port P is required");
+  const std::string sub = args.get("subcommand");
+  const std::vector<std::string>& rest = args.rest();
 
-  serve::Client client(host, port);
+  serve::Client client(args.get("host"), args.get_port("port"));
   if (sub == "predict") {
-    if (argc - i < 2) throw std::runtime_error("client predict: need <model> <in.aag>");
-    const aig::Aig g = aig::read_aiger_file(argv[i + 1]);
-    std::printf("%.17g\n", client.predict(argv[i], g));
+    if (rest.size() != 2) throw std::runtime_error("client predict: need <model> <in.aag>");
+    const aig::Aig g = aig::read_aiger_file(rest[1]);
+    std::printf("%.17g\n", client.predict(rest[0], g));
     return 0;
   }
   if (sub == "features") {
-    if (argc - i < 2) throw std::runtime_error("client features: need <model> <f0> ...");
+    if (rest.size() < 2) throw std::runtime_error("client features: need <model> <f0> ...");
     std::vector<double> row;
-    for (int j = i + 1; j < argc; ++j) row.push_back(std::stod(argv[j]));
-    std::printf("%.17g\n", client.predict_features(argv[i], row));
+    for (std::size_t i = 1; i < rest.size(); ++i) row.push_back(std::stod(rest[i]));
+    std::printf("%.17g\n", client.predict_features(rest[0], row));
     return 0;
   }
   if (sub == "reload") {
@@ -316,26 +475,6 @@ int cmd_client(int argc, char** argv) {
     return 0;
   }
   throw std::runtime_error("client: unknown subcommand '" + sub + "'");
-}
-
-int cmd_sa(int argc, char** argv) {
-  const aig::Aig g = aig::read_aiger_file(argv[2]);
-  const std::string flavor = argv[3];
-  opt::SaParams params;
-  params.iterations = std::stoi(argv[4]);
-  opt::ProxyCost proxy;
-  opt::GroundTruthCost truth(cell::mini_sky130());
-  opt::CostEvaluator& evaluator =
-      flavor == "truth" ? static_cast<opt::CostEvaluator&>(truth) : proxy;
-  const auto result = opt::simulated_annealing(g, evaluator, params);
-  std::fprintf(stderr,
-               "%s flow: cost %.4f -> %.4f (%zu/%zu accepted, %.2f s; delay %.1f area %.1f)\n",
-               evaluator.name().c_str(),
-               params.weight_delay + params.weight_area, result.best_cost,
-               result.accepted_moves(), result.history.size(), result.total_seconds,
-               result.best_eval.delay, result.best_eval.area);
-  emit(result.best, argc, argv, 5);
-  return 0;
 }
 
 }  // namespace
@@ -374,16 +513,16 @@ int main(int argc, char** argv) {
   // refused connection — must exit 1 with a one-line `aigml: <message>`,
   // never an uncaught-exception terminate.
   try {
-    if (cmd == "gen" && argc >= 3) return cmd_gen(argc, argv);
-    if (cmd == "stats" && argc >= 3) return cmd_stats(argv);
-    if (cmd == "opt" && argc >= 4) return cmd_opt(argc, argv);
-    if (cmd == "map" && argc >= 3) return cmd_map(argc, argv);
-    if (cmd == "datagen" && argc >= 5) return cmd_datagen(argv);
-    if (cmd == "train" && argc >= 4) return cmd_train(argv);
-    if (cmd == "predict" && argc >= 4) return cmd_predict(argc, argv);
-    if (cmd == "sa" && argc >= 5) return cmd_sa(argc, argv);
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "stats") return cmd_stats(argc, argv);
+    if (cmd == "opt") return cmd_opt(argc, argv);
+    if (cmd == "map") return cmd_map(argc, argv);
+    if (cmd == "datagen") return cmd_datagen(argc, argv);
+    if (cmd == "train") return cmd_train(argc, argv);
+    if (cmd == "predict") return cmd_predict(argc, argv);
+    if (cmd == "sa") return cmd_sa(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
-    if (cmd == "client" && argc >= 3) return cmd_client(argc, argv);
+    if (cmd == "client") return cmd_client(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "aigml: %s\n", e.what());
     return 1;

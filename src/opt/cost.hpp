@@ -5,11 +5,15 @@
 //   ProxyCost        baseline flow: AIG levels ~ delay, node count ~ area
 //   GroundTruthCost  ground-truth flow: technology mapping + STA per query
 //   MlCost           ML flow: Table II features + GBDT inference per query
+//   RemoteCost       served-model flow over TCP (cost_spec.hpp)
 //
-// evaluate() returns raw (delay, area) in evaluator-specific units; the SA
-// engine normalizes against the initial evaluation so the cost weights mean
-// the same thing across flows.  Every evaluator tracks its cumulative
-// evaluation wall-time — the quantity Fig. 2 and Table IV report.
+// Evaluators are usually built from a cost-spec string via opt::make_cost
+// (cost_spec.hpp) so recipes and CLI flags can swap them declaratively.
+// evaluate() returns raw (delay, area) in evaluator-specific units; the
+// strategies normalize against the initial evaluation so the cost weights
+// mean the same thing across flows.  Every evaluator tracks its cumulative
+// evaluation wall-time — the quantity Fig. 2 and Table IV report; runs
+// report deltas of these clocks (see strategy.hpp's accounting contract).
 
 #include <memory>
 #include <stdexcept>

@@ -1,0 +1,114 @@
+#include "opt/cost_spec.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+namespace aigml::opt {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("cost spec '" + spec + "': " + why);
+}
+
+std::uint16_t parse_port(const std::string& spec, const std::string& text) {
+  std::size_t used = 0;
+  int port = 0;
+  try {
+    port = std::stoi(text, &used);
+  } catch (const std::exception&) {
+    fail(spec, "'" + text + "' is not a port number");
+  }
+  if (used != text.size() || port < 1 || port > 65535) {
+    fail(spec, "port '" + text + "' out of range 1..65535");
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+std::unique_ptr<CostEvaluator> make_ml_from_dir(const std::string& spec,
+                                                const std::string& dir) {
+  namespace fs = std::filesystem;
+  const fs::path delay_path = fs::path(dir) / "delay.gbdt";
+  const fs::path area_path = fs::path(dir) / "area.gbdt";
+  if (!fs::exists(delay_path) || !fs::exists(area_path)) {
+    fail(spec, "expected " + delay_path.string() + " and " + area_path.string() +
+                   " (train them with `aigml train`)");
+  }
+  auto delay = std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(delay_path));
+  auto area = std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(area_path));
+  return std::make_unique<MlCost>(std::move(delay), std::move(area));
+}
+
+std::unique_ptr<CostEvaluator> make_remote(const std::string& spec, const std::string& rest) {
+  // rest = <host>:<port>[:<delay-model>[,<area-model>]]
+  const std::size_t host_end = rest.find(':');
+  if (host_end == std::string::npos || host_end == 0) {
+    fail(spec, "expected serve:<host>:<port>[:<delay-model>[,<area-model>]]");
+  }
+  const std::string host = rest.substr(0, host_end);
+  const std::size_t port_end = rest.find(':', host_end + 1);
+  const std::string port_text = rest.substr(
+      host_end + 1, port_end == std::string::npos ? std::string::npos : port_end - host_end - 1);
+  if (port_text.empty()) fail(spec, "missing port after host '" + host + "'");
+  const std::uint16_t port = parse_port(spec, port_text);
+
+  std::string delay_model = "delay";
+  std::string area_model = "area";
+  if (port_end != std::string::npos) {
+    const std::string models = rest.substr(port_end + 1);
+    const std::size_t comma = models.find(',');
+    delay_model = models.substr(0, comma);
+    if (comma != std::string::npos) area_model = models.substr(comma + 1);
+    if (delay_model.empty() || area_model.empty()) {
+      fail(spec, "empty model name (expected <delay-model>[,<area-model>])");
+    }
+  }
+  try {
+    return std::make_unique<RemoteCost>(host, port, delay_model, area_model);
+  } catch (const std::exception& e) {
+    fail(spec, std::string("cannot reach server (") + e.what() +
+                   "); start one with `aigml serve --models DIR --port " + port_text + "`");
+  }
+}
+
+}  // namespace
+
+RemoteCost::RemoteCost(const std::string& host, std::uint16_t port, std::string delay_model,
+                       std::string area_model)
+    : host_(host), port_(port), delay_model_(std::move(delay_model)),
+      area_model_(std::move(area_model)), client_(host, port) {}
+
+std::string RemoteCost::name() const { return "serve:" + host_ + ":" + std::to_string(port_); }
+
+QualityEval RemoteCost::evaluate_impl(const aig::Aig& g) {
+  const features::FeatureVector f = features::extract(g);
+  return QualityEval{client_.predict_features(delay_model_, f),
+                     client_.predict_features(area_model_, f)};
+}
+
+std::unique_ptr<CostEvaluator> make_cost(const std::string& spec, const CostContext& ctx) {
+  if (spec == "proxy") return std::make_unique<ProxyCost>();
+  if (spec == "gt" || spec == "truth" || spec == "ground-truth") {
+    if (ctx.library == nullptr) {
+      fail(spec, "needs a cell library (set CostContext::library)");
+    }
+    return std::make_unique<GroundTruthCost>(*ctx.library);
+  }
+  if (spec == "ml") {
+    if (ctx.delay_model == nullptr || ctx.area_model == nullptr) {
+      fail(spec, "needs in-memory models (set CostContext::delay_model / area_model, "
+                 "or use ml:<model-dir>)");
+    }
+    return std::make_unique<MlCost>(ctx.delay_model, ctx.area_model);
+  }
+  if (spec.rfind("ml:", 0) == 0) {
+    const std::string dir = spec.substr(3);
+    if (dir.empty()) fail(spec, "empty model directory");
+    return make_ml_from_dir(spec, dir);
+  }
+  if (spec.rfind("serve:", 0) == 0) return make_remote(spec, spec.substr(6));
+  fail(spec, "unknown evaluator (expected proxy | gt | ml | ml:<model-dir> | "
+             "serve:<host>:<port>[:<delay-model>[,<area-model>]])");
+}
+
+}  // namespace aigml::opt

@@ -1,0 +1,75 @@
+#pragma once
+// Cost-spec factory — one string names the reward oracle of a flow, so a
+// recipe (recipe.hpp) or a CLI flag can swap the paper's Fig. 3 evaluators
+// without code changes:
+//
+//   "proxy"                          ProxyCost (levels / node count)
+//   "gt" | "truth" | "ground-truth"  GroundTruthCost (map + STA; needs
+//                                    CostContext::library)
+//   "ml"                             MlCost over the in-memory models in
+//                                    CostContext (delay_model / area_model)
+//   "ml:<model-dir>"                 MlCost over <dir>/delay.gbdt and
+//                                    <dir>/area.gbdt loaded from disk
+//   "serve:<host>:<port>[:<delay-model>[,<area-model>]]"
+//                                    RemoteCost — every evaluation is
+//                                    answered by a running `aigml serve`
+//                                    instance over TCP (model names default
+//                                    to "delay" / "area")
+//
+// Malformed or unsatisfiable specs throw std::invalid_argument with a
+// message naming the spec and what is missing.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "opt/cost.hpp"
+#include "serve/client.hpp"
+
+namespace aigml::opt {
+
+/// Ambient resources a cost spec may draw on.  Pointers/handles are
+/// borrowed: the caller keeps them alive for the evaluator's lifetime.
+struct CostContext {
+  const cell::Library* library = nullptr;  ///< for "gt" (and sweep re-scoring)
+  std::shared_ptr<const ml::GbdtModel> delay_model;  ///< for "ml" (in-memory)
+  std::shared_ptr<const ml::GbdtModel> area_model;
+};
+
+/// Non-owning shared_ptr view of a caller-owned model — the bridge from
+/// by-value model holders (flow::TrainedModels) into CostContext.
+[[nodiscard]] inline std::shared_ptr<const ml::GbdtModel> borrow_model(const ml::GbdtModel& m) {
+  return std::shared_ptr<const ml::GbdtModel>(std::shared_ptr<const ml::GbdtModel>(), &m);
+}
+
+/// Remote evaluator over the serving protocol: features are extracted
+/// locally (one fused AnalysisCache pass) and shipped as FEATURES requests,
+/// so a hot-reloadable served model guides the search while the wire
+/// carries 22 doubles instead of a full AIG.  %.17g formatting round-trips
+/// IEEE doubles exactly, so a remote evaluation is bit-identical to a local
+/// MlCost over the same model snapshots.  One connection per evaluator; an
+/// unreachable or restarting server surfaces as std::runtime_error from
+/// evaluate().
+class RemoteCost final : public CostEvaluator {
+ public:
+  RemoteCost(const std::string& host, std::uint16_t port, std::string delay_model = "delay",
+             std::string area_model = "area");
+
+  [[nodiscard]] std::string name() const override;
+
+ protected:
+  QualityEval evaluate_impl(const aig::Aig& g) override;
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+  std::string delay_model_;
+  std::string area_model_;
+  serve::Client client_;
+};
+
+/// Builds the evaluator a spec names (grammar above).
+[[nodiscard]] std::unique_ptr<CostEvaluator> make_cost(const std::string& spec,
+                                                       const CostContext& ctx);
+
+}  // namespace aigml::opt

@@ -2,61 +2,37 @@
 
 #include <stdexcept>
 
-#include "util/timer.hpp"
-
 namespace aigml::opt {
 
-SaResult greedy_descent(const aig::Aig& initial, CostEvaluator& evaluator,
-                        const GreedyParams& params, const transforms::ScriptRegistry& registry) {
+GreedyStrategy::GreedyStrategy(GreedyParams params) : params_(params) {
+  if (params_.tolerance < 0.0) throw std::invalid_argument("GreedyStrategy: negative tolerance");
+}
+
+OptResult GreedyStrategy::run(const aig::Aig& initial, CostEvaluator& evaluator,
+                              const StopCondition& stop, Observer* observer,
+                              const transforms::ScriptRegistry& registry) const {
+  detail::validate_stop(stop, "GreedyStrategy");
+  const auto accept = [&](double candidate_cost, double current_cost, Rng&) {
+    return candidate_cost <= current_cost * (1.0 + params_.tolerance);
+  };
+  return detail::search_loop(initial, evaluator, stop, observer, registry,
+                             params_.weight_delay, params_.weight_area, params_.seed, accept,
+                             [] {});
+}
+
+std::unique_ptr<Strategy> GreedyStrategy::reseeded(std::uint64_t seed) const {
+  GreedyParams params = params_;
+  params.seed = seed;
+  return std::make_unique<GreedyStrategy>(params);
+}
+
+OptResult greedy_descent(const aig::Aig& initial, CostEvaluator& evaluator,
+                         const GreedyParams& params, const transforms::ScriptRegistry& registry) {
   if (params.iterations < 1) throw std::invalid_argument("greedy_descent: iterations < 1");
   if (params.tolerance < 0.0) throw std::invalid_argument("greedy_descent: negative tolerance");
-  Timer total_timer;
-  Rng rng(params.seed);
-
-  SaResult result;
-  result.initial_eval = evaluator.evaluate(initial);
-  const double delay0 = result.initial_eval.delay > 0 ? result.initial_eval.delay : 1.0;
-  const double area0 = result.initial_eval.area > 0 ? result.initial_eval.area : 1.0;
-  auto cost_of = [&](const QualityEval& q) {
-    return params.weight_delay * q.delay / delay0 + params.weight_area * q.area / area0;
-  };
-
-  aig::Aig current = initial;
-  double current_cost = cost_of(result.initial_eval);
-  result.best = initial;
-  result.best_eval = result.initial_eval;
-  result.best_cost = current_cost;
-  result.history.reserve(static_cast<std::size_t>(params.iterations));
-
-  for (int iter = 0; iter < params.iterations; ++iter) {
-    IterationRecord record;
-    record.script_index = registry.random_index(rng);
-    Timer transform_timer;
-    aig::Aig candidate = registry.apply(record.script_index, current);
-    record.transform_seconds = transform_timer.elapsed_s();
-
-    const double eval_before = evaluator.eval_seconds();
-    const QualityEval q = evaluator.evaluate(candidate);
-    record.eval_seconds = evaluator.eval_seconds() - eval_before;
-    record.delay = q.delay;
-    record.area = q.area;
-    record.cost = cost_of(q);
-    record.accepted = record.cost <= current_cost * (1.0 + params.tolerance);
-    if (record.accepted) {
-      current = std::move(candidate);
-      current_cost = record.cost;
-      if (record.cost < result.best_cost) {
-        result.best = current;
-        result.best_eval = q;
-        result.best_cost = record.cost;
-      }
-    }
-    result.total_transform_seconds += record.transform_seconds;
-    result.total_eval_seconds += record.eval_seconds;
-    result.history.push_back(record);
-  }
-  result.total_seconds = total_timer.elapsed_s();
-  return result;
+  StopCondition stop;
+  stop.max_iterations = params.iterations;
+  return GreedyStrategy(params).run(initial, evaluator, stop, nullptr, registry);
 }
 
 }  // namespace aigml::opt

@@ -3,9 +3,12 @@
 // paper contrasts SA against ("compared to deterministic algorithms, SA
 // allows ... hill-climbing", §IV).  Included both as a practical fast
 // optimizer and as the subject of the SA-vs-greedy ablation bench.
+//
+// GreedyStrategy is the opt::Strategy implementation; the greedy_descent
+// free function is the pre-Strategy entry point, kept as a thin wrapper
+// (bit-identical trajectories for a fixed seed).
 
-#include "opt/cost.hpp"
-#include "opt/sa.hpp"
+#include "opt/strategy.hpp"
 
 namespace aigml::opt {
 
@@ -20,11 +23,28 @@ struct GreedyParams {
   std::uint64_t seed = 1;
 };
 
+class GreedyStrategy final : public Strategy {
+ public:
+  explicit GreedyStrategy(GreedyParams params);
+
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+  [[nodiscard]] OptResult run(
+      const aig::Aig& initial, CostEvaluator& evaluator, const StopCondition& stop,
+      Observer* observer = nullptr,
+      const transforms::ScriptRegistry& registry = transforms::script_registry()) const override;
+  [[nodiscard]] std::unique_ptr<Strategy> reseeded(std::uint64_t seed) const override;
+
+  [[nodiscard]] const GreedyParams& params() const noexcept { return params_; }
+
+ private:
+  GreedyParams params_;
+};
+
 /// Runs randomized first-improvement descent: at each step a random script
 /// is applied and kept only if the (normalized, weighted) cost does not
 /// worsen beyond the tolerance.  Returns the same result shape as SA for
 /// easy comparison.
-[[nodiscard]] SaResult greedy_descent(
+[[nodiscard]] OptResult greedy_descent(
     const aig::Aig& initial, CostEvaluator& evaluator, const GreedyParams& params,
     const transforms::ScriptRegistry& registry = transforms::script_registry());
 

@@ -1,0 +1,129 @@
+#include "opt/portfolio.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace aigml::opt {
+
+namespace {
+
+/// Presents the whole portfolio as one run to the caller's observer:
+/// on_start fires once (with the first start's initial evaluation),
+/// on_improvement only when the *global* best improves, and inner
+/// on_finish calls are swallowed (the portfolio fires its own with the
+/// aggregate result).  on_iteration indices restart per start, mirroring
+/// the concatenated history.
+class PortfolioObserver final : public Observer {
+ public:
+  explicit PortfolioObserver(Observer& target) : target_(target) {}
+
+  void on_start(const aig::Aig& initial, const QualityEval& eval, double cost) override {
+    best_cost_ = started_ ? std::min(best_cost_, cost) : cost;
+    if (!started_) {
+      started_ = true;
+      target_.on_start(initial, eval, cost);
+    }
+  }
+  void on_iteration(int iteration, const IterationRecord& record) override {
+    target_.on_iteration(iteration, record);
+  }
+  void on_improvement(int iteration, const QualityEval& eval, double cost) override {
+    if (cost < best_cost_) {
+      best_cost_ = cost;
+      target_.on_improvement(iteration, eval, cost);
+    }
+  }
+  void on_finish(const OptResult&) override {}
+
+ private:
+  Observer& target_;
+  bool started_ = false;
+  double best_cost_ = 0.0;
+};
+
+}  // namespace
+
+PortfolioStrategy::PortfolioStrategy(std::shared_ptr<const Strategy> inner,
+                                     PortfolioParams params)
+    : inner_(std::move(inner)), params_(params) {
+  if (inner_ == nullptr) throw std::invalid_argument("PortfolioStrategy: null inner strategy");
+  if (params_.starts < 1) throw std::invalid_argument("PortfolioStrategy: starts < 1");
+}
+
+std::string PortfolioStrategy::name() const { return "portfolio(" + inner_->name() + ")"; }
+
+OptResult PortfolioStrategy::run(const aig::Aig& initial, CostEvaluator& evaluator,
+                                 const StopCondition& stop, Observer* observer,
+                                 const transforms::ScriptRegistry& registry) const {
+  detail::validate_stop(stop, "PortfolioStrategy");
+  Timer total_timer;
+  OptResult result;
+  std::uint64_t evals_used = 0;
+  result.stop_reason = StopReason::kIterations;
+  std::optional<PortfolioObserver> adapter;
+  if (observer != nullptr) adapter.emplace(*observer);
+  Observer* const inner_observer = adapter.has_value() ? &*adapter : nullptr;
+
+  for (int start = 0; start < params_.starts; ++start) {
+    StopCondition start_stop = stop;
+    if (stop.max_seconds > 0.0) {
+      const double remaining = stop.max_seconds - total_timer.elapsed_s();
+      if (remaining <= 0.0) {
+        result.stop_reason = StopReason::kWallTime;
+        break;
+      }
+      start_stop.max_seconds = remaining;
+    }
+    if (stop.max_evals > 0) {
+      if (evals_used >= stop.max_evals) {
+        result.stop_reason = StopReason::kEvalBudget;
+        break;
+      }
+      start_stop.max_evals = stop.max_evals - evals_used;
+    }
+
+    // Each start re-evaluates the initial AIG (one oracle call): that keeps
+    // every start bit-identical to the same strategy run standalone and its
+    // accounting self-consistent, at the cost of `starts - 1` redundant
+    // evaluations across the portfolio.
+    const auto strategy = inner_->reseeded(derive_seed(params_.seed, static_cast<std::uint64_t>(start)));
+    OptResult r = strategy->run(initial, evaluator, start_stop, inner_observer, registry);
+    evals_used += r.eval_count;
+
+    if (start == 0) {
+      result.initial_eval = r.initial_eval;
+      result.initial_cost = r.initial_cost;
+      result.best = std::move(r.best);
+      result.best_eval = r.best_eval;
+      result.best_cost = r.best_cost;
+    } else if (r.best_cost < result.best_cost) {
+      result.best = std::move(r.best);
+      result.best_eval = r.best_eval;
+      result.best_cost = r.best_cost;
+    }
+    result.history.insert(result.history.end(), r.history.begin(), r.history.end());
+    result.total_transform_seconds += r.total_transform_seconds;
+    result.total_eval_seconds += r.total_eval_seconds;
+    // A start cut short by a shared budget ends the whole portfolio.
+    if (r.stop_reason != StopReason::kIterations) {
+      result.stop_reason = r.stop_reason;
+      break;
+    }
+  }
+
+  result.eval_count = evals_used;
+  result.total_seconds = total_timer.elapsed_s();
+  if (observer != nullptr) observer->on_finish(result);
+  return result;
+}
+
+std::unique_ptr<Strategy> PortfolioStrategy::reseeded(std::uint64_t seed) const {
+  PortfolioParams params = params_;
+  params.seed = seed;
+  return std::make_unique<PortfolioStrategy>(inner_, params);
+}
+
+}  // namespace aigml::opt

@@ -1,0 +1,44 @@
+#pragma once
+// Multi-start portfolio strategy: runs an inner strategy `starts` times
+// from deterministically derived seeds and keeps the best result.  The
+// randomized searches here are cheap to restart and seed-sensitive (the
+// move set is 103 macro scripts), so a small portfolio reliably beats a
+// single longer trajectory at equal evaluation budget — and because the
+// wall-time / eval-count budgets are *shared* across starts, a portfolio
+// recipe can be swapped in anywhere a single-start recipe runs.
+
+#include "opt/strategy.hpp"
+
+namespace aigml::opt {
+
+struct PortfolioParams {
+  int starts = 3;
+  std::uint64_t seed = 1;  ///< base seed; start i runs with derive_seed(seed, i)
+};
+
+class PortfolioStrategy final : public Strategy {
+ public:
+  /// `inner` supplies the per-start algorithm (its own seed is ignored —
+  /// every start runs a reseeded copy).
+  PortfolioStrategy(std::shared_ptr<const Strategy> inner, PortfolioParams params);
+
+  [[nodiscard]] std::string name() const override;
+  /// Runs the inner strategy once per start.  `stop.max_iterations` is a
+  /// *per-start* budget; `max_seconds` and `max_evals` are shared across
+  /// the whole portfolio.  The result concatenates the per-start histories;
+  /// best/initial come from the best/first start.
+  [[nodiscard]] OptResult run(
+      const aig::Aig& initial, CostEvaluator& evaluator, const StopCondition& stop,
+      Observer* observer = nullptr,
+      const transforms::ScriptRegistry& registry = transforms::script_registry()) const override;
+  [[nodiscard]] std::unique_ptr<Strategy> reseeded(std::uint64_t seed) const override;
+
+  [[nodiscard]] const PortfolioParams& params() const noexcept { return params_; }
+  [[nodiscard]] const Strategy& inner() const noexcept { return *inner_; }
+
+ private:
+  std::shared_ptr<const Strategy> inner_;
+  PortfolioParams params_;
+};
+
+}  // namespace aigml::opt

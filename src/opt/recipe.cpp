@@ -1,0 +1,213 @@
+#include "opt/recipe.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "opt/greedy.hpp"
+#include "opt/portfolio.hpp"
+#include "opt/sa.hpp"
+
+namespace aigml::opt {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& why) {
+  throw std::invalid_argument("recipe: " + why);
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(value, &used);
+  } catch (const std::exception&) {
+    fail(key + "=" + value + ": not a number");
+  }
+  if (used != value.size()) fail(key + "=" + value + ": trailing garbage after number");
+  return v;
+}
+
+int parse_int(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  int v = 0;
+  try {
+    v = std::stoi(value, &used);
+  } catch (const std::exception&) {
+    fail(key + "=" + value + ": not an integer");
+  }
+  if (used != value.size()) fail(key + "=" + value + ": trailing garbage after integer");
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(value, &used);
+  } catch (const std::exception&) {
+    fail(key + "=" + value + ": not a non-negative integer");
+  }
+  if (used != value.size()) fail(key + "=" + value + ": trailing garbage after integer");
+  return static_cast<std::uint64_t>(v);
+}
+
+void check_strategy_name(const std::string& key, const std::string& value, bool allow_portfolio) {
+  if (value == "sa" || value == "greedy") return;
+  if (allow_portfolio && value == "portfolio") return;
+  fail(key + "=" + value + ": expected sa | greedy" +
+       (allow_portfolio ? " | portfolio" : std::string()));
+}
+
+/// Shortest decimal form that parses back to exactly `v`.
+std::string format_number(double v) {
+  char buf[64];
+  for (const int precision : {6, 15, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::stod(buf) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+Recipe Recipe::parse(const std::string& text) {
+  Recipe recipe;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = std::min(text.find(';', pos), text.size());
+    const std::string segment = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (segment.empty()) continue;
+    const std::size_t eq = segment.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      fail("segment '" + segment + "' is not key=value");
+    }
+    const std::string key = segment.substr(0, eq);
+    const std::string value = segment.substr(eq + 1);
+    if (value.empty()) fail(key + "=: empty value");
+
+    if (key == "strategy") {
+      check_strategy_name(key, value, /*allow_portfolio=*/true);
+      recipe.strategy = value;
+    } else if (key == "iters") {
+      recipe.iterations = parse_int(key, value);
+      if (recipe.iterations < 1) fail("iters=" + value + ": must be >= 1");
+    } else if (key == "max_seconds") {
+      recipe.max_seconds = parse_double(key, value);
+      if (recipe.max_seconds < 0.0) fail("max_seconds=" + value + ": must be >= 0");
+    } else if (key == "max_evals") {
+      recipe.max_evals = parse_u64(key, value);
+    } else if (key == "wd") {
+      recipe.weight_delay = parse_double(key, value);
+    } else if (key == "wa") {
+      recipe.weight_area = parse_double(key, value);
+    } else if (key == "seed") {
+      recipe.seed = parse_u64(key, value);
+    } else if (key == "temp") {
+      recipe.initial_temperature = parse_double(key, value);
+      if (recipe.initial_temperature < 0.0) fail("temp=" + value + ": must be >= 0");
+    } else if (key == "decay") {
+      recipe.decay = parse_double(key, value);
+      if (recipe.decay <= 0.0 || recipe.decay > 1.0) {
+        fail("decay=" + value + ": must be in (0, 1]");
+      }
+    } else if (key == "tol") {
+      recipe.tolerance = parse_double(key, value);
+      if (recipe.tolerance < 0.0) fail("tol=" + value + ": must be >= 0");
+    } else if (key == "starts") {
+      recipe.starts = parse_int(key, value);
+      if (recipe.starts < 1) fail("starts=" + value + ": must be >= 1");
+    } else if (key == "inner") {
+      check_strategy_name(key, value, /*allow_portfolio=*/false);
+      recipe.inner = value;
+    } else if (key == "cost") {
+      recipe.cost = value;
+    } else {
+      fail("unknown key '" + key +
+           "' (known: strategy iters max_seconds max_evals wd wa seed temp decay tol "
+           "starts inner cost)");
+    }
+  }
+  return recipe;
+}
+
+std::string Recipe::to_string() const {
+  // Emit a knob when the selected strategy reads it OR it was set away from
+  // its default — parse() accepts every knob regardless of strategy, so the
+  // round-trip contract (parse(to_string()) == *this) must not drop a
+  // carried value just because the current strategy ignores it.
+  static const Recipe defaults;
+  std::string out = "strategy=" + strategy + ";iters=" + std::to_string(iterations);
+  if (max_seconds > 0.0) out += ";max_seconds=" + format_number(max_seconds);
+  if (max_evals > 0) out += ";max_evals=" + std::to_string(max_evals);
+  const bool sa_knobs = strategy == "sa" || (strategy == "portfolio" && inner == "sa");
+  const bool greedy_knobs = strategy == "greedy" || (strategy == "portfolio" && inner == "greedy");
+  if (sa_knobs || initial_temperature != defaults.initial_temperature) {
+    out += ";temp=" + format_number(initial_temperature);
+  }
+  if (sa_knobs || decay != defaults.decay) out += ";decay=" + format_number(decay);
+  if (greedy_knobs || tolerance != defaults.tolerance) out += ";tol=" + format_number(tolerance);
+  if (strategy == "portfolio" || starts != defaults.starts) {
+    out += ";starts=" + std::to_string(starts);
+  }
+  if (strategy == "portfolio" || inner != defaults.inner) out += ";inner=" + inner;
+  out += ";wd=" + format_number(weight_delay) + ";wa=" + format_number(weight_area);
+  out += ";seed=" + std::to_string(seed);
+  out += ";cost=" + cost;
+  return out;
+}
+
+std::unique_ptr<Strategy> Recipe::make_strategy() const {
+  const auto make_single = [&](const std::string& kind) -> std::unique_ptr<Strategy> {
+    if (kind == "sa") {
+      SaParams params;
+      params.iterations = iterations;
+      params.initial_temperature = initial_temperature;
+      params.decay = decay;
+      params.weight_delay = weight_delay;
+      params.weight_area = weight_area;
+      params.seed = seed;
+      return std::make_unique<SaStrategy>(params);
+    }
+    if (kind == "greedy") {
+      GreedyParams params;
+      params.iterations = iterations;
+      params.tolerance = tolerance;
+      params.weight_delay = weight_delay;
+      params.weight_area = weight_area;
+      params.seed = seed;
+      return std::make_unique<GreedyStrategy>(params);
+    }
+    fail("unknown strategy '" + kind + "'");
+  };
+  if (strategy == "portfolio") {
+    PortfolioParams params;
+    params.starts = starts;
+    params.seed = seed;
+    return std::make_unique<PortfolioStrategy>(
+        std::shared_ptr<const Strategy>(make_single(inner)), params);
+  }
+  return make_single(strategy);
+}
+
+StopCondition Recipe::stop_condition() const {
+  StopCondition stop;
+  stop.max_iterations = iterations;
+  stop.max_seconds = max_seconds;
+  stop.max_evals = max_evals;
+  return stop;
+}
+
+OptResult run(const Recipe& recipe, const aig::Aig& initial, const CostContext& ctx,
+              Observer* observer) {
+  const std::unique_ptr<CostEvaluator> evaluator = make_cost(recipe.cost, ctx);
+  const std::unique_ptr<Strategy> strategy = recipe.make_strategy();
+  return strategy->run(initial, *evaluator, recipe.stop_condition(), observer);
+}
+
+OptResult run(const std::string& recipe_text, const aig::Aig& initial, const CostContext& ctx,
+              Observer* observer) {
+  return run(Recipe::parse(recipe_text), initial, ctx, observer);
+}
+
+}  // namespace aigml::opt

@@ -1,0 +1,79 @@
+#pragma once
+// Recipe — a declarative, round-trippable description of one optimization
+// run: which strategy, which budgets, which cost oracle.  The text grammar
+// is `key=value` pairs joined by ';':
+//
+//   strategy=sa|greedy|portfolio   (default sa)
+//   iters=N          iteration budget (per start for portfolio; default 200)
+//   max_seconds=X    wall-time budget, 0 = unlimited
+//   max_evals=N      evaluator-call budget, 0 = unlimited
+//   wd=X / wa=X      delay / area cost weights (default 1 / 0.5)
+//   seed=N           RNG seed (default 1)
+//   temp=X           SA initial temperature (default 0.08)
+//   decay=X          SA geometric temperature decay (default 0.97)
+//   tol=X            greedy plateau tolerance (default 0)
+//   starts=N         portfolio repetitions (default 3)
+//   inner=sa|greedy  portfolio inner strategy (default sa)
+//   cost=SPEC        cost spec (cost_spec.hpp grammar; default proxy)
+//
+// Example: `strategy=sa;iters=500;decay=0.97;cost=ml:models;wd=1;wa=0.5`.
+// parse() rejects unknown keys and malformed numbers with messages naming
+// the offending segment; to_string() emits a canonical form that parses
+// back to an identical Recipe (numbers print with shortest round-trip
+// precision).  opt::run(recipe, aig, ctx) is the single entry point that
+// executes one.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "opt/cost_spec.hpp"
+#include "opt/strategy.hpp"
+
+namespace aigml::opt {
+
+struct Recipe {
+  std::string strategy = "sa";  ///< sa | greedy | portfolio
+  int iterations = 200;
+  double max_seconds = 0.0;
+  std::uint64_t max_evals = 0;
+  double weight_delay = 1.0;
+  double weight_area = 0.5;
+  std::uint64_t seed = 1;
+  // SA knobs.
+  double initial_temperature = 0.08;
+  double decay = 0.97;
+  // Greedy knob.
+  double tolerance = 0.0;
+  // Portfolio knobs.
+  int starts = 3;
+  std::string inner = "sa";  ///< sa | greedy
+  // Evaluator.
+  std::string cost = "proxy";
+
+  /// Parses the grammar above; throws std::invalid_argument on unknown
+  /// keys, malformed numbers, or invalid strategy names.
+  [[nodiscard]] static Recipe parse(const std::string& text);
+
+  /// Canonical text form; parse(to_string()) == *this field-for-field.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Instantiates the configured strategy.
+  [[nodiscard]] std::unique_ptr<Strategy> make_strategy() const;
+
+  /// The unified budget this recipe requests.
+  [[nodiscard]] StopCondition stop_condition() const;
+
+  [[nodiscard]] bool operator==(const Recipe&) const = default;
+};
+
+/// Executes one recipe: builds the cost evaluator from `recipe.cost` and
+/// `ctx`, instantiates the strategy, and runs it to its budget.
+[[nodiscard]] OptResult run(const Recipe& recipe, const aig::Aig& initial,
+                            const CostContext& ctx, Observer* observer = nullptr);
+
+/// Convenience overload parsing `recipe_text` first.
+[[nodiscard]] OptResult run(const std::string& recipe_text, const aig::Aig& initial,
+                            const CostContext& ctx, Observer* observer = nullptr);
+
+}  // namespace aigml::opt

@@ -3,9 +3,38 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "util/timer.hpp"
-
 namespace aigml::opt {
+
+SaStrategy::SaStrategy(SaParams params) : params_(params) {
+  if (params_.decay <= 0.0 || params_.decay > 1.0) {
+    throw std::invalid_argument("SaStrategy: decay must be in (0, 1]");
+  }
+  if (params_.initial_temperature < 0.0) {
+    throw std::invalid_argument("SaStrategy: initial_temperature < 0");
+  }
+}
+
+OptResult SaStrategy::run(const aig::Aig& initial, CostEvaluator& evaluator,
+                          const StopCondition& stop, Observer* observer,
+                          const transforms::ScriptRegistry& registry) const {
+  detail::validate_stop(stop, "SaStrategy");
+  double temperature = params_.initial_temperature;
+  const auto accept = [&](double candidate_cost, double current_cost, Rng& rng) {
+    const double delta = candidate_cost - current_cost;
+    return delta < 0.0 ||
+           (temperature > 0.0 && rng.next_double() < std::exp(-delta / temperature));
+  };
+  const auto post_iteration = [&] { temperature *= params_.decay; };
+  return detail::search_loop(initial, evaluator, stop, observer, registry,
+                             params_.weight_delay, params_.weight_area, params_.seed, accept,
+                             post_iteration);
+}
+
+std::unique_ptr<Strategy> SaStrategy::reseeded(std::uint64_t seed) const {
+  SaParams params = params_;
+  params.seed = seed;
+  return std::make_unique<SaStrategy>(params);
+}
 
 SaResult simulated_annealing(const aig::Aig& initial, CostEvaluator& evaluator,
                              const SaParams& params, const transforms::ScriptRegistry& registry) {
@@ -13,61 +42,9 @@ SaResult simulated_annealing(const aig::Aig& initial, CostEvaluator& evaluator,
   if (params.decay <= 0.0 || params.decay > 1.0) {
     throw std::invalid_argument("simulated_annealing: decay must be in (0, 1]");
   }
-  Timer total_timer;
-  Rng rng(params.seed);
-
-  SaResult result;
-  result.initial_eval = evaluator.evaluate(initial);
-  const double delay0 = result.initial_eval.delay > 0 ? result.initial_eval.delay : 1.0;
-  const double area0 = result.initial_eval.area > 0 ? result.initial_eval.area : 1.0;
-  auto cost_of = [&](const QualityEval& q) {
-    return params.weight_delay * q.delay / delay0 + params.weight_area * q.area / area0;
-  };
-
-  aig::Aig current = initial;
-  double current_cost = cost_of(result.initial_eval);
-  result.best = initial;
-  result.best_eval = result.initial_eval;
-  result.best_cost = current_cost;
-
-  double temperature = params.initial_temperature;
-  result.history.reserve(static_cast<std::size_t>(params.iterations));
-
-  for (int iter = 0; iter < params.iterations; ++iter) {
-    IterationRecord record;
-    record.script_index = registry.random_index(rng);
-
-    Timer transform_timer;
-    aig::Aig candidate = registry.apply(record.script_index, current);
-    record.transform_seconds = transform_timer.elapsed_s();
-
-    const double eval_before = evaluator.eval_seconds();
-    const QualityEval q = evaluator.evaluate(candidate);
-    record.eval_seconds = evaluator.eval_seconds() - eval_before;
-
-    record.delay = q.delay;
-    record.area = q.area;
-    record.cost = cost_of(q);
-    const double delta = record.cost - current_cost;
-    const bool accept =
-        delta < 0.0 || (temperature > 0.0 && rng.next_double() < std::exp(-delta / temperature));
-    record.accepted = accept;
-    if (accept) {
-      current = std::move(candidate);
-      current_cost = record.cost;
-      if (record.cost < result.best_cost) {
-        result.best = current;
-        result.best_eval = q;
-        result.best_cost = record.cost;
-      }
-    }
-    temperature *= params.decay;
-    result.total_transform_seconds += record.transform_seconds;
-    result.total_eval_seconds += record.eval_seconds;
-    result.history.push_back(record);
-  }
-  result.total_seconds = total_timer.elapsed_s();
-  return result;
+  StopCondition stop;
+  stop.max_iterations = params.iterations;
+  return SaStrategy(params).run(initial, evaluator, stop, nullptr, registry);
 }
 
 }  // namespace aigml::opt

@@ -6,20 +6,17 @@
 // State: the current AIG.  Move: apply a uniformly random script from the
 // 103-script registry.  Cost: w_d * delay/delay_0 + w_a * area/area_0 with
 // (delay, area) supplied by a pluggable CostEvaluator — swapping the
-// evaluator switches between the baseline / ground-truth / ML flows without
-// touching the search.  Cost-increasing moves are accepted with probability
-// exp(-dCost / T); T decays geometrically.
+// evaluator switches between the baseline / ground-truth / ML / remote
+// flows without touching the search.  Cost-increasing moves are accepted
+// with probability exp(-dCost / T); T decays geometrically.
 //
-// Per-iteration wall-time is split into transform time and evaluation time,
-// which is exactly the decomposition reported in Fig. 2 and Table IV.
+// SaStrategy is the opt::Strategy implementation; the simulated_annealing
+// free function is the pre-Strategy entry point, kept as a thin wrapper
+// (bit-identical trajectories for a fixed seed).
 
 #include <cstdint>
-#include <vector>
 
-#include "aig/aig.hpp"
-#include "opt/cost.hpp"
-#include "transforms/scripts.hpp"
-#include "util/rng.hpp"
+#include "opt/strategy.hpp"
 
 namespace aigml::opt {
 
@@ -32,37 +29,29 @@ struct SaParams {
   std::uint64_t seed = 1;
 };
 
-struct IterationRecord {
-  std::size_t script_index = 0;
-  double delay = 0.0;     ///< evaluator units
-  double area = 0.0;
-  double cost = 0.0;      ///< normalized weighted cost
-  bool accepted = false;
-  double transform_seconds = 0.0;
-  double eval_seconds = 0.0;
+/// Pre-Strategy result name; OptResult is the universal shape.
+using SaResult = OptResult;
+
+class SaStrategy final : public Strategy {
+ public:
+  explicit SaStrategy(SaParams params);
+
+  [[nodiscard]] std::string name() const override { return "sa"; }
+  [[nodiscard]] OptResult run(
+      const aig::Aig& initial, CostEvaluator& evaluator, const StopCondition& stop,
+      Observer* observer = nullptr,
+      const transforms::ScriptRegistry& registry = transforms::script_registry()) const override;
+  [[nodiscard]] std::unique_ptr<Strategy> reseeded(std::uint64_t seed) const override;
+
+  [[nodiscard]] const SaParams& params() const noexcept { return params_; }
+
+ private:
+  SaParams params_;
 };
 
-struct SaResult {
-  aig::Aig best;                ///< lowest-cost AIG seen
-  QualityEval best_eval;        ///< its evaluator-units (delay, area)
-  double best_cost = 0.0;
-  QualityEval initial_eval;     ///< normalization basis
-  std::vector<IterationRecord> history;
-  double total_transform_seconds = 0.0;
-  double total_eval_seconds = 0.0;
-  double total_seconds = 0.0;
-
-  [[nodiscard]] double seconds_per_iteration() const {
-    return history.empty() ? 0.0 : total_seconds / static_cast<double>(history.size());
-  }
-  [[nodiscard]] std::size_t accepted_moves() const {
-    std::size_t n = 0;
-    for (const auto& r : history) n += r.accepted;
-    return n;
-  }
-};
-
-/// Runs SA from `initial` using `evaluator` for cost queries.
+/// Runs SA from `initial` using `evaluator` for cost queries
+/// (`params.iterations` is the only budget; see SaStrategy for wall-time /
+/// eval-count budgets).
 [[nodiscard]] SaResult simulated_annealing(
     const aig::Aig& initial, CostEvaluator& evaluator, const SaParams& params,
     const transforms::ScriptRegistry& registry = transforms::script_registry());

@@ -1,0 +1,127 @@
+#include "opt/strategy.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace aigml::opt {
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kIterations: return "iterations";
+    case StopReason::kWallTime: return "wall_time";
+    case StopReason::kEvalBudget: return "eval_budget";
+  }
+  return "unknown";
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index) {
+  // splitmix64 over a golden-ratio-spread offset: distinct indices map to
+  // well-separated streams, and index 0 never collides with the base seed.
+  std::uint64_t state = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  return splitmix64(state);
+}
+
+namespace detail {
+
+void validate_stop(const StopCondition& stop, const char* who) {
+  if (stop.max_iterations < 0) {
+    throw std::invalid_argument(std::string(who) + ": max_iterations < 0");
+  }
+  if (stop.max_seconds < 0.0) {
+    throw std::invalid_argument(std::string(who) + ": max_seconds < 0");
+  }
+  if (stop.max_iterations == 0 && stop.max_seconds == 0.0 && stop.max_evals == 0) {
+    throw std::invalid_argument(std::string(who) +
+                                ": no stopping condition (set max_iterations, "
+                                "max_seconds, or max_evals)");
+  }
+}
+
+OptResult search_loop(const aig::Aig& initial, CostEvaluator& evaluator,
+                      const StopCondition& stop, Observer* observer,
+                      const transforms::ScriptRegistry& registry, double weight_delay,
+                      double weight_area, std::uint64_t seed,
+                      const std::function<bool(double, double, Rng&)>& accept,
+                      const std::function<void()>& post_iteration) {
+  Timer total_timer;
+  Rng rng(seed);
+  // Snapshot the evaluator's cumulative clocks so shared evaluators report
+  // run-local deltas (the pre-Strategy sweep leaked earlier runs' time).
+  const double eval_seconds_before = evaluator.eval_seconds();
+  const std::uint64_t eval_count_before = evaluator.eval_count();
+
+  OptResult result;
+  result.initial_eval = evaluator.evaluate(initial);
+  const double delay0 = result.initial_eval.delay > 0 ? result.initial_eval.delay : 1.0;
+  const double area0 = result.initial_eval.area > 0 ? result.initial_eval.area : 1.0;
+  auto cost_of = [&](const QualityEval& q) {
+    return weight_delay * q.delay / delay0 + weight_area * q.area / area0;
+  };
+
+  aig::Aig current = initial;
+  double current_cost = cost_of(result.initial_eval);
+  result.initial_cost = current_cost;
+  result.best = initial;
+  result.best_eval = result.initial_eval;
+  result.best_cost = current_cost;
+  if (observer != nullptr) observer->on_start(initial, result.initial_eval, current_cost);
+  if (stop.max_iterations > 0) {
+    result.history.reserve(static_cast<std::size_t>(stop.max_iterations));
+  }
+
+  for (int iter = 0;; ++iter) {
+    if (stop.max_iterations > 0 && iter >= stop.max_iterations) {
+      result.stop_reason = StopReason::kIterations;
+      break;
+    }
+    if (stop.max_seconds > 0.0 && total_timer.elapsed_s() >= stop.max_seconds) {
+      result.stop_reason = StopReason::kWallTime;
+      break;
+    }
+    if (stop.max_evals > 0 && evaluator.eval_count() - eval_count_before >= stop.max_evals) {
+      result.stop_reason = StopReason::kEvalBudget;
+      break;
+    }
+
+    IterationRecord record;
+    record.script_index = registry.random_index(rng);
+
+    Timer transform_timer;
+    aig::Aig candidate = registry.apply(record.script_index, current);
+    record.transform_seconds = transform_timer.elapsed_s();
+
+    const double eval_before = evaluator.eval_seconds();
+    const QualityEval q = evaluator.evaluate(candidate);
+    record.eval_seconds = evaluator.eval_seconds() - eval_before;
+
+    record.delay = q.delay;
+    record.area = q.area;
+    record.cost = cost_of(q);
+    record.accepted = accept(record.cost, current_cost, rng);
+    if (record.accepted) {
+      current = std::move(candidate);
+      current_cost = record.cost;
+      if (record.cost < result.best_cost) {
+        result.best = current;
+        result.best_eval = q;
+        result.best_cost = record.cost;
+        if (observer != nullptr) observer->on_improvement(iter, q, record.cost);
+      }
+    }
+    post_iteration();
+    result.total_transform_seconds += record.transform_seconds;
+    result.history.push_back(record);
+    if (observer != nullptr) observer->on_iteration(iter, result.history.back());
+  }
+
+  result.total_eval_seconds = evaluator.eval_seconds() - eval_seconds_before;
+  result.eval_count = evaluator.eval_count() - eval_count_before;
+  result.total_seconds = total_timer.elapsed_s();
+  if (observer != nullptr) observer->on_finish(result);
+  return result;
+}
+
+}  // namespace detail
+
+}  // namespace aigml::opt

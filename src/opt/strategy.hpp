@@ -1,0 +1,139 @@
+#pragma once
+// Strategy — the uniform interface every optimization algorithm implements
+// (the paper fixes *one* search paradigm and swaps the reward oracle; this
+// header fixes one search *interface* and lets both the algorithm and the
+// oracle vary independently).
+//
+//   OptResult      shared result shape (best AIG, history, timing breakdown)
+//   StopCondition  unified budgets: iteration count, wall-time, eval count
+//   Observer       per-iteration progress callbacks (logging, live plots)
+//   Strategy       virtual run(initial, evaluator, stop, observer)
+//
+// Implementations: SaStrategy (sa.hpp), GreedyStrategy (greedy.hpp),
+// PortfolioStrategy (portfolio.hpp).  A recipe string selects and
+// configures one of them declaratively (recipe.hpp); opt::run executes it.
+//
+// Accounting contract: every OptResult reports *run-local* deltas of the
+// evaluator's cumulative clocks (eval_seconds / eval_count snapshots taken
+// at entry), so sharing one CostEvaluator across consecutive runs never
+// bleeds one run's evaluation time into the next run's report.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "opt/cost.hpp"
+#include "transforms/scripts.hpp"
+
+namespace aigml::opt {
+
+/// Unified optimization budgets.  A field of 0 means "unlimited"; at least
+/// one budget must be set or Strategy::run throws std::invalid_argument.
+/// Budgets are checked before each iteration: max_evals counts evaluator
+/// calls attributed to the run (the initial evaluation included), so a
+/// strategy never *starts* an iteration beyond the budget but may finish
+/// the one in flight.
+struct StopCondition {
+  int max_iterations = 0;
+  double max_seconds = 0.0;
+  std::uint64_t max_evals = 0;
+};
+
+enum class StopReason { kIterations, kWallTime, kEvalBudget };
+
+[[nodiscard]] const char* to_string(StopReason reason);
+
+struct IterationRecord {
+  std::size_t script_index = 0;
+  double delay = 0.0;  ///< evaluator units
+  double area = 0.0;
+  double cost = 0.0;  ///< normalized weighted cost
+  bool accepted = false;
+  double transform_seconds = 0.0;
+  double eval_seconds = 0.0;
+};
+
+/// The universal result shape of every strategy (SaResult is an alias kept
+/// for source compatibility with the pre-Strategy API).
+struct OptResult {
+  aig::Aig best;             ///< lowest-cost AIG seen
+  QualityEval best_eval;     ///< its evaluator-units (delay, area)
+  double best_cost = 0.0;
+  QualityEval initial_eval;  ///< normalization basis
+  double initial_cost = 0.0;  ///< normalized cost of `initial_eval` (the search's baseline)
+  std::vector<IterationRecord> history;
+  double total_transform_seconds = 0.0;
+  double total_eval_seconds = 0.0;  ///< run-local evaluator time, initial eval included
+  double total_seconds = 0.0;
+  std::uint64_t eval_count = 0;  ///< evaluator calls attributed to this run
+  StopReason stop_reason = StopReason::kIterations;
+
+  [[nodiscard]] double seconds_per_iteration() const {
+    return history.empty() ? 0.0 : total_seconds / static_cast<double>(history.size());
+  }
+  [[nodiscard]] std::size_t accepted_moves() const {
+    std::size_t n = 0;
+    for (const auto& r : history) n += r.accepted;
+    return n;
+  }
+};
+
+/// Progress callbacks.  All hooks default to no-ops; observers are borrowed
+/// (never owned) and called synchronously from the strategy's thread.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  virtual void on_start(const aig::Aig& /*initial*/, const QualityEval& /*initial_eval*/,
+                        double /*initial_cost*/) {}
+  virtual void on_iteration(int /*iteration*/, const IterationRecord& /*record*/) {}
+  /// Fires whenever a new global best is recorded.
+  virtual void on_improvement(int /*iteration*/, const QualityEval& /*best_eval*/,
+                              double /*best_cost*/) {}
+  virtual void on_finish(const OptResult& /*result*/) {}
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Optimizes `initial` under `evaluator` until a budget in `stop` expires.
+  /// `observer` may be nullptr.
+  [[nodiscard]] virtual OptResult run(
+      const aig::Aig& initial, CostEvaluator& evaluator, const StopCondition& stop,
+      Observer* observer = nullptr,
+      const transforms::ScriptRegistry& registry = transforms::script_registry()) const = 0;
+
+  /// A copy of this strategy with its RNG seed replaced — how multi-start
+  /// wrappers (PortfolioStrategy) derive independent repetitions.
+  [[nodiscard]] virtual std::unique_ptr<Strategy> reseeded(std::uint64_t seed) const = 0;
+};
+
+/// Deterministically derives the seed for repetition `index` of a
+/// multi-start run from the base `seed`.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index);
+
+namespace detail {
+
+/// Shared single-trajectory engine behind SaStrategy and GreedyStrategy:
+/// draw a random script, apply it, evaluate, accept or revert, track the
+/// best.  `accept` decides (candidate_cost, current_cost, rng) -> bool and
+/// `post_iteration` runs after each move (e.g. temperature decay).  The RNG
+/// draw order is exactly the pre-Strategy one, so fixed seeds reproduce
+/// legacy trajectories bit-identically.
+OptResult search_loop(const aig::Aig& initial, CostEvaluator& evaluator,
+                      const StopCondition& stop, Observer* observer,
+                      const transforms::ScriptRegistry& registry, double weight_delay,
+                      double weight_area, std::uint64_t seed,
+                      const std::function<bool(double, double, Rng&)>& accept,
+                      const std::function<void()>& post_iteration);
+
+void validate_stop(const StopCondition& stop, const char* who);
+
+}  // namespace detail
+
+}  // namespace aigml::opt

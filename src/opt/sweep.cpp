@@ -1,36 +1,62 @@
 #include "opt/sweep.hpp"
 
+#include <stdexcept>
+
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace aigml::opt {
 
-SweepResult sweep_flow(const aig::Aig& initial, CostEvaluator& evaluator,
-                       const cell::Library& lib, const SweepConfig& config) {
-  Timer total;
-  SweepResult result;
-  GroundTruthCost scorer(lib);
-  std::uint64_t seed = config.seed;
-  for (const WeightPair& weights : config.weight_pairs) {
-    for (const double decay : config.decays) {
-      SaParams params;
-      params.iterations = config.iterations;
-      params.initial_temperature = config.initial_temperature;
-      params.decay = decay;
-      params.weight_delay = weights.delay;
-      params.weight_area = weights.area;
-      params.seed = seed++;
-
-      SaResult sa = simulated_annealing(initial, evaluator, params);
-      SweepRun run;
-      run.params = params;
-      run.evaluator_claimed = sa.best_eval;
-      run.ground_truth = scorer.evaluate(sa.best);
-      run.seconds = sa.total_seconds;
-      run.transform_seconds = sa.total_transform_seconds;
-      run.eval_seconds = sa.total_eval_seconds;
-      result.runs.push_back(run);
+std::vector<Recipe> SweepConfig::to_recipes() const {
+  std::vector<Recipe> recipes;
+  recipes.reserve(weight_pairs.size() * decays.size());
+  std::uint64_t next_seed = seed;
+  for (const WeightPair& weights : weight_pairs) {
+    for (const double d : decays) {
+      Recipe recipe;
+      recipe.strategy = "sa";
+      recipe.iterations = iterations;
+      recipe.initial_temperature = initial_temperature;
+      recipe.decay = d;
+      recipe.weight_delay = weights.delay;
+      recipe.weight_area = weights.area;
+      recipe.seed = next_seed++;
+      recipe.cost = cost;
+      recipes.push_back(recipe);
     }
   }
+  return recipes;
+}
+
+SweepResult run_sweep(const aig::Aig& initial, std::span<const Recipe> recipes,
+                      const CostContext& ctx, int num_threads) {
+  if (ctx.library == nullptr) {
+    throw std::invalid_argument("run_sweep: CostContext::library is required "
+                                "(ground-truth re-scoring of every run)");
+  }
+  Timer total;
+  SweepResult result;
+  ThreadPool pool(num_threads);
+  result.runs = pool.parallel_map<SweepRun>(recipes.size(), [&](std::size_t i) {
+    const Recipe& recipe = recipes[i];
+    const std::unique_ptr<CostEvaluator> evaluator = make_cost(recipe.cost, ctx);
+    const std::unique_ptr<Strategy> strategy = recipe.make_strategy();
+    const OptResult r = strategy->run(initial, *evaluator, recipe.stop_condition());
+
+    // Ground-truth scoring happens inside the task: a private evaluator per
+    // run keeps the pass parallel and the accounting run-local.
+    GroundTruthCost scorer(*ctx.library);
+    SweepRun run;
+    run.recipe = recipe;
+    run.evaluator_claimed = r.best_eval;
+    run.ground_truth = scorer.evaluate(r.best);
+    run.seconds = r.total_seconds;
+    run.transform_seconds = r.total_transform_seconds;
+    run.eval_seconds = r.total_eval_seconds;
+    run.evals = r.eval_count;
+    return run;
+  });
+
   std::vector<ParetoPoint> points;
   points.reserve(result.runs.size());
   for (std::size_t i = 0; i < result.runs.size(); ++i) {

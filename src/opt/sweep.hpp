@@ -1,15 +1,20 @@
 #pragma once
-// Hyperparameter-sweep driver for Fig. 5: runs SA once per configuration
-// (cost-weight pair x temperature decay rate), then — regardless of which
-// evaluator guided the search — re-evaluates every final AIG with the
-// *ground-truth* map+STA metrics so the fronts of different flows are
-// directly comparable, exactly as the paper plots them.
+// Recipe-sweep driver for Fig. 5: runs one optimization per recipe, then —
+// regardless of which evaluator guided each search — re-evaluates every
+// final AIG with the *ground-truth* map+STA metrics so the fronts of
+// different flows are directly comparable, exactly as the paper plots them.
+//
+// Runs execute in parallel on util::ThreadPool (each recipe builds its own
+// evaluator from its cost spec, so nothing is shared between tasks — the
+// ground-truth re-scoring pass is part of each task and parallelizes with
+// it).  Results are committed in recipe order and every run is seeded by
+// its recipe, so serial and parallel sweeps are bit-identical.
 
+#include <span>
 #include <vector>
 
-#include "celllib/library.hpp"
 #include "opt/pareto.hpp"
-#include "opt/sa.hpp"
+#include "opt/recipe.hpp"
 
 namespace aigml::opt {
 
@@ -18,6 +23,10 @@ struct WeightPair {
   double area = 0.5;
 };
 
+/// Grid-expansion convenience: the paper's hyperparameter sweep (cost-weight
+/// pair x temperature decay rate) as a recipe list.  Seeds increment in
+/// grid order (weights outer, decays inner) from `seed`, matching the
+/// pre-recipe sweep driver.
 struct SweepConfig {
   std::vector<WeightPair> weight_pairs = {{1.0, 0.0}, {1.0, 0.25}, {1.0, 0.5},
                                           {1.0, 1.0}, {0.5, 1.0}, {0.25, 1.0}};
@@ -25,26 +34,32 @@ struct SweepConfig {
   int iterations = 150;
   double initial_temperature = 0.08;
   std::uint64_t seed = 7;
+  std::string cost = "proxy";  ///< cost spec shared by every grid point
+
+  [[nodiscard]] std::vector<Recipe> to_recipes() const;
 };
 
 struct SweepRun {
-  SaParams params;
+  Recipe recipe;
   QualityEval ground_truth;       ///< map+STA metrics of the final best AIG
   QualityEval evaluator_claimed;  ///< what the guiding evaluator believed
   double seconds = 0.0;
   double transform_seconds = 0.0;
-  double eval_seconds = 0.0;
+  double eval_seconds = 0.0;  ///< run-local (never includes other runs' time)
+  std::uint64_t evals = 0;
 };
 
 struct SweepResult {
-  std::vector<SweepRun> runs;
+  std::vector<SweepRun> runs;      ///< in recipe order
   std::vector<ParetoPoint> front;  ///< ground-truth Pareto front over runs
   double total_seconds = 0.0;
 };
 
-/// Runs the full grid.  `evaluator` guides the SA; `lib` supplies the final
-/// ground-truth scoring.
-[[nodiscard]] SweepResult sweep_flow(const aig::Aig& initial, CostEvaluator& evaluator,
-                                     const cell::Library& lib, const SweepConfig& config);
+/// Runs every recipe and scores each winner with ground-truth map+STA.
+/// `ctx.library` is required (it supplies the final scoring even when no
+/// recipe uses a "gt" cost).  `num_threads`: 1 = serial, 0 = the process
+/// default, N = exactly N workers; the result is identical for all values.
+[[nodiscard]] SweepResult run_sweep(const aig::Aig& initial, std::span<const Recipe> recipes,
+                                    const CostContext& ctx, int num_threads = 1);
 
 }  // namespace aigml::opt

@@ -1,0 +1,172 @@
+#include "util/args.hpp"
+
+#include <stdexcept>
+
+namespace aigml {
+
+ArgParser::ArgParser(std::string command) : command_(std::move(command)) {}
+
+ArgParser& ArgParser::positional(const std::string& name, const std::string& help,
+                                 bool required) {
+  if (required && !positionals_.empty() && !positionals_.back().required) {
+    throw std::logic_error(command_ + ": required positional '" + name +
+                           "' declared after an optional one");
+  }
+  positionals_.push_back({name, help, required, "", false});
+  return *this;
+}
+
+ArgParser& ArgParser::variadic(const std::string& name, const std::string& help) {
+  has_variadic_ = true;
+  variadic_name_ = name;
+  variadic_help_ = help;
+  return *this;
+}
+
+ArgParser& ArgParser::option(const std::string& name, const std::string& value_name,
+                             const std::string& help, const std::string& default_value) {
+  options_.push_back({name, value_name, help, default_value, false, false});
+  return *this;
+}
+
+ArgParser& ArgParser::flag(const std::string& name, const std::string& help) {
+  options_.push_back({name, "", help, "", true, false});
+  return *this;
+}
+
+void ArgParser::fail(const std::string& why) const {
+  throw std::runtime_error(command_ + ": " + why);
+}
+
+ArgParser::Option* ArgParser::find_option(const std::string& name) {
+  for (auto& o : options_) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+const ArgParser::Option* ArgParser::find_option(const std::string& name) const {
+  for (const auto& o : options_) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+const ArgParser::Positional* ArgParser::find_positional(const std::string& name) const {
+  for (const auto& p : positionals_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+void ArgParser::parse(int argc, char** argv, int first) {
+  std::size_t next_positional = 0;
+  for (int i = first; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::size_t eq = token.find('=');
+      const std::string name = token.substr(2, eq == std::string::npos ? eq : eq - 2);
+      Option* opt = find_option(name);
+      if (opt == nullptr) fail("unknown option --" + name);
+      opt->set = true;
+      if (opt->is_flag) {
+        if (eq != std::string::npos) fail("--" + name + " takes no value");
+        continue;
+      }
+      if (eq != std::string::npos) {
+        opt->value = token.substr(eq + 1);
+      } else {
+        if (i + 1 >= argc) fail("--" + name + " requires a value");
+        opt->value = argv[++i];
+      }
+      continue;
+    }
+    if (next_positional < positionals_.size()) {
+      positionals_[next_positional].value = token;
+      positionals_[next_positional].set = true;
+      ++next_positional;
+    } else if (has_variadic_) {
+      rest_.push_back(token);
+    } else {
+      fail("unexpected argument '" + token + "'");
+    }
+  }
+  for (const auto& p : positionals_) {
+    if (p.required && !p.set) fail("missing required argument <" + p.name + ">");
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  if (const Option* opt = find_option(name)) return opt->set;
+  if (const Positional* pos = find_positional(name)) return pos->set;
+  return false;
+}
+
+const std::string& ArgParser::get(const std::string& name) const {
+  if (const Option* opt = find_option(name)) return opt->value;
+  if (const Positional* pos = find_positional(name)) {
+    if (!pos->set) fail("missing argument <" + name + ">");
+    return pos->value;
+  }
+  fail("internal: undeclared argument '" + name + "'");
+}
+
+int ArgParser::get_int(const std::string& name) const {
+  const std::string& text = get(name);
+  std::size_t used = 0;
+  int value = 0;
+  try {
+    value = std::stoi(text, &used);
+  } catch (const std::exception&) {
+    fail(name + ": '" + text + "' is not an integer");
+  }
+  if (used != text.size()) fail(name + ": '" + text + "' is not an integer");
+  return value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string& text = get(name);
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    fail(name + ": '" + text + "' is not a number");
+  }
+  if (used != text.size()) fail(name + ": '" + text + "' is not a number");
+  return value;
+}
+
+std::uint16_t ArgParser::get_port(const std::string& name) const {
+  const int port = get_int(name);
+  if (port < 1 || port > 65535) {
+    fail(name + ": port " + std::to_string(port) + " out of range 1..65535");
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+std::string ArgParser::usage_line() const {
+  std::string line = command_;
+  for (const auto& p : positionals_) {
+    line += p.required ? " <" + p.name + ">" : " [" + p.name + "]";
+  }
+  if (has_variadic_) line += " [" + variadic_name_ + " ...]";
+  for (const auto& o : options_) {
+    line += o.is_flag ? " [--" + o.name + "]" : " [--" + o.name + " " + o.value_name + "]";
+  }
+  return line;
+}
+
+std::string ArgParser::options_help() const {
+  std::string text;
+  for (const auto& o : options_) {
+    std::string head = "--" + o.name + (o.is_flag ? "" : " " + o.value_name);
+    if (head.size() < 18) head.resize(18, ' ');
+    text += "    " + head + " " + o.help;
+    if (!o.is_flag && !o.value.empty() && !o.set) text += " (default: " + o.value + ")";
+    text += "\n";
+  }
+  return text;
+}
+
+}  // namespace aigml

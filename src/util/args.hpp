@@ -1,0 +1,83 @@
+#pragma once
+// Declarative argv parser for the aigml CLI subcommands.  Each command
+// declares its positionals, options (--name VALUE or --name=VALUE), and
+// boolean flags once; parsing then gives typed lookup with validation, and
+// the same declarations render the usage text — so the flag list printed by
+// `aigml` can never drift from what a command actually accepts.
+//
+// Errors (unknown option, missing value, missing required positional,
+// malformed number) throw std::runtime_error with a message naming the
+// command and the offending token; the CLI's top-level handler turns that
+// into `aigml: <message>` and exit 1.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aigml {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string command);
+
+  /// Declares the next positional argument.  Optional positionals must
+  /// follow required ones.
+  ArgParser& positional(const std::string& name, const std::string& help, bool required = true);
+  /// Declares a trailing variadic positional (zero or more values,
+  /// collected after all declared positionals are filled).
+  ArgParser& variadic(const std::string& name, const std::string& help);
+  /// Declares a value-carrying option (`--name VALUE` / `--name=VALUE`).
+  ArgParser& option(const std::string& name, const std::string& value_name,
+                    const std::string& help, const std::string& default_value = "");
+  /// Declares a boolean flag (`--name`).
+  ArgParser& flag(const std::string& name, const std::string& help);
+
+  /// Parses argv[first..argc).  Tokens starting with "--" must match a
+  /// declared option/flag; everything else fills positionals in order.
+  void parse(int argc, char** argv, int first = 2);
+
+  /// True when the option/flag/positional was given explicitly.
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Value of an option (its default when unset) or positional.  Throws on
+  /// an unset positional or undeclared name.
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+  [[nodiscard]] int get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  /// Port in 1..65535 (a silent uint16 truncation would bind the wrong port).
+  [[nodiscard]] std::uint16_t get_port(const std::string& name) const;
+  /// Values collected by the variadic positional.
+  [[nodiscard]] const std::vector<std::string>& rest() const noexcept { return rest_; }
+
+  [[nodiscard]] const std::string& command() const noexcept { return command_; }
+  /// One-line synopsis: "opt <in.aag> [script] [--recipe R] ...".
+  [[nodiscard]] std::string usage_line() const;
+  /// Indented per-option help lines ("" when the command has no options).
+  [[nodiscard]] std::string options_help() const;
+
+ private:
+  struct Positional {
+    std::string name, help;
+    bool required = true;
+    std::string value;
+    bool set = false;
+  };
+  struct Option {
+    std::string name, value_name, help, value;
+    bool is_flag = false;
+    bool set = false;
+  };
+
+  [[noreturn]] void fail(const std::string& why) const;
+  [[nodiscard]] Option* find_option(const std::string& name);
+  [[nodiscard]] const Option* find_option(const std::string& name) const;
+  [[nodiscard]] const Positional* find_positional(const std::string& name) const;
+
+  std::string command_;
+  std::vector<Positional> positionals_;
+  std::vector<Option> options_;
+  std::string variadic_name_, variadic_help_;
+  bool has_variadic_ = false;
+  std::vector<std::string> rest_;
+};
+
+}  // namespace aigml

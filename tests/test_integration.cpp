@@ -117,10 +117,11 @@ TEST(Integration, SweepFrontsAreMutuallyConsistent) {
   config.weight_pairs = {{1.0, 0.2}, {0.4, 1.0}};
   config.decays = {0.95};
 
-  opt::ProxyCost proxy;
-  const auto base = opt::sweep_flow(design, proxy, lib, config);
-  opt::GroundTruthCost gt(lib);
-  const auto truth = opt::sweep_flow(design, gt, lib, config);
+  opt::CostContext ctx;
+  ctx.library = &lib;
+  const auto base = opt::run_sweep(design, config.to_recipes(), ctx);
+  config.cost = "gt";
+  const auto truth = opt::run_sweep(design, config.to_recipes(), ctx);
 
   int gt_dominated = 0;
   for (const auto& p : truth.front) {

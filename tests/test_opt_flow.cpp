@@ -187,19 +187,22 @@ TEST(Pareto, DelayAtArea) {
 // ---- sweep -----------------------------------------------------------------------
 
 TEST(Sweep, ProducesGroundTruthFront) {
-  opt::ProxyCost proxy;
   const Aig g = gen::build_design("EX68");
   opt::SweepConfig config;
   config.weight_pairs = {{1.0, 0.0}, {1.0, 1.0}};
   config.decays = {0.95};
   config.iterations = 10;
-  const auto result = opt::sweep_flow(g, proxy, mini_sky130(), config);
+  opt::CostContext ctx;
+  ctx.library = &mini_sky130();
+  const auto result = opt::run_sweep(g, config.to_recipes(), ctx);
   ASSERT_EQ(result.runs.size(), 2u);
   EXPECT_FALSE(result.front.empty());
   for (const auto& run : result.runs) {
     EXPECT_GT(run.ground_truth.delay, 0.0);
     EXPECT_GT(run.ground_truth.area, 0.0);
     EXPECT_GT(run.seconds, 0.0);
+    EXPECT_EQ(run.recipe.cost, "proxy");
+    EXPECT_GT(run.evals, 0u);
   }
   // Front points reference existing runs.
   for (const auto& p : result.front) {

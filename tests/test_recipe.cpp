@@ -1,0 +1,504 @@
+// Tests for the Strategy + Recipe optimization API: recipe parsing and
+// round-tripping, cost-spec factories (including the serve-backed remote
+// evaluator), bit-identical equivalence with the legacy free functions,
+// unified budgets, observer callbacks, portfolio multi-start, run-local
+// evaluator accounting, and serial-vs-parallel sweep determinism.
+
+#include <gtest/gtest.h>
+
+#include "aig/analysis.hpp"
+#include "features/features.hpp"
+#include "gen/circuits.hpp"
+#include "gen/designs.hpp"
+#include "ml/gbdt.hpp"
+#include "opt/cost_spec.hpp"
+#include "opt/greedy.hpp"
+#include "opt/portfolio.hpp"
+#include "opt/recipe.hpp"
+#include "opt/sa.hpp"
+#include "opt/sweep.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "transforms/scripts.hpp"
+#include "util/rng.hpp"
+
+namespace aigml {
+namespace {
+
+using aig::Aig;
+using cell::mini_sky130;
+
+// ---- recipe grammar --------------------------------------------------------------
+
+TEST(Recipe, ParseDefaults) {
+  const auto r = opt::Recipe::parse("");
+  EXPECT_EQ(r.strategy, "sa");
+  EXPECT_EQ(r.iterations, 200);
+  EXPECT_EQ(r.cost, "proxy");
+  EXPECT_DOUBLE_EQ(r.weight_delay, 1.0);
+  EXPECT_DOUBLE_EQ(r.weight_area, 0.5);
+  EXPECT_EQ(r.seed, 1u);
+  EXPECT_DOUBLE_EQ(r.initial_temperature, 0.08);
+  EXPECT_DOUBLE_EQ(r.decay, 0.97);
+}
+
+TEST(Recipe, ParseAllKeys) {
+  const auto r = opt::Recipe::parse(
+      "strategy=portfolio;iters=42;max_seconds=1.5;max_evals=99;wd=2;wa=0.25;seed=7;"
+      "temp=0.1;decay=0.9;tol=0.02;starts=5;inner=greedy;cost=ml:models");
+  EXPECT_EQ(r.strategy, "portfolio");
+  EXPECT_EQ(r.iterations, 42);
+  EXPECT_DOUBLE_EQ(r.max_seconds, 1.5);
+  EXPECT_EQ(r.max_evals, 99u);
+  EXPECT_DOUBLE_EQ(r.weight_delay, 2.0);
+  EXPECT_DOUBLE_EQ(r.weight_area, 0.25);
+  EXPECT_EQ(r.seed, 7u);
+  EXPECT_DOUBLE_EQ(r.initial_temperature, 0.1);
+  EXPECT_DOUBLE_EQ(r.decay, 0.9);
+  EXPECT_DOUBLE_EQ(r.tolerance, 0.02);
+  EXPECT_EQ(r.starts, 5);
+  EXPECT_EQ(r.inner, "greedy");
+  EXPECT_EQ(r.cost, "ml:models");
+}
+
+TEST(Recipe, ParseToleratesEmptySegmentsAndCostColons) {
+  const auto r = opt::Recipe::parse(";;strategy=sa;;cost=serve:127.0.0.1:9000;;");
+  EXPECT_EQ(r.strategy, "sa");
+  EXPECT_EQ(r.cost, "serve:127.0.0.1:9000");
+}
+
+/// Malformed recipes throw invalid_argument whose message names the
+/// offending segment (actionable, not just "parse error").
+TEST(Recipe, ParseErrorsAreActionable) {
+  const auto expect_throw_with = [](const std::string& text, const std::string& needle) {
+    try {
+      (void)opt::Recipe::parse(text);
+      FAIL() << "no exception for '" << text << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+  };
+  expect_throw_with("bogus=1", "unknown key 'bogus'");
+  expect_throw_with("iters=abc", "not an integer");
+  expect_throw_with("iters=12x", "trailing garbage");
+  expect_throw_with("iters=0", "must be >= 1");
+  expect_throw_with("decay=1.5", "must be in (0, 1]");
+  expect_throw_with("decay=0", "must be in (0, 1]");
+  expect_throw_with("strategy=genetic", "expected sa | greedy | portfolio");
+  expect_throw_with("inner=portfolio", "expected sa | greedy");
+  expect_throw_with("wd=", "empty value");
+  expect_throw_with("justakey", "not key=value");
+  expect_throw_with("tol=-0.1", "must be >= 0");
+  expect_throw_with("starts=0", "must be >= 1");
+}
+
+TEST(Recipe, ToStringRoundTrips) {
+  for (const char* text : {
+           "",
+           "strategy=sa;iters=17;temp=0.1;decay=0.93;wd=1;wa=0.3;seed=9;cost=gt",
+           "strategy=greedy;iters=5;tol=0.015;cost=ml:some/dir",
+           "strategy=portfolio;starts=4;inner=greedy;tol=0.1;max_evals=1000",
+           "max_seconds=2.5;wd=0.1;wa=0.333333333333333314829616256247",
+           "cost=serve:localhost:1234:delay,area",
+           // Knobs the selected strategy ignores still round-trip.
+           "strategy=greedy;temp=0.5;decay=0.5;starts=7",
+           "strategy=sa;tol=0.25;inner=greedy",
+       }) {
+    const auto r = opt::Recipe::parse(text);
+    const auto round = opt::Recipe::parse(r.to_string());
+    EXPECT_EQ(r, round) << "round trip changed '" << text << "' via '" << r.to_string() << "'";
+  }
+}
+
+TEST(Recipe, ToStringIsCanonical) {
+  const auto r = opt::Recipe::parse("iters=30;cost=proxy;seed=5");
+  EXPECT_EQ(r.to_string(),
+            "strategy=sa;iters=30;temp=0.08;decay=0.97;wd=1;wa=0.5;seed=5;cost=proxy");
+}
+
+// ---- cost specs ------------------------------------------------------------------
+
+TEST(CostSpec, FactoryBuildsEachFlavor) {
+  opt::CostContext ctx;
+  EXPECT_EQ(opt::make_cost("proxy", ctx)->name(), "proxy");
+  ctx.library = &mini_sky130();
+  EXPECT_EQ(opt::make_cost("gt", ctx)->name(), "ground-truth");
+  EXPECT_EQ(opt::make_cost("truth", ctx)->name(), "ground-truth");
+
+  // In-memory ML models via the context.
+  ml::Dataset data(features::feature_names());
+  const Aig g = gen::parity_tree(5);
+  const auto f = features::extract(g);
+  for (int i = 0; i < 8; ++i) data.append(f, 10.0, "x");
+  ml::GbdtParams p;
+  p.num_trees = 2;
+  auto model = std::make_shared<const ml::GbdtModel>(ml::GbdtModel::train(data, p));
+  ctx.delay_model = model;
+  ctx.area_model = model;
+  EXPECT_EQ(opt::make_cost("ml", ctx)->name(), "ml");
+}
+
+TEST(CostSpec, ErrorsAreActionable) {
+  const auto expect_throw_with = [](const std::string& spec, const opt::CostContext& ctx,
+                                    const std::string& needle) {
+    try {
+      (void)opt::make_cost(spec, ctx);
+      FAIL() << "no exception for '" << spec << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+  };
+  opt::CostContext empty;
+  expect_throw_with("gt", empty, "needs a cell library");
+  expect_throw_with("ml", empty, "needs in-memory models");
+  expect_throw_with("ml:/nonexistent/dir", empty, "delay.gbdt");
+  expect_throw_with("serve:", empty, "expected serve:<host>:<port>");
+  expect_throw_with("serve:localhost", empty, "expected serve:<host>:<port>");
+  expect_throw_with("serve:localhost:", empty, "missing port");
+  expect_throw_with("serve:localhost:99999", empty, "out of range");
+  expect_throw_with("serve:localhost:abc", empty, "not a port number");
+  expect_throw_with("serve:localhost:7000:,", empty, "empty model name");
+  expect_throw_with("mystery", empty, "unknown evaluator");
+  // Nothing listens on port 1: the factory reports the unreachable server
+  // and how to start one.
+  expect_throw_with("serve:127.0.0.1:1", empty, "cannot reach server");
+}
+
+// ---- equivalence with the legacy entry points ------------------------------------
+
+void expect_same_trajectory(const opt::OptResult& a, const opt::OptResult& b) {
+  EXPECT_EQ(a.best.structural_hash(), b.best.structural_hash());
+  EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+  EXPECT_DOUBLE_EQ(a.best_eval.delay, b.best_eval.delay);
+  EXPECT_DOUBLE_EQ(a.best_eval.area, b.best_eval.area);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].script_index, b.history[i].script_index) << "iteration " << i;
+    EXPECT_DOUBLE_EQ(a.history[i].cost, b.history[i].cost) << "iteration " << i;
+    EXPECT_EQ(a.history[i].accepted, b.history[i].accepted) << "iteration " << i;
+  }
+}
+
+TEST(RecipeEquivalence, SaMatchesLegacyBitIdentically) {
+  const Aig g = gen::build_design("EX68");
+  opt::CostContext ctx;
+  ctx.library = &mini_sky130();
+  for (const std::uint64_t seed : {3ULL, 11ULL}) {
+    opt::SaParams params;
+    params.iterations = 25;
+    params.seed = seed;
+    params.weight_delay = 1.0;
+    params.weight_area = 0.4;
+    opt::ProxyCost proxy;
+    const auto legacy = opt::simulated_annealing(g, proxy, params);
+
+    const auto recipe = opt::Recipe::parse("strategy=sa;iters=25;wd=1;wa=0.4;seed=" +
+                                           std::to_string(seed) + ";cost=proxy");
+    const auto modern = opt::run(recipe, g, ctx);
+    expect_same_trajectory(legacy, modern);
+  }
+}
+
+TEST(RecipeEquivalence, SaMatchesLegacyUnderGroundTruthCost) {
+  const Aig g = gen::build_design("EX68");
+  opt::CostContext ctx;
+  ctx.library = &mini_sky130();
+  opt::SaParams params;
+  params.iterations = 8;
+  params.seed = 21;
+  opt::GroundTruthCost gt(mini_sky130());
+  const auto legacy = opt::simulated_annealing(g, gt, params);
+  const auto modern = opt::run("strategy=sa;iters=8;seed=21;cost=gt", g, ctx);
+  expect_same_trajectory(legacy, modern);
+}
+
+TEST(RecipeEquivalence, GreedyMatchesLegacyBitIdentically) {
+  const Aig g = gen::build_design("EX00");
+  opt::CostContext ctx;
+  ctx.library = &mini_sky130();
+  for (const std::uint64_t seed : {5ULL, 17ULL}) {
+    opt::GreedyParams params;
+    params.iterations = 25;
+    params.tolerance = 0.01;
+    params.seed = seed;
+    opt::ProxyCost proxy;
+    const auto legacy = opt::greedy_descent(g, proxy, params);
+
+    const auto modern = opt::run("strategy=greedy;iters=25;tol=0.01;seed=" +
+                                     std::to_string(seed) + ";cost=proxy",
+                                 g, ctx);
+    expect_same_trajectory(legacy, modern);
+  }
+}
+
+// ---- budgets, observers, accounting ----------------------------------------------
+
+TEST(Strategy, EvalBudgetStopsTheRun) {
+  const Aig g = gen::build_design("EX00");
+  opt::CostContext ctx;
+  const auto result = opt::run("strategy=sa;iters=1000;max_evals=10;cost=proxy", g, ctx);
+  EXPECT_EQ(result.eval_count, 10u);  // initial eval + 9 iterations
+  EXPECT_EQ(result.history.size(), 9u);
+  EXPECT_EQ(result.stop_reason, opt::StopReason::kEvalBudget);
+}
+
+TEST(Strategy, NoBudgetThrows) {
+  opt::ProxyCost proxy;
+  const Aig g = gen::parity_tree(4);
+  opt::SaParams params;
+  const opt::SaStrategy strategy(params);
+  opt::StopCondition stop;  // everything unlimited
+  EXPECT_THROW((void)strategy.run(g, proxy, stop), std::invalid_argument);
+  stop.max_iterations = -1;
+  EXPECT_THROW((void)strategy.run(g, proxy, stop), std::invalid_argument);
+}
+
+TEST(Strategy, WallTimeBudgetReported) {
+  opt::ProxyCost proxy;
+  const Aig g = gen::build_design("EX00");
+  opt::SaParams params;
+  const opt::SaStrategy strategy(params);
+  opt::StopCondition stop;
+  stop.max_seconds = 1e-9;  // expires before the first iteration
+  const auto result = strategy.run(g, proxy, stop);
+  EXPECT_TRUE(result.history.empty());
+  EXPECT_EQ(result.stop_reason, opt::StopReason::kWallTime);
+  // The initial evaluation still defines best/initial.
+  EXPECT_DOUBLE_EQ(result.best_cost, params.weight_delay + params.weight_area);
+}
+
+/// Consecutive runs sharing one evaluator each report run-local accounting
+/// (the pre-Strategy sweep leaked run N's eval time into run N+1's report).
+TEST(Strategy, AccountingIsRunLocalAcrossSharedEvaluator) {
+  opt::ProxyCost shared;
+  const Aig g = gen::build_design("EX00");
+  opt::SaParams params;
+  params.iterations = 10;
+  opt::StopCondition stop;
+  stop.max_iterations = 10;
+  const opt::SaStrategy strategy(params);
+  const auto first = strategy.run(g, shared, stop);
+  const auto second = strategy.run(g, shared, stop);
+  EXPECT_EQ(first.eval_count, 11u);   // initial + 10 iterations
+  EXPECT_EQ(second.eval_count, 11u);  // not 22: deltas, not cumulative totals
+  EXPECT_EQ(shared.eval_count(), 22u);
+  EXPECT_LE(second.total_eval_seconds, shared.eval_seconds());
+  EXPECT_GE(second.total_eval_seconds, 0.0);
+}
+
+/// Counts callbacks and checks improvements are monotone decreasing with
+/// on_finish landing on the final best — the contract both single
+/// strategies and portfolios must satisfy.
+struct CountingObserver final : opt::Observer {
+  int starts = 0, iterations = 0, improvements = 0, finishes = 0;
+  double last_best = 0.0;
+  void on_start(const Aig&, const opt::QualityEval&, double cost) override {
+    ++starts;
+    last_best = cost;
+  }
+  void on_iteration(int, const opt::IterationRecord&) override { ++iterations; }
+  void on_improvement(int, const opt::QualityEval&, double cost) override {
+    ++improvements;
+    EXPECT_LT(cost, last_best);
+    last_best = cost;
+  }
+  void on_finish(const opt::OptResult& result) override {
+    ++finishes;
+    EXPECT_DOUBLE_EQ(result.best_cost, last_best);
+  }
+};
+
+TEST(Strategy, ObserverSeesEveryIteration) {
+  CountingObserver observer;
+  const Aig g = gen::multiplier(5);
+  opt::CostContext ctx;
+  const auto result =
+      opt::run(opt::Recipe::parse("strategy=sa;iters=20;seed=5;cost=proxy"), g, ctx, &observer);
+  EXPECT_EQ(observer.starts, 1);
+  EXPECT_EQ(observer.finishes, 1);
+  EXPECT_EQ(observer.iterations, static_cast<int>(result.history.size()));
+  EXPECT_GE(observer.improvements, 1);
+  EXPECT_LE(observer.improvements, static_cast<int>(result.accepted_moves()));
+  EXPECT_DOUBLE_EQ(result.initial_cost, 1.5);  // wd + wa of a fresh evaluation
+}
+
+// ---- portfolio -------------------------------------------------------------------
+
+TEST(Portfolio, KeepsBestStartAndConcatenatesHistory) {
+  const Aig g = gen::build_design("EX68");
+  opt::CostContext ctx;
+  const auto recipe = opt::Recipe::parse("strategy=portfolio;starts=3;iters=12;seed=9");
+  const auto result = opt::run(recipe, g, ctx);
+  EXPECT_EQ(result.history.size(), 3u * 12u);
+  EXPECT_EQ(result.eval_count, 3u * 13u);
+  EXPECT_EQ(result.stop_reason, opt::StopReason::kIterations);
+
+  // The portfolio's best can never be worse than its own first start.
+  opt::ProxyCost proxy;
+  opt::SaParams start0;
+  start0.iterations = 12;
+  start0.seed = opt::derive_seed(9, 0);
+  const auto single = opt::simulated_annealing(g, proxy, start0);
+  EXPECT_LE(result.best_cost, single.best_cost + 1e-12);
+
+  // Deterministic: rerunning reproduces the identical result.
+  const auto again = opt::run(recipe, g, ctx);
+  EXPECT_EQ(result.best.structural_hash(), again.best.structural_hash());
+  EXPECT_DOUBLE_EQ(result.best_cost, again.best_cost);
+}
+
+TEST(Portfolio, ObserverSeesOneRunWithGlobalImprovements) {
+  CountingObserver observer;
+  const Aig g = gen::build_design("EX68");
+  opt::CostContext ctx;
+  const auto result = opt::run(
+      opt::Recipe::parse("strategy=portfolio;starts=3;iters=12;seed=9"), g, ctx, &observer);
+  // One logical run: a single start/finish pair, iterations spanning every
+  // start, and improvements that only ever lower the *global* best (the
+  // CountingObserver asserts monotonicity internally).
+  EXPECT_EQ(observer.starts, 1);
+  EXPECT_EQ(observer.finishes, 1);
+  EXPECT_EQ(observer.iterations, static_cast<int>(result.history.size()));
+  EXPECT_DOUBLE_EQ(result.initial_cost, 1.5);
+}
+
+TEST(Portfolio, SharedEvalBudgetSpansStarts) {
+  const Aig g = gen::build_design("EX00");
+  opt::CostContext ctx;
+  const auto result =
+      opt::run("strategy=portfolio;starts=4;iters=10;max_evals=18;cost=proxy", g, ctx);
+  EXPECT_EQ(result.eval_count, 18u);  // start 0: 11 evals; start 1 truncated at 7
+  EXPECT_EQ(result.stop_reason, opt::StopReason::kEvalBudget);
+}
+
+// ---- sweep -----------------------------------------------------------------------
+
+TEST(Sweep, ParallelMatchesSerialBitIdentically) {
+  const Aig g = gen::build_design("EX68");
+  opt::SweepConfig config;
+  config.weight_pairs = {{1.0, 0.0}, {1.0, 0.5}, {0.5, 1.0}};
+  config.decays = {0.93, 0.97};
+  config.iterations = 8;
+  opt::CostContext ctx;
+  ctx.library = &mini_sky130();
+  const auto recipes = config.to_recipes();
+  ASSERT_EQ(recipes.size(), 6u);
+
+  const auto serial = opt::run_sweep(g, recipes, ctx, 1);
+  const auto parallel = opt::run_sweep(g, recipes, ctx, 4);
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_EQ(serial.runs[i].recipe, parallel.runs[i].recipe);
+    EXPECT_DOUBLE_EQ(serial.runs[i].ground_truth.delay, parallel.runs[i].ground_truth.delay);
+    EXPECT_DOUBLE_EQ(serial.runs[i].ground_truth.area, parallel.runs[i].ground_truth.area);
+    EXPECT_DOUBLE_EQ(serial.runs[i].evaluator_claimed.delay,
+                     parallel.runs[i].evaluator_claimed.delay);
+    EXPECT_EQ(serial.runs[i].evals, parallel.runs[i].evals);
+  }
+  ASSERT_EQ(serial.front.size(), parallel.front.size());
+  for (std::size_t i = 0; i < serial.front.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.front[i].delay, parallel.front[i].delay);
+    EXPECT_DOUBLE_EQ(serial.front[i].area, parallel.front[i].area);
+    EXPECT_EQ(serial.front[i].origin, parallel.front[i].origin);
+  }
+}
+
+TEST(Sweep, SeedsMatchLegacyGridOrder) {
+  opt::SweepConfig config;
+  config.weight_pairs = {{1.0, 0.0}, {0.5, 1.0}};
+  config.decays = {0.92, 0.97};
+  config.seed = 7;
+  const auto recipes = config.to_recipes();
+  ASSERT_EQ(recipes.size(), 4u);
+  // Weights outer, decays inner, seed incrementing — the pre-recipe driver.
+  EXPECT_EQ(recipes[0].seed, 7u);
+  EXPECT_DOUBLE_EQ(recipes[0].decay, 0.92);
+  EXPECT_EQ(recipes[1].seed, 8u);
+  EXPECT_DOUBLE_EQ(recipes[1].decay, 0.97);
+  EXPECT_DOUBLE_EQ(recipes[2].weight_delay, 0.5);
+  EXPECT_EQ(recipes[3].seed, 10u);
+}
+
+TEST(Sweep, RequiresLibrary) {
+  const Aig g = gen::parity_tree(4);
+  opt::CostContext ctx;  // no library
+  const auto recipes = opt::SweepConfig{}.to_recipes();
+  EXPECT_THROW((void)opt::run_sweep(g, recipes, ctx), std::invalid_argument);
+}
+
+// ---- the serve-backed remote evaluator -------------------------------------------
+
+/// Small GBDT mapping features to (levels + noise)-style labels, served
+/// under both model names the remote evaluator queries.
+ml::GbdtModel train_tiny_model(std::uint64_t seed) {
+  const Aig base = gen::multiplier(4);
+  const auto& scripts = transforms::script_registry();
+  Rng rng(seed);
+  ml::Dataset data(features::feature_names());
+  for (int i = 0; i < 16; ++i) {
+    const Aig variant = scripts.apply(scripts.random_index(rng), base);
+    data.append(features::extract(variant),
+                static_cast<double>(aig::aig_level(variant)) +
+                    0.1 * static_cast<double>(rng.next_below(10)),
+                "fx");
+  }
+  ml::GbdtParams params;
+  params.num_trees = 20;
+  params.max_depth = 3;
+  params.seed = seed;
+  return ml::GbdtModel::train(data, params);
+}
+
+TEST(RemoteCost, ServeCostDrivesOptimizationBitIdenticallyToLocalMl) {
+  serve::ModelRegistry registry;
+  registry.install("delay", train_tiny_model(0xD));
+  registry.install("area", train_tiny_model(0xA));
+  serve::PredictService service(registry);
+  serve::PredictServer server(registry, service, {});
+  server.start();  // ephemeral port
+
+  const Aig g = gen::multiplier(5);
+  opt::CostContext local_ctx;
+  local_ctx.delay_model = registry.get("delay");
+  local_ctx.area_model = registry.get("area");
+  auto recipe = opt::Recipe::parse("strategy=sa;iters=15;seed=6;cost=ml");
+  const auto local = opt::run(recipe, g, local_ctx);
+
+  recipe.cost = "serve:127.0.0.1:" + std::to_string(server.port());
+  opt::CostContext remote_ctx;  // everything comes over the wire
+  const auto remote = opt::run(recipe, g, remote_ctx);
+
+  // %.17g round-trips IEEE doubles exactly, so the TCP path reproduces the
+  // local trajectory bit for bit.
+  expect_same_trajectory(local, remote);
+  EXPECT_EQ(remote.eval_count, 16u);
+}
+
+TEST(RemoteCost, NamesCustomModels) {
+  serve::ModelRegistry registry;
+  registry.install("d2", train_tiny_model(1));
+  registry.install("a2", train_tiny_model(2));
+  serve::PredictService service(registry);
+  serve::PredictServer server(registry, service, {});
+  server.start();
+
+  const std::string spec =
+      "serve:127.0.0.1:" + std::to_string(server.port()) + ":d2,a2";
+  const auto evaluator = opt::make_cost(spec, {});
+  const Aig g = gen::multiplier(4);
+  const auto q = evaluator->evaluate(g);
+  const auto f = features::extract(g);
+  EXPECT_DOUBLE_EQ(q.delay, registry.get("d2")->predict(f));
+  EXPECT_DOUBLE_EQ(q.area, registry.get("a2")->predict(f));
+
+  // Unknown model names surface as runtime errors from evaluate().
+  const auto bad = opt::make_cost(
+      "serve:127.0.0.1:" + std::to_string(server.port()) + ":nope", {});
+  EXPECT_THROW((void)bad->evaluate(g), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aigml
