@@ -52,6 +52,10 @@ struct Node {
   Lit fanin0 = kLitFalse;  ///< valid iff kind == And; invariant: fanin0 <= fanin1
   Lit fanin1 = kLitFalse;  ///< valid iff kind == And
   NodeKind kind = NodeKind::Constant;
+
+  /// Record equality — what dirty-region diffing (dirty.hpp) and the
+  /// evaluation memo's exact structure compare are defined over.
+  [[nodiscard]] bool operator==(const Node&) const = default;
 };
 
 /// Combinational And-Inverter Graph.

@@ -1,15 +1,124 @@
 #include "aig/analysis.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace aigml::aig {
 
-AnalysisCache::AnalysisCache(const Aig& g) {
-  const std::size_t n = g.num_nodes();
-  constexpr double kSaturate = 1e300;
+// ---- AnalysisCache: shared per-node forward recurrence ----------------------
+//
+// Every forward quantity is a function of (kind, own fanout, fanin values).
+// rebuild() and update() both funnel through compute_node so the two paths
+// execute the exact same floating-point operations — the foundation of the
+// bit-identity contract (DESIGN.md §8).
 
-  // Sweep 1: fanout counts (must complete before the weighted depths, which
-  // read the fanout of every node including ones later in topo order).
+AnalysisCache::NodeValues AnalysisCache::compute_node(const Aig& g, NodeId id) const {
+  constexpr double kSaturate = 1e300;
+  NodeValues v{0, 0, 0.0, 0.0, 0.0};
+  switch (g.kind(id)) {
+    case NodeKind::Constant:
+      break;  // all-zero values are correct
+    case NodeKind::Input:
+      v.depth = 1;
+      v.wdepth = static_cast<double>(fanout_[id]);
+      v.bdepth = fanout_[id] >= 2 ? 1.0 : 0.0;
+      v.paths = 1.0;
+      break;
+    case NodeKind::And: {
+      const NodeId v0 = lit_var(g.fanin0(id));
+      const NodeId v1 = lit_var(g.fanin1(id));
+      v.level = 1 + std::max(level_[v0], level_[v1]);
+      v.depth = 1 + std::max(depth_[v0], depth_[v1]);
+      v.wdepth = static_cast<double>(fanout_[id]) + std::max(wdepth_[v0], wdepth_[v1]);
+      v.bdepth = (fanout_[id] >= 2 ? 1.0 : 0.0) + std::max(bdepth_[v0], bdepth_[v1]);
+      v.paths = std::min(paths_[v0] + paths_[v1], kSaturate);
+      break;
+    }
+  }
+  return v;
+}
+
+void AnalysisCache::recompute_output_maxima(const Aig& g) {
+  aig_level_ = 0;
+  max_depth_ = 0;
+  for (const Lit o : g.outputs()) {
+    aig_level_ = std::max(aig_level_, level_[lit_var(o)]);
+    max_depth_ = std::max(max_depth_, depth_[lit_var(o)]);
+  }
+}
+
+// Reverse sweep: height below each node in the output cone, from which
+// critical-path membership follows (depth + height - 1 == max depth).  Runs
+// on generation-stamped scratch so repeated calls never allocate or clear;
+// always swaps the previous critical set into critical_prev_ (rollback).
+void AnalysisCache::rebuild_reverse(const Aig& g) {
+  critical_prev_.swap(critical_);
+  critical_.clear();
+  last_reverse_ran_ = true;
+  if (scope_ == AnalysisScope::kForwardOnly) return;
+  if (max_depth_ == 0) return;
+  const std::size_t n = g.num_nodes();
+  if (rev_stamp_.size() < n) {
+    rev_stamp_.resize(n, 0);
+    height_scratch_.resize(n, 0);
+  }
+  if (++rev_gen_ == 0) {
+    std::fill(rev_stamp_.begin(), rev_stamp_.end(), 0);
+    rev_gen_ = 1;
+  }
+  const auto relax = [&](NodeId v, std::uint32_t h) {
+    if (rev_stamp_[v] != rev_gen_) {
+      rev_stamp_[v] = rev_gen_;
+      height_scratch_[v] = h;
+    } else if (height_scratch_[v] < h) {
+      height_scratch_[v] = h;
+    }
+  };
+  for (const Lit o : g.outputs()) relax(lit_var(o), 1);
+  // A node's height is final when the descending sweep reaches it (all
+  // contributions come from outputs or higher-id parents), so critical
+  // membership is collected in the same pass, descending, and reversed.
+  for (NodeId id = static_cast<NodeId>(n); id-- > 0;) {
+    if (rev_stamp_[id] != rev_gen_) continue;
+    const std::uint32_t h = height_scratch_[id];
+    if (!g.is_constant(id) && depth_[id] + h - 1 == max_depth_) critical_.push_back(id);
+    if (!g.is_and(id)) continue;
+    relax(lit_var(g.fanin0(id)), h + 1);
+    relax(lit_var(g.fanin1(id)), h + 1);
+  }
+  std::reverse(critical_.begin(), critical_.end());
+}
+
+void AnalysisCache::grow_to(std::size_t n) {
+  if (level_.size() < n) {
+    level_.resize(n, 0);
+    depth_.resize(n, 0);
+    fanout_.resize(n, 0);
+    wdepth_.resize(n, 0.0);
+    bdepth_.resize(n, 0.0);
+    paths_.resize(n, 0.0);
+  }
+  if (touch_stamp_.size() < n) {
+    touch_stamp_.resize(n, 0);
+    value_stamp_.resize(n, 0);
+    fanout_stamp_.resize(n, 0);
+  }
+}
+
+void AnalysisCache::bump_generation() {
+  if (++gen_ == 0) {
+    std::fill(touch_stamp_.begin(), touch_stamp_.end(), 0);
+    std::fill(value_stamp_.begin(), value_stamp_.end(), 0);
+    std::fill(fanout_stamp_.begin(), fanout_stamp_.end(), 0);
+    gen_ = 1;
+  }
+}
+
+void AnalysisCache::rebuild_arrays(const Aig& g) {
+  const std::size_t n = g.num_nodes();
+
+  // Sweep 1: fanout counts (must complete before the forward sweep, which
+  // reads the fanout of every node including ones later in topo order).
   fanout_.assign(n, 0);
   for (NodeId id = 0; id < n; ++id) {
     if (!g.is_and(id)) continue;
@@ -26,54 +135,318 @@ AnalysisCache::AnalysisCache(const Aig& g) {
   bdepth_.assign(n, 0.0);
   paths_.assign(n, 0.0);
   for (NodeId id = 0; id < n; ++id) {
-    switch (g.kind(id)) {
-      case NodeKind::Constant:
-        break;  // all-zero defaults are correct
-      case NodeKind::Input:
-        depth_[id] = 1;
-        wdepth_[id] = static_cast<double>(fanout_[id]);
-        bdepth_[id] = fanout_[id] >= 2 ? 1.0 : 0.0;
-        paths_[id] = 1.0;
-        break;
-      case NodeKind::And: {
-        const NodeId v0 = lit_var(g.fanin0(id));
-        const NodeId v1 = lit_var(g.fanin1(id));
-        level_[id] = 1 + std::max(level_[v0], level_[v1]);
-        depth_[id] = 1 + std::max(depth_[v0], depth_[v1]);
-        wdepth_[id] = static_cast<double>(fanout_[id]) + std::max(wdepth_[v0], wdepth_[v1]);
-        bdepth_[id] = (fanout_[id] >= 2 ? 1.0 : 0.0) + std::max(bdepth_[v0], bdepth_[v1]);
-        paths_[id] = std::min(paths_[v0] + paths_[v1], kSaturate);
-        break;
-      }
-    }
+    const NodeValues v = compute_node(g, id);
+    level_[id] = v.level;
+    depth_[id] = v.depth;
+    wdepth_[id] = v.wdepth;
+    bdepth_[id] = v.bdepth;
+    paths_[id] = v.paths;
   }
-  for (const Lit o : g.outputs()) {
-    aig_level_ = std::max(aig_level_, level_[lit_var(o)]);
-    max_depth_ = std::max(max_depth_, depth_[lit_var(o)]);
+  recompute_output_maxima(g);
+
+  // Sweep 3 (reverse pass): critical-path membership.
+  rebuild_reverse(g);
+
+  grow_to(n);  // keep the stamp scratch sized for value_changed() queries
+}
+
+void AnalysisCache::rebuild(const Aig& g) {
+  pending_ = Pending::kNone;
+  bound_ = true;
+  forward_undo_.clear();
+  fanout_undo_.clear();
+  fanout_changes_.clear();
+  critical_swapped_ = false;
+  rebuild_arrays(g);
+  n_ = g.num_nodes();
+  before_n_ = n_;
+}
+
+void AnalysisCache::update(const Aig& g, const DirtyRegion& dirty) {
+  if (!bound_) throw std::logic_error("AnalysisCache::update: no graph bound (call rebuild)");
+  if (pending_ != Pending::kNone) {
+    throw std::logic_error("AnalysisCache::update: an update is already pending");
+  }
+  before_n_ = n_;
+  before_aig_level_ = aig_level_;
+  before_max_depth_ = max_depth_;
+  forward_undo_.clear();
+  fanout_undo_.clear();
+  fanout_changes_.clear();
+  critical_swapped_ = false;
+  last_reverse_ran_ = false;
+  bump_generation();
+
+  const std::size_t new_n = g.num_nodes();
+
+  if (dirty.empty()) {
+    // Structurally identical candidate (common once a search converges):
+    // every analysis is already correct.
+    pending_ = Pending::kDelta;
+    return;
   }
 
-  // Sweep 3 (reverse pass): height below each node in the output cone, from
-  // which critical-path membership follows (depth + height - 1 == max depth).
-  if (max_depth_ == 0) return;
-  std::vector<std::uint32_t> height(n, 0);
-  std::vector<char> in_cone(n, 0);
-  for (const Lit o : g.outputs()) {
-    const NodeId v = lit_var(o);
-    in_cone[v] = 1;
-    height[v] = std::max(height[v], 1u);
+  // ---- repair-policy estimate (read-only).  The forward scan must start at
+  // the lowest id whose record or fanout changes; everything from there to
+  // the end is visited (cheaply) by the repair sweep.  When that window plus
+  // the per-entry delta bookkeeping approaches the cost of the three fused
+  // from-scratch sweeps, a buffer-swapped rebuild is faster — the sweeps are
+  // branch-free and allocation-free after warm-up, while per-entry repair
+  // pays stamp checks, compares, and undo logging per node.  Bit-identity
+  // holds on every path (same compute_node recurrence), so the policy is
+  // purely a wall-time decision.
+  bool use_delta = !dirty.full;
+  if (use_delta) {
+    NodeId est_from = static_cast<NodeId>(new_n);
+    const auto lower = [&](NodeId v) { est_from = std::min(est_from, v); };
+    for (const NodeId id : dirty.changed) {
+      lower(id);
+      if (g.is_and(id)) {
+        lower(lit_var(g.fanin0(id)));
+        lower(lit_var(g.fanin1(id)));
+      }
+    }
+    for (const Node& was : dirty.before_changed) {
+      if (was.kind != NodeKind::And) continue;
+      lower(lit_var(was.fanin0));
+      lower(lit_var(was.fanin1));
+    }
+    for (const Node& was : dirty.before_tail) {
+      if (was.kind != NodeKind::And) continue;
+      lower(lit_var(was.fanin0));
+      lower(lit_var(was.fanin1));
+    }
+    if (dirty.outputs_changed) {
+      for (const Lit o : dirty.before_outputs) lower(lit_var(o));
+      for (const Lit o : g.outputs()) lower(lit_var(o));
+    }
+    if (new_n != before_n_) lower(static_cast<NodeId>(std::min(before_n_, new_n)));
+    // Grown-tail nodes disturb the fanout of whatever they reference, which
+    // can drag the real scan start far below the tail itself.
+    for (NodeId id = static_cast<NodeId>(std::min(before_n_, new_n)); id < new_n; ++id) {
+      if (!g.is_and(id)) continue;
+      lower(lit_var(g.fanin0(id)));
+      lower(lit_var(g.fanin1(id)));
+    }
+    const std::size_t window = new_n - est_from;
+    // Empirical crossover (bench_eval): per-node repair costs ~3-4x a fused
+    // sweep node-visit, and kFull pays the reverse sweep on both paths.
+    use_delta = window + 4 * dirty.size() < new_n;
   }
-  for (NodeId id = static_cast<NodeId>(n); id-- > 0;) {
-    if (!in_cone[id] || !g.is_and(id)) continue;
-    for (const Lit f : {g.fanin0(id), g.fanin1(id)}) {
-      const NodeId v = lit_var(f);
-      in_cone[v] = 1;
-      height[v] = std::max(height[v], height[id] + 1);
+
+  if (!use_delta) {
+    // Conservative fallback: from-scratch rebuild into the current buffers,
+    // with the previous state parked in the swap buffers for rollback.
+    level_prev_.swap(level_);
+    depth_prev_.swap(depth_);
+    fanout_prev_.swap(fanout_);
+    wdepth_prev_.swap(wdepth_);
+    bdepth_prev_.swap(bdepth_);
+    paths_prev_.swap(paths_);
+    rebuild_arrays(g);  // swaps critical_ into critical_prev_ internally
+    critical_swapped_ = true;
+    n_ = new_n;
+    pending_ = Pending::kSwapped;
+    return;
+  }
+
+  const std::size_t min_n = std::min(before_n_, new_n);
+  grow_to(std::max(before_n_, new_n));
+
+  // ---- fanout delta: reverse the before-records' references, apply the
+  // after-records'.  First touch of an id logs its pre-update value (undo +
+  // the normalized change list the feature extractor consumes).
+  const auto touch = [&](NodeId v) {
+    if (fanout_stamp_[v] == gen_) return;
+    fanout_stamp_[v] = gen_;
+    fanout_undo_.push_back({v, fanout_[v]});
+  };
+  const auto drop_refs = [&](const Node& was) {
+    if (was.kind != NodeKind::And) return;
+    const NodeId v0 = lit_var(was.fanin0);
+    const NodeId v1 = lit_var(was.fanin1);
+    touch(v0);
+    --fanout_[v0];
+    touch(v1);
+    --fanout_[v1];
+  };
+  const auto add_refs = [&](NodeId id) {
+    if (!g.is_and(id)) return;
+    const NodeId v0 = lit_var(g.fanin0(id));
+    const NodeId v1 = lit_var(g.fanin1(id));
+    touch(v0);
+    ++fanout_[v0];
+    touch(v1);
+    ++fanout_[v1];
+  };
+  for (const Node& was : dirty.before_changed) drop_refs(was);
+  for (const Node& was : dirty.before_tail) drop_refs(was);
+  for (const NodeId id : dirty.changed) add_refs(id);
+  for (NodeId id = static_cast<NodeId>(min_n); id < new_n; ++id) add_refs(id);  // grown ids
+  if (dirty.outputs_changed) {
+    for (const Lit o : dirty.before_outputs) {
+      const NodeId v = lit_var(o);
+      touch(v);
+      --fanout_[v];
+    }
+    for (const Lit o : g.outputs()) {
+      const NodeId v = lit_var(o);
+      touch(v);
+      ++fanout_[v];
     }
   }
-  for (NodeId id = 0; id < n; ++id) {
-    if (!in_cone[id] || g.is_constant(id)) continue;
-    if (depth_[id] + height[id] - 1 == max_depth_) critical_.push_back(id);
+  for (const FanoutUndo& u : fanout_undo_) {
+    const std::uint32_t after = u.id < new_n ? fanout_[u.id] : 0;
+    if (u.id < new_n && after == u.before) continue;  // net no-op
+    fanout_changes_.push_back({u.id, u.before, after});
   }
+
+  // ---- forward repair: seed the dirty frontier (changed records, net
+  // fanout changes, the grown tail), then sweep ascending from the first
+  // seed.  A node is recomputed when seeded or when a fanin's value changed;
+  // propagation stops wherever the recomputed values are bit-identical to
+  // the cached ones.
+  NodeId scan_from = static_cast<NodeId>(new_n);
+  const auto seed = [&](NodeId id) {
+    if (id >= new_n) return;
+    touch_stamp_[id] = gen_;
+    if (id < scan_from) scan_from = id;
+  };
+  for (const NodeId id : dirty.changed) seed(id);
+  for (const FanoutChange& c : fanout_changes_) seed(c.id);
+  if (new_n > before_n_ && before_n_ < scan_from) scan_from = static_cast<NodeId>(before_n_);
+
+  for (NodeId id = scan_from; id < new_n; ++id) {
+    const bool grown = id >= before_n_;
+    bool need = grown || touch_stamp_[id] == gen_;
+    if (!need && g.is_and(id)) {
+      need = value_stamp_[lit_var(g.fanin0(id))] == gen_ ||
+             value_stamp_[lit_var(g.fanin1(id))] == gen_;
+    }
+    if (!need) continue;
+    const NodeValues v = compute_node(g, id);
+    ++nodes_recomputed_;
+    if (!grown) {
+      if (v.level == level_[id] && v.depth == depth_[id] && v.wdepth == wdepth_[id] &&
+          v.bdepth == bdepth_[id] && v.paths == paths_[id]) {
+        continue;  // converged: downstream reads only values, not structure
+      }
+      forward_undo_.push_back({id, {level_[id], depth_[id], wdepth_[id], bdepth_[id], paths_[id]}});
+    }
+    level_[id] = v.level;
+    depth_[id] = v.depth;
+    wdepth_[id] = v.wdepth;
+    bdepth_[id] = v.bdepth;
+    paths_[id] = v.paths;
+    value_stamp_[id] = gen_;
+  }
+  recompute_output_maxima(g);
+
+  // ---- reverse repair: any structural/output change can alter output-cone
+  // membership, so the reverse sweep reruns whenever the region is
+  // non-empty.  It is stamped scratch (no allocation, no clearing) and its
+  // previous result swaps into critical_prev_ for rollback.
+  rebuild_reverse(g);
+  critical_swapped_ = true;
+
+  n_ = new_n;
+  pending_ = Pending::kDelta;
+}
+
+void AnalysisCache::save(AnalysisSnapshot& out) const {
+  out.num_nodes = n_;
+  out.level.assign(level_.begin(), level_.begin() + static_cast<std::ptrdiff_t>(n_));
+  out.depth.assign(depth_.begin(), depth_.begin() + static_cast<std::ptrdiff_t>(n_));
+  out.fanout.assign(fanout_.begin(), fanout_.begin() + static_cast<std::ptrdiff_t>(n_));
+  out.wdepth.assign(wdepth_.begin(), wdepth_.begin() + static_cast<std::ptrdiff_t>(n_));
+  out.bdepth.assign(bdepth_.begin(), bdepth_.begin() + static_cast<std::ptrdiff_t>(n_));
+  out.paths.assign(paths_.begin(), paths_.begin() + static_cast<std::ptrdiff_t>(n_));
+  out.critical = critical_;
+  out.aig_level = aig_level_;
+  out.max_depth = max_depth_;
+}
+
+void AnalysisCache::adopt(const AnalysisSnapshot& snapshot) {
+  if (!bound_) throw std::logic_error("AnalysisCache::adopt: no graph bound (call rebuild)");
+  if (pending_ != Pending::kNone) {
+    throw std::logic_error("AnalysisCache::adopt: an update is already pending");
+  }
+  before_n_ = n_;
+  before_aig_level_ = aig_level_;
+  before_max_depth_ = max_depth_;
+  forward_undo_.clear();
+  fanout_undo_.clear();
+  fanout_changes_.clear();
+  last_reverse_ran_ = true;
+  bump_generation();
+
+  level_prev_.swap(level_);
+  depth_prev_.swap(depth_);
+  fanout_prev_.swap(fanout_);
+  wdepth_prev_.swap(wdepth_);
+  bdepth_prev_.swap(bdepth_);
+  paths_prev_.swap(paths_);
+  critical_prev_.swap(critical_);
+  critical_swapped_ = true;
+  level_ = snapshot.level;
+  depth_ = snapshot.depth;
+  fanout_ = snapshot.fanout;
+  wdepth_ = snapshot.wdepth;
+  bdepth_ = snapshot.bdepth;
+  paths_ = snapshot.paths;
+  critical_ = snapshot.critical;
+  aig_level_ = snapshot.aig_level;
+  max_depth_ = snapshot.max_depth;
+  n_ = snapshot.num_nodes;
+  grow_to(n_);
+  pending_ = Pending::kSwapped;
+}
+
+void AnalysisCache::commit() {
+  if (pending_ == Pending::kNone) {
+    throw std::logic_error("AnalysisCache::commit: no update pending");
+  }
+  level_.resize(n_);
+  depth_.resize(n_);
+  fanout_.resize(n_);
+  wdepth_.resize(n_);
+  bdepth_.resize(n_);
+  paths_.resize(n_);
+  pending_ = Pending::kNone;
+}
+
+void AnalysisCache::rollback() {
+  if (pending_ == Pending::kNone) {
+    throw std::logic_error("AnalysisCache::rollback: no update pending");
+  }
+  if (pending_ == Pending::kSwapped) {
+    level_prev_.swap(level_);
+    depth_prev_.swap(depth_);
+    fanout_prev_.swap(fanout_);
+    wdepth_prev_.swap(wdepth_);
+    bdepth_prev_.swap(bdepth_);
+    paths_prev_.swap(paths_);
+  } else {
+    for (const ForwardUndo& u : forward_undo_) {
+      level_[u.id] = u.values.level;
+      depth_[u.id] = u.values.depth;
+      wdepth_[u.id] = u.values.wdepth;
+      bdepth_[u.id] = u.values.bdepth;
+      paths_[u.id] = u.values.paths;
+    }
+    for (const FanoutUndo& u : fanout_undo_) fanout_[u.id] = u.before;
+  }
+  if (critical_swapped_) critical_.swap(critical_prev_);
+  aig_level_ = before_aig_level_;
+  max_depth_ = before_max_depth_;
+  n_ = before_n_;
+  level_.resize(n_);
+  depth_.resize(n_);
+  fanout_.resize(n_);
+  wdepth_.resize(n_);
+  bdepth_.resize(n_);
+  paths_.resize(n_);
+  pending_ = Pending::kNone;
 }
 
 std::vector<std::uint32_t> levels(const Aig& g) {

@@ -17,8 +17,30 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "aig/dirty.hpp"
 
 namespace aigml::aig {
+
+/// How much of the analysis an AnalysisCache maintains.
+///  * kFull        — all three sweeps, including critical-path membership
+///                   (what feature extraction needs).
+///  * kForwardOnly — fanout + forward sweeps only; `critical_nodes()` stays
+///                   empty.  Cheaper for callers that only read levels /
+///                   depths (e.g. opt::ProxyCost's incremental context).
+enum class AnalysisScope : std::uint8_t { kForwardOnly, kFull };
+
+/// A value-type copy of a bound AnalysisCache's analysis state — what the
+/// evaluation memo (opt::detail::FeatureContext) stores per remembered
+/// structure so revisited graphs restore in one array copy instead of three
+/// sweeps.  Produced by AnalysisCache::save(), consumed by adopt().
+struct AnalysisSnapshot {
+  std::vector<std::uint32_t> level, depth, fanout;
+  std::vector<double> wdepth, bdepth, paths;
+  std::vector<NodeId> critical;
+  std::uint32_t aig_level = 0;
+  std::uint32_t max_depth = 0;
+  std::size_t num_nodes = 0;
+};
 
 /// Fused structural analysis: one fanout sweep + one forward sweep + one
 /// reverse sweep compute everything the feature extractor, cost evaluators,
@@ -29,9 +51,63 @@ namespace aigml::aig {
 ///
 /// Field semantics match the legacy free functions below exactly; the
 /// equivalence is locked in by tests/test_parallel.cpp.
+///
+/// Incremental move evaluation (DESIGN.md §8)
+/// ------------------------------------------
+/// Beyond the one-shot constructor, the cache supports the speculative
+/// update protocol that makes per-move reward calculation O(dirty region)
+/// instead of O(full AIG) inside opt::search_loop:
+///
+///   rebuild(g)          bind to `g` from scratch (buffers reused, so a
+///                       long-lived cache stops allocating after warm-up)
+///   update(g, dirty)    repair the analyses for `g`, which differs from the
+///                       graph of the last rebuild/commit by `dirty`
+///                       (aig::diff_region).  Generation-stamped marks limit
+///                       recomputation to the dirty nodes, the nodes whose
+///                       fanout they disturb, and the forward cones those
+///                       invalidate; propagation stops as soon as a
+///                       recomputed value is bit-identical to the cached one.
+///                       Exactly one update may be pending at a time.
+///   commit()            adopt the pending update (the move was accepted)
+///   rollback()          restore the pre-update state exactly (the move was
+///                       rejected) by replaying per-entry undo logs
+///
+/// Hard contract: after update(g, dirty) every accessor returns values
+/// bit-identical to a freshly built AnalysisCache(g) — the from-scratch
+/// build stays in the code as the oracle, and tests/test_incremental.cpp
+/// fuzzes the equivalence per move.  While an update is pending, the
+/// backing vectors may be physically longer than g.num_nodes(); only
+/// entries below g.num_nodes() are meaningful.
 class AnalysisCache {
  public:
-  explicit AnalysisCache(const Aig& g);
+  /// Empty cache; bind with rebuild() before reading any accessor.
+  explicit AnalysisCache(AnalysisScope scope = AnalysisScope::kFull) noexcept : scope_(scope) {}
+  /// One-shot build (the historical constructor): full scope, bound to `g`.
+  explicit AnalysisCache(const Aig& g) { rebuild(g); }
+
+  /// From-scratch bind — the oracle the incremental path is tested against.
+  /// Drops any pending update.
+  void rebuild(const Aig& g);
+
+  /// Speculatively repairs the analyses for `g` given the structural delta
+  /// from the currently bound graph (see class comment).  Throws
+  /// std::logic_error if an update is already pending or nothing is bound.
+  void update(const Aig& g, const DirtyRegion& dirty);
+
+  /// Adopts / discards the pending update.  Throw std::logic_error when no
+  /// update is pending — the caller's accept/reject bookkeeping is broken.
+  void commit();
+  void rollback();
+
+  /// Copies the current analysis state (committed or pending) into `out` —
+  /// while an update is pending this is the *candidate's* state, which is
+  /// exactly what the evaluation memo wants to remember.
+  void save(AnalysisSnapshot& out) const;
+
+  /// Speculatively replaces the bound state with a previously saved snapshot
+  /// (the graph it was saved for).  Same pending semantics as update():
+  /// resolve with commit() or rollback().
+  void adopt(const AnalysisSnapshot& snapshot);
 
   [[nodiscard]] const std::vector<std::uint32_t>& levels() const noexcept { return level_; }
   [[nodiscard]] const std::vector<std::uint32_t>& depths() const noexcept { return depth_; }
@@ -46,6 +122,7 @@ class AnalysisCache {
   }
   [[nodiscard]] const std::vector<double>& path_counts() const noexcept { return paths_; }
   /// Nodes on at least one maximum-node-depth PI->output path, ascending id.
+  /// Always empty under AnalysisScope::kForwardOnly.
   [[nodiscard]] const std::vector<NodeId>& critical_nodes() const noexcept { return critical_; }
 
   /// Max level over output drivers (== aig_level(g)).
@@ -53,7 +130,59 @@ class AnalysisCache {
   /// Max node-count depth over output drivers.
   [[nodiscard]] std::uint32_t max_depth() const noexcept { return max_depth_; }
 
+  /// Logical node count of the bound graph (the vectors above may be longer
+  /// while an update is pending).
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return n_; }
+
+  // ---- last-update introspection (delta feature extraction, benches) ------
+
+  /// One net fanout change from the last update().  `after` is 0 for ids
+  /// removed by a shrink; `before` is 0 for ids added by a growth.
+  struct FanoutChange {
+    NodeId id;
+    std::uint32_t before;
+    std::uint32_t after;
+  };
+  /// Net fanout changes of the last update (empty after rebuild / a full
+  /// update — see last_update_full()).  Entries with before == after are
+  /// filtered out.
+  [[nodiscard]] const std::vector<FanoutChange>& last_fanout_changes() const noexcept {
+    return fanout_changes_;
+  }
+  /// True when the last update() fell back to a from-scratch rebuild (full
+  /// dirty region): per-entry change lists are unavailable and consumers
+  /// must re-derive everything.
+  [[nodiscard]] bool last_update_full() const noexcept { return pending_ == Pending::kSwapped; }
+  /// True when the last update() re-ran the reverse sweep, i.e.
+  /// critical_nodes() may differ from the pre-update set.
+  [[nodiscard]] bool last_reverse_ran() const noexcept { return last_reverse_ran_; }
+  /// Node count of the previously bound graph (before the pending update).
+  [[nodiscard]] std::size_t last_before_num_nodes() const noexcept { return before_n_; }
+  /// True iff `id`'s forward values (level/depth/weighted depths/paths)
+  /// changed in the last update().  Only meaningful for id < num_nodes()
+  /// while an update is pending.
+  [[nodiscard]] bool value_changed(NodeId id) const noexcept {
+    return id < value_stamp_.size() && value_stamp_[id] == gen_;
+  }
+  /// Cumulative count of per-node forward recomputations — the quantity
+  /// bench_eval reports as "repair work per move" (a from-scratch forward
+  /// sweep costs num_nodes() of these).
+  [[nodiscard]] std::uint64_t nodes_recomputed() const noexcept { return nodes_recomputed_; }
+
  private:
+  struct NodeValues {
+    std::uint32_t level, depth;
+    double wdepth, bdepth, paths;
+  };
+  [[nodiscard]] NodeValues compute_node(const Aig& g, NodeId id) const;
+  void rebuild_arrays(const Aig& g);
+  void recompute_output_maxima(const Aig& g);
+  void rebuild_reverse(const Aig& g);
+  void grow_to(std::size_t n);
+  void bump_generation();
+
+  AnalysisScope scope_ = AnalysisScope::kFull;
+  std::size_t n_ = 0;
   std::vector<std::uint32_t> level_;
   std::vector<std::uint32_t> depth_;
   std::vector<std::uint32_t> fanout_;
@@ -63,6 +192,41 @@ class AnalysisCache {
   std::vector<NodeId> critical_;
   std::uint32_t aig_level_ = 0;
   std::uint32_t max_depth_ = 0;
+
+  // ---- pending-update bookkeeping (undo logs, swap buffers) ---------------
+  enum class Pending : std::uint8_t { kNone, kDelta, kSwapped };
+  struct ForwardUndo {
+    NodeId id;
+    NodeValues values;
+  };
+  struct FanoutUndo {
+    NodeId id;
+    std::uint32_t before;
+  };
+  Pending pending_ = Pending::kNone;
+  bool bound_ = false;
+  std::size_t before_n_ = 0;
+  std::uint32_t before_aig_level_ = 0;
+  std::uint32_t before_max_depth_ = 0;
+  std::vector<ForwardUndo> forward_undo_;
+  std::vector<FanoutUndo> fanout_undo_;
+  std::vector<FanoutChange> fanout_changes_;
+  std::vector<NodeId> critical_prev_;
+  bool critical_swapped_ = false;
+  bool last_reverse_ran_ = false;
+  std::vector<std::uint32_t> level_prev_, depth_prev_, fanout_prev_;
+  std::vector<double> wdepth_prev_, bdepth_prev_, paths_prev_;
+
+  // ---- generation-stamped scratch (never rolled back; a stamp != gen_ is
+  // semantically "unmarked", so updates start clean without clearing) -------
+  std::uint32_t gen_ = 0;
+  std::vector<std::uint32_t> touch_stamp_;   ///< must-recompute seeds
+  std::vector<std::uint32_t> value_stamp_;   ///< forward values changed
+  std::vector<std::uint32_t> fanout_stamp_;  ///< fanout undo logged
+  std::uint32_t rev_gen_ = 0;
+  std::vector<std::uint32_t> rev_stamp_;     ///< in output cone (reverse sweep)
+  std::vector<std::uint32_t> height_scratch_;
+  std::uint64_t nodes_recomputed_ = 0;
 };
 
 /// level(id) per node (see header comment).

@@ -1,0 +1,39 @@
+#include "aig/dirty.hpp"
+
+namespace aigml::aig {
+
+DirtyRegion DirtyRegion::all(const Aig& before, const Aig& after) {
+  DirtyRegion region;
+  region.full = true;
+  region.before_num_nodes = before.num_nodes();
+  region.after_num_nodes = after.num_nodes();
+  region.outputs_changed = before.outputs() != after.outputs();
+  if (region.outputs_changed) region.before_outputs = before.outputs();
+  return region;
+}
+
+DirtyRegion diff_region(const Aig& before, const Aig& after) {
+  DirtyRegion region;
+  region.before_num_nodes = before.num_nodes();
+  region.after_num_nodes = after.num_nodes();
+
+  const std::size_t min_n = std::min(region.before_num_nodes, region.after_num_nodes);
+  for (NodeId id = 0; id < min_n; ++id) {
+    const Node& a = before.node(id);
+    if (!(a == after.node(id))) {
+      region.changed.push_back(id);
+      region.before_changed.push_back(a);
+    }
+  }
+  for (NodeId id = static_cast<NodeId>(region.after_num_nodes);
+       id < region.before_num_nodes; ++id) {
+    region.before_tail.push_back(before.node(id));
+  }
+  if (before.outputs() != after.outputs()) {
+    region.outputs_changed = true;
+    region.before_outputs = before.outputs();
+  }
+  return region;
+}
+
+}  // namespace aigml::aig

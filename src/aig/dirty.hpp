@@ -1,0 +1,72 @@
+#pragma once
+// Dirty regions — the structural delta between two AIGs, in the *after*
+// graph's id space.  This is the currency of incremental move evaluation
+// (DESIGN.md §8): a transform reports the region it touched
+// (transforms::TransformResult), AnalysisCache::update() re-sweeps only the
+// cones that region invalidates, and features::IncrementalExtractor
+// recomputes only the feature components whose supporting sweeps changed.
+//
+// Id-space contract
+// -----------------
+// Node ids are topological in both graphs (aig.hpp), so a node id that holds
+// an identical record (kind, fanin0, fanin1) in `before` and `after` computes
+// identical *forward* analyses whenever its fanin cone is also unchanged.
+// `diff_region` therefore describes the delta as:
+//
+//   * `changed`          ids < min(|before|, |after|) whose record differs,
+//                        ascending, with the before-records kept alongside so
+//                        consumers can reverse fanout contributions,
+//   * `before_tail`      records of ids removed by a shrink,
+//   * ids in [|before|, |after|) implied dirty by a growth (not listed),
+//   * `outputs_changed`  + the before-output literals when the PO drivers
+//                        moved (fanout and critical-path membership depend on
+//                        them even when no node record changed).
+//
+// `full` marks a degenerate region: treat every node as changed (the
+// conservative fallback; AnalysisCache answers it with a buffer-swapped
+// from-scratch rebuild, so correctness never depends on a transform
+// reporting a tight region).
+
+#include <cstddef>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace aigml::aig {
+
+struct DirtyRegion {
+  bool full = false;
+  std::vector<NodeId> changed;        ///< ascending; ids < min(before, after) size
+  std::vector<Node> before_changed;   ///< parallel to `changed`: the before-records
+  std::vector<Node> before_tail;      ///< before-records of ids in [after_n, before_n)
+  std::size_t before_num_nodes = 0;
+  std::size_t after_num_nodes = 0;
+  bool outputs_changed = false;
+  std::vector<Lit> before_outputs;    ///< populated iff outputs_changed
+
+  /// True when `after` is structurally identical to `before`: same node
+  /// records, same size, same output literals.  An empty region makes
+  /// AnalysisCache::update() a no-op (the cheapest possible move evaluation).
+  [[nodiscard]] bool empty() const noexcept {
+    return !full && changed.empty() && before_num_nodes == after_num_nodes && !outputs_changed;
+  }
+
+  /// Number of explicitly-listed changed ids plus the grow/shrink tail — the
+  /// quantity benches report as "dirty nodes per move".
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::size_t tail = before_num_nodes > after_num_nodes
+                                 ? before_num_nodes - after_num_nodes
+                                 : after_num_nodes - before_num_nodes;
+    return changed.size() + tail;
+  }
+
+  /// The conservative everything-changed region for `before` -> `after`.
+  [[nodiscard]] static DirtyRegion all(const Aig& before, const Aig& after);
+};
+
+/// Computes the dirty region between two graphs (see header comment).
+/// O(min(|before|, |after|)) field compares plus O(|changed|) copies — far
+/// cheaper than any analysis sweep it saves.
+[[nodiscard]] DirtyRegion diff_region(const Aig& before, const Aig& after);
+
+}  // namespace aigml::aig

@@ -5,7 +5,6 @@
 #include <stdexcept>
 
 #include "aig/analysis.hpp"
-#include "util/stats.hpp"
 
 namespace aigml::features {
 
@@ -50,7 +49,18 @@ int feature_index(const std::string& name) {
   throw std::out_of_range("unknown feature: " + name);
 }
 
+double detail::FanoutStats::stddev() const noexcept {
+  // Mirrors RunningStats: zero for fewer than two samples.
+  if (count < 2) return 0.0;
+  const double m = mean();
+  double var = static_cast<double>(sumsq) / static_cast<double>(count) - m * m;
+  if (var < 0.0) var = 0.0;  // guard the float cancellation, never the math
+  return std::sqrt(var);
+}
+
 namespace {
+
+using detail::FanoutStats;
 
 /// Copies the `n` largest values (descending) into consecutive out slots,
 /// padding with 0 when fewer values exist.
@@ -60,6 +70,66 @@ void top_n(std::vector<double> values, int n, FeatureVector& out, int base) {
     out[static_cast<std::size_t>(base + i)] =
         static_cast<std::size_t>(i) < values.size() ? values[static_cast<std::size_t>(i)] : 0.0;
   }
+}
+
+/// Seeds the global fanout accumulator exactly as the from-scratch extract
+/// consumes it: every non-constant node, ascending id.
+FanoutStats seed_global_stats(const Aig& g, const aig::AnalysisCache& cache) {
+  FanoutStats stats;
+  const auto& fanout = cache.fanouts();
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (g.is_constant(id)) continue;
+    stats.add(fanout[id]);
+  }
+  return stats;
+}
+
+/// Features 11-14: global fanout distribution over PI and AND nodes.
+void fill_global_stats(const FanoutStats& stats, FeatureVector& f) {
+  f[11] = stats.mean();
+  f[12] = stats.dmax();
+  f[13] = stats.stddev();
+  f[14] = stats.dsum();
+}
+
+/// Features 15-18: fanout distribution restricted to nodes on a
+/// maximum-depth path ("path depth == aig level" in Table II).
+void fill_critical_stats(const aig::AnalysisCache& cache, FeatureVector& f) {
+  FanoutStats stats;
+  const auto& fanout = cache.fanouts();
+  for (const NodeId id : cache.critical_nodes()) stats.add(fanout[id]);
+  f[15] = stats.mean();
+  f[16] = stats.dmax();
+  f[17] = stats.stddev();
+  f[18] = stats.dsum();
+}
+
+/// PO-indexed features: plain/weighted/binary-weighted top-n depths (2-10)
+/// and log2-compressed top-n path counts (19-21).  Path counts grow
+/// exponentially with depth, and tree models only consume the ordering, so
+/// the monotone transform loses nothing while keeping the CSV finite and
+/// readable.
+void fill_po_features(const Aig& g, const aig::AnalysisCache& cache, FeatureVector& f) {
+  const auto& depth = cache.depths();
+  const auto& wdepth = cache.fanout_weighted_depths();
+  const auto& bdepth = cache.binary_weighted_depths();
+  const auto& paths = cache.path_counts();
+  std::vector<double> po_depths, po_wdepths, po_bdepths, po_paths;
+  po_depths.reserve(g.num_outputs());
+  po_wdepths.reserve(g.num_outputs());
+  po_bdepths.reserve(g.num_outputs());
+  po_paths.reserve(g.num_outputs());
+  for (const Lit o : g.outputs()) {
+    const NodeId v = aig::lit_var(o);
+    po_depths.push_back(static_cast<double>(depth[v]));
+    po_wdepths.push_back(wdepth[v]);
+    po_bdepths.push_back(bdepth[v]);
+    po_paths.push_back(std::log2(1.0 + paths[v]));
+  }
+  top_n(std::move(po_depths), kPathDepthN, f, 2);
+  top_n(std::move(po_wdepths), kPathDepthN, f, 5);
+  top_n(std::move(po_bdepths), kPathDepthN, f, 8);
+  top_n(std::move(po_paths), kNumPathsN, f, 19);
 }
 
 }  // namespace
@@ -76,63 +146,111 @@ void extract_into(const Aig& g, std::span<double> out) {
 
 FeatureVector extract(const Aig& g, const aig::AnalysisCache& cache) {
   FeatureVector f{};
-  const auto& fanout = cache.fanouts();
-  const auto& depth = cache.depths();
-
   f[0] = static_cast<double>(g.num_ands());
   f[1] = static_cast<double>(cache.aig_level());
-
-  // Per-PO plain, fanout-weighted, and binary-weighted depths (the weighted
-  // variants come from the same fused sweep; see aig::AnalysisCache).
-  const auto& wdepth = cache.fanout_weighted_depths();
-  const auto& bdepth = cache.binary_weighted_depths();
-  std::vector<double> po_depths, po_wdepths, po_bdepths;
-  po_depths.reserve(g.num_outputs());
-  po_wdepths.reserve(g.num_outputs());
-  po_bdepths.reserve(g.num_outputs());
-  for (const Lit o : g.outputs()) {
-    const NodeId v = aig::lit_var(o);
-    po_depths.push_back(static_cast<double>(depth[v]));
-    po_wdepths.push_back(wdepth[v]);
-    po_bdepths.push_back(bdepth[v]);
-  }
-  top_n(std::move(po_depths), kPathDepthN, f, 2);
-  top_n(std::move(po_wdepths), kPathDepthN, f, 5);
-  top_n(std::move(po_bdepths), kPathDepthN, f, 8);
-
-  // Global fanout distribution over PI and AND nodes.
-  RunningStats fanout_stats;
-  for (NodeId id = 0; id < g.num_nodes(); ++id) {
-    if (g.is_constant(id)) continue;
-    fanout_stats.add(static_cast<double>(fanout[id]));
-  }
-  f[11] = fanout_stats.mean();
-  f[12] = fanout_stats.max();
-  f[13] = fanout_stats.stddev();
-  f[14] = fanout_stats.sum();
-
-  // Fanout distribution restricted to nodes on a maximum-depth path
-  // ("path depth == aig level" in Table II).
-  RunningStats long_path_stats;
-  for (const NodeId id : cache.critical_nodes()) {
-    long_path_stats.add(static_cast<double>(fanout[id]));
-  }
-  f[15] = long_path_stats.mean();
-  f[16] = long_path_stats.max();
-  f[17] = long_path_stats.stddev();
-  f[18] = long_path_stats.sum();
-
-  // Per-PO path counts, log2-compressed: counts grow exponentially with
-  // depth, and tree models only consume the ordering, so the monotone
-  // transform loses nothing while keeping the CSV finite and readable.
-  const auto& paths = cache.path_counts();
-  std::vector<double> po_paths;
-  po_paths.reserve(g.num_outputs());
-  for (const Lit o : g.outputs()) {
-    po_paths.push_back(std::log2(1.0 + paths[aig::lit_var(o)]));
-  }
-  top_n(std::move(po_paths), kNumPathsN, f, 19);
+  fill_po_features(g, cache, f);
+  fill_global_stats(seed_global_stats(g, cache), f);
+  fill_critical_stats(cache, f);
   return f;
+}
+
+// ---- IncrementalExtractor ---------------------------------------------------
+
+FeatureVector IncrementalExtractor::bind(const Aig& g, const aig::AnalysisCache& cache) {
+  global_ = seed_global_stats(g, cache);
+  features_ = extract(g, cache);
+  bound_ = true;
+  pending_ = false;
+  return features_;
+}
+
+FeatureVector IncrementalExtractor::update(const Aig& g, const aig::AnalysisCache& cache,
+                                           const aig::DirtyRegion& dirty) {
+  if (!bound_) throw std::logic_error("IncrementalExtractor::update: bind() first");
+  if (pending_) throw std::logic_error("IncrementalExtractor::update: an update is already pending");
+  global_prev_ = global_;
+  features_prev_ = features_;
+  pending_ = true;
+
+  if (cache.last_update_full()) {
+    // The cache fell back to a from-scratch rebuild; mirror it.
+    global_ = seed_global_stats(g, cache);
+    features_ = extract(g, cache);
+    return features_;
+  }
+
+  const auto& fanout = cache.fanouts();
+  const std::size_t before_n = cache.last_before_num_nodes();
+  const std::size_t new_n = g.num_nodes();
+
+  // Global fanout stats: reverse/apply the net per-node contributions the
+  // cache recorded.  Integer accumulators make this order-independent and
+  // exactly equal to re-seeding from scratch (see detail::FanoutStats).
+  const auto& changes = cache.last_fanout_changes();
+  if (!changes.empty() || new_n != before_n) {
+    std::uint32_t max_removed = 0;
+    for (const auto& c : changes) {
+      if (c.id == 0) continue;  // the constant node is excluded from stats
+      if (c.id < before_n) {
+        global_.remove(c.before);
+        max_removed = std::max(max_removed, c.before);
+      }
+      if (c.id < new_n) global_.add(c.after);
+    }
+    // Nodes added/removed with zero fanout never appear in the change list;
+    // they carry no sum weight, but they do count.
+    global_.count = new_n - 1;
+    if (max_removed >= global_.max) {
+      // The maximum's witness may have been removed or decreased — rescan.
+      global_.max = 0;
+      for (NodeId id = 1; id < new_n; ++id) global_.max = std::max(global_.max, fanout[id]);
+    }
+    fill_global_stats(global_, features_);
+  }
+
+  // Critical-path stats change exactly when the reverse sweep re-ran.
+  if (cache.last_reverse_ran()) fill_critical_stats(cache, features_);
+
+  // PO-indexed tops change only when an output was redirected or a driver's
+  // forward values moved.
+  bool po_dirty = dirty.outputs_changed;
+  if (!po_dirty) {
+    for (const Lit o : g.outputs()) {
+      if (cache.value_changed(aig::lit_var(o))) {
+        po_dirty = true;
+        break;
+      }
+    }
+  }
+  if (po_dirty) fill_po_features(g, cache, features_);
+
+  features_[0] = static_cast<double>(g.num_ands());
+  features_[1] = static_cast<double>(cache.aig_level());
+  return features_;
+}
+
+FeatureVector IncrementalExtractor::adopt(const FeatureVector& features,
+                                          const detail::FanoutStats& global) {
+  if (!bound_) throw std::logic_error("IncrementalExtractor::adopt: bind() first");
+  if (pending_) throw std::logic_error("IncrementalExtractor::adopt: an update is already pending");
+  global_prev_ = global_;
+  features_prev_ = features_;
+  global_ = global;
+  features_ = features;
+  pending_ = true;
+  return features_;
+}
+
+void IncrementalExtractor::commit() {
+  if (!pending_) throw std::logic_error("IncrementalExtractor::commit: no update pending");
+  pending_ = false;
+}
+
+void IncrementalExtractor::rollback() {
+  if (!pending_) throw std::logic_error("IncrementalExtractor::rollback: no update pending");
+  global_ = global_prev_;
+  features_ = features_prev_;
+  pending_ = false;
 }
 
 const std::vector<FeatureGroup>& feature_groups() {

@@ -13,15 +13,20 @@
 // itself: depth(PI) = 1, depth(AND) = 1 + max(fanin depths).
 //
 // All 22 features are O(V + E) to extract — the whole point is that
-// inference is dramatically cheaper than technology mapping + STA.
+// inference is dramatically cheaper than technology mapping + STA.  Inside
+// the optimization hot loop they get cheaper still: IncrementalExtractor
+// recomputes only the feature components whose supporting analysis sweeps a
+// move invalidated, bit-identical to a from-scratch extract() (DESIGN.md §8).
 
 #include <array>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "aig/aig.hpp"
 #include "aig/analysis.hpp"
+#include "aig/dirty.hpp"
 
 namespace aigml::features {
 
@@ -43,12 +48,109 @@ using FeatureVector = std::array<double, kNumFeatures>;
 
 /// Same, over a caller-provided cache (for callers that also need the raw
 /// analyses, e.g. cost evaluators mixing features with structural metrics).
+/// `cache` must be bound to `g` (full scope).
 [[nodiscard]] FeatureVector extract(const aig::Aig& g, const aig::AnalysisCache& cache);
 
 /// Extracts directly into a caller-provided row of a batch feature matrix
 /// (serve::PredictService fans extraction out into one flat matrix and runs
 /// a single predict_all pass).  out.size() must be kNumFeatures.
 void extract_into(const aig::Aig& g, std::span<double> out);
+
+namespace detail {
+
+/// Exact streaming accumulator for the fanout statistics (features 11-18).
+/// Fanout counts are integers, so sums and sums-of-squares are kept in
+/// uint64 — modular integer arithmetic is associative and invertible, which
+/// is what lets IncrementalExtractor add/remove individual contributions and
+/// still reproduce the from-scratch result *bit-identically* (a Welford-style
+/// float accumulator is insertion-order-dependent and cannot be reversed).
+/// The derived statistics are computed from the integer state with one fixed
+/// float expression each, so any path arriving at the same multiset of
+/// fanouts yields the same doubles.
+struct FanoutStats {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t sumsq = 0;
+  std::uint32_t max = 0;
+
+  void add(std::uint32_t v) noexcept {
+    ++count;
+    sum += v;
+    sumsq += static_cast<std::uint64_t>(v) * v;
+    if (v > max) max = v;
+  }
+  /// Reverses add(v).  The caller owns max-invalidation (see
+  /// IncrementalExtractor): removing the current maximum requires a rescan.
+  void remove(std::uint32_t v) noexcept {
+    --count;
+    sum -= v;
+    sumsq -= static_cast<std::uint64_t>(v) * v;
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+  /// Population standard deviation from the integer moments.
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double dmax() const noexcept { return count ? static_cast<double>(max) : 0.0; }
+  [[nodiscard]] double dsum() const noexcept { return static_cast<double>(sum); }
+};
+
+}  // namespace detail
+
+/// Delta feature extraction for the optimization hot path (DESIGN.md §8).
+///
+/// Protocol, mirroring aig::AnalysisCache's speculative updates:
+///
+///   bind(g, cache)              full extraction + accumulator seeding
+///   update(g, cache, dirty)     after cache.update(g, dirty): recompute only
+///                               the invalidated feature components —
+///                               global fanout stats from the cache's net
+///                               fanout changes, critical-path stats only if
+///                               the reverse sweep re-ran, PO-indexed tops
+///                               only if an output driver's values changed
+///   commit() / rollback()       adopt / exactly undo the last update
+///
+/// Hard contract: the returned vector is bit-identical to
+/// extract(g, fresh_cache) for the same graph, enforced per-move by
+/// tests/test_incremental.cpp.  One update may be pending at a time; the
+/// referenced cache must be the one the paired AnalysisCache call used.
+class IncrementalExtractor {
+ public:
+  FeatureVector bind(const aig::Aig& g, const aig::AnalysisCache& cache);
+  FeatureVector update(const aig::Aig& g, const aig::AnalysisCache& cache,
+                       const aig::DirtyRegion& dirty);
+  void commit();
+  void rollback();
+
+  /// Speculatively replaces the bound state with previously captured values
+  /// (evaluation-memo restore; see opt::detail::FeatureContext).  Same
+  /// pending semantics as update().
+  FeatureVector adopt(const FeatureVector& features, const detail::FanoutStats& global);
+
+  /// The global-fanout accumulator backing features 11-14 (captured by the
+  /// evaluation memo alongside features(), fed back through adopt()).
+  [[nodiscard]] const detail::FanoutStats& global_stats() const noexcept { return global_; }
+
+  /// Features of the currently bound graph (last bind/update result).
+  [[nodiscard]] const FeatureVector& features() const noexcept { return features_; }
+
+  /// True iff the pending update produced a vector different from the
+  /// pre-update one.  When false, a downstream consumer may reuse whatever
+  /// it derived from the previous vector (e.g. MlCost skips GBDT inference)
+  /// without breaking bit-identity — identical input, identical output.
+  [[nodiscard]] bool last_update_changed() const noexcept {
+    return pending_ && features_ != features_prev_;
+  }
+
+ private:
+  bool bound_ = false;
+  bool pending_ = false;
+  detail::FanoutStats global_;
+  FeatureVector features_{};
+  detail::FanoutStats global_prev_;
+  FeatureVector features_prev_{};
+};
 
 /// Feature groups for the ablation bench (drop-one-group retraining).
 struct FeatureGroup {

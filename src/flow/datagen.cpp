@@ -157,9 +157,11 @@ GeneratedData load_or_generate(const Aig& base, const std::string& tag, const ce
                                const std::filesystem::path& cache_dir) {
   // The batch size is part of the deterministic schedule (it changes which
   // variants get generated), so it belongs in the cache key; thread count
-  // does not (results are bit-identical at any thread count).  The "v2"
-  // schema marker separates these caches from the pre-batching generator's.
-  const std::string stem = tag + "_v2_n" + std::to_string(params.num_variants) + "_s" +
+  // does not (results are bit-identical at any thread count).  The "v3"
+  // schema marker separates these caches from earlier generators' ("v2":
+  // pre-batching; "v3": the exact-integer fanout statistics of the
+  // incremental feature extractor shift fanout_mean/std by ulps).
+  const std::string stem = tag + "_v3_n" + std::to_string(params.num_variants) + "_s" +
                            std::to_string(params.seed) + "_b" +
                            std::to_string(params.resolved_batch_size());
   const auto delay_path = cache_dir / (stem + "_delay.csv");

@@ -1,11 +1,99 @@
 #include "opt/cost.hpp"
 
+#include <algorithm>
+
 #include "aig/analysis.hpp"
 
 namespace aigml::opt {
 
+namespace detail {
+
+namespace {
+
+/// Exact structural equality in id space: same records, same outputs.
+/// Field-wise compare (never a fingerprint) — a false positive would break
+/// the bit-identity contract, so none are possible.
+bool same_structure(const std::vector<aig::Node>& nodes, const std::vector<aig::Lit>& outputs,
+                    const aig::Aig& g) {
+  if (nodes.size() != g.num_nodes() || outputs != g.outputs()) return false;
+  for (aig::NodeId id = 0; id < nodes.size(); ++id) {
+    if (!(nodes[id] == g.node(id))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+features::FeatureVector FeatureContext::bind_features(const aig::Aig& g) {
+  memo_.clear();
+  active_entry_ = nullptr;
+  cache_.rebuild(g);
+  return extractor_.bind(g, cache_);
+}
+
+FeatureContext::MemoEntry* FeatureContext::find_memo(const aig::Aig& g) {
+  for (std::size_t i = 0; i < memo_.size(); ++i) {
+    if (!same_structure(memo_[i]->nodes, memo_[i]->outputs, g)) continue;
+    // LRU bump: repeats cluster in time, so keep the hit cheap to re-find.
+    std::rotate(memo_.begin(), memo_.begin() + static_cast<std::ptrdiff_t>(i),
+                memo_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    return memo_.front().get();
+  }
+  return nullptr;
+}
+
+void FeatureContext::remember(const aig::Aig& g) {
+  if (g.num_nodes() > kMemoMaxNodes) return;
+  std::unique_ptr<MemoEntry> entry;
+  if (memo_.size() >= kMemoEntries) {
+    entry = std::move(memo_.back());  // recycle the LRU entry's buffers
+    memo_.pop_back();
+  } else {
+    entry = std::make_unique<MemoEntry>();
+  }
+  entry->nodes.clear();
+  entry->nodes.reserve(g.num_nodes());
+  for (aig::NodeId id = 0; id < g.num_nodes(); ++id) entry->nodes.push_back(g.node(id));
+  entry->outputs = g.outputs();
+  cache_.save(entry->analysis);
+  entry->features = extractor_.features();
+  entry->global = extractor_.global_stats();
+  entry->has_payload = false;
+  memo_.insert(memo_.begin(), std::move(entry));
+  active_entry_ = memo_.front().get();
+}
+
+features::FeatureVector FeatureContext::update(const aig::Aig& g, const aig::DirtyRegion& dirty) {
+  active_entry_ = nullptr;
+  if (!dirty.empty()) {
+    if (MemoEntry* entry = find_memo(g)) {
+      active_entry_ = entry;
+      cache_.adopt(entry->analysis);
+      return extractor_.adopt(entry->features, entry->global);
+    }
+  }
+  cache_.update(g, dirty);
+  const features::FeatureVector f = extractor_.update(g, cache_, dirty);
+  if (!dirty.empty()) remember(g);
+  return f;
+}
+
+}  // namespace detail
+
 QualityEval ProxyCost::evaluate_impl(const aig::Aig& g) {
   return QualityEval{static_cast<double>(aig::aig_level(g)),
+                     static_cast<double>(g.num_ands())};
+}
+
+QualityEval ProxyCost::bind_impl(const aig::Aig& g) {
+  cache_.rebuild(g);
+  return QualityEval{static_cast<double>(cache_.aig_level()),
+                     static_cast<double>(g.num_ands())};
+}
+
+QualityEval ProxyCost::evaluate_delta_impl(const aig::Aig& g, const aig::DirtyRegion& dirty) {
+  cache_.update(g, dirty);
+  return QualityEval{static_cast<double>(cache_.aig_level()),
                      static_cast<double>(g.num_ands())};
 }
 
@@ -17,8 +105,16 @@ QualityEval GroundTruthCost::evaluate_impl(const aig::Aig& g) {
 
 QualityEval MlCost::evaluate_impl(const aig::Aig& g) {
   // extract() runs one fused AnalysisCache traversal (see aig/analysis.hpp).
-  const features::FeatureVector f = features::extract(g);
-  return QualityEval{delay_model_->predict(f), area_model_->predict(f)};
+  return predict(features::extract(g));
+}
+
+QualityEval MlCost::bind_impl(const aig::Aig& g) {
+  return ctx_.bind(g, [this](const features::FeatureVector& f) { return predict(f); });
+}
+
+QualityEval MlCost::evaluate_delta_impl(const aig::Aig& g, const aig::DirtyRegion& dirty) {
+  return ctx_.evaluate_delta(
+      g, dirty, [this](const features::FeatureVector& f) { return predict(f); });
 }
 
 }  // namespace aigml::opt

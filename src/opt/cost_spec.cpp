@@ -81,7 +81,26 @@ RemoteCost::RemoteCost(const std::string& host, std::uint16_t port, std::string 
 std::string RemoteCost::name() const { return "serve:" + host_ + ":" + std::to_string(port_); }
 
 QualityEval RemoteCost::evaluate_impl(const aig::Aig& g) {
-  const features::FeatureVector f = features::extract(g);
+  return query(features::extract(g));
+}
+
+QualityEval RemoteCost::bind_impl(const aig::Aig& g) {
+  return ctx_.bind(g, [this](const features::FeatureVector& f) { return query(f); });
+}
+
+QualityEval RemoteCost::evaluate_delta_impl(const aig::Aig& g, const aig::DirtyRegion& dirty) {
+  // reuse_derived = false: the server may hot-reload its model mid-run, so
+  // every move must query the live server — replaying a memoized answer
+  // would pin rejected/repeated moves to the old model while novel moves
+  // see the new one.  Feature extraction stays incremental (the features
+  // are model-independent), and %.17g wire formatting round-trips exactly,
+  // so each query is still bit-identical to a from-scratch evaluate().
+  return ctx_.evaluate_delta(
+      g, dirty, [this](const features::FeatureVector& f) { return query(f); },
+      /*reuse_derived=*/false);
+}
+
+QualityEval RemoteCost::query(const features::FeatureVector& f) {
   return QualityEval{client_.predict_features(delay_model_, f),
                      client_.predict_features(area_model_, f)};
 }

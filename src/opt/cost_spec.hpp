@@ -50,22 +50,38 @@ struct CostContext {
 /// MlCost over the same model snapshots.  One connection per evaluator; an
 /// unreachable or restarting server surfaces as std::runtime_error from
 /// evaluate().
+///
+/// Incremental (cost.hpp protocol): the *feature* side runs through the same
+/// persistent FeatureContext as MlCost — delta-repaired analyses, delta
+/// extraction — and only the 22 resulting doubles cross the wire.  Unlike
+/// MlCost (whose snapshots are pinned for the evaluator's lifetime), the
+/// server may hot-reload its model mid-run, so RemoteCost never replays a
+/// remembered prediction: every move queries the live server, and only the
+/// feature computation is incremental.
 class RemoteCost final : public CostEvaluator {
  public:
   RemoteCost(const std::string& host, std::uint16_t port, std::string delay_model = "delay",
              std::string area_model = "area");
 
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool supports_incremental() const noexcept override { return true; }
 
  protected:
   QualityEval evaluate_impl(const aig::Aig& g) override;
+  QualityEval bind_impl(const aig::Aig& g) override;
+  QualityEval evaluate_delta_impl(const aig::Aig& g, const aig::DirtyRegion& dirty) override;
+  void commit_impl() override { ctx_.commit(); }
+  void rollback_impl() override { ctx_.rollback(); }
 
  private:
+  [[nodiscard]] QualityEval query(const features::FeatureVector& f);
+
   std::string host_;
   std::uint16_t port_;
   std::string delay_model_;
   std::string area_model_;
   serve::Client client_;
+  detail::FeatureContext ctx_;
 };
 
 /// Builds the evaluator a spec names (grammar above).

@@ -16,8 +16,8 @@ OptResult GreedyStrategy::run(const aig::Aig& initial, CostEvaluator& evaluator,
     return candidate_cost <= current_cost * (1.0 + params_.tolerance);
   };
   return detail::search_loop(initial, evaluator, stop, observer, registry,
-                             params_.weight_delay, params_.weight_area, params_.seed, accept,
-                             [] {});
+                             params_.weight_delay, params_.weight_area, params_.seed,
+                             params_.incremental, accept, [] {});
 }
 
 std::unique_ptr<Strategy> GreedyStrategy::reseeded(std::uint64_t seed) const {

@@ -21,6 +21,9 @@ struct GreedyParams {
   double weight_delay = 1.0;
   double weight_area = 0.5;
   std::uint64_t seed = 1;
+  /// Use the incremental move-evaluation protocol when the evaluator
+  /// supports it (bit-identical trajectories either way; see DESIGN.md §8).
+  bool incremental = true;
 };
 
 class GreedyStrategy final : public Strategy {

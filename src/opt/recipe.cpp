@@ -122,10 +122,16 @@ Recipe Recipe::parse(const std::string& text) {
       recipe.inner = value;
     } else if (key == "cost") {
       recipe.cost = value;
+    } else if (key == "inc") {
+      if (value == "0" || value == "1") {
+        recipe.incremental = value == "1";
+      } else {
+        fail("inc=" + value + ": expected 0 or 1");
+      }
     } else {
       fail("unknown key '" + key +
            "' (known: strategy iters max_seconds max_evals wd wa seed temp decay tol "
-           "starts inner cost)");
+           "starts inner cost inc)");
     }
   }
   return recipe;
@@ -154,6 +160,7 @@ std::string Recipe::to_string() const {
   out += ";wd=" + format_number(weight_delay) + ";wa=" + format_number(weight_area);
   out += ";seed=" + std::to_string(seed);
   out += ";cost=" + cost;
+  if (!incremental) out += ";inc=0";
   return out;
 }
 
@@ -167,6 +174,7 @@ std::unique_ptr<Strategy> Recipe::make_strategy() const {
       params.weight_delay = weight_delay;
       params.weight_area = weight_area;
       params.seed = seed;
+      params.incremental = incremental;
       return std::make_unique<SaStrategy>(params);
     }
     if (kind == "greedy") {
@@ -176,6 +184,7 @@ std::unique_ptr<Strategy> Recipe::make_strategy() const {
       params.weight_delay = weight_delay;
       params.weight_area = weight_area;
       params.seed = seed;
+      params.incremental = incremental;
       return std::make_unique<GreedyStrategy>(params);
     }
     fail("unknown strategy '" + kind + "'");

@@ -15,6 +15,8 @@
 //   starts=N         portfolio repetitions (default 3)
 //   inner=sa|greedy  portfolio inner strategy (default sa)
 //   cost=SPEC        cost spec (cost_spec.hpp grammar; default proxy)
+//   inc=0|1          incremental move evaluation (default 1; bit-identical
+//                    trajectories either way — a perf/debug knob, §8)
 //
 // Example: `strategy=sa;iters=500;decay=0.97;cost=ml:models;wd=1;wa=0.5`.
 // parse() rejects unknown keys and malformed numbers with messages naming
@@ -50,6 +52,8 @@ struct Recipe {
   std::string inner = "sa";  ///< sa | greedy
   // Evaluator.
   std::string cost = "proxy";
+  // Incremental move evaluation (perf knob; trajectories are identical).
+  bool incremental = true;
 
   /// Parses the grammar above; throws std::invalid_argument on unknown
   /// keys, malformed numbers, or invalid strategy names.

@@ -26,8 +26,8 @@ OptResult SaStrategy::run(const aig::Aig& initial, CostEvaluator& evaluator,
   };
   const auto post_iteration = [&] { temperature *= params_.decay; };
   return detail::search_loop(initial, evaluator, stop, observer, registry,
-                             params_.weight_delay, params_.weight_area, params_.seed, accept,
-                             post_iteration);
+                             params_.weight_delay, params_.weight_area, params_.seed,
+                             params_.incremental, accept, post_iteration);
 }
 
 std::unique_ptr<Strategy> SaStrategy::reseeded(std::uint64_t seed) const {

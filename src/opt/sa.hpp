@@ -27,6 +27,9 @@ struct SaParams {
   double weight_delay = 1.0;          ///< the other swept knob (with weight_area)
   double weight_area = 0.5;
   std::uint64_t seed = 1;
+  /// Use the incremental move-evaluation protocol when the evaluator
+  /// supports it (bit-identical trajectories either way; see DESIGN.md §8).
+  bool incremental = true;
 };
 
 /// Pre-Strategy result name; OptResult is the universal shape.

@@ -41,18 +41,24 @@ void validate_stop(const StopCondition& stop, const char* who) {
 OptResult search_loop(const aig::Aig& initial, CostEvaluator& evaluator,
                       const StopCondition& stop, Observer* observer,
                       const transforms::ScriptRegistry& registry, double weight_delay,
-                      double weight_area, std::uint64_t seed,
+                      double weight_area, std::uint64_t seed, bool use_incremental,
                       const std::function<bool(double, double, Rng&)>& accept,
                       const std::function<void()>& post_iteration) {
   Timer total_timer;
   Rng rng(seed);
+  // Incremental move evaluation (DESIGN.md §8): bind a persistent context to
+  // the current graph, hand each candidate's dirty region to the evaluator,
+  // and turn accept/reject into commit/rollback.  Values are bit-identical
+  // to the from-scratch path by contract, so the trajectory cannot depend on
+  // the setting.
+  const bool incremental = use_incremental && evaluator.supports_incremental();
   // Snapshot the evaluator's cumulative clocks so shared evaluators report
   // run-local deltas (the pre-Strategy sweep leaked earlier runs' time).
   const double eval_seconds_before = evaluator.eval_seconds();
   const std::uint64_t eval_count_before = evaluator.eval_count();
 
   OptResult result;
-  result.initial_eval = evaluator.evaluate(initial);
+  result.initial_eval = incremental ? evaluator.bind(initial) : evaluator.evaluate(initial);
   const double delay0 = result.initial_eval.delay > 0 ? result.initial_eval.delay : 1.0;
   const double area0 = result.initial_eval.area > 0 ? result.initial_eval.area : 1.0;
   auto cost_of = [&](const QualityEval& q) {
@@ -87,12 +93,24 @@ OptResult search_loop(const aig::Aig& initial, CostEvaluator& evaluator,
     IterationRecord record;
     record.script_index = registry.random_index(rng);
 
+    // The traced apply's diff is charged to transform time: reporting the
+    // touched region is the transform's job (transforms/traced.hpp), and
+    // eval_seconds stays the paper's pure reward-calculation clock.
     Timer transform_timer;
-    aig::Aig candidate = registry.apply(record.script_index, current);
+    aig::Aig candidate;
+    aig::DirtyRegion dirty;
+    if (incremental) {
+      transforms::TransformResult traced = registry.apply_traced(record.script_index, current);
+      candidate = std::move(traced.graph);
+      dirty = std::move(traced.dirty);
+    } else {
+      candidate = registry.apply(record.script_index, current);
+    }
     record.transform_seconds = transform_timer.elapsed_s();
 
     const double eval_before = evaluator.eval_seconds();
-    const QualityEval q = evaluator.evaluate(candidate);
+    const QualityEval q =
+        incremental ? evaluator.evaluate_delta(candidate, dirty) : evaluator.evaluate(candidate);
     record.eval_seconds = evaluator.eval_seconds() - eval_before;
 
     record.delay = q.delay;
@@ -100,6 +118,7 @@ OptResult search_loop(const aig::Aig& initial, CostEvaluator& evaluator,
     record.cost = cost_of(q);
     record.accepted = accept(record.cost, current_cost, rng);
     if (record.accepted) {
+      if (incremental) evaluator.commit_move();
       current = std::move(candidate);
       current_cost = record.cost;
       if (record.cost < result.best_cost) {
@@ -108,6 +127,8 @@ OptResult search_loop(const aig::Aig& initial, CostEvaluator& evaluator,
         result.best_cost = record.cost;
         if (observer != nullptr) observer->on_improvement(iter, q, record.cost);
       }
+    } else if (incremental) {
+      evaluator.rollback_move();
     }
     post_iteration();
     result.total_transform_seconds += record.transform_seconds;

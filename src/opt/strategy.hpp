@@ -17,6 +17,12 @@
 // evaluator's cumulative clocks (eval_seconds / eval_count snapshots taken
 // at entry), so sharing one CostEvaluator across consecutive runs never
 // bleeds one run's evaluation time into the next run's report.
+//
+// Evaluation contract: the shared search_loop runs moves through the
+// incremental protocol (cost.hpp, DESIGN.md §8) whenever the evaluator
+// supports it — traced transforms report dirty regions, accept/reject maps
+// to commit/rollback.  Incremental and from-scratch evaluation are
+// bit-identical by contract, so strategies never observe the difference.
 
 #include <cstdint>
 #include <functional>
@@ -125,10 +131,17 @@ namespace detail {
 /// `post_iteration` runs after each move (e.g. temperature decay).  The RNG
 /// draw order is exactly the pre-Strategy one, so fixed seeds reproduce
 /// legacy trajectories bit-identically.
+///
+/// When `use_incremental` is set and the evaluator supports it, moves run
+/// through the incremental protocol (cost.hpp): scripts are applied traced,
+/// the evaluator repairs a persistent context from each move's dirty region,
+/// and accept/reject becomes commit/rollback.  Evaluations are bit-identical
+/// either way (the §8 contract), so the knob changes wall-time only — it
+/// exists for benchmarking and as an escape hatch, and defaults to on.
 OptResult search_loop(const aig::Aig& initial, CostEvaluator& evaluator,
                       const StopCondition& stop, Observer* observer,
                       const transforms::ScriptRegistry& registry, double weight_delay,
-                      double weight_area, std::uint64_t seed,
+                      double weight_area, std::uint64_t seed, bool use_incremental,
                       const std::function<bool(double, double, Rng&)>& accept,
                       const std::function<void()>& post_iteration);
 

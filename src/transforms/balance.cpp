@@ -115,4 +115,6 @@ Aig balance(const Aig& g) {
   return builder.graph().cleanup();
 }
 
+TransformResult balance_traced(const Aig& g) { return traced(g, balance(g)); }
+
 }  // namespace aigml::transforms

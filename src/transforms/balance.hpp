@@ -3,12 +3,22 @@
 // collapsing maximal single-fanout AND trees and re-associating them as
 // level-minimal balanced trees.  Purely structural, equivalence-preserving,
 // and the classic depth-reduction move of the optimization scripts.
+//
+// Invariants: the PI/PO interface (count, order, names) is preserved; the
+// result is cleaned up (no dead nodes) and structurally hashed; node ids
+// remain topological.  Deterministic: identical inputs produce identical
+// outputs, which is what makes balance_traced's dirty region meaningful.
 
 #include "aig/aig.hpp"
+#include "transforms/traced.hpp"
 
 namespace aigml::transforms {
 
 /// Returns a balanced, cleaned-up copy of `g` (same PI/PO interface).
 [[nodiscard]] aig::Aig balance(const aig::Aig& g);
+
+/// balance() plus the dirty region vs. `g` for incremental evaluation
+/// (traced.hpp).  Bit-identical graph to balance(g).
+[[nodiscard]] TransformResult balance_traced(const aig::Aig& g);
 
 }  // namespace aigml::transforms

@@ -347,4 +347,8 @@ Aig resub(const Aig& g) {
   return resynthesize(g, p);
 }
 
+TransformResult resynthesize_traced(const Aig& g, const ResynthParams& params) {
+  return traced(g, resynthesize(g, params));
+}
+
 }  // namespace aigml::transforms

@@ -24,6 +24,7 @@
 #include <cstdint>
 
 #include "aig/aig.hpp"
+#include "transforms/traced.hpp"
 
 namespace aigml::transforms {
 
@@ -42,8 +43,15 @@ struct ResynthParams {
   bool prefer_depth = false;   ///< optimize (level, count) instead of (count, level)
 };
 
-/// Applies one resynthesis pass; returns the cleaned-up result.
+/// Applies one resynthesis pass; returns the cleaned-up result.  The PI/PO
+/// interface is preserved and node ids stay topological; nodes before the
+/// first accepted rewrite keep their ids, which keeps the traced variant's
+/// dirty region tight for local changes.
 [[nodiscard]] aig::Aig resynthesize(const aig::Aig& g, const ResynthParams& params);
+
+/// resynthesize() plus the dirty region vs. `g` for incremental evaluation
+/// (traced.hpp).  Bit-identical graph to resynthesize(g, params).
+[[nodiscard]] TransformResult resynthesize_traced(const aig::Aig& g, const ResynthParams& params);
 
 // Named presets mirroring the ABC vocabulary.
 [[nodiscard]] aig::Aig rewrite(const aig::Aig& g);          ///< rw: 4-cut, area-first

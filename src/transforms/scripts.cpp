@@ -62,6 +62,10 @@ aig::Aig ScriptRegistry::apply(std::size_t index, const aig::Aig& g) const {
   return current;
 }
 
+TransformResult ScriptRegistry::apply_traced(std::size_t index, const aig::Aig& g) const {
+  return traced(g, apply(index, g));
+}
+
 const ScriptRegistry& script_registry() {
   static const ScriptRegistry registry;
   return registry;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "transforms/traced.hpp"
 #include "util/rng.hpp"
 
 namespace aigml::transforms {
@@ -43,6 +44,13 @@ class ScriptRegistry {
 
   /// Applies script `index` to `g`.
   [[nodiscard]] aig::Aig apply(std::size_t index, const aig::Aig& g) const;
+
+  /// Applies script `index` and reports the dirty region vs. `g` — one
+  /// end-to-end region per script, not per step (tighter and cheaper than
+  /// composing per-primitive regions).  The graph is bit-identical to
+  /// apply(index, g); opt::search_loop feeds the region to incremental
+  /// evaluators (DESIGN.md §8).
+  [[nodiscard]] TransformResult apply_traced(std::size_t index, const aig::Aig& g) const;
 
   /// Uniformly random script index.
   [[nodiscard]] std::size_t random_index(Rng& rng) const { return rng.next_below(scripts_.size()); }

@@ -145,4 +145,14 @@ Aig randomized_resynthesis(const Aig& g, std::uint64_t seed, double resynth_prob
   return out.cleanup();
 }
 
+TransformResult randomized_rebalance_traced(const Aig& g, std::uint64_t seed,
+                                            double chain_probability) {
+  return traced(g, randomized_rebalance(g, seed, chain_probability));
+}
+
+TransformResult randomized_resynthesis_traced(const Aig& g, std::uint64_t seed,
+                                              double resynth_probability) {
+  return traced(g, randomized_resynthesis(g, seed, resynth_probability));
+}
+
 }  // namespace aigml::transforms

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "aig/aig.hpp"
+#include "transforms/traced.hpp"
 
 namespace aigml::transforms {
 
@@ -33,5 +34,14 @@ namespace aigml::transforms {
 /// re-association cannot touch.  Deterministic in (g, seed).
 [[nodiscard]] aig::Aig randomized_resynthesis(const aig::Aig& g, std::uint64_t seed,
                                               double resynth_probability = 0.2);
+
+/// Traced variants (traced.hpp): the shuffles re-associate globally, so
+/// their dirty regions are typically large — they exist so *every* move
+/// source can feed the incremental evaluation pipeline, and so the fuzz
+/// tests can stress AnalysisCache::update with worst-case regions.
+[[nodiscard]] TransformResult randomized_rebalance_traced(const aig::Aig& g, std::uint64_t seed,
+                                                          double chain_probability = 0.3);
+[[nodiscard]] TransformResult randomized_resynthesis_traced(const aig::Aig& g, std::uint64_t seed,
+                                                            double resynth_probability = 0.2);
 
 }  // namespace aigml::transforms

@@ -1,0 +1,18 @@
+#include "transforms/traced.hpp"
+
+#include "transforms/scripts.hpp"
+
+namespace aigml::transforms {
+
+TransformResult traced(const aig::Aig& input, aig::Aig result) {
+  TransformResult out;
+  out.dirty = aig::diff_region(input, result);
+  out.graph = std::move(result);
+  return out;
+}
+
+TransformResult apply_primitive_traced(const std::string& mnemonic, const aig::Aig& g) {
+  return traced(g, apply_primitive(mnemonic, g));
+}
+
+}  // namespace aigml::transforms

@@ -1,0 +1,43 @@
+#pragma once
+// Traced transforms — the mutation-reporting side of the incremental move
+// evaluation pipeline (DESIGN.md §8).
+//
+// Every transform in this library is rebuild-style: it returns a fresh,
+// cleaned-up graph rather than mutating in place.  A *traced* variant pairs
+// that result with the aig::DirtyRegion separating it from the input, so the
+// optimization loop can hand both to an incremental evaluator
+// (AnalysisCache::update + features::IncrementalExtractor) instead of
+// re-analyzing the whole graph.  Because node ids are topological and
+// rebuilds preserve the untouched prefix, the reported region is tight for
+// local moves and degenerates gracefully (up to `full`) for global ones —
+// correctness never depends on tightness, only speed does.
+//
+// Per-transform traced entry points live next to their transforms
+// (balance.hpp, resynth.hpp, shuffle.hpp); script-level tracing lives on
+// transforms::ScriptRegistry::apply_traced (one region per multi-step
+// script, diffed end to end).
+
+#include <string>
+
+#include "aig/aig.hpp"
+#include "aig/dirty.hpp"
+
+namespace aigml::transforms {
+
+/// A transform's output graph plus the dirty region vs. its input graph.
+struct TransformResult {
+  aig::Aig graph;
+  aig::DirtyRegion dirty;
+};
+
+/// Wraps the `graph = f(input)` convention: computes the dirty region of an
+/// already-produced result against its input.
+[[nodiscard]] TransformResult traced(const aig::Aig& input, aig::Aig result);
+
+/// Traced apply_primitive (scripts.hpp): applies one primitive by mnemonic
+/// and reports the touched region.  Throws std::out_of_range for unknown
+/// mnemonics.
+[[nodiscard]] TransformResult apply_primitive_traced(const std::string& mnemonic,
+                                                     const aig::Aig& g);
+
+}  // namespace aigml::transforms

@@ -1,0 +1,429 @@
+// Incremental move evaluation (DESIGN.md §8): dirty regions, the
+// AnalysisCache update/commit/rollback protocol, delta feature extraction,
+// the incremental cost evaluators, and the search-loop integration.  The
+// from-scratch paths are the oracle throughout — every test asserts
+// *bit-identical* results, including a randomized 1000-move fuzz.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/analysis.hpp"
+#include "aig/dirty.hpp"
+#include "features/features.hpp"
+#include "gen/designs.hpp"
+#include "ml/dataset.hpp"
+#include "ml/gbdt.hpp"
+#include "opt/cost.hpp"
+#include "opt/greedy.hpp"
+#include "opt/sa.hpp"
+#include "transforms/balance.hpp"
+#include "transforms/resynth.hpp"
+#include "transforms/scripts.hpp"
+#include "transforms/shuffle.hpp"
+#include "util/rng.hpp"
+
+namespace aigml {
+namespace {
+
+using aig::Aig;
+using aig::AnalysisCache;
+using aig::DirtyRegion;
+using aig::Lit;
+using aig::NodeId;
+using transforms::TransformResult;
+
+// Compares every cache field against a freshly built AnalysisCache(g).
+void expect_cache_matches_fresh(const AnalysisCache& cache, const Aig& g, const char* where) {
+  const AnalysisCache fresh(g);
+  const std::size_t n = g.num_nodes();
+  ASSERT_EQ(cache.num_nodes(), n) << where;
+  ASSERT_GE(cache.levels().size(), n) << where;
+  for (NodeId id = 0; id < n; ++id) {
+    ASSERT_EQ(cache.levels()[id], fresh.levels()[id]) << where << " level @" << id;
+    ASSERT_EQ(cache.depths()[id], fresh.depths()[id]) << where << " depth @" << id;
+    ASSERT_EQ(cache.fanouts()[id], fresh.fanouts()[id]) << where << " fanout @" << id;
+    ASSERT_EQ(cache.fanout_weighted_depths()[id], fresh.fanout_weighted_depths()[id])
+        << where << " wdepth @" << id;
+    ASSERT_EQ(cache.binary_weighted_depths()[id], fresh.binary_weighted_depths()[id])
+        << where << " bdepth @" << id;
+    ASSERT_EQ(cache.path_counts()[id], fresh.path_counts()[id]) << where << " paths @" << id;
+  }
+  ASSERT_EQ(cache.aig_level(), fresh.aig_level()) << where;
+  ASSERT_EQ(cache.max_depth(), fresh.max_depth()) << where;
+  ASSERT_EQ(cache.critical_nodes(), fresh.critical_nodes()) << where;
+}
+
+// ---- DirtyRegion / diff_region ----------------------------------------------
+
+TEST(DirtyRegion, IdenticalGraphsDiffEmpty) {
+  const Aig g = gen::build_design("EX00");
+  const Aig copy = g;
+  const DirtyRegion d = aig::diff_region(g, copy);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(DirtyRegion, DetectsOutputRedirect) {
+  Aig g;
+  const Lit a = g.add_input();
+  const Lit b = g.add_input();
+  const Lit x = g.make_and(a, b);
+  g.add_output(x);
+  Aig h = g;
+  h.set_output(0, aig::lit_not(x));
+  const DirtyRegion d = aig::diff_region(g, h);
+  EXPECT_FALSE(d.empty());
+  EXPECT_TRUE(d.changed.empty());  // no node record changed
+  EXPECT_TRUE(d.outputs_changed);
+  ASSERT_EQ(d.before_outputs.size(), 1u);
+  EXPECT_EQ(d.before_outputs[0], x);
+}
+
+TEST(DirtyRegion, DetectsGrowthShrinkAndRecordChanges) {
+  Aig small;
+  const Lit a = small.add_input();
+  const Lit b = small.add_input();
+  small.add_output(small.make_and(a, b));
+
+  Aig big;
+  const Lit a2 = big.add_input();
+  const Lit b2 = big.add_input();
+  const Lit x = big.make_and(a2, b2);
+  big.add_output(big.make_and(x, aig::lit_not(a2)));
+
+  const DirtyRegion grow = aig::diff_region(small, big);
+  EXPECT_FALSE(grow.empty());
+  EXPECT_EQ(grow.before_num_nodes, small.num_nodes());
+  EXPECT_EQ(grow.after_num_nodes, big.num_nodes());
+  EXPECT_TRUE(grow.outputs_changed);
+
+  const DirtyRegion shrink = aig::diff_region(big, small);
+  EXPECT_EQ(shrink.before_tail.size(), big.num_nodes() - small.num_nodes());
+  EXPECT_EQ(shrink.size(), shrink.changed.size() + shrink.before_tail.size());
+}
+
+TEST(DirtyRegion, AllIsFull) {
+  const Aig g = gen::build_design("EX00");
+  const DirtyRegion d = DirtyRegion::all(g, g);
+  EXPECT_TRUE(d.full);
+  EXPECT_FALSE(d.empty());
+}
+
+// ---- AnalysisCache update/commit/rollback -----------------------------------
+
+TEST(AnalysisUpdate, MatchesRebuildAcrossEveryPrimitive) {
+  Aig current = gen::build_design("EX68");
+  AnalysisCache cache(current);
+  for (const std::string& mnemonic : transforms::primitive_names()) {
+    TransformResult move = transforms::apply_primitive_traced(mnemonic, current);
+    cache.update(move.graph, move.dirty);
+    expect_cache_matches_fresh(cache, move.graph, mnemonic.c_str());
+    cache.commit();
+    current = std::move(move.graph);
+  }
+}
+
+TEST(AnalysisUpdate, RollbackRestoresExactly) {
+  const Aig g = gen::build_design("EX00");
+  AnalysisCache cache(g);
+  // A worst-case move (global re-association) and a local one.
+  for (const TransformResult& move :
+       {transforms::randomized_rebalance_traced(g, 17), transforms::balance_traced(g)}) {
+    cache.update(move.graph, move.dirty);
+    cache.rollback();
+    expect_cache_matches_fresh(cache, g, "after rollback");
+  }
+}
+
+TEST(AnalysisUpdate, FullRegionFallbackAndRollback) {
+  const Aig g = gen::build_design("EX00");
+  const Aig h = transforms::balance(g);
+  AnalysisCache cache(g);
+  cache.update(h, DirtyRegion::all(g, h));
+  EXPECT_TRUE(cache.last_update_full());
+  expect_cache_matches_fresh(cache, h, "full update");
+  cache.rollback();
+  expect_cache_matches_fresh(cache, g, "full rollback");
+  cache.update(h, DirtyRegion::all(g, h));
+  cache.commit();
+  expect_cache_matches_fresh(cache, h, "full commit");
+}
+
+TEST(AnalysisUpdate, EmptyRegionIsNoOp) {
+  const Aig g = gen::build_design("EX68");
+  AnalysisCache cache(g);
+  const Aig copy = g;
+  const std::uint64_t recomputed_before = cache.nodes_recomputed();
+  cache.update(copy, aig::diff_region(g, copy));
+  EXPECT_EQ(cache.nodes_recomputed(), recomputed_before);  // zero repair work
+  expect_cache_matches_fresh(cache, copy, "no-op update");
+  cache.commit();
+}
+
+TEST(AnalysisUpdate, ProtocolMisuseThrows) {
+  const Aig g = gen::build_design("EX00");
+  AnalysisCache unbound;
+  EXPECT_THROW(unbound.update(g, aig::diff_region(g, g)), std::logic_error);
+  AnalysisCache cache(g);
+  EXPECT_THROW(cache.commit(), std::logic_error);
+  EXPECT_THROW(cache.rollback(), std::logic_error);
+  cache.update(g, aig::diff_region(g, g));
+  EXPECT_THROW(cache.update(g, aig::diff_region(g, g)), std::logic_error);
+  cache.commit();
+}
+
+// ---- analysis edge cases the incremental path must survive ------------------
+
+TEST(AnalysisUpdate, ConstantOnlyAndPoLessGraphs) {
+  // Constant-only: one PI, output tied to FALSE.
+  Aig constant_only;
+  constant_only.add_input();
+  constant_only.add_output(aig::kLitFalse);
+  // PO-less: logic but no outputs at all.
+  Aig po_less;
+  const Lit a = po_less.add_input();
+  const Lit b = po_less.add_input();
+  (void)po_less.make_and(a, b);
+  // A normal graph to transition from/to.
+  Aig normal;
+  const Lit x = normal.add_input();
+  const Lit y = normal.add_input();
+  normal.add_output(normal.make_and(x, y));
+
+  const Aig graphs[] = {constant_only, po_less, normal};
+  for (const Aig& from : graphs) {
+    for (const Aig& to : graphs) {
+      AnalysisCache cache(from);
+      cache.update(to, aig::diff_region(from, to));
+      expect_cache_matches_fresh(cache, to, "edge transition");
+      cache.rollback();
+      expect_cache_matches_fresh(cache, from, "edge rollback");
+    }
+  }
+}
+
+TEST(AnalysisUpdate, DanglingNodesSurvive) {
+  // Dangling AND nodes (no path to any output) — what resynth leaves behind
+  // before cleanup, and what a deserializer may hand us.
+  Aig g;
+  const Lit a = g.add_input();
+  const Lit b = g.add_input();
+  const Lit c = g.add_input();
+  const Lit keep = g.make_and(a, b);
+  (void)g.make_and(b, c);  // dangling
+  g.add_output(keep);
+
+  Aig h;
+  const Lit a2 = h.add_input();
+  const Lit b2 = h.add_input();
+  const Lit c2 = h.add_input();
+  const Lit keep2 = h.make_and(a2, b2);
+  const Lit dangle = h.make_and(b2, c2);
+  (void)h.make_and(keep2, dangle);  // dangling tree
+  h.add_output(keep2);
+
+  AnalysisCache cache(g);
+  cache.update(h, aig::diff_region(g, h));
+  expect_cache_matches_fresh(cache, h, "dangling update");
+  cache.rollback();
+  expect_cache_matches_fresh(cache, g, "dangling rollback");
+}
+
+// ---- randomized 1000-move equivalence fuzz ----------------------------------
+
+TEST(IncrementalFuzz, ThousandMovesBitIdentical) {
+  Aig current = gen::build_design("EX68");
+  AnalysisCache cache(current);
+  features::IncrementalExtractor extractor;
+  features::FeatureVector features = extractor.bind(current, cache);
+  ASSERT_EQ(features, features::extract(current));
+
+  Rng rng(0xf422ed);
+  const auto& primitives = transforms::primitive_names();
+  for (int step = 0; step < 1000; ++step) {
+    // Move mix: the 7 deterministic primitives plus the two randomized
+    // shuffles (large, worst-case regions) plus an occasional full fallback.
+    TransformResult move;
+    const std::uint64_t pick = rng.next_below(10);
+    if (pick < 7) {
+      move = transforms::apply_primitive_traced(primitives[pick], current);
+    } else if (pick == 7) {
+      move = transforms::randomized_rebalance_traced(current, rng.next());
+    } else if (pick == 8) {
+      move = transforms::randomized_resynthesis_traced(current, rng.next());
+    } else {
+      Aig next = transforms::balance(current);
+      move.dirty = DirtyRegion::all(current, next);
+      move.graph = std::move(next);
+    }
+
+    cache.update(move.graph, move.dirty);
+    const features::FeatureVector delta_features =
+        extractor.update(move.graph, cache, move.dirty);
+    // The hard contract: bit-identical to from-scratch, every single move.
+    ASSERT_EQ(delta_features, features::extract(move.graph)) << "step " << step;
+
+    if (rng.next_below(2) == 0) {
+      cache.commit();
+      extractor.commit();
+      current = std::move(move.graph);
+      features = delta_features;
+    } else {
+      cache.rollback();
+      extractor.rollback();
+      ASSERT_EQ(extractor.features(), features) << "step " << step;
+      if (step % 64 == 0) expect_cache_matches_fresh(cache, current, "fuzz rollback");
+    }
+  }
+  expect_cache_matches_fresh(cache, current, "fuzz end");
+  ASSERT_EQ(extractor.features(), features::extract(current));
+}
+
+// ---- incremental cost evaluators --------------------------------------------
+
+ml::GbdtModel train_tiny_model(const Aig& base, bool area_label) {
+  ml::Dataset data(features::feature_names());
+  const auto& registry = transforms::script_registry();
+  Rng rng(5);
+  Aig g = base;
+  for (int i = 0; i < 24; ++i) {
+    g = registry.apply(registry.random_index(rng), base);
+    const double label = area_label ? static_cast<double>(g.num_ands())
+                                    : static_cast<double>(aig::aig_level(g));
+    data.append(features::extract(g), label, "fuzz");
+  }
+  ml::GbdtParams params;
+  params.num_trees = 20;
+  params.max_depth = 3;
+  return ml::GbdtModel::train(data, params);
+}
+
+TEST(IncrementalCost, ProxyAndMlMatchFromScratchPerMove) {
+  const Aig base = gen::build_design("EX00");
+  const ml::GbdtModel delay_model = train_tiny_model(base, false);
+  const ml::GbdtModel area_model = train_tiny_model(base, true);
+
+  opt::ProxyCost proxy;
+  opt::MlCost ml_cost(delay_model, area_model);
+  opt::CostEvaluator* evaluators[] = {&proxy, &ml_cost};
+  for (opt::CostEvaluator* evaluator : evaluators) {
+    ASSERT_TRUE(evaluator->supports_incremental());
+    Aig current = base;
+    opt::QualityEval bound = evaluator->bind(current);
+    opt::QualityEval scratch = evaluator->evaluate(current);
+    EXPECT_EQ(bound.delay, scratch.delay);
+    EXPECT_EQ(bound.area, scratch.area);
+    Rng rng(9);
+    const auto& registry = transforms::script_registry();
+    for (int step = 0; step < 40; ++step) {
+      TransformResult move = registry.apply_traced(registry.random_index(rng), current);
+      const opt::QualityEval q = evaluator->evaluate_delta(move.graph, move.dirty);
+      const opt::QualityEval oracle = evaluator->evaluate(move.graph);
+      ASSERT_EQ(q.delay, oracle.delay) << evaluator->name() << " step " << step;
+      ASSERT_EQ(q.area, oracle.area) << evaluator->name() << " step " << step;
+      if (step % 2 == 0) {
+        evaluator->commit_move();
+        current = std::move(move.graph);
+      } else {
+        evaluator->rollback_move();
+      }
+    }
+  }
+}
+
+// ---- search-loop integration: identical trajectories either way -------------
+
+void expect_same_history(const opt::OptResult& a, const opt::OptResult& b) {
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    ASSERT_EQ(a.history[i].script_index, b.history[i].script_index) << i;
+    ASSERT_EQ(a.history[i].delay, b.history[i].delay) << i;
+    ASSERT_EQ(a.history[i].area, b.history[i].area) << i;
+    ASSERT_EQ(a.history[i].cost, b.history[i].cost) << i;
+    ASSERT_EQ(a.history[i].accepted, b.history[i].accepted) << i;
+  }
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.best_eval.delay, b.best_eval.delay);
+  EXPECT_EQ(a.best_eval.area, b.best_eval.area);
+  EXPECT_EQ(a.best.structural_hash(), b.best.structural_hash());
+  EXPECT_EQ(a.eval_count, b.eval_count);
+}
+
+TEST(IncrementalSearch, SaTrajectoryIdenticalWithAndWithoutIncremental) {
+  const Aig g = gen::build_design("EX68");
+  for (const std::uint64_t seed : {1ULL, 23ULL}) {
+    opt::SaParams params;
+    params.iterations = 40;
+    params.seed = seed;
+    opt::ProxyCost inc_eval;
+    params.incremental = true;
+    const auto with_inc = opt::simulated_annealing(g, inc_eval, params);
+    opt::ProxyCost scratch_eval;
+    params.incremental = false;
+    const auto without = opt::simulated_annealing(g, scratch_eval, params);
+    expect_same_history(with_inc, without);
+  }
+}
+
+TEST(IncrementalSearch, GreedyMlTrajectoryIdenticalWithAndWithoutIncremental) {
+  const Aig g = gen::build_design("EX00");
+  const ml::GbdtModel delay_model = train_tiny_model(g, false);
+  const ml::GbdtModel area_model = train_tiny_model(g, true);
+  opt::GreedyParams params;
+  params.iterations = 30;
+  params.tolerance = 0.02;
+  params.seed = 11;
+  opt::MlCost inc_eval(delay_model, area_model);
+  params.incremental = true;
+  const auto with_inc = opt::greedy_descent(g, inc_eval, params);
+  opt::MlCost scratch_eval(delay_model, area_model);
+  params.incremental = false;
+  const auto without = opt::greedy_descent(g, scratch_eval, params);
+  expect_same_history(with_inc, without);
+}
+
+TEST(IncrementalCost, MemoServesRepeatedStructuresExactly) {
+  // The evaluation memo (opt::detail::FeatureContext) must serve exact
+  // repeats — the dominant move class of a converged SA walk — with values
+  // bit-identical to from-scratch evaluation, across commits AND rollbacks.
+  const Aig base = gen::build_design("EX00");
+  const ml::GbdtModel delay_model = train_tiny_model(base, false);
+  const ml::GbdtModel area_model = train_tiny_model(base, true);
+  opt::MlCost evaluator(delay_model, area_model);
+  (void)evaluator.bind(base);
+
+  // Two distinct structures the walk will cycle between.
+  const auto& primitives = transforms::primitive_names();
+  Aig current = base;
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    const std::string& mnemonic = primitives[static_cast<std::size_t>(cycle) % 2];
+    TransformResult move = transforms::apply_primitive_traced(mnemonic, current);
+    const opt::QualityEval q = evaluator.evaluate_delta(move.graph, move.dirty);
+    const opt::QualityEval oracle = evaluator.evaluate(move.graph);
+    ASSERT_EQ(q.delay, oracle.delay) << "cycle " << cycle;
+    ASSERT_EQ(q.area, oracle.area) << "cycle " << cycle;
+    if (cycle % 3 == 2) {
+      evaluator.rollback_move();  // rejected: memo entry must survive intact
+    } else {
+      evaluator.commit_move();
+      current = std::move(move.graph);
+    }
+  }
+}
+
+TEST(IncrementalSearch, ScriptApplyTracedMatchesApply) {
+  const Aig g = gen::build_design("EX00");
+  const auto& registry = transforms::script_registry();
+  for (const std::size_t index : {0UL, 7UL, 56UL, 102UL}) {
+    const Aig plain = registry.apply(index, g);
+    const TransformResult traced = registry.apply_traced(index, g);
+    EXPECT_EQ(plain.structural_hash(), traced.graph.structural_hash());
+    EXPECT_EQ(traced.dirty.after_num_nodes, traced.graph.num_nodes());
+    EXPECT_EQ(traced.dirty.before_num_nodes, g.num_nodes());
+  }
+}
+
+}  // namespace
+}  // namespace aigml

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs (CI step).
+
+Verifies that every relative markdown link resolves:
+  * the target file exists (relative to the linking file), and
+  * an in-document or cross-document #anchor matches a heading slug
+    (GitHub slugification: lowercase, drop non-alphanumerics except
+    spaces/hyphens, spaces -> hyphens).
+
+External (http/https/mailto) links are only syntax-checked — CI must not
+flake on the network.  Exit code 1 and a per-link report on any failure.
+
+Usage: tools/check_links.py README.md DESIGN.md docs/ARCHITECTURE.md
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(text: str) -> str:
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    slugs: dict[str, int] = {}
+    out = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = slugs.get(slug, 0)
+        slugs[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def check_file(md: Path, repo_root: Path) -> list[str]:
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    # Strip fenced code blocks so example snippets aren't parsed as links.
+    stripped_lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            stripped_lines.append(line)
+    for target in LINK_RE.findall("\n".join(stripped_lines)):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        dest = md if not path_part else (md.parent / path_part).resolve()
+        if not dest.exists():
+            errors.append(f"{md.relative_to(repo_root)}: broken link '{target}' "
+                          f"(no such file {path_part})")
+            continue
+        if anchor and dest.suffix == ".md":
+            if github_slug(anchor) not in heading_slugs(dest):
+                errors.append(f"{md.relative_to(repo_root)}: broken anchor '{target}' "
+                              f"(no heading slugifies to '#{anchor}' in "
+                              f"{dest.relative_to(repo_root)})")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    repo_root = Path.cwd()
+    errors = []
+    checked = 0
+    for arg in argv[1:]:
+        md = (repo_root / arg).resolve()
+        if not md.exists():
+            errors.append(f"input file not found: {arg}")
+            continue
+        checked += 1
+        errors.extend(check_file(md, repo_root))
+    for e in errors:
+        print(f"ERROR: {e}")
+    print(f"check_links: {checked} files checked, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
