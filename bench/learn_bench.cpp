@@ -1,0 +1,151 @@
+// Active-learning bench: runs the closed loop end to end on a real design —
+// ground-truth-labeled base dataset, GBDT base models, an SA search guided
+// by serve::LiveMlCost with the learn/ subsystem attached — and gates on
+// the PR contract:
+//
+//   1. learn=0 stays bit-identical: a LiveMlCost over an untouched registry
+//      reproduces the pinned MlCost trajectory exactly;
+//   2. the loop actually closes: >= 1 retrain fires within the budget; and
+//   3. it pays off: the refreshed model's error on the harvested states is
+//      lower than the base model's error on the same states.
+//
+// Emits BENCH_learn.json so harvest yield, retrain count, and the error
+// drop are tracked across PRs.  Run with --smoke for a CI-sized workload.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "celllib/library.hpp"
+#include "flow/datagen.hpp"
+#include "gen/designs.hpp"
+#include "learn/loop.hpp"
+#include "ml/gbdt.hpp"
+#include "opt/cost.hpp"
+#include "opt/sa.hpp"
+#include "serve/live_cost.hpp"
+#include "serve/registry.hpp"
+#include "util/timer.hpp"
+
+using namespace aigml;
+
+namespace {
+
+bool same_trajectory(const opt::OptResult& a, const opt::OptResult& b) {
+  if (a.history.size() != b.history.size()) return false;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    if (a.history[i].script_index != b.history[i].script_index ||
+        a.history[i].delay != b.history[i].delay || a.history[i].area != b.history[i].area ||
+        a.history[i].accepted != b.history[i].accepted) {
+      return false;
+    }
+  }
+  return a.best_cost == b.best_cost;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_learn.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  const char* design = "EX02";
+  const aig::Aig g = gen::build_design(design);
+  const cell::Library& lib = cell::mini_sky130();
+  const int iterations = smoke ? 120 : 300;
+  const int budget = smoke ? 32 : 80;
+
+  // Ground-truth base dataset + models — the state of the world before the
+  // loop exists: a predictor trained offline on the datagen distribution.
+  flow::DataGenParams datagen;
+  datagen.num_variants = smoke ? 48 : 120;
+  datagen.seed = 0x1ea52;
+  Timer prep_timer;
+  const flow::GeneratedData base_data = flow::generate_dataset(g, design, lib, datagen);
+  ml::GbdtParams gbdt;
+  gbdt.num_trees = smoke ? 120 : 240;
+  gbdt.max_depth = 5;
+  const ml::GbdtModel base_delay = ml::GbdtModel::train(base_data.delay, gbdt);
+  const ml::GbdtModel base_area = ml::GbdtModel::train(base_data.area, gbdt);
+  const double prep_seconds = prep_timer.elapsed_s();
+  std::printf("learn bench: design=%s (%zu ands), %zu base rows (%.1f s), %d SA iterations, "
+              "budget %d\n",
+              design, g.num_ands(), base_data.delay.num_rows(), prep_seconds, iterations,
+              budget);
+
+  opt::SaParams sa;
+  sa.iterations = iterations;
+  sa.seed = 11;
+  const opt::SaStrategy strategy(sa);
+  const opt::StopCondition stop{.max_iterations = iterations};
+
+  // Gate 1: with the loop off, the live evaluator must be a bystander.
+  serve::ModelRegistry frozen;
+  frozen.install("delay", base_delay);
+  frozen.install("area", base_area);
+  opt::MlCost pinned(frozen.get("delay"), frozen.get("area"));
+  serve::LiveMlCost live_off(frozen);
+  Timer off_timer;
+  const opt::OptResult plain = strategy.run(g, pinned, stop);
+  const double plain_seconds = off_timer.elapsed_s();
+  const opt::OptResult live_untouched = strategy.run(g, live_off, stop);
+  const bool off_identical = same_trajectory(plain, live_untouched);
+  std::printf("learn=0: live-vs-pinned trajectories %s (%.2f s/run)\n",
+              off_identical ? "IDENTICAL" : "MISMATCH", plain_seconds);
+
+  // Gate 2+3: the closed loop.
+  serve::ModelRegistry registry;
+  registry.install("delay", base_delay);
+  registry.install("area", base_area);
+  learn::LearnParams params;
+  params.harvest.budget = budget;
+  params.harvest.min_disagreement = 0.05;
+  params.retrain.min_new_rows = std::max(4, budget / 4);
+  params.retrain.extra_trees = smoke ? 40 : 80;
+  learn::ActiveLearner learner(lib, registry, params);
+  learner.set_base(base_data.delay, base_data.area);
+  serve::LiveMlCost live(registry);
+  Timer learn_timer;
+  const opt::OptResult looped = strategy.run(g, live, stop, &learner);
+  const double learn_seconds = learn_timer.elapsed_s();
+  learn::LearnStats stats = learner.stats();
+  stats.swaps_observed = live.swaps_observed();
+
+  std::printf("learn=1: %zu/%zu harvested, %zu labeled, %zu retrains, %llu swaps (%.2f s, "
+              "%.2fx the plain run)\n",
+              stats.selected, stats.considered, stats.labeled, stats.retrains,
+              static_cast<unsigned long long>(stats.swaps_observed), learn_seconds,
+              plain_seconds > 0 ? learn_seconds / plain_seconds : 0.0);
+  std::printf("error on harvested states: base %.2f%% -> refreshed %.2f%%\n",
+              stats.base_error_pct, stats.final_error_pct);
+
+  const bool retrained = stats.retrains >= 1;
+  const bool improved = stats.final_error_pct < stats.base_error_pct;
+  const bool pass = off_identical && retrained && improved;
+  std::printf("gate: learn=0 %s, retrains %zu (need >= 1), error %.2f%% -> %.2f%% "
+              "(need lower) -> %s\n",
+              off_identical ? "identical" : "MISMATCH", stats.retrains, stats.base_error_pct,
+              stats.final_error_pct, pass ? "PASS" : "FAIL");
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"learn\",\n  \"design\": \"" << design
+      << "\",\n  \"ands\": " << g.num_ands() << ",\n  \"iterations\": " << iterations
+      << ",\n  \"base_rows\": " << base_data.delay.num_rows()
+      << ",\n  \"budget\": " << budget << ",\n  \"considered\": " << stats.considered
+      << ",\n  \"harvested\": " << stats.selected << ",\n  \"labeled\": " << stats.labeled
+      << ",\n  \"retrains\": " << stats.retrains << ",\n  \"swaps\": " << stats.swaps_observed
+      << ",\n  \"base_error_pct\": " << stats.base_error_pct
+      << ",\n  \"refreshed_error_pct\": " << stats.final_error_pct
+      << ",\n  \"plain_best_cost\": " << plain.best_cost
+      << ",\n  \"learn_best_cost\": " << looped.best_cost
+      << ",\n  \"plain_seconds\": " << plain_seconds
+      << ",\n  \"learn_seconds\": " << learn_seconds
+      << ",\n  \"learn_off_identical\": " << (off_identical ? "true" : "false") << "\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return pass ? 0 : 1;
+}

@@ -12,6 +12,8 @@
 //                                                 `opt --recipe "strategy=sa;..."`
 //   aigml serve --models DIR                      TCP prediction server
 //   aigml client ... <sub> [args]                 talk to a running server
+//   aigml learn --models DIR --harvest DIR        retrain served models from
+//                                                 harvested replay buffers
 //
 // Every command declares its arguments through util::ArgParser, and usage()
 // renders those same declarations — the help text cannot drift from what a
@@ -20,6 +22,8 @@
 // Designs: EX00 EX08 EX28 EX68 EX02 EX11 EX16 EX54; generators:
 // mult<N>, wallace<N>, adder<N>, cla<N>, ks<N>, alu<N>, cmp<N>, parity<N>.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +33,7 @@
 #include <future>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "aig/aiger.hpp"
@@ -36,6 +41,9 @@
 #include "aig/sim.hpp"
 #include "features/features.hpp"
 #include "flow/datagen.hpp"
+#include "learn/loop.hpp"
+#include "learn/replay.hpp"
+#include "learn/retrainer.hpp"
 #include "gen/circuits.hpp"
 #include "gen/designs.hpp"
 #include "mapper/mapper.hpp"
@@ -131,6 +139,20 @@ ArgParser serve_parser() {
   return p;
 }
 
+ArgParser learn_parser() {
+  ArgParser p("learn");
+  p.option("models", "DIR", "model directory to refresh (required; delay.gbdt/area.gbdt, "
+                            "plus base_{delay,area}.csv as the training base when present)")
+      .option("harvest", "DIR", "directory of replay buffers (*.rpb) to train from (required)")
+      .option("min-rows", "N", "retrain once at least N unconsumed harvested rows exist", "16")
+      .option("extra-trees", "N", "boosting rounds per warm refresh", "60")
+      .option("interval", "S", "seconds between scans in daemon mode", "10")
+      .option("port", "P", "send RELOAD to a running aigml serve after each refresh")
+      .option("host", "H", "server address for --port", "127.0.0.1")
+      .flag("once", "single scan + refresh attempt, then exit (CI / cron mode)");
+  return p;
+}
+
 ArgParser client_parser() {
   ArgParser p("client");
   p.positional("subcommand", "predict <model> <in.aag> | features <model> <f0> ... | "
@@ -145,7 +167,7 @@ int usage() {
   std::fprintf(stderr, "usage: aigml [--threads N] <command> ...\n");
   for (const auto& make : {gen_parser, stats_parser, opt_parser, map_parser, datagen_parser,
                            train_parser, predict_parser, sa_parser, serve_parser,
-                           client_parser}) {
+                           client_parser, learn_parser}) {
     const ArgParser p = make();
     std::fprintf(stderr, "  %s\n", p.usage_line().c_str());
     const std::string options = p.options_help();
@@ -215,7 +237,8 @@ int cmd_stats(int argc, char** argv) {
 }
 
 void print_json_report(const opt::Recipe& recipe, const std::string& evaluator_name,
-                       const opt::OptResult& result, bool equivalent) {
+                       const opt::OptResult& result, bool equivalent,
+                       const learn::LearnStats* learn_stats) {
   std::printf("{\n");
   std::printf("  \"recipe\": \"%s\",\n", recipe.to_string().c_str());
   std::printf("  \"strategy\": \"%s\",\n", recipe.strategy.c_str());
@@ -227,6 +250,13 @@ void print_json_report(const opt::Recipe& recipe, const std::string& evaluator_n
   std::printf("  \"improved\": %s,\n",
               result.best_cost < result.initial_cost ? "true" : "false");
   std::printf("  \"equivalent\": %s,\n", equivalent ? "true" : "false");
+  if (learn_stats != nullptr) {
+    std::printf("  \"learn\": {\"selected\": %zu, \"labeled\": %zu, \"retrains\": %zu, "
+                "\"swaps\": %llu, \"base_error_pct\": %.6g, \"final_error_pct\": %.6g},\n",
+                learn_stats->selected, learn_stats->labeled, learn_stats->retrains,
+                static_cast<unsigned long long>(learn_stats->swaps_observed),
+                learn_stats->base_error_pct, learn_stats->final_error_pct);
+  }
   std::printf("  \"iterations\": %zu,\n", result.history.size());
   std::printf("  \"accepted\": %zu,\n", result.accepted_moves());
   std::printf("  \"evals\": %llu,\n", static_cast<unsigned long long>(result.eval_count));
@@ -243,23 +273,49 @@ int run_recipe(const opt::Recipe& recipe, const aig::Aig& g, const std::string& 
   if (!report.empty() && report != "json") {
     throw std::runtime_error("opt: unknown report format '" + report + "' (expected json)");
   }
-  opt::CostContext ctx;
-  ctx.library = &cell::mini_sky130();
-  const auto evaluator = opt::make_cost(recipe.cost, ctx);
-  const auto strategy = recipe.make_strategy();
-  const opt::OptResult result = strategy->run(g, *evaluator, recipe.stop_condition());
+  opt::OptResult result;
+  std::string evaluator_name;
+  std::string strategy_name;
+  std::optional<learn::LearnStats> learn_stats;
+  if (recipe.learn) {
+    // The closed loop: LiveMlCost over a registry from the ml:<dir> spec,
+    // harvesting + retraining attached as the run's observer (learn/).
+    learn::LearnRunResult lr = learn::run(recipe, g, cell::mini_sky130());
+    result = std::move(lr.result);
+    learn_stats = lr.stats;
+    evaluator_name = "ml-live";
+    strategy_name = recipe.strategy;
+  } else {
+    opt::CostContext ctx;
+    ctx.library = &cell::mini_sky130();
+    const auto evaluator = opt::make_cost(recipe.cost, ctx);
+    const auto strategy = recipe.make_strategy();
+    result = strategy->run(g, *evaluator, recipe.stop_condition());
+    evaluator_name = evaluator->name();
+    strategy_name = strategy->name();
+  }
   const bool equivalent = aig::equivalent(g, result.best);
 
   std::fprintf(stderr,
                "%s via %s: cost %.4f -> %.4f (%zu/%zu accepted, %llu evals, %.2f s; "
                "delay %.1f area %.1f; stop: %s; equivalence %s)\n",
-               strategy->name().c_str(), evaluator->name().c_str(),
+               strategy_name.c_str(), evaluator_name.c_str(),
                result.initial_cost, result.best_cost, result.accepted_moves(),
                result.history.size(), static_cast<unsigned long long>(result.eval_count),
                result.total_seconds, result.best_eval.delay, result.best_eval.area,
                opt::to_string(result.stop_reason), equivalent ? "PASS" : "FAIL");
+  if (learn_stats.has_value()) {
+    std::fprintf(stderr,
+                 "learn: %zu/%zu states harvested (%zu labeled, %zu retrains, %llu swaps); "
+                 "error on harvest %.1f%% -> %.1f%%\n",
+                 learn_stats->selected, learn_stats->considered, learn_stats->labeled,
+                 learn_stats->retrains,
+                 static_cast<unsigned long long>(learn_stats->swaps_observed),
+                 learn_stats->base_error_pct, learn_stats->final_error_pct);
+  }
   if (report == "json") {
-    print_json_report(recipe, evaluator->name(), result, equivalent);
+    print_json_report(recipe, evaluator_name, result, equivalent,
+                      learn_stats.has_value() ? &*learn_stats : nullptr);
     if (!out_path.empty()) {
       aig::write_aiger_file(result.best, out_path);
       std::fprintf(stderr, "wrote %s\n", out_path.c_str());
@@ -441,6 +497,88 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+/// `aigml learn` — the out-of-process half of the active-learning loop: a
+/// daemon that watches a harvest directory for replay buffers written by
+/// `aigml opt --recipe "...;learn=1;learn_dir=..."` runs, retrains the
+/// served models on base + harvested rows, writes the refreshed .gbdt files
+/// back into the model directory (write-to-temp + atomic rename) and nudges
+/// a running `aigml serve` with RELOAD — closing the loop across processes
+/// the same way ActiveLearner closes it inside one.
+int cmd_learn(int argc, char** argv) {
+  ArgParser args = learn_parser();
+  args.parse(argc, argv);
+  if (!args.has("models")) throw std::runtime_error("learn: --models DIR is required");
+  if (!args.has("harvest")) throw std::runtime_error("learn: --harvest DIR is required");
+  const std::filesystem::path models_dir = args.get("models");
+  const std::filesystem::path harvest_dir = args.get("harvest");
+
+  serve::ModelRegistry registry(models_dir);
+  learn::RetrainParams params;
+  params.min_new_rows = args.get_int("min-rows");
+  params.extra_trees = args.get_int("extra-trees");
+  params.save_dir = models_dir;
+  learn::Retrainer retrainer(registry, params);
+  const auto base_delay = ml::Dataset::load(models_dir / "base_delay.csv");
+  const auto base_area = ml::Dataset::load(models_dir / "base_area.csv");
+  if (base_delay.has_value() && base_area.has_value()) {
+    retrainer.set_base(*base_delay, *base_area);
+    std::printf("aigml learn: base sets %zu delay / %zu area rows\n",
+                base_delay->num_rows(), base_area->num_rows());
+  }
+
+  const int interval = std::max(1, args.get_int("interval"));
+  while (true) {
+    // Fold every replay buffer in the harvest directory into one dedup-keyed
+    // view; files are append-only, so rescanning is monotone and the
+    // retrainer's consumed-rows watermark stays meaningful across passes.
+    learn::ReplayBuffer combined;
+    std::size_t files = 0;
+    if (std::filesystem::is_directory(harvest_dir)) {
+      std::vector<std::filesystem::path> paths;
+      for (const auto& entry : std::filesystem::directory_iterator(harvest_dir)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".rpb") {
+          paths.push_back(entry.path());
+        }
+      }
+      std::sort(paths.begin(), paths.end());  // deterministic fold order
+      for (const auto& path : paths) {
+        try {
+          const learn::ReplayBuffer one(path);
+          for (std::size_t i = 0; i < one.size(); ++i) (void)combined.add(one.row(i));
+          ++files;
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "aigml learn: skipping %s: %s\n", path.string().c_str(),
+                       e.what());
+        }
+      }
+    }
+    if (retrainer.maybe_retrain(combined)) {
+      std::printf("aigml learn: retrained delay+area on %zu rows from %zu file(s) "
+                  "(delay v%llu, area v%llu); error on harvest now %.1f%%\n",
+                  combined.size(), files,
+                  static_cast<unsigned long long>(registry.version("delay")),
+                  static_cast<unsigned long long>(registry.version("area")),
+                  learn::model_error_pct(*registry.get("delay"), *registry.get("area"),
+                                         combined));
+      if (args.has("port")) {
+        try {
+          serve::Client client(args.get("host"), args.get_port("port"));
+          std::printf("aigml learn: server reload: %s\n", client.reload().c_str());
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "aigml learn: RELOAD failed: %s\n", e.what());
+        }
+      }
+    } else {
+      std::printf("aigml learn: nothing to do (%zu rows from %zu file(s), %zu consumed, "
+                  "need %d new)\n",
+                  combined.size(), files, retrainer.rows_consumed(), params.min_new_rows);
+    }
+    std::fflush(stdout);
+    if (args.has("once")) return 0;
+    std::this_thread::sleep_for(std::chrono::seconds(interval));
+  }
+}
+
 int cmd_client(int argc, char** argv) {
   ArgParser args = client_parser();
   args.parse(argc, argv);
@@ -523,6 +661,7 @@ int main(int argc, char** argv) {
     if (cmd == "sa") return cmd_sa(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "client") return cmd_client(argc, argv);
+    if (cmd == "learn") return cmd_learn(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "aigml: %s\n", e.what());
     return 1;

@@ -2,8 +2,7 @@
 
 #include <unordered_set>
 
-#include "aig/sim.hpp"
-#include "features/features.hpp"
+#include "flow/label.hpp"
 #include "transforms/scripts.hpp"
 #include "transforms/shuffle.hpp"
 #include "util/parallel.hpp"
@@ -31,28 +30,9 @@ Aig random_variant_step(const Aig& start, Rng& rng) {
 
 namespace {
 
-/// Post-mapping delay/area + Table II features for one variant.  Pure
-/// function of (g, lib, params) — safe to evaluate from any worker thread.
-struct Label {
-  features::FeatureVector features{};
-  double delay_ps = 0.0;
-  double area_um2 = 0.0;
-};
-
-Label label_variant(const Aig& g, const cell::Library& lib, const DataGenParams& params) {
-  Label out;
-  const auto netlist = map::map_to_cells(g, lib, params.map_params);
-  const auto sta = sta::run_sta(netlist, lib, params.sta_params);
-  out.features = features::extract(g);
-  out.delay_ps = sta.max_delay_ps;
-  out.area_um2 = sta.total_area_um2;
-  return out;
-}
-
-/// Signature combines structure and function-sensitive simulation so that
-/// "unique AIGs" means structurally distinct graphs.
-std::uint64_t signature(const Aig& g) {
-  return g.structural_hash() ^ (aig::simulation_signature(g) * 0x9e3779b97f4a7c15ULL);
+/// The shared labeling kernel (flow/label.hpp) under the datagen params.
+LabeledRow label_variant(const Aig& g, const cell::Library& lib, const DataGenParams& params) {
+  return label_one(g, lib, params.map_params, params.sta_params);
 }
 
 }  // namespace
@@ -65,16 +45,20 @@ GeneratedData generate_dataset(const Aig& base, const std::string& tag, const ce
 
   GeneratedData out{ml::Dataset(features::feature_names()), ml::Dataset(features::feature_names()),
                     0, 0.0};
-  auto commit = [&](const Label& l) {
-    out.delay.append(l.features, l.delay_ps, tag);
-    out.area.append(l.features, l.area_um2, tag);
+  // Rows carry their variant signature as the dataset dedup key, so a later
+  // merge_dedup (learn::Retrainer folding harvests into a base set) can spot
+  // structures this generator already labeled.
+  auto commit = [&](const LabeledRow& l, std::uint64_t sig) {
+    out.delay.append(l.features, l.delay_ps, tag, sig);
+    out.area.append(l.features, l.area_um2, tag, sig);
   };
 
   std::unordered_set<std::uint64_t> seen;
   std::vector<Aig> pool;
   pool.push_back(base.cleanup());
-  seen.insert(signature(pool.front()));
-  commit(label_variant(pool.front(), lib, params));
+  const std::uint64_t base_sig = variant_signature(pool.front());
+  seen.insert(base_sig);
+  commit(label_variant(pool.front(), lib, params), base_sig);
   out.unique_variants = 1;
 
   // Determinism contract (DESIGN.md §2): every random draw happens on the
@@ -119,7 +103,7 @@ GeneratedData generate_dataset(const Aig& base, const std::string& tag, const ce
         plans.size(), [&](std::size_t k) {
           Candidate c;
           c.g = random_variant_step(pool[plans[k].start], plans[k].rng);
-          c.sig = signature(c.g);
+          c.sig = variant_signature(c.g);
           return c;
         });
 
@@ -136,14 +120,14 @@ GeneratedData generate_dataset(const Aig& base, const std::string& tag, const ce
 
     // Phase 4 (parallel): label only the survivors — mapping + STA dominate
     // the pipeline, so duplicates must not reach this phase.
-    auto labels = pool_threads.parallel_map<Label>(
+    auto labels = pool_threads.parallel_map<LabeledRow>(
         fresh.size(), [&](std::size_t k) {
           return label_variant(candidates[fresh[k]].g, lib, params);
         });
 
     // Phase 5 (coordinator): commit rows and grow the pool, in plan order.
     for (std::size_t k = 0; k < fresh.size(); ++k) {
-      commit(labels[k]);
+      commit(labels[k], candidates[fresh[k]].sig);
       pool.push_back(std::move(candidates[fresh[k]].g));
       ++out.unique_variants;
     }
@@ -157,11 +141,12 @@ GeneratedData load_or_generate(const Aig& base, const std::string& tag, const ce
                                const std::filesystem::path& cache_dir) {
   // The batch size is part of the deterministic schedule (it changes which
   // variants get generated), so it belongs in the cache key; thread count
-  // does not (results are bit-identical at any thread count).  The "v3"
+  // does not (results are bit-identical at any thread count).  The "v4"
   // schema marker separates these caches from earlier generators' ("v2":
   // pre-batching; "v3": the exact-integer fanout statistics of the
-  // incremental feature extractor shift fanout_mean/std by ulps).
-  const std::string stem = tag + "_v3_n" + std::to_string(params.num_variants) + "_s" +
+  // incremental feature extractor shift fanout_mean/std by ulps; "v4":
+  // rows carry their variant-signature dedup key as a CSV column).
+  const std::string stem = tag + "_v4_n" + std::to_string(params.num_variants) + "_s" +
                            std::to_string(params.seed) + "_b" +
                            std::to_string(params.resolved_batch_size());
   const auto delay_path = cache_dir / (stem + "_delay.csv");

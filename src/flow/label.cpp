@@ -1,0 +1,23 @@
+#include "flow/label.hpp"
+
+#include "aig/sim.hpp"
+#include "netlist/netlist.hpp"
+
+namespace aigml::flow {
+
+LabeledRow label_one(const aig::Aig& g, const cell::Library& lib,
+                     const map::MapParams& map_params, const sta::StaParams& sta_params) {
+  LabeledRow out;
+  const auto netlist = map::map_to_cells(g, lib, map_params);
+  const auto sta = sta::run_sta(netlist, lib, sta_params);
+  out.features = features::extract(g);
+  out.delay_ps = sta.max_delay_ps;
+  out.area_um2 = sta.total_area_um2;
+  return out;
+}
+
+std::uint64_t variant_signature(const aig::Aig& g) {
+  return g.structural_hash() ^ (aig::simulation_signature(g) * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace aigml::flow

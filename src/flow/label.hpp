@@ -1,0 +1,48 @@
+#pragma once
+// Shared ground-truth labeling kernel: one variant in, post-mapping
+// delay/area + Table II features out.  This is the single place that runs
+// the mapper + STA call sequence — flow::generate_dataset labels its
+// speculative batches through it, and learn::LabelHarvester labels the
+// states it harvests from a live search through the very same kernel, so
+// offline datasets and online harvests can never drift apart in how a row
+// is produced.
+//
+// label_one is a pure function of (g, lib, params) — safe to evaluate from
+// any worker thread (datagen's parallel batches, the harvester's background
+// labeling worker).
+
+#include <cstdint>
+
+#include "aig/aig.hpp"
+#include "celllib/library.hpp"
+#include "features/features.hpp"
+#include "mapper/mapper.hpp"
+#include "sta/sta.hpp"
+
+namespace aigml::flow {
+
+/// One labeled row: the Table II feature vector plus the two ground-truth
+/// labels the paper trains on.
+struct LabeledRow {
+  features::FeatureVector features{};
+  double delay_ps = 0.0;   ///< post-mapping max delay (STA)
+  double area_um2 = 0.0;   ///< post-mapping cell area
+};
+
+/// Maps `g` to cells, runs STA, extracts features.  The expensive oracle the
+/// ML flow exists to avoid calling in the loop — which is exactly why both
+/// the offline data generator and the online harvester pay for it only on
+/// deduplicated rows.
+[[nodiscard]] LabeledRow label_one(const aig::Aig& g, const cell::Library& lib,
+                                   const map::MapParams& map_params = {},
+                                   const sta::StaParams& sta_params = {});
+
+/// Structural identity of a variant: structural hash mixed with a
+/// function-sensitive simulation signature, so "unique" means structurally
+/// distinct implementations.  The dedup key of the datagen pipeline, the
+/// learn/ replay buffer, and keyed ml::Dataset rows — one key space
+/// everywhere, so a state harvested online dedups against rows generated
+/// offline.
+[[nodiscard]] std::uint64_t variant_signature(const aig::Aig& g);
+
+}  // namespace aigml::flow

@@ -1,0 +1,243 @@
+#include "learn/harvester.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "aig/analysis.hpp"
+#include "flow/label.hpp"
+
+namespace aigml::learn {
+
+namespace {
+
+/// Relative slack on the envelope test so float dust on a boundary feature
+/// (a state *at* the training min/max) does not read as novelty.
+constexpr double kEnvelopeSlack = 1e-9;
+
+bool outside(const features::FeatureVector& f, const features::FeatureVector& lo,
+             const features::FeatureVector& hi) {
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    const double slack = kEnvelopeSlack * std::max({1.0, std::abs(lo[i]), std::abs(hi[i])});
+    if (f[i] < lo[i] - slack || f[i] > hi[i] + slack) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LabelHarvester::LabelHarvester(const cell::Library& lib, ReplayBuffer& buffer,
+                               HarvestParams params, std::function<std::uint64_t()> generation_fn)
+    : lib_(lib), buffer_(buffer), params_(params), generation_fn_(std::move(generation_fn)),
+      pool_(params.num_threads) {
+  // Keys already persisted in the buffer (a previous run's harvest) join the
+  // novelty filter up front: the selection thread never reads the buffer
+  // while the worker appends, and a structure labeled last run is not worth
+  // paying map + STA for again.
+  for (std::size_t i = 0; i < buffer_.size(); ++i) seen_.insert(buffer_.row(i).key);
+  if (params_.async) {
+    worker_ = std::thread([this] { worker_loop(); });
+  }
+}
+
+LabelHarvester::~LabelHarvester() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void LabelHarvester::seed_envelope(const ml::Dataset& data) {
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    const auto row = data.row(r);
+    if (!envelope_seeded_) {
+      std::copy(row.begin(), row.end(), envelope_min_.begin());
+      std::copy(row.begin(), row.end(), envelope_max_.begin());
+      envelope_seeded_ = true;
+      continue;
+    }
+    for (std::size_t i = 0; i < envelope_min_.size(); ++i) {
+      envelope_min_[i] = std::min(envelope_min_[i], row[i]);
+      envelope_max_[i] = std::max(envelope_max_[i], row[i]);
+    }
+  }
+}
+
+void LabelHarvester::seed_known(const ml::Dataset& data) {
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    if (data.key(r) != 0) seen_.insert(data.key(r));
+  }
+}
+
+void LabelHarvester::seed_known(const ReplayBuffer& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) seen_.insert(other.row(i).key);
+}
+
+void LabelHarvester::on_start(const aig::Aig& initial, const opt::QualityEval& initial_eval,
+                              double /*initial_cost*/) {
+  const auto level = std::max<unsigned>(1, aig::aig_level(initial));
+  initial_delay_per_level_ = initial_eval.delay / static_cast<double>(level);
+  seen_.insert(flow::variant_signature(initial));
+}
+
+void LabelHarvester::on_candidate(int /*iteration*/, const aig::Aig& candidate,
+                                  const opt::QualityEval& eval) {
+  {
+    const std::lock_guard lock(mutex_);
+    // `considered` counts the whole candidate stream — the harvest-rate
+    // denominator stays honest even after the budget fills.
+    ++stats_.considered;
+    if (params_.budget > 0 && stats_.selected >= static_cast<std::size_t>(params_.budget)) {
+      return;
+    }
+  }
+  const std::uint64_t key = flow::variant_signature(candidate);
+  if (!seen_.insert(key).second) {
+    const std::lock_guard lock(mutex_);
+    ++stats_.duplicates;
+    return;
+  }
+
+  // Disagreement: how far the model's delay-per-level has drifted from the
+  // run-initial ratio.  The proxy (level count) and the model agreeing means
+  // the state teaches the model little; divergence is where labels pay.
+  const auto level = std::max<unsigned>(1, aig::aig_level(candidate));
+  const double ratio = eval.delay / static_cast<double>(level);
+  const double drift = initial_delay_per_level_ > 0.0
+                           ? std::abs(ratio - initial_delay_per_level_) / initial_delay_per_level_
+                           : 0.0;
+  bool take = drift >= params_.min_disagreement;
+  bool envelope_hit = false;
+  if (!take && params_.envelope) {
+    // Envelope check needs features — only paid when disagreement alone did
+    // not already decide.
+    const features::FeatureVector f = features::extract(candidate);
+    envelope_hit = !envelope_seeded_ || outside(f, envelope_min_, envelope_max_);
+    take = envelope_hit;
+    // Grow the envelope over everything examined: one representative per
+    // unexplored region gets harvested, its neighbours then test as seen.
+    if (!envelope_seeded_) {
+      envelope_min_ = f;
+      envelope_max_ = f;
+      envelope_seeded_ = true;
+    } else {
+      for (std::size_t i = 0; i < f.size(); ++i) {
+        envelope_min_[i] = std::min(envelope_min_[i], f[i]);
+        envelope_max_[i] = std::max(envelope_max_[i], f[i]);
+      }
+    }
+  }
+  if (!take) return;
+
+  Pending pending;
+  pending.graph = candidate;
+  pending.key = key;
+  pending.predicted = eval;
+  pending.generation = generation_fn_ ? generation_fn_() : 0;
+  {
+    const std::lock_guard lock(mutex_);
+    ++stats_.selected;
+    if (envelope_hit) {
+      ++stats_.by_envelope;
+    } else {
+      ++stats_.by_disagreement;
+    }
+  }
+  enqueue(std::move(pending));
+}
+
+void LabelHarvester::enqueue(Pending pending) {
+  if (!params_.async) {
+    std::vector<Pending> batch;
+    batch.push_back(std::move(pending));
+    label_batch(batch);
+    return;
+  }
+  {
+    const std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(pending));
+  }
+  work_cv_.notify_one();
+}
+
+void LabelHarvester::worker_loop() {
+  std::vector<Pending> batch;
+  while (true) {
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      const std::size_t take =
+          std::min(queue_.size(), static_cast<std::size_t>(std::max(1, params_.batch)));
+      batch.clear();
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      labeling_ = true;
+    }
+    label_batch(batch);
+    {
+      const std::lock_guard lock(mutex_);
+      labeling_ = false;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void LabelHarvester::label_batch(std::vector<Pending>& batch) {
+  struct Labeled {
+    flow::LabeledRow row;
+    bool ok = false;
+  };
+  // Ground truth fans out over the pool; a per-item mapping/STA failure
+  // drops that row only (never the batch, never the search).
+  auto labels = pool_.parallel_map<Labeled>(batch.size(), [&](std::size_t i) {
+    Labeled out;
+    try {
+      out.row = flow::label_one(batch[i].graph, lib_);
+      out.ok = true;
+    } catch (const std::exception&) {
+      out.ok = false;
+    }
+    return out;
+  });
+  // Commit in batch (= selection) order, so buffer contents do not depend on
+  // pool scheduling.
+  std::size_t appended = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!labels[i].ok) continue;
+    ReplayRow row;
+    row.key = batch[i].key;
+    row.generation = batch[i].generation;
+    row.delay_ps = labels[i].row.delay_ps;
+    row.area_um2 = labels[i].row.area_um2;
+    row.pred_delay = batch[i].predicted.delay;
+    row.pred_area = batch[i].predicted.area;
+    row.features = labels[i].row.features;
+    if (buffer_.add(row)) ++appended;
+  }
+  const std::lock_guard lock(mutex_);
+  stats_.labeled += appended;
+}
+
+void LabelHarvester::drain() {
+  if (!params_.async) return;
+  std::unique_lock lock(mutex_);
+  drain_cv_.wait(lock, [&] { return queue_.empty() && !labeling_; });
+}
+
+LabelHarvester::Stats LabelHarvester::stats() const {
+  const std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t LabelHarvester::selected() const {
+  const std::lock_guard lock(mutex_);
+  return stats_.selected;
+}
+
+}  // namespace aigml::learn

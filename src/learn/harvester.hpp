@@ -1,0 +1,145 @@
+#pragma once
+// LabelHarvester — the acquisition half of the active-learning loop
+// (DESIGN.md §9): an opt::Observer that watches every state a search
+// visits, selects the ones the model is least trustworthy on, and pays the
+// ground-truth price (map + STA via flow::label_one) for exactly those.
+//
+// Selection signals, cheapest first:
+//
+//   novelty       flow::variant_signature not seen this run — a structure is
+//                 never harvested twice (the same dedup key the replay
+//                 buffer and the offline datagen pipeline use);
+//   disagreement  the ML-predicted delay per AIG level drifts from the
+//                 run-initial ratio by more than `min_disagreement` — the
+//                 proxy/ML divergence the paper identifies as exactly where
+//                 a learned timing model earns (or loses) its keep;
+//   envelope      any Table II feature falls outside the training set's
+//                 per-feature [min, max] envelope (seeded from the base
+//                 dataset) — the search has walked the AIG somewhere the
+//                 model has never been trained, the LOSTIN accuracy cliff.
+//
+// Selection runs synchronously on the search thread and is a pure function
+// of the candidate stream — seed-deterministic by construction (it draws no
+// randomness at all).  Labeling is the expensive part and runs on a
+// background worker draining a queue in FIFO batches over a
+// util::ThreadPool, so the search never blocks on map + STA; rows land in
+// the ReplayBuffer in selection order regardless of worker timing, and
+// drain() gives readers a barrier.  `async = false` labels inline for
+// debugging; buffer contents are byte-identical either way.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "celllib/library.hpp"
+#include "learn/replay.hpp"
+#include "opt/strategy.hpp"
+#include "util/parallel.hpp"
+
+namespace aigml::learn {
+
+struct HarvestParams {
+  /// Max rows labeled per run; 0 = unlimited.  The `learn_budget` recipe key.
+  int budget = 64;
+  /// Relative drift of predicted-delay-per-level vs the run-initial ratio
+  /// that flags a state as "the proxy and the model disagree here".
+  double min_disagreement = 0.15;
+  /// Harvest states whose features leave the training envelope.
+  bool envelope = true;
+  /// Background labeling worker (default); false labels inline on the
+  /// search thread.  Contents of the replay buffer are identical either way.
+  bool async = true;
+  /// States per labeling pass on the worker (amortizes pool dispatch).
+  int batch = 8;
+  /// Labeling pool width; 0 = default_num_threads().
+  int num_threads = 0;
+};
+
+class LabelHarvester final : public opt::Observer {
+ public:
+  /// `buffer` is borrowed and must outlive the harvester; it is only
+  /// touched by the worker (async) or inline (sync), and is safe to read
+  /// after drain().  `generation_fn` stamps each row with the model
+  /// generation that predicted it (defaults to 0 when absent).
+  LabelHarvester(const cell::Library& lib, ReplayBuffer& buffer, HarvestParams params,
+                 std::function<std::uint64_t()> generation_fn = {});
+  ~LabelHarvester() override;
+
+  LabelHarvester(const LabelHarvester&) = delete;
+  LabelHarvester& operator=(const LabelHarvester&) = delete;
+
+  /// Seeds the feature envelope from a training dataset (per-feature
+  /// min/max).  Unseeded, the envelope grows from the first candidate.
+  void seed_envelope(const ml::Dataset& data);
+
+  /// Seeds the novelty filter with the dataset's row keys (datagen rows
+  /// carry flow::variant_signature): a structure the base set already
+  /// labeled offline is never paid for again online.
+  void seed_known(const ml::Dataset& data);
+  /// Same, from another replay buffer (a previous run's harvest file —
+  /// writers are per-process, so sibling files must be folded explicitly).
+  void seed_known(const ReplayBuffer& other);
+
+  // Observer hooks (called from the search thread).
+  void on_start(const aig::Aig& initial, const opt::QualityEval& initial_eval,
+                double initial_cost) override;
+  void on_candidate(int iteration, const aig::Aig& candidate,
+                    const opt::QualityEval& eval) override;
+
+  /// Blocks until every queued state has been labeled and buffered.
+  void drain();
+
+  struct Stats {
+    std::size_t considered = 0;       ///< candidates examined
+    std::size_t duplicates = 0;       ///< dropped by the novelty filter
+    std::size_t selected = 0;         ///< queued for labeling
+    std::size_t labeled = 0;          ///< rows appended to the buffer
+    std::size_t by_disagreement = 0;  ///< selection-signal breakdown
+    std::size_t by_envelope = 0;
+  };
+  /// Counters; `labeled` is exact only after drain().
+  [[nodiscard]] Stats stats() const;
+  /// Selection-side count (exact at any time; the retrain checkpoint gate).
+  [[nodiscard]] std::size_t selected() const;
+
+ private:
+  struct Pending {
+    aig::Aig graph;
+    std::uint64_t key = 0;
+    opt::QualityEval predicted;
+    std::uint64_t generation = 0;
+  };
+
+  void enqueue(Pending pending);
+  void worker_loop();
+  void label_batch(std::vector<Pending>& batch);
+
+  const cell::Library& lib_;
+  ReplayBuffer& buffer_;
+  const HarvestParams params_;
+  std::function<std::uint64_t()> generation_fn_;
+  ThreadPool pool_;
+
+  // Selection state (search thread only).
+  std::unordered_set<std::uint64_t> seen_;
+  double initial_delay_per_level_ = 0.0;
+  bool envelope_seeded_ = false;
+  features::FeatureVector envelope_min_{};
+  features::FeatureVector envelope_max_{};
+
+  // Queue + counters (shared with the worker).
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< worker wake-up
+  std::condition_variable drain_cv_;  ///< drain() wake-up
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  bool labeling_ = false;  ///< worker is inside a labeling pass
+  Stats stats_;
+  std::thread worker_;  ///< last member: joins before the rest tears down
+};
+
+}  // namespace aigml::learn

@@ -1,0 +1,147 @@
+#include "learn/loop.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/live_cost.hpp"
+
+namespace aigml::learn {
+
+namespace fs = std::filesystem;
+
+ActiveLearner::ActiveLearner(const cell::Library& lib, serve::ModelRegistry& registry,
+                             LearnParams params)
+    : registry_(&registry), params_(std::move(params)),
+      base_delay_model_(registry.try_get(params_.retrain.delay_model)),
+      base_area_model_(registry.try_get(params_.retrain.area_model)),
+      buffer_(params_.replay_file.empty() ? ReplayBuffer{} : ReplayBuffer(params_.replay_file)),
+      harvester_(lib, buffer_, params_.harvest,
+                 [this] { return registry_->generation(); }),
+      retrainer_(registry, params_.retrain) {
+  for (const fs::path& sibling : params_.known_replays) {
+    if (sibling == params_.replay_file) continue;
+    try {
+      harvester_.seed_known(ReplayBuffer(sibling));
+    } catch (const std::exception&) {
+      // A foreign-format or torn sibling costs at most some duplicate
+      // labeling; it must not stop this run.
+    }
+  }
+}
+
+void ActiveLearner::set_base(const ml::Dataset& delay, const ml::Dataset& area) {
+  harvester_.seed_envelope(delay);
+  harvester_.seed_known(delay);
+  retrainer_.set_base(delay, area);
+}
+
+void ActiveLearner::on_start(const aig::Aig& initial, const opt::QualityEval& initial_eval,
+                             double initial_cost) {
+  harvester_.on_start(initial, initial_eval, initial_cost);
+  next_checkpoint_ = static_cast<std::size_t>(std::max(1, params_.retrain.min_new_rows));
+}
+
+void ActiveLearner::on_candidate(int iteration, const aig::Aig& candidate,
+                                 const opt::QualityEval& eval) {
+  harvester_.on_candidate(iteration, candidate, eval);
+}
+
+void ActiveLearner::on_iteration(int /*iteration*/, const opt::IterationRecord& /*record*/) {
+  // Checkpoints key off the *selection* count — a pure function of the
+  // candidate stream — and drain before evaluating the triggers, so when a
+  // retrain fires (and therefore the whole downstream trajectory) does not
+  // depend on how fast the labeling worker ran.
+  if (harvester_.selected() < next_checkpoint_) return;
+  harvester_.drain();
+  retrainer_.maybe_retrain(buffer_);
+  next_checkpoint_ = harvester_.selected() +
+                     static_cast<std::size_t>(std::max(1, params_.retrain.min_new_rows));
+}
+
+void ActiveLearner::on_finish(const opt::OptResult& /*result*/) {
+  harvester_.drain();
+  retrainer_.maybe_retrain(buffer_);
+  buffer_.flush();
+}
+
+LearnStats ActiveLearner::stats() const {
+  const LabelHarvester::Stats h = harvester_.stats();
+  LearnStats out;
+  out.considered = h.considered;
+  out.selected = h.selected;
+  out.labeled = h.labeled;
+  out.duplicates = h.duplicates;
+  out.retrains = retrainer_.retrains();
+  if (buffer_.size() > 0) {
+    if (base_delay_model_ != nullptr && base_area_model_ != nullptr) {
+      out.base_error_pct = model_error_pct(*base_delay_model_, *base_area_model_, buffer_);
+    }
+    const auto delay = registry_->try_get(params_.retrain.delay_model);
+    const auto area = registry_->try_get(params_.retrain.area_model);
+    if (delay != nullptr && area != nullptr) {
+      out.final_error_pct = model_error_pct(*delay, *area, buffer_);
+    }
+  }
+  return out;
+}
+
+LearnRunResult run(const opt::Recipe& recipe, const aig::Aig& initial,
+                   const cell::Library& lib) {
+  if (!recipe.learn) {
+    throw std::invalid_argument("learn::run: recipe has learn=0 (use opt::run)");
+  }
+  if (recipe.cost.rfind("ml:", 0) != 0) {
+    throw std::invalid_argument(
+        "learn: cost spec '" + recipe.cost +
+        "' is not supported with learn=1 (need ml:<model-dir> so refreshed models have a "
+        "registry to land in)");
+  }
+  const fs::path model_dir = recipe.cost.substr(3);
+  serve::ModelRegistry registry(model_dir);
+  if (registry.try_get("delay") == nullptr || registry.try_get("area") == nullptr) {
+    throw std::invalid_argument("learn: " + model_dir.string() +
+                                " must contain delay.gbdt and area.gbdt");
+  }
+
+  LearnParams params;
+  params.harvest.budget = recipe.learn_budget;
+  params.retrain.min_new_rows = std::max(4, recipe.learn_budget / 4);
+  if (!recipe.learn_dir.empty()) {
+    // Per-process file: replay buffers are single-writer (replay.hpp), and
+    // sweeps routinely point several learn=1 runs at one learn_dir.  The
+    // consumers (`aigml learn`, the novelty filter below) fold every *.rpb
+    // in the directory, so the split costs nothing.
+    const fs::path dir(recipe.learn_dir);
+    params.replay_file = dir / ("harvest_" + std::to_string(::getpid()) + ".rpb");
+    params.retrain.save_dir = recipe.learn_dir;
+    if (fs::is_directory(dir)) {
+      for (const auto& entry : fs::directory_iterator(dir)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".rpb") {
+          params.known_replays.push_back(entry.path());
+        }
+      }
+    }
+  }
+
+  ActiveLearner learner(lib, registry, params);
+  // Envelope + retrain base from the datasets the served models were
+  // trained on, when the operator dropped them next to the models.
+  const auto base_delay = ml::Dataset::load(model_dir / "base_delay.csv");
+  const auto base_area = ml::Dataset::load(model_dir / "base_area.csv");
+  if (base_delay.has_value() && base_area.has_value()) {
+    learner.set_base(*base_delay, *base_area);
+  }
+
+  serve::LiveMlCost evaluator(registry, "delay", "area");
+  const std::unique_ptr<opt::Strategy> strategy = recipe.make_strategy();
+  LearnRunResult out;
+  out.result = strategy->run(initial, evaluator, recipe.stop_condition(), &learner);
+  out.stats = learner.stats();
+  out.stats.swaps_observed = evaluator.swaps_observed();
+  return out;
+}
+
+}  // namespace aigml::learn

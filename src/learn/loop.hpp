@@ -1,0 +1,118 @@
+#pragma once
+// ActiveLearner — the closed loop (DESIGN.md §9).  One opt::Observer that
+// composes the subsystem:
+//
+//      search (SA/greedy) ──on_candidate──▶ LabelHarvester ──▶ ReplayBuffer
+//         ▲                                      (map+STA on a worker)
+//         │ next evaluation polls                       │
+//         │ the registry generation          checkpoint: drain + triggers
+//         │                                             ▼
+//      serve::LiveMlCost ◀──install()── Retrainer (warm-start GBDT refresh)
+//
+// Checkpoints fire on the *selection* count (a pure function of the
+// candidate stream), the harvester is drained before the triggers are
+// evaluated, and retraining runs on the search thread — so a learn=1 run is
+// deterministic for a fixed seed even though labeling is asynchronous.  The
+// loop's only nondeterminism knob is opting out of that barrier in custom
+// wiring; learn=0 runs don't construct any of this and stay bit-identical
+// to the plain PR-4 path.
+//
+// learn::run() is the one-call runner behind `aigml opt --recipe
+// "...;learn=1"`: it builds the registry from the recipe's `ml:<dir>` cost
+// spec, seeds the envelope and retrain base from `<dir>/base_{delay,area}.csv`
+// when present, persists the harvest under `learn_dir`, and reports how much
+// better the refreshed model predicts the harvested states than the base
+// model the run started with.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "celllib/library.hpp"
+#include "learn/harvester.hpp"
+#include "learn/replay.hpp"
+#include "learn/retrainer.hpp"
+#include "opt/recipe.hpp"
+#include "serve/registry.hpp"
+
+namespace aigml::learn {
+
+struct LearnParams {
+  HarvestParams harvest;
+  RetrainParams retrain;
+  /// Backing file for the replay buffer; empty = in-memory only.  Must be
+  /// this process's own file (replay.hpp's single-writer rule).
+  std::filesystem::path replay_file;
+  /// Sibling harvest files (other runs' *.rpb in the same directory) whose
+  /// keys join the novelty filter: states they already labeled are not paid
+  /// for again.  Unreadable files are skipped.
+  std::vector<std::filesystem::path> known_replays;
+};
+
+struct LearnStats {
+  std::size_t considered = 0;
+  std::size_t selected = 0;
+  std::size_t labeled = 0;
+  std::size_t duplicates = 0;
+  std::size_t retrains = 0;
+  std::uint64_t swaps_observed = 0;  ///< evaluator-side swaps (filled by run())
+  /// Error of the models the run *started* with on the harvested rows.
+  double base_error_pct = 0.0;
+  /// Error of the registry's *current* (possibly refreshed) models on the
+  /// same rows — the acceptance signal: refreshed < base, on states the
+  /// search actually visited.
+  double final_error_pct = 0.0;
+};
+
+class ActiveLearner final : public opt::Observer {
+ public:
+  /// Pins the base model snapshots for the error baseline; `lib` and
+  /// `registry` are borrowed and must outlive the learner.
+  ActiveLearner(const cell::Library& lib, serve::ModelRegistry& registry, LearnParams params);
+
+  /// Seeds the harvester envelope AND the retrainer base from the original
+  /// training datasets.
+  void set_base(const ml::Dataset& delay, const ml::Dataset& area);
+
+  // Observer hooks.
+  void on_start(const aig::Aig& initial, const opt::QualityEval& initial_eval,
+                double initial_cost) override;
+  void on_candidate(int iteration, const aig::Aig& candidate,
+                    const opt::QualityEval& eval) override;
+  void on_iteration(int iteration, const opt::IterationRecord& record) override;
+  /// Drains the harvester, makes a final retrain attempt, flushes the
+  /// replay buffer to disk.
+  void on_finish(const opt::OptResult& result) override;
+
+  [[nodiscard]] ReplayBuffer& buffer() noexcept { return buffer_; }
+  [[nodiscard]] std::size_t retrains() const noexcept { return retrainer_.retrains(); }
+  /// Aggregated loop statistics; errors are computed on demand over the
+  /// current buffer (call after on_finish / drain).
+  [[nodiscard]] LearnStats stats() const;
+
+ private:
+  serve::ModelRegistry* registry_;
+  LearnParams params_;
+  std::shared_ptr<const ml::GbdtModel> base_delay_model_;  ///< error baseline
+  std::shared_ptr<const ml::GbdtModel> base_area_model_;
+  ReplayBuffer buffer_;
+  LabelHarvester harvester_;
+  Retrainer retrainer_;
+  std::size_t next_checkpoint_ = 0;
+};
+
+struct LearnRunResult {
+  opt::OptResult result;
+  LearnStats stats;
+};
+
+/// Executes `recipe` (which must have learn == true and cost == "ml:<dir>")
+/// with the full active-learning loop attached: LiveMlCost over a registry
+/// loaded from <dir>, harvesting budgeted by recipe.learn_budget, harvest
+/// persisted under recipe.learn_dir (when set) along with refreshed model
+/// files.  Throws std::invalid_argument for unsupported cost specs.
+[[nodiscard]] LearnRunResult run(const opt::Recipe& recipe, const aig::Aig& initial,
+                                 const cell::Library& lib);
+
+}  // namespace aigml::learn

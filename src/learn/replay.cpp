@@ -1,0 +1,118 @@
+#include "learn/replay.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace aigml::learn {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'M', 'R', 'B'};
+constexpr std::size_t kHeaderBytes = 12;
+
+/// Doubles per record: key + generation (as raw 8-byte words) + 4 scalars +
+/// the feature vector.  Everything is 8 bytes wide, so one stride covers it.
+constexpr std::size_t record_words() {
+  return 6 + features::kNumFeatures;
+}
+constexpr std::size_t record_bytes() { return record_words() * 8; }
+
+void encode(const ReplayRow& row, char* out) {
+  std::memcpy(out + 0, &row.key, 8);
+  std::memcpy(out + 8, &row.generation, 8);
+  std::memcpy(out + 16, &row.delay_ps, 8);
+  std::memcpy(out + 24, &row.area_um2, 8);
+  std::memcpy(out + 32, &row.pred_delay, 8);
+  std::memcpy(out + 40, &row.pred_area, 8);
+  std::memcpy(out + 48, row.features.data(), features::kNumFeatures * 8);
+}
+
+ReplayRow decode(const char* in) {
+  ReplayRow row;
+  std::memcpy(&row.key, in + 0, 8);
+  std::memcpy(&row.generation, in + 8, 8);
+  std::memcpy(&row.delay_ps, in + 16, 8);
+  std::memcpy(&row.area_um2, in + 24, 8);
+  std::memcpy(&row.pred_delay, in + 32, 8);
+  std::memcpy(&row.pred_area, in + 40, 8);
+  std::memcpy(row.features.data(), in + 48, features::kNumFeatures * 8);
+  return row;
+}
+
+}  // namespace
+
+ReplayBuffer::ReplayBuffer(std::filesystem::path file) : file_(std::move(file)) {
+  std::ifstream in(file_, std::ios::binary);
+  if (!in) return;  // fresh buffer; flush() will create the file
+  char header[kHeaderBytes];
+  if (!in.read(header, kHeaderBytes)) {
+    throw std::runtime_error("ReplayBuffer: truncated header in " + file_.string());
+  }
+  if (std::memcmp(header, kMagic, 4) != 0) {
+    throw std::runtime_error("ReplayBuffer: bad magic in " + file_.string());
+  }
+  std::uint32_t version = 0, width = 0;
+  std::memcpy(&version, header + 4, 4);
+  std::memcpy(&width, header + 8, 4);
+  if (version != kFormatVersion) {
+    throw std::runtime_error("ReplayBuffer: " + file_.string() + " is format version " +
+                             std::to_string(version) + " (this build reads version " +
+                             std::to_string(kFormatVersion) + ")");
+  }
+  if (width != features::kNumFeatures) {
+    throw std::runtime_error("ReplayBuffer: " + file_.string() + " has " +
+                             std::to_string(width) + "-wide feature rows, this build expects " +
+                             std::to_string(int{features::kNumFeatures}));
+  }
+  std::vector<char> record(record_bytes());
+  // A trailing partial record (torn write from a crashed harvester) fails
+  // this read and is dropped; every complete record before it is kept.
+  while (in.read(record.data(), static_cast<std::streamsize>(record.size()))) {
+    const ReplayRow row = decode(record.data());
+    if (keys_.insert(row.key).second) rows_.push_back(row);
+  }
+  persisted_ = rows_.size();
+}
+
+bool ReplayBuffer::add(const ReplayRow& row) {
+  if (!keys_.insert(row.key).second) return false;
+  rows_.push_back(row);
+  return true;
+}
+
+std::size_t ReplayBuffer::flush() {
+  if (file_.empty() || persisted_ == rows_.size()) return 0;
+  if (file_.has_parent_path()) std::filesystem::create_directories(file_.parent_path());
+  const bool fresh = !std::filesystem::exists(file_);
+  std::ofstream out(file_, std::ios::binary | std::ios::app);
+  if (!out) throw std::runtime_error("ReplayBuffer: cannot open " + file_.string());
+  if (fresh) {
+    char header[kHeaderBytes];
+    std::memcpy(header, kMagic, 4);
+    const std::uint32_t version = kFormatVersion;
+    const std::uint32_t width = features::kNumFeatures;
+    std::memcpy(header + 4, &version, 4);
+    std::memcpy(header + 8, &width, 4);
+    out.write(header, kHeaderBytes);
+  }
+  std::vector<char> record(record_bytes());
+  const std::size_t written = rows_.size() - persisted_;
+  for (std::size_t i = persisted_; i < rows_.size(); ++i) {
+    encode(rows_[i], record.data());
+    out.write(record.data(), static_cast<std::streamsize>(record.size()));
+  }
+  if (!out) throw std::runtime_error("ReplayBuffer: write failed for " + file_.string());
+  persisted_ = rows_.size();
+  return written;
+}
+
+void ReplayBuffer::to_datasets(ml::Dataset& delay, ml::Dataset& area,
+                               const std::string& tag) const {
+  for (const ReplayRow& row : rows_) {
+    delay.append(row.features, row.delay_ps, tag, row.key);
+    area.append(row.features, row.area_um2, tag, row.key);
+  }
+}
+
+}  // namespace aigml::learn

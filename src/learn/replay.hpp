@@ -1,0 +1,97 @@
+#pragma once
+// ReplayBuffer — the on-disk memory of the active-learning loop (DESIGN.md
+// §9): every ground-truth label harvested during a search is appended here,
+// keyed by flow::variant_signature, so labels survive the run that paid for
+// them and accumulate across runs into a growing training set.
+//
+// Disk format (version 1): a fixed 12-byte header
+//
+//   bytes 0-3   magic "AMRB"
+//   bytes 4-7   u32 format version (kFormatVersion)
+//   bytes 8-11  u32 feature count
+//
+// followed by fixed-stride records, one per row:
+//
+//   u64 key            flow::variant_signature of the labeled AIG
+//   u64 generation     registry generation of the model that predicted it
+//   f64 delay_ps       ground truth (map + STA)
+//   f64 area_um2       ground truth
+//   f64 pred_delay     the model's prediction at harvest time
+//   f64 pred_area      (pred vs truth = the loop's observed error signal)
+//   f64 features[N]    Table II feature vector
+//
+// All values are host-endian and the stride is constant, so the payload is
+// directly mmap-able on the architecture that wrote it; the row count is
+// derived from the file size (no trailer to corrupt), and a torn trailing
+// record from a crashed writer is ignored on load.  A version or width
+// mismatch is rejected loudly — silently reinterpreting rows would poison
+// every retrain that follows.
+//
+// Appends are dedup-keyed: add() drops rows whose key is already present,
+// both against rows loaded from disk and rows added this session, so
+// concurrent harvest files can be folded together without double-counting a
+// structure.  flush() appends only the not-yet-persisted suffix.
+//
+// A backing file has exactly ONE writer: appends are stream-buffered, so
+// two processes flushing the same path could interleave mid-record and
+// misframe every row after the split.  Writers therefore take per-process
+// file names (learn::run uses harvest_<pid>.rpb) and readers fold all
+// *.rpb files in a directory instead of sharing one.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "features/features.hpp"
+#include "ml/dataset.hpp"
+
+namespace aigml::learn {
+
+struct ReplayRow {
+  std::uint64_t key = 0;         ///< flow::variant_signature of the state
+  std::uint64_t generation = 0;  ///< registry generation of the predicting model
+  double delay_ps = 0.0;         ///< ground truth (map + STA)
+  double area_um2 = 0.0;
+  double pred_delay = 0.0;       ///< model prediction at harvest time
+  double pred_area = 0.0;
+  features::FeatureVector features{};
+};
+
+class ReplayBuffer {
+ public:
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// In-memory buffer (no persistence).
+  ReplayBuffer() = default;
+  /// Buffer backed by `file`; loads existing rows when the file exists.
+  /// Throws std::runtime_error on a bad magic, version, or feature width.
+  explicit ReplayBuffer(std::filesystem::path file);
+
+  /// Appends `row` unless its key is already present.  Returns true when the
+  /// row was appended.
+  bool add(const ReplayRow& row);
+
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+  [[nodiscard]] const ReplayRow& row(std::size_t i) const { return rows_[i]; }
+  [[nodiscard]] bool contains(std::uint64_t key) const { return keys_.count(key) != 0; }
+  [[nodiscard]] const std::filesystem::path& file() const noexcept { return file_; }
+
+  /// Appends the not-yet-persisted rows to the backing file (creating it,
+  /// header included, when absent).  Returns rows written; no-op (0) for an
+  /// unbacked buffer.
+  std::size_t flush();
+
+  /// Converts every row into keyed delay/area training rows tagged `tag`
+  /// (the shape learn::Retrainer merges into its base sets).
+  void to_datasets(ml::Dataset& delay, ml::Dataset& area, const std::string& tag) const;
+
+ private:
+  std::filesystem::path file_;
+  std::vector<ReplayRow> rows_;
+  std::unordered_set<std::uint64_t> keys_;
+  std::size_t persisted_ = 0;  ///< rows already on disk
+};
+
+}  // namespace aigml::learn

@@ -1,0 +1,132 @@
+#include "learn/retrainer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "features/features.hpp"
+
+namespace aigml::learn {
+
+namespace {
+
+double percent_error(double predicted, double truth) {
+  if (truth == 0.0) return 0.0;
+  return 100.0 * std::abs(predicted - truth) / std::abs(truth);
+}
+
+}  // namespace
+
+double observed_error_pct(const ReplayBuffer& buffer, std::size_t first_row) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = first_row; i < buffer.size(); ++i) {
+    const ReplayRow& row = buffer.row(i);
+    sum += 0.5 * (percent_error(row.pred_delay, row.delay_ps) +
+                  percent_error(row.pred_area, row.area_um2));
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double model_error_pct(const ml::GbdtModel& delay_model, const ml::GbdtModel& area_model,
+                       const ReplayBuffer& buffer, std::size_t first_row) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = first_row; i < buffer.size(); ++i) {
+    const ReplayRow& row = buffer.row(i);
+    sum += 0.5 * (percent_error(delay_model.predict(row.features), row.delay_ps) +
+                  percent_error(area_model.predict(row.features), row.area_um2));
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+Retrainer::Retrainer(serve::ModelRegistry& registry, RetrainParams params)
+    : registry_(&registry), params_(std::move(params)) {}
+
+void Retrainer::set_base(ml::Dataset delay, ml::Dataset area) {
+  base_delay_ = std::move(delay);
+  base_area_ = std::move(area);
+  has_base_ = true;
+}
+
+bool Retrainer::should_retrain(const ReplayBuffer& buffer) const {
+  if (buffer.size() <= rows_consumed_) return false;
+  const std::size_t new_rows = buffer.size() - rows_consumed_;
+  if (new_rows < static_cast<std::size_t>(std::max(1, params_.min_new_rows))) return false;
+  if (params_.min_error_pct > 0.0 &&
+      observed_error_pct(buffer, rows_consumed_) < params_.min_error_pct) {
+    return false;
+  }
+  return true;
+}
+
+bool Retrainer::maybe_retrain(const ReplayBuffer& buffer) {
+  if (!should_retrain(buffer)) return false;
+  retrain(buffer);
+  return true;
+}
+
+void Retrainer::retrain(const ReplayBuffer& buffer) {
+  if (buffer.size() == 0 && !has_base_) {
+    throw std::invalid_argument("Retrainer::retrain: no rows to train on");
+  }
+  ml::Dataset harvest_delay(features::feature_names());
+  ml::Dataset harvest_area(features::feature_names());
+  buffer.to_datasets(harvest_delay, harvest_area, "harvest");
+
+  const ml::GbdtModel delay =
+      refresh_one(params_.delay_model, has_base_ ? base_delay_ : ml::Dataset(features::feature_names()),
+                  harvest_delay);
+  const ml::GbdtModel area =
+      refresh_one(params_.area_model, has_base_ ? base_area_ : ml::Dataset(features::feature_names()),
+                  harvest_area);
+
+  // Install both models before saving either: the in-process consumers flip
+  // at the next generation poll, and a failed disk write cannot leave the
+  // registry half-refreshed.
+  registry_->install(params_.delay_model, delay);
+  registry_->install(params_.area_model, area);
+  if (!params_.save_dir.empty()) {
+    std::filesystem::create_directories(params_.save_dir);
+    for (const auto& [name, model] :
+         {std::pair<const std::string&, const ml::GbdtModel&>{params_.delay_model, delay},
+          std::pair<const std::string&, const ml::GbdtModel&>{params_.area_model, area}}) {
+      // Write-to-temp + rename: a concurrent RELOAD in a serving process
+      // never observes a half-written model file.
+      const auto final_path = params_.save_dir / (name + ".gbdt");
+      const auto temp_path = params_.save_dir / (name + ".gbdt.tmp");
+      model.save(temp_path);
+      std::filesystem::rename(temp_path, final_path);
+    }
+  }
+  ++retrains_;
+  rows_consumed_ = buffer.size();
+}
+
+ml::GbdtModel Retrainer::refresh_one(const std::string& name, const ml::Dataset& base,
+                                     const ml::Dataset& harvest) const {
+  // Canonical merged set: base rows in their stored order, harvested rows
+  // deduped against them and sorted by key — the training bytes depend on
+  // the row *set*, never on harvest arrival order (tests/test_learn.cpp).
+  ml::Dataset merged = base;
+  merged.merge_dedup(harvest);
+  merged = merged.sorted_by_key();
+  if (merged.num_rows() == 0) {
+    throw std::invalid_argument("Retrainer: model '" + name + "' has no training rows");
+  }
+
+  const std::shared_ptr<const ml::GbdtModel> current = registry_->try_get(name);
+  // A warm residual fit needs the base distribution in the batch; harvest
+  // alone would anchor the refresh to a handful of states.
+  const bool warm = params_.warm_start && current != nullptr && has_base_;
+  ml::GbdtParams fit = params_.gbdt;
+  if (warm) {
+    fit.num_trees = std::max(1, params_.extra_trees);
+    fit.learning_rate = current->learning_rate();  // warm-start contract (gbdt.hpp)
+  }
+  return ml::GbdtModel::train(merged, fit, nullptr, nullptr, warm ? current.get() : nullptr);
+}
+
+}  // namespace aigml::learn

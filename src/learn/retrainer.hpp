@@ -1,0 +1,104 @@
+#pragma once
+// Retrainer — the consolidation half of the active-learning loop (DESIGN.md
+// §9): when the harvest has accumulated enough evidence that the serving
+// model is wrong about the states the search actually visits, it refreshes
+// the delay/area GBDTs on base + harvested rows and atomically installs the
+// new snapshots into the live serve::ModelRegistry — the same registry an
+// in-process LiveMlCost polls and a running `aigml serve` answers from, so
+// one install() moves both the search and remote clients onto the refreshed
+// model at their next evaluation.
+//
+// Triggers (checked at deterministic checkpoints by the ActiveLearner):
+//   * row count — `min_new_rows` labeled rows since the last retrain;
+//   * observed error — when `min_error_pct > 0`, additionally require the
+//     mean |prediction − ground truth| on those rows to exceed it (a model
+//     that is still accurate on harvested states is left alone).
+//
+// The refresh itself: harvest rows (keyed by variant signature) are folded
+// into the base training sets with merge_dedup, the merged set is
+// canonicalized with sorted_by_key — GBDT row subsampling is positional, so
+// canonical order makes the refreshed model independent of the order
+// harvest batches arrived in — and training warm-starts from the current
+// registry snapshot (a short residual fit of `extra_trees` rounds, not a
+// from-scratch 400-tree run; cold when the registry has no model yet or
+// warm_start is off).
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "learn/replay.hpp"
+#include "ml/gbdt.hpp"
+#include "serve/registry.hpp"
+
+namespace aigml::learn {
+
+struct RetrainParams {
+  int min_new_rows = 16;       ///< labeled rows since last retrain that arm the trigger
+  double min_error_pct = 0.0;  ///< additionally require this observed error (0 = row count only)
+  int extra_trees = 60;        ///< boosting rounds per warm refresh
+  bool warm_start = true;      ///< continue from the current snapshot (vs cold retrain)
+  ml::GbdtParams gbdt;         ///< depth/subsample/seed knobs (num_trees used cold only)
+  std::string delay_model = "delay";
+  std::string area_model = "area";
+  /// When set, refreshed models are also written here as <name>.gbdt via
+  /// write-to-temp + atomic rename — the directory a `aigml serve --models`
+  /// instance RELOADs from.
+  std::filesystem::path save_dir;
+};
+
+/// Mean absolute percent error of the stored predictions vs ground truth
+/// over rows [first_row, buffer.size()), averaged across the delay and area
+/// targets.  0 when the range is empty.
+[[nodiscard]] double observed_error_pct(const ReplayBuffer& buffer, std::size_t first_row = 0);
+
+/// Same, but re-predicting with the given models instead of the stored
+/// at-harvest predictions (how the bench scores base vs refreshed models on
+/// an identical row set).
+[[nodiscard]] double model_error_pct(const ml::GbdtModel& delay_model,
+                                     const ml::GbdtModel& area_model,
+                                     const ReplayBuffer& buffer, std::size_t first_row = 0);
+
+class Retrainer {
+ public:
+  /// `registry` is borrowed and must outlive the retrainer.
+  Retrainer(serve::ModelRegistry& registry, RetrainParams params);
+
+  /// Base training rows the harvest is merged into (typically the datagen
+  /// CSVs the original model was trained on).  Optional: without a base the
+  /// refresh trains on harvested rows alone — and always cold, because a
+  /// warm residual fit on a tiny harvest-only set would anchor to the
+  /// harvest's quirks.
+  void set_base(ml::Dataset delay, ml::Dataset area);
+
+  /// True when the triggers above would fire right now.
+  [[nodiscard]] bool should_retrain(const ReplayBuffer& buffer) const;
+
+  /// Checks the triggers and, when they fire, retrains + installs both
+  /// models.  Returns true when a retrain happened.  The buffer must be
+  /// quiescent (harvester drained).
+  bool maybe_retrain(const ReplayBuffer& buffer);
+
+  /// Unconditional refresh (the `aigml learn` daemon's --once path and the
+  /// end-of-run flush).  Throws std::invalid_argument when there are no
+  /// rows to train on.
+  void retrain(const ReplayBuffer& buffer);
+
+  [[nodiscard]] std::size_t retrains() const noexcept { return retrains_; }
+  /// Buffer size at the last retrain (the "new rows" watermark).
+  [[nodiscard]] std::size_t rows_consumed() const noexcept { return rows_consumed_; }
+
+ private:
+  [[nodiscard]] ml::GbdtModel refresh_one(const std::string& name, const ml::Dataset& base,
+                                          const ml::Dataset& harvest) const;
+
+  serve::ModelRegistry* registry_;
+  RetrainParams params_;
+  ml::Dataset base_delay_;
+  ml::Dataset base_area_;
+  bool has_base_ = false;
+  std::size_t retrains_ = 0;
+  std::size_t rows_consumed_ = 0;
+};
+
+}  // namespace aigml::learn

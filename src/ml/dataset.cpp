@@ -1,17 +1,21 @@
 #include "ml/dataset.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace aigml::ml {
 
-void Dataset::append(std::span<const double> features, double label, std::string tag) {
+void Dataset::append(std::span<const double> features, double label, std::string tag,
+                     std::uint64_t key) {
   if (features.size() != num_features()) {
     throw std::invalid_argument("Dataset::append: feature width mismatch");
   }
   values_.insert(values_.end(), features.begin(), features.end());
   labels_.push_back(label);
   tags_.push_back(std::move(tag));
+  keys_.push_back(key);
 }
 
 std::vector<std::size_t> Dataset::rows_with_tag(const std::string& tag) const {
@@ -32,21 +36,62 @@ std::vector<std::string> Dataset::distinct_tags() const {
 
 Dataset Dataset::subset(std::span<const std::size_t> rows) const {
   Dataset out(feature_names_);
-  for (const std::size_t i : rows) out.append(row(i), labels_[i], tags_[i]);
+  for (const std::size_t i : rows) out.append(row(i), labels_[i], tags_[i], keys_[i]);
   return out;
 }
 
-void Dataset::merge(const Dataset& other) {
+void Dataset::append_rows(const Dataset& other) {
   if (other.feature_names_ != feature_names_) {
-    throw std::invalid_argument("Dataset::merge: schema mismatch");
+    throw std::invalid_argument("Dataset::append_rows: schema mismatch");
   }
   for (std::size_t i = 0; i < other.num_rows(); ++i) {
-    append(other.row(i), other.labels_[i], other.tags_[i]);
+    append(other.row(i), other.labels_[i], other.tags_[i], other.keys_[i]);
   }
 }
 
+std::size_t Dataset::merge_dedup(const Dataset& other) {
+  if (other.feature_names_ != feature_names_) {
+    throw std::invalid_argument("Dataset::merge_dedup: schema mismatch");
+  }
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(keys_.size());
+  for (const std::uint64_t k : keys_) {
+    if (k != 0) seen.insert(k);
+  }
+  std::size_t appended = 0;
+  for (std::size_t i = 0; i < other.num_rows(); ++i) {
+    const std::uint64_t k = other.keys_[i];
+    if (k != 0 && !seen.insert(k).second) continue;
+    append(other.row(i), other.labels_[i], other.tags_[i], k);
+    ++appended;
+  }
+  return appended;
+}
+
+Dataset Dataset::sorted_by_key() const {
+  std::vector<std::size_t> order(num_rows());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Unkeyed rows (key 0) keep their positions ahead of every keyed row; keyed
+  // rows sort by key.  stable_sort preserves insertion order within ties, but
+  // after merge_dedup keyed ties cannot exist.
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const bool a_keyed = keys_[a] != 0, b_keyed = keys_[b] != 0;
+    if (a_keyed != b_keyed) return !a_keyed;
+    if (!a_keyed) return false;  // unkeyed rows keep relative order
+    return keys_[a] < keys_[b];
+  });
+  return subset(order);
+}
+
 void Dataset::save(const std::filesystem::path& path) const {
+  // Keyed datasets persist their dedup identity as a second column, so
+  // merge_dedup / seed_known work across processes (the learn/ loop loads
+  // base CSVs written by datagen); unkeyed datasets keep the legacy
+  // tag,<features>,label schema byte-for-byte.
+  bool keyed = false;
+  for (const std::uint64_t k : keys_) keyed = keyed || k != 0;
   std::vector<std::string> header{"tag"};
+  if (keyed) header.push_back("key");
   header.insert(header.end(), feature_names_.begin(), feature_names_.end());
   header.push_back("label");
   CsvTable table(header);
@@ -54,6 +99,7 @@ void Dataset::save(const std::filesystem::path& path) const {
     std::vector<std::string> fields;
     fields.reserve(header.size());
     fields.push_back(tags_[i]);
+    if (keyed) fields.push_back(std::to_string(keys_[i]));
     for (const double v : row(i)) fields.push_back(format_double(v));
     fields.push_back(format_double(labels_[i]));
     table.add_row(std::move(fields));
@@ -66,13 +112,18 @@ std::optional<Dataset> Dataset::load(const std::filesystem::path& path) {
   if (!table.has_value() || table->num_cols() < 2) return std::nullopt;
   const auto& header = table->header();
   if (header.front() != "tag" || header.back() != "label") return std::nullopt;
-  Dataset out(std::vector<std::string>(header.begin() + 1, header.end() - 1));
+  const bool keyed = header.size() >= 3 && header[1] == "key";
+  const std::size_t first_feature = keyed ? 2 : 1;
+  Dataset out(std::vector<std::string>(header.begin() + static_cast<std::ptrdiff_t>(first_feature),
+                                       header.end() - 1));
   std::vector<double> features(out.num_features());
   for (std::size_t r = 0; r < table->num_rows(); ++r) {
     for (std::size_t f = 0; f < out.num_features(); ++f) {
-      features[f] = table->cell_as_double(r, f + 1);
+      features[f] = table->cell_as_double(r, f + first_feature);
     }
-    out.append(features, table->cell_as_double(r, table->num_cols() - 1), table->cell(r, 0));
+    const std::uint64_t key = keyed ? std::stoull(table->cell(r, 1)) : 0;
+    out.append(features, table->cell_as_double(r, table->num_cols() - 1), table->cell(r, 0),
+               key);
   }
   return out;
 }

@@ -1,6 +1,20 @@
 #pragma once
 // Tabular regression dataset: feature rows + labels + a per-row tag (the
-// design name), with CSV persistence for caching generated datasets.
+// design name) + an optional per-row dedup key (flow::variant_signature of
+// the AIG the row was extracted from; 0 = unkeyed), with CSV persistence
+// for caching generated datasets.
+//
+// Keys exist for the active-learning loop (learn/): harvested rows carry
+// the structural signature of the state they were labeled from, so
+// merge_dedup can fold successive harvest batches into one training set
+// without ever training on the same structure twice, and sorted_by_key
+// gives the merged set a canonical row order — GBDT row subsampling indexes
+// rows by position, so canonicalization is what makes retraining
+// independent of the order harvest batches arrived in (locked in by
+// tests/test_learn.cpp).  Keyed datasets persist as (tag, key,
+// <features...>, label) so the identity survives the CSV cache; unkeyed
+// datasets keep the legacy schema and legacy files load with key 0
+// everywhere.
 
 #include <span>
 #include <string>
@@ -16,7 +30,8 @@ class Dataset {
   explicit Dataset(std::vector<std::string> feature_names)
       : feature_names_(std::move(feature_names)) {}
 
-  void append(std::span<const double> features, double label, std::string tag = {});
+  void append(std::span<const double> features, double label, std::string tag = {},
+              std::uint64_t key = 0);
 
   [[nodiscard]] std::size_t num_rows() const noexcept { return labels_.size(); }
   [[nodiscard]] std::size_t num_features() const noexcept { return feature_names_.size(); }
@@ -30,6 +45,8 @@ class Dataset {
   [[nodiscard]] double label(std::size_t i) const { return labels_[i]; }
   [[nodiscard]] const std::vector<double>& labels() const noexcept { return labels_; }
   [[nodiscard]] const std::string& tag(std::size_t i) const { return tags_[i]; }
+  /// Dedup key of row `i`; 0 means unkeyed (never dedups).
+  [[nodiscard]] std::uint64_t key(std::size_t i) const { return keys_[i]; }
 
   /// Rows whose tag matches.
   [[nodiscard]] std::vector<std::size_t> rows_with_tag(const std::string& tag) const;
@@ -37,10 +54,25 @@ class Dataset {
   [[nodiscard]] std::vector<std::string> distinct_tags() const;
   /// New dataset containing only the given rows.
   [[nodiscard]] Dataset subset(std::span<const std::size_t> rows) const;
-  /// Appends all rows of `other` (feature schemas must agree).
-  void merge(const Dataset& other);
 
-  /// CSV persistence; schema: tag, <features...>, label.
+  /// Appends all rows of `other` (feature schemas must agree), keys and tags
+  /// included.  No dedup — the bulk-append primitive.
+  void append_rows(const Dataset& other);
+  /// Back-compat alias for append_rows.
+  void merge(const Dataset& other) { append_rows(other); }
+  /// Appends the rows of `other` whose nonzero key is not already present in
+  /// this dataset (unkeyed rows always append).  Returns the number of rows
+  /// appended.  Duplicate keys *within* `other` keep only the first row.
+  std::size_t merge_dedup(const Dataset& other);
+  /// Canonical row order for order-independent training: unkeyed rows first
+  /// in their current order, then keyed rows ascending by key (ties keep
+  /// current order).  Any sequence of merge_dedup calls delivering the same
+  /// row *set* canonicalizes to the same dataset.
+  [[nodiscard]] Dataset sorted_by_key() const;
+
+  [[nodiscard]] bool operator==(const Dataset&) const = default;
+
+  /// CSV persistence; schema: tag, <features...>, label (keys are dropped).
   void save(const std::filesystem::path& path) const;
   [[nodiscard]] static std::optional<Dataset> load(const std::filesystem::path& path);
 
@@ -49,6 +81,7 @@ class Dataset {
   std::vector<double> values_;  // row-major
   std::vector<double> labels_;
   std::vector<std::string> tags_;
+  std::vector<std::uint64_t> keys_;
 };
 
 }  // namespace aigml::ml

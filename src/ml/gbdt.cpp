@@ -54,19 +54,38 @@ double rmse_of(std::span<const double> preds, std::span<const double> truth) {
 }  // namespace
 
 GbdtModel GbdtModel::train(const Dataset& train, const GbdtParams& params, const Dataset* valid,
-                           TrainLog* log) {
+                           TrainLog* log, const GbdtModel* warm_start) {
   if (train.num_rows() == 0) throw std::invalid_argument("GbdtModel::train: empty dataset");
   if (params.num_trees < 1) throw std::invalid_argument("GbdtModel::train: num_trees < 1");
   if (params.subsample <= 0.0 || params.subsample > 1.0) {
     throw std::invalid_argument("GbdtModel::train: subsample must be in (0, 1]");
   }
+  if (warm_start != nullptr) {
+    if (warm_start->num_features_ != train.num_features()) {
+      throw std::invalid_argument("GbdtModel::train: warm-start model expects " +
+                                  std::to_string(warm_start->num_features_) +
+                                  " features, dataset has " +
+                                  std::to_string(train.num_features()));
+    }
+    if (warm_start->learning_rate_ != params.learning_rate) {
+      throw std::invalid_argument(
+          "GbdtModel::train: warm-start learning rate mismatch (predict() applies one "
+          "shrinkage factor to every tree)");
+    }
+  }
   Timer timer;
   GbdtModel model;
   model.num_features_ = train.num_features();
   model.learning_rate_ = params.learning_rate;
-  model.base_score_ =
-      std::accumulate(train.labels().begin(), train.labels().end(), 0.0) /
-      static_cast<double>(train.num_rows());
+  if (warm_start != nullptr) {
+    model.trees_ = warm_start->trees_;
+    model.base_score_ = warm_start->base_score_;
+  } else {
+    model.base_score_ =
+        std::accumulate(train.labels().begin(), train.labels().end(), 0.0) /
+        static_cast<double>(train.num_rows());
+  }
+  const std::size_t warm_trees = model.trees_.size();
 
   const Matrix x = flatten(train);
   const std::size_t n = train.num_rows();
@@ -79,6 +98,16 @@ GbdtModel GbdtModel::train(const Dataset& train, const GbdtParams& params, const
   if (valid != nullptr) {
     xv = flatten(*valid);
     valid_preds.assign(valid->num_rows(), model.base_score_);
+  }
+  if (warm_start != nullptr) {
+    // Continue boosting where the warm ensemble left off: residuals are
+    // taken against its full prediction, on train and validation alike.
+    for (std::size_t i = 0; i < n; ++i) preds[i] = warm_start->predict(train.row(i));
+    if (valid != nullptr) {
+      for (std::size_t i = 0; i < valid->num_rows(); ++i) {
+        valid_preds[i] = warm_start->predict(valid->row(i));
+      }
+    }
   }
 
   Rng rng(params.seed);
@@ -137,7 +166,7 @@ GbdtModel GbdtModel::train(const Dataset& train, const GbdtParams& params, const
         rounds_since_best = 0;
       } else if (params.early_stopping_rounds > 0 &&
                  ++rounds_since_best >= params.early_stopping_rounds) {
-        model.trees_.resize(static_cast<std::size_t>(best_round));
+        model.trees_.resize(warm_trees + static_cast<std::size_t>(best_round));
         break;
       }
     }

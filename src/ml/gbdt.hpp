@@ -53,8 +53,19 @@ class GbdtModel {
  public:
   /// Trains on `train`; optional `valid` enables early stopping and the
   /// validation curve in the log.
+  ///
+  /// `warm_start` continues boosting from an existing ensemble instead of
+  /// from the label mean: the returned model keeps every warm tree plus its
+  /// base score, and fits `params.num_trees` *additional* rounds against the
+  /// residuals of the warm model's predictions on `train` — the cheap
+  /// "refresh on base + harvested rows" fit the active-learning loop
+  /// (learn::Retrainer) runs in-search.  Because predict() applies one
+  /// shrinkage factor to every leaf, params.learning_rate must equal the
+  /// warm model's rate (std::invalid_argument otherwise), and the feature
+  /// widths must match.
   static GbdtModel train(const Dataset& train, const GbdtParams& params,
-                         const Dataset* valid = nullptr, TrainLog* log = nullptr);
+                         const Dataset* valid = nullptr, TrainLog* log = nullptr,
+                         const GbdtModel* warm_start = nullptr);
 
   [[nodiscard]] double predict(std::span<const double> row) const;
   [[nodiscard]] std::vector<double> predict_all(const Dataset& data) const;
@@ -67,6 +78,8 @@ class GbdtModel {
   [[nodiscard]] std::size_t num_trees() const noexcept { return trees_.size(); }
   [[nodiscard]] std::size_t num_features() const noexcept { return num_features_; }
   [[nodiscard]] double base_score() const noexcept { return base_score_; }
+  /// Per-leaf shrinkage factor (warm-start fits must match it).
+  [[nodiscard]] double learning_rate() const noexcept { return learning_rate_; }
 
   /// Total split gain per feature, normalized to sum to 1 (0 when unused).
   [[nodiscard]] std::vector<double> feature_importance() const;

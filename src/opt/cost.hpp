@@ -185,6 +185,21 @@ class FeatureContext {
     last_q_ = last_q_prev_;
   }
 
+  /// Model-swap hook (serve::LiveMlCost): the derivation function itself
+  /// changed identity (a hot-reload installed a new model), so every
+  /// remembered *derived* value is stale while the feature side — analysis
+  /// snapshots, feature vectors, the memo's structural keys — stays valid.
+  /// Clears all memo payloads and re-derives the bound graph's value under
+  /// the new derivation, so a subsequent no-op move cannot short-circuit to
+  /// an old-generation prediction.  Must be called between moves (no
+  /// speculative update pending) on a bound context.
+  template <typename Derive>
+  void refresh_derived(Derive&& derive) {
+    for (auto& entry : memo_) entry->has_payload = false;
+    last_q_ = derive(extractor_.features());
+    last_q_prev_ = last_q_;
+  }
+
   static constexpr std::size_t kMemoEntries = 8;
   static constexpr std::size_t kMemoMaxNodes = 100000;  ///< ~45 MB memo ceiling
 

@@ -128,10 +128,21 @@ Recipe Recipe::parse(const std::string& text) {
       } else {
         fail("inc=" + value + ": expected 0 or 1");
       }
+    } else if (key == "learn") {
+      if (value == "0" || value == "1") {
+        recipe.learn = value == "1";
+      } else {
+        fail("learn=" + value + ": expected 0 or 1");
+      }
+    } else if (key == "learn_budget") {
+      recipe.learn_budget = parse_int(key, value);
+      if (recipe.learn_budget < 1) fail("learn_budget=" + value + ": must be >= 1");
+    } else if (key == "learn_dir") {
+      recipe.learn_dir = value;
     } else {
       fail("unknown key '" + key +
            "' (known: strategy iters max_seconds max_evals wd wa seed temp decay tol "
-           "starts inner cost inc)");
+           "starts inner cost inc learn learn_budget learn_dir)");
     }
   }
   return recipe;
@@ -161,6 +172,11 @@ std::string Recipe::to_string() const {
   out += ";seed=" + std::to_string(seed);
   out += ";cost=" + cost;
   if (!incremental) out += ";inc=0";
+  if (learn || learn_budget != defaults.learn_budget) {
+    out += ";learn=" + std::string(learn ? "1" : "0");
+    out += ";learn_budget=" + std::to_string(learn_budget);
+  }
+  if (!learn_dir.empty()) out += ";learn_dir=" + learn_dir;
   return out;
 }
 
@@ -209,6 +225,11 @@ StopCondition Recipe::stop_condition() const {
 
 OptResult run(const Recipe& recipe, const aig::Aig& initial, const CostContext& ctx,
               Observer* observer) {
+  if (recipe.learn) {
+    // opt/ cannot depend on the learn/ layer (it sits above); refusing here
+    // beats silently running without the loop the recipe asked for.
+    fail("learn=1 needs the active-learning runner (learn::run / the aigml CLI)");
+  }
   const std::unique_ptr<CostEvaluator> evaluator = make_cost(recipe.cost, ctx);
   const std::unique_ptr<Strategy> strategy = recipe.make_strategy();
   return strategy->run(initial, *evaluator, recipe.stop_condition(), observer);

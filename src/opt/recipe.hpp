@@ -17,6 +17,13 @@
 //   cost=SPEC        cost spec (cost_spec.hpp grammar; default proxy)
 //   inc=0|1          incremental move evaluation (default 1; bit-identical
 //                    trajectories either way — a perf/debug knob, §8)
+//   learn=0|1        closed-loop active learning (default 0; requires
+//                    cost=ml:<dir> and the learn::run runner — harvests
+//                    ground-truth labels during the search and hot-reloads
+//                    refreshed models mid-run, DESIGN.md §9)
+//   learn_budget=N   max states labeled per run (default 64)
+//   learn_dir=PATH   persist the harvest (replay buffer + refreshed model
+//                    files) under PATH (default: in-memory only)
 //
 // Example: `strategy=sa;iters=500;decay=0.97;cost=ml:models;wd=1;wa=0.5`.
 // parse() rejects unknown keys and malformed numbers with messages naming
@@ -54,6 +61,11 @@ struct Recipe {
   std::string cost = "proxy";
   // Incremental move evaluation (perf knob; trajectories are identical).
   bool incremental = true;
+  // Active learning (learn::run executes these; opt::run rejects learn=1
+  // because it has no registry to install refreshed models into).
+  bool learn = false;
+  int learn_budget = 64;
+  std::string learn_dir;
 
   /// Parses the grammar above; throws std::invalid_argument on unknown
   /// keys, malformed numbers, or invalid strategy names.

@@ -116,6 +116,10 @@ OptResult search_loop(const aig::Aig& initial, CostEvaluator& evaluator,
     record.delay = q.delay;
     record.area = q.area;
     record.cost = cost_of(q);
+    // on_candidate sees the graph before accept() so harvesting observes
+    // every visited state; it must not draw from `rng` (it would perturb the
+    // trajectory) and none of the learn/ observers do.
+    if (observer != nullptr) observer->on_candidate(iter, candidate, q);
     record.accepted = accept(record.cost, current_cost, rng);
     if (record.accepted) {
       if (incremental) evaluator.commit_move();

@@ -94,6 +94,12 @@ class Observer {
   virtual ~Observer() = default;
   virtual void on_start(const aig::Aig& /*initial*/, const QualityEval& /*initial_eval*/,
                         double /*initial_cost*/) {}
+  /// Fires after each candidate's evaluation and *before* the accept
+  /// decision — the one hook that sees the visited graph itself, which is
+  /// what active-learning harvesting (learn::LabelHarvester) rides on.
+  /// `candidate` is borrowed for the duration of the call only.
+  virtual void on_candidate(int /*iteration*/, const aig::Aig& /*candidate*/,
+                            const QualityEval& /*eval*/) {}
   virtual void on_iteration(int /*iteration*/, const IterationRecord& /*record*/) {}
   /// Fires whenever a new global best is recorded.
   virtual void on_improvement(int /*iteration*/, const QualityEval& /*best_eval*/,

@@ -1,0 +1,53 @@
+#include "serve/live_cost.hpp"
+
+#include <utility>
+
+namespace aigml::serve {
+
+LiveMlCost::LiveMlCost(const ModelRegistry& registry, std::string delay_model,
+                       std::string area_model)
+    : registry_(&registry), delay_name_(std::move(delay_model)),
+      area_name_(std::move(area_model)) {
+  // Generation before snapshots: an install landing in between makes the
+  // recorded generation stale, so the first refresh() refetches — the safe
+  // direction (the reverse order could pin pre-install snapshots while
+  // believing it had seen the post-install generation).
+  generation_seen_ = registry_->generation();
+  delay_ = registry_->get(delay_name_);
+  area_ = registry_->get(area_name_);
+}
+
+void LiveMlCost::refresh() {
+  const std::uint64_t generation = registry_->generation();
+  if (generation == generation_seen_) return;
+  generation_seen_ = generation;
+  auto delay = registry_->get(delay_name_);
+  auto area = registry_->get(area_name_);
+  if (delay == delay_ && area == area_) return;  // bump was for another model
+  delay_ = std::move(delay);
+  area_ = std::move(area);
+  ++swaps_;
+  if (bound_) {
+    ctx_.refresh_derived([this](const features::FeatureVector& f) { return predict(f); });
+  }
+}
+
+opt::QualityEval LiveMlCost::evaluate_impl(const aig::Aig& g) {
+  refresh();
+  return predict(features::extract(g));
+}
+
+opt::QualityEval LiveMlCost::bind_impl(const aig::Aig& g) {
+  refresh();
+  bound_ = true;
+  return ctx_.bind(g, [this](const features::FeatureVector& f) { return predict(f); });
+}
+
+opt::QualityEval LiveMlCost::evaluate_delta_impl(const aig::Aig& g,
+                                                 const aig::DirtyRegion& dirty) {
+  refresh();
+  return ctx_.evaluate_delta(g, dirty,
+                             [this](const features::FeatureVector& f) { return predict(f); });
+}
+
+}  // namespace aigml::serve

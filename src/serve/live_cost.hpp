@@ -1,0 +1,82 @@
+#pragma once
+// LiveMlCost — the registry-*following* ML evaluator that closes the active
+// learning loop (learn/, DESIGN.md §9).
+//
+// opt::MlCost pins the model snapshots it was built with: a hot-reload in
+// the registry is invisible until a new evaluator is built.  That is the
+// right contract for reproducible experiments, and the wrong one for a
+// search that retrains its own oracle mid-run.  LiveMlCost polls the
+// registry's lock-free generation counter at every evaluation entry point
+// and, when a swap happened, atomically refetches its snapshots and tells
+// its FeatureContext the derivation changed (refresh_derived):
+//
+//   * memo payloads from the old generation are cleared — an exact structure
+//     repeat re-runs inference under the new model instead of replaying a
+//     stale prediction;
+//   * the bound graph's value is re-derived immediately — a no-op move right
+//     after the swap returns the new model's prediction, not the old one;
+//   * the feature side (analysis snapshots, delta extraction, the memo's
+//     structural keys) is model-independent and stays fully incremental.
+//
+// Between swaps, LiveMlCost is bit-identical to an opt::MlCost over the
+// same snapshots (tests/test_learn.cpp locks this in), so `learn=0` runs
+// cannot be perturbed by the plumbing existing.
+//
+// Single-threaded like every CostEvaluator; installs may come from any
+// thread (the registry hands out immutable snapshots under its own lock).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "opt/cost.hpp"
+#include "serve/registry.hpp"
+
+namespace aigml::serve {
+
+class LiveMlCost final : public opt::CostEvaluator {
+ public:
+  /// Pins the current snapshots of the two named models; throws
+  /// std::out_of_range when either is unknown.  `registry` is borrowed and
+  /// must outlive the evaluator.
+  LiveMlCost(const ModelRegistry& registry, std::string delay_model = "delay",
+             std::string area_model = "area");
+
+  [[nodiscard]] std::string name() const override { return "ml-live"; }
+  [[nodiscard]] bool supports_incremental() const noexcept override { return true; }
+
+  /// Mid-run snapshot swaps this evaluator has actually observed (generation
+  /// bumps for *other* models in the registry don't count).
+  [[nodiscard]] std::uint64_t swaps_observed() const noexcept { return swaps_; }
+  [[nodiscard]] std::uint64_t generation_seen() const noexcept { return generation_seen_; }
+
+ protected:
+  opt::QualityEval evaluate_impl(const aig::Aig& g) override;
+  opt::QualityEval bind_impl(const aig::Aig& g) override;
+  opt::QualityEval evaluate_delta_impl(const aig::Aig& g,
+                                       const aig::DirtyRegion& dirty) override;
+  void commit_impl() override { ctx_.commit(); }
+  void rollback_impl() override { ctx_.rollback(); }
+
+ private:
+  /// Re-pins snapshots when the registry generation moved.  Called at every
+  /// evaluation entry point — i.e. only between moves, when no speculative
+  /// update is pending (the refresh_derived precondition).
+  void refresh();
+
+  [[nodiscard]] opt::QualityEval predict(const features::FeatureVector& f) const {
+    return opt::QualityEval{delay_->predict(f), area_->predict(f)};
+  }
+
+  const ModelRegistry* registry_;
+  std::string delay_name_;
+  std::string area_name_;
+  std::shared_ptr<const ml::GbdtModel> delay_;
+  std::shared_ptr<const ml::GbdtModel> area_;
+  std::uint64_t generation_seen_ = 0;
+  std::uint64_t swaps_ = 0;
+  bool bound_ = false;
+  opt::detail::FeatureContext ctx_;
+};
+
+}  // namespace aigml::serve

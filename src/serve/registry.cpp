@@ -41,6 +41,7 @@ void ModelRegistry::install(const std::string& name, ml::GbdtModel model) {
   entry.path.clear();
   entry.file_size = -1;
   entry.file_mtime_ns = 0;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 std::shared_ptr<const ml::GbdtModel> ModelRegistry::get(const std::string& name) const {
@@ -100,9 +101,16 @@ ReloadReport ModelRegistry::reload() {
     entry.path = c.path.string();
     entry.file_size = c.size;
     entry.file_mtime_ns = c.mtime;
+    generation_.fetch_add(1, std::memory_order_acq_rel);
     ++report.loaded;
   }
   return report;
+}
+
+std::uint64_t ModelRegistry::version(const std::string& name) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.version;
 }
 
 std::vector<ModelInfo> ModelRegistry::list() const {

@@ -14,6 +14,7 @@
 // propagated into serving).  Versions count successful (re)loads per name,
 // starting at 1.
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <map>
@@ -73,6 +74,17 @@ class ModelRegistry {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
 
+  /// Registry-wide swap counter: bumps once per successful install() and per
+  /// model (re)loaded by reload().  Lock-free to read, so a hot evaluation
+  /// loop (serve::LiveMlCost) can poll it every move and refresh its pinned
+  /// snapshots only when something actually swapped — the "generation bump"
+  /// the active-learning loop rides on.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+  /// Per-model version (see ModelInfo::version); 0 when `name` is unknown.
+  [[nodiscard]] std::uint64_t version(const std::string& name) const;
+
  private:
   struct Entry {
     std::shared_ptr<const ml::GbdtModel> model;
@@ -85,6 +97,7 @@ class ModelRegistry {
   std::filesystem::path dir_;
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 /// opt::MlCost over the registry's *current* delay/area snapshots — the

@@ -158,12 +158,19 @@ std::string PredictServer::handle_request(const std::string& line) {
     if (request.command == "STATS") {
       const ServiceStats stats = service_.stats();
       std::ostringstream out;
-      out << "OK {\"models\":[";
+      // "version" is the per-model reload generation (bumps on every RELOAD
+      // that picked up a changed file / every install), "predictions" the
+      // successful answers served by that model name; "generation" is the
+      // registry-wide swap counter LiveMlCost polls.
+      out << "OK {\"generation\":" << registry_.generation() << ",\"models\":[";
       bool first = true;
       for (const ModelInfo& info : registry_.list()) {
+        const auto it = stats.predictions.find(info.name);
+        const std::uint64_t predictions = it == stats.predictions.end() ? 0 : it->second;
         out << (first ? "" : ",") << "{\"name\":\"" << json_escape(info.name)
             << "\",\"version\":" << info.version << ",\"trees\":" << info.num_trees
-            << ",\"features\":" << info.num_features << "}";
+            << ",\"features\":" << info.num_features << ",\"predictions\":" << predictions
+            << "}";
         first = false;
       }
       out << "],\"requests\":" << stats.requests << ",\"completed\":" << stats.completed

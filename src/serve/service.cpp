@@ -122,14 +122,23 @@ void PredictService::process_batch(std::vector<Request>& batch) {
     }
   }
 
-  std::uint64_t completed = 0, failed = 0;
+  // Stats are bumped *before* the promises they describe are fulfilled: a
+  // caller that has seen its future resolve must never read counters that
+  // don't include it yet (test_serve.cpp reads stats right after get()).
+  const auto account = [this](const std::string& model_name, std::uint64_t completed,
+                              std::uint64_t failed) {
+    const std::lock_guard lock(mutex_);
+    stats_.completed += completed;
+    stats_.failed += failed;
+    if (completed > 0) stats_.predictions[model_name] += completed;
+  };
   for (auto& [model_name, indices] : groups) {
     const std::shared_ptr<const ml::GbdtModel> snapshot = registry_.try_get(model_name);
     if (snapshot == nullptr) {
+      account(model_name, 0, indices.size());
       for (const std::size_t i : indices) {
         batch[i].promise.set_exception(std::make_exception_ptr(
             std::out_of_range("PredictService: unknown model '" + model_name + "'")));
-        ++failed;
       }
       continue;
     }
@@ -175,23 +184,18 @@ void PredictService::process_batch(std::vector<Request>& batch) {
     for (std::size_t v = 0; v < valid.size(); ++v) {
       std::copy_n(matrix.data() + valid[v] * width, width, compact.data() + v * width);
     }
-    const std::vector<double> predictions = snapshot->predict_all(compact, valid.size());
+    const std::vector<double> answers = snapshot->predict_all(compact, valid.size());
+    account(model_name, valid.size(), n - valid.size());
     for (std::size_t v = 0; v < valid.size(); ++v) {
-      batch[indices[valid[v]]].promise.set_value(predictions[v]);
-      ++completed;
+      batch[indices[valid[v]]].promise.set_value(answers[v]);
     }
     for (std::size_t i = 0; i < n; ++i) {
       if (ok[i] == 0) {
         batch[indices[i]].promise.set_exception(
             std::make_exception_ptr(std::runtime_error("PredictService: " + errors[i])));
-        ++failed;
       }
     }
   }
-
-  const std::lock_guard lock(mutex_);
-  stats_.completed += completed;
-  stats_.failed += failed;
 }
 
 }  // namespace aigml::serve

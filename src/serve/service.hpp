@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -50,6 +51,11 @@ struct ServiceStats {
   std::uint64_t batches = 0;    ///< drain passes executed
   std::uint64_t max_batch = 0;  ///< largest batch observed
   double busy_seconds = 0.0;    ///< drainer time spent extracting + predicting
+  /// Successful predictions answered per model name — paired with the
+  /// registry's per-model version in the STATS reply, this is how an
+  /// operator (or the `aigml learn` daemon) sees which model a retrain
+  /// actually refreshed and whether traffic moved onto it.
+  std::map<std::string, std::uint64_t> predictions;
 };
 
 class PredictService {

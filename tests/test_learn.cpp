@@ -1,0 +1,605 @@
+// Active-learning suite (DESIGN.md §9): keyed-dataset merge semantics and
+// row-order-independent retraining, GBDT warm starts, the replay buffer's
+// binary round trip, seed-deterministic harvest selection, LiveMlCost's
+// generation-following contract (bit-identical to a pinned MlCost until a
+// swap; no stale memo payload after one), and the closed loop end to end
+// (harvest -> retrain -> install -> measurably lower error on the states
+// the search visited).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "celllib/library.hpp"
+#include "features/features.hpp"
+#include "flow/datagen.hpp"
+#include "flow/label.hpp"
+#include "gen/circuits.hpp"
+#include "learn/harvester.hpp"
+#include "learn/loop.hpp"
+#include "learn/replay.hpp"
+#include "learn/retrainer.hpp"
+#include "ml/gbdt.hpp"
+#include "opt/cost.hpp"
+#include "opt/recipe.hpp"
+#include "opt/sa.hpp"
+#include "serve/live_cost.hpp"
+#include "serve/registry.hpp"
+#include "transforms/scripts.hpp"
+#include "util/rng.hpp"
+
+namespace aigml {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& stem)
+      : path(fs::temp_directory_path() / (stem + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+/// Shared expensive fixture: a mult4 base, a ground-truth-labeled keyed
+/// dataset of its variants (the datagen pipeline), and delay/area models
+/// trained on it.  Built once for the whole suite.
+struct LearnFixture {
+  aig::Aig base;
+  flow::GeneratedData data;
+  ml::GbdtModel delay_model;
+  ml::GbdtModel area_model;
+};
+
+const LearnFixture& fixture() {
+  static const LearnFixture fx = [] {
+    LearnFixture out{gen::multiplier(4), {}, {}, {}};
+    flow::DataGenParams params;
+    params.num_variants = 40;
+    params.seed = 0x1ea51;
+    out.data = flow::generate_dataset(out.base, "fx", cell::mini_sky130(), params);
+    ml::GbdtParams gbdt;
+    gbdt.num_trees = 80;
+    gbdt.max_depth = 4;
+    gbdt.seed = 0x90de1;
+    out.delay_model = ml::GbdtModel::train(out.data.delay, gbdt);
+    out.area_model = ml::GbdtModel::train(out.data.area, gbdt);
+    return out;
+  }();
+  return fx;
+}
+
+// ---- ml::Dataset keys --------------------------------------------------------
+
+ml::Dataset make_rows(const std::vector<std::pair<double, std::uint64_t>>& rows) {
+  ml::Dataset out({"f0", "f1"});
+  for (const auto& [value, key] : rows) {
+    const double features[2] = {value, value * 2.0};
+    out.append(features, value * 10.0, "t", key);
+  }
+  return out;
+}
+
+TEST(LearnDataset, MergeDedupSkipsKnownKeys) {
+  ml::Dataset base = make_rows({{1.0, 100}, {2.0, 0}, {3.0, 300}});
+  const ml::Dataset incoming =
+      make_rows({{4.0, 100}, {5.0, 0}, {6.0, 400}, {7.0, 400}, {8.0, 0}});
+  // key 100 exists, key 0 never dedups, 400 appended once (intra-batch dup).
+  EXPECT_EQ(base.merge_dedup(incoming), 3u);
+  ASSERT_EQ(base.num_rows(), 6u);
+  EXPECT_EQ(base.label(3), 50.0);  // the 5.0 row (key 0)
+  EXPECT_EQ(base.key(4), 400u);
+  EXPECT_EQ(base.label(4), 60.0);  // first key-400 row won
+  EXPECT_EQ(base.key(5), 0u);
+
+  // append_rows keeps everything, keys included.
+  ml::Dataset bulk = make_rows({{1.0, 100}});
+  bulk.append_rows(incoming);
+  EXPECT_EQ(bulk.num_rows(), 6u);
+  EXPECT_EQ(bulk.key(1), 100u);
+
+  ml::Dataset other({"different"});
+  EXPECT_THROW(base.merge_dedup(other), std::invalid_argument);
+}
+
+TEST(LearnDataset, KeysRoundTripThroughCsv) {
+  TempDir dir("aigml_keyed_csv");
+  const fs::path path = dir.path / "keyed.csv";
+  const ml::Dataset keyed = make_rows({{1.0, 100}, {2.0, 0}, {3.0, 300}});
+  keyed.save(path);
+  const auto loaded = ml::Dataset::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, keyed);  // keys survive the cache (seed_known depends on it)
+
+  // Unkeyed datasets keep the legacy schema; legacy files load with key 0.
+  ml::Dataset unkeyed({"f0", "f1"});
+  const double f[2] = {1.0, 2.0};
+  unkeyed.append(f, 3.0, "t");
+  unkeyed.save(path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header.find("key"), std::string::npos);
+  const auto legacy = ml::Dataset::load(path);
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->key(0), 0u);
+}
+
+TEST(LearnDataset, SortedByKeyCanonicalizes) {
+  const ml::Dataset data = make_rows({{1.0, 500}, {2.0, 0}, {3.0, 100}, {4.0, 0}, {5.0, 300}});
+  const ml::Dataset sorted = data.sorted_by_key();
+  ASSERT_EQ(sorted.num_rows(), 5u);
+  // Unkeyed rows first in original order, then keys ascending.
+  EXPECT_EQ(sorted.label(0), 20.0);
+  EXPECT_EQ(sorted.label(1), 40.0);
+  EXPECT_EQ(sorted.key(2), 100u);
+  EXPECT_EQ(sorted.key(3), 300u);
+  EXPECT_EQ(sorted.key(4), 500u);
+}
+
+TEST(LearnDataset, MergedTrainingIsRowOrderIndependent) {
+  // The same harvested row *set* arriving as different batch splits in
+  // different orders must canonicalize to the same dataset and train the
+  // same model for a fixed seed (GBDT row subsampling is positional).
+  const LearnFixture& fx = fixture();
+  const ml::Dataset& pool = fx.data.delay;
+  ASSERT_GE(pool.num_rows(), 20u);
+  std::vector<std::size_t> first_half, second_half, interleaved_a, interleaved_b;
+  for (std::size_t i = 4; i < 20; ++i) (i < 12 ? first_half : second_half).push_back(i);
+  for (std::size_t i = 4; i < 20; ++i) (i % 2 == 0 ? interleaved_a : interleaved_b).push_back(i);
+  std::reverse(interleaved_a.begin(), interleaved_a.end());
+
+  ml::Dataset base = pool.subset(std::vector<std::size_t>{0, 1, 2, 3});
+  ml::Dataset merged_a = base;
+  merged_a.merge_dedup(pool.subset(first_half));
+  merged_a.merge_dedup(pool.subset(second_half));
+  merged_a = merged_a.sorted_by_key();
+  ml::Dataset merged_b = base;
+  merged_b.merge_dedup(pool.subset(interleaved_a));
+  merged_b.merge_dedup(pool.subset(interleaved_b));
+  // Feed one overlap batch to prove dedup keeps the set identical.
+  merged_b.merge_dedup(pool.subset(first_half));
+  merged_b = merged_b.sorted_by_key();
+
+  EXPECT_EQ(merged_a, merged_b);
+
+  ml::GbdtParams params;
+  params.num_trees = 30;
+  params.max_depth = 3;
+  params.seed = 0xabc;
+  const ml::GbdtModel model_a = ml::GbdtModel::train(merged_a, params);
+  const ml::GbdtModel model_b = ml::GbdtModel::train(merged_b, params);
+  for (std::size_t i = 0; i < pool.num_rows(); i += 5) {
+    EXPECT_EQ(model_a.predict(pool.row(i)), model_b.predict(pool.row(i)));
+  }
+}
+
+// ---- GBDT warm start ---------------------------------------------------------
+
+TEST(LearnWarmStart, ContinuesBoostingFromExistingEnsemble) {
+  const LearnFixture& fx = fixture();
+  const ml::Dataset& data = fx.data.delay;
+  ml::GbdtParams params;
+  params.num_trees = 25;
+  params.max_depth = 3;
+  params.subsample = 1.0;  // deterministic descent: every round sees all rows
+  params.colsample = 1.0;
+  params.seed = 0x5eed;
+  const ml::GbdtModel base = ml::GbdtModel::train(data, params);
+
+  ml::GbdtParams more = params;
+  more.num_trees = 10;
+  const ml::GbdtModel warm = ml::GbdtModel::train(data, more, nullptr, nullptr, &base);
+  EXPECT_EQ(warm.num_trees(), 35u);
+  EXPECT_EQ(warm.base_score(), base.base_score());
+
+  const std::vector<double> base_preds = base.predict_all(data);
+  const std::vector<double> warm_preds = warm.predict_all(data);
+  // Ten more full-sample boosting rounds strictly reduce train RMSE.
+  EXPECT_LT(ml::rmse(warm_preds, data.labels()), ml::rmse(base_preds, data.labels()));
+
+  ml::GbdtParams bad_rate = more;
+  bad_rate.learning_rate = params.learning_rate * 0.5;
+  EXPECT_THROW((void)ml::GbdtModel::train(data, bad_rate, nullptr, nullptr, &base),
+               std::invalid_argument);
+
+  // Feature-width mismatch between the warm model and the dataset.
+  ml::Dataset narrow({"only"});
+  const double f[1] = {1.0};
+  narrow.append(f, 2.0);
+  narrow.append(f, 3.0);
+  ml::GbdtParams tiny_params;
+  tiny_params.num_trees = 1;
+  const ml::GbdtModel tiny = ml::GbdtModel::train(narrow, tiny_params);
+  EXPECT_THROW((void)ml::GbdtModel::train(data, more, nullptr, nullptr, &tiny),
+               std::invalid_argument);
+}
+
+// ---- ReplayBuffer ------------------------------------------------------------
+
+learn::ReplayRow make_row(std::uint64_t key, double scale) {
+  learn::ReplayRow row;
+  row.key = key;
+  row.generation = key % 7;
+  row.delay_ps = 1234.5 * scale;
+  row.area_um2 = 99.25 * scale;
+  row.pred_delay = 1200.0 / scale;
+  row.pred_area = 101.0 / scale;
+  for (std::size_t i = 0; i < row.features.size(); ++i) {
+    row.features[i] = static_cast<double>(i) / scale;
+  }
+  return row;
+}
+
+TEST(LearnReplay, BinaryRoundTripAndDedup) {
+  TempDir dir("aigml_replay");
+  const fs::path file = dir.path / "h.rpb";
+  {
+    learn::ReplayBuffer buffer(file);
+    EXPECT_TRUE(buffer.add(make_row(11, 3.0)));
+    EXPECT_TRUE(buffer.add(make_row(22, 7.0)));
+    EXPECT_FALSE(buffer.add(make_row(11, 5.0)));  // dedup by key
+    EXPECT_EQ(buffer.flush(), 2u);
+    EXPECT_TRUE(buffer.add(make_row(33, 9.0)));
+    EXPECT_EQ(buffer.flush(), 1u);  // only the unpersisted suffix
+    EXPECT_EQ(buffer.flush(), 0u);
+  }
+  learn::ReplayBuffer loaded(file);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_TRUE(loaded.contains(22));
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    const learn::ReplayRow expected = make_row(loaded.row(i).key, i == 0 ? 3.0
+                                                                  : i == 1 ? 7.0
+                                                                           : 9.0);
+    EXPECT_EQ(loaded.row(i).key, expected.key);
+    EXPECT_EQ(loaded.row(i).generation, expected.generation);
+    EXPECT_EQ(loaded.row(i).delay_ps, expected.delay_ps);      // bit-exact doubles
+    EXPECT_EQ(loaded.row(i).pred_area, expected.pred_area);
+    EXPECT_EQ(loaded.row(i).features, expected.features);
+  }
+  // Rows loaded from disk join the dedup set.
+  EXPECT_FALSE(loaded.add(make_row(22, 1.0)));
+}
+
+TEST(LearnReplay, TornTrailingRecordIsDropped) {
+  TempDir dir("aigml_replay_torn");
+  const fs::path file = dir.path / "h.rpb";
+  {
+    learn::ReplayBuffer buffer(file);
+    (void)buffer.add(make_row(1, 2.0));
+    (void)buffer.add(make_row(2, 4.0));
+    buffer.flush();
+  }
+  {
+    std::ofstream out(file, std::ios::binary | std::ios::app);
+    out.write("torn-write", 10);
+  }
+  const learn::ReplayBuffer recovered(file);
+  EXPECT_EQ(recovered.size(), 2u);
+}
+
+TEST(LearnReplay, RejectsForeignFormats) {
+  TempDir dir("aigml_replay_bad");
+  const fs::path file = dir.path / "h.rpb";
+  {
+    learn::ReplayBuffer buffer(file);
+    (void)buffer.add(make_row(1, 2.0));
+    buffer.flush();
+  }
+  // Patch the version field.
+  {
+    std::fstream io(file, std::ios::binary | std::ios::in | std::ios::out);
+    io.seekp(4);
+    const std::uint32_t version = 99;
+    io.write(reinterpret_cast<const char*>(&version), 4);
+  }
+  EXPECT_THROW((void)learn::ReplayBuffer(file), std::runtime_error);
+  // Patch the feature width instead.
+  {
+    std::fstream io(file, std::ios::binary | std::ios::in | std::ios::out);
+    io.seekp(4);
+    const std::uint32_t version = learn::ReplayBuffer::kFormatVersion;
+    io.write(reinterpret_cast<const char*>(&version), 4);
+    const std::uint32_t width = 7;
+    io.write(reinterpret_cast<const char*>(&width), 4);
+  }
+  EXPECT_THROW((void)learn::ReplayBuffer(file), std::runtime_error);
+  // A path that does not exist yet is a fresh buffer, not an error.
+  const learn::ReplayBuffer fresh(dir.path / "sub" / "new.rpb");
+  EXPECT_EQ(fresh.size(), 0u);
+}
+
+// ---- LabelHarvester ----------------------------------------------------------
+
+/// A deterministic candidate stream: a scripted walk from the base, with
+/// model-predicted evals — what a search would feed on_candidate.
+struct Stream {
+  std::vector<aig::Aig> graphs;
+  std::vector<opt::QualityEval> evals;
+};
+
+Stream make_stream(int length, std::uint64_t seed) {
+  const LearnFixture& fx = fixture();
+  Stream out;
+  const auto& scripts = transforms::script_registry();
+  Rng rng(seed);
+  aig::Aig current = fx.base;
+  for (int i = 0; i < length; ++i) {
+    current = scripts.apply(scripts.random_index(rng), current);
+    const auto f = features::extract(current);
+    out.graphs.push_back(current);
+    out.evals.push_back({fx.delay_model.predict(f), fx.area_model.predict(f)});
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> harvest_keys(const Stream& stream, bool async, int budget) {
+  const LearnFixture& fx = fixture();
+  learn::ReplayBuffer buffer;
+  learn::HarvestParams params;
+  params.budget = budget;
+  params.min_disagreement = 0.05;
+  params.async = async;
+  learn::LabelHarvester harvester(cell::mini_sky130(), buffer, params);
+  harvester.seed_envelope(fx.data.delay);
+  const auto f0 = features::extract(fx.base);
+  harvester.on_start(fx.base, {fx.delay_model.predict(f0), fx.area_model.predict(f0)}, 0.0);
+  for (std::size_t i = 0; i < stream.graphs.size(); ++i) {
+    harvester.on_candidate(static_cast<int>(i), stream.graphs[i], stream.evals[i]);
+  }
+  harvester.drain();
+  EXPECT_EQ(harvester.stats().labeled, buffer.size());
+  std::vector<std::uint64_t> keys;
+  for (std::size_t i = 0; i < buffer.size(); ++i) keys.push_back(buffer.row(i).key);
+  return keys;
+}
+
+TEST(LearnHarvester, SelectionIsDeterministicAndAsyncAgnostic) {
+  const Stream stream = make_stream(50, 0x57ee);
+  const auto sync_keys = harvest_keys(stream, /*async=*/false, /*budget=*/0);
+  const auto async_keys = harvest_keys(stream, /*async=*/true, /*budget=*/0);
+  const auto again = harvest_keys(stream, /*async=*/true, /*budget=*/0);
+  EXPECT_FALSE(sync_keys.empty());
+  EXPECT_EQ(sync_keys, async_keys);  // same rows, same order, any worker timing
+  EXPECT_EQ(async_keys, again);
+}
+
+TEST(LearnHarvester, BudgetAndNoveltyAreRespected) {
+  Stream stream = make_stream(40, 0xb0d9);
+  // Feed every candidate twice: the novelty filter must drop the repeats.
+  Stream doubled;
+  for (std::size_t i = 0; i < stream.graphs.size(); ++i) {
+    doubled.graphs.push_back(stream.graphs[i]);
+    doubled.graphs.push_back(stream.graphs[i]);
+    doubled.evals.push_back(stream.evals[i]);
+    doubled.evals.push_back(stream.evals[i]);
+  }
+  const auto unlimited = harvest_keys(doubled, false, 0);
+  const auto base_keys = harvest_keys(stream, false, 0);
+  EXPECT_EQ(unlimited, base_keys);
+
+  const auto capped = harvest_keys(stream, false, 3);
+  EXPECT_LE(capped.size(), 3u);
+  ASSERT_GE(base_keys.size(), capped.size());
+  EXPECT_TRUE(std::equal(capped.begin(), capped.end(), base_keys.begin()));
+}
+
+// ---- LiveMlCost --------------------------------------------------------------
+
+TEST(LearnLiveCost, BitIdenticalToPinnedMlCostUntilSwap) {
+  const LearnFixture& fx = fixture();
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.delay_model);
+  registry.install("area", fx.area_model);
+
+  opt::SaParams params;
+  params.iterations = 40;
+  params.seed = 0x11fe;
+  const opt::SaStrategy strategy(params);
+
+  serve::LiveMlCost live(registry);
+  opt::MlCost pinned(registry.get("delay"), registry.get("area"));
+  const opt::OptResult a =
+      strategy.run(fx.base, live, {.max_iterations = params.iterations});
+  const opt::OptResult b =
+      strategy.run(fx.base, pinned, {.max_iterations = params.iterations});
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].delay, b.history[i].delay);
+    EXPECT_EQ(a.history[i].area, b.history[i].area);
+    EXPECT_EQ(a.history[i].accepted, b.history[i].accepted);
+  }
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(live.swaps_observed(), 0u);
+}
+
+/// Installs a replacement delay model at iteration `swap_at` and checks
+/// every candidate evaluation against the model that should be live for it.
+struct SwapObserver final : public opt::Observer {
+  serve::ModelRegistry* registry = nullptr;
+  const ml::GbdtModel* old_model = nullptr;
+  const ml::GbdtModel* new_model = nullptr;
+  int swap_at = 0;
+  int mismatches = 0;
+  int checked = 0;
+
+  void on_candidate(int iteration, const aig::Aig& candidate,
+                    const opt::QualityEval& eval) override {
+    const ml::GbdtModel& expected = iteration <= swap_at ? *old_model : *new_model;
+    ++checked;
+    if (eval.delay != expected.predict(features::extract(candidate))) ++mismatches;
+  }
+  void on_iteration(int iteration, const opt::IterationRecord& /*record*/) override {
+    if (iteration == swap_at) registry->install("delay", *new_model);
+  }
+};
+
+TEST(LearnLiveCost, MidSearchSwapNeverServesStaleGeneration) {
+  const LearnFixture& fx = fixture();
+  ml::GbdtParams gbdt;
+  gbdt.num_trees = 40;
+  gbdt.max_depth = 3;
+  gbdt.seed = 0x0ddba11;
+  const ml::GbdtModel replacement = ml::GbdtModel::train(fx.data.delay, gbdt);
+  // Distinct models: at least one fixture variant must predict differently,
+  // or the swap test would vacuously pass.
+  bool differs = false;
+  for (std::size_t i = 0; i < fx.data.delay.num_rows(); ++i) {
+    differs |= replacement.predict(fx.data.delay.row(i)) !=
+               fx.delay_model.predict(fx.data.delay.row(i));
+  }
+  ASSERT_TRUE(differs);
+
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.delay_model);
+  registry.install("area", fx.area_model);
+  serve::LiveMlCost live(registry);
+
+  SwapObserver observer;
+  observer.registry = &registry;
+  observer.old_model = &fx.delay_model;
+  observer.new_model = &replacement;
+  observer.swap_at = 19;
+
+  opt::SaParams params;
+  params.iterations = 60;  // enough post-swap moves to hit memo repeats
+  params.seed = 0x5a5a;
+  const opt::SaStrategy strategy(params);
+  const opt::OptResult result =
+      strategy.run(fx.base, live, {.max_iterations = params.iterations}, &observer);
+  EXPECT_EQ(result.history.size(), 60u);
+  EXPECT_EQ(observer.checked, 60);
+  // No torn snapshot, no memo entry from the old generation served after the
+  // swap: every single evaluation matches the model live at that iteration.
+  EXPECT_EQ(observer.mismatches, 0);
+  EXPECT_EQ(live.swaps_observed(), 1u);
+}
+
+// ---- the closed loop ---------------------------------------------------------
+
+TEST(LearnLoop, EndToEndHarvestRetrainImprove) {
+  const LearnFixture& fx = fixture();
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.delay_model);
+  registry.install("area", fx.area_model);
+
+  learn::LearnParams params;
+  params.harvest.budget = 12;
+  params.harvest.min_disagreement = 0.05;
+  params.retrain.min_new_rows = 4;
+  params.retrain.extra_trees = 30;
+  learn::ActiveLearner learner(cell::mini_sky130(), registry, params);
+  learner.set_base(fx.data.delay, fx.data.area);
+
+  serve::LiveMlCost live(registry);
+  opt::SaParams sa;
+  sa.iterations = 60;
+  sa.seed = 0xc105ed;
+  const opt::SaStrategy strategy(sa);
+  const opt::OptResult result =
+      strategy.run(fx.base, live, {.max_iterations = sa.iterations}, &learner);
+  EXPECT_EQ(result.history.size(), 60u);
+
+  const learn::LearnStats stats = learner.stats();
+  EXPECT_GT(stats.selected, 0u);
+  EXPECT_EQ(stats.labeled, learner.buffer().size());
+  EXPECT_GE(stats.retrains, 1u);
+  EXPECT_GE(live.swaps_observed(), 1u);
+  EXPECT_GE(registry.version("delay"), 2u);
+  // The acceptance bar: the refreshed model beats the run-initial model on
+  // the states the search actually visited.
+  EXPECT_GT(stats.base_error_pct, 0.0);
+  EXPECT_LT(stats.final_error_pct, stats.base_error_pct);
+}
+
+TEST(LearnLoop, RunRequiresMlDirCost) {
+  const LearnFixture& fx = fixture();
+  opt::Recipe recipe;
+  recipe.learn = true;
+  recipe.iterations = 5;
+  recipe.cost = "proxy";
+  EXPECT_THROW((void)learn::run(recipe, fx.base, cell::mini_sky130()), std::invalid_argument);
+  recipe.learn = false;
+  recipe.cost = "ml:/nonexistent";
+  EXPECT_THROW((void)learn::run(recipe, fx.base, cell::mini_sky130()), std::invalid_argument);
+}
+
+TEST(LearnLoop, RunFromModelDirPersistsHarvest) {
+  const LearnFixture& fx = fixture();
+  TempDir dir("aigml_learn_run");
+  const fs::path models = dir.path / "models";
+  fx.delay_model.save(models / "delay.gbdt");
+  fx.area_model.save(models / "area.gbdt");
+  fx.data.delay.save(models / "base_delay.csv");
+  fx.data.area.save(models / "base_area.csv");
+
+  opt::Recipe recipe;
+  recipe.learn = true;
+  recipe.learn_budget = 8;
+  recipe.learn_dir = (dir.path / "harvest").string();
+  recipe.iterations = 40;
+  recipe.seed = 0xfee1;
+  recipe.cost = "ml:" + models.string();
+
+  const learn::LearnRunResult run = learn::run(recipe, fx.base, cell::mini_sky130());
+  EXPECT_EQ(run.result.history.size(), 40u);
+  EXPECT_GT(run.stats.selected, 0u);
+  // The replay file is per-process (single-writer rule, replay.hpp).
+  std::vector<fs::path> replays;
+  for (const auto& entry : fs::directory_iterator(dir.path / "harvest")) {
+    if (entry.path().extension() == ".rpb") replays.push_back(entry.path());
+  }
+  ASSERT_EQ(replays.size(), 1u);
+  const learn::ReplayBuffer persisted(replays.front());
+  EXPECT_EQ(persisted.size(), run.stats.labeled);
+  if (run.stats.retrains > 0) {
+    EXPECT_TRUE(fs::exists(dir.path / "harvest" / "delay.gbdt"));
+    EXPECT_TRUE(fs::exists(dir.path / "harvest" / "area.gbdt"));
+  }
+
+  // A second run over the same learn_dir folds the first harvest into its
+  // novelty filter: the stream is identical until the first run's model
+  // swap diverged it, so at least those states must register as duplicates
+  // instead of being paid for again, and the shared file continues cleanly.
+  const learn::LearnRunResult again = learn::run(recipe, fx.base, cell::mini_sky130());
+  EXPECT_GT(again.stats.duplicates, 0u);
+  const learn::ReplayBuffer continued(replays.front());
+  EXPECT_EQ(continued.size(), run.stats.labeled + again.stats.labeled);
+}
+
+// ---- recipe keys -------------------------------------------------------------
+
+TEST(LearnRecipe, KeysParseAndRoundTrip) {
+  const opt::Recipe recipe =
+      opt::Recipe::parse("strategy=sa;iters=9;cost=ml:models;learn=1;learn_budget=7;"
+                         "learn_dir=out/harvest");
+  EXPECT_TRUE(recipe.learn);
+  EXPECT_EQ(recipe.learn_budget, 7);
+  EXPECT_EQ(recipe.learn_dir, "out/harvest");
+  EXPECT_EQ(opt::Recipe::parse(recipe.to_string()), recipe);
+
+  const opt::Recipe plain = opt::Recipe::parse("iters=5");
+  EXPECT_FALSE(plain.learn);
+  EXPECT_EQ(plain.to_string().find("learn"), std::string::npos);
+
+  EXPECT_THROW((void)opt::Recipe::parse("learn=2"), std::invalid_argument);
+  EXPECT_THROW((void)opt::Recipe::parse("learn_budget=0"), std::invalid_argument);
+}
+
+TEST(LearnRecipe, OptRunRejectsLearnWithoutRunner) {
+  const LearnFixture& fx = fixture();
+  opt::Recipe recipe;
+  recipe.learn = true;
+  recipe.iterations = 3;
+  opt::CostContext ctx;
+  EXPECT_THROW((void)opt::run(recipe, fx.base, ctx), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aigml

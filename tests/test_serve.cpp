@@ -143,6 +143,31 @@ TEST(ServeRegistry, ConstructorRejectsMissingDirectory) {
   EXPECT_THROW(serve::ModelRegistry{fs::path("/nonexistent/aigml_models")}, std::runtime_error);
 }
 
+TEST(ServeRegistry, GenerationCountsSwapsAcrossInstallAndReload) {
+  Fixture a = make_fixture(0xA3, 20);
+  Fixture b = make_fixture(0xB3, 25);
+  TempDir dir("aigml_serve_generation");
+  a.model.save(dir.path / "delay.gbdt");
+
+  serve::ModelRegistry registry(dir.path);
+  EXPECT_EQ(registry.generation(), 1u);  // the constructor's initial load
+  EXPECT_EQ(registry.version("delay"), 1u);
+  EXPECT_EQ(registry.version("nope"), 0u);
+
+  // Unchanged files do not bump the generation — pollers must not refetch.
+  (void)registry.reload();
+  EXPECT_EQ(registry.generation(), 1u);
+
+  b.model.save(dir.path / "delay.gbdt");
+  (void)registry.reload();
+  EXPECT_EQ(registry.generation(), 2u);
+  EXPECT_EQ(registry.version("delay"), 2u);
+
+  registry.install("area", a.model);
+  EXPECT_EQ(registry.generation(), 3u);
+  EXPECT_EQ(registry.version("area"), 1u);
+}
+
 TEST(ServeService, BatchedBitIdenticalToSinglePredict) {
   Fixture fx = make_fixture(0xC0);
   serve::ModelRegistry registry;
@@ -287,6 +312,19 @@ TEST(ServeServer, RoundTripPredictReloadStats) {
   const std::string stats = client.stats();
   EXPECT_NE(stats.find("\"requests\":"), std::string::npos);
   EXPECT_NE(stats.find("\"name\":\"delay\""), std::string::npos);
+  // Per-model reload generation + prediction counts: 3 PREDICTs and 1
+  // FEATURES all answered by "delay" at version 1, registry generation 1.
+  EXPECT_NE(stats.find("\"generation\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"predictions\":4"), std::string::npos);
+
+  // A RELOAD that picks up new bytes bumps both counters in STATS.
+  Fixture replacement = make_fixture(0xE3, 25);
+  replacement.model.save(dir.path / "delay.gbdt");
+  EXPECT_NE(client.reload().find("loaded=1"), std::string::npos);
+  const std::string swapped = client.stats();
+  EXPECT_NE(swapped.find("\"generation\":2"), std::string::npos);
+  EXPECT_NE(swapped.find("\"version\":2"), std::string::npos);
 
   EXPECT_THROW((void)client.predict("nope", fx.variants[0]), std::runtime_error);
   client.quit();
