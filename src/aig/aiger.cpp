@@ -57,6 +57,35 @@ namespace {
   throw std::runtime_error("aiger parse error at line " + std::to_string(line) + ": " + what);
 }
 
+/// Ceiling on any single header count (M, I, O, A).  A hostile header like
+/// "aag 18446744073709551615 ..." would otherwise drive multi-exabyte
+/// reserve() calls before a single body line is validated.  2^28 variables
+/// is ~100x the largest benchmark in the suite; per-field capping also makes
+/// the I + A sum overflow-free.
+constexpr std::size_t kMaxHeaderCount = std::size_t{1} << 28;
+
+void check_header_counts(std::size_t line, std::size_t max_var, std::size_t num_in,
+                         std::size_t num_out, std::size_t num_and) {
+  if (max_var > kMaxHeaderCount || num_in > kMaxHeaderCount || num_out > kMaxHeaderCount ||
+      num_and > kMaxHeaderCount) {
+    parse_error(line, "header count exceeds limit (" + std::to_string(kMaxHeaderCount) + ")");
+  }
+}
+
+/// Strict decimal parse for symbol-table indices: std::stoul would accept
+/// leading sign/space, throw std::invalid_argument on garbage (escaping as a
+/// confusing non-parse error), and silently stop at the first non-digit.
+std::size_t parse_index(const std::string& text, std::size_t line) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    parse_error(line, "malformed symbol index '" + text + "'");
+  }
+  try {
+    return std::stoul(text);
+  } catch (const std::out_of_range&) {
+    parse_error(line, "symbol index out of range");
+  }
+}
+
 }  // namespace
 
 Aig read_aiger(std::istream& in) {
@@ -78,6 +107,7 @@ Aig read_aiger(std::istream& in) {
   header >> magic >> max_var >> num_in >> num_latch >> num_out >> num_and;
   if (!header || magic != "aag") parse_error(line_no, "expected 'aag M I L O A' header");
   if (num_latch != 0) parse_error(line_no, "latches are not supported (combinational only)");
+  check_header_counts(line_no, max_var, num_in, num_out, num_and);
   if (max_var != num_in + num_and) {
     parse_error(line_no, "header M != I + A (non-contiguous encodings unsupported)");
   }
@@ -93,14 +123,23 @@ Aig read_aiger(std::istream& in) {
     if (!(s >> v)) parse_error(line_no, "expected unsigned integer");
     return v;
   };
+  auto expect_eol = [&](std::istringstream& s) {
+    std::string extra;
+    if (s >> extra) parse_error(line_no, "trailing garbage '" + extra + "'");
+  };
 
   std::vector<std::uint64_t> input_lits(num_in);
   for (std::size_t i = 0; i < num_in; ++i) {
     if (!next_line()) parse_error(line_no, "unexpected EOF in inputs");
     std::istringstream s(line);
     input_lits[i] = read_uint(s);
+    expect_eol(s);
     if (input_lits[i] == 0 || input_lits[i] % 2 != 0 || input_lits[i] / 2 > max_var) {
       parse_error(line_no, "invalid input literal");
+    }
+    if (lit_of[input_lits[i] / 2] != kLitInvalid) {
+      parse_error(line_no, "duplicate definition of variable " +
+                               std::to_string(input_lits[i] / 2));
     }
     lit_of[input_lits[i] / 2] = g.add_input();
   }
@@ -110,6 +149,7 @@ Aig read_aiger(std::istream& in) {
     if (!next_line()) parse_error(line_no, "unexpected EOF in outputs");
     std::istringstream s(line);
     output_lits[i] = read_uint(s);
+    expect_eol(s);
     if (output_lits[i] / 2 > max_var) parse_error(line_no, "output literal out of range");
   }
 
@@ -123,6 +163,7 @@ Aig read_aiger(std::istream& in) {
     ands[i].lhs = read_uint(s);
     ands[i].rhs0 = read_uint(s);
     ands[i].rhs1 = read_uint(s);
+    expect_eol(s);
     if (ands[i].lhs % 2 != 0 || ands[i].lhs / 2 > max_var) parse_error(line_no, "invalid AND lhs");
   }
 
@@ -136,6 +177,9 @@ Aig read_aiger(std::istream& in) {
     return lit_not_if(lit_of[var], (file_lit & 1) != 0);
   };
   for (const AndLine& a : ands) {
+    if (lit_of[a.lhs / 2] != kLitInvalid) {
+      parse_error(line_no, "duplicate definition of variable " + std::to_string(a.lhs / 2));
+    }
     const Lit f0 = resolve(a.rhs0, line_no);
     const Lit f1 = resolve(a.rhs1, line_no);
     lit_of[a.lhs / 2] = g.make_and(f0, f1);
@@ -153,7 +197,7 @@ Aig read_aiger(std::istream& in) {
     const char kind = line[0];
     const std::size_t space = line.find(' ');
     if (space == std::string::npos) parse_error(line_no, "malformed symbol entry");
-    const std::size_t index = std::stoul(line.substr(1, space - 1));
+    const std::size_t index = parse_index(line.substr(1, space - 1), line_no);
     const std::string name = line.substr(space + 1);
     if (kind == 'i' && index < num_in) in_names[index] = name;
     if (kind == 'o' && index < num_out) out_names[index] = name;
@@ -242,6 +286,7 @@ Aig read_aiger_binary(std::istream& in) {
   in >> magic >> max_var >> num_in >> num_latch >> num_out >> num_and;
   if (!in || magic != "aig") parse_error(1, "expected binary 'aig M I L O A' header");
   if (num_latch != 0) parse_error(1, "latches are not supported (combinational only)");
+  check_header_counts(1, max_var, num_in, num_out, num_and);
   if (max_var != num_in + num_and) parse_error(1, "header M != I + A");
   in.get();  // consume the newline after the header
 
@@ -255,7 +300,17 @@ Aig read_aiger_binary(std::istream& in) {
   for (std::size_t i = 0; i < num_out; ++i) {
     std::string line;
     if (!std::getline(in, line)) parse_error(i + 2, "unexpected EOF in outputs");
-    output_lits[i] = std::stoull(line);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // std::stoull would throw std::invalid_argument on a garbage line and
+    // silently ignore trailing junk; parse strictly instead.
+    if (line.empty() || line.find_first_not_of("0123456789") != std::string::npos) {
+      parse_error(i + 2, "malformed output literal '" + line + "'");
+    }
+    try {
+      output_lits[i] = std::stoull(line);
+    } catch (const std::out_of_range&) {
+      parse_error(i + 2, "output literal out of range");
+    }
     if (output_lits[i] / 2 > max_var) parse_error(i + 2, "output literal out of range");
   }
 

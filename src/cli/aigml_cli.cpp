@@ -22,6 +22,8 @@
 // Designs: EX00 EX08 EX28 EX68 EX02 EX11 EX16 EX54; generators:
 // mult<N>, wallace<N>, adder<N>, cla<N>, ks<N>, alu<N>, cmp<N>, parity<N>.
 
+#include <signal.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -135,7 +137,8 @@ ArgParser serve_parser() {
       .option("port", "P", "TCP port (default: ephemeral)")
       .option("host", "H", "bind address", "127.0.0.1")
       .option("batch", "N", "max requests coalesced per batch", "64")
-      .option("wait-us", "U", "batch coalescing window in microseconds", "200");
+      .option("wait-us", "U", "batch coalescing window in microseconds", "200")
+      .option("max-connections", "N", "shed connections beyond N with BUSY (0 = unlimited)", "64");
   return p;
 }
 
@@ -252,14 +255,18 @@ void print_json_report(const opt::Recipe& recipe, const std::string& evaluator_n
   std::printf("  \"equivalent\": %s,\n", equivalent ? "true" : "false");
   if (learn_stats != nullptr) {
     std::printf("  \"learn\": {\"selected\": %zu, \"labeled\": %zu, \"retrains\": %zu, "
-                "\"swaps\": %llu, \"base_error_pct\": %.6g, \"final_error_pct\": %.6g},\n",
+                "\"failed_retrains\": %zu, \"swaps\": %llu, \"base_error_pct\": %.6g, "
+                "\"final_error_pct\": %.6g},\n",
                 learn_stats->selected, learn_stats->labeled, learn_stats->retrains,
+                learn_stats->failed_retrains,
                 static_cast<unsigned long long>(learn_stats->swaps_observed),
                 learn_stats->base_error_pct, learn_stats->final_error_pct);
   }
   std::printf("  \"iterations\": %zu,\n", result.history.size());
   std::printf("  \"accepted\": %zu,\n", result.accepted_moves());
   std::printf("  \"evals\": %llu,\n", static_cast<unsigned long long>(result.eval_count));
+  std::printf("  \"degraded_evals\": %llu,\n",
+              static_cast<unsigned long long>(result.degraded_evals));
   std::printf("  \"stop_reason\": \"%s\",\n", opt::to_string(result.stop_reason));
   std::printf("  \"total_seconds\": %.6f,\n", result.total_seconds);
   std::printf("  \"transform_seconds\": %.6f,\n", result.total_transform_seconds);
@@ -288,6 +295,7 @@ int run_recipe(const opt::Recipe& recipe, const aig::Aig& g, const std::string& 
   } else {
     opt::CostContext ctx;
     ctx.library = &cell::mini_sky130();
+    ctx.serve_fallback = recipe.fallback;
     const auto evaluator = opt::make_cost(recipe.cost, ctx);
     const auto strategy = recipe.make_strategy();
     result = strategy->run(g, *evaluator, recipe.stop_condition());
@@ -304,6 +312,13 @@ int run_recipe(const opt::Recipe& recipe, const aig::Aig& g, const std::string& 
                result.history.size(), static_cast<unsigned long long>(result.eval_count),
                result.total_seconds, result.best_eval.delay, result.best_eval.area,
                opt::to_string(result.stop_reason), equivalent ? "PASS" : "FAIL");
+  if (result.degraded_evals > 0) {
+    std::fprintf(stderr,
+                 "WARNING: %llu/%llu evaluations were answered by the fallback oracle "
+                 "(server unreachable); metrics mix units — re-score the result\n",
+                 static_cast<unsigned long long>(result.degraded_evals),
+                 static_cast<unsigned long long>(result.eval_count));
+  }
   if (learn_stats.has_value()) {
     std::fprintf(stderr,
                  "learn: %zu/%zu states harvested (%zu labeled, %zu retrains, %llu swaps); "
@@ -476,9 +491,20 @@ int cmd_serve(int argc, char** argv) {
   serve::ServerParams server_params;
   server_params.host = args.get("host");
   if (args.has("port")) server_params.port = args.get_port("port");
+  server_params.max_connections = static_cast<std::size_t>(args.get_int("max-connections"));
   serve::ServiceParams service_params;
   service_params.max_batch = args.get_int("batch");
   service_params.batch_wait_us = args.get_int("wait-us");
+
+  // Block SIGTERM/SIGINT *before* start() so every thread the server spawns
+  // inherits the mask; the signals are then consumed only by the sigwait
+  // below, turning kill(1) / Ctrl-C into a graceful drain: stop accepting,
+  // answer the requests already buffered on live connections, exit 0.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
 
   serve::ModelRegistry registry{std::filesystem::path(args.get("models"))};
   serve::PredictService service(registry, service_params);
@@ -493,7 +519,11 @@ int cmd_serve(int argc, char** argv) {
                 info.num_features);
   }
   std::fflush(stdout);
-  server.wait();  // runs until the process is signalled
+  int sig = 0;
+  if (sigwait(&mask, &sig) != 0) sig = SIGTERM;
+  std::printf("aigml serve: caught signal %d — draining\n", sig);
+  std::fflush(stdout);
+  server.drain();
   return 0;
 }
 

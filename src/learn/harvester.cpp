@@ -6,6 +6,7 @@
 
 #include "aig/analysis.hpp"
 #include "flow/label.hpp"
+#include "util/fault.hpp"
 
 namespace aigml::learn {
 
@@ -198,6 +199,7 @@ void LabelHarvester::label_batch(std::vector<Pending>& batch) {
   auto labels = pool_.parallel_map<Labeled>(batch.size(), [&](std::size_t i) {
     Labeled out;
     try {
+      fault::throw_if(fault::Site::kWorkerThrow, "label worker failed");
       out.row = flow::label_one(batch[i].graph, lib_);
       out.ok = true;
     } catch (const std::exception&) {

@@ -56,14 +56,27 @@ void ActiveLearner::on_iteration(int /*iteration*/, const opt::IterationRecord& 
   // depend on how fast the labeling worker ran.
   if (harvester_.selected() < next_checkpoint_) return;
   harvester_.drain();
-  retrainer_.maybe_retrain(buffer_);
+  // Exception isolation (DESIGN.md §10): a retrain that throws — corrupt
+  // rows, a full disk under save_dir, an injected fault — must not abort the
+  // search riding on this observer.  The Retrainer installs nothing until
+  // both models trained, so the registry still serves the previous
+  // generation and the next checkpoint simply tries again.
+  try {
+    retrainer_.maybe_retrain(buffer_);
+  } catch (const std::exception&) {
+    ++failed_retrains_;
+  }
   next_checkpoint_ = harvester_.selected() +
                      static_cast<std::size_t>(std::max(1, params_.retrain.min_new_rows));
 }
 
 void ActiveLearner::on_finish(const opt::OptResult& /*result*/) {
   harvester_.drain();
-  retrainer_.maybe_retrain(buffer_);
+  try {
+    retrainer_.maybe_retrain(buffer_);
+  } catch (const std::exception&) {
+    ++failed_retrains_;
+  }
   buffer_.flush();
 }
 
@@ -75,6 +88,7 @@ LearnStats ActiveLearner::stats() const {
   out.labeled = h.labeled;
   out.duplicates = h.duplicates;
   out.retrains = retrainer_.retrains();
+  out.failed_retrains = failed_retrains_;
   if (buffer_.size() > 0) {
     if (base_delay_model_ != nullptr && base_area_model_ != nullptr) {
       out.base_error_pct = model_error_pct(*base_delay_model_, *base_area_model_, buffer_);
@@ -92,6 +106,11 @@ LearnRunResult run(const opt::Recipe& recipe, const aig::Aig& initial,
                    const cell::Library& lib) {
   if (!recipe.learn) {
     throw std::invalid_argument("learn::run: recipe has learn=0 (use opt::run)");
+  }
+  if (!recipe.fallback.empty()) {
+    throw std::invalid_argument(
+        "learn: fallback= applies to cost=serve: runs; learn=1 evaluates locally "
+        "(LiveMlCost) and has nothing to degrade from");
   }
   if (recipe.cost.rfind("ml:", 0) != 0) {
     throw std::invalid_argument(

@@ -56,6 +56,9 @@ struct LearnStats {
   std::size_t labeled = 0;
   std::size_t duplicates = 0;
   std::size_t retrains = 0;
+  /// Retrain attempts that threw and were isolated (DESIGN.md §10): the
+  /// registry kept its previous models and the search continued.
+  std::size_t failed_retrains = 0;
   std::uint64_t swaps_observed = 0;  ///< evaluator-side swaps (filled by run())
   /// Error of the models the run *started* with on the harvested rows.
   double base_error_pct = 0.0;
@@ -100,6 +103,7 @@ class ActiveLearner final : public opt::Observer {
   LabelHarvester harvester_;
   Retrainer retrainer_;
   std::size_t next_checkpoint_ = 0;
+  std::size_t failed_retrains_ = 0;
 };
 
 struct LearnRunResult {

@@ -4,6 +4,9 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/fault.hpp"
+#include "util/fsio.hpp"
+
 namespace aigml::learn {
 
 namespace {
@@ -11,14 +14,29 @@ namespace {
 constexpr char kMagic[4] = {'A', 'M', 'R', 'B'};
 constexpr std::size_t kHeaderBytes = 12;
 
-/// Doubles per record: key + generation (as raw 8-byte words) + 4 scalars +
-/// the feature vector.  Everything is 8 bytes wide, so one stride covers it.
-constexpr std::size_t record_words() {
+/// Payload words per record: key + generation (as raw 8-byte words) + 4
+/// scalars + the feature vector.  Everything is 8 bytes wide, so one stride
+/// covers it.  Version 2 appends one more word: the FNV-1a checksum of the
+/// payload.
+constexpr std::size_t payload_words() {
   return 6 + features::kNumFeatures;
 }
-constexpr std::size_t record_bytes() { return record_words() * 8; }
+constexpr std::size_t payload_bytes() { return payload_words() * 8; }
+constexpr std::size_t record_bytes_v1() { return payload_bytes(); }
+constexpr std::size_t record_bytes_v2() { return payload_bytes() + 8; }
 
-void encode(const ReplayRow& row, char* out) {
+/// FNV-1a 64 — not cryptographic; it detects torn writes and bit rot, which
+/// is all a single-writer replay file needs.
+std::uint64_t checksum(const char* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void encode_payload(const ReplayRow& row, char* out) {
   std::memcpy(out + 0, &row.key, 8);
   std::memcpy(out + 8, &row.generation, 8);
   std::memcpy(out + 16, &row.delay_ps, 8);
@@ -28,7 +46,13 @@ void encode(const ReplayRow& row, char* out) {
   std::memcpy(out + 48, row.features.data(), features::kNumFeatures * 8);
 }
 
-ReplayRow decode(const char* in) {
+void encode_v2(const ReplayRow& row, char* out) {
+  encode_payload(row, out);
+  const std::uint64_t sum = checksum(out, payload_bytes());
+  std::memcpy(out + payload_bytes(), &sum, 8);
+}
+
+ReplayRow decode_payload(const char* in) {
   ReplayRow row;
   std::memcpy(&row.key, in + 0, 8);
   std::memcpy(&row.generation, in + 8, 8);
@@ -38,6 +62,16 @@ ReplayRow decode(const char* in) {
   std::memcpy(&row.pred_area, in + 40, 8);
   std::memcpy(row.features.data(), in + 48, features::kNumFeatures * 8);
   return row;
+}
+
+void write_header(std::string& out) {
+  char header[kHeaderBytes];
+  std::memcpy(header, kMagic, 4);
+  const std::uint32_t version = ReplayBuffer::kFormatVersion;
+  const std::uint32_t width = features::kNumFeatures;
+  std::memcpy(header + 4, &version, 4);
+  std::memcpy(header + 8, &width, 4);
+  out.append(header, kHeaderBytes);
 }
 
 }  // namespace
@@ -55,9 +89,9 @@ ReplayBuffer::ReplayBuffer(std::filesystem::path file) : file_(std::move(file)) 
   std::uint32_t version = 0, width = 0;
   std::memcpy(&version, header + 4, 4);
   std::memcpy(&width, header + 8, 4);
-  if (version != kFormatVersion) {
+  if (version != 1 && version != kFormatVersion) {
     throw std::runtime_error("ReplayBuffer: " + file_.string() + " is format version " +
-                             std::to_string(version) + " (this build reads version " +
+                             std::to_string(version) + " (this build reads versions 1 and " +
                              std::to_string(kFormatVersion) + ")");
   }
   if (width != features::kNumFeatures) {
@@ -65,12 +99,27 @@ ReplayBuffer::ReplayBuffer(std::filesystem::path file) : file_(std::move(file)) 
                              std::to_string(width) + "-wide feature rows, this build expects " +
                              std::to_string(int{features::kNumFeatures}));
   }
-  std::vector<char> record(record_bytes());
-  // A trailing partial record (torn write from a crashed harvester) fails
-  // this read and is dropped; every complete record before it is kept.
-  while (in.read(record.data(), static_cast<std::streamsize>(record.size()))) {
-    const ReplayRow row = decode(record.data());
+  const std::size_t stride = version == 1 ? record_bytes_v1() : record_bytes_v2();
+  std::vector<char> record(stride);
+  // Recovery: stop at the first record that is short (torn write from a
+  // crashed harvester) or, for v2, fails its checksum (bit rot, or a tear
+  // that aliased onto the stride).  Every verified record before the tear
+  // is kept; the file is left untouched — only its OWNER may rewrite it
+  // (the single-writer rule), which its next flush() does.
+  while (in.read(record.data(), static_cast<std::streamsize>(stride))) {
+    if (version == kFormatVersion) {
+      std::uint64_t stored = 0;
+      std::memcpy(&stored, record.data() + payload_bytes(), 8);
+      if (stored != checksum(record.data(), payload_bytes())) {
+        needs_rewrite_ = true;
+        break;
+      }
+    }
+    const ReplayRow row = decode_payload(record.data());
     if (keys_.insert(row.key).second) rows_.push_back(row);
+  }
+  if (!needs_rewrite_) {
+    needs_rewrite_ = version == 1 || in.gcount() > 0;  // upgrade v1; torn tail
   }
   persisted_ = rows_.size();
 }
@@ -82,28 +131,47 @@ bool ReplayBuffer::add(const ReplayRow& row) {
 }
 
 std::size_t ReplayBuffer::flush() {
-  if (file_.empty() || persisted_ == rows_.size()) return 0;
+  if (file_.empty()) return 0;
+  if (persisted_ == rows_.size() && !needs_rewrite_) return 0;
   if (file_.has_parent_path()) std::filesystem::create_directories(file_.parent_path());
-  const bool fresh = !std::filesystem::exists(file_);
-  std::ofstream out(file_, std::ios::binary | std::ios::app);
-  if (!out) throw std::runtime_error("ReplayBuffer: cannot open " + file_.string());
-  if (fresh) {
-    char header[kHeaderBytes];
-    std::memcpy(header, kMagic, 4);
-    const std::uint32_t version = kFormatVersion;
-    const std::uint32_t width = features::kNumFeatures;
-    std::memcpy(header + 4, &version, 4);
-    std::memcpy(header + 8, &width, 4);
-    out.write(header, kHeaderBytes);
-  }
-  std::vector<char> record(record_bytes());
   const std::size_t written = rows_.size() - persisted_;
-  for (std::size_t i = persisted_; i < rows_.size(); ++i) {
-    encode(rows_[i], record.data());
-    out.write(record.data(), static_cast<std::streamsize>(record.size()));
+  std::vector<char> record(record_bytes_v2());
+
+  if (needs_rewrite_ || !std::filesystem::exists(file_)) {
+    // Full rewrite through a temp file: recovers a torn tail, upgrades v1,
+    // and creates fresh files — in every case the on-disk file flips
+    // atomically from its old complete state to the new complete state.
+    std::string bytes;
+    bytes.reserve(kHeaderBytes + rows_.size() * record_bytes_v2());
+    write_header(bytes);
+    for (const ReplayRow& row : rows_) {
+      encode_v2(row, record.data());
+      bytes.append(record.data(), record.size());
+    }
+    fsio::write_file_atomic(file_, bytes);
+    needs_rewrite_ = false;
+  } else {
+    std::ofstream out(file_, std::ios::binary | std::ios::app);
+    if (!out) throw std::runtime_error("ReplayBuffer: cannot open " + file_.string());
+    for (std::size_t i = persisted_; i < rows_.size(); ++i) {
+      encode_v2(rows_[i], record.data());
+      out.write(record.data(), static_cast<std::streamsize>(record.size()));
+    }
+    if (!out) throw std::runtime_error("ReplayBuffer: write failed for " + file_.string());
+    out.close();
+    fsio::fsync_path(file_);
   }
-  if (!out) throw std::runtime_error("ReplayBuffer: write failed for " + file_.string());
   persisted_ = rows_.size();
+
+  if (fault::fire(fault::Site::kReplayTear)) {
+    // Chaos site: shear the final record in half, exactly what a crash
+    // mid-append leaves behind.  The next load must keep every earlier
+    // record and drop only this tail.
+    const auto size = std::filesystem::file_size(file_);
+    if (size > record_bytes_v2() / 2) {
+      std::filesystem::resize_file(file_, size - record_bytes_v2() / 2);
+    }
+  }
   return written;
 }
 

@@ -4,7 +4,7 @@
 // keyed by flow::variant_signature, so labels survive the run that paid for
 // them and accumulate across runs into a growing training set.
 //
-// Disk format (version 1): a fixed 12-byte header
+// Disk format (version 2): a fixed 12-byte header
 //
 //   bytes 0-3   magic "AMRB"
 //   bytes 4-7   u32 format version (kFormatVersion)
@@ -19,13 +19,23 @@
 //   f64 pred_delay     the model's prediction at harvest time
 //   f64 pred_area      (pred vs truth = the loop's observed error signal)
 //   f64 features[N]    Table II feature vector
+//   u64 checksum       FNV-1a over the record's preceding bytes (v2 only)
 //
 // All values are host-endian and the stride is constant, so the payload is
 // directly mmap-able on the architecture that wrote it; the row count is
-// derived from the file size (no trailer to corrupt), and a torn trailing
-// record from a crashed writer is ignored on load.  A version or width
+// derived from the file size (no trailer to corrupt).  A version or width
 // mismatch is rejected loudly — silently reinterpreting rows would poison
 // every retrain that follows.
+//
+// Crash recovery (DESIGN.md §10): the per-record checksum turns "trust the
+// framing" into "verify the bytes".  On load, reading stops at the first
+// record that is short OR fails its checksum — every complete, verified
+// record before the tear is kept, everything from the tear on is dropped,
+// and recovered() reports that it happened.  The file itself is NOT
+// mutated on load (readers fold *other* processes' files and must never
+// write them); the owning writer's next flush() rewrites the file cleanly
+// via fsync'd tmp+rename, which also upgrades version-1 files (no
+// checksums; still readable) in place.
 //
 // Appends are dedup-keyed: add() drops rows whose key is already present,
 // both against rows loaded from disk and rows added this session, so
@@ -61,7 +71,7 @@ struct ReplayRow {
 
 class ReplayBuffer {
  public:
-  static constexpr std::uint32_t kFormatVersion = 1;
+  static constexpr std::uint32_t kFormatVersion = 2;
 
   /// In-memory buffer (no persistence).
   ReplayBuffer() = default;
@@ -77,6 +87,9 @@ class ReplayBuffer {
   [[nodiscard]] const ReplayRow& row(std::size_t i) const { return rows_[i]; }
   [[nodiscard]] bool contains(std::uint64_t key) const { return keys_.count(key) != 0; }
   [[nodiscard]] const std::filesystem::path& file() const noexcept { return file_; }
+  /// True when load found a torn/corrupt tail (dropped) or an old-format
+  /// file — either way the next flush() rewrites the file cleanly.
+  [[nodiscard]] bool recovered() const noexcept { return needs_rewrite_; }
 
   /// Appends the not-yet-persisted rows to the backing file (creating it,
   /// header included, when absent).  Returns rows written; no-op (0) for an
@@ -91,7 +104,8 @@ class ReplayBuffer {
   std::filesystem::path file_;
   std::vector<ReplayRow> rows_;
   std::unordered_set<std::uint64_t> keys_;
-  std::size_t persisted_ = 0;  ///< rows already on disk
+  std::size_t persisted_ = 0;       ///< rows already on disk
+  bool needs_rewrite_ = false;      ///< torn tail or v1 file: rewrite on flush
 };
 
 }  // namespace aigml::learn

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "features/features.hpp"
+#include "util/fault.hpp"
+#include "util/fsio.hpp"
 
 namespace aigml::learn {
 
@@ -83,6 +85,11 @@ void Retrainer::retrain(const ReplayBuffer& buffer) {
       refresh_one(params_.area_model, has_base_ ? base_area_ : ml::Dataset(features::feature_names()),
                   harvest_area);
 
+  // Both models are fully trained before anything is installed, so a throw
+  // anywhere above (or from this chaos site) leaves the registry — and
+  // therefore the running search — exactly as it was.
+  fault::throw_if(fault::Site::kRetrainThrow, "retrain aborted before install");
+
   // Install both models before saving either: the in-process consumers flip
   // at the next generation poll, and a failed disk write cannot leave the
   // registry half-refreshed.
@@ -93,12 +100,15 @@ void Retrainer::retrain(const ReplayBuffer& buffer) {
     for (const auto& [name, model] :
          {std::pair<const std::string&, const ml::GbdtModel&>{params_.delay_model, delay},
           std::pair<const std::string&, const ml::GbdtModel&>{params_.area_model, area}}) {
-      // Write-to-temp + rename: a concurrent RELOAD in a serving process
-      // never observes a half-written model file.
+      // fsync'd write-to-temp + durable rename: a concurrent RELOAD in a
+      // serving process never observes a half-written model file, and a
+      // crash right after the rename cannot roll the directory entry back
+      // to a file whose bytes never hit the platter.
       const auto final_path = params_.save_dir / (name + ".gbdt");
       const auto temp_path = params_.save_dir / (name + ".gbdt.tmp");
       model.save(temp_path);
-      std::filesystem::rename(temp_path, final_path);
+      fsio::fsync_path(temp_path);
+      fsio::rename_durable(temp_path, final_path);
     }
   }
   ++retrains_;

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 namespace aigml::ml {
@@ -320,6 +321,11 @@ void GbdtModel::save(const std::filesystem::path& path) const {
 GbdtModel GbdtModel::load(const std::filesystem::path& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("GbdtModel::load: cannot open " + path.string());
+  // Chaos site: stand-in for a model file torn by a crash mid-save.  With
+  // fsio's tmp+rename save path this should be unreachable in production;
+  // callers must still isolate the throw (a failed hot-reload keeps serving
+  // the previous generation).
+  fault::throw_if(fault::Site::kModelTruncate, "truncated model file");
   return deserialize(in);
 }
 

@@ -103,6 +103,12 @@ class CostEvaluator {
   [[nodiscard]] std::uint64_t eval_count() const noexcept { return watch_.laps(); }
   void reset_accounting() noexcept { watch_.reset(); }
 
+  /// Evaluations answered in degraded mode (a fallback oracle instead of the
+  /// configured one).  Nonzero only for evaluators that can degrade
+  /// (RemoteCost with fallback=); monotone like eval_count, so runs report
+  /// the same entry/exit delta (strategy.hpp accounting contract).
+  [[nodiscard]] virtual std::uint64_t degraded_evals() const noexcept { return 0; }
+
  protected:
   virtual QualityEval evaluate_impl(const aig::Aig& g) = 0;
   virtual QualityEval bind_impl(const aig::Aig& g) { return evaluate_impl(g); }

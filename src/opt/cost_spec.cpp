@@ -1,7 +1,9 @@
 #include "opt/cost_spec.hpp"
 
+#include <chrono>
 #include <filesystem>
 #include <stdexcept>
+#include <thread>
 
 namespace aigml::opt {
 
@@ -25,8 +27,10 @@ std::uint16_t parse_port(const std::string& spec, const std::string& text) {
   return static_cast<std::uint16_t>(port);
 }
 
-std::unique_ptr<CostEvaluator> make_ml_from_dir(const std::string& spec,
-                                                const std::string& dir) {
+/// Checks for <dir>/delay.gbdt and <dir>/area.gbdt, failing with the spec's
+/// context when missing.  Shared by "ml:<dir>" specs and "ml:<dir>"
+/// fallbacks.
+void require_model_dir(const std::string& spec, const std::string& dir) {
   namespace fs = std::filesystem;
   const fs::path delay_path = fs::path(dir) / "delay.gbdt";
   const fs::path area_path = fs::path(dir) / "area.gbdt";
@@ -34,12 +38,21 @@ std::unique_ptr<CostEvaluator> make_ml_from_dir(const std::string& spec,
     fail(spec, "expected " + delay_path.string() + " and " + area_path.string() +
                    " (train them with `aigml train`)");
   }
-  auto delay = std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(delay_path));
-  auto area = std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(area_path));
+}
+
+std::unique_ptr<CostEvaluator> make_ml_from_dir(const std::string& spec,
+                                                const std::string& dir) {
+  namespace fs = std::filesystem;
+  require_model_dir(spec, dir);
+  auto delay =
+      std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(fs::path(dir) / "delay.gbdt"));
+  auto area =
+      std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(fs::path(dir) / "area.gbdt"));
   return std::make_unique<MlCost>(std::move(delay), std::move(area));
 }
 
-std::unique_ptr<CostEvaluator> make_remote(const std::string& spec, const std::string& rest) {
+std::unique_ptr<CostEvaluator> make_remote(const std::string& spec, const std::string& rest,
+                                           const CostContext& ctx) {
   // rest = <host>:<port>[:<delay-model>[,<area-model>]]
   const std::size_t host_end = rest.find(':');
   if (host_end == std::string::npos || host_end == 0) {
@@ -63,8 +76,19 @@ std::unique_ptr<CostEvaluator> make_remote(const std::string& spec, const std::s
       fail(spec, "empty model name (expected <delay-model>[,<area-model>])");
     }
   }
+
+  RemoteCostOptions options;
+  options.fallback = ctx.serve_fallback;
+  if (!options.fallback.empty() && options.fallback != "proxy") {
+    if (options.fallback.rfind("ml:", 0) != 0 || options.fallback.size() == 3) {
+      fail(spec, "fallback '" + options.fallback + "': expected proxy | ml:<model-dir>");
+    }
+    require_model_dir(spec, options.fallback.substr(3));
+  }
+
   try {
-    return std::make_unique<RemoteCost>(host, port, delay_model, area_model);
+    return std::make_unique<RemoteCost>(host, port, delay_model, area_model,
+                                        std::move(options));
   } catch (const std::exception& e) {
     fail(spec, std::string("cannot reach server (") + e.what() +
                    "); start one with `aigml serve --models DIR --port " + port_text + "`");
@@ -74,9 +98,34 @@ std::unique_ptr<CostEvaluator> make_remote(const std::string& spec, const std::s
 }  // namespace
 
 RemoteCost::RemoteCost(const std::string& host, std::uint16_t port, std::string delay_model,
-                       std::string area_model)
+                       std::string area_model, RemoteCostOptions options)
     : host_(host), port_(port), delay_model_(std::move(delay_model)),
-      area_model_(std::move(area_model)), client_(host, port) {}
+      area_model_(std::move(area_model)), options_(std::move(options)) {
+  namespace fs = std::filesystem;
+  if (options_.fallback == "proxy") {
+    fallback_kind_ = Fallback::kProxy;
+  } else if (options_.fallback.rfind("ml:", 0) == 0) {
+    const std::string dir = options_.fallback.substr(3);
+    fb_delay_ =
+        std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(fs::path(dir) / "delay.gbdt"));
+    fb_area_ =
+        std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(fs::path(dir) / "area.gbdt"));
+    fallback_kind_ = Fallback::kMl;
+  } else if (!options_.fallback.empty()) {
+    throw std::invalid_argument("RemoteCost: fallback '" + options_.fallback +
+                                "': expected proxy | ml:<model-dir>");
+  }
+  // Fail fast on an unreachable server when there is nothing to degrade to;
+  // with a fallback configured, start disconnected and let the per-request
+  // retry path (or eventually the breaker) take over.
+  try {
+    client_ = std::make_unique<serve::Client>(
+        host_, port_,
+        serve::ClientOptions{options_.connect_timeout_ms, options_.io_timeout_ms});
+  } catch (const std::exception&) {
+    if (fallback_kind_ == Fallback::kNone) throw;
+  }
+}
 
 std::string RemoteCost::name() const { return "serve:" + host_ + ":" + std::to_string(port_); }
 
@@ -100,12 +149,64 @@ QualityEval RemoteCost::evaluate_delta_impl(const aig::Aig& g, const aig::DirtyR
       /*reuse_derived=*/false);
 }
 
+double RemoteCost::predict_remote(const std::string& model, const features::FeatureVector& f) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (client_ == nullptr) {
+        client_ = std::make_unique<serve::Client>(
+            host_, port_,
+            serve::ClientOptions{options_.connect_timeout_ms, options_.io_timeout_ms});
+      }
+      return client_->predict_features(model, f);
+    } catch (const std::exception&) {
+      // The connection's state is unknown after any failure (bytes may be in
+      // flight); drop it and reconnect on the next attempt.
+      client_.reset();
+      if (attempt >= options_.max_retries) throw;
+      // Deterministic exponential backoff — no jitter, so a seeded chaos run
+      // replays the same schedule.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(options_.backoff_ms) << attempt));
+    }
+  }
+}
+
+QualityEval RemoteCost::fallback_eval(const features::FeatureVector& f) const {
+  if (fallback_kind_ == Fallback::kMl) {
+    return QualityEval{fb_delay_->predict(f), fb_area_->predict(f)};
+  }
+  // Structural proxies straight off the feature vector: f[1] is aig_level,
+  // f[0] is num_ands (features.cpp order) — exactly ProxyCost's evaluation,
+  // with no extra analysis pass.
+  return QualityEval{f[1], f[0]};
+}
+
 QualityEval RemoteCost::query(const features::FeatureVector& f) {
-  return QualityEval{client_.predict_features(delay_model_, f),
-                     client_.predict_features(area_model_, f)};
+  if (!breaker_open_) {
+    try {
+      const double delay = predict_remote(delay_model_, f);
+      const double area = predict_remote(area_model_, f);
+      consecutive_failures_ = 0;
+      return QualityEval{delay, area};
+    } catch (const std::exception&) {
+      if (fallback_kind_ == Fallback::kNone) throw;
+      if (++consecutive_failures_ >= options_.breaker_threshold) {
+        // Latch open for the rest of the run: a server that failed this many
+        // whole evaluations (each already retried with reconnects) is down,
+        // and per-eval timeouts would otherwise stall every remaining move.
+        breaker_open_ = true;
+      }
+    }
+  }
+  ++degraded_;
+  return fallback_eval(f);
 }
 
 std::unique_ptr<CostEvaluator> make_cost(const std::string& spec, const CostContext& ctx) {
+  if (spec.rfind("serve:", 0) != 0 && !ctx.serve_fallback.empty()) {
+    fail(spec, "fallback '" + ctx.serve_fallback +
+                   "' only applies to serve:<host>:<port> specs");
+  }
   if (spec == "proxy") return std::make_unique<ProxyCost>();
   if (spec == "gt" || spec == "truth" || spec == "ground-truth") {
     if (ctx.library == nullptr) {
@@ -125,7 +226,7 @@ std::unique_ptr<CostEvaluator> make_cost(const std::string& spec, const CostCont
     if (dir.empty()) fail(spec, "empty model directory");
     return make_ml_from_dir(spec, dir);
   }
-  if (spec.rfind("serve:", 0) == 0) return make_remote(spec, spec.substr(6));
+  if (spec.rfind("serve:", 0) == 0) return make_remote(spec, spec.substr(6), ctx);
   fail(spec, "unknown evaluator (expected proxy | gt | ml | ml:<model-dir> | "
              "serve:<host>:<port>[:<delay-model>[,<area-model>]])");
 }

@@ -34,6 +34,11 @@ struct CostContext {
   const cell::Library* library = nullptr;  ///< for "gt" (and sweep re-scoring)
   std::shared_ptr<const ml::GbdtModel> delay_model;  ///< for "ml" (in-memory)
   std::shared_ptr<const ml::GbdtModel> area_model;
+  /// Degradation policy for "serve:" specs (the recipe's `fallback=` key):
+  /// "" (fail hard, the historical behavior), "proxy" (degrade to the
+  /// structural proxies), or "ml:<dir>" (degrade to local GBDT models).
+  /// Rejected for non-serve specs — they have nothing to degrade from.
+  std::string serve_fallback;
 };
 
 /// Non-owning shared_ptr view of a caller-owned model — the bridge from
@@ -42,14 +47,34 @@ struct CostContext {
   return std::shared_ptr<const ml::GbdtModel>(std::shared_ptr<const ml::GbdtModel>(), &m);
 }
 
+/// Resilience policy for RemoteCost (DESIGN.md §10).  Defaults are tuned
+/// for a loopback server: fail a request in a few seconds, not minutes.
+struct RemoteCostOptions {
+  int connect_timeout_ms = 2000;  ///< per-connection-attempt deadline
+  int io_timeout_ms = 5000;       ///< per-send / per-response deadline
+  int max_retries = 2;            ///< reconnect-and-retry attempts per request
+  int backoff_ms = 25;            ///< backoff_ms << attempt between retries
+  int breaker_threshold = 3;      ///< consecutive failed evals that open the breaker
+  std::string fallback;           ///< "" | "proxy" | "ml:<dir>" (CostContext::serve_fallback)
+};
+
 /// Remote evaluator over the serving protocol: features are extracted
 /// locally (one fused AnalysisCache pass) and shipped as FEATURES requests,
 /// so a hot-reloadable served model guides the search while the wire
 /// carries 22 doubles instead of a full AIG.  %.17g formatting round-trips
 /// IEEE doubles exactly, so a remote evaluation is bit-identical to a local
-/// MlCost over the same model snapshots.  One connection per evaluator; an
-/// unreachable or restarting server surfaces as std::runtime_error from
-/// evaluate().
+/// MlCost over the same model snapshots.  One connection per evaluator.
+///
+/// Failure policy (DESIGN.md §10): each request gets up to 1 + max_retries
+/// attempts with deterministic exponential backoff, reconnecting before
+/// every retry.  A request that still fails either propagates (no fallback
+/// configured — the historical behavior) or degrades that evaluation to the
+/// fallback oracle and counts it in degraded_evals().  After
+/// breaker_threshold consecutive failed evaluations the circuit breaker
+/// opens for the rest of the run: every remaining evaluation goes straight
+/// to the fallback without touching the network.  Degraded evaluations are
+/// honest values in the *fallback's* units — the degraded_evals() count in
+/// the report tells the operator how much of the trajectory to re-score.
 ///
 /// Incremental (cost.hpp protocol): the *feature* side runs through the same
 /// persistent FeatureContext as MlCost — delta-repaired analyses, delta
@@ -57,14 +82,20 @@ struct CostContext {
 /// MlCost (whose snapshots are pinned for the evaluator's lifetime), the
 /// server may hot-reload its model mid-run, so RemoteCost never replays a
 /// remembered prediction: every move queries the live server, and only the
-/// feature computation is incremental.
+/// feature computation is incremental.  The fallback derivations are pure
+/// functions of the same feature vector, so degradation never disturbs the
+/// bound context.
 class RemoteCost final : public CostEvaluator {
  public:
   RemoteCost(const std::string& host, std::uint16_t port, std::string delay_model = "delay",
-             std::string area_model = "area");
+             std::string area_model = "area", RemoteCostOptions options = {});
 
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] bool supports_incremental() const noexcept override { return true; }
+  [[nodiscard]] std::uint64_t degraded_evals() const noexcept override { return degraded_; }
+  /// True once the circuit breaker latched open (the run is in permanent
+  /// degraded mode).
+  [[nodiscard]] bool breaker_open() const noexcept { return breaker_open_; }
 
  protected:
   QualityEval evaluate_impl(const aig::Aig& g) override;
@@ -74,13 +105,25 @@ class RemoteCost final : public CostEvaluator {
   void rollback_impl() override { ctx_.rollback(); }
 
  private:
+  enum class Fallback { kNone, kProxy, kMl };
+
   [[nodiscard]] QualityEval query(const features::FeatureVector& f);
+  [[nodiscard]] double predict_remote(const std::string& model,
+                                      const features::FeatureVector& f);
+  [[nodiscard]] QualityEval fallback_eval(const features::FeatureVector& f) const;
 
   std::string host_;
   std::uint16_t port_;
   std::string delay_model_;
   std::string area_model_;
-  serve::Client client_;
+  RemoteCostOptions options_;
+  Fallback fallback_kind_ = Fallback::kNone;
+  std::shared_ptr<const ml::GbdtModel> fb_delay_;
+  std::shared_ptr<const ml::GbdtModel> fb_area_;
+  std::unique_ptr<serve::Client> client_;  ///< null while disconnected
+  int consecutive_failures_ = 0;
+  bool breaker_open_ = false;
+  std::uint64_t degraded_ = 0;
   detail::FeatureContext ctx_;
 };
 

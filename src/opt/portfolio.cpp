@@ -107,6 +107,7 @@ OptResult PortfolioStrategy::run(const aig::Aig& initial, CostEvaluator& evaluat
     result.history.insert(result.history.end(), r.history.begin(), r.history.end());
     result.total_transform_seconds += r.total_transform_seconds;
     result.total_eval_seconds += r.total_eval_seconds;
+    result.degraded_evals += r.degraded_evals;
     // A start cut short by a shared budget ends the whole portfolio.
     if (r.stop_reason != StopReason::kIterations) {
       result.stop_reason = r.stop_reason;

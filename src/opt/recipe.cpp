@@ -122,6 +122,8 @@ Recipe Recipe::parse(const std::string& text) {
       recipe.inner = value;
     } else if (key == "cost") {
       recipe.cost = value;
+    } else if (key == "fallback") {
+      recipe.fallback = value;
     } else if (key == "inc") {
       if (value == "0" || value == "1") {
         recipe.incremental = value == "1";
@@ -142,7 +144,7 @@ Recipe Recipe::parse(const std::string& text) {
     } else {
       fail("unknown key '" + key +
            "' (known: strategy iters max_seconds max_evals wd wa seed temp decay tol "
-           "starts inner cost inc learn learn_budget learn_dir)");
+           "starts inner cost fallback inc learn learn_budget learn_dir)");
     }
   }
   return recipe;
@@ -171,6 +173,7 @@ std::string Recipe::to_string() const {
   out += ";wd=" + format_number(weight_delay) + ";wa=" + format_number(weight_area);
   out += ";seed=" + std::to_string(seed);
   out += ";cost=" + cost;
+  if (!fallback.empty()) out += ";fallback=" + fallback;
   if (!incremental) out += ";inc=0";
   if (learn || learn_budget != defaults.learn_budget) {
     out += ";learn=" + std::string(learn ? "1" : "0");
@@ -230,7 +233,11 @@ OptResult run(const Recipe& recipe, const aig::Aig& initial, const CostContext& 
     // beats silently running without the loop the recipe asked for.
     fail("learn=1 needs the active-learning runner (learn::run / the aigml CLI)");
   }
-  const std::unique_ptr<CostEvaluator> evaluator = make_cost(recipe.cost, ctx);
+  // The recipe's fallback rides into make_cost through the context (cost_spec
+  // validates it against the spec — non-serve specs reject it).
+  CostContext cost_ctx = ctx;
+  if (!recipe.fallback.empty()) cost_ctx.serve_fallback = recipe.fallback;
+  const std::unique_ptr<CostEvaluator> evaluator = make_cost(recipe.cost, cost_ctx);
   const std::unique_ptr<Strategy> strategy = recipe.make_strategy();
   return strategy->run(initial, *evaluator, recipe.stop_condition(), observer);
 }

@@ -15,6 +15,10 @@
 //   starts=N         portfolio repetitions (default 3)
 //   inner=sa|greedy  portfolio inner strategy (default sa)
 //   cost=SPEC        cost spec (cost_spec.hpp grammar; default proxy)
+//   fallback=F       degraded-mode oracle for cost=serve: specs — proxy or
+//                    ml:<model-dir> (default none: a dead server fails the
+//                    run).  Degraded evaluations are counted in
+//                    OptResult::degraded_evals (DESIGN.md §10).
 //   inc=0|1          incremental move evaluation (default 1; bit-identical
 //                    trajectories either way — a perf/debug knob, §8)
 //   learn=0|1        closed-loop active learning (default 0; requires
@@ -59,6 +63,8 @@ struct Recipe {
   std::string inner = "sa";  ///< sa | greedy
   // Evaluator.
   std::string cost = "proxy";
+  // Degraded-mode fallback for serve: costs ("" = fail hard).
+  std::string fallback;
   // Incremental move evaluation (perf knob; trajectories are identical).
   bool incremental = true;
   // Active learning (learn::run executes these; opt::run rejects learn=1

@@ -56,6 +56,7 @@ OptResult search_loop(const aig::Aig& initial, CostEvaluator& evaluator,
   // run-local deltas (the pre-Strategy sweep leaked earlier runs' time).
   const double eval_seconds_before = evaluator.eval_seconds();
   const std::uint64_t eval_count_before = evaluator.eval_count();
+  const std::uint64_t degraded_before = evaluator.degraded_evals();
 
   OptResult result;
   result.initial_eval = incremental ? evaluator.bind(initial) : evaluator.evaluate(initial);
@@ -142,6 +143,7 @@ OptResult search_loop(const aig::Aig& initial, CostEvaluator& evaluator,
 
   result.total_eval_seconds = evaluator.eval_seconds() - eval_seconds_before;
   result.eval_count = evaluator.eval_count() - eval_count_before;
+  result.degraded_evals = evaluator.degraded_evals() - degraded_before;
   result.total_seconds = total_timer.elapsed_s();
   if (observer != nullptr) observer->on_finish(result);
   return result;

@@ -75,6 +75,12 @@ struct OptResult {
   double total_eval_seconds = 0.0;  ///< run-local evaluator time, initial eval included
   double total_seconds = 0.0;
   std::uint64_t eval_count = 0;  ///< evaluator calls attributed to this run
+  /// Of eval_count, how many were answered by a degraded-mode fallback
+  /// oracle (cost.hpp degraded_evals; nonzero only for evaluators that can
+  /// degrade, e.g. RemoteCost with fallback=).  Degraded values are honest
+  /// but in the fallback's units — a nonzero count tells the operator how
+  /// much of the trajectory to re-score.
+  std::uint64_t degraded_evals = 0;
   StopReason stop_reason = StopReason::kIterations;
 
   [[nodiscard]] double seconds_per_iteration() const {

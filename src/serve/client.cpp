@@ -8,8 +8,11 @@
 
 namespace aigml::serve {
 
-Client::Client(const std::string& host, std::uint16_t port)
-    : socket_(tcp_connect(host, port)), reader_(socket_) {}
+Client::Client(const std::string& host, std::uint16_t port, ClientOptions options)
+    : socket_(tcp_connect(host, port, options.connect_timeout_ms)), reader_(socket_) {
+  socket_.set_read_timeout_ms(options.io_timeout_ms);
+  socket_.set_write_timeout_ms(options.io_timeout_ms);
+}
 
 std::string Client::request(const std::string& line) {
   socket_.send_all(line + "\n");
@@ -19,6 +22,10 @@ std::string Client::request(const std::string& line) {
   }
   if (response.rfind("OK", 0) == 0) {
     return response.size() > 3 ? response.substr(3) : std::string();
+  }
+  if (response.rfind("BUSY", 0) == 0) {
+    throw ServerBusy("server busy" +
+                     (response.size() > 5 ? " (" + response.substr(5) + ")" : std::string()));
   }
   if (response.rfind("ERR ", 0) == 0) {
     throw std::runtime_error("server: " + response.substr(4));

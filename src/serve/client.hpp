@@ -3,6 +3,13 @@
 // connection, one outstanding request at a time (the server pipelines
 // across connections, not within one).  Used by `aigml client`, the serve
 // tests, and the concurrent-clients leg of bench_serve.
+//
+// ClientOptions adds deadlines: connect_timeout_ms bounds the TCP connect,
+// io_timeout_ms bounds each send and each response read.  0 (the default)
+// keeps the historical block-forever behavior.  Deadline expiry surfaces as
+// SocketTimeout (socket.hpp); an overloaded server's "BUSY" reply surfaces
+// as ServerBusy — both are retriable, and RemoteCost (opt/cost_spec.hpp)
+// treats them exactly like a broken connection.
 
 #include <cstdint>
 #include <span>
@@ -13,9 +20,19 @@
 
 namespace aigml::serve {
 
+/// The server shed this request due to overload; retry later.
+struct ServerBusy : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct ClientOptions {
+  int connect_timeout_ms = 0;  ///< 0 = block indefinitely
+  int io_timeout_ms = 0;       ///< per-send / per-response deadline; 0 = none
+};
+
 class Client {
  public:
-  Client(const std::string& host, std::uint16_t port);
+  Client(const std::string& host, std::uint16_t port, ClientOptions options = {});
 
   /// Ships `g` inline (escaped aag) and returns the predicted delay.
   [[nodiscard]] double predict(const std::string& model, const aig::Aig& g);
@@ -29,7 +46,8 @@ class Client {
   void quit();
 
   /// Sends a raw request line, returns the response payload after "OK";
-  /// throws std::runtime_error carrying the message after "ERR".
+  /// throws ServerBusy on "BUSY" and std::runtime_error carrying the
+  /// message after "ERR".
   std::string request(const std::string& line);
 
  private:

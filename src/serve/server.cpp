@@ -6,6 +6,7 @@
 
 #include "aig/aiger.hpp"
 #include "serve/protocol.hpp"
+#include "util/fault.hpp"
 
 namespace aigml::serve {
 
@@ -77,46 +78,109 @@ void PredictServer::stop() {
   }
 }
 
+void PredictServer::drain() {
+  {
+    const std::lock_guard lock(conn_mutex_);
+    stopping_ = true;
+  }
+  if (listener_ != nullptr) listener_->close();
+  wait();
+  std::vector<Connection> connections;
+  {
+    const std::lock_guard lock(conn_mutex_);
+    connections.swap(connections_);
+  }
+  // Half-close only the read side: each handler drains the requests already
+  // in its buffer, answers them, then reads EOF and exits — in contrast to
+  // stop(), which cuts responses off mid-flight.
+  for (Connection& conn : connections) {
+    conn.socket->shutdown_read();
+  }
+  for (Connection& conn : connections) {
+    if (conn.thread.joinable()) conn.thread.join();
+  }
+}
+
 void PredictServer::accept_loop() {
   while (true) {
     Socket accepted = listener_->accept();
     if (!accepted.valid()) return;  // listener closed by stop()
     auto socket = std::make_shared<Socket>(std::move(accepted));
     auto done = std::make_shared<std::atomic<bool>>(false);
-    const std::lock_guard lock(conn_mutex_);
-    if (stopping_) return;  // raced with stop(): drop the connection
-    // Reap finished handlers so a long-lived server does not accumulate
-    // one joinable thread per past connection.
-    std::erase_if(connections_, [](Connection& c) {
-      if (!c.done->load(std::memory_order_acquire)) return false;
-      c.thread.join();
-      return true;
-    });
-    Connection conn;
-    conn.socket = socket;
-    conn.done = done;
-    conn.thread = std::thread([this, socket, done] {
-      handle_connection(socket);
-      done->store(true, std::memory_order_release);
-    });
-    connections_.push_back(std::move(conn));
+    bool shed = false;
+    std::size_t live = 0;
+    {
+      const std::lock_guard lock(conn_mutex_);
+      if (stopping_) return;  // raced with stop(): drop the connection
+      // Reap finished handlers so a long-lived server does not accumulate
+      // one joinable thread per past connection.
+      std::erase_if(connections_, [](Connection& c) {
+        if (!c.done->load(std::memory_order_acquire)) return false;
+        c.thread.join();
+        return true;
+      });
+      live = connections_.size();
+      if (params_.max_connections > 0 && live >= params_.max_connections) {
+        shed = true;
+      } else {
+        Connection conn;
+        conn.socket = socket;
+        conn.done = done;
+        conn.thread = std::thread([this, socket, done] {
+          handle_connection(socket);
+          done->store(true, std::memory_order_release);
+        });
+        connections_.push_back(std::move(conn));
+      }
+    }
+    if (shed) {
+      // Shed with an explicit reply, off the lock: an overloaded server that
+      // silently drops connections is indistinguishable from a crashed one.
+      // The send is bounded so one wedged client cannot stall the accept
+      // loop; the socket closes when `socket` leaves scope.
+      socket->set_write_timeout_ms(1000);
+      try {
+        socket->send_all("BUSY connections=" + std::to_string(live) + "\n");
+      } catch (const std::exception&) {
+      }
+    }
   }
 }
 
 void PredictServer::handle_connection(std::shared_ptr<Socket> socket) {
   try {
-    LineReader reader(*socket);
+    LineReader reader(*socket, params_.max_line_bytes);
+    reader.set_mid_line_timeout_ms(params_.mid_line_timeout_ms);
     std::string line;
     while (reader.read_line(line)) {
       if (line.empty()) continue;
       const std::string response = handle_request(line);
+      if (fault::fire(fault::Site::kServerKill)) {
+        // Chaos site: vanish instead of replying — the client sees exactly
+        // what a server killed mid-request looks like.
+        socket->shutdown_both();
+        return;
+      }
       socket->send_all(response + "\n");
-      if (line.substr(0, line.find(' ')) == "QUIT") return;
+      if (line.substr(0, line.find(' ')) == "QUIT") break;
+    }
+  } catch (const std::length_error& e) {
+    // Oversized request (max_line_bytes): tell the client why before
+    // dropping — it is a protocol violation, not a server fault.
+    try {
+      socket->set_write_timeout_ms(1000);
+      socket->send_all("ERR " + sanitize_message(e.what()) + "\n");
+    } catch (const std::exception&) {
     }
   } catch (const std::exception&) {
-    // Connection-level failure (peer reset, send on closed socket): drop
-    // the connection; the service and other connections are unaffected.
+    // Connection-level failure (peer reset, mid-request deadline, send on
+    // closed socket): drop the connection; the service and other
+    // connections are unaffected.
   }
+  // Hang up on every exit path: the Connection entry keeps the Socket alive
+  // until it is reaped, so without this the peer would not see EOF until the
+  // next accept or stop().
+  socket->shutdown_both();
 }
 
 std::string PredictServer::handle_request(const std::string& line) {

@@ -27,6 +27,18 @@ namespace aigml::serve {
 struct ServerParams {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  ///< 0 = ephemeral (query via port())
+  /// Request-size bound (OOM guard): a connection whose line exceeds this is
+  /// answered with ERR and dropped.  0 = unbounded.  1 MiB comfortably fits
+  /// the largest PREDICT payloads the bench circuits produce.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Mid-request read deadline (slow-loris guard): once the first byte of a
+  /// request has arrived, the rest must follow within this budget.  An idle
+  /// keepalive connection *between* requests is never timed out.  0 = none.
+  int mid_line_timeout_ms = 10000;
+  /// Overload shedding: beyond this many live connections, new ones are
+  /// answered with an explicit "BUSY ..." line and closed (clients retry or
+  /// degrade; a silent drop looks like a crash).  0 = unlimited.
+  std::size_t max_connections = 64;
 };
 
 class PredictServer {
@@ -44,6 +56,11 @@ class PredictServer {
   /// Blocks until stop() is called from another thread (or forever).
   void wait();
   void stop();
+  /// Graceful drain (SIGTERM semantics): stops accepting, half-closes every
+  /// live connection's read side so handlers finish the requests already in
+  /// their buffers and then see EOF, and joins everything.  Idempotent, and
+  /// stop() after drain() is a no-op.
+  void drain();
 
   /// Handles one already-parsed request line (the same dispatcher the
   /// socket path uses — exposed for protocol tests without a socket).

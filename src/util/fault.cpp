@@ -1,0 +1,248 @@
+#include "util/fault.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace aigml::fault {
+
+namespace {
+
+constexpr const char* kSiteNames[kNumSites] = {
+    "socket.connect", "socket.read",    "socket.write", "socket.partial-write",
+    "socket.delay",   "server.kill",    "model.truncate", "worker.throw",
+    "replay.tear",    "retrain.throw",
+};
+
+/// Per-site runtime state.  Counters are atomic (sites are visited from
+/// server handler threads, labeling workers, ...); the RNG for prob= draws
+/// is mutex-guarded — it is only reached when a plan is installed AND the
+/// rule is probabilistic, never on the production fast path.
+struct SiteState {
+  std::atomic<std::uint64_t> visits{0};
+  std::atomic<std::uint64_t> fired{0};
+  std::mutex rng_mutex;
+  Rng rng;
+};
+
+struct Runtime {
+  FaultPlan plan;
+  SiteState sites[kNumSites];
+};
+
+std::mutex g_install_mutex;
+std::atomic<Runtime*> g_runtime{nullptr};
+/// Replaced runtimes are retired here instead of deleted: a handler thread
+/// may still be inside fire_slow() on the old runtime when a test swaps
+/// plans.  The list is never freed (kept reachable so leak checkers stay
+/// quiet); churn is bounded by the number of install()/clear() calls, which
+/// only tests make in any volume.
+std::vector<Runtime*>& retired_runtimes() {
+  static std::vector<Runtime*>* list = new std::vector<Runtime*>;
+  return *list;
+}
+
+void retire(Runtime* rt) {
+  if (rt != nullptr) retired_runtimes().push_back(rt);
+}
+
+/// Parses AIGML_FAULTS once at startup.  A malformed spec disables injection
+/// with a loud stderr warning instead of terminating static initialization.
+struct EnvInstall {
+  EnvInstall() {
+    const char* spec = std::getenv("AIGML_FAULTS");
+    if (spec == nullptr || spec[0] == '\0') return;
+    try {
+      install(FaultPlan::parse(spec));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "aigml: ignoring AIGML_FAULTS: %s\n", e.what());
+    }
+  }
+} g_env_install;
+
+std::uint64_t parse_u64_knob(const std::string& entry, const std::string& text) {
+  std::size_t used = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(text, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault plan '" + entry + "': '" + text +
+                                "' is not a non-negative integer");
+  }
+  if (used != text.size()) {
+    throw std::invalid_argument("fault plan '" + entry + "': trailing garbage after '" + text +
+                                "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_prob_knob(const std::string& entry, const std::string& text) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(text, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault plan '" + entry + "': '" + text + "' is not a number");
+  }
+  if (used != text.size() || v < 0.0 || v > 1.0) {
+    throw std::invalid_argument("fault plan '" + entry + "': prob must be in [0, 1]");
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(Site site) noexcept { return kSiteNames[static_cast<int>(site)]; }
+
+std::optional<Site> site_from_name(std::string_view name) noexcept {
+  for (int i = 0; i < kNumSites; ++i) {
+    if (name == kSiteNames[i]) return static_cast<Site>(i);
+  }
+  return std::nullopt;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t end = std::min(spec.find(';', pos), spec.size());
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    if (entry.rfind("seed=", 0) == 0) {
+      plan.seed_ = parse_u64_knob(entry, entry.substr(5));
+      continue;
+    }
+
+    // site[,knob]*
+    const std::size_t name_end = std::min(entry.find(','), entry.size());
+    const std::string name = entry.substr(0, name_end);
+    const std::optional<Site> site = site_from_name(name);
+    if (!site.has_value()) {
+      std::string known;
+      for (int i = 0; i < kNumSites; ++i) known += std::string(i ? " " : "") + kSiteNames[i];
+      throw std::invalid_argument("fault plan: unknown site '" + name + "' (known: " + known +
+                                  ")");
+    }
+    SiteRule& rule = plan.rules_[static_cast<int>(*site)];
+    rule.armed = true;
+    std::size_t kpos = name_end;
+    while (kpos < entry.size()) {
+      const std::size_t kend = std::min(entry.find(',', kpos + 1), entry.size());
+      const std::string knob = entry.substr(kpos + 1, kend - kpos - 1);
+      kpos = kend;
+      if (knob.empty()) continue;
+      const std::size_t eq = knob.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("fault plan '" + entry + "': knob '" + knob +
+                                    "' is not key=value");
+      }
+      const std::string key = knob.substr(0, eq);
+      const std::string value = knob.substr(eq + 1);
+      if (key == "after") {
+        rule.after = parse_u64_knob(entry, value);
+      } else if (key == "count") {
+        rule.count = parse_u64_knob(entry, value);
+      } else if (key == "every") {
+        rule.every = std::max<std::uint64_t>(1, parse_u64_knob(entry, value));
+      } else if (key == "prob") {
+        rule.prob = parse_prob_knob(entry, value);
+      } else if (key == "ms") {
+        rule.delay_ms = static_cast<int>(parse_u64_knob(entry, value));
+      } else {
+        throw std::invalid_argument("fault plan '" + entry + "': unknown knob '" + key +
+                                    "' (known: after count every prob ms)");
+      }
+    }
+  }
+  return plan;
+}
+
+bool FaultPlan::any_armed() const noexcept {
+  for (const SiteRule& rule : rules_) {
+    if (rule.armed) return true;
+  }
+  return false;
+}
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+bool fire_slow(Site site) noexcept {
+  Runtime* rt = g_runtime.load(std::memory_order_acquire);
+  if (rt == nullptr) return false;
+  const FaultPlan::SiteRule& rule = rt->plan.rule(site);
+  SiteState& state = rt->sites[static_cast<int>(site)];
+  // Every visitor claims a unique 1-based visit index; eligibility is a pure
+  // function of that index (and, with prob<1, of the per-site RNG stream).
+  const std::uint64_t visit = state.visits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!rule.armed) return false;
+  if (visit <= rule.after) return false;
+  if ((visit - rule.after - 1) % rule.every != 0) return false;
+  if (rule.count != 0 && state.fired.load(std::memory_order_relaxed) >= rule.count) return false;
+  if (rule.prob < 1.0) {
+    const std::lock_guard lock(state.rng_mutex);
+    if (state.rng.next_double() >= rule.prob) return false;
+  }
+  // A racing pair of visitors may both pass the count check and overshoot by
+  // one; count is a test-budget knob, not a hard invariant, and the fired()
+  // accessor reports what actually happened.
+  state.fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace detail
+
+void install(const FaultPlan& plan) {
+  const std::lock_guard lock(g_install_mutex);
+  detail::g_enabled.store(false, std::memory_order_release);
+  auto* rt = new Runtime;
+  rt->plan = plan;
+  std::uint64_t seed_state = plan.seed();
+  for (int i = 0; i < kNumSites; ++i) {
+    rt->sites[i].rng.reseed(splitmix64(seed_state));
+  }
+  retire(g_runtime.exchange(rt, std::memory_order_acq_rel));
+  detail::g_enabled.store(plan.any_armed(), std::memory_order_release);
+}
+
+void clear() noexcept {
+  const std::lock_guard lock(g_install_mutex);
+  detail::g_enabled.store(false, std::memory_order_release);
+  retire(g_runtime.exchange(nullptr, std::memory_order_acq_rel));
+}
+
+void throw_if(Site site, const char* what) {
+  if (fire(site)) {
+    throw std::runtime_error(std::string("fault injected: ") + to_string(site) + " (" + what +
+                             ")");
+  }
+}
+
+void maybe_delay(Site site) {
+  if (!fire(site)) return;
+  Runtime* rt = g_runtime.load(std::memory_order_acquire);
+  const int ms = rt != nullptr ? rt->plan.rule(site).delay_ms : 0;
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::uint64_t fired(Site site) noexcept {
+  Runtime* rt = g_runtime.load(std::memory_order_acquire);
+  return rt == nullptr ? 0 : rt->sites[static_cast<int>(site)].fired.load(std::memory_order_relaxed);
+}
+
+std::uint64_t visits(Site site) noexcept {
+  Runtime* rt = g_runtime.load(std::memory_order_acquire);
+  return rt == nullptr ? 0
+                       : rt->sites[static_cast<int>(site)].visits.load(std::memory_order_relaxed);
+}
+
+}  // namespace aigml::fault

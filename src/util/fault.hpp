@@ -1,0 +1,125 @@
+#pragma once
+// Deterministic fault injection (DESIGN.md §10).
+//
+// Production code is sprinkled with *named injection sites* — points where a
+// socket can refuse, a write can tear, a worker can throw.  In a normal run
+// every site is a no-op behind one relaxed atomic load (the plan pointer is
+// null, the branch is never taken, nothing else is touched).  Under test —
+// via the AIGML_FAULTS environment variable or fault::install() — a seeded
+// FaultPlan decides, deterministically, which visits of which sites fire.
+//
+// Grammar (AIGML_FAULTS and FaultPlan::parse):
+//
+//   plan    := entry (';' entry)*
+//   entry   := "seed=" N                     global seed for prob= draws
+//            | site (',' knob)*
+//   knob    := "after=" N    skip the first N visits of the site (default 0)
+//            | "count=" N    fire at most N times (default 1; 0 = unlimited)
+//            | "every=" N    of the eligible visits, fire every Nth (default 1)
+//            | "prob=" P     fire each eligible visit with probability P,
+//                            drawn from a per-site Rng seeded by (seed, site)
+//            | "ms=" N       payload for delay sites (default 20)
+//
+//   sites: socket.connect  socket.read  socket.write  socket.partial-write
+//          socket.delay    server.kill  model.truncate  worker.throw
+//          replay.tear     retrain.throw
+//
+// Example: AIGML_FAULTS="socket.read,after=40,count=3;socket.delay,ms=50,count=0"
+//
+// Determinism: firing depends only on the per-site visit counter (and, with
+// prob=, on a per-site RNG stream seeded from the plan seed) — never on wall
+// time or thread scheduling.  Counters are atomic, so concurrent visitors
+// each observe a unique visit index; a single-threaded call path replays
+// identically for a fixed plan.
+//
+// The framework is test scaffolding with production-grade hygiene: sites
+// stay compiled into release builds (the chaos CI job injects faults into
+// the same binary it ships), and the disabled-path cost is one predictable
+// branch on an atomic load.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace aigml::fault {
+
+enum class Site : int {
+  kSocketConnect = 0,  ///< tcp_connect fails (connection refused)
+  kSocketRead,         ///< Socket::recv_some fails (connection reset)
+  kSocketWrite,        ///< Socket::send_all fails (broken pipe)
+  kSocketPartialWrite, ///< send_all writes 1 byte per syscall (exercises the loop)
+  kSocketDelay,        ///< sleep before a socket read (exercises deadlines)
+  kServerKill,         ///< server drops the connection instead of replying
+  kModelTruncate,      ///< GbdtModel::load sees a truncated file body
+  kWorkerThrow,        ///< background worker task throws mid-item
+  kReplayTear,         ///< ReplayBuffer::flush tears the final record
+  kRetrainThrow,       ///< Retrainer throws after training, before install
+};
+inline constexpr int kNumSites = 10;
+
+[[nodiscard]] const char* to_string(Site site) noexcept;
+[[nodiscard]] std::optional<Site> site_from_name(std::string_view name) noexcept;
+
+/// One parsed plan: per-site arming knobs (grammar above).  Plans are
+/// immutable once installed; state (visit counters, RNG streams) lives in
+/// the process-wide runtime, reset by install()/clear().
+class FaultPlan {
+ public:
+  struct SiteRule {
+    bool armed = false;
+    std::uint64_t after = 0;   ///< visits skipped before eligibility
+    std::uint64_t count = 1;   ///< max fires (0 = unlimited)
+    std::uint64_t every = 1;   ///< fire every Nth eligible visit
+    double prob = 1.0;         ///< fire probability per eligible visit
+    int delay_ms = 20;         ///< payload for delay sites
+  };
+
+  /// Parses the grammar above; throws std::invalid_argument naming the
+  /// offending segment.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  [[nodiscard]] const SiteRule& rule(Site site) const noexcept {
+    return rules_[static_cast<int>(site)];
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] bool any_armed() const noexcept;
+
+ private:
+  SiteRule rules_[kNumSites];
+  std::uint64_t seed_ = 1;
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+[[nodiscard]] bool fire_slow(Site site) noexcept;
+}  // namespace detail
+
+/// Installs `plan` process-wide and resets all site state.  Test hook; the
+/// environment path (AIGML_FAULTS) installs automatically at startup.
+void install(const FaultPlan& plan);
+/// Removes any installed plan; every site returns to the no-op fast path.
+void clear() noexcept;
+/// True when a plan with at least one armed site is installed.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// The hot-path check: false immediately when no plan is installed.
+/// Otherwise bumps the site's visit counter and applies its rule.
+[[nodiscard]] inline bool fire(Site site) noexcept {
+  return enabled() && detail::fire_slow(site);
+}
+
+/// fire() + throw std::runtime_error("fault injected: <site> (<what>)").
+void throw_if(Site site, const char* what);
+/// For delay sites: fire() and, when it fires, sleep the rule's ms payload.
+void maybe_delay(Site site);
+
+/// Times fire() returned true for `site` since the last install()/clear().
+[[nodiscard]] std::uint64_t fired(Site site) noexcept;
+/// Times `site` was visited (fire() called with a plan installed).
+[[nodiscard]] std::uint64_t visits(Site site) noexcept;
+
+}  // namespace aigml::fault

@@ -1,0 +1,85 @@
+#include "util/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace aigml::fsio {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void fsync_path(const std::filesystem::path& path) {
+  const bool is_dir = std::filesystem::is_directory(path);
+  const int fd = ::open(path.c_str(), is_dir ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) throw_errno("fsync open " + path.string());
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    // Some filesystems reject fsync on directories (EINVAL); the rename is
+    // then as durable as that filesystem allows, which is not worth failing
+    // the save over.
+    if (err == EINVAL && is_dir) return;
+    errno = err;
+    throw_errno("fsync " + path.string());
+  }
+  ::close(fd);
+}
+
+void write_file_atomic(const std::filesystem::path& path, const std::string& bytes) {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open " + tmp.string());
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      errno = err;
+      throw_errno("write " + tmp.string());
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    errno = err;
+    throw_errno("fsync " + tmp.string());
+  }
+  ::close(fd);
+  try {
+    rename_durable(tmp, path);
+  } catch (...) {
+    ::unlink(tmp.c_str());
+    throw;
+  }
+}
+
+void rename_durable(const std::filesystem::path& from, const std::filesystem::path& to) {
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);
+  if (ec) {
+    throw std::runtime_error("rename " + from.string() + " -> " + to.string() + ": " +
+                             ec.message());
+  }
+  const std::filesystem::path parent =
+      to.has_parent_path() ? to.parent_path() : std::filesystem::path(".");
+  fsync_path(parent);
+}
+
+}  // namespace aigml::fsio

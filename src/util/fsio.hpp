@@ -1,0 +1,28 @@
+#pragma once
+// Durable file I/O helpers (DESIGN.md §10).  The crash-safety invariant for
+// every state file this library writes (model saves, replay rewrites) is
+// write-to-temp + fsync + atomic rename + fsync(parent dir): a reader at any
+// instant sees either the complete old file or the complete new one, never a
+// torn hybrid — and after the rename returns, the new content survives power
+// loss.
+
+#include <filesystem>
+#include <string>
+
+namespace aigml::fsio {
+
+/// Flushes a file's (or directory's) contents to stable storage.  Throws
+/// std::runtime_error with errno text when the path cannot be opened or
+/// synced; EINVAL from filesystems that reject directory fsync is ignored.
+void fsync_path(const std::filesystem::path& path);
+
+/// Atomically replaces `path` with `bytes`: writes `<path>.tmp.<pid>` in the
+/// same directory, fsyncs it, renames it over `path`, and fsyncs the parent
+/// directory so the rename itself is durable.
+void write_file_atomic(const std::filesystem::path& path, const std::string& bytes);
+
+/// Durable rename: rename(from, to) + fsync of to's parent directory.
+/// `from` must already be synced by the caller.
+void rename_durable(const std::filesystem::path& from, const std::filesystem::path& to);
+
+}  // namespace aigml::fsio

@@ -1,21 +1,26 @@
 #include "util/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <stdexcept>
 #include <thread>
 #include <utility>
+
+#include "util/fault.hpp"
 
 namespace aigml {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
@@ -32,39 +37,98 @@ sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
   return addr;
 }
 
+/// Polls `fd` for `events` until ready or the deadline passes.  A null
+/// deadline means block indefinitely.  Throws SocketTimeout on expiry and
+/// runtime_error on poll failure; EINTR restarts the wait with the budget
+/// that remains.
+void wait_ready(int fd, short events, const Clock::time_point* deadline, const char* what) {
+  while (true) {
+    int wait_ms = -1;
+    if (deadline != nullptr) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(*deadline - Clock::now());
+      if (remaining.count() <= 0) {
+        throw SocketTimeout(std::string(what) + ": timed out");
+      }
+      wait_ms = static_cast<int>(remaining.count());
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc > 0) return;  // ready, or an error condition the syscall will report
+    if (rc == 0) throw SocketTimeout(std::string(what) + ": timed out");
+    if (errno == EINTR) continue;
+    throw_errno(std::string(what) + " poll");
+  }
+}
+
 }  // namespace
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+Socket::Socket(Socket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      read_timeout_ms_(other.read_timeout_ms_),
+      write_timeout_ms_(other.write_timeout_ms_) {}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    read_timeout_ms_ = other.read_timeout_ms_;
+    write_timeout_ms_ = other.write_timeout_ms_;
   }
   return *this;
 }
 
 void Socket::send_all(std::string_view data) {
+  fault::throw_if(fault::Site::kSocketWrite, "broken pipe");
+  // Tearing the send into 1-byte syscalls exercises the partial-write loop
+  // and the peer's reassembly without changing the bytes on the wire.
+  const std::size_t chunk =
+      fault::fire(fault::Site::kSocketPartialWrite) ? 1 : data.size();
+
+  const bool bounded = write_timeout_ms_ > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(bounded ? write_timeout_ms_ : 0);
   std::size_t sent = 0;
   while (sent < data.size()) {
     // MSG_NOSIGNAL: a vanished peer must surface as an exception on this
     // connection's handler, not a process-wide SIGPIPE.
-    const ssize_t n =
-        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
+    const std::size_t want = std::min(chunk, data.size() - sent);
+    const ssize_t n = ::send(fd_, data.data() + sent, want, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
       throw_errno("socket send");
     }
-    sent += static_cast<std::size_t>(n);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_ready(fd_, POLLOUT, bounded ? &deadline : nullptr, "socket send");
+    }
   }
 }
 
 std::size_t Socket::recv_some(char* out, std::size_t max) {
+  return recv_some(out, max, read_timeout_ms_);
+}
+
+std::size_t Socket::recv_some(char* out, std::size_t max, int timeout_ms) {
+  fault::maybe_delay(fault::Site::kSocketDelay);
+  fault::throw_if(fault::Site::kSocketRead, "connection reset by peer");
+
+  const bool bounded = timeout_ms > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(bounded ? timeout_ms : 0);
   while (true) {
-    const ssize_t n = ::recv(fd_, out, max, 0);
+    const ssize_t n = ::recv(fd_, out, max, MSG_DONTWAIT);
     if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_ready(fd_, POLLIN, bounded ? &deadline : nullptr, "socket recv");
+      continue;
+    }
     if (errno == EINTR) continue;
     throw_errno("socket recv");
   }
@@ -74,6 +138,10 @@ void Socket::shutdown_both() noexcept {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
+void Socket::shutdown_read() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
 void Socket::close() noexcept {
   if (fd_ >= 0) {
     ::close(fd_);
@@ -81,14 +149,44 @@ void Socket::close() noexcept {
   }
 }
 
-Socket tcp_connect(const std::string& host, std::uint16_t port) {
+Socket tcp_connect(const std::string& host, std::uint16_t port, int timeout_ms) {
+  fault::throw_if(fault::Site::kSocketConnect, "connection refused");
+
   const sockaddr_in addr = make_addr(host, port);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket create");
   Socket s(fd);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    throw_errno("socket connect to " + host + ":" + std::to_string(port));
+  const std::string where = host + ":" + std::to_string(port);
+
+  if (timeout_ms > 0) {
+    // Nonblocking connect + poll: connect() alone honors only the kernel's
+    // SYN-retry schedule (minutes), far beyond any useful request deadline.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      throw_errno("socket fcntl");
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      if (errno != EINPROGRESS) throw_errno("socket connect to " + where);
+      const Clock::time_point deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+      wait_ready(fd, POLLOUT, &deadline, ("socket connect to " + where).c_str());
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        throw_errno("socket getsockopt");
+      }
+      if (err != 0) {
+        errno = err;
+        throw_errno("socket connect to " + where);
+      }
+    }
+    if (::fcntl(fd, F_SETFL, flags) < 0) throw_errno("socket fcntl");
+  } else {
+    while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      if (errno == EINTR) continue;
+      throw_errno("socket connect to " + where);
+    }
   }
+
   const int one = 1;
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return s;
@@ -183,8 +281,20 @@ bool LineReader::read_line(std::string& line) {
       }
       return false;
     }
+    if (max_line_bytes_ > 0 && buffer_.size() - pos_ > max_line_bytes_) {
+      throw std::length_error("socket line exceeds " + std::to_string(max_line_bytes_) +
+                              " bytes");
+    }
     char chunk[4096];
-    const std::size_t n = socket_->recv_some(chunk, sizeof(chunk));
+    // A partial line is already buffered once any bytes beyond pos_ exist;
+    // only then does the mid-line deadline apply.  An idle connection
+    // waiting for the first byte of the next line is governed by the
+    // socket's own read deadline (unbounded on the server, so keepalive
+    // clients can sit quietly between requests).
+    const bool mid_line = pos_ < buffer_.size();
+    const std::size_t n = (mid_line && mid_line_timeout_ms_ > 0)
+                              ? socket_->recv_some(chunk, sizeof(chunk), mid_line_timeout_ms_)
+                              : socket_->recv_some(chunk, sizeof(chunk));
     if (n == 0) {
       eof_ = true;
       continue;

@@ -6,15 +6,28 @@
 // a buffered line reader.
 //
 // Every failure surfaces as std::runtime_error carrying errno text; a
-// cleanly closed peer surfaces as read_line() returning false.
+// cleanly closed peer surfaces as read_line() returning false.  Deadline
+// expiry surfaces as SocketTimeout (a runtime_error subclass) so callers can
+// distinguish "slow peer" from "broken peer" when they care.
+//
+// Deadlines are poll-based: each send_all/recv_some call gets a fresh
+// deadline of now + timeout and polls for readiness with the remaining
+// budget, so a trickling peer cannot stretch one call forever.  A timeout of
+// 0 means block indefinitely (the historical behavior and the default).
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
 namespace aigml {
+
+/// Thrown when a socket operation exceeds its configured deadline.
+struct SocketTimeout : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 /// Movable owner of a connected socket fd.  send/recv raw bytes.
 class Socket {
@@ -31,20 +44,39 @@ class Socket {
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
   [[nodiscard]] int fd() const noexcept { return fd_; }
 
-  /// Writes the whole buffer (looping over partial writes).
+  /// Per-call deadlines for subsequent send_all/recv_some calls.
+  /// 0 (the default) blocks indefinitely.
+  void set_read_timeout_ms(int ms) noexcept { read_timeout_ms_ = ms; }
+  void set_write_timeout_ms(int ms) noexcept { write_timeout_ms_ = ms; }
+
+  /// Writes the whole buffer (looping over partial writes and EINTR) within
+  /// the write deadline.  Throws SocketTimeout on expiry.
   void send_all(std::string_view data);
-  /// Reads at most `max` bytes; returns 0 on orderly peer shutdown.
+  /// Reads at most `max` bytes; returns 0 on orderly peer shutdown.  Uses
+  /// the socket's read deadline.
   [[nodiscard]] std::size_t recv_some(char* out, std::size_t max);
+  /// As above with an explicit deadline for this call only: timeout_ms > 0
+  /// bounds the wait, timeout_ms <= 0 blocks indefinitely.
+  [[nodiscard]] std::size_t recv_some(char* out, std::size_t max, int timeout_ms);
   /// Disables further sends/receives without closing the fd (wakes peers).
   void shutdown_both() noexcept;
+  /// Half-close: no more receives, sends still flow.  A reader blocked on
+  /// this socket drains what is already buffered and then sees EOF — the
+  /// primitive under PredictServer::drain().
+  void shutdown_read() noexcept;
   void close() noexcept;
 
  private:
   int fd_ = -1;
+  int read_timeout_ms_ = 0;
+  int write_timeout_ms_ = 0;
 };
 
 /// Connects to host:port (numeric IPv4 dotted quad or "localhost").
-[[nodiscard]] Socket tcp_connect(const std::string& host, std::uint16_t port);
+/// timeout_ms > 0 bounds the connection attempt (nonblocking connect +
+/// poll); 0 blocks indefinitely.  Throws SocketTimeout on expiry.
+[[nodiscard]] Socket tcp_connect(const std::string& host, std::uint16_t port,
+                                 int timeout_ms = 0);
 
 /// Listening socket bound to host:port; port 0 picks an ephemeral port
 /// (query the choice via port()).  close() may be called from a different
@@ -71,9 +103,21 @@ class TcpListener {
 
 /// Buffered newline-delimited reader over a Socket.  Lines are returned
 /// without the trailing '\n' (a trailing '\r' is also stripped).
+///
+/// `max_line_bytes` bounds the buffered length of a single line (0 =
+/// unbounded); exceeding it throws std::length_error — the server's OOM
+/// guard against a client that streams bytes without ever sending '\n'.
+///
+/// `set_mid_line_timeout_ms` bounds the wait for *continuation* bytes once a
+/// partial line has arrived (a slow-loris guard).  The wait for the first
+/// byte of a line uses the socket's own read deadline, so an idle-but-honest
+/// keepalive connection is unaffected.
 class LineReader {
  public:
-  explicit LineReader(Socket& socket) : socket_(&socket) {}
+  explicit LineReader(Socket& socket, std::size_t max_line_bytes = 0)
+      : socket_(&socket), max_line_bytes_(max_line_bytes) {}
+
+  void set_mid_line_timeout_ms(int ms) noexcept { mid_line_timeout_ms_ = ms; }
 
   /// Reads the next line into `line`; false on end of stream.  A final
   /// unterminated line before EOF is returned as a line.
@@ -83,6 +127,8 @@ class LineReader {
   Socket* socket_;
   std::string buffer_;
   std::size_t pos_ = 0;
+  std::size_t max_line_bytes_ = 0;
+  int mid_line_timeout_ms_ = 0;
   bool eof_ = false;
 };
 

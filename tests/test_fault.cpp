@@ -1,0 +1,665 @@
+// Fault-matrix suite (DESIGN.md §10): the deterministic fault-injection
+// framework itself (grammar, visit/fire scheduling, seeded prob draws),
+// then every injection site exercised against the component that must
+// absorb it — socket deadlines and line bounds, RemoteCost retry /
+// fallback / circuit breaker (including a real server stop mid-search),
+// server overload shedding and graceful drain, replay torn-tail recovery,
+// label-worker isolation, retrain exception isolation, and hot-reload
+// isolation of a truncated model file.  The zero-fault regression at the
+// end pins the contract that none of this machinery perturbs a healthy
+// run: serve-backed trajectories stay bit-identical to local evaluation.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "aig/analysis.hpp"
+#include "features/features.hpp"
+#include "gen/circuits.hpp"
+#include "learn/harvester.hpp"
+#include "learn/loop.hpp"
+#include "learn/replay.hpp"
+#include "learn/retrainer.hpp"
+#include "ml/gbdt.hpp"
+#include "opt/cost.hpp"
+#include "opt/cost_spec.hpp"
+#include "opt/recipe.hpp"
+#include "opt/sa.hpp"
+#include "serve/client.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "transforms/scripts.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+#include "util/socket.hpp"
+
+namespace aigml {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Installs a parsed plan for the test's scope and guarantees the
+/// process-global runtime is cleared on exit, pass or fail.
+struct FaultScope {
+  explicit FaultScope(const std::string& spec) { fault::install(fault::FaultPlan::parse(spec)); }
+  ~FaultScope() { fault::clear(); }
+};
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& stem)
+      : path(fs::temp_directory_path() / (stem + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+struct Fixture {
+  std::vector<aig::Aig> variants;
+  ml::GbdtModel model;
+};
+
+/// Distinct optimized variants of mult4 plus a small GBDT trained on them
+/// (levels as labels — these tests only care about exact reproducibility).
+Fixture make_fixture(std::uint64_t seed, int num_trees = 30) {
+  Fixture fx;
+  const aig::Aig base = gen::multiplier(4);
+  const auto& scripts = transforms::script_registry();
+  Rng rng(seed);
+  ml::Dataset data(features::feature_names());
+  for (int i = 0; i < 16; ++i) {
+    fx.variants.push_back(scripts.apply(scripts.random_index(rng), base));
+    data.append(features::extract(fx.variants.back()),
+                static_cast<double>(aig::aig_level(fx.variants.back())) +
+                    0.1 * static_cast<double>(rng.next_below(10)),
+                "fx");
+  }
+  ml::GbdtParams params;
+  params.num_trees = num_trees;
+  params.max_depth = 3;
+  params.seed = seed;
+  fx.model = ml::GbdtModel::train(data, params);
+  return fx;
+}
+
+// ---- the framework itself ----------------------------------------------------
+
+TEST(FaultPlan, ParsesFullGrammar) {
+  const auto plan = fault::FaultPlan::parse(
+      "socket.read,after=2,count=3,every=4,prob=0.5,ms=9;seed=77;server.kill");
+  const auto& read = plan.rule(fault::Site::kSocketRead);
+  EXPECT_TRUE(read.armed);
+  EXPECT_EQ(read.after, 2u);
+  EXPECT_EQ(read.count, 3u);
+  EXPECT_EQ(read.every, 4u);
+  EXPECT_EQ(read.prob, 0.5);
+  EXPECT_EQ(read.delay_ms, 9);
+  EXPECT_TRUE(plan.rule(fault::Site::kServerKill).armed);
+  EXPECT_FALSE(plan.rule(fault::Site::kSocketWrite).armed);
+  EXPECT_EQ(plan.seed(), 77u);
+  EXPECT_TRUE(plan.any_armed());
+  EXPECT_FALSE(fault::FaultPlan::parse("").any_armed());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecsNamingTheSegment) {
+  try {
+    (void)fault::FaultPlan::parse("bogus.site,count=1");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus.site"), std::string::npos);
+  }
+  EXPECT_THROW((void)fault::FaultPlan::parse("socket.read,unknown=1"), std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultPlan::parse("socket.read,count=abc"), std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultPlan::parse("socket.read,prob=1.5"), std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultPlan::parse("socket.read,count"), std::invalid_argument);
+}
+
+TEST(FaultRuntime, DisabledPathIsInert) {
+  fault::clear();
+  EXPECT_FALSE(fault::enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(fault::fire(fault::Site::kSocketRead));
+  EXPECT_EQ(fault::visits(fault::Site::kSocketRead), 0u);
+  EXPECT_NO_THROW(fault::throw_if(fault::Site::kWorkerThrow, "nope"));
+}
+
+TEST(FaultRuntime, AfterCountEverySchedule) {
+  // after=2 skips visits 1-2; every=2 fires eligible visits 3,5,7,...;
+  // count=2 caps the budget at the first two of those: exactly 3 and 5.
+  const FaultScope scope("worker.throw,after=2,every=2,count=2");
+  std::vector<std::uint64_t> fired_at;
+  for (std::uint64_t visit = 1; visit <= 10; ++visit) {
+    if (fault::fire(fault::Site::kWorkerThrow)) fired_at.push_back(visit);
+  }
+  EXPECT_EQ(fired_at, (std::vector<std::uint64_t>{3, 5}));
+  EXPECT_EQ(fault::visits(fault::Site::kWorkerThrow), 10u);
+  EXPECT_EQ(fault::fired(fault::Site::kWorkerThrow), 2u);
+}
+
+TEST(FaultRuntime, ProbDrawsReplayUnderTheSameSeed) {
+  const std::string spec = "worker.throw,count=0,prob=0.5;seed=99";
+  auto pattern = [&] {
+    const FaultScope scope(spec);
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) fires.push_back(fault::fire(fault::Site::kWorkerThrow));
+    return fires;
+  };
+  const auto a = pattern();
+  const auto b = pattern();
+  EXPECT_EQ(a, b);  // same seed => bit-identical schedule
+  EXPECT_GT(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_LT(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST(FaultRuntime, ThrowIfNamesTheSite) {
+  const FaultScope scope("retrain.throw");
+  try {
+    fault::throw_if(fault::Site::kRetrainThrow, "details");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("retrain.throw"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("details"), std::string::npos);
+  }
+}
+
+// ---- socket hardening --------------------------------------------------------
+
+TEST(FaultSocket, MidLineStallTimesOutAsSocketTimeout) {
+  TcpListener listener("127.0.0.1", 0);
+  Socket client = tcp_connect("127.0.0.1", listener.port());
+  client.send_all("PARTIAL-REQUEST-WITHOUT-NEWLINE");
+  Socket served = listener.accept();
+  LineReader reader(served);
+  reader.set_mid_line_timeout_ms(100);
+  std::string line;
+  // The partial bytes arrive, then the peer goes silent: the continuation
+  // wait must expire as SocketTimeout, not hang.
+  EXPECT_THROW((void)reader.read_line(line), SocketTimeout);
+}
+
+TEST(FaultSocket, LineLengthBoundThrowsLengthError) {
+  TcpListener listener("127.0.0.1", 0);
+  Socket client = tcp_connect("127.0.0.1", listener.port());
+  client.send_all(std::string(600, 'A'));  // no newline, over the bound
+  Socket served = listener.accept();
+  LineReader reader(served, /*max_line_bytes=*/256);
+  std::string line;
+  EXPECT_THROW((void)reader.read_line(line), std::length_error);
+}
+
+TEST(FaultSocket, PartialWriteFaultStillDeliversEveryByte) {
+  // The partial-write site forces 1-byte send() chunks; the send_all loop
+  // must still deliver the payload intact.
+  TcpListener listener("127.0.0.1", 0);
+  Socket client = tcp_connect("127.0.0.1", listener.port());
+  Socket served = listener.accept();
+  const FaultScope scope("socket.partial-write,count=0");
+  client.send_all("chunked-but-complete\n");
+  LineReader reader(served);
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_EQ(line, "chunked-but-complete");
+  EXPECT_GT(fault::fired(fault::Site::kSocketPartialWrite), 0u);
+}
+
+// ---- RemoteCost resilience ---------------------------------------------------
+
+TEST(FaultServe, TransientFaultIsMaskedByRetry) {
+  Fixture fx = make_fixture(0xF1);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  registry.install("area", fx.model);
+  serve::PredictService service(registry);
+  serve::PredictServer server(registry, service);
+  server.start();
+
+  opt::RemoteCostOptions options;
+  options.backoff_ms = 1;
+  options.fallback = "proxy";
+  opt::RemoteCost cost("127.0.0.1", server.port(), "delay", "area", options);
+
+  // One injected connection reset, somewhere in the request path; the retry
+  // must reconnect and the answers stay exact — the fallback is configured
+  // but never consulted.
+  const FaultScope scope("socket.read,count=1");
+  for (int i = 0; i < 4; ++i) {
+    const auto eval = cost.evaluate(fx.variants[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(eval.delay,
+              fx.model.predict(features::extract(fx.variants[static_cast<std::size_t>(i)])));
+  }
+  EXPECT_EQ(fault::fired(fault::Site::kSocketRead), 1u);
+  EXPECT_EQ(cost.degraded_evals(), 0u);
+  EXPECT_FALSE(cost.breaker_open());
+  server.stop();
+}
+
+TEST(FaultServe, PersistentFaultDegradesThenOpensBreaker) {
+  Fixture fx = make_fixture(0xF2);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  registry.install("area", fx.model);
+  serve::PredictService service(registry);
+  serve::PredictServer server(registry, service);
+  server.start();
+
+  opt::RemoteCostOptions options;
+  options.connect_timeout_ms = 500;
+  options.io_timeout_ms = 500;
+  options.max_retries = 1;
+  options.backoff_ms = 1;
+  options.breaker_threshold = 2;
+  options.fallback = "proxy";
+  opt::RemoteCost cost("127.0.0.1", server.port(), "delay", "area", options);
+
+  // Every read and every reconnect fails from here on.
+  const FaultScope scope("socket.read,count=0;socket.connect,count=0");
+  opt::ProxyCost proxy;
+  for (int i = 0; i < 5; ++i) {
+    const auto& g = fx.variants[static_cast<std::size_t>(i)];
+    const auto got = cost.evaluate(g);
+    const auto want = proxy.evaluate(g);
+    EXPECT_EQ(got.delay, want.delay);  // honest fallback values, exactly
+    EXPECT_EQ(got.area, want.area);
+  }
+  EXPECT_EQ(cost.degraded_evals(), 5u);
+  EXPECT_TRUE(cost.breaker_open());
+  // Once open, the breaker routes straight to the fallback: connect was only
+  // attempted while the breaker was still closed.  Eval 1 starts on the
+  // already-open connection (1 reconnect attempt); eval 2 starts
+  // disconnected (2 attempts); evals 3-5 never touch the network.
+  EXPECT_EQ(fault::visits(fault::Site::kSocketConnect), 3u);
+  server.stop();
+}
+
+TEST(FaultServe, NoFallbackFailsHard) {
+  Fixture fx = make_fixture(0xF3);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  registry.install("area", fx.model);
+  serve::PredictService service(registry);
+  serve::PredictServer server(registry, service);
+  server.start();
+
+  opt::RemoteCostOptions options;
+  options.max_retries = 1;
+  options.backoff_ms = 1;
+  opt::RemoteCost cost("127.0.0.1", server.port(), "delay", "area", options);
+  const FaultScope scope("socket.read,count=0;socket.connect,count=0");
+  EXPECT_THROW((void)cost.evaluate(fx.variants[0]), std::runtime_error);
+  server.stop();
+}
+
+TEST(FaultServe, FallbackSpecIsValidatedUpFront) {
+  opt::CostContext ctx;
+  ctx.serve_fallback = "proxy";
+  // fallback= only makes sense for serve: costs.
+  EXPECT_THROW((void)opt::make_cost("proxy", ctx), std::invalid_argument);
+  ctx.serve_fallback = "ml:/nonexistent/models";
+  EXPECT_THROW((void)opt::make_cost("serve:127.0.0.1:1", ctx), std::invalid_argument);
+  ctx.serve_fallback = "garbage";
+  EXPECT_THROW((void)opt::make_cost("serve:127.0.0.1:1", ctx), std::invalid_argument);
+  // learn=1 evaluates locally; a fallback there is a configuration error.
+  opt::Recipe recipe;
+  recipe.learn = true;
+  recipe.fallback = "proxy";
+  recipe.cost = "ml:/nonexistent";
+  try {
+    (void)learn::run(recipe, gen::multiplier(2), cell::mini_sky130());
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("fallback"), std::string::npos);
+  }
+}
+
+TEST(FaultServe, ServerKillSiteMidRunCompletesDegraded) {
+  Fixture fx = make_fixture(0xF4);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  registry.install("area", fx.model);
+  serve::PredictService service(registry);
+  serve::PredictServer server(registry, service);
+  server.start();
+
+  opt::Recipe recipe;
+  recipe.strategy = "sa";
+  recipe.iterations = 18;
+  recipe.seed = 0x5eed;
+  recipe.cost = "serve:127.0.0.1:" + std::to_string(server.port());
+  recipe.fallback = "proxy";
+
+  // After 20 answered requests (~10 evaluations at 2 models each), the
+  // server starts dropping every connection without replying — what a
+  // `kill -9` mid-run looks like to the client.  The run must complete the
+  // full iteration budget and report how many evaluations were degraded.
+  const FaultScope scope("server.kill,after=20,count=0");
+  opt::CostContext ctx;
+  const opt::OptResult result = opt::run(recipe, gen::multiplier(4), ctx);
+  EXPECT_EQ(result.history.size(), 18u);
+  EXPECT_GT(result.degraded_evals, 0u);
+  EXPECT_GT(fault::fired(fault::Site::kServerKill), 0u);
+  server.stop();
+}
+
+/// Stops the server for real partway through the search.
+struct ServerStopper final : public opt::Observer {
+  serve::PredictServer* server = nullptr;
+  int stop_at = 0;
+  void on_iteration(int iteration, const opt::IterationRecord& /*record*/) override {
+    if (iteration == stop_at) server->stop();
+  }
+};
+
+TEST(FaultServe, RealServerStopMidRunCompletesDegraded) {
+  Fixture fx = make_fixture(0xF5);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  registry.install("area", fx.model);
+  serve::PredictService service(registry);
+  serve::PredictServer server(registry, service);
+  server.start();
+
+  opt::RemoteCostOptions options;
+  options.connect_timeout_ms = 500;
+  options.io_timeout_ms = 500;
+  options.max_retries = 1;
+  options.backoff_ms = 1;
+  options.breaker_threshold = 2;
+  options.fallback = "proxy";
+  opt::RemoteCost cost("127.0.0.1", server.port(), "delay", "area", options);
+
+  ServerStopper stopper;
+  stopper.server = &server;
+  stopper.stop_at = 6;
+
+  opt::SaParams params;
+  params.iterations = 15;
+  params.seed = 0xdead;
+  const opt::SaStrategy strategy(params);
+  const opt::OptResult result =
+      strategy.run(gen::multiplier(4), cost, {.max_iterations = params.iterations}, &stopper);
+  EXPECT_EQ(result.history.size(), 15u);
+  EXPECT_GT(result.degraded_evals, 0u);
+  EXPECT_TRUE(cost.breaker_open());
+}
+
+// ---- server hardening --------------------------------------------------------
+
+TEST(FaultServe, OverloadShedsWithExplicitBusy) {
+  Fixture fx = make_fixture(0xF6);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  serve::PredictService service(registry);
+  serve::ServerParams params;
+  params.max_connections = 1;
+  serve::PredictServer server(registry, service, params);
+  server.start();
+
+  serve::Client first("127.0.0.1", server.port());
+  EXPECT_EQ(first.ping(), "pong");  // registered and live
+  serve::Client second("127.0.0.1", server.port());
+  EXPECT_THROW((void)second.ping(), serve::ServerBusy);
+  // The first connection keeps working: shedding is per-connection.
+  EXPECT_EQ(first.ping(), "pong");
+  server.stop();
+}
+
+TEST(FaultServe, OversizedRequestAnsweredWithErrThenDropped) {
+  Fixture fx = make_fixture(0xF7);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  serve::PredictService service(registry);
+  serve::ServerParams params;
+  params.max_line_bytes = 256;
+  serve::PredictServer server(registry, service, params);
+  server.start();
+
+  Socket raw = tcp_connect("127.0.0.1", server.port());
+  raw.send_all(std::string(600, 'A'));  // never sends '\n'
+  LineReader reader(raw);
+  std::string reply;
+  ASSERT_TRUE(reader.read_line(reply));
+  EXPECT_EQ(reply.rfind("ERR", 0), 0u);
+  EXPECT_FALSE(reader.read_line(reply));  // connection dropped after the reply
+  server.stop();
+}
+
+TEST(FaultServe, DrainStopsAcceptingAndHangsUpIdleConnections) {
+  Fixture fx = make_fixture(0xF8);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  serve::PredictService service(registry);
+  serve::PredictServer server(registry, service);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  serve::Client client("127.0.0.1", port);
+  EXPECT_EQ(client.ping(), "pong");
+  server.drain();  // must return: the idle keepalive connection sees EOF
+  EXPECT_THROW((void)client.ping(), std::exception);
+  EXPECT_THROW((void)serve::Client("127.0.0.1", port), std::exception);
+  server.drain();  // idempotent
+  server.stop();   // and stop() after drain() is a no-op
+}
+
+// ---- crash-safe learning state -----------------------------------------------
+
+learn::ReplayRow make_row(std::uint64_t key, double scale) {
+  learn::ReplayRow row;
+  row.key = key;
+  row.generation = key % 7;
+  row.delay_ps = 1234.5 * scale;
+  row.area_um2 = 99.25 * scale;
+  row.pred_delay = 1200.0 / scale;
+  row.pred_area = 101.0 / scale;
+  for (std::size_t i = 0; i < row.features.size(); ++i) {
+    row.features[i] = static_cast<double>(i) / scale;
+  }
+  return row;
+}
+
+TEST(FaultLearn, ReplayTearDropsExactlyTheTornTail) {
+  TempDir dir("aigml_fault_replay");
+  const fs::path file = dir.path / "h.rpb";
+  {
+    learn::ReplayBuffer buffer(file);
+    for (std::uint64_t k = 1; k <= 3; ++k) (void)buffer.add(make_row(k, 2.0 * double(k)));
+    const FaultScope scope("replay.tear");
+    buffer.flush();  // writes 3 records, then the site shears the last in half
+    EXPECT_EQ(fault::fired(fault::Site::kReplayTear), 1u);
+  }
+  {
+    // Recovery keeps every verified record before the tear — exactly 2 —
+    // and drops only the torn tail.  The file is not mutated by the load.
+    const auto size_before = fs::file_size(file);
+    learn::ReplayBuffer recovered(file);
+    ASSERT_EQ(recovered.size(), 2u);
+    EXPECT_TRUE(recovered.recovered());
+    EXPECT_EQ(recovered.row(0).delay_ps, make_row(1, 2.0).delay_ps);
+    EXPECT_EQ(recovered.row(1).features, make_row(2, 4.0).features);
+    EXPECT_EQ(fs::file_size(file), size_before);
+  }
+  {
+    // The owner's next flush rewrites the file cleanly (tmp + rename), and
+    // appended rows land after the recovered prefix.
+    learn::ReplayBuffer owner(file);
+    (void)owner.add(make_row(9, 9.0));
+    EXPECT_EQ(owner.flush(), 1u);
+  }
+  learn::ReplayBuffer clean(file);
+  EXPECT_EQ(clean.size(), 3u);
+  EXPECT_FALSE(clean.recovered());
+  EXPECT_TRUE(clean.contains(9));
+}
+
+TEST(FaultLearn, WorkerThrowDropsExactlyOneLabel) {
+  const aig::Aig base = gen::multiplier(4);
+  const auto& scripts = transforms::script_registry();
+  auto run_harvest = [&](bool with_fault) {
+    learn::ReplayBuffer buffer;
+    learn::HarvestParams params;
+    params.budget = 6;
+    params.min_disagreement = 0.0;
+    params.async = false;
+    learn::LabelHarvester harvester(cell::mini_sky130(), buffer, params);
+    harvester.on_start(base, {10.0, 10.0}, 0.0);
+    Rng rng(0x3a3);
+    aig::Aig current = base;
+    std::optional<FaultScope> scope;
+    if (with_fault) scope.emplace("worker.throw,count=1");
+    for (int i = 0; i < 12; ++i) {
+      current = scripts.apply(scripts.random_index(rng), current);
+      harvester.on_candidate(i, current, {10.0, 10.0});
+    }
+    harvester.drain();
+    return buffer.size();
+  };
+  const std::size_t baseline = run_harvest(false);
+  ASSERT_GT(baseline, 1u);
+  // One injected labeling failure drops that row only — never the batch,
+  // never the run.
+  EXPECT_EQ(run_harvest(true), baseline - 1);
+}
+
+TEST(FaultLearn, RetrainThrowLeavesRegistryAndDiskUntouched) {
+  Fixture fx = make_fixture(0xF9);
+  TempDir dir("aigml_fault_retrain");
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  registry.install("area", fx.model);
+  const std::uint64_t generation_before = registry.generation();
+
+  learn::RetrainParams params;
+  params.min_new_rows = 1;
+  params.gbdt.num_trees = 5;
+  params.gbdt.max_depth = 2;
+  params.save_dir = dir.path;
+  learn::Retrainer retrainer(registry, params);
+  learn::ReplayBuffer buffer;
+  for (std::uint64_t k = 1; k <= 8; ++k) (void)buffer.add(make_row(k, double(k)));
+
+  {
+    const FaultScope scope("retrain.throw");
+    EXPECT_THROW((void)retrainer.maybe_retrain(buffer), std::runtime_error);
+  }
+  // Strong guarantee: nothing installed, nothing written, trigger still armed.
+  EXPECT_EQ(registry.generation(), generation_before);
+  EXPECT_EQ(registry.version("delay"), 1u);
+  EXPECT_EQ(retrainer.retrains(), 0u);
+  EXPECT_FALSE(fs::exists(dir.path / "delay.gbdt"));
+  EXPECT_TRUE(retrainer.should_retrain(buffer));
+
+  // Faults cleared, the very same call succeeds end to end.
+  EXPECT_TRUE(retrainer.maybe_retrain(buffer));
+  EXPECT_EQ(registry.generation(), generation_before + 2);  // delay + area installs
+  EXPECT_EQ(registry.version("delay"), 2u);
+  EXPECT_TRUE(fs::exists(dir.path / "delay.gbdt"));
+  EXPECT_TRUE(fs::exists(dir.path / "area.gbdt"));
+}
+
+TEST(FaultLearn, FailedRetrainIsIsolatedInsideTheLoop) {
+  // Drive ActiveLearner's observer surface directly: candidates flow in,
+  // labels are paid for, and the retrain attempt at the end throws.  The
+  // loop must swallow it (counted in failed_retrains), leave the registry
+  // at its starting generation, and keep every harvested label.
+  Fixture fx = make_fixture(0xFA);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  registry.install("area", fx.model);
+  const std::uint64_t generation_before = registry.generation();
+
+  learn::LearnParams params;
+  params.harvest.budget = 4;
+  params.harvest.min_disagreement = 0.0;
+  params.harvest.async = false;
+  params.retrain.min_new_rows = 1;
+  params.retrain.gbdt.num_trees = 5;
+  params.retrain.gbdt.max_depth = 2;
+  learn::ActiveLearner learner(cell::mini_sky130(), registry, params);
+
+  const FaultScope scope("retrain.throw,count=0");
+  const auto f0 = features::extract(fx.variants[0]);
+  learner.on_start(fx.variants[0], {fx.model.predict(f0), fx.model.predict(f0)}, 0.0);
+  for (std::size_t i = 1; i < fx.variants.size(); ++i) {
+    const auto f = features::extract(fx.variants[i]);
+    learner.on_candidate(static_cast<int>(i), fx.variants[i],
+                         {fx.model.predict(f), fx.model.predict(f)});
+  }
+  learner.on_finish(opt::OptResult{});
+
+  const learn::LearnStats stats = learner.stats();
+  EXPECT_GT(stats.labeled, 0u);
+  EXPECT_GE(stats.failed_retrains, 1u);
+  EXPECT_EQ(stats.retrains, 0u);
+  EXPECT_EQ(registry.generation(), generation_before);
+  EXPECT_EQ(registry.version("delay"), 1u);
+}
+
+TEST(FaultLearn, TruncatedModelReloadKeepsServingOldSnapshot) {
+  Fixture a = make_fixture(0xFB, 20);
+  Fixture b = make_fixture(0xFC, 25);
+  TempDir dir("aigml_fault_reload");
+  a.model.save(dir.path / "delay.gbdt");
+  serve::ModelRegistry registry(dir.path);
+  const auto f = features::extract(a.variants[0]);
+  ASSERT_EQ(registry.get("delay")->predict(f), a.model.predict(f));
+
+  b.model.save(dir.path / "delay.gbdt");  // new bytes on disk
+  {
+    // The reload's GbdtModel::load sees a truncated file: the error is
+    // reported and the previous snapshot keeps serving.
+    const FaultScope scope("model.truncate");
+    const auto report = registry.reload();
+    EXPECT_EQ(report.loaded, 0u);
+    ASSERT_EQ(report.errors.size(), 1u);
+    EXPECT_EQ(registry.get("delay")->predict(f), a.model.predict(f));
+  }
+  // Next reload (file unchanged since the failed attempt) picks it up.
+  const auto report = registry.reload();
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_EQ(registry.get("delay")->predict(f), b.model.predict(f));
+}
+
+// ---- zero-fault regression ---------------------------------------------------
+
+TEST(FaultServe, ZeroFaultServeTrajectoryBitIdenticalToLocal) {
+  fault::clear();
+  Fixture fx = make_fixture(0xFD);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  registry.install("area", fx.model);
+  serve::PredictService service(registry);
+  serve::PredictServer server(registry, service);
+  server.start();
+
+  opt::RemoteCostOptions options;
+  options.fallback = "proxy";  // configured but never needed
+  opt::RemoteCost remote("127.0.0.1", server.port(), "delay", "area", options);
+  opt::MlCost local(registry.get("delay"), registry.get("area"));
+
+  opt::SaParams params;
+  params.iterations = 30;
+  params.seed = 0xb17;
+  const opt::SaStrategy strategy(params);
+  const aig::Aig base = gen::multiplier(4);
+  const opt::OptResult over_wire = strategy.run(base, remote, {.max_iterations = 30});
+  const opt::OptResult in_process = strategy.run(base, local, {.max_iterations = 30});
+
+  ASSERT_EQ(over_wire.history.size(), in_process.history.size());
+  for (std::size_t i = 0; i < over_wire.history.size(); ++i) {
+    EXPECT_EQ(over_wire.history[i].delay, in_process.history[i].delay) << "iteration " << i;
+    EXPECT_EQ(over_wire.history[i].area, in_process.history[i].area) << "iteration " << i;
+    EXPECT_EQ(over_wire.history[i].accepted, in_process.history[i].accepted) << "iteration " << i;
+  }
+  EXPECT_EQ(over_wire.best_cost, in_process.best_cost);
+  EXPECT_EQ(over_wire.degraded_evals, 0u);
+  EXPECT_EQ(remote.degraded_evals(), 0u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace aigml

@@ -72,6 +72,36 @@ TEST(Robustness, AigerParserRejectsStructuredCorruptions) {
   }
 }
 
+TEST(Robustness, AigerRejectsHostileHeaderCounts) {
+  // A hostile header must be rejected before any allocation is sized from
+  // it — these throw immediately instead of attempting a huge reserve().
+  const std::vector<std::string> hostile = {
+      "aag 18446744073709551615 18446744073709551615 0 0 0\n",
+      "aag 536870912 536870912 0 0 0\n",  // over the per-field cap
+      "aag 4 2 0 0 2\n2\n4\n6 4 2\n6 4 2\n",  // duplicate AND definition
+      "aag 2 2 0 0 0\n2\n2\n",                // duplicate input definition
+      "aag 1 1 0 1 0\n2 junk\n2\n",           // trailing garbage on a line
+      "aag 1 1 0 1 0\n2\n2\niX name\n",       // non-numeric symbol index
+      "aag 1 1 0 1 0\n2\n2\ni99999999999999999999 n\n",  // index overflow
+  };
+  for (const auto& text : hostile) {
+    EXPECT_THROW((void)aig::from_aiger_string(text), std::exception) << text.substr(0, 40);
+  }
+}
+
+TEST(Robustness, BinaryAigerRejectsMalformedOutputsAndHeaders) {
+  const std::vector<std::string> hostile = {
+      "aig 18446744073709551615 18446744073709551615 0 0 0\n",
+      "aig 1 1 0 1 0\nxyz\n",   // non-numeric output literal (stoull garbage)
+      "aig 1 1 0 1 0\n\n",      // empty output line
+      "aig 1 1 0 1 0\n99999999999999999999\n",  // output literal overflow
+  };
+  for (const auto& text : hostile) {
+    std::stringstream s(text);
+    EXPECT_THROW((void)aig::read_aiger_binary(s), std::exception) << text.substr(0, 40);
+  }
+}
+
 TEST(Robustness, BinaryAigerRejectsFuzz) {
   Rng rng(0xF023);
   for (int trial = 0; trial < 200; ++trial) {
