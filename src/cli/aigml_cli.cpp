@@ -52,7 +52,10 @@
 #include "ml/gbdt.hpp"
 #include "netlist/verilog.hpp"
 #include "opt/recipe.hpp"
+#include "serve/batch_server.hpp"
+#include "serve/bin_client.hpp"
 #include "serve/client.hpp"
+#include "serve/loadgen.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -138,7 +141,10 @@ ArgParser serve_parser() {
       .option("host", "H", "bind address", "127.0.0.1")
       .option("batch", "N", "max requests coalesced per batch", "64")
       .option("wait-us", "U", "batch coalescing window in microseconds", "200")
-      .option("max-connections", "N", "shed connections beyond N with BUSY (0 = unlimited)", "64");
+      .option("max-connections", "N", "shed connections beyond N with BUSY (0 = unlimited)", "64")
+      .option("slots", "N", "in-flight request slots (event-loop server)", "256")
+      .option("max-inflight", "N", "per-connection outstanding cap before BUSY", "64")
+      .flag("legacy", "thread-per-connection server instead of the event loop");
   return p;
 }
 
@@ -159,10 +165,15 @@ ArgParser learn_parser() {
 ArgParser client_parser() {
   ArgParser p("client");
   p.positional("subcommand", "predict <model> <in.aag> | features <model> <f0> ... | "
-                             "reload | stats | ping")
+                             "reload | stats | ping | bench <in.aag>")
       .variadic("args", "subcommand arguments")
       .option("host", "H", "server address", "127.0.0.1")
-      .option("port", "P", "server port (required)");
+      .option("port", "P", "server port (required)")
+      .flag("binary", "speak the framed binary protocol instead of text")
+      .option("model", "NAME", "bench: model to query", "delay")
+      .option("concurrency", "N", "bench: concurrent connections", "8")
+      .option("requests", "M", "bench: total requests across all connections", "200")
+      .option("pipeline", "K", "bench: outstanding requests per connection", "8");
   return p;
 }
 
@@ -488,10 +499,6 @@ int cmd_serve(int argc, char** argv) {
   ArgParser args = serve_parser();
   args.parse(argc, argv);
   if (!args.has("models")) throw std::runtime_error("serve: --models DIR is required");
-  serve::ServerParams server_params;
-  server_params.host = args.get("host");
-  if (args.has("port")) server_params.port = args.get_port("port");
-  server_params.max_connections = static_cast<std::size_t>(args.get_int("max-connections"));
   serve::ServiceParams service_params;
   service_params.max_batch = args.get_int("batch");
   service_params.batch_wait_us = args.get_int("wait-us");
@@ -508,21 +515,49 @@ int cmd_serve(int argc, char** argv) {
 
   serve::ModelRegistry registry{std::filesystem::path(args.get("models"))};
   serve::PredictService service(registry, service_params);
-  serve::PredictServer server(registry, service, server_params);
-  server.start();
-  std::printf("aigml serve: listening on %s:%u (%zu model(s) from %s)\n",
-              server_params.host.c_str(), server.port(), registry.size(),
-              args.get("models").c_str());
-  for (const auto& info : registry.list()) {
-    std::printf("  model %-16s v%llu  %zu trees, %zu features\n", info.name.c_str(),
-                static_cast<unsigned long long>(info.version), info.num_trees,
-                info.num_features);
+
+  const auto banner = [&](std::uint16_t port, const char* kind) {
+    std::printf("aigml serve: listening on %s:%u (%zu model(s) from %s, %s)\n",
+                args.get("host").c_str(), port, registry.size(), args.get("models").c_str(),
+                kind);
+    for (const auto& info : registry.list()) {
+      std::printf("  model %-16s v%llu  %zu trees, %zu features\n", info.name.c_str(),
+                  static_cast<unsigned long long>(info.version), info.num_trees,
+                  info.num_features);
+    }
+    std::fflush(stdout);
+  };
+  const auto await_signal = [&mask] {
+    int sig = 0;
+    if (sigwait(&mask, &sig) != 0) sig = SIGTERM;
+    std::printf("aigml serve: caught signal %d — draining\n", sig);
+    std::fflush(stdout);
+  };
+
+  if (args.has("legacy")) {
+    serve::ServerParams server_params;
+    server_params.host = args.get("host");
+    if (args.has("port")) server_params.port = args.get_port("port");
+    server_params.max_connections = static_cast<std::size_t>(args.get_int("max-connections"));
+    serve::PredictServer server(registry, service, server_params);
+    server.start();
+    banner(server.port(), "thread-per-connection");
+    await_signal();
+    server.drain();
+    return 0;
   }
-  std::fflush(stdout);
-  int sig = 0;
-  if (sigwait(&mask, &sig) != 0) sig = SIGTERM;
-  std::printf("aigml serve: caught signal %d — draining\n", sig);
-  std::fflush(stdout);
+
+  serve::BatchServerParams server_params;
+  server_params.host = args.get("host");
+  if (args.has("port")) server_params.port = args.get_port("port");
+  server_params.max_connections = static_cast<std::size_t>(args.get_int("max-connections"));
+  server_params.slots = static_cast<std::size_t>(std::max(1, args.get_int("slots")));
+  server_params.max_inflight_per_conn =
+      static_cast<std::size_t>(std::max(1, args.get_int("max-inflight")));
+  serve::BatchServer server(registry, service, server_params);
+  server.start();
+  banner(server.port(), "event-loop");
+  await_signal();
   server.drain();
   return 0;
 }
@@ -609,6 +644,40 @@ int cmd_learn(int argc, char** argv) {
   }
 }
 
+/// `aigml client bench` — the event-loop load generator as a CLI: N
+/// concurrent connections, M FEATURES requests, K outstanding per
+/// connection, either dialect.  Prints a one-line JSON report (used by the
+/// CI concurrency smoke; bench/server_bench.cpp links run_loadgen directly).
+int cmd_client_bench(const ArgParser& args, const std::vector<std::string>& rest) {
+  if (rest.size() != 1) throw std::runtime_error("client bench: need <in.aag>");
+  const aig::Aig g = aig::read_aiger_file(rest[0]);
+  std::vector<double> row(features::kNumFeatures, 0.0);
+  features::extract_into(g, row);
+
+  serve::LoadGenParams params;
+  params.host = args.get("host");
+  params.port = args.get_port("port");
+  params.connections = static_cast<std::size_t>(std::max(1, args.get_int("concurrency")));
+  params.requests = static_cast<std::size_t>(std::max(1, args.get_int("requests")));
+  params.pipeline = static_cast<std::size_t>(std::max(1, args.get_int("pipeline")));
+  params.binary = args.has("binary");
+  params.model = args.get("model");
+  params.rows = {std::move(row)};
+  const serve::LoadGenResult r = run_loadgen(params);
+
+  std::printf("{\"connections\":%zu,\"requests\":%zu,\"pipeline\":%zu,\"binary\":%s,"
+              "\"ok\":%zu,\"busy\":%zu,\"errors\":%zu,\"seconds\":%.6f,"
+              "\"throughput_rps\":%.1f,\"latency_us\":{\"mean\":%.1f,\"p50\":%.1f,"
+              "\"p90\":%.1f,\"p99\":%.1f,\"max\":%.1f}}\n",
+              params.connections, params.requests, params.pipeline,
+              params.binary ? "true" : "false", r.ok, r.busy, r.errors, r.seconds,
+              r.throughput_rps, r.latency.mean_us(), r.latency.percentile_us(50),
+              r.latency.percentile_us(90), r.latency.percentile_us(99), r.latency.max_us());
+  // The load generator absorbs sheds and faults; a bench where *nothing*
+  // came back is the only hard failure.
+  return r.ok > 0 ? 0 : 1;
+}
+
 int cmd_client(int argc, char** argv) {
   ArgParser args = client_parser();
   args.parse(argc, argv);
@@ -616,33 +685,43 @@ int cmd_client(int argc, char** argv) {
   const std::string sub = args.get("subcommand");
   const std::vector<std::string>& rest = args.rest();
 
+  if (sub == "bench") return cmd_client_bench(args, rest);
+
+  // Same subcommands over either dialect; --binary swaps the transport.
+  const auto run = [&](auto& client) -> int {
+    if (sub == "predict") {
+      if (rest.size() != 2) throw std::runtime_error("client predict: need <model> <in.aag>");
+      const aig::Aig g = aig::read_aiger_file(rest[1]);
+      std::printf("%.17g\n", client.predict(rest[0], g));
+      return 0;
+    }
+    if (sub == "features") {
+      if (rest.size() < 2) throw std::runtime_error("client features: need <model> <f0> ...");
+      std::vector<double> row;
+      for (std::size_t i = 1; i < rest.size(); ++i) row.push_back(std::stod(rest[i]));
+      std::printf("%.17g\n", client.predict_features(rest[0], row));
+      return 0;
+    }
+    if (sub == "reload") {
+      std::printf("%s\n", client.reload().c_str());
+      return 0;
+    }
+    if (sub == "stats") {
+      std::printf("%s\n", client.stats().c_str());
+      return 0;
+    }
+    if (sub == "ping") {
+      std::printf("%s\n", client.ping().c_str());
+      return 0;
+    }
+    throw std::runtime_error("client: unknown subcommand '" + sub + "'");
+  };
+  if (args.has("binary")) {
+    serve::BinClient client(args.get("host"), args.get_port("port"));
+    return run(client);
+  }
   serve::Client client(args.get("host"), args.get_port("port"));
-  if (sub == "predict") {
-    if (rest.size() != 2) throw std::runtime_error("client predict: need <model> <in.aag>");
-    const aig::Aig g = aig::read_aiger_file(rest[1]);
-    std::printf("%.17g\n", client.predict(rest[0], g));
-    return 0;
-  }
-  if (sub == "features") {
-    if (rest.size() < 2) throw std::runtime_error("client features: need <model> <f0> ...");
-    std::vector<double> row;
-    for (std::size_t i = 1; i < rest.size(); ++i) row.push_back(std::stod(rest[i]));
-    std::printf("%.17g\n", client.predict_features(rest[0], row));
-    return 0;
-  }
-  if (sub == "reload") {
-    std::printf("%s\n", client.reload().c_str());
-    return 0;
-  }
-  if (sub == "stats") {
-    std::printf("%s\n", client.stats().c_str());
-    return 0;
-  }
-  if (sub == "ping") {
-    std::printf("%s\n", client.ping().c_str());
-    return 0;
-  }
-  throw std::runtime_error("client: unknown subcommand '" + sub + "'");
+  return run(client);
 }
 
 }  // namespace

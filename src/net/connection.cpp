@@ -1,0 +1,125 @@
+#include "net/connection.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace aigml::net {
+
+// Callback discipline: a callback may call close() on this connection (the
+// owner's error/shed paths do), but must not destroy the object until
+// control returns to the loop — BatchServer parks dying connections in a
+// graveyard cleared via loop_.post().  close() itself only releases the fd
+// and deregisters, so members stay valid for the rest of the method.
+
+Connection::Connection(EventLoop& loop, int fd, std::uint64_t id)
+    : loop_(loop), fd_(fd), id_(id) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  loop_.add(fd_, /*want_read=*/true, /*want_write=*/false, this);
+}
+
+Connection::~Connection() { close(); }
+
+void Connection::close() {
+  if (fd_ < 0) return;
+  loop_.remove(fd_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void Connection::update_interest() {
+  if (fd_ < 0) return;
+  loop_.modify(fd_, /*want_read=*/!paused_ && !eof_, /*want_write=*/want_write_);
+}
+
+void Connection::pause_reading() {
+  if (paused_) return;
+  paused_ = true;
+  update_interest();
+}
+
+void Connection::resume_reading() {
+  if (!paused_) return;
+  paused_ = false;
+  update_interest();
+  // Bytes may already be buffered in the kernel with the read edge long
+  // gone (edge-triggered): poke the read path instead of waiting for one.
+  if (fd_ >= 0) on_readable();
+}
+
+void Connection::fail(const std::string& what) {
+  close();
+  if (on_io_error) on_io_error(*this, what);
+}
+
+void Connection::on_readable() {
+  if (fd_ < 0 || paused_ || eof_) return;
+  bool got_data = false;
+  char chunk[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      read_ring_.append(chunk, static_cast<std::size_t>(n));
+      got_data = true;
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      update_interest();
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    fail(std::string("recv: ") + std::strerror(errno));
+    return;
+  }
+  // Callbacks last: either may close() this connection.
+  if (got_data && on_data) {
+    on_data(*this);
+    if (fd_ < 0) return;
+  }
+  if (eof_ && on_eof) on_eof(*this);
+}
+
+void Connection::queue_write(std::string_view bytes) {
+  if (fd_ < 0) return;
+  write_ring_.append(bytes);
+  flush_writes();
+}
+
+void Connection::flush_writes() {
+  if (fd_ < 0) return;
+  bool drained = false;
+  while (!write_ring_.empty()) {
+    const std::string_view pending = write_ring_.readable();
+    const ssize_t n = ::send(fd_, pending.data(), pending.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      write_ring_.consume(static_cast<std::size_t>(n));
+      if (write_ring_.empty()) drained = true;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!want_write_) {
+        want_write_ = true;
+        update_interest();
+      }
+      return;
+    }
+    fail(std::string("send: ") + std::strerror(errno));
+    return;
+  }
+  if (want_write_) {
+    want_write_ = false;
+    update_interest();
+  }
+  if (drained && on_write_drained) on_write_drained(*this);
+}
+
+void Connection::on_writable() { flush_writes(); }
+
+}  // namespace aigml::net

@@ -1,0 +1,84 @@
+#pragma once
+// Connection — a non-blocking socket bound to an EventLoop, with owned
+// read/write ByteRings (DESIGN.md §11).
+//
+// The transport layer only: it moves bytes between the socket and the two
+// rings and reports edges upward through callbacks.  Protocol decoding,
+// slot admission, and response ordering live in the owner (BatchServer /
+// the load generator), which installs the callbacks.  Everything here runs
+// on the loop thread.
+//
+// Backpressure contract: queue_write() never blocks and never fails — bytes
+// land in the write ring and drain as the socket accepts them.  The *owner*
+// watches write_pending() and pauses reading (pause_reading()) when a peer
+// stops consuming; on_write_drained fires when the ring empties so the
+// owner can resume.  This is the socket-level pushback half of the server's
+// backpressure story (the other half, per-connection request caps, lives in
+// the slot scheduler).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "net/event_loop.hpp"
+#include "net/ring.hpp"
+
+namespace aigml::net {
+
+class Connection : public EventHandler {
+ public:
+  /// Takes ownership of `fd` (sets it non-blocking) and registers with the
+  /// loop for reads.
+  Connection(EventLoop& loop, int fd, std::uint64_t id);
+  ~Connection() override;
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool closed() const noexcept { return fd_ < 0; }
+  [[nodiscard]] bool eof_seen() const noexcept { return eof_; }
+  [[nodiscard]] bool read_paused() const noexcept { return paused_; }
+
+  /// Bytes received but not yet consumed by the protocol decoder.
+  [[nodiscard]] ByteRing& read_ring() noexcept { return read_ring_; }
+  /// Bytes queued for the peer but not yet accepted by the socket.
+  [[nodiscard]] std::size_t write_pending() const noexcept { return write_ring_.size(); }
+
+  // Installed by the owner; all fire on the loop thread.
+  std::function<void(Connection&)> on_data;           ///< read ring grew
+  std::function<void(Connection&)> on_eof;            ///< peer half-closed
+  std::function<void(Connection&)> on_write_drained;  ///< write ring emptied
+  std::function<void(Connection&, const std::string&)> on_io_error;  ///< fatal
+
+  /// Appends to the write ring and flushes as much as the socket accepts.
+  void queue_write(std::string_view bytes);
+  /// Stops/raises read interest (owner-driven backpressure).
+  void pause_reading();
+  void resume_reading();
+  /// Deregisters from the loop and closes the fd.  Idempotent.  Does not
+  /// invoke callbacks.
+  void close();
+
+  // EventHandler (loop-internal)
+  void on_readable() override;
+  void on_writable() override;
+
+ private:
+  void update_interest();
+  void flush_writes();  ///< false alarm-safe: stops on EAGAIN
+  void fail(const std::string& what);
+
+  EventLoop& loop_;
+  int fd_ = -1;
+  std::uint64_t id_ = 0;
+  ByteRing read_ring_;
+  ByteRing write_ring_;
+  bool eof_ = false;
+  bool paused_ = false;
+  bool want_write_ = false;
+};
+
+}  // namespace aigml::net

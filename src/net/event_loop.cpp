@@ -1,0 +1,309 @@
+#include "net/event_loop.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define AIGML_HAVE_EPOLL 1
+#else
+#define AIGML_HAVE_EPOLL 0
+#endif
+
+#include "util/fault.hpp"
+
+namespace aigml::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+void set_nonblocking_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("event loop fcntl O_NONBLOCK");
+  }
+  (void)::fcntl(fd, F_SETFD, FD_CLOEXEC);
+}
+
+constexpr std::uint32_t kReadableBit = 1;
+constexpr std::uint32_t kWritableBit = 2;
+
+}  // namespace
+
+EventLoop::Backend EventLoop::default_backend() {
+  const char* env = std::getenv("AIGML_NET_BACKEND");
+  if (env != nullptr) {
+    if (std::strcmp(env, "poll") == 0) return Backend::kPoll;
+    if (std::strcmp(env, "epoll") == 0) return Backend::kEpoll;
+  }
+#if AIGML_HAVE_EPOLL
+  return Backend::kEpoll;
+#else
+  return Backend::kPoll;
+#endif
+}
+
+EventLoop::EventLoop(Backend backend) : backend_(backend) {
+#if AIGML_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  }
+#else
+  backend_ = Backend::kPoll;
+#endif
+  if (::pipe(wake_pipe_) != 0) {
+    throw_errno("event loop pipe");
+  }
+  set_nonblocking_cloexec(wake_pipe_[0]);
+  set_nonblocking_cloexec(wake_pipe_[1]);
+#if AIGML_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;  // level-triggered on purpose: never lose a wake
+    ev.data.fd = wake_pipe_[0];
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_pipe_[0], &ev) != 0) {
+      throw_errno("epoll_ctl add wake pipe");
+    }
+  }
+#endif
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void EventLoop::apply_interest(int fd, const Entry& entry, [[maybe_unused]] bool adding) {
+#if AIGML_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    // Edge-triggered: one notification per readiness edge; Connection code
+    // drains to EAGAIN, so no edge is ever left half-consumed.
+    ev.events = EPOLLET;
+    if (entry.want_read) ev.events |= EPOLLIN | EPOLLRDHUP;
+    if (entry.want_write) ev.events |= EPOLLOUT;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, adding ? EPOLL_CTL_ADD : EPOLL_CTL_MOD, fd, &ev) != 0) {
+      throw_errno("epoll_ctl");
+    }
+  }
+#endif
+  // Poll backend: interest is read out of handlers_ at wait time.
+}
+
+void EventLoop::add(int fd, bool want_read, bool want_write, EventHandler* handler) {
+  Entry entry{handler, want_read, want_write};
+  apply_interest(fd, entry, /*adding=*/true);
+  handlers_[fd] = entry;
+}
+
+void EventLoop::modify(int fd, bool want_read, bool want_write) {
+  const auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return;
+  if (it->second.want_read == want_read && it->second.want_write == want_write) return;
+  it->second.want_read = want_read;
+  it->second.want_write = want_write;
+  apply_interest(fd, it->second, /*adding=*/false);
+}
+
+void EventLoop::remove(int fd) {
+  if (handlers_.erase(fd) == 0) return;
+#if AIGML_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+}
+
+void EventLoop::wake() {
+  const char byte = 1;
+  // A full pipe already guarantees a pending wake; EAGAIN is success here.
+  while (::write(wake_pipe_[1], &byte, 1) < 0 && errno == EINTR) {
+  }
+}
+
+void EventLoop::drain_wake_pipe() {
+  char sink[256];
+  while (::read(wake_pipe_[0], sink, sizeof(sink)) > 0) {
+  }
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    const std::lock_guard lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void EventLoop::post_after(int delay_ms, std::function<void()> fn) {
+  {
+    const std::lock_guard lock(post_mutex_);
+    timers_.push_back(
+        {std::chrono::steady_clock::now() + std::chrono::milliseconds(delay_ms), std::move(fn)});
+  }
+  wake();
+}
+
+void EventLoop::stop() {
+  {
+    const std::lock_guard lock(post_mutex_);
+    stop_requested_ = true;
+  }
+  wake();
+}
+
+void EventLoop::run_posted() {
+  // Swap out under the lock, run outside it: a posted task may post again.
+  std::vector<std::function<void()>> ready;
+  {
+    const std::lock_guard lock(post_mutex_);
+    ready.swap(posted_);
+    if (!timers_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < timers_.size();) {
+        if (timers_[i].when <= now) {
+          ready.push_back(std::move(timers_[i].fn));
+          timers_[i] = std::move(timers_.back());
+          timers_.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+  for (auto& fn : ready) fn();
+}
+
+int EventLoop::next_timeout_ms() {
+  const std::lock_guard lock(post_mutex_);
+  if (stop_requested_ || !posted_.empty()) return 0;
+  if (timers_.empty()) return -1;
+  auto soonest = timers_.front().when;
+  for (const Timer& t : timers_) soonest = std::min(soonest, t.when);
+  const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+      soonest - std::chrono::steady_clock::now());
+  return static_cast<int>(std::max<long long>(0, remaining.count() + 1));
+}
+
+int EventLoop::wait_epoll([[maybe_unused]] int timeout_ms,
+                          [[maybe_unused]] std::vector<std::pair<int, std::uint32_t>>& out) {
+#if AIGML_HAVE_EPOLL
+  epoll_event events[128];
+  const int n = ::epoll_wait(epoll_fd_, events, 128, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw_errno("epoll_wait");
+  }
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_pipe_[0]) {
+      drain_wake_pipe();
+      continue;
+    }
+    std::uint32_t bits = 0;
+    // Error / hangup conditions surface as readable: the next read reports
+    // the error or EOF, which is exactly how handlers learn about them.
+    if (events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP)) bits |= kReadableBit;
+    if (events[i].events & EPOLLOUT) bits |= kWritableBit;
+    out.emplace_back(fd, bits);
+  }
+  return n;
+#else
+  return 0;
+#endif
+}
+
+int EventLoop::wait_poll(int timeout_ms, std::vector<std::pair<int, std::uint32_t>>& out) {
+  std::vector<pollfd> pfds;
+  pfds.reserve(handlers_.size() + 1);
+  pfds.push_back({wake_pipe_[0], POLLIN, 0});
+  for (const auto& [fd, entry] : handlers_) {
+    short events = 0;
+    if (entry.want_read) events |= POLLIN;
+    if (entry.want_write) events |= POLLOUT;
+    if (events != 0) pfds.push_back({fd, events, 0});
+  }
+  const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw_errno("poll");
+  }
+  for (const pollfd& pfd : pfds) {
+    if (pfd.revents == 0) continue;
+    if (pfd.fd == wake_pipe_[0]) {
+      drain_wake_pipe();
+      continue;
+    }
+    std::uint32_t bits = 0;
+    if (pfd.revents & (POLLIN | POLLERR | POLLHUP)) bits |= kReadableBit;
+    if (pfd.revents & POLLOUT) bits |= kWritableBit;
+    out.emplace_back(pfd.fd, bits);
+  }
+  return n;
+}
+
+void EventLoop::dispatch(int fd, bool readable, bool writable) {
+  // Re-look-up before each callback: the previous one may have removed us.
+  if (readable) {
+    const auto it = handlers_.find(fd);
+    if (it != handlers_.end() && it->second.want_read) it->second.handler->on_readable();
+  }
+  if (writable) {
+    const auto it = handlers_.find(fd);
+    if (it != handlers_.end() && it->second.want_write) it->second.handler->on_writable();
+  }
+}
+
+void EventLoop::dispatch_spurious() {
+  // Synthesized no-data readables for every registered fd: handlers must
+  // shrug (read -> EAGAIN -> return).  Snapshot first — handlers mutate the
+  // registration table.
+  std::vector<int> fds;
+  fds.reserve(handlers_.size());
+  for (const auto& [fd, entry] : handlers_) {
+    if (entry.want_read) fds.push_back(fd);
+  }
+  for (const int fd : fds) dispatch(fd, /*readable=*/true, /*writable=*/false);
+}
+
+void EventLoop::run() {
+  loop_thread_ = std::this_thread::get_id();
+  std::vector<std::pair<int, std::uint32_t>> events;
+  while (true) {
+    {
+      const std::lock_guard lock(post_mutex_);
+      if (stop_requested_) {
+        stop_requested_ = false;
+        break;
+      }
+    }
+    events.clear();
+    const int timeout_ms = next_timeout_ms();
+    if (backend_ == Backend::kEpoll) {
+      (void)wait_epoll(timeout_ms, events);
+    } else {
+      (void)wait_poll(timeout_ms, events);
+    }
+    for (const auto& [fd, bits] : events) {
+      dispatch(fd, (bits & kReadableBit) != 0, (bits & kWritableBit) != 0);
+    }
+    if (fault::fire(fault::Site::kNetEpollSpurious)) dispatch_spurious();
+    run_posted();
+  }
+  loop_thread_ = std::thread::id();
+}
+
+}  // namespace aigml::net

@@ -1,0 +1,111 @@
+#pragma once
+// EventLoop — the single-threaded reactor under serve::BatchServer and the
+// load generator (DESIGN.md §11).
+//
+// One thread owns the loop and every handler registered with it; all
+// fd-state mutation happens on that thread, so handlers need no locks.  The
+// only thread-safe entry points are post() / post_after() / stop(), which
+// enqueue work under a mutex and wake the loop through a self-pipe.
+//
+// Two backends behind one interface:
+//   kEpoll  edge-triggered epoll (Linux).  Handlers must drain their fd to
+//           EAGAIN on every notification — a partial read loses the rest of
+//           the data until the *next* edge.
+//   kPoll   level-triggered poll(2), the portable fallback.  Drain-to-EAGAIN
+//           handlers are correct here too (they simply never rely on the
+//           level re-notification), so connection code is backend-agnostic.
+// The default is epoll where available; AIGML_NET_BACKEND=poll forces the
+// fallback (CI exercises both).
+//
+// Fault site net.epoll_spurious (util/fault): when armed, a wait round also
+// dispatches a synthesized readable event to every registered handler —
+// the classic spurious-wakeup contract (epoll may over-report; handlers
+// must treat EAGAIN as "nothing there" and return).
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace aigml::net {
+
+/// Implemented by anything registered with EventLoop::add.  Callbacks run
+/// on the loop thread.
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+  virtual void on_readable() = 0;
+  virtual void on_writable() = 0;
+};
+
+class EventLoop {
+ public:
+  enum class Backend { kEpoll, kPoll };
+
+  /// epoll on Linux, poll elsewhere; AIGML_NET_BACKEND=poll|epoll overrides.
+  [[nodiscard]] static Backend default_backend();
+
+  explicit EventLoop(Backend backend = default_backend());
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  [[nodiscard]] Backend backend() const noexcept { return backend_; }
+
+  // ---- fd registration (loop thread only) -----------------------------------
+  void add(int fd, bool want_read, bool want_write, EventHandler* handler);
+  void modify(int fd, bool want_read, bool want_write);
+  void remove(int fd);
+  [[nodiscard]] std::size_t num_fds() const noexcept { return handlers_.size(); }
+
+  // ---- loop control ---------------------------------------------------------
+  /// Runs until stop().  Call from exactly one thread.
+  void run();
+  /// Thread-safe: makes run() return after the current iteration.
+  void stop();
+  /// Thread-safe: runs `fn` on the loop thread on the next iteration.
+  void post(std::function<void()> fn);
+  /// Thread-safe: runs `fn` on the loop thread once `delay_ms` elapsed.
+  void post_after(int delay_ms, std::function<void()> fn);
+  [[nodiscard]] bool in_loop_thread() const noexcept {
+    return std::this_thread::get_id() == loop_thread_;
+  }
+
+ private:
+  struct Entry {
+    EventHandler* handler = nullptr;
+    bool want_read = false;
+    bool want_write = false;
+  };
+  struct Timer {
+    std::chrono::steady_clock::time_point when;
+    std::function<void()> fn;
+  };
+
+  void wake();
+  void drain_wake_pipe();
+  void run_posted();
+  [[nodiscard]] int next_timeout_ms();
+  void apply_interest(int fd, const Entry& entry, bool adding);
+  void dispatch(int fd, bool readable, bool writable);
+  void dispatch_spurious();
+  [[nodiscard]] int wait_epoll(int timeout_ms, std::vector<std::pair<int, std::uint32_t>>& out);
+  [[nodiscard]] int wait_poll(int timeout_ms, std::vector<std::pair<int, std::uint32_t>>& out);
+
+  Backend backend_;
+  int epoll_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::unordered_map<int, Entry> handlers_;
+  std::thread::id loop_thread_;
+
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+  std::vector<Timer> timers_;  ///< unsorted; scanned per iteration (few timers)
+  bool stop_requested_ = false;
+};
+
+}  // namespace aigml::net

@@ -1,0 +1,189 @@
+#include "net/frame.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace aigml::net {
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+bool known_opcode(unsigned char op) {
+  switch (static_cast<Opcode>(op)) {
+    case Opcode::kPredict:
+    case Opcode::kFeatures:
+    case Opcode::kPing:
+    case Opcode::kStats:
+    case Opcode::kReload:
+    case Opcode::kQuit:
+    case Opcode::kValue:
+    case Opcode::kText:
+    case Opcode::kError:
+    case Opcode::kBusy:
+    case Opcode::kBye:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void append_frame(std::string& out, Opcode opcode, std::uint32_t request_id,
+                  std::string_view payload) {
+  out.reserve(out.size() + kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>(kFrameMagic));
+  out.push_back(static_cast<char>(kFrameVersion));
+  out.push_back(static_cast<char>(opcode));
+  out.push_back(0);  // reserved
+  put_u32(out, request_id);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+}
+
+DecodeStatus decode_header(std::string_view buffer, FrameHeader& out, std::string& error,
+                           std::size_t max_payload) {
+  if (buffer.empty()) return DecodeStatus::kNeedMore;
+  const auto* p = reinterpret_cast<const unsigned char*>(buffer.data());
+  if (p[0] != kFrameMagic) {
+    error = "bad frame magic";
+    return DecodeStatus::kMalformed;
+  }
+  if (buffer.size() < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+  if (p[1] != kFrameVersion) {
+    error = "unsupported frame version " + std::to_string(int{p[1]});
+    return DecodeStatus::kMalformed;
+  }
+  if (!known_opcode(p[2])) {
+    error = "unknown opcode " + std::to_string(int{p[2]});
+    return DecodeStatus::kMalformed;
+  }
+  out.opcode = static_cast<Opcode>(p[2]);
+  out.request_id = get_u32(p + 4);
+  out.payload_len = get_u32(p + 8);
+  if (max_payload > 0 && out.payload_len > max_payload) {
+    error = "frame payload " + std::to_string(out.payload_len) + " exceeds limit " +
+            std::to_string(max_payload);
+    return DecodeStatus::kMalformed;
+  }
+  return DecodeStatus::kFrame;
+}
+
+std::string make_predict_payload(std::string_view model, std::string_view aag) {
+  std::string out;
+  out.reserve(2 + model.size() + aag.size());
+  put_u16(out, static_cast<std::uint16_t>(model.size()));
+  out.append(model);
+  out.append(aag);
+  return out;
+}
+
+std::string make_features_payload(std::string_view model, const std::vector<double>& row) {
+  std::string out;
+  out.reserve(2 + model.size() + 4 + row.size() * 8);
+  put_u16(out, static_cast<std::uint16_t>(model.size()));
+  out.append(model);
+  put_u32(out, static_cast<std::uint32_t>(row.size()));
+  for (const double v : row) put_u64(out, std::bit_cast<std::uint64_t>(v));
+  return out;
+}
+
+std::string make_value_payload(double value) {
+  std::string out;
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+  return out;
+}
+
+bool parse_predict_payload(std::string_view payload, PredictPayload& out, std::string& error) {
+  if (payload.size() < 2) {
+    error = "PREDICT payload shorter than its model-length prefix";
+    return false;
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(payload.data());
+  const std::size_t model_len = get_u16(p);
+  if (payload.size() < 2 + model_len) {
+    error = "PREDICT model name truncated";
+    return false;
+  }
+  if (model_len == 0) {
+    error = "PREDICT model name empty";
+    return false;
+  }
+  out.model.assign(payload.substr(2, model_len));
+  out.aag.assign(payload.substr(2 + model_len));
+  if (out.aag.empty()) {
+    error = "PREDICT payload carries no AIGER document";
+    return false;
+  }
+  return true;
+}
+
+bool parse_features_payload(std::string_view payload, FeaturesPayload& out, std::string& error) {
+  if (payload.size() < 2) {
+    error = "FEATURES payload shorter than its model-length prefix";
+    return false;
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(payload.data());
+  const std::size_t model_len = get_u16(p);
+  if (model_len == 0 || payload.size() < 2 + model_len + 4) {
+    error = "FEATURES model name or row count truncated";
+    return false;
+  }
+  out.model.assign(payload.substr(2, model_len));
+  const std::size_t count = get_u32(p + 2 + model_len);
+  const std::size_t need = 2 + model_len + 4 + count * 8;
+  if (payload.size() != need) {
+    error = "FEATURES row length mismatch (header says " + std::to_string(count) +
+            " doubles, payload holds " + std::to_string((payload.size() - 2 - model_len - 4) / 8) +
+            ")";
+    return false;
+  }
+  out.row.resize(count);
+  const auto* rows = p + 2 + model_len + 4;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.row[i] = std::bit_cast<double>(get_u64(rows + i * 8));
+  }
+  return true;
+}
+
+double parse_value_payload(std::string_view payload) {
+  if (payload.size() != 8) {
+    throw std::runtime_error("VALUE payload must be exactly 8 bytes, got " +
+                             std::to_string(payload.size()));
+  }
+  return std::bit_cast<double>(
+      get_u64(reinterpret_cast<const unsigned char*>(payload.data())));
+}
+
+}  // namespace aigml::net

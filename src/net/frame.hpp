@@ -1,0 +1,106 @@
+#pragma once
+// Length-prefixed binary protocol spoken by serve::BatchServer, BinClient,
+// and the load generator (DESIGN.md §11).  Wire format, little-endian:
+//
+//   header (12 bytes):
+//     u8   magic    = 0xAB   (never a valid first byte of the text protocol,
+//                             so a server can sniff the dialect on byte one)
+//     u8   version  = 1
+//     u8   opcode
+//     u8   reserved = 0
+//     u32  request_id        (echoed in the response; responses may arrive
+//                             out of order, the id is how clients re-match)
+//     u32  payload_len
+//   payload (payload_len bytes):
+//     PREDICT   u16 model_len, model bytes, rest = AIGER text (no escaping —
+//               length-prefixing makes the newline folding of the text
+//               protocol unnecessary)
+//     FEATURES  u16 model_len, model bytes, u32 count, count * f64 bits
+//     VALUE     f64 bits (the prediction, exact — no decimal round trip)
+//     TEXT/ERROR/BUSY  UTF-8 message
+//     others    empty
+//
+// Doubles travel as their IEEE-754 bit pattern (via u64), so a value is
+// bit-identical on both ends by construction — the binary analogue of the
+// text protocol's %.17g round trip.
+//
+// Framing errors (bad magic mid-stream, unknown version, oversized payload)
+// are not recoverable — the stream position is lost — so the contract is:
+// respond ERROR once, then drop the connection.  Payload parse errors on a
+// well-framed request (truncated FEATURES row, unknown opcode) keep the
+// connection alive: the server answers ERROR with the request's id.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aigml::net {
+
+inline constexpr unsigned char kFrameMagic = 0xAB;
+inline constexpr unsigned char kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+enum class Opcode : unsigned char {
+  // requests
+  kPredict = 0x01,
+  kFeatures = 0x02,
+  kPing = 0x03,
+  kStats = 0x04,
+  kReload = 0x05,
+  kQuit = 0x06,
+  // responses
+  kValue = 0x81,
+  kText = 0x82,
+  kError = 0x83,
+  kBusy = 0x84,
+  kBye = 0x85,
+};
+
+struct FrameHeader {
+  Opcode opcode = Opcode::kPing;
+  std::uint32_t request_id = 0;
+  std::uint32_t payload_len = 0;
+};
+
+enum class DecodeStatus {
+  kNeedMore,   ///< not enough buffered bytes for a verdict
+  kFrame,      ///< header decoded; payload_len bytes follow the header
+  kMalformed,  ///< framing broken (magic/version/size) — drop the stream
+};
+
+/// Appends one complete frame (header + payload) to `out`.
+void append_frame(std::string& out, Opcode opcode, std::uint32_t request_id,
+                  std::string_view payload);
+
+/// Inspects the head of `buffer`.  On kMalformed, `error` says why.
+/// `max_payload` bounds payload_len (0 = unbounded).
+[[nodiscard]] DecodeStatus decode_header(std::string_view buffer, FrameHeader& out,
+                                         std::string& error, std::size_t max_payload);
+
+// ---- payload builders / parsers ---------------------------------------------
+
+[[nodiscard]] std::string make_predict_payload(std::string_view model, std::string_view aag);
+[[nodiscard]] std::string make_features_payload(std::string_view model,
+                                                const std::vector<double>& row);
+[[nodiscard]] std::string make_value_payload(double value);
+
+struct PredictPayload {
+  std::string model;
+  std::string aag;
+};
+struct FeaturesPayload {
+  std::string model;
+  std::vector<double> row;
+};
+
+/// Parsers return false and set `error` on a malformed payload.
+[[nodiscard]] bool parse_predict_payload(std::string_view payload, PredictPayload& out,
+                                         std::string& error);
+[[nodiscard]] bool parse_features_payload(std::string_view payload, FeaturesPayload& out,
+                                          std::string& error);
+/// Throws std::runtime_error when the payload is not exactly 8 bytes.
+[[nodiscard]] double parse_value_payload(std::string_view payload);
+
+}  // namespace aigml::net

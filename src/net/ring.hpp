@@ -1,0 +1,63 @@
+#pragma once
+// ByteRing — the owned read/write buffer of a net::Connection.
+//
+// Logically a byte ring: producers append at the tail, consumers pop from
+// the head, and storage is reclaimed as the head advances.  Physically it
+// is a compacting deque over one contiguous std::string, because both
+// protocol decoders (newline scan, length-prefixed frame parse) want a
+// contiguous readable() span — a wrapped circular buffer would force every
+// parser to stitch two spans back together.  Compaction is amortized: the
+// consumed prefix is only memmoved out when it dominates the buffer, so
+// per-byte cost stays O(1).
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace aigml::net {
+
+class ByteRing {
+ public:
+  /// Unconsumed bytes, contiguous, valid until the next append/consume.
+  [[nodiscard]] std::string_view readable() const noexcept {
+    return std::string_view(buffer_).substr(head_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size() - head_; }
+  [[nodiscard]] bool empty() const noexcept { return head_ == buffer_.size(); }
+
+  void append(std::string_view bytes) {
+    maybe_compact();
+    buffer_.append(bytes);
+  }
+  void append(const char* data, std::size_t n) { append(std::string_view(data, n)); }
+
+  /// Drops `n` bytes from the head (n must be <= size()).
+  void consume(std::size_t n) noexcept {
+    head_ = std::min(head_ + n, buffer_.size());
+    if (head_ == buffer_.size()) {
+      buffer_.clear();
+      head_ = 0;
+    }
+  }
+
+  void clear() noexcept {
+    buffer_.clear();
+    head_ = 0;
+  }
+
+ private:
+  void maybe_compact() {
+    // Reclaim the consumed prefix once it is both large and the majority of
+    // the allocation — O(1) amortized, and small buffers never memmove.
+    if (head_ >= 4096 && head_ * 2 >= buffer_.size()) {
+      buffer_.erase(0, head_);
+      head_ = 0;
+    }
+  }
+
+  std::string buffer_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace aigml::net

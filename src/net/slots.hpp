@@ -1,0 +1,93 @@
+#pragma once
+// SlotScheduler — continuous-batching admission control (DESIGN.md §11).
+//
+// A *slot* is one admitted request in flight through the PredictService:
+// acquired when the server submits the decoded request, released when its
+// completion comes back.  Because admitted requests join the service queue
+// immediately (the "immediate" submit path skips the coalescing window),
+// the in-flight batch keeps absorbing new arrivals for as long as slots are
+// free — batching emerges from service occupancy, not from a timer.
+//
+// Fairness: connections with decodable work wait in a round-robin ready
+// ring and are advanced one request per visit, so a client that pipelines
+// hundreds of requests cannot starve one that sends a single request —
+// it gets re-queued behind everyone else after every admission.  When the
+// slots are exhausted, connections park in a separate FIFO and re-enter the
+// ready ring as completions free slots.
+//
+// Loop-thread only; no locks.  The aggregate counters feed the STATS
+// "slots" block.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace aigml::net {
+
+struct SlotStats {
+  std::size_t total = 0;           ///< configured slot count
+  std::size_t busy = 0;            ///< requests currently in flight
+  std::size_t peak_busy = 0;       ///< high-water mark of busy
+  std::uint64_t admitted = 0;      ///< requests that ever acquired a slot
+  std::uint64_t completed = 0;     ///< slots released
+  std::uint64_t shed_conn_cap = 0; ///< requests answered BUSY (per-conn cap)
+  std::uint64_t parked_waits = 0;  ///< admissions that had to wait for a slot
+};
+
+class SlotScheduler {
+ public:
+  explicit SlotScheduler(std::size_t total) { stats_.total = total == 0 ? 1 : total; }
+
+  [[nodiscard]] bool acquire() noexcept {
+    if (stats_.busy >= stats_.total) return false;
+    ++stats_.busy;
+    ++stats_.admitted;
+    if (stats_.busy > stats_.peak_busy) stats_.peak_busy = stats_.busy;
+    return true;
+  }
+
+  void release() noexcept {
+    if (stats_.busy > 0) --stats_.busy;
+    ++stats_.completed;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return stats_.busy >= stats_.total; }
+
+  // ---- round-robin ready ring (caller guarantees no duplicate ids) ----------
+  void push_ready(std::uint64_t conn_id) { ready_.push_back(conn_id); }
+  [[nodiscard]] std::optional<std::uint64_t> pop_ready() {
+    if (ready_.empty()) return std::nullopt;
+    const std::uint64_t id = ready_.front();
+    ready_.pop_front();
+    return id;
+  }
+  [[nodiscard]] bool has_ready() const noexcept { return !ready_.empty(); }
+
+  // ---- park FIFO: decoded requests waiting for a free slot ------------------
+  void park(std::uint64_t conn_id) {
+    parked_.push_back(conn_id);
+    ++stats_.parked_waits;
+  }
+  /// Re-park at the head without re-counting the wait (used when an unpark
+  /// races a slot away — the connection keeps its place in line).
+  void park_front(std::uint64_t conn_id) { parked_.push_front(conn_id); }
+  [[nodiscard]] std::optional<std::uint64_t> pop_parked() {
+    if (parked_.empty()) return std::nullopt;
+    const std::uint64_t id = parked_.front();
+    parked_.pop_front();
+    return id;
+  }
+  [[nodiscard]] bool has_parked() const noexcept { return !parked_.empty(); }
+
+  void count_conn_cap_shed() noexcept { ++stats_.shed_conn_cap; }
+
+  [[nodiscard]] const SlotStats& stats() const noexcept { return stats_; }
+
+ private:
+  SlotStats stats_;
+  std::deque<std::uint64_t> ready_;
+  std::deque<std::uint64_t> parked_;
+};
+
+}  // namespace aigml::net

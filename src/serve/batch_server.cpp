@@ -1,0 +1,598 @@
+#include "serve/batch_server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "aig/aiger.hpp"
+#include "serve/protocol.hpp"
+#include "serve/stats_json.hpp"
+#include "util/fault.hpp"
+
+namespace aigml::serve {
+
+bool BatchServer::Router::post(std::function<void()> fn) {
+  const std::lock_guard lock(mutex);
+  if (loop == nullptr) return false;
+  loop->post(std::move(fn));
+  return true;
+}
+
+BatchServer::BatchServer(ModelRegistry& registry, PredictService& service,
+                         BatchServerParams params)
+    : registry_(registry),
+      service_(service),
+      params_(std::move(params)),
+      loop_(params_.backend),
+      sched_(params_.slots),
+      router_(std::make_shared<Router>()) {
+  router_->loop = &loop_;
+}
+
+BatchServer::~BatchServer() { stop(); }
+
+void BatchServer::start() {
+  listener_ = std::make_unique<TcpListener>(params_.host, params_.port);
+  // The reactor accepts; the fd must never block it.
+  const int fd = listener_->fd();
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error("BatchServer: listener O_NONBLOCK failed");
+  }
+  loop_.add(fd, /*want_read=*/true, /*want_write=*/false, this);
+  started_ = true;
+  loop_thread_ = std::thread([this] { loop_.run(); });
+}
+
+std::uint16_t BatchServer::port() const {
+  if (listener_ == nullptr) throw std::logic_error("BatchServer::port: not started");
+  return listener_->port();
+}
+
+void BatchServer::wait() {
+  const std::lock_guard lock(join_mutex_);
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+void BatchServer::stop() {
+  const std::lock_guard lifecycle(lifecycle_mutex_);
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  loop_.stop();
+  wait();
+  {
+    // Completions that arrive from here on are dropped at the router.
+    const std::lock_guard lock(router_->mutex);
+    router_->loop = nullptr;
+  }
+  // The loop is down: this thread is the only one touching conns now.
+  for (auto& [id, conn] : conns_) conn->sock->close();
+  conns_.clear();
+  graveyard_.clear();
+  if (listener_ != nullptr) listener_->close();
+}
+
+void BatchServer::drain() {
+  if (!started_) return;
+  router_->post([this] {
+    if (draining_) return;
+    draining_ = true;
+    if (listener_ != nullptr) {
+      loop_.remove(listener_->fd());
+      listener_->close();
+    }
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) ids.push_back(id);
+    for (const std::uint64_t id : ids) {
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      Conn& c = *it->second;
+      // No new requests: undecoded input is discarded, in-flight work is
+      // completed and flushed, then maybe_close() hangs up.
+      c.close_after_flush = true;
+      maybe_close(c);
+    }
+    maybe_finish_drain();
+  });
+  wait();
+  stop();  // releases the remaining resources; the loop has already exited
+}
+
+net::SlotStats BatchServer::slot_stats() const {
+  auto promise = std::make_shared<std::promise<net::SlotStats>>();
+  auto future = promise->get_future();
+  auto* self = const_cast<BatchServer*>(this);
+  if (!self->router_->post([self, promise] { promise->set_value(self->sched_.stats()); })) {
+    return sched_.stats();  // loop stopped: reads race nothing
+  }
+  if (future.wait_for(std::chrono::seconds(5)) != std::future_status::ready) {
+    return sched_.stats();  // loop died mid-request; best effort
+  }
+  return future.get();
+}
+
+// ---- accept -----------------------------------------------------------------
+
+void BatchServer::on_readable() {
+  while (true) {
+    const int fd = ::accept(listener_->fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or transient error: wait for the next edge
+    }
+    if (fault::fire(fault::Site::kNetAccept)) {
+      // Chaos: the connection vanishes right after the TCP handshake — the
+      // client sees an immediate EOF, exactly like an acceptor crash.
+      ::close(fd);
+      continue;
+    }
+    if (params_.max_connections > 0 && conns_.size() >= params_.max_connections) {
+      // Shed loudly, like the legacy server: a silent drop is
+      // indistinguishable from a crash.  Best-effort, non-blocking.
+      const std::string line = "BUSY connections=" + std::to_string(conns_.size()) + "\n";
+      (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::make_unique<net::Connection>(loop_, fd, id);
+    conn->sock->on_data = [this](net::Connection& s) { handle_data(s.id()); };
+    conn->sock->on_eof = [this](net::Connection& s) { handle_eof(s.id()); };
+    conn->sock->on_write_drained = [this](net::Connection& s) { handle_write_drained(s.id()); };
+    conn->sock->on_io_error = [this](net::Connection& s, const std::string&) {
+      handle_io_error(s.id());
+    };
+    conns_.emplace(id, std::move(conn));
+  }
+}
+
+// ---- connection events ------------------------------------------------------
+
+void BatchServer::handle_data(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+  if (!c.in_ready && !c.parked && !c.close_after_flush && has_complete_message(c)) {
+    sched_.push_ready(id);
+    c.in_ready = true;
+  }
+  pump();
+}
+
+void BatchServer::handle_eof(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  // Half-close: the peer is done sending but still wants its answers.
+  // Decoding of already-buffered requests continues; maybe_close() hangs up
+  // once everything decoded has been answered and flushed.
+  maybe_close(*it->second);
+}
+
+void BatchServer::handle_write_drained(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+  if (c.bp_paused && !c.close_after_flush) {
+    c.bp_paused = false;
+    c.sock->resume_reading();  // may re-enter handle_data(); pump() is guarded
+  }
+  maybe_close(c);
+}
+
+void BatchServer::handle_io_error(std::uint64_t id) { close_conn(id); }
+
+// ---- decode / dispatch ------------------------------------------------------
+
+bool BatchServer::has_complete_message(const Conn& c) const {
+  const auto& ring = const_cast<Conn&>(c).sock->read_ring();
+  if (ring.empty()) return false;
+  switch (c.mode) {
+    case Mode::kDetect:
+      return true;  // one byte decides the dialect
+    case Mode::kText:
+      return ring.readable().find('\n') != std::string_view::npos ||
+             (params_.max_line_bytes > 0 && ring.size() > params_.max_line_bytes);
+    case Mode::kBinary: {
+      net::FrameHeader header;
+      std::string error;
+      const net::DecodeStatus status =
+          net::decode_header(ring.readable(), header, error, params_.max_payload_bytes);
+      if (status == net::DecodeStatus::kMalformed) return true;  // "message" = the error
+      if (status == net::DecodeStatus::kNeedMore) return false;
+      return ring.size() >= net::kFrameHeaderBytes + header.payload_len;
+    }
+  }
+  return false;
+}
+
+void BatchServer::pump() {
+  if (pumping_) return;
+  pumping_ = true;
+  while (const std::optional<std::uint64_t> id = sched_.pop_ready()) {
+    const auto it = conns_.find(*id);
+    if (it == conns_.end()) continue;
+    it->second->in_ready = false;
+    if (it->second->parked || it->second->close_after_flush) continue;
+    process_one(*it->second);
+    // Re-look-up: processing may have closed (and reaped) the connection.
+    const auto again = conns_.find(*id);
+    if (again == conns_.end()) continue;
+    Conn& c = *again->second;
+    if (!c.in_ready && !c.parked && !c.close_after_flush && has_complete_message(c)) {
+      sched_.push_ready(*id);
+      c.in_ready = true;
+    } else {
+      maybe_close(c);  // EOF + ring exhausted + nothing in flight => hang up
+    }
+  }
+  pumping_ = false;
+}
+
+void BatchServer::process_one(Conn& c) {
+  net::ByteRing& ring = c.sock->read_ring();
+  if (c.mode == Mode::kDetect) {
+    c.mode = static_cast<unsigned char>(ring.readable().front()) == net::kFrameMagic
+                 ? Mode::kBinary
+                 : Mode::kText;
+  }
+
+  if (c.mode == Mode::kText) {
+    const std::string_view view = ring.readable();
+    const std::size_t pos = view.find('\n');
+    if (pos == std::string_view::npos) {
+      if (params_.max_line_bytes > 0 && ring.size() > params_.max_line_bytes) {
+        // Same contract as LineReader's std::length_error path: explain,
+        // then drop — the stream position is unrecoverable.
+        text_reply(c, "ERR request line exceeds " + std::to_string(params_.max_line_bytes) +
+                          " bytes");
+        c.close_after_flush = true;
+        ring.clear();
+        maybe_close(c);
+      }
+      return;
+    }
+    std::string line(view.substr(0, pos));
+    ring.consume(pos + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) return;
+    process_text_line(c, line);
+    return;
+  }
+
+  net::FrameHeader header;
+  std::string error;
+  const net::DecodeStatus status =
+      net::decode_header(ring.readable(), header, error, params_.max_payload_bytes);
+  if (status == net::DecodeStatus::kMalformed) {
+    frame_reply(c, net::Opcode::kError, 0, "malformed frame: " + error);
+    c.close_after_flush = true;
+    ring.clear();
+    maybe_close(c);
+    return;
+  }
+  if (status == net::DecodeStatus::kNeedMore ||
+      ring.size() < net::kFrameHeaderBytes + header.payload_len) {
+    return;
+  }
+  std::string payload(ring.readable().substr(net::kFrameHeaderBytes, header.payload_len));
+  ring.consume(net::kFrameHeaderBytes + header.payload_len);
+  process_binary_frame(c, header, std::move(payload));
+}
+
+void BatchServer::process_text_line(Conn& c, const std::string& line) {
+  const RequestLine request = split_request_line(line);
+  try {
+    if (request.command == "PING") return text_reply(c, "OK pong");
+    if (request.command == "QUIT") {
+      c.close_after_flush = true;
+      text_reply(c, "OK bye");
+      return maybe_close(c);
+    }
+    if (request.command == "RELOAD") {
+      // Inline on the reactor thread: a rare admin operation; requests
+      // queued behind it wait out the (model-load-sized) pause.
+      const ReloadReport report = registry_.reload();
+      std::string response = "OK loaded=" + std::to_string(report.loaded) +
+                             " unchanged=" + std::to_string(report.unchanged) +
+                             " errors=" + std::to_string(report.errors.size());
+      for (const std::string& e : report.errors) response += " [" + sanitize_message(e) + "]";
+      return text_reply(c, std::move(response));
+    }
+    if (request.command == "STATS") return text_reply(c, "OK " + stats_reply());
+
+    if (request.command == "PREDICT") {
+      if (request.arg.empty() || request.payload.empty()) {
+        return text_reply(c, "ERR usage: PREDICT <model> <escaped-aag>");
+      }
+      Pending p;
+      p.model = request.arg;
+      p.graph = aig::from_aiger_string(unescape_line(request.payload));
+      return admit_or_park(c, std::move(p));
+    }
+    if (request.command == "FEATURES") {
+      if (request.arg.empty() || request.payload.empty()) {
+        return text_reply(c, "ERR usage: FEATURES <model> <f0> <f1> ...");
+      }
+      std::istringstream in(request.payload);
+      std::vector<double> row;
+      double v = 0.0;
+      while (in >> v) row.push_back(v);
+      if (!in.eof()) return text_reply(c, "ERR FEATURES: non-numeric feature value");
+      Pending p;
+      p.features = true;
+      p.model = request.arg;
+      p.row = std::move(row);
+      return admit_or_park(c, std::move(p));
+    }
+
+    return text_reply(c, "ERR unknown command '" + sanitize_message(request.command) + "'");
+  } catch (const std::exception& e) {
+    return text_reply(c, "ERR " + sanitize_message(e.what()));
+  }
+}
+
+void BatchServer::process_binary_frame(Conn& c, const net::FrameHeader& header,
+                                       std::string payload) {
+  const std::uint32_t rid = header.request_id;
+  try {
+    switch (header.opcode) {
+      case net::Opcode::kPing:
+        return frame_reply(c, net::Opcode::kText, rid, "pong");
+      case net::Opcode::kQuit:
+        c.close_after_flush = true;
+        frame_reply(c, net::Opcode::kBye, rid, "");
+        return maybe_close(c);
+      case net::Opcode::kStats:
+        return frame_reply(c, net::Opcode::kText, rid, stats_reply());
+      case net::Opcode::kReload: {
+        const ReloadReport report = registry_.reload();
+        std::string response = "loaded=" + std::to_string(report.loaded) +
+                               " unchanged=" + std::to_string(report.unchanged) +
+                               " errors=" + std::to_string(report.errors.size());
+        for (const std::string& e : report.errors) response += " [" + sanitize_message(e) + "]";
+        return frame_reply(c, net::Opcode::kText, rid, response);
+      }
+      case net::Opcode::kPredict: {
+        net::PredictPayload body;
+        std::string error;
+        if (!net::parse_predict_payload(payload, body, error)) {
+          return frame_reply(c, net::Opcode::kError, rid, error);
+        }
+        Pending p;
+        p.binary = true;
+        p.rid = rid;
+        p.model = std::move(body.model);
+        p.graph = aig::from_aiger_string(body.aag);
+        return admit_or_park(c, std::move(p));
+      }
+      case net::Opcode::kFeatures: {
+        net::FeaturesPayload body;
+        std::string error;
+        if (!net::parse_features_payload(payload, body, error)) {
+          return frame_reply(c, net::Opcode::kError, rid, error);
+        }
+        Pending p;
+        p.features = true;
+        p.binary = true;
+        p.rid = rid;
+        p.model = std::move(body.model);
+        p.row = std::move(body.row);
+        return admit_or_park(c, std::move(p));
+      }
+      default:
+        // A response opcode sent as a request: well-framed, so the stream
+        // stays in sync — answer and keep the connection.
+        return frame_reply(c, net::Opcode::kError, rid, "opcode is not a request");
+    }
+  } catch (const std::exception& e) {
+    return frame_reply(c, net::Opcode::kError, rid, sanitize_message(e.what()));
+  }
+}
+
+void BatchServer::admit_or_park(Conn& c, Pending p) {
+  if (c.inflight >= params_.max_inflight_per_conn) {
+    // Per-connection cap: explicit shed, the client backs off and retries.
+    sched_.count_conn_cap_shed();
+    if (p.binary) {
+      frame_reply(c, net::Opcode::kBusy, p.rid,
+                  "inflight=" + std::to_string(c.inflight));
+    } else {
+      text_reply(c, "BUSY inflight=" + std::to_string(c.inflight));
+    }
+    return;
+  }
+  if (!p.binary) p.seq = reserve_seq(c);
+  if (!sched_.acquire()) {
+    // All slots busy: hold the decoded request and this connection's place
+    // in line; decoding from this connection stalls until a slot frees.
+    c.parked = true;
+    c.parked_req = std::move(p);
+    sched_.park(c.sock->id());
+    return;
+  }
+  submit_admitted(c, std::move(p));
+}
+
+void BatchServer::submit_admitted(Conn& c, Pending p) {
+  ++c.inflight;
+  const std::uint64_t id = c.sock->id();
+  auto router = router_;
+  auto complete = [this, router, id, binary = p.binary, rid = p.rid,
+                   seq = p.seq](double value, std::exception_ptr eptr) {
+    // Drainer thread.  net.slot_stall delays *delivery*, after the service
+    // already finished the work — the reactor and its other connections
+    // keep flowing while this completion sits on the fault clock.
+    fault::maybe_delay(fault::Site::kNetSlotStall);
+    std::string error;
+    const bool failed = eptr != nullptr;
+    if (failed) {
+      try {
+        std::rethrow_exception(eptr);
+      } catch (const std::exception& e) {
+        error = e.what();
+      } catch (...) {
+        error = "unknown error";
+      }
+    }
+    (void)router->post([this, id, binary, rid, seq, value, failed, error = std::move(error)] {
+      on_completion(id, binary, rid, seq, value, failed, error);
+    });
+  };
+  if (p.features) {
+    service_.submit_features_async(std::move(p.model), std::move(p.row), std::move(complete));
+  } else {
+    service_.submit_async(std::move(p.model), std::move(*p.graph), std::move(complete));
+  }
+}
+
+void BatchServer::on_completion(std::uint64_t id, bool binary, std::uint32_t rid,
+                                std::uint64_t seq, double value, bool failed,
+                                const std::string& error) {
+  sched_.release();
+  unpark_one();  // the freed slot goes to the longest-parked connection first
+  const auto it = conns_.find(id);
+  if (it != conns_.end() && fault::fire(fault::Site::kServerKill)) {
+    // Same chaos contract as the legacy server: vanish instead of replying.
+    close_conn(id);
+    pump();
+    return;
+  }
+  if (it != conns_.end()) {
+    Conn& c = *it->second;
+    if (c.inflight > 0) --c.inflight;
+    if (binary) {
+      if (failed) {
+        frame_reply(c, net::Opcode::kError, rid, sanitize_message(error));
+      } else {
+        frame_reply(c, net::Opcode::kValue, rid, net::make_value_payload(value));
+      }
+    } else {
+      fill_ordered(c, seq,
+                   failed ? "ERR " + sanitize_message(error) : "OK " + format_double(value));
+    }
+    maybe_close(c);
+  }
+  pump();  // an unparked connection may have more buffered requests
+}
+
+void BatchServer::unpark_one() {
+  while (const std::optional<std::uint64_t> id = sched_.pop_parked()) {
+    const auto it = conns_.find(*id);
+    if (it == conns_.end()) continue;  // died while parked; try the next one
+    Conn& c = *it->second;
+    c.parked = false;
+    if (c.parked_req.has_value()) {
+      if (!sched_.acquire()) {
+        c.parked = true;
+        sched_.park_front(*id);
+        return;
+      }
+      Pending p = std::move(*c.parked_req);
+      c.parked_req.reset();
+      submit_admitted(c, std::move(p));
+    }
+    if (!c.in_ready && !c.close_after_flush && has_complete_message(c)) {
+      sched_.push_ready(*id);
+      c.in_ready = true;
+    }
+    return;
+  }
+}
+
+// ---- responses --------------------------------------------------------------
+
+std::uint64_t BatchServer::reserve_seq(Conn& c) {
+  c.ordered.emplace_back(std::nullopt);
+  return c.next_seq++;
+}
+
+void BatchServer::fill_ordered(Conn& c, std::uint64_t seq, std::string line) {
+  const std::uint64_t index = seq - c.base_seq;
+  if (index >= c.ordered.size()) return;  // closed/reset connection
+  c.ordered[index] = std::move(line);
+  flush_ordered(c);
+}
+
+void BatchServer::flush_ordered(Conn& c) {
+  std::string out;
+  while (!c.ordered.empty() && c.ordered.front().has_value()) {
+    out += *c.ordered.front();
+    out += '\n';
+    c.ordered.pop_front();
+    ++c.base_seq;
+  }
+  if (!out.empty()) send_to(c, out);
+}
+
+void BatchServer::text_reply(Conn& c, std::string line) {
+  const std::uint64_t seq = reserve_seq(c);
+  fill_ordered(c, seq, std::move(line));
+}
+
+void BatchServer::frame_reply(Conn& c, net::Opcode op, std::uint32_t rid,
+                              std::string_view payload) {
+  std::string out;
+  net::append_frame(out, op, rid, payload);
+  send_to(c, out);
+}
+
+void BatchServer::send_to(Conn& c, std::string_view bytes) {
+  if (c.sock->closed()) return;
+  c.sock->queue_write(bytes);
+  if (!c.sock->closed() && !c.bp_paused && !c.sock->read_paused() &&
+      c.sock->write_pending() > params_.max_write_buffer) {
+    // Socket-level backpressure: the peer is not reading its responses, so
+    // stop reading its requests — TCP pushes back on the peer from here.
+    c.bp_paused = true;
+    c.sock->pause_reading();
+  }
+}
+
+std::string BatchServer::stats_reply() {
+  const net::SlotStats slots = sched_.stats();
+  return render_stats_json(registry_, service_.stats(), &slots);
+}
+
+// ---- lifecycle --------------------------------------------------------------
+
+void BatchServer::close_conn(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  it->second->sock->close();
+  // Defer destruction: we may be inside one of this connection's callbacks.
+  graveyard_.push_back(std::move(it->second));
+  conns_.erase(it);
+  if (graveyard_.size() == 1) {
+    (void)router_->post([this] { graveyard_.clear(); });
+  }
+  maybe_finish_drain();
+}
+
+void BatchServer::maybe_close(Conn& c) {
+  if (c.sock->closed()) return;
+  const bool done_reading = c.close_after_flush || c.sock->eof_seen();
+  if (!done_reading) return;
+  if (!c.close_after_flush && has_complete_message(c)) return;  // still decodable input
+  if (c.inflight > 0 || c.parked_req.has_value()) return;
+  if (!c.ordered.empty() || c.sock->write_pending() > 0) return;
+  close_conn(c.sock->id());
+}
+
+void BatchServer::maybe_finish_drain() {
+  if (draining_ && conns_.empty()) loop_.stop();
+}
+
+}  // namespace aigml::serve

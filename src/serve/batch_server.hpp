@@ -1,0 +1,192 @@
+#pragma once
+// BatchServer — continuous-batching event-loop predict server (DESIGN.md §11).
+//
+// One reactor thread owns every connection: a net::EventLoop (epoll
+// edge-triggered on Linux, poll elsewhere or via AIGML_NET_BACKEND=poll)
+// dispatches readable/writable edges to net::Connection objects, the server
+// decodes requests out of their read rings, and a net::SlotScheduler admits
+// them straight into the PredictService's *in-flight* batch via the
+// immediate submit path — no drain-window wait, batches form from whatever
+// arrived while the previous batch was being predicted.  Completions hop
+// back from the drainer thread to the reactor via EventLoop::post and are
+// written out as they land.
+//
+// Protocols: the text dialect of serve::PredictServer (unchanged — existing
+// clients and flow::RemoteCost work as-is) and the net/frame.hpp binary
+// protocol, auto-detected per connection on the first byte (0xAB is not a
+// printable command initial).  Text responses are re-serialised in request
+// order through a per-connection sequence queue even though completions
+// arrive out of order; binary responses go out in completion order carrying
+// the request's id.
+//
+// Backpressure, two layers:
+//   * per-connection: more than `max_inflight_per_conn` outstanding
+//     requests => explicit BUSY for the excess request;
+//   * socket-level: a write ring above `max_write_buffer` pauses reads on
+//     that connection until the peer drains it — a slow reader throttles
+//     itself, never its neighbours.
+// Fairness: connections with decodable input wait in a round-robin ring and
+// advance one request per visit.
+//
+// Shutdown: stop() is immediate (in-flight responses may be cut off);
+// drain() stops accepting, stops decoding new requests, completes and
+// flushes everything in flight, then closes — the SIGTERM path.
+//
+// Fault sites: net.accept (a just-accepted connection is closed again),
+// net.epoll_spurious (loop-level, see EventLoop), net.slot_stall (completion
+// delivery delayed on the drainer thread).
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/slots.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
+#include "util/socket.hpp"
+
+namespace aigml::serve {
+
+struct BatchServerParams {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;                ///< 0 = ephemeral, query via port()
+  std::size_t max_line_bytes = 1 << 20;  ///< text mode: bound on one request line
+  std::size_t max_payload_bytes = 1 << 20;  ///< binary mode: bound on one payload
+  std::size_t max_connections = 1024;       ///< accept-time shed bound; 0 = unlimited
+  std::size_t slots = 256;                  ///< global in-flight request bound
+  std::size_t max_inflight_per_conn = 64;   ///< per-connection bound => BUSY
+  std::size_t max_write_buffer = 4u << 20;  ///< pause reads above this backlog
+  net::EventLoop::Backend backend = net::EventLoop::default_backend();
+};
+
+class BatchServer : private net::EventHandler {
+ public:
+  BatchServer(ModelRegistry& registry, PredictService& service, BatchServerParams params = {});
+  ~BatchServer() override;
+
+  BatchServer(const BatchServer&) = delete;
+  BatchServer& operator=(const BatchServer&) = delete;
+
+  /// Binds, listens, and starts the reactor thread.
+  void start();
+  [[nodiscard]] std::uint16_t port() const;
+  /// Blocks until the reactor exits (stop(), or drain() finishing).
+  void wait();
+  /// Hard stop: the reactor exits at the next iteration, connections close.
+  void stop();
+  /// Graceful: refuse new connections and new requests, complete and flush
+  /// all in-flight work, then close everything and return.
+  void drain();
+
+  /// Snapshot of the slot scheduler, fetched on the reactor thread.  For
+  /// external threads (tests, monitoring); do not call from a completion.
+  [[nodiscard]] net::SlotStats slot_stats() const;
+
+ private:
+  enum class Mode : unsigned char { kDetect, kText, kBinary };
+
+  /// A decoded PREDICT/FEATURES request waiting for (or holding) a slot.
+  struct Pending {
+    bool features = false;
+    bool binary = false;
+    std::string model;
+    std::optional<aig::Aig> graph;  ///< PREDICT: parsed at decode time
+    std::vector<double> row;        ///< FEATURES
+    std::uint32_t rid = 0;          ///< binary request id
+    std::uint64_t seq = 0;          ///< text ordering slot
+  };
+
+  struct Conn {
+    std::unique_ptr<net::Connection> sock;
+    Mode mode = Mode::kDetect;
+    std::size_t inflight = 0;     ///< admitted, completion not yet delivered
+    bool in_ready = false;        ///< sitting in the scheduler's ready ring
+    bool parked = false;          ///< holding parked_req, waiting for a slot
+    bool bp_paused = false;       ///< reads paused by write-ring backpressure
+    bool close_after_flush = false;  ///< QUIT / protocol violation / drain
+    std::optional<Pending> parked_req;
+    // Text responses in request order: ordered[i] answers request
+    // base_seq + i; a slot is empty while its request is still in flight.
+    std::uint64_t next_seq = 0;
+    std::uint64_t base_seq = 0;
+    std::deque<std::optional<std::string>> ordered;
+  };
+
+  /// Hop point for PredictService completions: the drainer thread posts to
+  /// the loop through this, and ~BatchServer nulls `loop` so late
+  /// completions of an already-gone server fall on the floor safely.
+  struct Router {
+    std::mutex mutex;
+    net::EventLoop* loop = nullptr;
+    bool post(std::function<void()> fn);
+  };
+
+  // listener events (BatchServer is the listener's EventHandler)
+  void on_readable() override;
+  void on_writable() override {}
+
+  // connection events
+  void handle_data(std::uint64_t id);
+  void handle_eof(std::uint64_t id);
+  void handle_write_drained(std::uint64_t id);
+  void handle_io_error(std::uint64_t id);
+
+  // decode / dispatch (reactor thread)
+  void pump();
+  [[nodiscard]] bool has_complete_message(const Conn& c) const;
+  void process_one(Conn& c);
+  void process_text_line(Conn& c, const std::string& line);
+  void process_binary_frame(Conn& c, const net::FrameHeader& header, std::string payload);
+  void admit_or_park(Conn& c, Pending p);
+  void submit_admitted(Conn& c, Pending p);
+  void on_completion(std::uint64_t id, bool binary, std::uint32_t rid, std::uint64_t seq,
+                     double value, bool failed, const std::string& error);
+  void unpark_one();
+
+  // responses
+  [[nodiscard]] std::uint64_t reserve_seq(Conn& c);
+  void fill_ordered(Conn& c, std::uint64_t seq, std::string line);
+  void flush_ordered(Conn& c);
+  void text_reply(Conn& c, std::string line);
+  void frame_reply(Conn& c, net::Opcode op, std::uint32_t rid, std::string_view payload);
+  void send_to(Conn& c, std::string_view bytes);
+  [[nodiscard]] std::string stats_reply();
+
+  // lifecycle
+  void close_conn(std::uint64_t id);
+  void maybe_close(Conn& c);
+  void maybe_finish_drain();
+
+  ModelRegistry& registry_;
+  PredictService& service_;
+  const BatchServerParams params_;
+
+  net::EventLoop loop_;
+  net::SlotScheduler sched_;
+  std::shared_ptr<Router> router_;
+  std::unique_ptr<TcpListener> listener_;
+  std::thread loop_thread_;
+
+  std::mutex join_mutex_;       ///< wait()/stop()/drain() may race on join
+  std::mutex lifecycle_mutex_;  ///< serialises stop() against itself
+
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  // Connections closed mid-callback park here until control returns to the
+  // loop; destroying them inside their own callback would be use-after-free.
+  std::vector<std::unique_ptr<Conn>> graveyard_;
+  bool pumping_ = false;
+  bool draining_ = false;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace aigml::serve

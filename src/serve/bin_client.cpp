@@ -1,0 +1,80 @@
+#include "serve/bin_client.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "aig/aiger.hpp"
+
+namespace aigml::serve {
+
+BinClient::BinClient(const std::string& host, std::uint16_t port, ClientOptions options)
+    : socket_(tcp_connect(host, port, options.connect_timeout_ms)) {
+  socket_.set_read_timeout_ms(options.io_timeout_ms);
+  socket_.set_write_timeout_ms(options.io_timeout_ms);
+}
+
+std::string BinClient::read_exact(std::size_t n) {
+  std::string out(n, '\0');
+  std::size_t have = 0;
+  while (have < n) {
+    const std::size_t got = socket_.recv_some(out.data() + have, n - have);
+    if (got == 0) {
+      throw std::runtime_error("BinClient: server closed the connection mid-frame");
+    }
+    have += got;
+  }
+  return out;
+}
+
+std::pair<net::Opcode, std::string> BinClient::roundtrip(net::Opcode op,
+                                                         std::string_view payload) {
+  const std::uint32_t id = next_id_++;
+  std::string frame;
+  net::append_frame(frame, op, id, payload);
+  socket_.send_all(frame);
+  while (true) {
+    const std::string header_bytes = read_exact(net::kFrameHeaderBytes);
+    net::FrameHeader header;
+    std::string error;
+    const net::DecodeStatus status = net::decode_header(header_bytes, header, error, 0);
+    if (status != net::DecodeStatus::kFrame) {
+      throw std::runtime_error("BinClient: " +
+                               (error.empty() ? std::string("short frame header") : error));
+    }
+    std::string body = read_exact(header.payload_len);
+    // A lone client never pipelines, but be strict anyway: a response to an
+    // id we did not just send means the stream is out of sync.
+    if (header.request_id != id) {
+      throw std::runtime_error("BinClient: response id " + std::to_string(header.request_id) +
+                               " does not match request id " + std::to_string(id));
+    }
+    if (header.opcode == net::Opcode::kBusy) throw ServerBusy("BUSY " + body);
+    if (header.opcode == net::Opcode::kError) throw std::runtime_error(body);
+    return {header.opcode, std::move(body)};
+  }
+}
+
+double BinClient::predict(const std::string& model, const aig::Aig& g) {
+  const auto [op, body] =
+      roundtrip(net::Opcode::kPredict, net::make_predict_payload(model, aig::to_aiger_string(g)));
+  if (op != net::Opcode::kValue) throw std::runtime_error("BinClient: PREDICT expected VALUE");
+  return net::parse_value_payload(body);
+}
+
+double BinClient::predict_features(const std::string& model, std::span<const double> row) {
+  const std::vector<double> copy(row.begin(), row.end());
+  const auto [op, body] =
+      roundtrip(net::Opcode::kFeatures, net::make_features_payload(model, copy));
+  if (op != net::Opcode::kValue) throw std::runtime_error("BinClient: FEATURES expected VALUE");
+  return net::parse_value_payload(body);
+}
+
+std::string BinClient::reload() { return roundtrip(net::Opcode::kReload, "").second; }
+
+std::string BinClient::stats() { return roundtrip(net::Opcode::kStats, "").second; }
+
+std::string BinClient::ping() { return roundtrip(net::Opcode::kPing, "").second; }
+
+void BinClient::quit() { (void)roundtrip(net::Opcode::kQuit, ""); }
+
+}  // namespace aigml::serve

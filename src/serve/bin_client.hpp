@@ -1,0 +1,47 @@
+#pragma once
+// BinClient — blocking TCP client for the net/frame.hpp binary protocol.
+// Mirrors serve::Client method-for-method so call sites can switch dialects
+// behind one line (`aigml client --binary` does exactly that), but ships
+// doubles as IEEE-754 bit patterns instead of decimal text: a predicted
+// value returns bit-identical by construction, with no %.17g round trip.
+//
+// One outstanding request at a time; each request carries a fresh id and
+// the response must echo it (the server may interleave responses to
+// *different* ids under pipelining, which this client never issues — the
+// event-loop load generator in serve/loadgen.hpp is the pipelined one).
+// BUSY frames surface as ServerBusy, ERROR frames as std::runtime_error,
+// exactly like the text client.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "aig/aig.hpp"
+#include "net/frame.hpp"
+#include "serve/client.hpp"
+#include "util/socket.hpp"
+
+namespace aigml::serve {
+
+class BinClient {
+ public:
+  BinClient(const std::string& host, std::uint16_t port, ClientOptions options = {});
+
+  [[nodiscard]] double predict(const std::string& model, const aig::Aig& g);
+  [[nodiscard]] double predict_features(const std::string& model, std::span<const double> row);
+  std::string reload();
+  [[nodiscard]] std::string stats();
+  [[nodiscard]] std::string ping();
+  void quit();
+
+ private:
+  /// Sends one frame and reads frames until the response with this id
+  /// arrives; returns (opcode, payload) after mapping BUSY/ERROR to throws.
+  std::pair<net::Opcode, std::string> roundtrip(net::Opcode op, std::string_view payload);
+  [[nodiscard]] std::string read_exact(std::size_t n);
+
+  Socket socket_;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace aigml::serve

@@ -1,0 +1,265 @@
+#include "serve/loadgen.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "net/connection.hpp"
+#include "net/frame.hpp"
+#include "serve/protocol.hpp"
+#include "util/socket.hpp"
+
+namespace aigml::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Peer {
+  std::unique_ptr<net::Connection> conn;
+  /// Text mode: responses arrive in send order.
+  std::deque<std::pair<std::size_t, Clock::time_point>> fifo;
+  /// Binary mode: responses arrive in completion order, matched by id.
+  std::unordered_map<std::uint32_t, std::pair<std::size_t, Clock::time_point>> pending;
+  std::size_t outstanding = 0;
+  bool dead = false;
+};
+
+struct Driver {
+  const LoadGenParams& params;
+  net::EventLoop loop;
+  std::vector<Peer> peers;
+  LoadGenResult result;
+  std::size_t next_request = 0;  ///< next global request index to send
+  std::size_t answered = 0;      ///< ok + busy + errors
+  std::size_t live_peers = 0;
+  Clock::time_point t0;
+  bool timed_out = false;
+
+  explicit Driver(const LoadGenParams& p) : params(p), loop(p.backend) {}
+
+  void finish_request(Peer& peer, std::size_t index, Clock::time_point sent,
+                      double value, bool is_busy, bool is_error) {
+    result.latency.add_us(std::chrono::duration<double, std::micro>(Clock::now() - sent).count());
+    if (is_busy) {
+      ++result.busy;
+    } else if (is_error) {
+      ++result.errors;
+    } else {
+      ++result.ok;
+      result.values[index] = value;
+    }
+    ++answered;
+    if (peer.outstanding > 0) --peer.outstanding;
+  }
+
+  /// Drops every response this peer still owes; called when it dies.
+  void lose_outstanding(Peer& peer) {
+    for (const auto& [index, sent] : peer.fifo) {
+      (void)index;
+      (void)sent;
+      ++result.errors;
+      ++answered;
+    }
+    peer.fifo.clear();
+    for (const auto& [id, entry] : peer.pending) {
+      (void)id;
+      (void)entry;
+      ++result.errors;
+      ++answered;
+    }
+    peer.pending.clear();
+    peer.outstanding = 0;
+  }
+
+  void kill_peer(Peer& peer) {
+    if (peer.dead) return;
+    peer.dead = true;
+    peer.conn->close();
+    lose_outstanding(peer);
+    if (live_peers > 0) --live_peers;
+    maybe_done();
+  }
+
+  void maybe_done() {
+    const bool all_sent = next_request >= params.requests;
+    if (answered >= params.requests || (all_sent && total_outstanding() == 0) ||
+        live_peers == 0) {
+      loop.stop();
+    }
+  }
+
+  [[nodiscard]] std::size_t total_outstanding() const {
+    std::size_t n = 0;
+    for (const Peer& p : peers) n += p.outstanding;
+    return n;
+  }
+
+  void send_next(Peer& peer) {
+    const std::size_t index = next_request++;
+    const std::vector<double>& row = params.rows[index % params.rows.size()];
+    const Clock::time_point sent = Clock::now();
+    if (params.binary) {
+      // Request id = index + 1 (0 is reserved for connection-level errors).
+      const auto id = static_cast<std::uint32_t>(index + 1);
+      std::string frame;
+      net::append_frame(frame, net::Opcode::kFeatures, id,
+                        net::make_features_payload(params.model, row));
+      peer.pending.emplace(id, std::make_pair(index, sent));
+      peer.conn->queue_write(frame);
+    } else {
+      std::string line = "FEATURES " + params.model;
+      for (const double v : row) line += " " + format_double(v);
+      line += "\n";
+      peer.fifo.emplace_back(index, sent);
+      peer.conn->queue_write(line);
+    }
+    ++peer.outstanding;
+  }
+
+  /// Tops the peer up to its pipeline budget.
+  void pump_sends(Peer& peer) {
+    while (!peer.dead && peer.outstanding < params.pipeline &&
+           next_request < params.requests) {
+      send_next(peer);
+    }
+  }
+
+  void on_text_data(Peer& peer) {
+    net::ByteRing& ring = peer.conn->read_ring();
+    while (true) {
+      const std::string_view view = ring.readable();
+      const std::size_t pos = view.find('\n');
+      if (pos == std::string_view::npos) break;
+      std::string line(view.substr(0, pos));
+      ring.consume(pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (peer.fifo.empty()) {
+        // A reply we never asked for (e.g. an accept-time BUSY shed).
+        kill_peer(peer);
+        return;
+      }
+      const auto [index, sent] = peer.fifo.front();
+      peer.fifo.pop_front();
+      double value = std::numeric_limits<double>::quiet_NaN();
+      bool is_busy = false;
+      bool is_error = false;
+      if (line.rfind("OK ", 0) == 0) {
+        value = std::strtod(line.c_str() + 3, nullptr);
+      } else if (line.rfind("BUSY", 0) == 0) {
+        is_busy = true;
+      } else {
+        is_error = true;
+      }
+      finish_request(peer, index, sent, value, is_busy, is_error);
+    }
+    pump_sends(peer);
+    maybe_done();
+  }
+
+  void on_binary_data(Peer& peer) {
+    net::ByteRing& ring = peer.conn->read_ring();
+    while (true) {
+      net::FrameHeader header;
+      std::string error;
+      const net::DecodeStatus status = net::decode_header(ring.readable(), header, error, 0);
+      if (status == net::DecodeStatus::kMalformed) {
+        kill_peer(peer);
+        return;
+      }
+      if (status == net::DecodeStatus::kNeedMore ||
+          ring.size() < net::kFrameHeaderBytes + header.payload_len) {
+        break;
+      }
+      const std::string payload(
+          ring.readable().substr(net::kFrameHeaderBytes, header.payload_len));
+      ring.consume(net::kFrameHeaderBytes + header.payload_len);
+      const auto it = peer.pending.find(header.request_id);
+      if (it == peer.pending.end()) {
+        kill_peer(peer);
+        return;
+      }
+      const auto [index, sent] = it->second;
+      peer.pending.erase(it);
+      double value = std::numeric_limits<double>::quiet_NaN();
+      bool is_busy = header.opcode == net::Opcode::kBusy;
+      bool is_error = false;
+      if (header.opcode == net::Opcode::kValue && payload.size() == 8) {
+        value = net::parse_value_payload(payload);
+      } else if (!is_busy) {
+        is_error = true;
+      }
+      finish_request(peer, index, sent, value, is_busy, is_error);
+    }
+    pump_sends(peer);
+    maybe_done();
+  }
+};
+
+}  // namespace
+
+LoadGenResult run_loadgen(const LoadGenParams& params) {
+  if (params.rows.empty()) throw std::invalid_argument("run_loadgen: params.rows is empty");
+  if (params.connections == 0) throw std::invalid_argument("run_loadgen: zero connections");
+
+  Driver d(params);
+  d.result.values.assign(params.requests, std::numeric_limits<double>::quiet_NaN());
+  d.peers.resize(params.connections);
+
+  // Connect everything up front (blocking, bounded), then go non-blocking.
+  std::size_t connected = 0;
+  for (std::size_t i = 0; i < params.connections; ++i) {
+    Peer& peer = d.peers[i];
+    try {
+      Socket s = tcp_connect(params.host, params.port, params.connect_timeout_ms);
+      peer.conn = std::make_unique<net::Connection>(d.loop, s.release(),
+                                                    static_cast<std::uint64_t>(i));
+    } catch (const std::exception&) {
+      peer.dead = true;
+      continue;
+    }
+    ++connected;
+    peer.conn->on_data = [&d, &peer](net::Connection&) {
+      if (d.params.binary) {
+        d.on_binary_data(peer);
+      } else {
+        d.on_text_data(peer);
+      }
+    };
+    peer.conn->on_eof = [&d, &peer](net::Connection&) { d.kill_peer(peer); };
+    peer.conn->on_io_error = [&d, &peer](net::Connection&, const std::string&) {
+      d.kill_peer(peer);
+    };
+  }
+  if (connected == 0) throw std::runtime_error("run_loadgen: no connection could be opened");
+  d.live_peers = connected;
+
+  d.t0 = Clock::now();
+  for (Peer& peer : d.peers) {
+    if (!peer.dead) d.pump_sends(peer);
+  }
+  d.loop.post_after(params.run_timeout_ms, [&d] {
+    d.timed_out = true;
+    d.loop.stop();
+  });
+  d.maybe_done();  // degenerate case: zero requests
+  d.loop.run();
+  const double seconds = std::chrono::duration<double>(Clock::now() - d.t0).count();
+
+  // Whatever never came back (timeout / dead server) counts against errors.
+  for (Peer& peer : d.peers) {
+    if (!peer.dead) d.lose_outstanding(peer);
+  }
+  d.result.seconds = seconds;
+  d.result.throughput_rps = seconds > 0.0 ? double(d.result.ok) / seconds : 0.0;
+  return d.result;
+}
+
+}  // namespace aigml::serve

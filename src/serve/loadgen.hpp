@@ -1,0 +1,58 @@
+#pragma once
+// Event-loop load generator for the serving benches and `aigml client bench`
+// (DESIGN.md §11).  Drives N concurrent connections with up to `pipeline`
+// outstanding FEATURES requests each from ONE thread — the single-core
+// answer to "simulate 200 clients" (200 blocking client threads would bench
+// the scheduler, not the server).  It reuses the same net::EventLoop /
+// net::Connection reactor the server is built on, so the bench dogfoods the
+// subsystem it measures.
+//
+// Speaks either dialect.  Text mode relies on the protocol's in-order
+// responses (a per-connection FIFO of send timestamps); binary mode matches
+// responses by request id.  Every response value is recorded per global
+// request index so the caller can compare each one bit-for-bit against a
+// local GbdtModel::predict — the throughput gate is only meaningful if the
+// answers are right.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "util/stats.hpp"
+
+namespace aigml::serve {
+
+struct LoadGenParams {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 200;
+  std::size_t requests = 10000;  ///< total, spread across connections on demand
+  std::size_t pipeline = 8;      ///< max outstanding per connection
+  bool binary = true;
+  std::string model;
+  /// Request i sends rows[i % rows.size()].  Must be non-empty.
+  std::vector<std::vector<double>> rows;
+  int connect_timeout_ms = 5000;
+  int run_timeout_ms = 120000;  ///< hard stop; unanswered requests => errors
+  net::EventLoop::Backend backend = net::EventLoop::default_backend();
+};
+
+struct LoadGenResult {
+  std::size_t ok = 0;
+  std::size_t busy = 0;     ///< explicit BUSY sheds
+  std::size_t errors = 0;   ///< ERR replies, dead connections, timeout losses
+  double seconds = 0.0;     ///< first send to last response
+  double throughput_rps = 0.0;
+  LatencyHistogram latency;  ///< per-request send->response, microseconds
+  /// values[i] answers request i; NaN where the request got BUSY/ERR/lost.
+  std::vector<double> values;
+};
+
+/// Runs the load on the calling thread; returns when every request is
+/// answered or lost, or at run_timeout_ms.  Throws only on setup failure
+/// (cannot connect any connection).
+[[nodiscard]] LoadGenResult run_loadgen(const LoadGenParams& params);
+
+}  // namespace aigml::serve

@@ -5,6 +5,21 @@
 
 namespace aigml::serve {
 
+RequestLine split_request_line(const std::string& line) {
+  RequestLine out;
+  const std::size_t c_end = line.find(' ');
+  out.command = line.substr(0, c_end);
+  if (c_end == std::string::npos) return out;
+  const std::size_t a_begin = line.find_first_not_of(' ', c_end);
+  if (a_begin == std::string::npos) return out;
+  const std::size_t a_end = line.find(' ', a_begin);
+  out.arg = line.substr(a_begin, a_end == std::string::npos ? a_end : a_end - a_begin);
+  if (a_end == std::string::npos) return out;
+  const std::size_t p_begin = line.find_first_not_of(' ', a_end);
+  if (p_begin != std::string::npos) out.payload = line.substr(p_begin);
+  return out;
+}
+
 std::string escape_line(std::string_view text) {
   std::string out;
   out.reserve(text.size());

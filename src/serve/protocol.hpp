@@ -20,6 +20,15 @@
 
 namespace aigml::serve {
 
+/// "CMD arg rest..." split into its three parts; missing parts are empty.
+/// Shared by both servers so the text dialect cannot drift between them.
+struct RequestLine {
+  std::string command;
+  std::string arg;
+  std::string payload;
+};
+[[nodiscard]] RequestLine split_request_line(const std::string& line);
+
 /// Folds a multi-line document onto one protocol line.
 [[nodiscard]] std::string escape_line(std::string_view text);
 /// Inverse of escape_line; throws std::runtime_error on a dangling or

@@ -6,35 +6,10 @@
 
 #include "aig/aiger.hpp"
 #include "serve/protocol.hpp"
+#include "serve/stats_json.hpp"
 #include "util/fault.hpp"
 
 namespace aigml::serve {
-
-namespace {
-
-/// Splits "CMD arg rest..." into (CMD, arg, rest); missing parts are empty.
-struct RequestLine {
-  std::string command;
-  std::string arg;
-  std::string payload;
-};
-
-RequestLine split_request(const std::string& line) {
-  RequestLine out;
-  const std::size_t c_end = line.find(' ');
-  out.command = line.substr(0, c_end);
-  if (c_end == std::string::npos) return out;
-  const std::size_t a_begin = line.find_first_not_of(' ', c_end);
-  if (a_begin == std::string::npos) return out;
-  const std::size_t a_end = line.find(' ', a_begin);
-  out.arg = line.substr(a_begin, a_end == std::string::npos ? a_end : a_end - a_begin);
-  if (a_end == std::string::npos) return out;
-  const std::size_t p_begin = line.find_first_not_of(' ', a_end);
-  if (p_begin != std::string::npos) out.payload = line.substr(p_begin);
-  return out;
-}
-
-}  // namespace
 
 PredictServer::PredictServer(ModelRegistry& registry, PredictService& service,
                              ServerParams params)
@@ -184,7 +159,7 @@ void PredictServer::handle_connection(std::shared_ptr<Socket> socket) {
 }
 
 std::string PredictServer::handle_request(const std::string& line) {
-  const RequestLine request = split_request(line);
+  const RequestLine request = split_request_line(line);
   try {
     if (request.command == "PING") return "OK pong";
     if (request.command == "QUIT") return "OK bye";
@@ -220,28 +195,7 @@ std::string PredictServer::handle_request(const std::string& line) {
     }
 
     if (request.command == "STATS") {
-      const ServiceStats stats = service_.stats();
-      std::ostringstream out;
-      // "version" is the per-model reload generation (bumps on every RELOAD
-      // that picked up a changed file / every install), "predictions" the
-      // successful answers served by that model name; "generation" is the
-      // registry-wide swap counter LiveMlCost polls.
-      out << "OK {\"generation\":" << registry_.generation() << ",\"models\":[";
-      bool first = true;
-      for (const ModelInfo& info : registry_.list()) {
-        const auto it = stats.predictions.find(info.name);
-        const std::uint64_t predictions = it == stats.predictions.end() ? 0 : it->second;
-        out << (first ? "" : ",") << "{\"name\":\"" << json_escape(info.name)
-            << "\",\"version\":" << info.version << ",\"trees\":" << info.num_trees
-            << ",\"features\":" << info.num_features << ",\"predictions\":" << predictions
-            << "}";
-        first = false;
-      }
-      out << "],\"requests\":" << stats.requests << ",\"completed\":" << stats.completed
-          << ",\"failed\":" << stats.failed << ",\"batches\":" << stats.batches
-          << ",\"max_batch\":" << stats.max_batch << ",\"busy_seconds\":" << stats.busy_seconds
-          << "}";
-      return out.str();
+      return "OK " + render_stats_json(registry_, service_.stats());
     }
 
     return "ERR unknown command '" + sanitize_message(request.command) + "'";

@@ -41,6 +41,26 @@ std::future<double> PredictService::submit_features(std::string model,
   return enqueue(std::move(request));
 }
 
+void PredictService::submit_async(std::string model, aig::Aig graph, CompletionFn done,
+                                  bool immediate) {
+  Request request;
+  request.model = std::move(model);
+  request.graph = std::move(graph);
+  request.done = std::move(done);
+  request.immediate = immediate;
+  enqueue_async(std::move(request));
+}
+
+void PredictService::submit_features_async(std::string model, std::vector<double> features,
+                                           CompletionFn done, bool immediate) {
+  Request request;
+  request.model = std::move(model);
+  request.features = std::move(features);
+  request.done = std::move(done);
+  request.immediate = immediate;
+  enqueue_async(std::move(request));
+}
+
 double PredictService::predict(const std::string& model, const aig::Aig& graph) {
   return submit(model, graph).get();
 }
@@ -63,16 +83,53 @@ ServiceStats PredictService::stats() const {
 
 std::future<double> PredictService::enqueue(Request request) {
   auto future = request.promise.get_future();
+  request.enqueued_at = std::chrono::steady_clock::now();
   {
     const std::lock_guard lock(mutex_);
     if (stopping_) {
       throw std::runtime_error("PredictService: service is shutting down");
     }
+    if (request.immediate) ++immediate_pending_;
     queue_.push_back(std::move(request));
     ++stats_.requests;
   }
   queue_cv_.notify_all();
   return future;
+}
+
+void PredictService::enqueue_async(Request request) {
+  request.enqueued_at = std::chrono::steady_clock::now();
+  {
+    std::unique_lock lock(mutex_);
+    if (stopping_) {
+      // The async contract is no-throw: a late submit fails through the
+      // callback, on this thread, outside the lock.
+      lock.unlock();
+      fulfill_error(request, std::make_exception_ptr(std::runtime_error(
+                                 "PredictService: service is shutting down")));
+      return;
+    }
+    if (request.immediate) ++immediate_pending_;
+    queue_.push_back(std::move(request));
+    ++stats_.requests;
+  }
+  queue_cv_.notify_all();
+}
+
+void PredictService::fulfill_value(Request& request, double value) {
+  if (request.done) {
+    request.done(value, nullptr);
+  } else {
+    request.promise.set_value(value);
+  }
+}
+
+void PredictService::fulfill_error(Request& request, std::exception_ptr error) {
+  if (request.done) {
+    request.done(0.0, std::move(error));
+  } else {
+    request.promise.set_exception(std::move(error));
+  }
 }
 
 void PredictService::drainer_loop() {
@@ -83,23 +140,36 @@ void PredictService::drainer_loop() {
       queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and fully drained
       // Micro-batching window: the first request opens a short coalescing
-      // wait so closely-spaced concurrent submitters share one batch.
-      if (!stopping_ && params_.batch_wait_us > 0 &&
+      // wait so closely-spaced concurrent submitters share one batch.  Any
+      // pending `immediate` request collapses the window — continuous
+      // batching gets its width from requests that arrived while the
+      // previous batch was in flight, not from stalling this one.
+      if (!stopping_ && immediate_pending_ == 0 && params_.batch_wait_us > 0 &&
           queue_.size() < static_cast<std::size_t>(params_.max_batch)) {
         queue_cv_.wait_for(
             lock, std::chrono::microseconds(params_.batch_wait_us),
-            [&] { return stopping_ || queue_.size() >= static_cast<std::size_t>(params_.max_batch); });
+            [&] {
+              return stopping_ || immediate_pending_ > 0 ||
+                     queue_.size() >= static_cast<std::size_t>(params_.max_batch);
+            });
       }
       const std::size_t take =
           std::min(queue_.size(), static_cast<std::size_t>(params_.max_batch));
       batch.clear();
       batch.reserve(take);
       for (std::size_t i = 0; i < take; ++i) {
+        if (queue_.front().immediate && immediate_pending_ > 0) --immediate_pending_;
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
       ++stats_.batches;
       stats_.max_batch = std::max(stats_.max_batch, static_cast<std::uint64_t>(take));
+      std::size_t bucket = 0;
+      for (std::size_t s = take; s > 1 && bucket + 1 < ServiceStats::kBatchHistBuckets;
+           s >>= 1) {
+        ++bucket;
+      }
+      ++stats_.batch_hist[bucket];
     }
     Timer timer;
     process_batch(batch);
@@ -125,20 +195,30 @@ void PredictService::process_batch(std::vector<Request>& batch) {
   // Stats are bumped *before* the promises they describe are fulfilled: a
   // caller that has seen its future resolve must never read counters that
   // don't include it yet (test_serve.cpp reads stats right after get()).
-  const auto account = [this](const std::string& model_name, std::uint64_t completed,
-                              std::uint64_t failed) {
+  // The latency histogram follows the same rule — service time is measured
+  // here, a hair before fulfillment, which is within the accounting-lock
+  // acquisition of the true enqueue→fulfill interval.
+  const auto account = [this, &batch](const std::string& model_name,
+                                      std::span<const std::size_t> completed,
+                                      std::span<const std::size_t> failed) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto us_since = [&now](std::chrono::steady_clock::time_point start) {
+      return std::chrono::duration<double, std::micro>(now - start).count();
+    };
     const std::lock_guard lock(mutex_);
-    stats_.completed += completed;
-    stats_.failed += failed;
-    if (completed > 0) stats_.predictions[model_name] += completed;
+    stats_.completed += completed.size();
+    stats_.failed += failed.size();
+    if (!completed.empty()) stats_.predictions[model_name] += completed.size();
+    for (const std::size_t i : completed) stats_.latency.add_us(us_since(batch[i].enqueued_at));
+    for (const std::size_t i : failed) stats_.latency.add_us(us_since(batch[i].enqueued_at));
   };
   for (auto& [model_name, indices] : groups) {
     const std::shared_ptr<const ml::GbdtModel> snapshot = registry_.try_get(model_name);
     if (snapshot == nullptr) {
-      account(model_name, 0, indices.size());
+      account(model_name, {}, indices);
       for (const std::size_t i : indices) {
-        batch[i].promise.set_exception(std::make_exception_ptr(
-            std::out_of_range("PredictService: unknown model '" + model_name + "'")));
+        fulfill_error(batch[i], std::make_exception_ptr(std::out_of_range(
+                                    "PredictService: unknown model '" + model_name + "'")));
       }
       continue;
     }
@@ -177,22 +257,29 @@ void PredictService::process_batch(std::vector<Request>& batch) {
     // Compact the valid rows and answer them with one predict_all pass.
     std::vector<std::size_t> valid;
     valid.reserve(n);
+    std::vector<std::size_t> done_idx;
+    std::vector<std::size_t> fail_idx;
     for (std::size_t i = 0; i < n; ++i) {
-      if (ok[i] != 0) valid.push_back(i);
+      if (ok[i] != 0) {
+        valid.push_back(i);
+        done_idx.push_back(indices[i]);
+      } else {
+        fail_idx.push_back(indices[i]);
+      }
     }
     std::vector<double> compact(valid.size() * width);
     for (std::size_t v = 0; v < valid.size(); ++v) {
       std::copy_n(matrix.data() + valid[v] * width, width, compact.data() + v * width);
     }
     const std::vector<double> answers = snapshot->predict_all(compact, valid.size());
-    account(model_name, valid.size(), n - valid.size());
+    account(model_name, done_idx, fail_idx);
     for (std::size_t v = 0; v < valid.size(); ++v) {
-      batch[indices[valid[v]]].promise.set_value(answers[v]);
+      fulfill_value(batch[indices[valid[v]]], answers[v]);
     }
     for (std::size_t i = 0; i < n; ++i) {
       if (ok[i] == 0) {
-        batch[indices[i]].promise.set_exception(
-            std::make_exception_ptr(std::runtime_error("PredictService: " + errors[i])));
+        fulfill_error(batch[indices[i]], std::make_exception_ptr(
+                                             std::runtime_error("PredictService: " + errors[i])));
       }
     }
   }

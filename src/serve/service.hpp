@@ -18,10 +18,24 @@
 // Failure model: per-request errors (unknown model, malformed AIG, feature
 // width mismatch) surface as exceptions on that request's future; they
 // never affect neighbouring requests in the same batch.
+//
+// Two submission flavours share the queue:
+//   * future-based submit()/submit_features() — the original blocking API,
+//     which rides the coalescing window above;
+//   * callback-based submit_async()/submit_features_async() with
+//     `immediate = true` — the continuous-batching path used by
+//     serve::BatchServer.  Immediate requests collapse the coalescing wait:
+//     while the drainer is busy with the current batch new arrivals pile up
+//     in the queue, and the moment it finishes it takes everything pending
+//     as the next batch.  Batches form from service occupancy instead of a
+//     timer, so an idle service answers a lone request with no added
+//     latency while a loaded one still gets wide predict_all batches.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -35,6 +49,7 @@
 #include "aig/aig.hpp"
 #include "serve/registry.hpp"
 #include "util/parallel.hpp"
+#include "util/stats.hpp"
 
 namespace aigml::serve {
 
@@ -45,12 +60,21 @@ struct ServiceParams {
 };
 
 struct ServiceStats {
+  /// Batch sizes bucketed by log2: 1, 2-3, 4-7, ... 64-127, 128+.  Shows at
+  /// a glance whether continuous batching is actually coalescing load.
+  static constexpr std::size_t kBatchHistBuckets = 8;
+
   std::uint64_t requests = 0;   ///< submitted
   std::uint64_t completed = 0;  ///< futures fulfilled with a value
   std::uint64_t failed = 0;     ///< futures fulfilled with an exception
   std::uint64_t batches = 0;    ///< drain passes executed
   std::uint64_t max_batch = 0;  ///< largest batch observed
   double busy_seconds = 0.0;    ///< drainer time spent extracting + predicting
+  /// Enqueue→fulfillment service time per request (success and failure
+  /// alike), recorded under the same stats-before-fulfillment rule as the
+  /// counters: once a caller observes its result, the histogram includes it.
+  LatencyHistogram latency;
+  std::array<std::uint64_t, kBatchHistBuckets> batch_hist{};
   /// Successful predictions answered per model name — paired with the
   /// registry's per-model version in the STATS reply, this is how an
   /// operator (or the `aigml learn` daemon) sees which model a retrain
@@ -60,6 +84,12 @@ struct ServiceStats {
 
 class PredictService {
  public:
+  /// Completion callback for the async API.  Exactly one of the two cases
+  /// fires, on the drainer thread (or inline on the submitting thread when
+  /// the service is already stopping): (value, nullptr) on success,
+  /// (unspecified, eptr) on failure.
+  using CompletionFn = std::function<void(double, std::exception_ptr)>;
+
   explicit PredictService(ModelRegistry& registry, ServiceParams params = {});
   /// Completes every queued request before returning (late submits fail).
   ~PredictService();
@@ -72,6 +102,14 @@ class PredictService {
   /// Same, for a pre-extracted feature row (width must match the model).
   [[nodiscard]] std::future<double> submit_features(std::string model,
                                                     std::vector<double> features);
+
+  /// Callback flavours.  Never throw: a submit against a stopping service
+  /// delivers the error through `done` on the calling thread.  `immediate`
+  /// skips the coalescing window (continuous batching).
+  void submit_async(std::string model, aig::Aig graph, CompletionFn done,
+                    bool immediate = true);
+  void submit_features_async(std::string model, std::vector<double> features,
+                             CompletionFn done, bool immediate = true);
 
   /// Blocking conveniences over submit().
   [[nodiscard]] double predict(const std::string& model, const aig::Aig& graph);
@@ -87,12 +125,18 @@ class PredictService {
     std::string model;
     std::optional<aig::Aig> graph;  ///< extraction path when set ...
     std::vector<double> features;   ///< ... else a pre-extracted row
-    std::promise<double> promise;
+    std::promise<double> promise;   ///< fulfilled when `done` is empty ...
+    CompletionFn done;              ///< ... else invoked instead
+    bool immediate = false;
+    std::chrono::steady_clock::time_point enqueued_at{};
   };
 
   [[nodiscard]] std::future<double> enqueue(Request request);
+  void enqueue_async(Request request);
   void drainer_loop();
   void process_batch(std::vector<Request>& batch);
+  static void fulfill_value(Request& request, double value);
+  static void fulfill_error(Request& request, std::exception_ptr error);
 
   ModelRegistry& registry_;
   const ServiceParams params_;
@@ -101,6 +145,7 @@ class PredictService {
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;
   std::deque<Request> queue_;
+  std::size_t immediate_pending_ = 0;  ///< queued requests that skip the window
   bool stopping_ = false;
   ServiceStats stats_;
 

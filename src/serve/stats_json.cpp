@@ -1,0 +1,57 @@
+#include "serve/stats_json.hpp"
+
+#include <sstream>
+
+#include "serve/protocol.hpp"
+
+namespace aigml::serve {
+
+std::string render_stats_json(const ModelRegistry& registry, const ServiceStats& stats,
+                              const net::SlotStats* slots) {
+  std::ostringstream out;
+  // "version" is the per-model reload generation (bumps on every RELOAD that
+  // picked up a changed file / every install), "predictions" the successful
+  // answers served by that model name; "generation" is the registry-wide
+  // swap counter LiveMlCost polls.
+  out << "{\"generation\":" << registry.generation() << ",\"models\":[";
+  bool first = true;
+  for (const ModelInfo& info : registry.list()) {
+    const auto it = stats.predictions.find(info.name);
+    const std::uint64_t predictions = it == stats.predictions.end() ? 0 : it->second;
+    out << (first ? "" : ",") << "{\"name\":\"" << json_escape(info.name)
+        << "\",\"version\":" << info.version << ",\"trees\":" << info.num_trees
+        << ",\"features\":" << info.num_features << ",\"predictions\":" << predictions << "}";
+    first = false;
+  }
+  out << "],\"requests\":" << stats.requests << ",\"completed\":" << stats.completed
+      << ",\"failed\":" << stats.failed << ",\"batches\":" << stats.batches
+      << ",\"max_batch\":" << stats.max_batch << ",\"busy_seconds\":" << stats.busy_seconds;
+
+  out << ",\"latency_us\":{\"count\":" << stats.latency.count()
+      << ",\"mean\":" << format_double(stats.latency.mean_us())
+      << ",\"p50\":" << format_double(stats.latency.percentile_us(50))
+      << ",\"p90\":" << format_double(stats.latency.percentile_us(90))
+      << ",\"p99\":" << format_double(stats.latency.percentile_us(99))
+      << ",\"max\":" << format_double(stats.latency.max_us()) << ",\"buckets\":[";
+  for (std::size_t i = 0; i < stats.latency.buckets().size(); ++i) {
+    out << (i == 0 ? "" : ",") << stats.latency.buckets()[i];
+  }
+  out << "]}";
+
+  out << ",\"batch_hist\":[";
+  for (std::size_t i = 0; i < stats.batch_hist.size(); ++i) {
+    out << (i == 0 ? "" : ",") << stats.batch_hist[i];
+  }
+  out << "]";
+
+  if (slots != nullptr) {
+    out << ",\"slots\":{\"total\":" << slots->total << ",\"busy\":" << slots->busy
+        << ",\"peak_busy\":" << slots->peak_busy << ",\"admitted\":" << slots->admitted
+        << ",\"completed\":" << slots->completed << ",\"shed_conn_cap\":" << slots->shed_conn_cap
+        << ",\"parked_waits\":" << slots->parked_waits << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace aigml::serve

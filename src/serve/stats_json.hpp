@@ -1,0 +1,25 @@
+#pragma once
+// One STATS JSON renderer for both servers (DESIGN.md §11).  The legacy
+// PredictServer and the event-loop BatchServer answer STATS with the same
+// document so operators and tests can point one parser at either; the
+// BatchServer additionally passes a SlotStats snapshot, which shows up as a
+// "slots" object.  Single line, no trailing newline — both protocols wrap
+// it themselves (text: "OK <json>\n", binary: a TEXT frame).
+
+#include <string>
+
+#include "net/slots.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
+
+namespace aigml::serve {
+
+/// Renders the STATS payload: registry generation + per-model info joined
+/// with per-model prediction counts, service counters, the service-latency
+/// percentiles/histogram, and the batch-size histogram.  `slots` adds the
+/// BatchServer's occupancy block when non-null.
+[[nodiscard]] std::string render_stats_json(const ModelRegistry& registry,
+                                            const ServiceStats& stats,
+                                            const net::SlotStats* slots = nullptr);
+
+}  // namespace aigml::serve

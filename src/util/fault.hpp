@@ -22,7 +22,8 @@
 //
 //   sites: socket.connect  socket.read  socket.write  socket.partial-write
 //          socket.delay    server.kill  model.truncate  worker.throw
-//          replay.tear     retrain.throw
+//          replay.tear     retrain.throw  net.accept  net.epoll_spurious
+//          net.slot_stall
 //
 // Example: AIGML_FAULTS="socket.read,after=40,count=3;socket.delay,ms=50,count=0"
 //
@@ -56,8 +57,11 @@ enum class Site : int {
   kWorkerThrow,        ///< background worker task throws mid-item
   kReplayTear,         ///< ReplayBuffer::flush tears the final record
   kRetrainThrow,       ///< Retrainer throws after training, before install
+  kNetAccept,          ///< BatchServer closes a just-accepted connection
+  kNetEpollSpurious,   ///< EventLoop wakes with synthesized no-data events
+  kNetSlotStall,       ///< a slot completion is delayed before delivery
 };
-inline constexpr int kNumSites = 10;
+inline constexpr int kNumSites = 13;
 
 [[nodiscard]] const char* to_string(Site site) noexcept;
 [[nodiscard]] std::optional<Site> site_from_name(std::string_view name) noexcept;

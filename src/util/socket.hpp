@@ -43,6 +43,13 @@ class Socket {
 
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
   [[nodiscard]] int fd() const noexcept { return fd_; }
+  /// Relinquishes ownership of the fd without closing it (the event-loop
+  /// load generator connects blocking, then hands the fd to a Connection).
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
 
   /// Per-call deadlines for subsequent send_all/recv_some calls.
   /// 0 (the default) blocks indefinitely.
@@ -91,6 +98,9 @@ class TcpListener {
   TcpListener& operator=(const TcpListener&) = delete;
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Raw listening fd, for callers that accept() themselves (the event-loop
+  /// server registers it non-blocking with its reactor).  -1 after close().
+  [[nodiscard]] int fd() const noexcept { return fd_.load(std::memory_order_acquire); }
   /// Blocks for the next connection.  Returns an invalid Socket once
   /// close() has been called from another thread.
   [[nodiscard]] Socket accept();

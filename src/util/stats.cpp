@@ -35,6 +35,44 @@ double RunningStats::sample_variance() const noexcept {
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 double RunningStats::sample_stddev() const noexcept { return std::sqrt(sample_variance()); }
 
+void LatencyHistogram::add_us(double us) noexcept {
+  if (!(us >= 0.0)) us = 0.0;  // NaN / negative clock skew folds into bucket 0
+  std::size_t b = 0;
+  while (b < kBucketBoundsUs.size() && us > kBucketBoundsUs[b]) ++b;
+  ++buckets_[b];
+  ++count_;
+  sum_us_ += us;
+  if (us > max_us_) max_us_ = us;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_us_ += other.sum_us_;
+  if (other.max_us_ > max_us_) max_us_ = other.max_us_;
+}
+
+double LatencyHistogram::percentile_us(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double lower_rank = static_cast<double>(cumulative);
+    cumulative += buckets_[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double lower = b == 0 ? 0.0 : kBucketBoundsUs[b - 1];
+    const double upper = b < kBucketBoundsUs.size()
+                             ? kBucketBoundsUs[b]
+                             : std::max(max_us_, kBucketBoundsUs.back());
+    const double fraction =
+        std::clamp((rank - lower_rank) / static_cast<double>(buckets_[b]), 0.0, 1.0);
+    return std::min(lower + fraction * (upper - lower), max_us_ > 0.0 ? max_us_ : upper);
+  }
+  return max_us_;
+}
+
 double pearson(std::span<const double> xs, std::span<const double> ys) noexcept {
   if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
   const auto n = static_cast<double>(xs.size());

@@ -2,7 +2,9 @@
 // Descriptive statistics and correlation measures used throughout the
 // evaluation harness (Pearson r for Fig. 1, %error summaries for Table III).
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -44,6 +46,41 @@ class RunningStats {
 
 /// Linear-interpolated percentile, p in [0, 100].  Returns 0 on empty input.
 [[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Fixed-bucket latency histogram (microseconds).  Buckets are cheap enough
+/// to live on the serving hot path (one branchless scan per add), copyable
+/// so ServiceStats snapshots stay value types, and mergeable so a load
+/// generator can fold per-connection histograms into one report.
+/// Percentiles are estimated by linear interpolation inside the bucket that
+/// crosses the requested rank — exact enough for p50/p90/p99 tail reporting
+/// (the last bucket interpolates toward the observed maximum).
+class LatencyHistogram {
+ public:
+  /// Upper bounds (inclusive) of each bucket, in microseconds; the final
+  /// bucket is unbounded.
+  static constexpr std::array<double, 15> kBucketBoundsUs = {
+      50,    100,    200,    500,    1000,    2000,    5000,   10000,
+      20000, 50000,  100000, 200000, 500000,  1000000, 2000000};
+  static constexpr std::size_t kNumBuckets = kBucketBoundsUs.size() + 1;
+
+  void add_us(double us) noexcept;
+  void merge(const LatencyHistogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean_us() const noexcept { return count_ ? sum_us_ / double(count_) : 0.0; }
+  [[nodiscard]] double max_us() const noexcept { return max_us_; }
+  /// Interpolated percentile, p in [0, 100].  0 on an empty histogram.
+  [[nodiscard]] double percentile_us(double p) const noexcept;
+  [[nodiscard]] const std::array<std::uint64_t, kNumBuckets>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_us_ = 0.0;
+  double max_us_ = 0.0;
+};
 
 /// Mean of |a-b|/|b| in percent over paired spans ("absolute %error" as
 /// defined in the paper's Table III, with `b` the ground truth).

@@ -1,0 +1,439 @@
+// BatchServer suite (DESIGN.md §11): the continuous-batching event-loop
+// server end to end.  Text-protocol parity with the legacy server (the
+// existing serve::Client works unchanged), binary round trips bit-identical
+// to local GbdtModel::predict, per-connection dialect auto-detection,
+// 200-connection pipelined load with exact answers, BUSY shedding at the
+// per-connection cap, slow-reader isolation, graceful drain completing
+// in-flight work, malformed-frame handling without collateral damage,
+// the net.* fault sites, and flow parity: an SA search over RemoteCost
+// against this server replays the local trajectory bit-for-bit.
+//
+// BatchServer* tests also run under ThreadSanitizer in CI.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aig/analysis.hpp"
+#include "features/features.hpp"
+#include "gen/circuits.hpp"
+#include "ml/gbdt.hpp"
+#include "net/frame.hpp"
+#include "opt/cost.hpp"
+#include "opt/cost_spec.hpp"
+#include "opt/sa.hpp"
+#include "serve/batch_server.hpp"
+#include "serve/bin_client.hpp"
+#include "serve/client.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
+#include "transforms/scripts.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+#include "util/socket.hpp"
+
+namespace aigml {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Fixture {
+  std::vector<aig::Aig> variants;
+  ml::GbdtModel model;
+};
+
+Fixture make_fixture(std::uint64_t seed, int num_trees = 30) {
+  Fixture fx;
+  const aig::Aig base = gen::multiplier(4);
+  const auto& scripts = transforms::script_registry();
+  Rng rng(seed);
+  ml::Dataset data(features::feature_names());
+  for (int i = 0; i < 16; ++i) {
+    fx.variants.push_back(scripts.apply(scripts.random_index(rng), base));
+    data.append(features::extract(fx.variants.back()),
+                static_cast<double>(aig::aig_level(fx.variants.back())) +
+                    0.1 * static_cast<double>(rng.next_below(10)),
+                "fx");
+  }
+  ml::GbdtParams params;
+  params.num_trees = num_trees;
+  params.max_depth = 3;
+  params.seed = seed;
+  fx.model = ml::GbdtModel::train(data, params);
+  return fx;
+}
+
+struct FaultScope {
+  explicit FaultScope(const std::string& spec) { fault::install(fault::FaultPlan::parse(spec)); }
+  ~FaultScope() { fault::clear(); }
+};
+
+/// Registry + service + running BatchServer over one fixture model.
+struct Harness {
+  Fixture fx;
+  serve::ModelRegistry registry;
+  serve::PredictService service;
+  serve::BatchServer server;
+
+  explicit Harness(std::uint64_t seed, serve::BatchServerParams params = {})
+      : fx(make_fixture(seed)), service(registry), server(registry, service, params) {
+    registry.install("delay", fx.model);
+    server.start();
+  }
+  ~Harness() { server.stop(); }
+
+  [[nodiscard]] double expect(std::size_t v) const {
+    return fx.model.predict(features::extract(fx.variants[v]));
+  }
+  [[nodiscard]] std::vector<double> feature_row(std::size_t v) const {
+    const auto f = features::extract(fx.variants[v]);
+    return std::vector<double>(f.begin(), f.end());
+  }
+};
+
+/// Reads exactly n bytes from a blocking socket (for raw-frame tests).
+std::string read_exact(Socket& s, std::size_t n) {
+  std::string out;
+  while (out.size() < n) {
+    char buf[4096];
+    const std::size_t got = s.recv_some(buf, std::min(sizeof buf, n - out.size()));
+    if (got == 0) throw std::runtime_error("peer closed early");
+    out.append(buf, got);
+  }
+  return out;
+}
+
+/// Reads one complete binary frame (header + payload).
+std::pair<net::FrameHeader, std::string> read_frame(Socket& s) {
+  const std::string head = read_exact(s, net::kFrameHeaderBytes);
+  net::FrameHeader header;
+  std::string error;
+  if (net::decode_header(head, header, error, 0) != net::DecodeStatus::kFrame) {
+    throw std::runtime_error("bad frame from server: " + error);
+  }
+  return {header, read_exact(s, header.payload_len)};
+}
+
+// ---- protocol parity ---------------------------------------------------------
+
+TEST(BatchServerText, LegacyTextClientWorksUnchanged) {
+  Harness h(0xB0);
+  serve::Client client("127.0.0.1", h.server.port());
+  EXPECT_EQ(client.ping(), "pong");
+  for (std::size_t v = 0; v < 3; ++v) {
+    EXPECT_EQ(client.predict("delay", h.fx.variants[v]), h.expect(v)) << v;
+  }
+  EXPECT_EQ(client.predict_features("delay", h.feature_row(5)), h.expect(5));
+  EXPECT_THROW((void)client.predict("nope", h.fx.variants[0]), std::runtime_error);
+  // A malformed request gets ERR and the connection stays usable after it.
+  const std::vector<double> bad_row = {1.0, 2.0};
+  EXPECT_THROW((void)client.predict_features("delay", bad_row), std::runtime_error);
+  EXPECT_EQ(client.predict("delay", h.fx.variants[1]), h.expect(1));
+}
+
+TEST(BatchServerText, ReloadStatsAndNewSurfaceFields) {
+  Fixture fx = make_fixture(0xB1);
+  const fs::path dir = fs::temp_directory_path() / ("aigml_bs_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  fx.model.save(dir / "delay.gbdt");
+  serve::ModelRegistry registry(dir);
+  serve::PredictService service(registry);
+  serve::BatchServer server(registry, service);
+  server.start();
+
+  serve::Client client("127.0.0.1", server.port());
+  (void)client.predict("delay", fx.variants[0]);
+  EXPECT_NE(client.reload().find("unchanged=1"), std::string::npos);
+
+  const std::string stats = client.stats();
+  EXPECT_NE(stats.find("\"name\":\"delay\""), std::string::npos);
+  EXPECT_NE(stats.find("\"requests\":"), std::string::npos);
+  // PR-7 surface: slot occupancy, service-latency percentiles, batch sizes.
+  EXPECT_NE(stats.find("\"slots\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"latency_us\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"batch_hist\":"), std::string::npos);
+  client.quit();
+  server.stop();
+  fs::remove_all(dir);
+}
+
+TEST(BatchServerBinary, RoundTripBitIdentical) {
+  Harness h(0xB2);
+  serve::BinClient client("127.0.0.1", h.server.port());
+  EXPECT_EQ(client.ping(), "pong");
+  for (std::size_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(client.predict("delay", h.fx.variants[v]), h.expect(v)) << v;
+  }
+  const std::vector<double> row = h.feature_row(7);
+  EXPECT_EQ(client.predict_features("delay", row), h.expect(7));
+  EXPECT_NE(client.stats().find("\"slots\":"), std::string::npos);
+  EXPECT_THROW((void)client.predict("nope", h.fx.variants[0]), std::runtime_error);
+  // The error above was payload-level: the connection is still good.
+  EXPECT_EQ(client.predict("delay", h.fx.variants[1]), h.expect(1));
+  client.quit();
+}
+
+TEST(BatchServerDetect, BothDialectsShareOnePort) {
+  Harness h(0xB3);
+  serve::Client text("127.0.0.1", h.server.port());
+  serve::BinClient binary("127.0.0.1", h.server.port());
+  for (std::size_t v = 0; v < 4; ++v) {
+    const double expected = h.expect(v);
+    EXPECT_EQ(text.predict("delay", h.fx.variants[v]), expected) << "text " << v;
+    EXPECT_EQ(binary.predict("delay", h.fx.variants[v]), expected) << "binary " << v;
+  }
+}
+
+// ---- concurrency -------------------------------------------------------------
+
+TEST(BatchServerLoad, TwoHundredPipelinedConnectionsGetExactAnswers) {
+  Harness h(0xB4);
+  serve::LoadGenParams lg;
+  lg.port = h.server.port();
+  lg.connections = 200;
+  lg.requests = 2000;
+  lg.pipeline = 4;
+  lg.binary = true;
+  lg.model = "delay";
+  for (std::size_t v = 0; v < h.fx.variants.size(); ++v) lg.rows.push_back(h.feature_row(v));
+
+  const serve::LoadGenResult r = serve::run_loadgen(lg);
+  EXPECT_EQ(r.ok, lg.requests);
+  EXPECT_EQ(r.busy, 0u);
+  EXPECT_EQ(r.errors, 0u);
+  for (std::size_t i = 0; i < lg.requests; ++i) {
+    ASSERT_EQ(r.values[i], h.expect(i % h.fx.variants.size())) << "request " << i;
+  }
+  const net::SlotStats slots = h.server.slot_stats();
+  EXPECT_EQ(slots.admitted, lg.requests);
+  EXPECT_EQ(slots.completed, lg.requests);
+  EXPECT_EQ(slots.busy, 0u);
+  EXPECT_GT(slots.peak_busy, 1u);  // requests genuinely overlapped
+}
+
+TEST(BatchServerLoad, PerConnectionCapShedsExplicitBusy) {
+  serve::BatchServerParams params;
+  params.max_inflight_per_conn = 2;
+  Harness h(0xB5, params);
+
+  serve::LoadGenParams lg;
+  lg.port = h.server.port();
+  lg.connections = 4;
+  lg.requests = 200;
+  lg.pipeline = 16;  // deliberately above the server's per-conn cap
+  lg.binary = true;
+  lg.model = "delay";
+  lg.rows.push_back(h.feature_row(0));
+
+  const serve::LoadGenResult r = serve::run_loadgen(lg);
+  EXPECT_GT(r.busy, 0u);  // the overflow was shed explicitly, not dropped
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.ok + r.busy, lg.requests);  // every request got an answer
+  for (std::size_t i = 0; i < lg.requests; ++i) {
+    if (!std::isnan(r.values[i])) EXPECT_EQ(r.values[i], h.expect(0));
+  }
+  EXPECT_EQ(h.server.slot_stats().shed_conn_cap, r.busy);
+}
+
+TEST(BatchServerFair, SlowReaderDoesNotStarveNeighbors) {
+  Harness h(0xB6);
+
+  // A pipelines 40 requests and reads nothing yet.
+  Socket slow = tcp_connect("127.0.0.1", h.server.port(), 5000);
+  const std::vector<double> row = h.feature_row(2);
+  std::string burst;
+  for (int i = 0; i < 40; ++i) {
+    std::string line = "FEATURES delay";
+    for (const double v : row) line += " " + serve::format_double(v);
+    burst += line + "\n";
+  }
+  slow.send_all(burst);
+
+  // B's sequential predicts complete promptly and exactly meanwhile.
+  serve::Client prompt("127.0.0.1", h.server.port());
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t v = static_cast<std::size_t>(i) % h.fx.variants.size();
+    EXPECT_EQ(prompt.predict("delay", h.fx.variants[v]), h.expect(v)) << i;
+  }
+
+  // A's 40 responses were all produced, in request order, values exact.
+  slow.set_read_timeout_ms(10000);
+  LineReader reader(slow);
+  const std::string expected_line = "OK " + serve::format_double(h.expect(2));
+  std::string line;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(reader.read_line(line)) << "response " << i;
+    EXPECT_EQ(line, expected_line) << "response " << i;
+  }
+}
+
+// ---- shutdown ----------------------------------------------------------------
+
+TEST(BatchServerDrain, MidBatchDrainCompletesInFlightWork) {
+  Harness h(0xB7);
+  constexpr std::size_t kInFlight = 8;
+
+  Socket s = tcp_connect("127.0.0.1", h.server.port(), 5000);
+  const std::vector<double> row = h.feature_row(1);
+  std::string burst;
+  for (std::size_t i = 0; i < kInFlight; ++i) {
+    net::append_frame(burst, net::Opcode::kFeatures, static_cast<std::uint32_t>(i + 1),
+                      net::make_features_payload("delay", row));
+  }
+  s.send_all(burst);
+
+  // Wait until every request holds a slot (or has already completed), then
+  // pull the plug gracefully.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (h.server.slot_stats().admitted < kInFlight) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "requests never admitted";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  h.server.drain();
+
+  // All 8 responses arrive (drain flushed them), exact, then a clean EOF.
+  s.set_read_timeout_ms(10000);
+  const double expected = h.expect(1);
+  std::vector<bool> seen(kInFlight, false);
+  for (std::size_t i = 0; i < kInFlight; ++i) {
+    const auto [header, payload] = read_frame(s);
+    ASSERT_EQ(header.opcode, net::Opcode::kValue) << payload;
+    ASSERT_GE(header.request_id, 1u);
+    ASSERT_LE(header.request_id, kInFlight);
+    seen[header.request_id - 1] = true;
+    EXPECT_EQ(net::parse_value_payload(payload), expected);
+  }
+  for (std::size_t i = 0; i < kInFlight; ++i) EXPECT_TRUE(seen[i]) << "request " << i + 1;
+  char buf[1];
+  EXPECT_EQ(s.recv_some(buf, 1), 0u);  // orderly close, not a cut-off
+}
+
+// ---- protocol violations -----------------------------------------------------
+
+TEST(BatchServerErr, MalformedFrameGetsErrorAndDropWithoutCollateral) {
+  Harness h(0xB8);
+
+  serve::BinClient neighbor("127.0.0.1", h.server.port());
+  EXPECT_EQ(neighbor.predict("delay", h.fx.variants[0]), h.expect(0));
+
+  // Good magic, impossible version: framing is unrecoverable.
+  Socket bad = tcp_connect("127.0.0.1", h.server.port(), 5000);
+  std::string wire;
+  net::append_frame(wire, net::Opcode::kPing, 1, "");
+  wire[1] = 9;
+  bad.send_all(wire);
+  bad.set_read_timeout_ms(10000);
+  const auto [header, payload] = read_frame(bad);
+  EXPECT_EQ(header.opcode, net::Opcode::kError);
+  EXPECT_EQ(header.request_id, 0u);  // connection-level, not request-level
+  EXPECT_NE(payload.find("version"), std::string::npos);
+  char buf[1];
+  EXPECT_EQ(bad.recv_some(buf, 1), 0u);  // then the stream is dropped
+
+  // The neighbor never noticed.
+  EXPECT_EQ(neighbor.predict("delay", h.fx.variants[1]), h.expect(1));
+}
+
+TEST(BatchServerErr, OversizedTextLineAnsweredErrThenDropped) {
+  serve::BatchServerParams params;
+  params.max_line_bytes = 256;
+  Harness h(0xB9, params);
+
+  Socket s = tcp_connect("127.0.0.1", h.server.port(), 5000);
+  s.send_all(std::string(1024, 'x'));  // no newline, ever
+  s.set_read_timeout_ms(10000);
+  LineReader reader(s);
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_EQ(line.rfind("ERR", 0), 0u);
+  ASSERT_FALSE(reader.read_line(line));  // EOF: the connection is gone
+}
+
+// ---- fault sites -------------------------------------------------------------
+
+TEST(BatchServerFault, AcceptFaultDropsFirstConnectionRetrySucceeds) {
+  Harness h(0xBA);
+  FaultScope scope("net.accept,count=1");
+
+  // First connection is accepted and immediately closed by the fault.
+  bool first_failed = false;
+  try {
+    serve::Client doomed("127.0.0.1", h.server.port());
+    (void)doomed.ping();
+  } catch (const std::exception&) {
+    first_failed = true;
+  }
+  EXPECT_TRUE(first_failed);
+  EXPECT_EQ(fault::fired(fault::Site::kNetAccept), 1u);
+
+  // The retry lands on a healthy accept path.
+  serve::Client retry("127.0.0.1", h.server.port());
+  EXPECT_EQ(retry.predict("delay", h.fx.variants[0]), h.expect(0));
+}
+
+TEST(BatchServerFault, SlotStallDelaysCompletionsWithoutChangingAnswers) {
+  Harness h(0xBB);
+  FaultScope scope("net.slot_stall,ms=25,count=2");
+  serve::BinClient client("127.0.0.1", h.server.port());
+  for (std::size_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(client.predict("delay", h.fx.variants[v]), h.expect(v)) << v;
+  }
+  EXPECT_EQ(fault::fired(fault::Site::kNetSlotStall), 2u);
+}
+
+TEST(BatchServerFault, SpuriousWakeupsDoNotPerturbServing) {
+  Harness h(0xBC);
+  FaultScope scope("net.epoll_spurious,count=0");
+  serve::Client client("127.0.0.1", h.server.port());
+  for (std::size_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(client.predict("delay", h.fx.variants[v]), h.expect(v)) << v;
+  }
+}
+
+// ---- flow parity -------------------------------------------------------------
+
+TEST(BatchServerRemote, SaTrajectoryOverWireBitIdenticalToLocal) {
+  Fixture fx = make_fixture(0xBD);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  registry.install("area", fx.model);
+  serve::PredictService service(registry);
+  serve::BatchServer server(registry, service);
+  server.start();
+
+  opt::RemoteCost remote("127.0.0.1", server.port(), "delay", "area");
+  opt::MlCost local(registry.get("delay"), registry.get("area"));
+
+  opt::SaParams params;
+  params.iterations = 20;
+  params.seed = 0xb17;
+  const opt::SaStrategy strategy(params);
+  const aig::Aig base = gen::multiplier(4);
+  const opt::OptResult over_wire = strategy.run(base, remote, {.max_iterations = 20});
+  const opt::OptResult in_process = strategy.run(base, local, {.max_iterations = 20});
+
+  ASSERT_EQ(over_wire.history.size(), in_process.history.size());
+  for (std::size_t i = 0; i < over_wire.history.size(); ++i) {
+    EXPECT_EQ(over_wire.history[i].delay, in_process.history[i].delay) << i;
+    EXPECT_EQ(over_wire.history[i].area, in_process.history[i].area) << i;
+  }
+  EXPECT_EQ(over_wire.best_cost, in_process.best_cost);
+  EXPECT_EQ(over_wire.degraded_evals, 0u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace aigml

@@ -156,6 +156,34 @@ TEST(FaultRuntime, ProbDrawsReplayUnderTheSameSeed) {
   EXPECT_LT(std::count(a.begin(), a.end(), true), 64);
 }
 
+TEST(FaultPlan, ParsesNetSites) {
+  const auto plan =
+      fault::FaultPlan::parse("net.accept;net.epoll_spurious,count=0;net.slot_stall,ms=7");
+  EXPECT_TRUE(plan.rule(fault::Site::kNetAccept).armed);
+  EXPECT_TRUE(plan.rule(fault::Site::kNetEpollSpurious).armed);
+  EXPECT_EQ(plan.rule(fault::Site::kNetEpollSpurious).count, 0u);
+  EXPECT_TRUE(plan.rule(fault::Site::kNetSlotStall).armed);
+  EXPECT_EQ(plan.rule(fault::Site::kNetSlotStall).delay_ms, 7);
+  // Names round-trip both ways, like every other site.
+  for (const auto site : {fault::Site::kNetAccept, fault::Site::kNetEpollSpurious,
+                          fault::Site::kNetSlotStall}) {
+    EXPECT_EQ(fault::site_from_name(fault::to_string(site)), std::optional<fault::Site>(site));
+  }
+}
+
+TEST(FaultRuntime, NetSiteScheduleIsDeterministic) {
+  // Same after/count/every semantics as every legacy site: after=1 skips
+  // visit 1, every=3 fires eligible visits 2,5,8,..., count=2 caps at 2,5.
+  const FaultScope scope("net.slot_stall,after=1,every=3,count=2");
+  std::vector<std::uint64_t> fired_at;
+  for (std::uint64_t visit = 1; visit <= 12; ++visit) {
+    if (fault::fire(fault::Site::kNetSlotStall)) fired_at.push_back(visit);
+  }
+  EXPECT_EQ(fired_at, (std::vector<std::uint64_t>{2, 5}));
+  EXPECT_EQ(fault::visits(fault::Site::kNetSlotStall), 12u);
+  EXPECT_EQ(fault::fired(fault::Site::kNetSlotStall), 2u);
+}
+
 TEST(FaultRuntime, ThrowIfNamesTheSite) {
   const FaultScope scope("retrain.throw");
   try {

@@ -9,8 +9,11 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
+#include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -213,6 +216,75 @@ TEST(ServeService, PerRequestErrorsAreIsolated) {
   const serve::ServiceStats stats = service.stats();
   EXPECT_EQ(stats.failed, 2u);
   EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ServeService, StatsRecordLatencyAndBatchSizeHistograms) {
+  Fixture fx = make_fixture(0xC4);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  serve::PredictService service(registry);
+
+  // 16 completions + 1 failure: every request — fulfilled or failed — must
+  // land in the enqueue->fulfill latency histogram.
+  (void)service.predict_batch("delay", fx.variants);
+  auto doomed = service.submit("nope", fx.variants[0]);
+  EXPECT_THROW((void)doomed.get(), std::out_of_range);
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, fx.variants.size());
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.latency.count(), stats.completed + stats.failed);
+  EXPECT_GT(stats.latency.mean_us(), 0.0);
+  EXPECT_GE(stats.latency.max_us(), stats.latency.percentile_us(99));
+
+  // One batch-size sample per drained batch, log2-bucketed.
+  std::uint64_t hist_total = 0;
+  for (const auto b : stats.batch_hist) hist_total += b;
+  EXPECT_EQ(hist_total, stats.batches);
+}
+
+TEST(ServeService, AsyncSubmitMatchesFuturePathExactly) {
+  Fixture fx = make_fixture(0xC5);
+  serve::ModelRegistry registry;
+  registry.install("delay", fx.model);
+  serve::PredictService service(registry);
+
+  // The continuous-batching entry point (BatchServer's path): callback
+  // completions, coalescing window skipped, answers still bit-identical.
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  std::vector<double> got(fx.variants.size(), 0.0);
+  std::vector<bool> failed(fx.variants.size(), false);
+  for (std::size_t i = 0; i < fx.variants.size(); ++i) {
+    service.submit_async("delay", fx.variants[i],
+                         [&, i](double value, std::exception_ptr error) {
+                           std::lock_guard<std::mutex> lock(mutex);
+                           got[i] = value;
+                           failed[i] = error != nullptr;
+                           ++done;
+                           cv.notify_one();
+                         });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return done == fx.variants.size(); }));
+  for (std::size_t i = 0; i < fx.variants.size(); ++i) {
+    EXPECT_FALSE(failed[i]) << i;
+    EXPECT_EQ(got[i], fx.model.predict(features::extract(fx.variants[i]))) << i;
+  }
+
+  // Error routing through the callback path: the exception arrives, typed.
+  std::exception_ptr captured;
+  std::promise<void> signal;
+  service.submit_features_async("delay", {1.0, 2.0},
+                                [&](double, std::exception_ptr error) {
+                                  captured = error;
+                                  signal.set_value();
+                                });
+  signal.get_future().wait();
+  ASSERT_TRUE(captured);
+  EXPECT_THROW(std::rethrow_exception(captured), std::runtime_error);
 }
 
 TEST(ServeService, HotSwapUnderConcurrentLoadNeverTearsPredictions) {

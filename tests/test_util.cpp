@@ -144,6 +144,32 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
 }
 
+TEST(Stats, LatencyHistogramPercentilesAndMerge) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile_us(99), 0.0);
+
+  for (int i = 1; i <= 100; ++i) h.add_us(static_cast<double>(i) * 10.0);  // 10..1000 us
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.max_us(), 1000.0);
+  EXPECT_NEAR(h.mean_us(), 505.0, 1e-9);
+  // Bucketed interpolation is approximate; pin it to the right bucket.
+  EXPECT_GT(h.percentile_us(50), 100.0);
+  EXPECT_LE(h.percentile_us(50), 1000.0);
+  EXPECT_LE(h.percentile_us(50), h.percentile_us(90));
+  EXPECT_LE(h.percentile_us(90), h.percentile_us(99));
+  EXPECT_LE(h.percentile_us(99), h.max_us());
+
+  LatencyHistogram other;
+  other.add_us(5e6);  // overflow bucket
+  other.merge(h);
+  EXPECT_EQ(other.count(), 101u);
+  EXPECT_DOUBLE_EQ(other.max_us(), 5e6);
+  std::uint64_t total = 0;
+  for (const auto b : other.buckets()) total += b;
+  EXPECT_EQ(total, other.count());
+}
+
 TEST(Stats, AbsolutePercentError) {
   std::vector<double> pred{110, 90};
   std::vector<double> truth{100, 100};
