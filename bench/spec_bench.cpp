@@ -1,0 +1,180 @@
+// Speculative parallel search bench: runs the same windowed SA workload
+// through the serial engine (par=0) and the parallel engine (par=1) at 2 and
+// 8 threads, and gates on both halves of the PR contract (DESIGN.md §12):
+//
+//   1. all three trajectories are bit-identical (always enforced — this is
+//      the determinism contract, independent of the machine), and
+//   2. committed-move throughput at 8 threads is >= 2x the serial engine
+//      (enforced only on runners with >= 4 hardware threads; a 1-core
+//      container cannot speed anything up and would only measure pool
+//      overhead — the JSON records whether the gate was live).
+//
+// Emits BENCH_spec.json so the parallel-search perf trajectory is tracked
+// across PRs.  Run with --smoke for a CI-sized workload.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "aig/analysis.hpp"
+#include "features/features.hpp"
+#include "gen/designs.hpp"
+#include "ml/dataset.hpp"
+#include "ml/gbdt.hpp"
+#include "opt/cost.hpp"
+#include "opt/sa.hpp"
+#include "transforms/scripts.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+using namespace aigml;
+
+namespace {
+
+ml::GbdtModel train_standin(const aig::Aig& base, bool area_label, int num_trees) {
+  // Label quality is irrelevant to engine throughput; levels / AND counts of
+  // script variants give the trees realistic structure to traverse.
+  ml::Dataset data(features::feature_names());
+  const auto& registry = transforms::script_registry();
+  Rng rng(3);
+  for (int i = 0; i < 32; ++i) {
+    const aig::Aig g = registry.apply(registry.random_index(rng), base);
+    const double label = area_label ? static_cast<double>(g.num_ands())
+                                    : static_cast<double>(aig::aig_level(g));
+    data.append(features::extract(g), label, "bench");
+  }
+  ml::GbdtParams params;
+  params.num_trees = num_trees;
+  params.max_depth = 5;
+  return ml::GbdtModel::train(data, params);
+}
+
+bool same_trajectory(const opt::OptResult& a, const opt::OptResult& b) {
+  if (a.history.size() != b.history.size() || a.eval_count != b.eval_count ||
+      a.spec.rounds != b.spec.rounds || a.spec.committed != b.spec.committed ||
+      a.spec.aborted != b.spec.aborted) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    if (a.history[i].script_index != b.history[i].script_index ||
+        a.history[i].delay != b.history[i].delay || a.history[i].area != b.history[i].area ||
+        a.history[i].cost != b.history[i].cost ||
+        a.history[i].accepted != b.history[i].accepted) {
+      return false;
+    }
+  }
+  return a.best_cost == b.best_cost && a.best.structural_hash() == b.best.structural_hash();
+}
+
+struct Leg {
+  opt::OptResult result;
+  double seconds = 0.0;  ///< min-of-2 total wall-clock
+  bool self_consistent = true;
+};
+
+// Runs the configuration twice and keeps the faster leg's timing (min-of-N
+// to shed scheduler noise on shared CI runners); the two runs must
+// themselves be bit-identical or the leg reports a mismatch.
+Leg run_leg(const aig::Aig& g, const opt::SaParams& base_params, bool parallel, int threads,
+            const ml::GbdtModel& delay_model, const ml::GbdtModel& area_model) {
+  opt::SaParams params = base_params;
+  params.parallel = parallel;
+  set_default_threads(parallel ? threads : 0);
+  Leg leg;
+  for (int rep = 0; rep < 2; ++rep) {
+    opt::MlCost cost(delay_model, area_model);
+    opt::OptResult result = opt::simulated_annealing(g, cost, params);
+    if (rep == 0) {
+      leg.result = std::move(result);
+      leg.seconds = leg.result.total_seconds;
+    } else {
+      leg.self_consistent = same_trajectory(leg.result, result);
+      leg.seconds = std::min(leg.seconds, result.total_seconds);
+    }
+  }
+  set_default_threads(0);
+  return leg;
+}
+
+double ms_per_commit(const Leg& leg) {
+  return leg.result.spec.committed > 0
+             ? 1e3 * leg.seconds / static_cast<double>(leg.result.spec.committed)
+             : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_spec.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  // EX54 is the largest generated design — big enough that per-proposal
+  // transform + evaluation work dominates the serial DECIDE phase, which is
+  // the regime speculative parallelism exists for.
+  const char* design = "EX54";
+  const aig::Aig g = gen::build_design(design);
+  const int iterations = smoke ? 160 : 320;
+  const int windows = 8;
+
+  const ml::GbdtModel delay_model = train_standin(g, false, smoke ? 120 : 240);
+  const ml::GbdtModel area_model = train_standin(g, true, smoke ? 120 : 240);
+
+  opt::SaParams params;
+  params.iterations = iterations;
+  params.seed = 7;
+  params.weight_delay = 1.0;
+  params.weight_area = 0.5;
+  params.windows = windows;
+
+  std::printf("spec bench: design=%s (%zu ands), %d proposals, windows=%d, ml cost\n", design,
+              g.num_ands(), iterations, windows);
+
+  const Leg serial = run_leg(g, params, /*parallel=*/false, 0, delay_model, area_model);
+  const Leg par2 = run_leg(g, params, /*parallel=*/true, 2, delay_model, area_model);
+  const Leg par8 = run_leg(g, params, /*parallel=*/true, 8, delay_model, area_model);
+
+  const bool identical = same_trajectory(serial.result, par2.result) &&
+                         same_trajectory(serial.result, par8.result) &&
+                         serial.self_consistent && par2.self_consistent && par8.self_consistent;
+  const double speedup_8t = par8.seconds > 0.0 ? serial.seconds / par8.seconds : 0.0;
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  const bool throughput_gate = hw_threads >= 4;
+
+  const auto& spec = serial.result.spec;
+  std::printf("rounds %llu, proposed %llu, committed %llu, aborted %llu (%.1f%% abort rate)\n",
+              static_cast<unsigned long long>(spec.rounds),
+              static_cast<unsigned long long>(spec.proposed),
+              static_cast<unsigned long long>(spec.committed),
+              static_cast<unsigned long long>(spec.aborted), 100.0 * spec.abort_rate());
+  std::printf("ms/commit: serial %.2f, par=1@2t %.2f, par=1@8t %.2f -> %.2fx at 8t (%s)\n",
+              ms_per_commit(serial), ms_per_commit(par2), ms_per_commit(par8), speedup_8t,
+              identical ? "IDENTICAL" : "MISMATCH");
+  std::printf("gate: trajectories %s; throughput %s (%u hw threads)%s\n",
+              identical ? "identical" : "MISMATCH",
+              throughput_gate ? (speedup_8t >= 2.0 ? "PASS" : "FAIL") : "skipped", hw_threads,
+              throughput_gate ? " need >= 2x at 8 threads" : " — needs >= 4 to be meaningful");
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"spec\",\n  \"design\": \"" << design
+      << "\",\n  \"ands\": " << g.num_ands() << ",\n  \"proposals\": " << iterations
+      << ",\n  \"windows\": " << windows << ",\n  \"rounds\": " << spec.rounds
+      << ",\n  \"committed\": " << spec.committed << ",\n  \"aborted\": " << spec.aborted
+      << ",\n  \"abort_rate\": " << spec.abort_rate()
+      << ",\n  \"ms_per_commit_serial\": " << ms_per_commit(serial)
+      << ",\n  \"ms_per_commit_par_2t\": " << ms_per_commit(par2)
+      << ",\n  \"ms_per_commit_par_8t\": " << ms_per_commit(par8)
+      << ",\n  \"speedup_8t\": " << speedup_8t << ",\n  \"hardware_threads\": " << hw_threads
+      << ",\n  \"throughput_gate_enforced\": " << (throughput_gate ? "true" : "false")
+      << ",\n  \"identical_trajectories\": " << (identical ? "true" : "false") << "\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!identical) return 1;
+  return throughput_gate && speedup_8t < 2.0 ? 1 : 0;
+}

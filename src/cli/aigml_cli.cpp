@@ -88,7 +88,9 @@ ArgParser opt_parser() {
   p.positional("in.aag", "AIGER file to optimize")
       .positional("script", "primitive script chain, e.g. \"b;rw;rf\" (script mode)", false)
       .positional("out.aag", "output path for script mode (stdout when omitted)", false)
-      .option("recipe", "R", "declarative run, e.g. \"strategy=sa;iters=200;cost=proxy\"")
+      .option("recipe", "R",
+              "declarative run, e.g. \"strategy=sa;iters=200;cost=proxy\"; keys windows=N "
+              "and par=0|1 select the speculative windowed engine (par=1 uses --threads)")
       .option("out", "FILE", "write the best AIG to FILE")
       .option("report", "FORMAT", "print a machine-readable run report (json)");
   return p;
@@ -273,6 +275,21 @@ void print_json_report(const opt::Recipe& recipe, const std::string& evaluator_n
                 static_cast<unsigned long long>(learn_stats->swaps_observed),
                 learn_stats->base_error_pct, learn_stats->final_error_pct);
   }
+  if (result.spec.windows > 0) {
+    const double wall_per_commit =
+        result.spec.committed > 0
+            ? result.total_seconds / static_cast<double>(result.spec.committed)
+            : 0.0;
+    std::printf("  \"spec\": {\"windows\": %d, \"par\": %s, \"rounds\": %llu, "
+                "\"proposed\": %llu, \"committed\": %llu, \"aborted\": %llu, "
+                "\"abort_rate\": %.6g, \"seconds_per_commit\": %.6g},\n",
+                result.spec.windows, result.spec.parallel ? "true" : "false",
+                static_cast<unsigned long long>(result.spec.rounds),
+                static_cast<unsigned long long>(result.spec.proposed),
+                static_cast<unsigned long long>(result.spec.committed),
+                static_cast<unsigned long long>(result.spec.aborted),
+                result.spec.abort_rate(), wall_per_commit);
+  }
   std::printf("  \"iterations\": %zu,\n", result.history.size());
   std::printf("  \"accepted\": %zu,\n", result.accepted_moves());
   std::printf("  \"evals\": %llu,\n", static_cast<unsigned long long>(result.eval_count));
@@ -323,6 +340,20 @@ int run_recipe(const opt::Recipe& recipe, const aig::Aig& g, const std::string& 
                result.history.size(), static_cast<unsigned long long>(result.eval_count),
                result.total_seconds, result.best_eval.delay, result.best_eval.area,
                opt::to_string(result.stop_reason), equivalent ? "PASS" : "FAIL");
+  if (result.spec.windows > 0) {
+    std::fprintf(stderr,
+                 "spec: %llu rounds, %llu proposed, %llu committed, %llu aborted "
+                 "(%.1f%% abort rate), %.2f ms wall per committed move%s\n",
+                 static_cast<unsigned long long>(result.spec.rounds),
+                 static_cast<unsigned long long>(result.spec.proposed),
+                 static_cast<unsigned long long>(result.spec.committed),
+                 static_cast<unsigned long long>(result.spec.aborted),
+                 100.0 * result.spec.abort_rate(),
+                 result.spec.committed > 0
+                     ? 1e3 * result.total_seconds / static_cast<double>(result.spec.committed)
+                     : 0.0,
+                 result.spec.parallel ? "" : " (serial)");
+  }
   if (result.degraded_evals > 0) {
     std::fprintf(stderr,
                  "WARNING: %llu/%llu evaluations were answered by the fallback oracle "

@@ -96,6 +96,22 @@ class CostEvaluator {
   void commit_move() { commit_impl(); }
   void rollback_move() { rollback_impl(); }
 
+  /// True when fork_worker() can mint independent same-function evaluators —
+  /// what the speculative windowed engine (spec/executor.hpp) needs to score
+  /// window proposals concurrently.  Evaluators tied to exclusive external
+  /// state (RemoteCost's single connection, LiveMlCost's hot-reload context)
+  /// keep the default false and reject windows=N at run start.
+  [[nodiscard]] virtual bool supports_speculation() const noexcept { return false; }
+
+  /// A fresh evaluator computing bit-identically the same cost function as
+  /// this one, with its own incremental context and its own accounting
+  /// clocks (workers start at zero; runs aggregate worker totals into
+  /// OptResult).  Shared immutable state (models, cell libraries) may be
+  /// referenced, so forks of one evaluator can evaluate concurrently.
+  [[nodiscard]] virtual std::unique_ptr<CostEvaluator> fork_worker() const {
+    throw std::logic_error(name() + ": fork_worker unsupported");
+  }
+
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Cumulative seconds spent inside evaluate()/bind()/evaluate_delta().
@@ -255,6 +271,10 @@ class ProxyCost final : public CostEvaluator {
  public:
   [[nodiscard]] std::string name() const override { return "proxy"; }
   [[nodiscard]] bool supports_incremental() const noexcept override { return true; }
+  [[nodiscard]] bool supports_speculation() const noexcept override { return true; }
+  [[nodiscard]] std::unique_ptr<CostEvaluator> fork_worker() const override {
+    return std::make_unique<ProxyCost>();
+  }
 
  protected:
   QualityEval evaluate_impl(const aig::Aig& g) override;
@@ -278,6 +298,12 @@ class GroundTruthCost final : public CostEvaluator {
       : lib_(lib), map_params_(map_params), sta_params_(sta_params) {}
 
   [[nodiscard]] std::string name() const override { return "ground-truth"; }
+  /// map_to_cells / run_sta are pure functions of (graph, library, params),
+  /// so forks sharing the library can run concurrently.
+  [[nodiscard]] bool supports_speculation() const noexcept override { return true; }
+  [[nodiscard]] std::unique_ptr<CostEvaluator> fork_worker() const override {
+    return std::make_unique<GroundTruthCost>(lib_, map_params_, sta_params_);
+  }
 
  protected:
   QualityEval evaluate_impl(const aig::Aig& g) override;
@@ -312,6 +338,13 @@ class MlCost final : public CostEvaluator {
 
   [[nodiscard]] std::string name() const override { return "ml"; }
   [[nodiscard]] bool supports_incremental() const noexcept override { return true; }
+  /// GbdtModel::predict is const and lock-free, so forks sharing the model
+  /// (pointers in borrowing mode, refcounted snapshots otherwise) are safe.
+  [[nodiscard]] bool supports_speculation() const noexcept override { return true; }
+  [[nodiscard]] std::unique_ptr<CostEvaluator> fork_worker() const override {
+    if (delay_snapshot_ != nullptr) return std::make_unique<MlCost>(delay_snapshot_, area_snapshot_);
+    return std::make_unique<MlCost>(*delay_model_, *area_model_);
+  }
 
  protected:
   QualityEval evaluate_impl(const aig::Aig& g) override;

@@ -6,6 +6,10 @@ namespace aigml::opt {
 
 GreedyStrategy::GreedyStrategy(GreedyParams params) : params_(params) {
   if (params_.tolerance < 0.0) throw std::invalid_argument("GreedyStrategy: negative tolerance");
+  if (params_.windows < 0) throw std::invalid_argument("GreedyStrategy: windows < 0");
+  if (params_.parallel && params_.windows == 0) {
+    throw std::invalid_argument("GreedyStrategy: parallel requires windows >= 1");
+  }
 }
 
 OptResult GreedyStrategy::run(const aig::Aig& initial, CostEvaluator& evaluator,
@@ -17,7 +21,8 @@ OptResult GreedyStrategy::run(const aig::Aig& initial, CostEvaluator& evaluator,
   };
   return detail::search_loop(initial, evaluator, stop, observer, registry,
                              params_.weight_delay, params_.weight_area, params_.seed,
-                             params_.incremental, accept, [] {});
+                             params_.incremental, params_.windows, params_.parallel, accept,
+                             [] {});
 }
 
 std::unique_ptr<Strategy> GreedyStrategy::reseeded(std::uint64_t seed) const {

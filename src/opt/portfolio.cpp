@@ -108,6 +108,14 @@ OptResult PortfolioStrategy::run(const aig::Aig& initial, CostEvaluator& evaluat
     result.total_transform_seconds += r.total_transform_seconds;
     result.total_eval_seconds += r.total_eval_seconds;
     result.degraded_evals += r.degraded_evals;
+    // Speculation counters aggregate like the clocks; the configuration
+    // fields are identical across starts (same inner strategy), so copy.
+    result.spec.windows = r.spec.windows;
+    result.spec.parallel = r.spec.parallel;
+    result.spec.rounds += r.spec.rounds;
+    result.spec.proposed += r.spec.proposed;
+    result.spec.committed += r.spec.committed;
+    result.spec.aborted += r.spec.aborted;
     // A start cut short by a shared budget ends the whole portfolio.
     if (r.stop_reason != StopReason::kIterations) {
       result.stop_reason = r.stop_reason;

@@ -130,6 +130,15 @@ Recipe Recipe::parse(const std::string& text) {
       } else {
         fail("inc=" + value + ": expected 0 or 1");
       }
+    } else if (key == "windows") {
+      recipe.spec_windows = parse_int(key, value);
+      if (recipe.spec_windows < 0) fail("windows=" + value + ": must be >= 0");
+    } else if (key == "par") {
+      if (value == "0" || value == "1") {
+        recipe.spec_parallel = value == "1";
+      } else {
+        fail("par=" + value + ": expected 0 or 1");
+      }
     } else if (key == "learn") {
       if (value == "0" || value == "1") {
         recipe.learn = value == "1";
@@ -144,8 +153,11 @@ Recipe Recipe::parse(const std::string& text) {
     } else {
       fail("unknown key '" + key +
            "' (known: strategy iters max_seconds max_evals wd wa seed temp decay tol "
-           "starts inner cost fallback inc learn learn_budget learn_dir)");
+           "starts inner cost fallback inc windows par learn learn_budget learn_dir)");
     }
+  }
+  if (recipe.spec_parallel && recipe.spec_windows == 0) {
+    fail("par=1 requires windows=N (N >= 1)");
   }
   return recipe;
 }
@@ -175,6 +187,8 @@ std::string Recipe::to_string() const {
   out += ";cost=" + cost;
   if (!fallback.empty()) out += ";fallback=" + fallback;
   if (!incremental) out += ";inc=0";
+  if (spec_windows > 0) out += ";windows=" + std::to_string(spec_windows);
+  if (spec_parallel) out += ";par=1";
   if (learn || learn_budget != defaults.learn_budget) {
     out += ";learn=" + std::string(learn ? "1" : "0");
     out += ";learn_budget=" + std::to_string(learn_budget);
@@ -194,6 +208,8 @@ std::unique_ptr<Strategy> Recipe::make_strategy() const {
       params.weight_area = weight_area;
       params.seed = seed;
       params.incremental = incremental;
+      params.windows = spec_windows;
+      params.parallel = spec_parallel;
       return std::make_unique<SaStrategy>(params);
     }
     if (kind == "greedy") {
@@ -204,6 +220,8 @@ std::unique_ptr<Strategy> Recipe::make_strategy() const {
       params.weight_area = weight_area;
       params.seed = seed;
       params.incremental = incremental;
+      params.windows = spec_windows;
+      params.parallel = spec_parallel;
       return std::make_unique<GreedyStrategy>(params);
     }
     fail("unknown strategy '" + kind + "'");

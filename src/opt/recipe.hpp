@@ -21,6 +21,15 @@
 //                    OptResult::degraded_evals (DESIGN.md §10).
 //   inc=0|1          incremental move evaluation (default 1; bit-identical
 //                    trajectories either way — a perf/debug knob, §8)
+//   windows=N        speculative windowed move engine (default 0 = classic
+//                    one-move loop): propose one transform per disjoint
+//                    window per round, commit non-conflicting winners in
+//                    deterministic order (DESIGN.md §12).  Needs a forkable
+//                    cost (proxy, ml, gt — not serve/learn).
+//   par=0|1          evaluate window proposals concurrently on the thread
+//                    pool (--threads / AIGML_THREADS; default 0).  Requires
+//                    windows >= 1; trajectories are bit-identical to par=0
+//                    at any thread count.
 //   learn=0|1        closed-loop active learning (default 0; requires
 //                    cost=ml:<dir> and the learn::run runner — harvests
 //                    ground-truth labels during the search and hot-reloads
@@ -67,6 +76,10 @@ struct Recipe {
   std::string fallback;
   // Incremental move evaluation (perf knob; trajectories are identical).
   bool incremental = true;
+  // Speculative windowed move engine (0 = classic loop; DESIGN.md §12).
+  int spec_windows = 0;
+  // Parallel window proposals (bit-identical to serial; needs spec_windows).
+  bool spec_parallel = false;
   // Active learning (learn::run executes these; opt::run rejects learn=1
   // because it has no registry to install refreshed models into).
   bool learn = false;

@@ -12,6 +12,10 @@ SaStrategy::SaStrategy(SaParams params) : params_(params) {
   if (params_.initial_temperature < 0.0) {
     throw std::invalid_argument("SaStrategy: initial_temperature < 0");
   }
+  if (params_.windows < 0) throw std::invalid_argument("SaStrategy: windows < 0");
+  if (params_.parallel && params_.windows == 0) {
+    throw std::invalid_argument("SaStrategy: parallel requires windows >= 1");
+  }
 }
 
 OptResult SaStrategy::run(const aig::Aig& initial, CostEvaluator& evaluator,
@@ -27,7 +31,8 @@ OptResult SaStrategy::run(const aig::Aig& initial, CostEvaluator& evaluator,
   const auto post_iteration = [&] { temperature *= params_.decay; };
   return detail::search_loop(initial, evaluator, stop, observer, registry,
                              params_.weight_delay, params_.weight_area, params_.seed,
-                             params_.incremental, accept, post_iteration);
+                             params_.incremental, params_.windows, params_.parallel, accept,
+                             post_iteration);
 }
 
 std::unique_ptr<Strategy> SaStrategy::reseeded(std::uint64_t seed) const {

@@ -30,6 +30,15 @@ struct SaParams {
   /// Use the incremental move-evaluation protocol when the evaluator
   /// supports it (bit-identical trajectories either way; see DESIGN.md §8).
   bool incremental = true;
+  /// Speculative windowed move engine (DESIGN.md §12): 0 keeps the classic
+  /// one-move-at-a-time loop; N >= 1 proposes one move per disjoint window
+  /// per round (recipe key windows=N).  Requires an evaluator with
+  /// supports_speculation().
+  int windows = 0;
+  /// Evaluate window proposals concurrently on the thread pool (--threads;
+  /// recipe key par=1).  Trajectories are bit-identical to parallel == false
+  /// at any thread count.  Only meaningful with windows >= 1.
+  bool parallel = false;
 };
 
 /// Pre-Strategy result name; OptResult is the universal shape.

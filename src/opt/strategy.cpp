@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "spec/executor.hpp"
 #include "util/timer.hpp"
 
 namespace aigml::opt {
@@ -42,8 +43,21 @@ OptResult search_loop(const aig::Aig& initial, CostEvaluator& evaluator,
                       const StopCondition& stop, Observer* observer,
                       const transforms::ScriptRegistry& registry, double weight_delay,
                       double weight_area, std::uint64_t seed, bool use_incremental,
+                      int spec_windows, bool spec_parallel,
                       const std::function<bool(double, double, Rng&)>& accept,
                       const std::function<void()>& post_iteration) {
+  if (spec_windows > 0) {
+    // Batched-move path: the speculative windowed engine (DESIGN.md §12)
+    // replaces the loop body wholesale.  Its trajectory is bit-identical for
+    // spec_parallel on/off at any thread count, but deliberately *different*
+    // from the classic loop below (moves are window-local).
+    spec::SpecParams sp;
+    sp.windows = spec_windows;
+    sp.parallel = spec_parallel;
+    sp.use_incremental = use_incremental;
+    return spec::speculative_loop(initial, evaluator, stop, observer, registry, weight_delay,
+                                  weight_area, seed, sp, accept, post_iteration);
+  }
   Timer total_timer;
   Rng rng(seed);
   // Incremental move evaluation (DESIGN.md §8): bind a persistent context to

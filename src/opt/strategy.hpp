@@ -62,6 +62,26 @@ struct IterationRecord {
   double eval_seconds = 0.0;
 };
 
+/// Speculation counters for the windowed parallel move engine (spec/,
+/// DESIGN.md §12).  All zero when the classic one-move loop ran
+/// (windows == 0).  `proposed` counts window proposals (== the history
+/// records the engine contributed); an *abort* is a proposal the accept rule
+/// took but the committer could not apply — its dirty region overlapped an
+/// earlier commit in the same round, or a spec.commit_abort fault fired.
+struct SpecStats {
+  int windows = 0;  ///< configured window count (0 = engine off)
+  bool parallel = false;
+  std::uint64_t rounds = 0;
+  std::uint64_t proposed = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+
+  [[nodiscard]] double abort_rate() const {
+    const std::uint64_t decided = committed + aborted;
+    return decided == 0 ? 0.0 : static_cast<double>(aborted) / static_cast<double>(decided);
+  }
+};
+
 /// The universal result shape of every strategy (SaResult is an alias kept
 /// for source compatibility with the pre-Strategy API).
 struct OptResult {
@@ -82,6 +102,8 @@ struct OptResult {
   /// much of the trajectory to re-score.
   std::uint64_t degraded_evals = 0;
   StopReason stop_reason = StopReason::kIterations;
+  /// Windowed-speculation counters (all zero unless the run used windows=N).
+  SpecStats spec;
 
   [[nodiscard]] double seconds_per_iteration() const {
     return history.empty() ? 0.0 : total_seconds / static_cast<double>(history.size());
@@ -150,10 +172,20 @@ namespace detail {
 /// and accept/reject becomes commit/rollback.  Evaluations are bit-identical
 /// either way (the §8 contract), so the knob changes wall-time only — it
 /// exists for benchmarking and as an escape hatch, and defaults to on.
+///
+/// When `spec_windows > 0` the loop is replaced by the speculative windowed
+/// move engine (spec/executor.hpp, DESIGN.md §12): per round, one transform
+/// is proposed for each of up to `spec_windows` disjoint windows, evaluated
+/// against per-window forked evaluators (`spec_parallel` runs the proposals
+/// on the process thread pool), and non-conflicting accepted proposals are
+/// committed in window order.  Trajectories are bit-identical for any thread
+/// count and for spec_parallel on/off; they are a *different* (batched)
+/// trajectory than spec_windows == 0.
 OptResult search_loop(const aig::Aig& initial, CostEvaluator& evaluator,
                       const StopCondition& stop, Observer* observer,
                       const transforms::ScriptRegistry& registry, double weight_delay,
                       double weight_area, std::uint64_t seed, bool use_incremental,
+                      int spec_windows, bool spec_parallel,
                       const std::function<bool(double, double, Rng&)>& accept,
                       const std::function<void()>& post_iteration);
 

@@ -1,0 +1,53 @@
+#include "spec/conflict.hpp"
+
+#include <algorithm>
+
+namespace aigml::spec {
+
+namespace {
+
+struct TailRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;  ///< half-open; lo == hi means no tail
+};
+
+TailRange tail_of(const aig::DirtyRegion& r) {
+  return {std::min(r.before_num_nodes, r.after_num_nodes),
+          std::max(r.before_num_nodes, r.after_num_nodes)};
+}
+
+bool in_tail(const TailRange& t, std::size_t id) { return id >= t.lo && id < t.hi; }
+
+}  // namespace
+
+bool regions_overlap(const aig::DirtyRegion& a, const aig::DirtyRegion& b) {
+  if (a.empty() || b.empty()) return false;
+  if (a.full || b.full) return true;
+  if (a.outputs_changed && b.outputs_changed) return true;
+
+  const TailRange ta = tail_of(a);
+  const TailRange tb = tail_of(b);
+  if (ta.lo < ta.hi && tb.lo < tb.hi && ta.lo < tb.hi && tb.lo < ta.hi) return true;
+
+  // changed lists are ascending: one linear merge, plus each list checked
+  // against the other's tail range.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.changed.size() && j < b.changed.size()) {
+    if (a.changed[i] == b.changed[j]) return true;
+    if (a.changed[i] < b.changed[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  for (const aig::NodeId id : a.changed) {
+    if (in_tail(tb, id)) return true;
+  }
+  for (const aig::NodeId id : b.changed) {
+    if (in_tail(ta, id)) return true;
+  }
+  return false;
+}
+
+}  // namespace aigml::spec

@@ -1,0 +1,21 @@
+#pragma once
+// DirtyRegion conflict detection for the speculative committer (DESIGN.md
+// §12).  Two window proposals, both diffed against the same base graph,
+// conflict when the id sets their dirty regions cover intersect — committing
+// one invalidates the context the other was evaluated under.
+//
+// The id set of a region (in the shared before/after id space) is:
+//     changed ids  ∪  [min(before_n, after_n), max(before_n, after_n))
+// i.e. the explicitly listed record changes plus the grow/shrink tail, with
+// `outputs_changed` treated as one extra shared "output vector" slot and
+// `full` as the universal set.  Empty regions (structurally identical
+// candidates) conflict with nothing.  Exactness against a brute-force
+// boolean-vector intersection is fuzz-enforced by tests/test_spec.cpp.
+
+#include "aig/dirty.hpp"
+
+namespace aigml::spec {
+
+[[nodiscard]] bool regions_overlap(const aig::DirtyRegion& a, const aig::DirtyRegion& b);
+
+}  // namespace aigml::spec

@@ -1,0 +1,288 @@
+#include "spec/executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "aig/analysis.hpp"
+#include "aig/dirty.hpp"
+#include "spec/conflict.hpp"
+#include "spec/window.hpp"
+#include "util/fault.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace aigml::spec {
+
+namespace {
+
+/// One window's speculative result, filled by the (possibly parallel)
+/// PROPOSE phase and consumed by the serial DECIDE phase.  Everything in
+/// here is a pure function of (round base graph, window, forked RNG), so
+/// slots are thread-count independent.
+struct Proposal {
+  std::size_t script = 0;
+  aig::Aig candidate;               ///< round base with this window rewritten
+  std::vector<aig::Lit> node_map;   ///< base var -> candidate lit (splice map)
+  aig::DirtyRegion dirty;           ///< candidate vs round base
+  opt::QualityEval q;
+  double cost = 0.0;
+  double transform_seconds = 0.0;
+  double eval_seconds = 0.0;
+  bool accepted = false;            ///< the accept rule's verdict (pre-commit)
+};
+
+/// Chases `window` (ids in the round base) through the composed splice map
+/// into the current graph: surviving AND nodes, deduplicated, ascending.
+std::vector<aig::NodeId> remap_window(const std::vector<aig::NodeId>& window,
+                                      const std::vector<aig::Lit>& round_map,
+                                      const aig::Aig& current) {
+  std::vector<aig::NodeId> remapped;
+  remapped.reserve(window.size());
+  for (const aig::NodeId v : window) {
+    const aig::Lit l = round_map[v];
+    if (l == aig::kLitInvalid) continue;
+    const aig::NodeId nv = aig::lit_var(l);
+    if (!current.is_and(nv)) continue;
+    remapped.push_back(nv);
+  }
+  std::sort(remapped.begin(), remapped.end());
+  remapped.erase(std::unique(remapped.begin(), remapped.end()), remapped.end());
+  return remapped;
+}
+
+}  // namespace
+
+opt::OptResult speculative_loop(const aig::Aig& initial, opt::CostEvaluator& evaluator,
+                                const opt::StopCondition& stop, opt::Observer* observer,
+                                const transforms::ScriptRegistry& registry, double weight_delay,
+                                double weight_area, std::uint64_t seed, const SpecParams& params,
+                                const std::function<bool(double, double, Rng&)>& accept,
+                                const std::function<void()>& post_iteration) {
+  if (params.windows < 1) throw std::invalid_argument("speculative_loop: windows < 1");
+  if (!evaluator.supports_speculation()) {
+    throw std::invalid_argument("speculative search (windows=N) needs a forkable cost evaluator; '" +
+                                evaluator.name() + "' does not support speculation (use windows=0)");
+  }
+  Timer total_timer;
+  const Rng rng(seed);
+  const bool main_inc = params.use_incremental && evaluator.supports_incremental();
+
+  // Run-local accounting snapshots (strategy.hpp contract).  Workers are
+  // minted fresh below, so their clocks are already run-local.
+  const double main_seconds_before = evaluator.eval_seconds();
+  const std::uint64_t main_count_before = evaluator.eval_count();
+  const std::uint64_t main_degraded_before = evaluator.degraded_evals();
+
+  std::vector<std::unique_ptr<opt::CostEvaluator>> workers;
+  workers.reserve(static_cast<std::size_t>(params.windows));
+  for (int i = 0; i < params.windows; ++i) workers.push_back(evaluator.fork_worker());
+  const bool worker_inc = params.use_incremental && workers.front()->supports_incremental();
+
+  const auto evals_used = [&] {
+    std::uint64_t used = evaluator.eval_count() - main_count_before;
+    for (const auto& w : workers) used += w->eval_count();
+    return used;
+  };
+
+  opt::OptResult result;
+  result.spec.windows = params.windows;
+  result.spec.parallel = params.parallel;
+  result.initial_eval = main_inc ? evaluator.bind(initial) : evaluator.evaluate(initial);
+  const double delay0 = result.initial_eval.delay > 0 ? result.initial_eval.delay : 1.0;
+  const double area0 = result.initial_eval.area > 0 ? result.initial_eval.area : 1.0;
+  const auto cost_of = [&](const opt::QualityEval& q) {
+    return weight_delay * q.delay / delay0 + weight_area * q.area / area0;
+  };
+
+  aig::Aig current = initial;
+  double current_cost = cost_of(result.initial_eval);
+  result.initial_cost = current_cost;
+  result.best = initial;
+  result.best_eval = result.initial_eval;
+  result.best_cost = current_cost;
+  if (observer != nullptr) observer->on_start(initial, result.initial_eval, current_cost);
+  if (stop.max_iterations > 0) {
+    result.history.reserve(static_cast<std::size_t>(stop.max_iterations));
+  }
+  for (auto& w : workers) {
+    if (worker_inc) (void)w->bind(initial);
+  }
+
+  // A pool of 1 spawns no threads and parallel_for degenerates to a plain
+  // loop, so serial (par=0) and parallel share one code path — which is how
+  // the bit-identity contract stays honest by construction.
+  ThreadPool pool(params.parallel ? params.threads : 1);
+
+  int iter = 0;  // proposal counter == history length
+  for (;;) {
+    if (stop.max_iterations > 0 && iter >= stop.max_iterations) {
+      result.stop_reason = opt::StopReason::kIterations;
+      break;
+    }
+    if (stop.max_seconds > 0.0 && total_timer.elapsed_s() >= stop.max_seconds) {
+      result.stop_reason = opt::StopReason::kWallTime;
+      break;
+    }
+    if (stop.max_evals > 0 && evals_used() >= stop.max_evals) {
+      result.stop_reason = opt::StopReason::kEvalBudget;
+      break;
+    }
+
+    // --- PARTITION -----------------------------------------------------------
+    WindowParams wp;
+    wp.max_windows = params.windows;
+    wp.max_window_nodes = params.max_window_nodes;
+    std::vector<Window> wins = partition_windows(current, aig::levels(current), wp);
+    if (wins.empty()) {
+      // Nothing left to rewrite (constant/PI-only graph).
+      result.stop_reason = opt::StopReason::kIterations;
+      break;
+    }
+    if (stop.max_iterations > 0) {
+      const auto remaining = static_cast<std::size_t>(stop.max_iterations - iter);
+      if (wins.size() > remaining) wins.resize(remaining);
+    }
+
+    // --- PROPOSE -------------------------------------------------------------
+    // Per-window RNG streams forked from (master state, round, window) before
+    // submission; the master never advances, so streams are scheduling- and
+    // thread-count-independent.
+    const Rng round_rng = rng.fork(result.spec.rounds);
+    const aig::Aig round_base = current;
+    std::vector<Proposal> props(wins.size());
+    pool.parallel_for(wins.size(), [&](std::size_t i) {
+      Proposal& p = props[i];
+      Rng wrng = round_rng.fork(i);
+      p.script = registry.random_index(wrng);
+      Timer transform_timer;
+      const WindowCut cut = extract_window(round_base, wins[i]);
+      const aig::Aig optimized = registry.apply(p.script, cut.sub);
+      SpliceResult spliced = splice_window(round_base, cut, optimized);
+      p.candidate = std::move(spliced.graph);
+      p.node_map = std::move(spliced.node_map);
+      p.dirty = aig::diff_region(round_base, p.candidate);
+      p.transform_seconds = transform_timer.elapsed_s();
+
+      opt::CostEvaluator& w = *workers[i];
+      const double eval_before = w.eval_seconds();
+      if (worker_inc) {
+        p.q = w.evaluate_delta(p.candidate, p.dirty);
+        w.rollback_move();  // stay bound to the round base; commits reconcile below
+      } else {
+        p.q = w.evaluate(p.candidate);
+      }
+      p.eval_seconds = w.eval_seconds() - eval_before;
+      p.cost = cost_of(p.q);
+      p.accepted = accept(p.cost, current_cost, wrng);
+    });
+
+    // --- DECIDE (serial, ascending window order) -----------------------------
+    std::vector<const aig::DirtyRegion*> committed_regions;
+    std::vector<aig::Lit> round_map;  // round base var -> current lit
+    for (std::size_t i = 0; i < props.size(); ++i, ++iter) {
+      Proposal& p = props[i];
+      ++result.spec.proposed;
+      if (observer != nullptr) observer->on_candidate(iter, p.candidate, p.q);
+
+      bool commit = p.accepted;
+      if (commit) {
+        for (const aig::DirtyRegion* r : committed_regions) {
+          if (regions_overlap(p.dirty, *r)) {
+            commit = false;
+            break;
+          }
+        }
+        if (commit && fault::fire(fault::Site::kSpecCommitAbort)) commit = false;
+        if (commit) {
+          if (committed_regions.empty()) {
+            current = std::move(p.candidate);
+            round_map = std::move(p.node_map);
+          } else {
+            // Later winner: re-apply its script to the window chased through
+            // the splices already committed this round.  Equivalence holds
+            // unconditionally (window surgery preserves PO functions); the
+            // speculated cost is trued up at round end.
+            Timer reapply_timer;
+            const std::vector<aig::NodeId> remapped =
+                remap_window(wins[i].nodes, round_map, current);
+            if (remapped.empty()) {
+              commit = false;
+            } else {
+              const WindowCut cut = extract_window(current, Window{remapped});
+              const aig::Aig optimized = registry.apply(p.script, cut.sub);
+              SpliceResult spliced = splice_window(current, cut, optimized);
+              current = std::move(spliced.graph);
+              for (aig::Lit& l : round_map) {
+                if (l == aig::kLitInvalid) continue;
+                const aig::Lit t = spliced.node_map[aig::lit_var(l)];
+                l = t == aig::kLitInvalid ? aig::kLitInvalid
+                                          : aig::lit_not_if(t, aig::lit_is_complemented(l));
+              }
+            }
+            p.transform_seconds += reapply_timer.elapsed_s();
+          }
+        }
+        if (commit) {
+          committed_regions.push_back(&p.dirty);
+          ++result.spec.committed;
+        } else {
+          ++result.spec.aborted;
+        }
+      }
+
+      opt::IterationRecord record;
+      record.script_index = p.script;
+      record.delay = p.q.delay;
+      record.area = p.q.area;
+      record.cost = p.cost;
+      record.accepted = commit;
+      record.transform_seconds = p.transform_seconds;
+      record.eval_seconds = p.eval_seconds;
+      post_iteration();
+      result.total_transform_seconds += record.transform_seconds;
+      result.history.push_back(record);
+      if (observer != nullptr) observer->on_iteration(iter, result.history.back());
+    }
+    ++result.spec.rounds;
+
+    // --- RECONCILE -----------------------------------------------------------
+    if (!committed_regions.empty()) {
+      const aig::DirtyRegion round_dirty = aig::diff_region(round_base, current);
+      opt::QualityEval q;
+      if (main_inc) {
+        q = evaluator.evaluate_delta(current, round_dirty);
+        evaluator.commit_move();
+      } else {
+        q = evaluator.evaluate(current);
+      }
+      current_cost = cost_of(q);
+      if (current_cost < result.best_cost) {
+        result.best = current;
+        result.best_eval = q;
+        result.best_cost = current_cost;
+        if (observer != nullptr) observer->on_improvement(iter - 1, q, current_cost);
+      }
+      if (worker_inc) {
+        pool.parallel_for(workers.size(), [&](std::size_t wi) {
+          workers[wi]->evaluate_delta(current, round_dirty);
+          workers[wi]->commit_move();
+        });
+      }
+    }
+  }
+
+  result.total_eval_seconds = evaluator.eval_seconds() - main_seconds_before;
+  result.eval_count = evaluator.eval_count() - main_count_before;
+  result.degraded_evals = evaluator.degraded_evals() - main_degraded_before;
+  for (const auto& w : workers) {
+    result.total_eval_seconds += w->eval_seconds();
+    result.eval_count += w->eval_count();
+    result.degraded_evals += w->degraded_evals();
+  }
+  result.total_seconds = total_timer.elapsed_s();
+  if (observer != nullptr) observer->on_finish(result);
+  return result;
+}
+
+}  // namespace aigml::spec

@@ -1,0 +1,80 @@
+#pragma once
+// Speculative windowed move engine (DESIGN.md §12) — the batched-move
+// replacement for opt::detail::search_loop's one-move-at-a-time body,
+// selected by SaParams/GreedyParams::windows (recipe keys windows=N, par=1).
+//
+// Per round:
+//   1. PARTITION   the current graph into up to `windows` disjoint windows
+//                  keyed off node levels (window.hpp).
+//   2. PROPOSE     one registry script per window, speculatively: extract
+//                  the window, optimize the sub-AIG, splice it back, diff
+//                  the candidate, and score it on the window's private
+//                  forked evaluator (CostEvaluator::fork_worker) through the
+//                  incremental protocol — rolled back immediately, so the
+//                  worker stays bound to the round base.  With `parallel`,
+//                  proposals run concurrently on util::ThreadPool; all
+//                  randomness (script choice, the accept draw) comes from
+//                  per-window forked RNG streams drawn before submission.
+//   3. DECIDE      serially, in ascending window order: apply the caller's
+//                  accept rule, then commit accepted proposals whose dirty
+//                  regions do not overlap an earlier commit of this round
+//                  (conflict.hpp); overlapping winners ABORT (their windows
+//                  requeue naturally — the next round re-partitions the new
+//                  graph).  The spec.commit_abort fault site can force
+//                  aborts here for chaos testing.  The first commit adopts
+//                  the speculative candidate; later commits re-apply their
+//                  window's script on the updated graph through the
+//                  splices' node maps, which preserves equivalence by
+//                  construction (Galois-style optimism: the re-applied
+//                  result is trued up by the round-end evaluation).
+//   4. RECONCILE   after a committed round, the main evaluator scores the
+//                  new current graph (one evaluation — the round's ground
+//                  truth for best-tracking), and every worker rebinds its
+//                  context to it.
+//
+// Determinism contract (fuzz- and bench-gated): for a fixed seed the
+// trajectory — scripts, costs, accept/commit/abort decisions, history,
+// best — is bit-identical for parallel on/off and for any thread count.
+// Everything order-dependent happens in the serial DECIDE phase; the
+// parallel phase computes pure per-window results into indexed slots from
+// pre-forked RNG streams, and evaluation counts are per-window (never
+// per-thread), so even accounting is thread-count independent.
+
+#include <cstdint>
+#include <functional>
+
+#include "opt/strategy.hpp"
+
+namespace aigml::spec {
+
+struct SpecParams {
+  /// Window count per round (>= 1; the engine is only entered when > 0).
+  int windows = 0;
+  /// Evaluate window proposals concurrently on the thread pool.
+  bool parallel = false;
+  /// Pool size when parallel; 0 = default_num_threads() (--threads).
+  int threads = 0;
+  /// Per-window AND cap passed to the partitioner (0 = auto).
+  std::size_t max_window_nodes = 0;
+  /// Route worker evaluations through the incremental protocol when the
+  /// evaluator supports it (same knob as the classic loop; bit-identical).
+  bool use_incremental = true;
+};
+
+/// Runs the engine described above.  Requires
+/// `evaluator.supports_speculation()` (throws std::invalid_argument
+/// otherwise, naming the evaluator).  `accept` and `post_iteration` have
+/// search_loop's semantics; `accept` may be called concurrently for
+/// different windows and must not mutate shared state (the strategies'
+/// closures only read it — SA's temperature decays in the serial phase).
+/// Budget semantics: max_iterations caps *proposals* (history records);
+/// max_evals counts main + worker evaluator calls; both are checked at
+/// round boundaries, so a round in flight finishes like an iteration does.
+[[nodiscard]] opt::OptResult speculative_loop(
+    const aig::Aig& initial, opt::CostEvaluator& evaluator, const opt::StopCondition& stop,
+    opt::Observer* observer, const transforms::ScriptRegistry& registry, double weight_delay,
+    double weight_area, std::uint64_t seed, const SpecParams& params,
+    const std::function<bool(double, double, Rng&)>& accept,
+    const std::function<void()>& post_iteration);
+
+}  // namespace aigml::spec

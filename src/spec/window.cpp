@@ -1,0 +1,306 @@
+#include "spec/window.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aigml::spec {
+
+namespace {
+
+std::size_t effective_cap(const aig::Aig& g, const WindowParams& params) {
+  if (params.max_window_nodes > 0) return params.max_window_nodes;
+  const std::size_t windows = params.max_windows > 0 ? static_cast<std::size_t>(params.max_windows) : 1;
+  return std::max(kMinWindowNodes, g.num_ands() / windows);
+}
+
+}  // namespace
+
+std::vector<Window> partition_windows(const aig::Aig& g, const std::vector<std::uint32_t>& levels,
+                                      const WindowParams& params) {
+  if (params.max_windows < 1) throw std::invalid_argument("partition_windows: max_windows < 1");
+  if (levels.size() != g.num_nodes()) {
+    throw std::invalid_argument("partition_windows: levels/graph size mismatch");
+  }
+  const std::size_t n = g.num_nodes();
+  const std::size_t cap = effective_cap(g, params);
+
+  // Seeds: every AND node, deepest level first (the timing-critical end), id
+  // as a deterministic tiebreak.  Growth claims the seed's transitive fanin
+  // breadth-first, so a window is a TFI-bounded cone around its seed.
+  std::vector<aig::NodeId> seeds;
+  seeds.reserve(g.num_ands());
+  for (aig::NodeId id = 0; id < n; ++id) {
+    if (g.is_and(id)) seeds.push_back(id);
+  }
+  std::sort(seeds.begin(), seeds.end(), [&](aig::NodeId a, aig::NodeId b) {
+    if (levels[a] != levels[b]) return levels[a] > levels[b];
+    return a > b;
+  });
+
+  std::vector<char> claimed(n, 0);
+  std::vector<Window> windows;
+  std::vector<aig::NodeId> queue;
+  for (const aig::NodeId seed : seeds) {
+    if (claimed[seed] != 0) continue;
+    if (windows.size() >= static_cast<std::size_t>(params.max_windows)) break;
+    Window w;
+    queue.clear();
+    queue.push_back(seed);
+    claimed[seed] = 1;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const aig::NodeId id = queue[head];
+      w.nodes.push_back(id);
+      // queue.size() counts every node this window has claimed (emitted plus
+      // pending), so guarding each push individually enforces the cap exactly.
+      for (const aig::Lit fanin : {g.fanin0(id), g.fanin1(id)}) {
+        if (queue.size() >= cap) break;
+        const aig::NodeId v = aig::lit_var(fanin);
+        if (!g.is_and(v) || claimed[v] != 0) continue;
+        claimed[v] = 1;
+        queue.push_back(v);
+      }
+    }
+    std::sort(w.nodes.begin(), w.nodes.end());
+    windows.push_back(std::move(w));
+  }
+  return windows;
+}
+
+WindowCut extract_window(const aig::Aig& g, const Window& w) {
+  const std::size_t n = g.num_nodes();
+  WindowCut cut;
+  cut.nodes = w.nodes;
+  if (cut.nodes.empty()) throw std::invalid_argument("extract_window: empty window");
+
+  std::vector<char> in_win(n, 0);
+  for (const aig::NodeId id : cut.nodes) {
+    if (id >= n || !g.is_and(id)) throw std::invalid_argument("extract_window: non-AND window node");
+    in_win[id] = 1;
+  }
+
+  // Window inputs: outside non-constant vars any window node reads.
+  for (const aig::NodeId id : cut.nodes) {
+    for (const aig::Lit fanin : {g.fanin0(id), g.fanin1(id)}) {
+      const aig::NodeId v = aig::lit_var(fanin);
+      if (in_win[v] != 0 || g.is_constant(v)) continue;
+      cut.input_vars.push_back(v);
+    }
+  }
+  std::sort(cut.input_vars.begin(), cut.input_vars.end());
+  cut.input_vars.erase(std::unique(cut.input_vars.begin(), cut.input_vars.end()),
+                       cut.input_vars.end());
+
+  // Window outputs: window nodes referenced by outside ANDs or by POs.
+  std::vector<char> visible(n, 0);
+  for (aig::NodeId id = 0; id < n; ++id) {
+    if (!g.is_and(id) || in_win[id] != 0) continue;
+    visible[aig::lit_var(g.fanin0(id))] = 1;
+    visible[aig::lit_var(g.fanin1(id))] = 1;
+  }
+  for (const aig::Lit out : g.outputs()) visible[aig::lit_var(out)] = 1;
+  for (const aig::NodeId id : cut.nodes) {
+    if (visible[id] != 0) cut.output_nodes.push_back(id);
+  }
+
+  // Lift: inputs -> PIs in input_vars order, window ANDs rebuilt ascending
+  // (fanins are either earlier window nodes or declared inputs), outputs ->
+  // POs in output_nodes order with the original phases folded in.
+  std::vector<aig::Lit> to_sub(n, aig::kLitInvalid);
+  to_sub[0] = aig::kLitFalse;
+  for (const aig::NodeId v : cut.input_vars) to_sub[v] = cut.sub.add_input();
+  const auto map_lit = [&](aig::Lit l) {
+    const aig::Lit mapped = to_sub[aig::lit_var(l)];
+    if (mapped == aig::kLitInvalid) {
+      throw std::logic_error("extract_window: window fanin neither input nor window node");
+    }
+    return aig::lit_not_if(mapped, aig::lit_is_complemented(l));
+  };
+  for (const aig::NodeId id : cut.nodes) {
+    to_sub[id] = cut.sub.make_and(map_lit(g.fanin0(id)), map_lit(g.fanin1(id)));
+  }
+  for (const aig::NodeId id : cut.output_nodes) cut.sub.add_output(to_sub[id]);
+  return cut;
+}
+
+namespace {
+
+/// Marks which host nodes (`need_g`) and optimized-sub nodes (`need_sub`)
+/// the spliced graph actually uses, by walking the combined dependency graph
+/// backward from the host's primary outputs.  References into the window
+/// detour through the optimized sub's corresponding output cone, and sub
+/// inputs detour back to their original vars — so host logic that only fed
+/// window inputs the rewrite dropped is never marked (the splice's built-in
+/// cleanup).
+void mark_needed(const aig::Aig& g, const std::vector<char>& in_win,
+                 const std::vector<int>& out_index, const aig::Aig& optimized,
+                 const std::vector<aig::NodeId>& sub_input_orig, std::vector<char>& need_g,
+                 std::vector<char>& need_sub) {
+  struct Ref {
+    aig::NodeId var;
+    bool sub;
+  };
+  std::vector<Ref> work;
+  const auto push_g = [&](aig::NodeId v) {
+    if (need_g[v] == 0) {
+      need_g[v] = 1;
+      work.push_back({v, false});
+    }
+  };
+  const auto push_sub = [&](aig::NodeId v) {
+    if (need_sub[v] == 0) {
+      need_sub[v] = 1;
+      work.push_back({v, true});
+    }
+  };
+  for (const aig::Lit out : g.outputs()) push_g(aig::lit_var(out));
+  while (!work.empty()) {
+    const Ref ref = work.back();
+    work.pop_back();
+    if (ref.sub) {
+      if (optimized.is_and(ref.var)) {
+        push_sub(aig::lit_var(optimized.fanin0(ref.var)));
+        push_sub(aig::lit_var(optimized.fanin1(ref.var)));
+      } else if (optimized.is_input(ref.var)) {
+        push_g(sub_input_orig[ref.var]);
+      }
+      continue;
+    }
+    if (in_win[ref.var] != 0) {
+      const int j = out_index[ref.var];
+      if (j < 0) throw std::logic_error("splice_window: window-internal node referenced outside");
+      push_sub(aig::lit_var(optimized.outputs()[static_cast<std::size_t>(j)]));
+    } else if (g.is_and(ref.var)) {
+      push_g(aig::lit_var(g.fanin0(ref.var)));
+      push_g(aig::lit_var(g.fanin1(ref.var)));
+    }
+  }
+}
+
+}  // namespace
+
+SpliceResult splice_window(const aig::Aig& g, const WindowCut& cut, const aig::Aig& optimized_sub) {
+  if (optimized_sub.num_inputs() != cut.sub.num_inputs() ||
+      optimized_sub.num_outputs() != cut.sub.num_outputs()) {
+    throw std::invalid_argument("splice_window: optimized sub i/o arity mismatch");
+  }
+  const std::size_t n = g.num_nodes();
+  std::vector<char> in_win(n, 0);
+  for (const aig::NodeId id : cut.nodes) in_win[id] = 1;
+  std::vector<int> out_index(n, -1);
+  for (std::size_t j = 0; j < cut.output_nodes.size(); ++j) {
+    out_index[cut.output_nodes[j]] = static_cast<int>(j);
+  }
+  std::vector<aig::NodeId> sub_input_orig(optimized_sub.num_nodes(), 0);
+  for (std::size_t k = 0; k < optimized_sub.inputs().size(); ++k) {
+    sub_input_orig[optimized_sub.inputs()[k]] = cut.input_vars[k];
+  }
+
+  std::vector<char> need_g(n, 0);
+  std::vector<char> need_sub(optimized_sub.num_nodes(), 0);
+  mark_needed(g, in_win, out_index, optimized_sub, sub_input_orig, need_g, need_sub);
+
+  SpliceResult res;
+  aig::Aig& out = res.graph;
+  res.node_map.assign(n, aig::kLitInvalid);
+  res.node_map[0] = aig::kLitFalse;
+  std::vector<aig::Lit> sub_map(optimized_sub.num_nodes(), aig::kLitInvalid);
+  sub_map[0] = aig::kLitFalse;
+  // All PIs survive (AIG i/o arity is part of the design's identity).
+  for (std::size_t i = 0; i < g.inputs().size(); ++i) {
+    res.node_map[g.inputs()[i]] = out.add_input(g.input_name(i));
+  }
+
+  // Two-space iterative resolver: emits host nodes in ascending id order and
+  // pulls optimized-sub cones (and any host logic they demand early) on
+  // first use.  Explicit stack — cone depth is graph depth, which recursion
+  // could blow on deep arithmetic circuits.
+  struct Frame {
+    aig::NodeId var;
+    bool sub;
+  };
+  std::vector<Frame> stack;
+  const auto resolve = [&](aig::NodeId root) {
+    if (res.node_map[root] != aig::kLitInvalid) return;
+    stack.push_back({root, false});
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      aig::Lit& slot = f.sub ? sub_map[f.var] : res.node_map[f.var];
+      if (slot != aig::kLitInvalid) {
+        stack.pop_back();
+        continue;
+      }
+      if (f.sub) {
+        if (optimized_sub.is_input(f.var)) {
+          const aig::NodeId ov = sub_input_orig[f.var];
+          if (res.node_map[ov] == aig::kLitInvalid) {
+            stack.push_back({ov, false});
+            continue;
+          }
+          slot = res.node_map[ov];
+          stack.pop_back();
+          continue;
+        }
+        const aig::Lit f0 = optimized_sub.fanin0(f.var);
+        const aig::Lit f1 = optimized_sub.fanin1(f.var);
+        bool ready = true;
+        if (sub_map[aig::lit_var(f0)] == aig::kLitInvalid) {
+          stack.push_back({aig::lit_var(f0), true});
+          ready = false;
+        }
+        if (sub_map[aig::lit_var(f1)] == aig::kLitInvalid) {
+          stack.push_back({aig::lit_var(f1), true});
+          ready = false;
+        }
+        if (!ready) continue;
+        slot = out.make_and(
+            aig::lit_not_if(sub_map[aig::lit_var(f0)], aig::lit_is_complemented(f0)),
+            aig::lit_not_if(sub_map[aig::lit_var(f1)], aig::lit_is_complemented(f1)));
+        stack.pop_back();
+        continue;
+      }
+      if (in_win[f.var] != 0) {
+        const int j = out_index[f.var];
+        if (j < 0) throw std::logic_error("splice_window: window-internal node referenced outside");
+        const aig::Lit ol = optimized_sub.outputs()[static_cast<std::size_t>(j)];
+        if (sub_map[aig::lit_var(ol)] == aig::kLitInvalid) {
+          stack.push_back({aig::lit_var(ol), true});
+          continue;
+        }
+        slot = aig::lit_not_if(sub_map[aig::lit_var(ol)], aig::lit_is_complemented(ol));
+        stack.pop_back();
+        continue;
+      }
+      const aig::Lit f0 = g.fanin0(f.var);
+      const aig::Lit f1 = g.fanin1(f.var);
+      bool ready = true;
+      if (res.node_map[aig::lit_var(f0)] == aig::kLitInvalid) {
+        stack.push_back({aig::lit_var(f0), false});
+        ready = false;
+      }
+      if (res.node_map[aig::lit_var(f1)] == aig::kLitInvalid) {
+        stack.push_back({aig::lit_var(f1), false});
+        ready = false;
+      }
+      if (!ready) continue;
+      slot = out.make_and(
+          aig::lit_not_if(res.node_map[aig::lit_var(f0)], aig::lit_is_complemented(f0)),
+          aig::lit_not_if(res.node_map[aig::lit_var(f1)], aig::lit_is_complemented(f1)));
+      stack.pop_back();
+    }
+  };
+
+  for (aig::NodeId id = 1; id < n; ++id) {
+    if (need_g[id] == 0 || in_win[id] != 0 || !g.is_and(id)) continue;
+    resolve(id);
+  }
+  for (std::size_t k = 0; k < g.outputs().size(); ++k) {
+    const aig::Lit l = g.outputs()[k];
+    resolve(aig::lit_var(l));
+    out.add_output(
+        aig::lit_not_if(res.node_map[aig::lit_var(l)], aig::lit_is_complemented(l)),
+        g.output_name(k));
+  }
+  return res;
+}
+
+}  // namespace aigml::spec

@@ -1,0 +1,93 @@
+#pragma once
+// Window partitioning and window surgery — the graph-side half of the
+// speculative parallel move engine (DESIGN.md §12).
+//
+// A *window* is a set of AND nodes carved out of the AIG so that several
+// transforms can be proposed concurrently, one per window, without touching
+// each other's logic.  The partitioner keys windows off node levels: seeds
+// are picked deepest-first (highest level — the timing-critical end the
+// paper's oracle cares about) and grown through the transitive fanin, so
+// each window is a TFI-bounded cone.  Windows are pairwise disjoint by
+// construction.
+//
+// extract_window() lifts a window into a standalone sub-AIG (window inputs
+// become PIs, window nodes visible outside become POs) that any registry
+// script can optimize in isolation.  splice_window() grafts an optimized
+// sub-AIG back, rebuilding the host graph in ascending id order so the
+// untouched prefix keeps its ids (small dirty regions, cheap incremental
+// evaluation) and pruning logic the optimized window no longer needs.  The
+// splice also returns an old-var -> new-literal map so a committer can chase
+// surviving nodes across several splices in one round (executor.hpp).
+//
+// Correctness does not depend on the partition: every splice preserves all
+// primary-output functions because the optimized sub-AIG computes the same
+// functions at its outputs (scripts are equivalence-preserving) and the
+// splice substitutes those outputs literally.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace aigml::spec {
+
+/// One window: a set of AND-node ids, ascending.  Windows produced by one
+/// partition_windows() call are pairwise disjoint.
+struct Window {
+  std::vector<aig::NodeId> nodes;
+};
+
+struct WindowParams {
+  /// Upper bound on the number of windows returned (>= 1).
+  int max_windows = 4;
+  /// Per-window AND-node cap; 0 derives max(kMinWindowNodes, ands / windows)
+  /// so the requested window count roughly tiles the graph.
+  std::size_t max_window_nodes = 0;
+};
+
+inline constexpr std::size_t kMinWindowNodes = 8;
+
+/// Carves `g` into up to `params.max_windows` disjoint AND-node windows.
+/// `levels` must be aig::levels(g) (or AnalysisCache::levels() for the same
+/// graph).  Deterministic: depends only on the graph and the parameters.
+/// Invariants (fuzz-enforced by tests/test_spec.cpp):
+///   * every listed id is an AND node of `g`,
+///   * windows are pairwise disjoint,
+///   * each window has between 1 and the effective node cap members,
+///   * node lists are ascending.
+[[nodiscard]] std::vector<Window> partition_windows(const aig::Aig& g,
+                                                    const std::vector<std::uint32_t>& levels,
+                                                    const WindowParams& params);
+
+/// A window lifted into a standalone sub-AIG.
+struct WindowCut {
+  std::vector<aig::NodeId> nodes;        ///< the window, ascending
+  std::vector<aig::NodeId> input_vars;   ///< outside vars feeding the window, ascending
+  std::vector<aig::NodeId> output_nodes; ///< window nodes referenced outside (or by POs), ascending
+  /// input_vars[k] -> sub PI k, output_nodes[j] -> sub PO j.  Output phases
+  /// fold into the PO literals, so any equivalence-preserving rewrite of
+  /// `sub` substitutes soundly.
+  aig::Aig sub;
+};
+
+[[nodiscard]] WindowCut extract_window(const aig::Aig& g, const Window& w);
+
+struct SpliceResult {
+  aig::Aig graph;
+  /// Original var -> literal in `graph` computing the same function;
+  /// kLitInvalid for vars the splice pruned (window internals, logic dead
+  /// after the rewrite).  Inputs and the constant always survive.
+  std::vector<aig::Lit> node_map;
+};
+
+/// Grafts `optimized_sub` (same PI/PO arity as `cut.sub`, equivalent PO
+/// functions) into `g` in place of the window.  The result is functionally
+/// equivalent to `g` on all primary outputs; nodes outside the window keep
+/// their relative order (ids shift only past the first structural change).
+/// Logic that fed only window inputs the rewrite dropped is pruned — the
+/// splice doubles as an incremental cleanup().
+[[nodiscard]] SpliceResult splice_window(const aig::Aig& g, const WindowCut& cut,
+                                         const aig::Aig& optimized_sub);
+
+}  // namespace aigml::spec

@@ -18,7 +18,7 @@ constexpr const char* kSiteNames[kNumSites] = {
     "socket.connect", "socket.read",    "socket.write", "socket.partial-write",
     "socket.delay",   "server.kill",    "model.truncate", "worker.throw",
     "replay.tear",    "retrain.throw",  "net.accept",   "net.epoll_spurious",
-    "net.slot_stall",
+    "net.slot_stall", "spec.commit_abort",
 };
 
 /// Per-site runtime state.  Counters are atomic (sites are visited from

@@ -23,7 +23,7 @@
 //   sites: socket.connect  socket.read  socket.write  socket.partial-write
 //          socket.delay    server.kill  model.truncate  worker.throw
 //          replay.tear     retrain.throw  net.accept  net.epoll_spurious
-//          net.slot_stall
+//          net.slot_stall  spec.commit_abort
 //
 // Example: AIGML_FAULTS="socket.read,after=40,count=3;socket.delay,ms=50,count=0"
 //
@@ -60,8 +60,9 @@ enum class Site : int {
   kNetAccept,          ///< BatchServer closes a just-accepted connection
   kNetEpollSpurious,   ///< EventLoop wakes with synthesized no-data events
   kNetSlotStall,       ///< a slot completion is delayed before delivery
+  kSpecCommitAbort,    ///< speculative committer aborts a would-commit window
 };
-inline constexpr int kNumSites = 13;
+inline constexpr int kNumSites = 14;
 
 [[nodiscard]] const char* to_string(Site site) noexcept;
 [[nodiscard]] std::optional<Site> site_from_name(std::string_view name) noexcept;

@@ -1,0 +1,573 @@
+// Speculative parallel search (DESIGN.md §12): window partitioning, window
+// extract/splice surgery, DirtyRegion conflict detection, and the windowed
+// move engine itself.  The load-bearing properties are fuzz-enforced:
+// disjoint TFI-bounded windows, conflict exactness against a brute-force
+// boolean-vector intersection, splice equivalence under arbitrary registry
+// scripts, and — the engine's hard contract — bit-identical trajectories for
+// par=0 vs par=1 at any thread count.  Suites are named so the TSan CI job
+// (Spec*) races the parallel engine and the chaos job (Fault*) drives the
+// spec.commit_abort site.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/analysis.hpp"
+#include "aig/dirty.hpp"
+#include "aig/sim.hpp"
+#include "gen/circuits.hpp"
+#include "opt/cost.hpp"
+#include "opt/greedy.hpp"
+#include "opt/portfolio.hpp"
+#include "opt/recipe.hpp"
+#include "opt/sa.hpp"
+#include "spec/conflict.hpp"
+#include "spec/window.hpp"
+#include "transforms/scripts.hpp"
+#include "util/fault.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace aigml {
+namespace {
+
+using aig::Aig;
+using aig::DirtyRegion;
+using aig::Lit;
+using aig::NodeId;
+
+// Restores process-global knobs even when an ASSERT bails out of a test.
+struct ThreadsGuard {
+  ~ThreadsGuard() { set_default_threads(0); }
+};
+struct FaultGuard {
+  ~FaultGuard() { fault::clear(); }
+};
+
+// A small pool of structurally diverse graphs; fuzz rounds mutate rotating
+// copies with registry scripts so partitions see many shapes cheaply.
+std::vector<Aig> base_graphs() {
+  std::vector<Aig> pool;
+  pool.push_back(gen::multiplier(4));
+  pool.push_back(gen::multiplier_wallace(4));
+  pool.push_back(gen::adder_cla(8));
+  pool.push_back(gen::comparator(6));
+  pool.push_back(gen::alu(4));
+  return pool;
+}
+
+// ---- SpecWindow: partitioner invariants -------------------------------------
+
+TEST(SpecWindow, PartitionInvariantsFuzz) {
+  const auto& registry = transforms::script_registry();
+  std::vector<Aig> pool = base_graphs();
+  Rng rng(0x51ec'0001);
+  int rounds = 0;
+  for (int iter = 0; rounds < 500; ++iter) {
+    Aig& g = pool[iter % pool.size()];
+    if (iter % 5 == 4) g = registry.apply(registry.random_index(rng), g);
+
+    spec::WindowParams params;
+    params.max_windows = static_cast<int>(rng.next_int(1, 8));
+    params.max_window_nodes = rng.next_bool(0.5) ? 0 : rng.next_int(4, 64);
+    const std::vector<std::uint32_t> levels = aig::levels(g);
+    const std::vector<spec::Window> windows = spec::partition_windows(g, levels, params);
+    ++rounds;
+
+    ASSERT_LE(windows.size(), static_cast<std::size_t>(params.max_windows));
+    const std::size_t cap =
+        params.max_window_nodes > 0
+            ? params.max_window_nodes
+            : std::max(spec::kMinWindowNodes,
+                       g.num_ands() / static_cast<std::size_t>(params.max_windows));
+    std::vector<char> claimed(g.num_nodes(), 0);
+    for (const spec::Window& w : windows) {
+      ASSERT_GE(w.nodes.size(), 1u);
+      ASSERT_LE(w.nodes.size(), cap);
+      ASSERT_TRUE(std::is_sorted(w.nodes.begin(), w.nodes.end()));
+      for (const NodeId id : w.nodes) {
+        ASSERT_LT(id, g.num_nodes());
+        ASSERT_TRUE(g.is_and(id));
+        ASSERT_EQ(claimed[id], 0) << "windows not disjoint at node " << id;
+        claimed[id] = 1;
+      }
+    }
+  }
+}
+
+TEST(SpecWindow, PartitionIsDeterministic) {
+  const Aig g = gen::multiplier(5);
+  const std::vector<std::uint32_t> levels = aig::levels(g);
+  spec::WindowParams params;
+  params.max_windows = 6;
+  const auto a = spec::partition_windows(g, levels, params);
+  const auto b = spec::partition_windows(g, levels, params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].nodes, b[i].nodes);
+}
+
+TEST(SpecWindow, PartitionRejectsBadArguments) {
+  const Aig g = gen::adder_ripple(4);
+  const std::vector<std::uint32_t> levels = aig::levels(g);
+  spec::WindowParams params;
+  params.max_windows = 0;
+  EXPECT_THROW((void)spec::partition_windows(g, levels, params), std::invalid_argument);
+  params.max_windows = 2;
+  const std::vector<std::uint32_t> short_levels(levels.begin(), levels.end() - 1);
+  EXPECT_THROW((void)spec::partition_windows(g, short_levels, params), std::invalid_argument);
+}
+
+// ---- SpecWindow: extract / splice surgery -----------------------------------
+
+// Splicing the *unmodified* cut back must reproduce the original functions.
+TEST(SpecWindow, SpliceIdentityRoundTrip) {
+  const Aig g = gen::multiplier(4);
+  const std::vector<std::uint32_t> levels = aig::levels(g);
+  spec::WindowParams params;
+  params.max_windows = 4;
+  for (const spec::Window& w : spec::partition_windows(g, levels, params)) {
+    const spec::WindowCut cut = spec::extract_window(g, w);
+    const spec::SpliceResult res = spec::splice_window(g, cut, cut.sub);
+    EXPECT_TRUE(aig::equivalent(g, res.graph));
+    EXPECT_EQ(res.node_map[0], aig::kLitFalse);
+    for (const NodeId pi : g.inputs()) EXPECT_NE(res.node_map[pi], aig::kLitInvalid);
+  }
+}
+
+// The core soundness property: splicing any script-optimized sub-AIG back
+// yields a graph equivalent to the original, and the returned node_map sends
+// every surviving var to a literal computing the same function (checked by
+// bit-parallel simulation on a shared input batch).
+TEST(SpecWindow, SpliceEquivalenceFuzz) {
+  const auto& registry = transforms::script_registry();
+  std::vector<Aig> pool = base_graphs();
+  Rng rng(0x51ec'0002);
+  for (int round = 0; round < 120; ++round) {
+    Aig& g = pool[round % pool.size()];
+    if (round % 7 == 6) g = registry.apply(registry.random_index(rng), g);
+
+    spec::WindowParams params;
+    params.max_windows = static_cast<int>(rng.next_int(2, 6));
+    const std::vector<std::uint32_t> levels = aig::levels(g);
+    const std::vector<spec::Window> windows = spec::partition_windows(g, levels, params);
+    ASSERT_FALSE(windows.empty());
+    const spec::Window& w = windows[rng.next_below(windows.size())];
+
+    const spec::WindowCut cut = spec::extract_window(g, w);
+    const Aig optimized = registry.apply(registry.random_index(rng), cut.sub);
+    ASSERT_TRUE(aig::equivalent(cut.sub, optimized));
+    const spec::SpliceResult res = spec::splice_window(g, cut, optimized);
+    ASSERT_TRUE(aig::equivalent(g, res.graph)) << "round " << round;
+
+    // node_map functional check on one 64-pattern batch.
+    std::vector<std::uint64_t> pi_words(g.num_inputs());
+    for (auto& word : pi_words) word = rng.next();
+    const std::vector<std::uint64_t> before = aig::simulate_all_nodes(g, pi_words);
+    const std::vector<std::uint64_t> after = aig::simulate_all_nodes(res.graph, pi_words);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const Lit mapped = res.node_map[v];
+      if (mapped == aig::kLitInvalid) continue;
+      const std::uint64_t got =
+          after[aig::lit_var(mapped)] ^ (aig::lit_is_complemented(mapped) ? ~0ULL : 0ULL);
+      ASSERT_EQ(before[v], got) << "node_map wrong for var " << v << " in round " << round;
+    }
+  }
+}
+
+TEST(SpecWindow, SpliceRejectsArityMismatch) {
+  const Aig g = gen::adder_cla(6);
+  const std::vector<std::uint32_t> levels = aig::levels(g);
+  spec::WindowParams params;
+  params.max_windows = 2;
+  const auto windows = spec::partition_windows(g, levels, params);
+  ASSERT_FALSE(windows.empty());
+  const spec::WindowCut cut = spec::extract_window(g, windows[0]);
+  Aig wrong;  // one PI, one PO — certainly not the cut's arity
+  wrong.add_output(wrong.add_input());
+  EXPECT_THROW((void)spec::splice_window(g, cut, wrong), std::invalid_argument);
+}
+
+// ---- SpecConflict: exactness against brute force ----------------------------
+
+// Reference implementation: materialize each region's id set (changed ids,
+// grow/shrink tail, the shared "outputs" slot, everything under `full`) as a
+// boolean vector and intersect.
+bool brute_force_overlap(const DirtyRegion& a, const DirtyRegion& b) {
+  if (a.empty() || b.empty()) return false;
+  const std::size_t n = std::max({a.before_num_nodes, a.after_num_nodes, b.before_num_nodes,
+                                  b.after_num_nodes}) +
+                        1;
+  const auto bits = [n](const DirtyRegion& r) {
+    std::vector<char> v(n + 1, 0);  // index n = the outputs slot
+    if (r.full) {
+      std::fill(v.begin(), v.end(), 1);
+      return v;
+    }
+    for (const NodeId id : r.changed) v[id] = 1;
+    const std::size_t lo = std::min(r.before_num_nodes, r.after_num_nodes);
+    const std::size_t hi = std::max(r.before_num_nodes, r.after_num_nodes);
+    for (std::size_t i = lo; i < hi && i < n; ++i) v[i] = 1;
+    if (r.outputs_changed) v[n] = 1;
+    return v;
+  };
+  const std::vector<char> va = bits(a);
+  const std::vector<char> vb = bits(b);
+  for (std::size_t i = 0; i <= n; ++i) {
+    if (va[i] != 0 && vb[i] != 0) return true;
+  }
+  return false;
+}
+
+DirtyRegion random_region(Rng& rng) {
+  DirtyRegion r;
+  if (rng.next_bool(0.05)) {
+    r.full = true;
+    r.before_num_nodes = r.after_num_nodes = rng.next_int(10, 40);
+    return r;
+  }
+  r.before_num_nodes = rng.next_int(10, 60);
+  r.after_num_nodes = rng.next_int(10, 60);
+  r.outputs_changed = rng.next_bool(0.3);
+  const std::size_t lo = std::min(r.before_num_nodes, r.after_num_nodes);
+  const int num_changed = static_cast<int>(rng.next_int(0, 6));
+  for (int i = 0; i < num_changed; ++i) {
+    r.changed.push_back(static_cast<NodeId>(rng.next_below(lo)));
+  }
+  std::sort(r.changed.begin(), r.changed.end());
+  r.changed.erase(std::unique(r.changed.begin(), r.changed.end()), r.changed.end());
+  r.before_changed.resize(r.changed.size());
+  return r;
+}
+
+TEST(SpecConflict, MatchesBruteForceOnSyntheticRegionsFuzz) {
+  Rng rng(0x51ec'0003);
+  for (int round = 0; round < 600; ++round) {
+    const DirtyRegion a = random_region(rng);
+    const DirtyRegion b = random_region(rng);
+    EXPECT_EQ(spec::regions_overlap(a, b), brute_force_overlap(a, b)) << "round " << round;
+    // Symmetry comes free with exactness, but assert it explicitly.
+    EXPECT_EQ(spec::regions_overlap(a, b), spec::regions_overlap(b, a)) << "round " << round;
+  }
+}
+
+// Same exactness check on *real* regions: every pair of window proposals
+// diffed against the same base, exactly what the committer intersects.
+TEST(SpecConflict, MatchesBruteForceOnTracedTransformRegions) {
+  const auto& registry = transforms::script_registry();
+  std::vector<Aig> pool = base_graphs();
+  Rng rng(0x51ec'0004);
+  for (int round = 0; round < 40; ++round) {
+    Aig& g = pool[round % pool.size()];
+    if (round % 4 == 3) g = registry.apply(registry.random_index(rng), g);
+
+    spec::WindowParams params;
+    params.max_windows = 4;
+    const std::vector<std::uint32_t> levels = aig::levels(g);
+    std::vector<DirtyRegion> regions;
+    for (const spec::Window& w : spec::partition_windows(g, levels, params)) {
+      const spec::WindowCut cut = spec::extract_window(g, w);
+      const Aig optimized = registry.apply(registry.random_index(rng), cut.sub);
+      regions.push_back(aig::diff_region(g, spec::splice_window(g, cut, optimized).graph));
+    }
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      for (std::size_t j = i + 1; j < regions.size(); ++j) {
+        EXPECT_EQ(spec::regions_overlap(regions[i], regions[j]),
+                  brute_force_overlap(regions[i], regions[j]))
+            << "round " << round << " pair (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST(SpecConflict, EdgeCases) {
+  DirtyRegion empty;
+  empty.before_num_nodes = empty.after_num_nodes = 20;
+  DirtyRegion full;
+  full.full = true;
+  full.before_num_nodes = full.after_num_nodes = 20;
+  EXPECT_FALSE(spec::regions_overlap(empty, empty));
+  EXPECT_FALSE(spec::regions_overlap(empty, full));  // empty conflicts with nothing
+  EXPECT_TRUE(spec::regions_overlap(full, full));
+
+  const auto tail_region = [](std::size_t before, std::size_t after) {
+    DirtyRegion r;
+    r.before_num_nodes = before;
+    r.after_num_nodes = after;
+    return r;
+  };
+  // Adjacent tails [10,20) and [20,30) share no id; overlapping tails do.
+  EXPECT_FALSE(spec::regions_overlap(tail_region(10, 20), tail_region(20, 30)));
+  EXPECT_TRUE(spec::regions_overlap(tail_region(10, 20), tail_region(19, 25)));
+  // A changed id inside the other's tail conflicts.
+  DirtyRegion changed;
+  changed.before_num_nodes = changed.after_num_nodes = 40;
+  changed.changed = {12};
+  changed.before_changed.resize(1);
+  EXPECT_TRUE(spec::regions_overlap(changed, tail_region(10, 20)));
+  EXPECT_FALSE(spec::regions_overlap(changed, tail_region(20, 30)));
+  // outputs_changed is one shared slot: it only collides with itself.
+  DirtyRegion outs = tail_region(30, 30);
+  outs.outputs_changed = true;
+  EXPECT_FALSE(spec::regions_overlap(outs, changed));
+  DirtyRegion outs2 = tail_region(25, 25);
+  outs2.outputs_changed = true;
+  EXPECT_TRUE(spec::regions_overlap(outs, outs2));
+}
+
+// ---- SpecEngine: the windowed move engine -----------------------------------
+
+opt::OptResult run_sa_spec(const Aig& g, int windows, bool parallel, std::uint64_t seed,
+                           int iterations, opt::CostEvaluator& cost) {
+  opt::SaParams params;
+  params.iterations = iterations;
+  params.seed = seed;
+  params.windows = windows;
+  params.parallel = parallel;
+  opt::StopCondition stop;
+  stop.max_iterations = iterations;
+  return opt::SaStrategy(params).run(g, cost, stop);
+}
+
+void expect_same_trajectory(const opt::OptResult& a, const opt::OptResult& b, const char* where) {
+  ASSERT_EQ(a.history.size(), b.history.size()) << where;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].script_index, b.history[i].script_index) << where << " iter " << i;
+    EXPECT_EQ(a.history[i].delay, b.history[i].delay) << where << " iter " << i;
+    EXPECT_EQ(a.history[i].area, b.history[i].area) << where << " iter " << i;
+    EXPECT_EQ(a.history[i].cost, b.history[i].cost) << where << " iter " << i;
+    EXPECT_EQ(a.history[i].accepted, b.history[i].accepted) << where << " iter " << i;
+  }
+  EXPECT_EQ(a.initial_cost, b.initial_cost) << where;
+  EXPECT_EQ(a.best_cost, b.best_cost) << where;
+  EXPECT_EQ(a.best.structural_hash(), b.best.structural_hash()) << where;
+  EXPECT_EQ(a.eval_count, b.eval_count) << where;
+  EXPECT_EQ(a.degraded_evals, b.degraded_evals) << where;
+  EXPECT_EQ(static_cast<int>(a.stop_reason), static_cast<int>(b.stop_reason)) << where;
+  EXPECT_EQ(a.spec.rounds, b.spec.rounds) << where;
+  EXPECT_EQ(a.spec.proposed, b.spec.proposed) << where;
+  EXPECT_EQ(a.spec.committed, b.spec.committed) << where;
+  EXPECT_EQ(a.spec.aborted, b.spec.aborted) << where;
+}
+
+// The engine's hard contract: for a fixed seed the trajectory is bit-identical
+// for par=0 and par=1 at thread counts 1, 2, and 8 — scripts, costs,
+// accept/commit decisions, best graph, and even the eval counters.
+TEST(SpecEngine, TrajectoryBitIdenticalAcrossParallelAndThreadCounts) {
+  ThreadsGuard guard;
+  const Aig g = gen::multiplier(4);
+  opt::ProxyCost serial_cost;
+  const opt::OptResult serial = run_sa_spec(g, 4, /*parallel=*/false, 9, 48, serial_cost);
+  ASSERT_GT(serial.spec.rounds, 0u);
+  ASSERT_EQ(serial.spec.proposed, serial.history.size());
+
+  for (const int threads : {1, 2, 8}) {
+    set_default_threads(threads);
+    opt::ProxyCost cost;
+    const opt::OptResult parallel = run_sa_spec(g, 4, /*parallel=*/true, 9, 48, cost);
+    expect_same_trajectory(serial, parallel,
+                           (std::string("threads=") + std::to_string(threads)).c_str());
+  }
+}
+
+TEST(SpecEngine, GreedyTrajectoryBitIdenticalToo) {
+  ThreadsGuard guard;
+  const Aig g = gen::adder_cla(8);
+  const auto run_greedy = [&](bool parallel) {
+    opt::GreedyParams params;
+    params.iterations = 36;
+    params.seed = 5;
+    params.tolerance = 0.01;
+    params.windows = 3;
+    params.parallel = parallel;
+    opt::StopCondition stop;
+    stop.max_iterations = params.iterations;
+    opt::ProxyCost cost;
+    return opt::GreedyStrategy(params).run(g, cost, stop);
+  };
+  const opt::OptResult serial = run_greedy(false);
+  set_default_threads(2);
+  const opt::OptResult parallel = run_greedy(true);
+  expect_same_trajectory(serial, parallel, "greedy par=1 threads=2");
+}
+
+TEST(SpecEngine, ResultIsEquivalentAndCountersAreConsistent) {
+  const Aig g = gen::multiplier(4);
+  opt::ProxyCost cost;
+  const opt::OptResult result = run_sa_spec(g, 4, /*parallel=*/false, 7, 40, cost);
+  EXPECT_TRUE(aig::equivalent(g, result.best));
+  EXPECT_EQ(result.spec.windows, 4);
+  EXPECT_FALSE(result.spec.parallel);
+  EXPECT_EQ(result.spec.proposed, result.history.size());
+  EXPECT_LE(result.spec.committed + result.spec.aborted, result.spec.proposed);
+  EXPECT_EQ(result.spec.committed, static_cast<std::uint64_t>(result.accepted_moves()));
+  EXPECT_LE(result.best_cost, result.initial_cost);
+  EXPECT_GT(result.eval_count, 0u);
+  const double rate = result.spec.abort_rate();
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+}
+
+// Accounting is a run-local delta of the evaluator's cumulative clocks:
+// re-running on a shared evaluator must report the same counts, not the
+// cumulative total (strategy.hpp accounting contract).
+TEST(SpecEngine, AccountingIsRunLocalOnSharedEvaluator) {
+  const Aig g = gen::comparator(6);
+  opt::ProxyCost shared_cost;
+  const opt::OptResult first = run_sa_spec(g, 3, /*parallel=*/false, 11, 24, shared_cost);
+  const opt::OptResult second = run_sa_spec(g, 3, /*parallel=*/false, 11, 24, shared_cost);
+  expect_same_trajectory(first, second, "shared-evaluator rerun");
+  EXPECT_GT(first.eval_count, 0u);
+}
+
+TEST(SpecEngine, RejectsEvaluatorWithoutForkSupport) {
+  class UnforkableCost final : public opt::CostEvaluator {
+   public:
+    [[nodiscard]] std::string name() const override { return "unforkable"; }
+
+   protected:
+    opt::QualityEval evaluate_impl(const Aig& g) override {
+      return {static_cast<double>(g.num_nodes()), static_cast<double>(g.num_ands())};
+    }
+  };
+  const Aig g = gen::adder_ripple(4);
+  UnforkableCost cost;
+  opt::SaParams params;
+  params.iterations = 4;
+  params.windows = 2;
+  opt::StopCondition stop;
+  stop.max_iterations = params.iterations;
+  EXPECT_THROW((void)opt::SaStrategy(params).run(g, cost, stop), std::invalid_argument);
+  // windows=0 keeps the classic loop, which has no fork requirement.
+  params.windows = 0;
+  const opt::OptResult result = opt::SaStrategy(params).run(g, cost, stop);
+  EXPECT_EQ(result.spec.windows, 0);
+}
+
+TEST(SpecEngine, StrategyParamsValidateSpecKnobs) {
+  opt::SaParams sa;
+  sa.windows = -1;
+  EXPECT_THROW(opt::SaStrategy{sa}, std::invalid_argument);
+  sa.windows = 0;
+  sa.parallel = true;
+  EXPECT_THROW(opt::SaStrategy{sa}, std::invalid_argument);
+  opt::GreedyParams greedy;
+  greedy.parallel = true;
+  EXPECT_THROW(opt::GreedyStrategy{greedy}, std::invalid_argument);
+}
+
+TEST(SpecEngine, PortfolioAggregatesSpecCounters) {
+  const Aig g = gen::multiplier(4);
+  opt::SaParams inner;
+  inner.iterations = 16;
+  inner.windows = 2;
+  opt::PortfolioParams params;
+  params.starts = 2;
+  params.seed = 3;
+  const opt::PortfolioStrategy portfolio(std::make_shared<opt::SaStrategy>(inner), params);
+  opt::ProxyCost cost;
+  opt::StopCondition stop;
+  stop.max_iterations = inner.iterations;
+  const opt::OptResult result = portfolio.run(g, cost, stop);
+  EXPECT_EQ(result.spec.windows, 2);
+  EXPECT_GT(result.spec.rounds, 0u);
+  EXPECT_EQ(result.spec.proposed, result.history.size());
+  EXPECT_TRUE(aig::equivalent(g, result.best));
+}
+
+TEST(SpecEngine, RecipeKeysParseValidateAndRoundTrip) {
+  const opt::Recipe recipe =
+      opt::Recipe::parse("strategy=sa;iters=8;windows=4;par=1;cost=proxy");
+  EXPECT_EQ(recipe.spec_windows, 4);
+  EXPECT_TRUE(recipe.spec_parallel);
+  EXPECT_EQ(opt::Recipe::parse(recipe.to_string()), recipe);
+
+  EXPECT_THROW((void)opt::Recipe::parse("strategy=sa;par=1"), std::invalid_argument);
+  EXPECT_THROW((void)opt::Recipe::parse("windows=-2"), std::invalid_argument);
+  EXPECT_THROW((void)opt::Recipe::parse("par=2"), std::invalid_argument);
+
+  // End to end through the recipe runner.
+  const Aig g = gen::adder_cla(6);
+  const opt::OptResult result =
+      opt::run("strategy=greedy;iters=12;seed=3;cost=proxy;windows=2", g, opt::CostContext{});
+  EXPECT_EQ(result.spec.windows, 2);
+  EXPECT_TRUE(aig::equivalent(g, result.best));
+}
+
+TEST(SpecEngine, EvalBudgetStopsAtRoundBoundary) {
+  const Aig g = gen::multiplier(4);
+  opt::SaParams params;
+  params.iterations = 200;
+  params.windows = 4;
+  opt::StopCondition stop;
+  stop.max_iterations = params.iterations;
+  stop.max_evals = 12;
+  opt::ProxyCost cost;
+  const opt::OptResult result = opt::SaStrategy(params).run(g, cost, stop);
+  EXPECT_EQ(static_cast<int>(result.stop_reason), static_cast<int>(opt::StopReason::kEvalBudget));
+  EXPECT_TRUE(aig::equivalent(g, result.best));
+}
+
+// ---- FaultSpec: the spec.commit_abort chaos site ----------------------------
+// (Fault* suite name puts these under the chaos CI job's filter.)
+
+TEST(FaultSpecSite, NameRoundTripAndGrammar) {
+  EXPECT_STREQ(fault::to_string(fault::Site::kSpecCommitAbort), "spec.commit_abort");
+  EXPECT_EQ(fault::site_from_name("spec.commit_abort"),
+            std::optional<fault::Site>(fault::Site::kSpecCommitAbort));
+  const fault::FaultPlan plan = fault::FaultPlan::parse("spec.commit_abort,after=2,count=3");
+  const auto& rule = plan.rule(fault::Site::kSpecCommitAbort);
+  EXPECT_TRUE(rule.armed);
+  EXPECT_EQ(rule.after, 2u);
+  EXPECT_EQ(rule.count, 3u);
+}
+
+// With every would-commit aborted, the graph never changes: zero commits,
+// best == initial, and the run is equivalent and fully deterministic.
+TEST(FaultSpecEngine, UnlimitedAbortsFreezeTheTrajectoryDeterministically) {
+  FaultGuard guard;
+  const Aig g = gen::multiplier(4);
+  const auto run_faulted = [&] {
+    fault::install(fault::FaultPlan::parse("spec.commit_abort,count=0"));
+    opt::GreedyParams params;
+    params.iterations = 24;
+    params.seed = 13;
+    params.tolerance = 0.05;
+    params.windows = 4;
+    opt::StopCondition stop;
+    stop.max_iterations = params.iterations;
+    opt::ProxyCost cost;
+    return opt::GreedyStrategy(params).run(g, cost, stop);
+  };
+  const opt::OptResult first = run_faulted();
+  EXPECT_GT(first.spec.aborted, 0u);
+  EXPECT_EQ(first.spec.committed, 0u);
+  EXPECT_EQ(first.best.structural_hash(), g.structural_hash());
+  EXPECT_EQ(first.best_cost, first.initial_cost);
+  EXPECT_GT(fault::fired(fault::Site::kSpecCommitAbort), 0u);
+  for (const auto& record : first.history) EXPECT_FALSE(record.accepted);
+
+  // The site's schedule depends only on visit counters, so reinstalling the
+  // plan replays the identical run.
+  const opt::OptResult second = run_faulted();
+  expect_same_trajectory(first, second, "faulted rerun");
+}
+
+// A bounded abort budget perturbs the search without breaking soundness: the
+// result stays equivalent and at most `count` commits are lost.
+TEST(FaultSpecEngine, LimitedAbortBudgetKeepsTheRunSound) {
+  FaultGuard guard;
+  fault::install(fault::FaultPlan::parse("spec.commit_abort,count=2"));
+  const Aig g = gen::multiplier(4);
+  opt::ProxyCost cost;
+  const opt::OptResult result = run_sa_spec(g, 4, /*parallel=*/false, 7, 40, cost);
+  EXPECT_LE(fault::fired(fault::Site::kSpecCommitAbort), 2u);
+  EXPECT_TRUE(aig::equivalent(g, result.best));
+  EXPECT_LE(result.best_cost, result.initial_cost);
+}
+
+}  // namespace
+}  // namespace aigml
