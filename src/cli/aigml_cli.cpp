@@ -7,6 +7,7 @@
 //   aigml map <in.aag> [out.v]                    map + STA report [+ Verilog]
 //   aigml datagen <design> <N> <out_prefix>       labeled dataset -> CSV
 //   aigml train <delay.csv> <model.gbdt>          train a delay model
+//   aigml convert <in.model> <out.model>          text <-> .gbdt2 container
 //   aigml predict <model.gbdt> <in.aag> [...]     predict post-mapping delay
 //   aigml sa <in.aag> <proxy|truth> <iters>       back-compat alias for
 //                                                 `opt --recipe "strategy=sa;..."`
@@ -50,6 +51,7 @@
 #include "gen/designs.hpp"
 #include "mapper/mapper.hpp"
 #include "ml/gbdt.hpp"
+#include "ml/model_v2.hpp"
 #include "netlist/verilog.hpp"
 #include "opt/recipe.hpp"
 #include "serve/batch_server.hpp"
@@ -114,15 +116,26 @@ ArgParser datagen_parser() {
 ArgParser train_parser() {
   ArgParser p("train");
   p.positional("data.csv", "labeled dataset (from datagen)")
-      .positional("model.gbdt", "output model path");
+      .positional("model.gbdt", "output model path")
+      .option("format", "F", "model container: text | v2 | both (v2/both write the "
+                             ".gbdt2 sibling of the output path)", "text");
+  return p;
+}
+
+ArgParser convert_parser() {
+  ArgParser p("convert");
+  p.positional("in.model", "source model (.gbdt text or .gbdt2 container)")
+      .positional("out.model", "destination (direction follows the extensions)");
   return p;
 }
 
 ArgParser predict_parser() {
   ArgParser p("predict");
-  p.positional("model.gbdt", "trained model")
+  p.positional("model.gbdt", "trained model (.gbdt text or .gbdt2 container)")
       .positional("in.aag", "AIGER file to predict")
-      .variadic("more.aag", "additional files (batched through PredictService)");
+      .variadic("more.aag", "additional files (batched through PredictService)")
+      .option("quant", "Q", "value representation for .gbdt2 models: none | fp16 | int16",
+              "none");
   return p;
 }
 
@@ -182,8 +195,8 @@ ArgParser client_parser() {
 int usage() {
   std::fprintf(stderr, "usage: aigml [--threads N] <command> ...\n");
   for (const auto& make : {gen_parser, stats_parser, opt_parser, map_parser, datagen_parser,
-                           train_parser, predict_parser, sa_parser, serve_parser,
-                           client_parser, learn_parser}) {
+                           train_parser, convert_parser, predict_parser, sa_parser,
+                           serve_parser, client_parser, learn_parser}) {
     const ArgParser p = make();
     std::fprintf(stderr, "  %s\n", p.usage_line().c_str());
     const std::string options = p.options_help();
@@ -470,22 +483,81 @@ int cmd_datagen(int argc, char** argv) {
 int cmd_train(int argc, char** argv) {
   ArgParser args = train_parser();
   args.parse(argc, argv);
+  const std::string format = args.get("format");
+  if (format != "text" && format != "v2" && format != "both") {
+    throw std::runtime_error("train: --format " + format + ": expected text | v2 | both");
+  }
   const auto data = ml::Dataset::load(args.get("data.csv"));
   if (!data.has_value()) throw std::runtime_error("cannot load " + args.get("data.csv"));
   ml::TrainLog log;
   const auto model = ml::GbdtModel::train(*data, ml::GbdtParams{}, nullptr, &log);
-  model.save(args.get("model.gbdt"));
+  const std::filesystem::path out_path = args.get("model.gbdt");
+  std::string written;
+  if (format == "text" || format == "both") {
+    model.save(out_path);
+    written = out_path.string();
+  }
+  if (format == "v2" || format == "both") {
+    const auto v2_path =
+        std::filesystem::path(out_path).replace_extension(ml::kModelV2Extension);
+    model.save_v2(v2_path);
+    written += (written.empty() ? "" : " + ") + v2_path.string();
+  }
   std::printf("trained %zu trees on %zu rows in %.1f s -> %s\n", model.num_trees(),
-              data->num_rows(), log.train_seconds, args.get("model.gbdt").c_str());
+              data->num_rows(), log.train_seconds, written.c_str());
+  return 0;
+}
+
+/// `aigml convert` — re-containers a model between the text .gbdt format and
+/// the mmap-able .gbdt2 binary; direction follows the output extension.  The
+/// container keeps everything inference reads (structure, fp64 thresholds,
+/// leaves, per-node gains), so converted models predict bit-identically in
+/// either direction.
+int cmd_convert(int argc, char** argv) {
+  ArgParser args = convert_parser();
+  args.parse(argc, argv);
+  const std::filesystem::path in_path = args.get("in.model");
+  const std::filesystem::path out_path = args.get("out.model");
+  const bool in_v2 = in_path.extension() == ml::kModelV2Extension;
+  const bool out_v2 = out_path.extension() == ml::kModelV2Extension;
+  const ml::GbdtModel model =
+      in_v2 ? ml::GbdtModel::load_v2(in_path) : ml::GbdtModel::load(in_path);
+  if (out_v2) {
+    model.save_v2(out_path);
+    const ml::ModelV2Info info = ml::inspect_v2(out_path);
+    std::printf("wrote %s: v%u, %llu trees, %llu nodes, %llu features, %llu bytes "
+                "(fp16 %s, int16 %s)\n",
+                out_path.string().c_str(), info.version,
+                static_cast<unsigned long long>(info.num_trees),
+                static_cast<unsigned long long>(info.num_nodes),
+                static_cast<unsigned long long>(info.num_features),
+                static_cast<unsigned long long>(info.file_size),
+                info.has_fp16 ? "yes" : "no", info.has_int16 ? "yes" : "no");
+  } else {
+    model.save(out_path);
+    std::printf("wrote %s: %zu trees, %zu features (text)\n", out_path.string().c_str(),
+                model.num_trees(), model.num_features());
+  }
   return 0;
 }
 
 int cmd_predict(int argc, char** argv) {
   ArgParser args = predict_parser();
   args.parse(argc, argv);
+  const std::filesystem::path model_path = args.get("model.gbdt");
+  const ml::QuantMode quant = ml::quant_mode_from_name(args.get("quant"));
+  const bool v2 = model_path.extension() == ml::kModelV2Extension;
+  if (quant != ml::QuantMode::kNone && !v2) {
+    throw std::runtime_error(std::string("predict: --quant ") + ml::to_string(quant) +
+                             " needs a .gbdt2 model (text models have no quantized "
+                             "sections; run `aigml convert`)");
+  }
+  const auto load_model = [&] {
+    return v2 ? ml::GbdtModel::load_v2(model_path, quant) : ml::GbdtModel::load(model_path);
+  };
   if (args.rest().empty()) {
     // Single file: keep the predicted-vs-actual report.
-    const auto model = ml::GbdtModel::load(args.get("model.gbdt"));
+    const auto model = load_model();
     const aig::Aig g = aig::read_aiger_file(args.get("in.aag"));
     const auto f = features::extract(g);
     std::printf("predicted post-mapping delay: %.1f ps\n", model.predict(f));
@@ -501,7 +573,7 @@ int cmd_predict(int argc, char** argv) {
   std::vector<std::string> files{args.get("in.aag")};
   files.insert(files.end(), args.rest().begin(), args.rest().end());
   serve::ModelRegistry registry;
-  registry.install("delay", ml::GbdtModel::load(args.get("model.gbdt")));
+  registry.install("delay", load_model());
   serve::PredictService service(registry);
   std::vector<std::optional<std::future<double>>> futures;
   std::vector<std::string> read_errors(files.size());
@@ -797,6 +869,7 @@ int main(int argc, char** argv) {
     if (cmd == "map") return cmd_map(argc, argv);
     if (cmd == "datagen") return cmd_datagen(argc, argv);
     if (cmd == "train") return cmd_train(argc, argv);
+    if (cmd == "convert") return cmd_convert(argc, argv);
     if (cmd == "predict") return cmd_predict(argc, argv);
     if (cmd == "sa") return cmd_sa(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);

@@ -103,7 +103,11 @@ void Retrainer::retrain(const ReplayBuffer& buffer) {
       // fsync'd write-to-temp + durable rename: a concurrent RELOAD in a
       // serving process never observes a half-written model file, and a
       // crash right after the rename cannot roll the directory entry back
-      // to a file whose bytes never hit the platter.
+      // to a file whose bytes never hit the platter.  The .gbdt2 container
+      // lands first: the registry prefers the v2 sibling, so a RELOAD
+      // between the two renames picks up the *fresh* v2, never a stale one
+      // next to a fresh text file.
+      model.save_v2(params_.save_dir / (name + ".gbdt2"));
       const auto final_path = params_.save_dir / (name + ".gbdt");
       const auto temp_path = params_.save_dir / (name + ".gbdt.tmp");
       model.save(temp_path);

@@ -42,6 +42,9 @@ class Dataset {
   [[nodiscard]] std::span<const double> row(std::size_t i) const {
     return {values_.data() + i * num_features(), num_features()};
   }
+  /// The whole feature matrix, row-major (num_rows() x num_features()) —
+  /// feeds GbdtModel's batched predict_all without a copy.
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
   [[nodiscard]] double label(std::size_t i) const { return labels_[i]; }
   [[nodiscard]] const std::vector<double>& labels() const noexcept { return labels_; }
   [[nodiscard]] const std::string& tag(std::size_t i) const { return tags_[i]; }

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "ml/model_v2.hpp"
 #include "util/fault.hpp"
 #include "util/timer.hpp"
 
@@ -79,7 +80,9 @@ GbdtModel GbdtModel::train(const Dataset& train, const GbdtParams& params, const
   model.num_features_ = train.num_features();
   model.learning_rate_ = params.learning_rate;
   if (warm_start != nullptr) {
-    model.trees_ = warm_start->trees_;
+    // export_trees() rather than trees_: a v2-loaded warm model carries its
+    // ensemble only as the mmap'ed flat forest.
+    model.trees_ = warm_start->export_trees();
     model.base_score_ = warm_start->base_score_;
   } else {
     model.base_score_ =
@@ -183,27 +186,35 @@ GbdtModel GbdtModel::train(const Dataset& train, const GbdtParams& params, const
 void GbdtModel::build_flat_forest() {
   flat_nodes_.clear();
   flat_roots_.clear();
+  flat_gains_.clear();
   flat_roots_.reserve(trees_.size());
   std::size_t total = 0;
   for (const RegressionTree& tree : trees_) total += std::max<std::size_t>(tree.nodes().size(), 1);
   flat_nodes_.reserve(total);
+  flat_gains_.reserve(total);
   for (const RegressionTree& tree : trees_) {
     flat_roots_.push_back(static_cast<std::uint32_t>(flat_nodes_.size()));
     const auto& nodes = tree.nodes();
     if (nodes.empty()) {
       flat_nodes_.push_back(FlatNode{});  // leaf with value 0 == empty-tree predict
+      flat_gains_.push_back(0.0);
       continue;
     }
     // DFS pre-order re-layout: emit node, then its whole left subtree (so the
-    // left child is implicitly index + 1), then the right subtree.
+    // left child is implicitly index + 1), then the right subtree.  Gains
+    // ride along in a parallel array (leaves carry 0), which keeps
+    // feature_importance() and lossless text export working for models
+    // whose TreeNode form was never materialized (v2 mmap loads).
     auto emit = [&](auto&& self, int src) -> std::int32_t {
       const TreeNode& n = nodes[static_cast<std::size_t>(src)];
       const auto dst = static_cast<std::int32_t>(flat_nodes_.size());
       if (n.feature < 0) {
         flat_nodes_.push_back(FlatNode{-1, 0, n.value});
+        flat_gains_.push_back(0.0);
         return dst;
       }
       flat_nodes_.push_back(FlatNode{n.feature, 0, n.threshold});
+      flat_gains_.push_back(n.gain);
       (void)self(self, n.left);
       flat_nodes_[static_cast<std::size_t>(dst)].right = self(self, n.right);
       return dst;
@@ -212,28 +223,233 @@ void GbdtModel::build_flat_forest() {
   }
 }
 
-double GbdtModel::predict(std::span<const double> row) const {
-  if (row.size() != num_features_) {
-    throw std::invalid_argument("GbdtModel::predict: feature width mismatch");
+namespace {
+
+/// Reads a flat node's value in the representation `Q` selects: the fp64
+/// FlatNode::value, the binary16 side array, or the per-tree affine int16
+/// side array.  One instance per (model, tree); the kernel is templated on
+/// Q so the kNone hot path compiles to the plain fp64 load it always was.
+template <QuantMode Q>
+struct NodeValue {
+  const std::uint16_t* f16 = nullptr;
+  const std::int16_t* i16 = nullptr;
+  double thr_scale = 0.0, thr_bias = 0.0, leaf_scale = 0.0, leaf_bias = 0.0;
+
+  [[nodiscard]] double threshold(const GbdtModel::FlatNode& n, std::size_t i) const {
+    if constexpr (Q == QuantMode::kFp16) {
+      return fp16_to_double(f16[i]);
+    } else if constexpr (Q == QuantMode::kInt16) {
+      return static_cast<double>(i16[i]) * thr_scale + thr_bias;
+    } else {
+      (void)i;
+      return n.value;
+    }
   }
-  const FlatNode* nodes = flat_nodes_.data();
+  [[nodiscard]] double leaf(const GbdtModel::FlatNode& n, std::size_t i) const {
+    if constexpr (Q == QuantMode::kFp16) {
+      return fp16_to_double(f16[i]);
+    } else if constexpr (Q == QuantMode::kInt16) {
+      return static_cast<double>(i16[i]) * leaf_scale + leaf_bias;
+    } else {
+      (void)i;
+      return n.value;
+    }
+  }
+};
+
+template <QuantMode Q>
+NodeValue<Q> make_node_value(std::span<const std::uint16_t> f16, std::span<const std::int16_t> i16,
+                             std::span<const QuantScale> scales, std::size_t tree) {
+  NodeValue<Q> v;
+  if constexpr (Q == QuantMode::kFp16) {
+    v.f16 = f16.data();
+  } else if constexpr (Q == QuantMode::kInt16) {
+    v.i16 = i16.data();
+    const QuantScale& s = scales[tree];
+    v.thr_scale = s.thr_scale;
+    v.thr_bias = s.thr_bias;
+    v.leaf_scale = s.leaf_scale;
+    v.leaf_bias = s.leaf_bias;
+  }
+  (void)f16;
+  (void)i16;
+  (void)scales;
+  (void)tree;
+  return v;
+}
+
+}  // namespace
+
+template <QuantMode Q>
+double GbdtModel::predict_row(std::span<const double> row) const {
+  const std::span<const FlatNode> nodes = forest_nodes();
+  const std::span<const std::uint32_t> roots = forest_roots();
   double sum = base_score_;
-  for (const std::uint32_t root : flat_roots_) {
-    std::size_t i = root;
+  for (std::size_t t = 0; t < roots.size(); ++t) {
+    const NodeValue<Q> val = make_node_value<Q>(values_f16_, values_i16_, quant_scales_, t);
+    std::size_t i = roots[t];
     while (nodes[i].feature >= 0) {
-      i = row[static_cast<std::size_t>(nodes[i].feature)] < nodes[i].value
+      i = row[static_cast<std::size_t>(nodes[i].feature)] < val.threshold(nodes[i], i)
               ? i + 1
               : static_cast<std::size_t>(nodes[i].right);
     }
-    sum += learning_rate_ * nodes[i].value;
+    sum += learning_rate_ * val.leaf(nodes[i], i);
   }
   return sum;
 }
 
+double GbdtModel::predict(std::span<const double> row) const {
+  if (row.size() != num_features_) {
+    throw std::invalid_argument("GbdtModel::predict: feature width mismatch");
+  }
+  switch (quant_mode_) {
+    case QuantMode::kFp16:
+      return predict_row<QuantMode::kFp16>(row);
+    case QuantMode::kInt16:
+      return predict_row<QuantMode::kInt16>(row);
+    case QuantMode::kNone:
+      break;
+  }
+  return predict_row<QuantMode::kNone>(row);
+}
+
 std::vector<double> GbdtModel::predict_all(const Dataset& data) const {
-  std::vector<double> out;
-  out.reserve(data.num_rows());
-  for (std::size_t i = 0; i < data.num_rows(); ++i) out.push_back(predict(data.row(i)));
+  // Dataset stores its rows contiguously row-major, so the whole set rides
+  // the tiled batch kernel as one matrix.
+  return predict_all(std::span<const double>(data.values()), data.num_rows());
+}
+
+namespace {
+
+// Per-node descend record for the batched kernel, built once per
+// predict_all() call (O(num_nodes), amortized over the batch).  The design
+// goal is a *branchless* step: `i = p.child[lane[p.f] < p.thr]` compiles to
+// compare + setcc + indexed load — no conditional branch for the compiler
+// to "optimize" the select into (a data-dependent branch mispredicts ~50%
+// of descents and serializes the walk).  Leaves self-loop
+// (child[0] == child[1] == i), so a lane that reached its leaf early is a
+// no-op for the remaining iterations of the tree-depth counted loop.
+// Thresholds are pre-decoded through NodeValue<Q>, i.e. the exact doubles
+// the scalar walk compares against at the same QuantMode.  32 bytes so a
+// node never straddles two cache lines.
+struct alignas(32) PackedNode {
+  double thr = 0.0;
+  std::uint32_t child[2] = {0, 0};  ///< [1] = left (compare true), [0] = right
+  std::uint32_t f = 0;              ///< split feature (0 for leaves; unused)
+  std::uint32_t pad[3] = {0, 0, 0};
+};
+
+// One branch-free descend step for one lane of a SoA tile with stride W.
+inline std::uint32_t descend_step(const PackedNode* packed, const double* lane, std::size_t stride,
+                                  std::uint32_t i) {
+  const PackedNode& p = packed[i];
+  return p.child[lane[p.f * stride] < p.thr];
+}
+
+}  // namespace
+
+template <QuantMode Q>
+std::vector<double> GbdtModel::predict_all_impl(std::span<const double> values,
+                                                std::size_t num_rows) const {
+  // Tiled compare-and-descend over the flat forest, W rows at a stride.
+  //
+  // The scalar walk's cost is mispredicted data-dependent branches: GCC
+  // compiles its `x < thr ? left : right` select into a branch that guesses
+  // wrong on ~half the descents.  The batched kernel removes the branch
+  // entirely (PackedNode above) and keeps C=4 lane indices in registers,
+  // advancing all of them per iteration of a *counted* loop — the tree's
+  // exact depth, precomputed below — so the inner loop is branch-free
+  // straight-line code with no data-dependent exit: the out-of-order core
+  // overlaps the four independent root-to-leaf chains and the only branch
+  // (the depth countdown) predicts perfectly.  Walking tree-major also
+  // keeps one tree's nodes hot in L1 for all W lanes.  That is where the
+  // >= 4x over the scalar walk comes from (BENCH_model.json).
+  //
+  // Each lane accumulates base + lr*leaf in tree order, and the packed
+  // thresholds are the exact doubles NodeValue<Q> hands the scalar walk —
+  // so every batch shape is bit-identical to per-row prediction at any
+  // QuantMode (tail rows < W take the scalar walk itself).
+  constexpr std::size_t W = 16;
+  constexpr std::size_t C = 8;  // register-resident chains per group
+  const std::span<const FlatNode> nodes = forest_nodes();
+  const std::span<const std::uint32_t> roots = forest_roots();
+  const std::size_t nf = num_features_;
+  std::vector<double> out(num_rows, 0.0);
+  if (num_rows == 0) return out;
+
+  // One O(num_nodes) preorder sweep builds the packed forest and the exact
+  // depth of every tree (leaf-only tree = depth 0).  Children always follow
+  // their parent in DFS pre-order, so a single forward pass with a scratch
+  // depth array finds each tree's deepest node.
+  std::vector<PackedNode> packed(nodes.size());
+  std::vector<std::uint32_t> tree_depth(roots.size(), 0);
+  {
+    std::vector<std::uint32_t> depth(nodes.size(), 0);
+    for (std::size_t t = 0; t < roots.size(); ++t) {
+      const NodeValue<Q> val = make_node_value<Q>(values_f16_, values_i16_, quant_scales_, t);
+      const std::size_t begin = roots[t];
+      const std::size_t end = t + 1 < roots.size() ? roots[t + 1] : nodes.size();
+      std::uint32_t deepest = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        const FlatNode& n = nodes[i];
+        PackedNode& p = packed[i];
+        if (n.feature >= 0) {
+          p.thr = val.threshold(n, i);
+          p.child[1] = static_cast<std::uint32_t>(i) + 1;
+          p.child[0] = static_cast<std::uint32_t>(n.right);
+          p.f = static_cast<std::uint32_t>(n.feature);
+          const std::uint32_t child_depth = depth[i] + 1;
+          depth[i + 1] = child_depth;
+          depth[static_cast<std::size_t>(n.right)] = child_depth;
+          deepest = std::max(deepest, child_depth);
+        } else {
+          p.child[0] = p.child[1] = static_cast<std::uint32_t>(i);  // leaf self-loop
+        }
+      }
+      tree_depth[t] = deepest;
+    }
+  }
+
+  std::vector<double> tile(nf * W);
+  std::size_t r = 0;
+  for (; r + W <= num_rows; r += W) {
+    for (std::size_t w = 0; w < W; ++w) {
+      const double* src = values.data() + (r + w) * nf;
+      for (std::size_t f = 0; f < nf; ++f) tile[f * W + w] = src[f];
+    }
+    double sums[W];
+    for (double& s : sums) s = base_score_;
+    for (std::size_t t = 0; t < roots.size(); ++t) {
+      const NodeValue<Q> val = make_node_value<Q>(values_f16_, values_i16_, quant_scales_, t);
+      const std::uint32_t root = roots[t];
+      const std::uint32_t depth = tree_depth[t];
+      for (std::size_t w = 0; w < W; w += C) {
+        const double* lane = tile.data() + w;
+        std::uint32_t i0 = root, i1 = root, i2 = root, i3 = root;
+        std::uint32_t i4 = root, i5 = root, i6 = root, i7 = root;
+        for (std::uint32_t d = 0; d < depth; ++d) {
+          i0 = descend_step(packed.data(), lane + 0, W, i0);
+          i1 = descend_step(packed.data(), lane + 1, W, i1);
+          i2 = descend_step(packed.data(), lane + 2, W, i2);
+          i3 = descend_step(packed.data(), lane + 3, W, i3);
+          i4 = descend_step(packed.data(), lane + 4, W, i4);
+          i5 = descend_step(packed.data(), lane + 5, W, i5);
+          i6 = descend_step(packed.data(), lane + 6, W, i6);
+          i7 = descend_step(packed.data(), lane + 7, W, i7);
+        }
+        sums[w + 0] += learning_rate_ * val.leaf(nodes[i0], i0);
+        sums[w + 1] += learning_rate_ * val.leaf(nodes[i1], i1);
+        sums[w + 2] += learning_rate_ * val.leaf(nodes[i2], i2);
+        sums[w + 3] += learning_rate_ * val.leaf(nodes[i3], i3);
+        sums[w + 4] += learning_rate_ * val.leaf(nodes[i4], i4);
+        sums[w + 5] += learning_rate_ * val.leaf(nodes[i5], i5);
+        sums[w + 6] += learning_rate_ * val.leaf(nodes[i6], i6);
+        sums[w + 7] += learning_rate_ * val.leaf(nodes[i7], i7);
+      }
+    }
+    for (std::size_t w = 0; w < W; ++w) out[r + w] = sums[w];
+  }
+  for (; r < num_rows; ++r) out[r] = predict_row<Q>(values.subspan(r * nf, nf));
   return out;
 }
 
@@ -242,17 +458,26 @@ std::vector<double> GbdtModel::predict_all(std::span<const double> values,
   if (values.size() != num_rows * num_features_) {
     throw std::invalid_argument("GbdtModel::predict_all: matrix size mismatch");
   }
-  std::vector<double> out;
-  out.reserve(num_rows);
-  for (std::size_t i = 0; i < num_rows; ++i) {
-    out.push_back(predict(values.subspan(i * num_features_, num_features_)));
+  switch (quant_mode_) {
+    case QuantMode::kFp16:
+      return predict_all_impl<QuantMode::kFp16>(values, num_rows);
+    case QuantMode::kInt16:
+      return predict_all_impl<QuantMode::kInt16>(values, num_rows);
+    case QuantMode::kNone:
+      break;
   }
-  return out;
+  return predict_all_impl<QuantMode::kNone>(values, num_rows);
 }
 
 std::vector<double> GbdtModel::feature_importance() const {
+  // Off the flat forest + parallel gains, so v2-loaded models (no TreeNode
+  // form) report the same importances as the model they were converted from.
   std::vector<double> importance(num_features_, 0.0);
-  for (const RegressionTree& tree : trees_) tree.accumulate_importance(importance);
+  const std::span<const FlatNode> nodes = forest_nodes();
+  const std::span<const double> gains = forest_gains();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].feature >= 0) importance[static_cast<std::size_t>(nodes[i].feature)] += gains[i];
+  }
   const double total = std::accumulate(importance.begin(), importance.end(), 0.0);
   if (total > 0.0) {
     for (double& v : importance) v /= total;
@@ -260,11 +485,46 @@ std::vector<double> GbdtModel::feature_importance() const {
   return importance;
 }
 
+std::vector<RegressionTree> GbdtModel::export_trees() const {
+  if (!trees_.empty() || forest_roots().empty()) return trees_;
+  // v2-loaded model: rebuild TreeNode form from the flat forest.  The flat
+  // DFS pre-order indices double as TreeNode indices (left = i + 1 within
+  // the tree, right = flat right made tree-relative); gains come from the
+  // parallel section, so a text export after a v2 round-trip loses nothing.
+  const std::span<const FlatNode> nodes = forest_nodes();
+  const std::span<const std::uint32_t> roots = forest_roots();
+  const std::span<const double> gains = forest_gains();
+  std::vector<RegressionTree> out;
+  out.reserve(roots.size());
+  for (std::size_t t = 0; t < roots.size(); ++t) {
+    const std::size_t begin = roots[t];
+    const std::size_t end = t + 1 < roots.size() ? roots[t + 1] : nodes.size();
+    std::vector<TreeNode> tree_nodes(end - begin);
+    for (std::size_t j = 0; j < tree_nodes.size(); ++j) {
+      const FlatNode& n = nodes[begin + j];
+      TreeNode& dst = tree_nodes[j];
+      if (n.feature < 0) {
+        dst.value = n.value;
+      } else {
+        dst.feature = n.feature;
+        dst.threshold = n.value;
+        dst.left = static_cast<int>(j) + 1;
+        dst.right = n.right - static_cast<int>(begin);
+        dst.gain = gains[begin + j];
+      }
+    }
+    out.push_back(RegressionTree::from_nodes(std::move(tree_nodes)));
+  }
+  return out;
+}
+
 void GbdtModel::serialize(std::ostream& out) const {
+  const std::vector<RegressionTree> exported = trees_.empty() ? export_trees() : std::vector<RegressionTree>{};
+  const std::vector<RegressionTree>& trees = trees_.empty() ? exported : trees_;
   out.precision(17);  // round-trip-safe double precision
-  out << "gbdt 1 " << base_score_ << ' ' << learning_rate_ << ' ' << trees_.size() << ' '
+  out << "gbdt 1 " << base_score_ << ' ' << learning_rate_ << ' ' << trees.size() << ' '
       << num_features_ << "\n";
-  for (const RegressionTree& tree : trees_) tree.serialize(out);
+  for (const RegressionTree& tree : trees) tree.serialize(out);
 }
 
 GbdtModel GbdtModel::deserialize(std::istream& in) {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -22,7 +23,33 @@
 #include "ml/tree.hpp"
 #include "util/rng.hpp"
 
+namespace aigml::util {
+class MmapFile;
+}
+
 namespace aigml::ml {
+
+/// Leaf/threshold representation used at inference time (DESIGN.md §13).
+/// kNone reads the container's fp64 values and is bit-identical to the text
+/// loader's scalar walk; kFp16/kInt16 read the .gbdt2 quantized sections
+/// (IEEE binary16, resp. per-tree affine int16) — smaller working set at a
+/// bounded relative error measured per forest by tests/test_model_v2.cpp.
+enum class QuantMode : std::uint8_t { kNone = 0, kFp16 = 1, kInt16 = 2 };
+
+[[nodiscard]] const char* to_string(QuantMode mode) noexcept;
+/// Parses "none" | "fp16" | "int16"; throws std::invalid_argument otherwise.
+[[nodiscard]] QuantMode quant_mode_from_name(const std::string& name);
+
+/// Per-tree affine decode parameters for the int16 quantized section:
+/// threshold = q * thr_scale + thr_bias, leaf = q * leaf_scale + leaf_bias.
+/// Thresholds and leaves get separate ranges because their magnitudes differ
+/// by orders of magnitude (raw feature units vs shrunken leaf weights).
+struct QuantScale {
+  double thr_scale = 0.0;
+  double thr_bias = 0.0;
+  double leaf_scale = 0.0;
+  double leaf_bias = 0.0;
+};
 
 struct GbdtParams {
   int num_trees = 400;
@@ -51,6 +78,19 @@ struct TrainLog {
 
 class GbdtModel {
  public:
+  /// One node of the inference-optimized forest: the whole ensemble lives in
+  /// a single contiguous array laid out tree-by-tree in DFS pre-order, so a
+  /// left descent is always `index + 1` and only the right-child index is
+  /// stored.  16 bytes/node (vs 40 for TreeNode) and no per-tree pointer
+  /// chasing — predict() streams through one allocation.  This struct is
+  /// also the exact on-disk record of the .gbdt2 kNodes section (leaves
+  /// store right == 0), which is what makes the mmap load zero-copy.
+  struct FlatNode {
+    std::int32_t feature = -1;  ///< split feature; -1 marks a leaf
+    std::int32_t right = 0;     ///< right-child index (internal nodes only)
+    double value = 0.0;         ///< internal: threshold; leaf: leaf weight
+  };
+
   /// Trains on `train`; optional `valid` enables early stopping and the
   /// validation curve in the log.
   ///
@@ -70,12 +110,21 @@ class GbdtModel {
   [[nodiscard]] double predict(std::span<const double> row) const;
   [[nodiscard]] std::vector<double> predict_all(const Dataset& data) const;
   /// Batch inference over a row-major matrix of `num_rows` feature rows
-  /// (values.size() == num_rows * num_features()).  One streaming pass over
-  /// the flat forest; bit-identical to calling predict() per row.
+  /// (values.size() == num_rows * num_features()).  Rows are transposed to
+  /// SoA tiles of 16 and descend a branchless packed form of the flat
+  /// forest, 8 register-resident walks at a time (DESIGN.md §13) — the
+  /// descend step is compare + setcc + indexed load with no data-dependent
+  /// branch, so the independent walks overlap in the out-of-order core
+  /// instead of stalling on the ~50%-mispredicted descent branch the scalar
+  /// walk pays.  Accumulation order per row is identical to predict(), so
+  /// the result is bit-identical to the scalar walk for every batch shape
+  /// at every QuantMode.
   [[nodiscard]] std::vector<double> predict_all(std::span<const double> values,
                                                 std::size_t num_rows) const;
 
-  [[nodiscard]] std::size_t num_trees() const noexcept { return trees_.size(); }
+  [[nodiscard]] std::size_t num_trees() const noexcept {
+    return trees_.empty() ? forest_roots().size() : trees_.size();
+  }
   [[nodiscard]] std::size_t num_features() const noexcept { return num_features_; }
   [[nodiscard]] double base_score() const noexcept { return base_score_; }
   /// Per-leaf shrinkage factor (warm-start fits must match it).
@@ -89,27 +138,82 @@ class GbdtModel {
   void save(const std::filesystem::path& path) const;
   [[nodiscard]] static GbdtModel load(const std::filesystem::path& path);
 
- private:
-  /// One node of the inference-optimized forest: the whole ensemble lives in
-  /// a single contiguous array laid out tree-by-tree in DFS pre-order, so a
-  /// left descent is always `index + 1` and only the right-child index is
-  /// stored.  16 bytes/node (vs 40 for TreeNode) and no per-tree pointer
-  /// chasing — predict() streams through one allocation.
-  struct FlatNode {
-    std::int32_t feature = -1;  ///< split feature; -1 marks a leaf
-    std::int32_t right = 0;     ///< right-child index (internal nodes only)
-    double value = 0.0;         ///< internal: threshold; leaf: leaf weight
-  };
+  // ---- .gbdt2 binary container (model_v2.cpp; format in DESIGN.md §13) ----
 
-  /// Rebuilds flat_nodes_/flat_roots_ from trees_ (called after train/load).
+  /// The complete .gbdt2 container as bytes (header, section table, flat
+  /// forest, gains, and both quantized value sections).
+  [[nodiscard]] std::string serialize_v2() const;
+  /// serialize_v2() through fsio::write_file_atomic — a reader (or a crash)
+  /// at any instant sees the old container or the new one, never a torn one.
+  void save_v2(const std::filesystem::path& path) const;
+  /// Zero-copy load: mmaps `path` and validates every section against the
+  /// mapped bytes (bounds, alignment, exact DFS pre-order tree structure,
+  /// forward child indices, finiteness) before any prediction can touch
+  /// them; hostile input throws std::runtime_error, never crashes or
+  /// allocates proportionally to a corrupt count.  The returned model's
+  /// node/root/gain spans view the mapping directly; the mapping is held by
+  /// shared_ptr and outlives every copy of the model (registry snapshots
+  /// keep serving across hot-swaps — mmapfile.hpp lifetime contract).
+  [[nodiscard]] static GbdtModel load_v2(const std::filesystem::path& path,
+                                         QuantMode quant = QuantMode::kNone);
+
+  /// Inference-time value representation (kNone unless load_v2 selected a
+  /// quantized section).
+  [[nodiscard]] QuantMode quant_mode() const noexcept { return quant_mode_; }
+  /// True when this model's forest views an mmap'ed .gbdt2 container.
+  [[nodiscard]] bool is_mapped() const noexcept { return mmap_ != nullptr; }
+
+  /// The flat forest, wherever it lives (owned vectors for trained/text
+  /// models, the mmap'ed container for v2 models).
+  [[nodiscard]] std::span<const FlatNode> forest_nodes() const noexcept {
+    return mmap_ != nullptr ? mapped_nodes_ : std::span<const FlatNode>(flat_nodes_);
+  }
+  [[nodiscard]] std::span<const std::uint32_t> forest_roots() const noexcept {
+    return mmap_ != nullptr ? mapped_roots_ : std::span<const std::uint32_t>(flat_roots_);
+  }
+  /// Split gain per flat node (0 for leaves) — feeds feature_importance()
+  /// and keeps text export faithful for v2-loaded models (only the unused
+  /// internal-node value column of the text format is not containerized).
+  [[nodiscard]] std::span<const double> forest_gains() const noexcept {
+    return mmap_ != nullptr ? mapped_gains_ : std::span<const double>(flat_gains_);
+  }
+
+  /// The ensemble as per-tree node lists: a copy of the training-time trees
+  /// when present, otherwise (v2-loaded models) reconstructed from the flat
+  /// forest + gains.  Feeds warm-start training and text serialization.
+  [[nodiscard]] std::vector<RegressionTree> export_trees() const;
+
+ private:
+  /// Rebuilds flat_nodes_/flat_roots_/flat_gains_ from trees_ (called after
+  /// train/load).
   void build_flat_forest();
 
-  std::vector<RegressionTree> trees_;
+  template <QuantMode Q>
+  [[nodiscard]] double predict_row(std::span<const double> row) const;
+  template <QuantMode Q>
+  [[nodiscard]] std::vector<double> predict_all_impl(std::span<const double> values,
+                                                     std::size_t num_rows) const;
+
+  std::vector<RegressionTree> trees_;   ///< empty for v2-loaded models
   std::vector<FlatNode> flat_nodes_;
   std::vector<std::uint32_t> flat_roots_;  ///< root index per tree
+  std::vector<double> flat_gains_;         ///< per flat node; 0 for leaves
   double base_score_ = 0.0;
   double learning_rate_ = 0.0;
   std::size_t num_features_ = 0;
+
+  // v2 zero-copy state: the mapping plus spans into it.  Copying the model
+  // copies the shared_ptr, so the spans stay valid in every copy; for
+  // non-mapped models these are empty and the accessors fall back to the
+  // owned vectors (a copy's spans never dangle into another instance).
+  std::shared_ptr<const util::MmapFile> mmap_;
+  std::span<const FlatNode> mapped_nodes_;
+  std::span<const std::uint32_t> mapped_roots_;
+  std::span<const double> mapped_gains_;
+  QuantMode quant_mode_ = QuantMode::kNone;
+  std::span<const std::uint16_t> values_f16_;   ///< IEEE binary16 per node
+  std::span<const std::int16_t> values_i16_;    ///< affine int16 per node
+  std::span<const QuantScale> quant_scales_;    ///< per tree (int16 decode)
 };
 
 // ---- metrics ------------------------------------------------------------------

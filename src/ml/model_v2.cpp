@@ -1,0 +1,442 @@
+// .gbdt2 container I/O (format doc in model_v2.hpp / DESIGN.md §13).
+//
+// The writer lays sections out 8-byte aligned so the loader can view them
+// in place: the mapped kNodes bytes ARE the inference array (FlatNode's
+// in-memory layout is the on-disk record), and load cost is the validation
+// pass plus the pages the kernel actually touches — no parsing, no
+// allocation proportional to model size.
+//
+// The loader trusts nothing: every count is bounded before use, every
+// section offset/length is overflow-checked against the mapped size, and
+// the forest is proven to be exactly DFS pre-order (each subtree a
+// contiguous [begin, end) with the left child at begin+1) with bounded
+// depth and finite values.  A hostile file throws std::runtime_error with
+// the offending detail — never a crash, OOM, or traversal cycle.
+
+#include "ml/model_v2.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/fault.hpp"
+#include "util/fsio.hpp"
+#include "util/mmapfile.hpp"
+
+namespace aigml::ml {
+
+static_assert(std::endian::native == std::endian::little,
+              ".gbdt2 zero-copy I/O assumes a little-endian host");
+static_assert(sizeof(GbdtModel::FlatNode) == 16);
+static_assert(offsetof(GbdtModel::FlatNode, feature) == 0);
+static_assert(offsetof(GbdtModel::FlatNode, right) == 4);
+static_assert(offsetof(GbdtModel::FlatNode, value) == 8);
+static_assert(sizeof(QuantScale) == 32);
+
+const char* to_string(QuantMode mode) noexcept {
+  switch (mode) {
+    case QuantMode::kFp16:
+      return "fp16";
+    case QuantMode::kInt16:
+      return "int16";
+    case QuantMode::kNone:
+      break;
+  }
+  return "none";
+}
+
+QuantMode quant_mode_from_name(const std::string& name) {
+  if (name == "none") return QuantMode::kNone;
+  if (name == "fp16") return QuantMode::kFp16;
+  if (name == "int16") return QuantMode::kInt16;
+  throw std::invalid_argument("quant '" + name + "': expected none | fp16 | int16");
+}
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'B', 'T', '2'};
+constexpr std::uint32_t kFormatVersion = 2;
+
+// Mirror the text loader's plausibility bounds (gbdt.cpp / tree.cpp): a
+// corrupt count must fail with a message, not a multi-gigabyte reserve.
+constexpr std::uint64_t kMaxTrees = 1u << 20;
+constexpr std::uint64_t kMaxFeatures = 1u << 16;
+constexpr std::uint64_t kMaxNodes = std::uint64_t{1} << 28;
+constexpr std::uint32_t kMaxSections = 64;
+constexpr int kMaxDepth = 64;  // paper-scale max_depth is 16
+
+enum SectionKind : std::uint32_t {
+  kSecNodes = 1,
+  kSecRoots = 2,
+  kSecGains = 3,
+  kSecValuesF16 = 4,
+  kSecValuesI16 = 5,
+  kSecQuantScales = 6,
+};
+
+struct V2Header {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t num_trees;
+  std::uint64_t num_nodes;
+  std::uint64_t num_features;
+  double base_score;
+  double learning_rate;
+  std::uint32_t section_count;
+  std::uint32_t reserved;
+};
+static_assert(sizeof(V2Header) == 56);
+
+struct V2Section {
+  std::uint32_t kind;
+  std::uint32_t reserved;
+  std::uint64_t offset;  ///< from file start; 8-byte aligned
+  std::uint64_t length;  ///< bytes
+};
+static_assert(sizeof(V2Section) == 24);
+
+[[noreturn]] void fail(const std::filesystem::path& path, const std::string& why) {
+  throw std::runtime_error("GbdtModel::load_v2: " + path.string() + ": " + why);
+}
+
+void append_bytes(std::string& out, const void* data, std::size_t size) {
+  out.append(static_cast<const char*>(data), size);
+}
+
+void pad8(std::string& out) { out.append((8 - out.size() % 8) % 8, '\0'); }
+
+/// Known-kind sections located by the table walk; absent => data == nullptr.
+struct SectionMap {
+  const std::byte* nodes = nullptr;
+  const std::byte* roots = nullptr;
+  const std::byte* gains = nullptr;
+  const std::byte* f16 = nullptr;
+  const std::byte* i16 = nullptr;
+  const std::byte* scales = nullptr;
+};
+
+/// Parses + bounds-checks the header and section table against `size`
+/// mapped bytes.  Shared by load_v2 and inspect_v2.
+V2Header parse_header(const std::filesystem::path& path, const std::byte* base, std::size_t size,
+                      SectionMap* sections) {
+  if (size < sizeof(V2Header)) fail(path, "truncated header (" + std::to_string(size) + " bytes)");
+  V2Header h;
+  std::memcpy(&h, base, sizeof h);
+  if (std::memcmp(h.magic, kMagic, 4) != 0) {
+    fail(path, "bad magic (not a .gbdt2 container)");
+  }
+  if (h.version != kFormatVersion) {
+    fail(path, "unsupported container version " + std::to_string(h.version) +
+                   " (this build reads version 2)");
+  }
+  if (h.num_trees > kMaxTrees || h.num_features == 0 || h.num_features > kMaxFeatures ||
+      h.num_nodes > kMaxNodes) {
+    fail(path, "implausible header (trees=" + std::to_string(h.num_trees) +
+                   ", nodes=" + std::to_string(h.num_nodes) +
+                   ", features=" + std::to_string(h.num_features) + ")");
+  }
+  if ((h.num_trees == 0) != (h.num_nodes == 0) || h.num_nodes < h.num_trees) {
+    fail(path, "tree/node counts disagree (trees=" + std::to_string(h.num_trees) +
+                   ", nodes=" + std::to_string(h.num_nodes) + ")");
+  }
+  if (!std::isfinite(h.base_score) || !std::isfinite(h.learning_rate)) {
+    fail(path, "non-finite base score / learning rate");
+  }
+  if (h.section_count > kMaxSections) {
+    fail(path, "implausible section count " + std::to_string(h.section_count));
+  }
+  const std::uint64_t table_bytes = std::uint64_t{h.section_count} * sizeof(V2Section);
+  if (table_bytes > size - sizeof(V2Header)) fail(path, "truncated section table");
+
+  // Expected payload sizes per known kind (exact-match enforced).
+  const std::uint64_t nodes_len = h.num_nodes * sizeof(GbdtModel::FlatNode);
+  const std::uint64_t roots_len = h.num_trees * sizeof(std::uint32_t);
+  const std::uint64_t gains_len = h.num_nodes * sizeof(double);
+  const std::uint64_t half_len = h.num_nodes * 2;
+  const std::uint64_t scales_len = h.num_trees * sizeof(QuantScale);
+
+  for (std::uint32_t s = 0; s < h.section_count; ++s) {
+    V2Section sec;
+    std::memcpy(&sec, base + sizeof(V2Header) + s * sizeof(V2Section), sizeof sec);
+    if (sec.offset % 8 != 0) {
+      fail(path, "section " + std::to_string(sec.kind) + " misaligned (offset " +
+                     std::to_string(sec.offset) + ")");
+    }
+    // Overflow-safe: check offset first, then length against the remainder.
+    if (sec.offset > size || sec.length > size - sec.offset) {
+      fail(path, "section " + std::to_string(sec.kind) + " out of bounds (offset " +
+                     std::to_string(sec.offset) + ", length " + std::to_string(sec.length) +
+                     ", file " + std::to_string(size) + ")");
+    }
+    const std::byte** slot = nullptr;
+    std::uint64_t expected = 0;
+    switch (sec.kind) {
+      case kSecNodes:
+        slot = sections != nullptr ? &sections->nodes : nullptr;
+        expected = nodes_len;
+        break;
+      case kSecRoots:
+        slot = sections != nullptr ? &sections->roots : nullptr;
+        expected = roots_len;
+        break;
+      case kSecGains:
+        slot = sections != nullptr ? &sections->gains : nullptr;
+        expected = gains_len;
+        break;
+      case kSecValuesF16:
+        slot = sections != nullptr ? &sections->f16 : nullptr;
+        expected = half_len;
+        break;
+      case kSecValuesI16:
+        slot = sections != nullptr ? &sections->i16 : nullptr;
+        expected = half_len;
+        break;
+      case kSecQuantScales:
+        slot = sections != nullptr ? &sections->scales : nullptr;
+        expected = scales_len;
+        break;
+      default:
+        continue;  // unknown kinds are bounds-checked, then skipped
+    }
+    if (sec.length != expected) {
+      fail(path, "section " + std::to_string(sec.kind) + " length " +
+                     std::to_string(sec.length) + " != expected " + std::to_string(expected));
+    }
+    if (slot != nullptr) {
+      if (*slot != nullptr) fail(path, "duplicate section " + std::to_string(sec.kind));
+      *slot = base + sec.offset;
+    }
+  }
+  return h;
+}
+
+/// Proves the flat span [begin, end) is exactly one DFS pre-order tree:
+/// every subtree occupies a contiguous [i, sub_end), the left child sits at
+/// i + 1, the right child index splits the remainder, and leaves close
+/// their range exactly.  This visits each node once (no cycles possible by
+/// construction) and bounds the depth, so a hostile forest can neither loop
+/// nor blow the stack.
+void validate_tree(const std::filesystem::path& path, const GbdtModel::FlatNode* nodes,
+                   std::uint64_t tree, std::uint64_t begin, std::uint64_t end,
+                   std::uint64_t num_features) {
+  struct Range {
+    std::uint64_t node;
+    std::uint64_t end;
+    int depth;
+  };
+  std::vector<Range> stack{{begin, end, 0}};
+  while (!stack.empty()) {
+    const Range r = stack.back();
+    stack.pop_back();
+    if (r.depth > kMaxDepth) {
+      fail(path, "tree " + std::to_string(tree) + " deeper than " + std::to_string(kMaxDepth));
+    }
+    const GbdtModel::FlatNode& n = nodes[r.node];
+    if (!std::isfinite(n.value)) {
+      fail(path, "non-finite value at node " + std::to_string(r.node));
+    }
+    if (n.feature < 0) {
+      if (n.feature != -1 || n.right != 0) {
+        fail(path, "malformed leaf at node " + std::to_string(r.node));
+      }
+      if (r.node + 1 != r.end) {
+        fail(path, "leaf at node " + std::to_string(r.node) + " does not close its subtree");
+      }
+      continue;
+    }
+    if (static_cast<std::uint64_t>(n.feature) >= num_features) {
+      fail(path, "node " + std::to_string(r.node) + " splits on feature " +
+                     std::to_string(n.feature) + " but the model has " +
+                     std::to_string(num_features) + " features");
+    }
+    const auto right = static_cast<std::uint64_t>(static_cast<std::uint32_t>(n.right));
+    // Left subtree [node+1, right), right subtree [right, end): both must be
+    // non-empty, and right must point forward (rules out cycles and overlap).
+    if (n.right < 0 || right <= r.node + 1 || right >= r.end) {
+      fail(path, "node " + std::to_string(r.node) + " right-child index " +
+                     std::to_string(n.right) + " outside (" + std::to_string(r.node + 1) + ", " +
+                     std::to_string(r.end) + ")");
+    }
+    stack.push_back({right, r.end, r.depth + 1});
+    stack.push_back({r.node + 1, right, r.depth + 1});
+  }
+}
+
+}  // namespace
+
+std::string GbdtModel::serialize_v2() const {
+  const std::span<const FlatNode> nodes = forest_nodes();
+  const std::span<const std::uint32_t> roots = forest_roots();
+  const std::span<const double> gains = forest_gains();
+
+  // Quantized value sections are always emitted (4 bytes/node + 32
+  // bytes/tree on top of the 24 bytes/node forest), so any .gbdt2 file can
+  // serve any QuantMode the loader asks for.
+  std::vector<std::uint16_t> f16(nodes.size());
+  std::vector<std::int16_t> i16(nodes.size());
+  std::vector<QuantScale> scales(roots.size());
+  for (std::size_t t = 0; t < roots.size(); ++t) {
+    const std::size_t begin = roots[t];
+    const std::size_t end = t + 1 < roots.size() ? roots[t + 1] : nodes.size();
+    double thr_min = std::numeric_limits<double>::infinity(), thr_max = -thr_min;
+    double leaf_min = thr_min, leaf_max = -thr_min;
+    for (std::size_t i = begin; i < end; ++i) {
+      double& lo = nodes[i].feature >= 0 ? thr_min : leaf_min;
+      double& hi = nodes[i].feature >= 0 ? thr_max : leaf_max;
+      lo = std::min(lo, nodes[i].value);
+      hi = std::max(hi, nodes[i].value);
+    }
+    QuantScale& qs = scales[t];
+    // Midpoint bias + symmetric span over 2*32767 steps; a constant (or
+    // absent) range degenerates to scale 0 => decode yields the bias.
+    const auto affine = [](double lo, double hi, double& scale, double& bias) {
+      if (!(lo <= hi)) {  // no values of this class in the tree
+        scale = 0.0;
+        bias = 0.0;
+        return;
+      }
+      bias = 0.5 * (lo + hi);
+      scale = hi > lo ? (hi - lo) / 65534.0 : 0.0;
+    };
+    affine(thr_min, thr_max, qs.thr_scale, qs.thr_bias);
+    affine(leaf_min, leaf_max, qs.leaf_scale, qs.leaf_bias);
+    for (std::size_t i = begin; i < end; ++i) {
+      const bool internal = nodes[i].feature >= 0;
+      const double scale = internal ? qs.thr_scale : qs.leaf_scale;
+      const double bias = internal ? qs.thr_bias : qs.leaf_bias;
+      f16[i] = fp16_from_double(nodes[i].value);
+      i16[i] = scale > 0.0
+                   ? static_cast<std::int16_t>(std::lround(
+                         std::clamp((nodes[i].value - bias) / scale, -32767.0, 32767.0)))
+                   : std::int16_t{0};
+    }
+  }
+
+  V2Header h{};
+  std::memcpy(h.magic, kMagic, 4);
+  h.version = kFormatVersion;
+  h.num_trees = roots.size();
+  h.num_nodes = nodes.size();
+  h.num_features = num_features_;
+  h.base_score = base_score_;
+  h.learning_rate = learning_rate_;
+  h.section_count = 6;
+
+  std::string out;
+  out.reserve(sizeof(V2Header) + h.section_count * sizeof(V2Section) + nodes.size_bytes() +
+              roots.size_bytes() + gains.size_bytes() + 4 * nodes.size() +
+              scales.size() * sizeof(QuantScale) + 64);
+  append_bytes(out, &h, sizeof h);
+  const std::size_t table_at = out.size();
+  out.append(h.section_count * sizeof(V2Section), '\0');  // backpatched below
+
+  V2Section table[6] = {};
+  const auto emit = [&](int slot, std::uint32_t kind, const void* data, std::uint64_t length) {
+    pad8(out);
+    table[slot] = V2Section{kind, 0, out.size(), length};
+    if (length > 0) append_bytes(out, data, length);
+  };
+  emit(0, kSecNodes, nodes.data(), nodes.size_bytes());
+  emit(1, kSecRoots, roots.data(), roots.size_bytes());
+  emit(2, kSecGains, gains.data(), gains.size_bytes());
+  emit(3, kSecValuesF16, f16.data(), f16.size() * 2);
+  emit(4, kSecValuesI16, i16.data(), i16.size() * 2);
+  emit(5, kSecQuantScales, scales.data(), scales.size() * sizeof(QuantScale));
+  std::memcpy(out.data() + table_at, table, sizeof table);
+  return out;
+}
+
+void GbdtModel::save_v2(const std::filesystem::path& path) const {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  fsio::write_file_atomic(path, serialize_v2());
+}
+
+GbdtModel GbdtModel::load_v2(const std::filesystem::path& path, QuantMode quant) {
+  // Same chaos site as the text loader: a reload must isolate this throw
+  // (registry keeps the previous snapshot; see tests/test_robustness.cpp).
+  fault::throw_if(fault::Site::kModelTruncate, "truncated model file");
+
+  auto map = std::make_shared<const util::MmapFile>(path);
+  const std::byte* base = map->data();
+  SectionMap sec;
+  const V2Header h = parse_header(path, base, map->size(), &sec);
+  if (sec.nodes == nullptr && h.num_nodes > 0) fail(path, "missing nodes section");
+  if (sec.roots == nullptr && h.num_trees > 0) fail(path, "missing roots section");
+  if (sec.gains == nullptr && h.num_nodes > 0) fail(path, "missing gains section");
+
+  const auto* nodes = reinterpret_cast<const FlatNode*>(sec.nodes);
+  const auto* roots = reinterpret_cast<const std::uint32_t*>(sec.roots);
+  const auto* gains = reinterpret_cast<const double*>(sec.gains);
+
+  for (std::uint64_t t = 0; t < h.num_trees; ++t) {
+    const std::uint64_t begin = roots[t];
+    const std::uint64_t end = t + 1 < h.num_trees ? roots[t + 1] : h.num_nodes;
+    // Strictly increasing from 0 with every tree non-empty — the spans
+    // partition [0, num_nodes) exactly.
+    if ((t == 0 && begin != 0) || begin >= end || end > h.num_nodes) {
+      fail(path, "roots not strictly increasing at tree " + std::to_string(t));
+    }
+    validate_tree(path, nodes, t, begin, end, h.num_features);
+  }
+  for (std::uint64_t i = 0; i < h.num_nodes; ++i) {
+    if (!std::isfinite(gains[i])) fail(path, "non-finite gain at node " + std::to_string(i));
+  }
+
+  GbdtModel model;
+  model.base_score_ = h.base_score;
+  model.learning_rate_ = h.learning_rate;
+  model.num_features_ = h.num_features;
+  model.mapped_nodes_ = {nodes, h.num_nodes};
+  model.mapped_roots_ = {roots, h.num_trees};
+  model.mapped_gains_ = {gains, h.num_nodes};
+  model.quant_mode_ = quant;
+  if (quant == QuantMode::kFp16) {
+    if (sec.f16 == nullptr) fail(path, "quant=fp16 requested but no fp16 section");
+    const auto* f16 = reinterpret_cast<const std::uint16_t*>(sec.f16);
+    for (std::uint64_t i = 0; i < h.num_nodes; ++i) {
+      if ((f16[i] & 0x7C00u) == 0x7C00u) {
+        fail(path, "non-finite fp16 value at node " + std::to_string(i));
+      }
+    }
+    model.values_f16_ = {f16, h.num_nodes};
+  } else if (quant == QuantMode::kInt16) {
+    if (sec.i16 == nullptr || sec.scales == nullptr) {
+      fail(path, "quant=int16 requested but no int16/scales sections");
+    }
+    const auto* scales = reinterpret_cast<const QuantScale*>(sec.scales);
+    for (std::uint64_t t = 0; t < h.num_trees; ++t) {
+      if (!std::isfinite(scales[t].thr_scale) || !std::isfinite(scales[t].thr_bias) ||
+          !std::isfinite(scales[t].leaf_scale) || !std::isfinite(scales[t].leaf_bias)) {
+        fail(path, "non-finite quant scale for tree " + std::to_string(t));
+      }
+    }
+    model.values_i16_ = {reinterpret_cast<const std::int16_t*>(sec.i16), h.num_nodes};
+    model.quant_scales_ = {scales, h.num_trees};
+  }
+  model.mmap_ = std::move(map);  // set last: is_mapped() flips the accessors
+  return model;
+}
+
+ModelV2Info inspect_v2(const std::filesystem::path& path) {
+  const util::MmapFile map(path);
+  SectionMap sec;
+  const V2Header h = parse_header(path, map.data(), map.size(), &sec);
+  ModelV2Info info;
+  info.version = h.version;
+  info.num_trees = h.num_trees;
+  info.num_nodes = h.num_nodes;
+  info.num_features = h.num_features;
+  info.base_score = h.base_score;
+  info.learning_rate = h.learning_rate;
+  info.has_fp16 = sec.f16 != nullptr;
+  info.has_int16 = sec.i16 != nullptr && sec.scales != nullptr;
+  info.file_size = map.size();
+  return info;
+}
+
+}  // namespace aigml::ml

@@ -1,0 +1,111 @@
+#pragma once
+// .gbdt2 — the binary mmap model container (DESIGN.md §13).
+//
+// Layout (all integers little-endian, all section payloads 8-byte aligned):
+//
+//   V2Header   { "GBT2", version=2, num_trees, num_nodes, num_features,
+//                base_score, learning_rate, section_count }
+//   V2Section  table: { kind, offset, length } per section
+//   sections:
+//     kNodes        num_nodes * GbdtModel::FlatNode (16 B, DFS pre-order,
+//                   tree-by-tree; leaves store right == 0)
+//     kRoots        num_trees * u32 root indices (strictly increasing from 0)
+//     kGains        num_nodes * f64 split gains (0 for leaves)
+//     kValuesF16    num_nodes * u16 IEEE binary16 of FlatNode::value
+//     kValuesI16    num_nodes * i16 affine-quantized FlatNode::value
+//     kQuantScales  num_trees * QuantScale (int16 decode parameters)
+//
+// GbdtModel::serialize_v2/save_v2/load_v2 (declared in gbdt.hpp, defined in
+// model_v2.cpp) produce and consume this format; this header carries the
+// pieces other layers need without the full model: the extension constant,
+// the binary16 conversion primitives (also used by the inference kernel),
+// and a cheap header-only inspector for tooling (`aigml convert`, STATS).
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "ml/gbdt.hpp"
+
+namespace aigml::ml {
+
+inline constexpr const char* kModelV2Extension = ".gbdt2";
+
+/// double -> IEEE 754 binary16 bits, round-to-nearest-even (via float, so
+/// the cast chain is the platform's RNE both times).  Out-of-range values
+/// saturate to +-inf; NaN stays NaN.
+[[nodiscard]] inline std::uint16_t fp16_from_double(double d) noexcept {
+  const auto x = std::bit_cast<std::uint32_t>(static_cast<float>(d));
+  const auto sign = static_cast<std::uint16_t>((x >> 16) & 0x8000u);
+  const std::uint32_t exp = (x >> 23) & 0xFFu;
+  const std::uint32_t frac = x & 0x7FFFFFu;
+  if (exp == 0xFFu) {  // inf / nan (keep nan's payload bit set)
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (frac != 0 ? 0x200u : 0u));
+  }
+  const int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 31) return static_cast<std::uint16_t>(sign | 0x7C00u);  // overflow
+  if (e <= 0) {
+    if (e < -10) return sign;  // underflows past the smallest subnormal
+    const std::uint32_t mant = frac | 0x800000u;
+    const int shift = 14 - e;  // 14..24
+    auto h = static_cast<std::uint16_t>(mant >> shift);
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t half = 1u << (shift - 1);
+    if (rem > half || (rem == half && (h & 1u) != 0)) ++h;
+    return static_cast<std::uint16_t>(sign | h);
+  }
+  auto h = static_cast<std::uint16_t>((static_cast<std::uint32_t>(e) << 10) | (frac >> 13));
+  const std::uint32_t rem = frac & 0x1FFFu;
+  // The round-up carry propagates through the exponent bits correctly
+  // (1.111... * 2^e rounds to 1.0 * 2^(e+1); 2^30 binade rounds to inf).
+  if (rem > 0x1000u || (rem == 0x1000u && (h & 1u) != 0)) ++h;
+  return static_cast<std::uint16_t>(sign | h);
+}
+
+/// IEEE 754 binary16 bits -> double (exact — every binary16 value is
+/// representable in binary32 and binary64).
+[[nodiscard]] inline double fp16_to_double(std::uint16_t h) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h >> 15) << 31;
+  std::uint32_t exp = (h >> 10) & 0x1Fu;
+  std::uint32_t frac = h & 0x3FFu;
+  std::uint32_t bits;
+  if (exp == 0) {
+    if (frac == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal half: renormalize into a normal float.
+      exp = 127 - 15 + 1;
+      while ((frac & 0x400u) == 0) {
+        frac <<= 1;
+        --exp;
+      }
+      bits = sign | (exp << 23) | ((frac & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1Fu) {
+    bits = sign | 0x7F800000u | (frac << 13);  // inf / nan
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (frac << 13);
+  }
+  return static_cast<double>(std::bit_cast<float>(bits));
+}
+
+/// Header-level facts about a .gbdt2 file, read without loading the model.
+struct ModelV2Info {
+  std::uint32_t version = 0;
+  std::size_t num_trees = 0;
+  std::size_t num_nodes = 0;
+  std::size_t num_features = 0;
+  double base_score = 0.0;
+  double learning_rate = 0.0;
+  bool has_fp16 = false;
+  bool has_int16 = false;
+  std::uintmax_t file_size = 0;
+};
+
+/// Parses and validates the header + section table only (no forest
+/// validation); throws std::runtime_error on anything malformed.
+[[nodiscard]] ModelV2Info inspect_v2(const std::filesystem::path& path);
+
+}  // namespace aigml::ml

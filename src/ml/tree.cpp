@@ -130,6 +130,62 @@ void RegressionTree::serialize(std::ostream& out) const {
   }
 }
 
+namespace {
+
+/// Structural validation shared by deserialize() and from_nodes(): forward
+/// child indices (rules out traversal cycles), finite values, and one
+/// iterative DFS proving the nodes form a single tree of sane depth —
+/// every node visited exactly once, all nodes reachable from the root,
+/// depth bounded.  The range checks alone would still admit DAGs (two
+/// parents sharing a child makes build_flat_forest's per-path DFS
+/// exponential) and degenerate deep chains (recursion overflow).
+void validate_nodes(const std::vector<TreeNode>& nodes, const char* where) {
+  const auto fail = [&](const std::string& why) {
+    throw std::runtime_error(std::string(where) + ": " + why);
+  };
+  const int n_nodes = static_cast<int>(nodes.size());
+  for (int index = 0; index < n_nodes; ++index) {
+    const TreeNode& n = nodes[static_cast<std::size_t>(index)];
+    if (!std::isfinite(n.threshold) || !std::isfinite(n.value)) {
+      fail("non-finite node " + std::to_string(index));
+    }
+    if (n.feature >= 0) {
+      // Children strictly after the parent: predict() walks monotonically
+      // increasing indices, so this also rules out traversal cycles.
+      if (n.left <= index || n.left >= n_nodes || n.right <= index || n.right >= n_nodes) {
+        fail("child index out of range at node " + std::to_string(index));
+      }
+    }
+  }
+  if (nodes.empty()) return;
+  constexpr int kMaxDepth = 64;  // paper-scale max_depth is 16
+  std::vector<char> visited(nodes.size(), 0);
+  std::vector<std::pair<int, int>> stack{{0, 0}};  // (node, depth)
+  std::size_t visits = 0;
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    if (visited[static_cast<std::size_t>(index)] != 0) {
+      fail("node " + std::to_string(index) + " has two parents (not a tree)");
+    }
+    if (depth > kMaxDepth) {
+      fail("tree deeper than " + std::to_string(kMaxDepth));
+    }
+    visited[static_cast<std::size_t>(index)] = 1;
+    ++visits;
+    const TreeNode& n = nodes[static_cast<std::size_t>(index)];
+    if (n.feature >= 0) {
+      stack.push_back({n.right, depth + 1});
+      stack.push_back({n.left, depth + 1});
+    }
+  }
+  if (visits != nodes.size()) {
+    fail(std::to_string(nodes.size() - visits) + " unreachable node(s)");
+  }
+}
+
+}  // namespace
+
 RegressionTree RegressionTree::deserialize(std::istream& in) {
   std::string token;
   std::size_t count = 0;
@@ -146,59 +202,20 @@ RegressionTree RegressionTree::deserialize(std::istream& in) {
   }
   RegressionTree t;
   t.nodes_.resize(count);
-  const int n_nodes = static_cast<int>(count);
-  for (int index = 0; index < n_nodes; ++index) {
-    TreeNode& n = t.nodes_[static_cast<std::size_t>(index)];
+  for (std::size_t index = 0; index < count; ++index) {
+    TreeNode& n = t.nodes_[index];
     if (!(in >> n.feature >> n.threshold >> n.left >> n.right >> n.value >> n.gain)) {
       throw std::runtime_error("RegressionTree::deserialize: truncated node list");
     }
-    if (!std::isfinite(n.threshold) || !std::isfinite(n.value)) {
-      throw std::runtime_error("RegressionTree::deserialize: non-finite node " +
-                               std::to_string(index));
-    }
-    if (n.feature >= 0) {
-      // Children strictly after the parent: predict() walks monotonically
-      // increasing indices, so this also rules out traversal cycles.
-      if (n.left <= index || n.left >= n_nodes || n.right <= index || n.right >= n_nodes) {
-        throw std::runtime_error("RegressionTree::deserialize: child index out of range at node " +
-                                 std::to_string(index));
-      }
-    }
   }
-  // The range checks alone still admit DAGs (two parents sharing a child
-  // makes build_flat_forest's per-path DFS exponential) and degenerate
-  // deep chains (recursion overflow).  One iterative DFS proves the nodes
-  // form a single tree of sane depth: every node visited exactly once, all
-  // nodes reachable from the root, depth bounded.
-  if (count > 0) {
-    constexpr int kMaxDepth = 64;  // paper-scale max_depth is 16
-    std::vector<char> visited(count, 0);
-    std::vector<std::pair<int, int>> stack{{0, 0}};  // (node, depth)
-    std::size_t visits = 0;
-    while (!stack.empty()) {
-      const auto [index, depth] = stack.back();
-      stack.pop_back();
-      if (visited[static_cast<std::size_t>(index)] != 0) {
-        throw std::runtime_error("RegressionTree::deserialize: node " + std::to_string(index) +
-                                 " has two parents (not a tree)");
-      }
-      if (depth > kMaxDepth) {
-        throw std::runtime_error("RegressionTree::deserialize: tree deeper than " +
-                                 std::to_string(kMaxDepth));
-      }
-      visited[static_cast<std::size_t>(index)] = 1;
-      ++visits;
-      const TreeNode& n = t.nodes_[static_cast<std::size_t>(index)];
-      if (n.feature >= 0) {
-        stack.push_back({n.right, depth + 1});
-        stack.push_back({n.left, depth + 1});
-      }
-    }
-    if (visits != count) {
-      throw std::runtime_error("RegressionTree::deserialize: " +
-                               std::to_string(count - visits) + " unreachable node(s)");
-    }
-  }
+  validate_nodes(t.nodes_, "RegressionTree::deserialize");
+  return t;
+}
+
+RegressionTree RegressionTree::from_nodes(std::vector<TreeNode> nodes) {
+  validate_nodes(nodes, "RegressionTree::from_nodes");
+  RegressionTree t;
+  t.nodes_ = std::move(nodes);
   return t;
 }
 

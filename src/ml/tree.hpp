@@ -51,6 +51,12 @@ class RegressionTree {
   void serialize(std::ostream& out) const;
   [[nodiscard]] static RegressionTree deserialize(std::istream& in);
 
+  /// Adopts an explicit node list (the v2 loader's TreeNode reconstruction
+  /// path), running the same structural validation as deserialize():
+  /// forward child indices, finite values, single-tree reachability,
+  /// bounded depth.  Throws std::runtime_error on violations.
+  [[nodiscard]] static RegressionTree from_nodes(std::vector<TreeNode> nodes);
+
  private:
   int build(std::span<const double> x, std::size_t num_features,
             std::span<const double> gradients, std::span<const double> hessians,

@@ -27,27 +27,44 @@ std::uint16_t parse_port(const std::string& spec, const std::string& text) {
   return static_cast<std::uint16_t>(port);
 }
 
-/// Checks for <dir>/delay.gbdt and <dir>/area.gbdt, failing with the spec's
-/// context when missing.  Shared by "ml:<dir>" specs and "ml:<dir>"
-/// fallbacks.
+/// Checks for <dir>/<name>.gbdt2-or-.gbdt for delay and area, failing with
+/// the spec's context when missing.  Shared by "ml:<dir>" specs and
+/// "ml:<dir>" fallbacks.
 void require_model_dir(const std::string& spec, const std::string& dir) {
   namespace fs = std::filesystem;
-  const fs::path delay_path = fs::path(dir) / "delay.gbdt";
-  const fs::path area_path = fs::path(dir) / "area.gbdt";
-  if (!fs::exists(delay_path) || !fs::exists(area_path)) {
-    fail(spec, "expected " + delay_path.string() + " and " + area_path.string() +
-                   " (train them with `aigml train`)");
+  for (const char* name : {"delay", "area"}) {
+    const fs::path v2_path = fs::path(dir) / (std::string(name) + ".gbdt2");
+    const fs::path text_path = fs::path(dir) / (std::string(name) + ".gbdt");
+    if (!fs::exists(v2_path) && !fs::exists(text_path)) {
+      fail(spec, "expected " + v2_path.string() + " or " + text_path.string() +
+                     " (train them with `aigml train`, convert with `aigml convert`)");
+    }
   }
 }
 
-std::unique_ptr<CostEvaluator> make_ml_from_dir(const std::string& spec,
-                                                const std::string& dir) {
+/// Loads <dir>/<name>, preferring the .gbdt2 mmap container over the text
+/// file; a quantized QuantMode requires the v2 container.
+std::shared_ptr<const ml::GbdtModel> load_model_from_dir(const std::string& spec,
+                                                         const std::string& dir,
+                                                         const char* name,
+                                                         ml::QuantMode quant) {
   namespace fs = std::filesystem;
+  const fs::path v2_path = fs::path(dir) / (std::string(name) + ".gbdt2");
+  if (fs::exists(v2_path)) {
+    return std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load_v2(v2_path, quant));
+  }
+  if (quant != ml::QuantMode::kNone) {
+    fail(spec, std::string("quant=") + ml::to_string(quant) + " needs " + v2_path.string() +
+                   " (text models have no quantized sections; run `aigml convert`)");
+  }
+  return std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(fs::path(dir) / (std::string(name) + ".gbdt")));
+}
+
+std::unique_ptr<CostEvaluator> make_ml_from_dir(const std::string& spec, const std::string& dir,
+                                                ml::QuantMode quant) {
   require_model_dir(spec, dir);
-  auto delay =
-      std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(fs::path(dir) / "delay.gbdt"));
-  auto area =
-      std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(fs::path(dir) / "area.gbdt"));
+  auto delay = load_model_from_dir(spec, dir, "delay", quant);
+  auto area = load_model_from_dir(spec, dir, "area", quant);
   return std::make_unique<MlCost>(std::move(delay), std::move(area));
 }
 
@@ -105,11 +122,12 @@ RemoteCost::RemoteCost(const std::string& host, std::uint16_t port, std::string 
   if (options_.fallback == "proxy") {
     fallback_kind_ = Fallback::kProxy;
   } else if (options_.fallback.rfind("ml:", 0) == 0) {
+    // Fallback models ride the same .gbdt2-preferred path as ml:<dir>
+    // specs, always at quant=none (degraded evaluations should match what
+    // a local MlCost over the same files would have produced).
     const std::string dir = options_.fallback.substr(3);
-    fb_delay_ =
-        std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(fs::path(dir) / "delay.gbdt"));
-    fb_area_ =
-        std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(fs::path(dir) / "area.gbdt"));
+    fb_delay_ = load_model_from_dir(options_.fallback, dir, "delay", ml::QuantMode::kNone);
+    fb_area_ = load_model_from_dir(options_.fallback, dir, "area", ml::QuantMode::kNone);
     fallback_kind_ = Fallback::kMl;
   } else if (!options_.fallback.empty()) {
     throw std::invalid_argument("RemoteCost: fallback '" + options_.fallback +
@@ -207,6 +225,10 @@ std::unique_ptr<CostEvaluator> make_cost(const std::string& spec, const CostCont
     fail(spec, "fallback '" + ctx.serve_fallback +
                    "' only applies to serve:<host>:<port> specs");
   }
+  if (ctx.quant != ml::QuantMode::kNone && spec.rfind("ml:", 0) != 0) {
+    fail(spec, std::string("quant=") + ml::to_string(ctx.quant) +
+                   " only applies to ml:<model-dir> specs (models loaded from .gbdt2)");
+  }
   if (spec == "proxy") return std::make_unique<ProxyCost>();
   if (spec == "gt" || spec == "truth" || spec == "ground-truth") {
     if (ctx.library == nullptr) {
@@ -224,7 +246,7 @@ std::unique_ptr<CostEvaluator> make_cost(const std::string& spec, const CostCont
   if (spec.rfind("ml:", 0) == 0) {
     const std::string dir = spec.substr(3);
     if (dir.empty()) fail(spec, "empty model directory");
-    return make_ml_from_dir(spec, dir);
+    return make_ml_from_dir(spec, dir, ctx.quant);
   }
   if (spec.rfind("serve:", 0) == 0) return make_remote(spec, spec.substr(6), ctx);
   fail(spec, "unknown evaluator (expected proxy | gt | ml | ml:<model-dir> | "

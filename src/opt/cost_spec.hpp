@@ -39,6 +39,10 @@ struct CostContext {
   /// structural proxies), or "ml:<dir>" (degrade to local GBDT models).
   /// Rejected for non-serve specs — they have nothing to degrade from.
   std::string serve_fallback;
+  /// Value representation for "ml:<dir>" models loaded from .gbdt2
+  /// containers (the recipe's `quant=` key).  kFp16/kInt16 require the v2
+  /// sibling — text models have no quantized sections to read.
+  ml::QuantMode quant = ml::QuantMode::kNone;
 };
 
 /// Non-owning shared_ptr view of a caller-owned model — the bridge from

@@ -122,6 +122,11 @@ Recipe Recipe::parse(const std::string& text) {
       recipe.inner = value;
     } else if (key == "cost") {
       recipe.cost = value;
+    } else if (key == "quant") {
+      if (value != "none" && value != "fp16" && value != "int16") {
+        fail("quant=" + value + ": expected none | fp16 | int16");
+      }
+      recipe.quant = value;
     } else if (key == "fallback") {
       recipe.fallback = value;
     } else if (key == "inc") {
@@ -153,7 +158,7 @@ Recipe Recipe::parse(const std::string& text) {
     } else {
       fail("unknown key '" + key +
            "' (known: strategy iters max_seconds max_evals wd wa seed temp decay tol "
-           "starts inner cost fallback inc windows par learn learn_budget learn_dir)");
+           "starts inner cost quant fallback inc windows par learn learn_budget learn_dir)");
     }
   }
   if (recipe.spec_parallel && recipe.spec_windows == 0) {
@@ -185,6 +190,7 @@ std::string Recipe::to_string() const {
   out += ";wd=" + format_number(weight_delay) + ";wa=" + format_number(weight_area);
   out += ";seed=" + std::to_string(seed);
   out += ";cost=" + cost;
+  if (quant != defaults.quant) out += ";quant=" + quant;
   if (!fallback.empty()) out += ";fallback=" + fallback;
   if (!incremental) out += ";inc=0";
   if (spec_windows > 0) out += ";windows=" + std::to_string(spec_windows);
@@ -255,6 +261,7 @@ OptResult run(const Recipe& recipe, const aig::Aig& initial, const CostContext& 
   // validates it against the spec — non-serve specs reject it).
   CostContext cost_ctx = ctx;
   if (!recipe.fallback.empty()) cost_ctx.serve_fallback = recipe.fallback;
+  cost_ctx.quant = ml::quant_mode_from_name(recipe.quant);
   const std::unique_ptr<CostEvaluator> evaluator = make_cost(recipe.cost, cost_ctx);
   const std::unique_ptr<Strategy> strategy = recipe.make_strategy();
   return strategy->run(initial, *evaluator, recipe.stop_condition(), observer);

@@ -15,6 +15,9 @@
 //   starts=N         portfolio repetitions (default 3)
 //   inner=sa|greedy  portfolio inner strategy (default sa)
 //   cost=SPEC        cost spec (cost_spec.hpp grammar; default proxy)
+//   quant=Q          value representation for cost=ml:<dir> models loaded
+//                    from .gbdt2 containers: none | fp16 | int16 (default
+//                    none = fp64, bit-identical to the text loader)
 //   fallback=F       degraded-mode oracle for cost=serve: specs — proxy or
 //                    ml:<model-dir> (default none: a dead server fails the
 //                    run).  Degraded evaluations are counted in
@@ -72,6 +75,8 @@ struct Recipe {
   std::string inner = "sa";  ///< sa | greedy
   // Evaluator.
   std::string cost = "proxy";
+  // Dequantization mode for ml:<dir> models from .gbdt2 (none|fp16|int16).
+  std::string quant = "none";
   // Degraded-mode fallback for serve: costs ("" = fail hard).
   std::string fallback;
   // Incremental move evaluation (perf knob; trajectories are identical).

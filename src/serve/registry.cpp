@@ -3,7 +3,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ml/model_v2.hpp"
 #include "opt/cost.hpp"
+#include "util/timer.hpp"
 
 namespace aigml::serve {
 
@@ -41,6 +43,8 @@ void ModelRegistry::install(const std::string& name, ml::GbdtModel model) {
   entry.path.clear();
   entry.file_size = -1;
   entry.file_mtime_ns = 0;
+  entry.format = "memory";
+  entry.load_seconds = 0.0;
   generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
@@ -65,35 +69,49 @@ ReloadReport ModelRegistry::reload() {
     fs::path path;
     std::int64_t size = 0;
     std::int64_t mtime = 0;
+    bool v2 = false;
   };
-  std::vector<Candidate> candidates;
+  // One candidate per stem; a .gbdt2 sibling shadows the text file so every
+  // consumer of the same model name rides the mmap path when it exists.
+  std::map<std::string, Candidate> by_name;
   for (const auto& dirent : fs::directory_iterator(dir_)) {
-    if (!dirent.is_regular_file() || dirent.path().extension() != ".gbdt") continue;
+    const auto ext = dirent.path().extension();
+    if (!dirent.is_regular_file() || (ext != ".gbdt" && ext != ".gbdt2")) continue;
+    const bool v2 = ext == ".gbdt2";
+    const std::string name = dirent.path().stem().string();
+    const auto it = by_name.find(name);
+    if (it != by_name.end() && it->second.v2 && !v2) continue;  // keep the v2 sibling
     std::error_code ec;
     const auto size = static_cast<std::int64_t>(fs::file_size(dirent.path(), ec));
-    candidates.push_back(
-        {dirent.path().stem().string(), dirent.path(), ec ? 0 : size, mtime_ns(dirent.path())});
+    by_name[name] = {name, dirent.path(), ec ? 0 : size, mtime_ns(dirent.path()), v2};
   }
+  std::vector<Candidate> candidates;
+  candidates.reserve(by_name.size());
+  for (auto& [name, c] : by_name) candidates.push_back(std::move(c));
 
   for (const Candidate& c : candidates) {
     {
       const std::lock_guard lock(mutex_);
       const auto it = entries_.find(c.name);
-      if (it != entries_.end() && it->second.file_size == c.size &&
-          it->second.file_mtime_ns == c.mtime) {
+      if (it != entries_.end() && it->second.path == c.path.string() &&
+          it->second.file_size == c.size && it->second.file_mtime_ns == c.mtime) {
         ++report.unchanged;
         continue;
       }
     }
     // Parse outside the lock — loading a 5000-tree model must not stall
-    // concurrent get() calls.
+    // concurrent get() calls.  Serving always reads the container's fp64
+    // values (quantization is an opt-in of local ml:/predict consumers).
     std::shared_ptr<const ml::GbdtModel> snapshot;
+    Timer load_timer;
     try {
-      snapshot = std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(c.path));
+      snapshot = std::make_shared<const ml::GbdtModel>(
+          c.v2 ? ml::GbdtModel::load_v2(c.path) : ml::GbdtModel::load(c.path));
     } catch (const std::exception& e) {
       report.errors.push_back(c.path.string() + ": " + e.what());
       continue;  // keep the previous snapshot, if any
     }
+    const double load_seconds = load_timer.elapsed_s();
     const std::lock_guard lock(mutex_);
     Entry& entry = entries_[c.name];
     entry.model = std::move(snapshot);
@@ -101,6 +119,8 @@ ReloadReport ModelRegistry::reload() {
     entry.path = c.path.string();
     entry.file_size = c.size;
     entry.file_mtime_ns = c.mtime;
+    entry.format = c.v2 ? "v2" : "text";
+    entry.load_seconds = load_seconds;
     generation_.fetch_add(1, std::memory_order_acq_rel);
     ++report.loaded;
   }
@@ -119,7 +139,7 @@ std::vector<ModelInfo> ModelRegistry::list() const {
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
     out.push_back({name, entry.version, entry.model->num_trees(), entry.model->num_features(),
-                   entry.path});
+                   entry.path, entry.format, entry.load_seconds});
   }
   return out;
 }

@@ -8,11 +8,14 @@
 // no client ever observes a half-loaded model, and old snapshots stay valid
 // until their last holder drops them.
 //
-// Disk layout: every `<name>.gbdt` directly inside the model directory is a
-// model named `<name>`.  reload() re-reads the directory; a model that
-// fails to parse keeps its previous snapshot (the failure is reported, not
+// Disk layout: every `<name>.gbdt` (text) or `<name>.gbdt2` (binary mmap
+// container, DESIGN.md §13) directly inside the model directory is a model
+// named `<name>`; when both exist the .gbdt2 sibling wins and the text file
+// is the fallback.  reload() re-reads the directory; a model that fails to
+// parse keeps its previous snapshot (the failure is reported, not
 // propagated into serving).  Versions count successful (re)loads per name,
-// starting at 1.
+// starting at 1.  A v2 snapshot keeps its mmap alive for as long as any
+// client holds it, so hot-swapping the file under a served model is safe.
 
 #include <atomic>
 #include <cstdint>
@@ -37,6 +40,8 @@ struct ModelInfo {
   std::size_t num_trees = 0;
   std::size_t num_features = 0;
   std::string path;                ///< empty for install()ed in-memory models
+  std::string format;              ///< "v2" (mmap container) | "text" | "memory"
+  double load_seconds = 0.0;       ///< wall time of the last (re)load; 0 for installs
 };
 
 struct ReloadReport {
@@ -92,6 +97,8 @@ class ModelRegistry {
     std::string path;
     std::int64_t file_size = -1;    ///< -1 for in-memory installs
     std::int64_t file_mtime_ns = 0;
+    std::string format = "memory";  ///< "v2" | "text" | "memory" (ModelInfo::format)
+    double load_seconds = 0.0;
   };
 
   std::filesystem::path dir_;

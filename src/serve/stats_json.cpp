@@ -18,9 +18,14 @@ std::string render_stats_json(const ModelRegistry& registry, const ServiceStats&
   for (const ModelInfo& info : registry.list()) {
     const auto it = stats.predictions.find(info.name);
     const std::uint64_t predictions = it == stats.predictions.end() ? 0 : it->second;
+    // "format" tells the operator which loader answered: "v2" (mmap
+    // container), "text" (a registry that silently fell back to re-parsing
+    // .gbdt), or "memory" (install()ed); "load_ms" is that load's wall time.
     out << (first ? "" : ",") << "{\"name\":\"" << json_escape(info.name)
         << "\",\"version\":" << info.version << ",\"trees\":" << info.num_trees
-        << ",\"features\":" << info.num_features << ",\"predictions\":" << predictions << "}";
+        << ",\"features\":" << info.num_features << ",\"format\":\"" << json_escape(info.format)
+        << "\",\"load_ms\":" << format_double(info.load_seconds * 1e3)
+        << ",\"predictions\":" << predictions << "}";
     first = false;
   }
   out << "],\"requests\":" << stats.requests << ",\"completed\":" << stats.completed

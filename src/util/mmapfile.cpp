@@ -1,0 +1,75 @@
+#include "util/mmapfile.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace aigml::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+MmapFile::MmapFile(const std::filesystem::path& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno("mmap open " + path.string());
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("mmap stat " + path.string());
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    throw std::runtime_error("mmap " + path.string() + ": not a regular file");
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    // mmap rejects zero-length mappings; an empty file is a valid (if
+    // useless) handle and the container validator rejects it with a real
+    // message instead of errno noise.
+    ::close(fd);
+    return;
+  }
+  void* mapped = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping pins the inode; the descriptor is no longer needed either
+  // way (POSIX: closing the fd does not unmap).
+  ::close(fd);
+  if (mapped == MAP_FAILED) {
+    size_ = 0;
+    throw_errno("mmap " + path.string());
+  }
+  data_ = static_cast<const std::byte*>(mapped);
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(const_cast<std::byte*>(data_), size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      path_(std::move(other.path_)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(const_cast<std::byte*>(data_), size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+}  // namespace aigml::util

@@ -1,0 +1,44 @@
+#pragma once
+// Read-only memory-mapped file (DESIGN.md §13).  The zero-copy substrate of
+// the .gbdt2 model container: open + fstat + mmap(PROT_READ), then the file
+// contents are addressable as plain bytes for the mapping's lifetime.
+//
+// Lifetime contract: the mapping stays valid until the MmapFile is
+// destroyed, independent of what happens to the directory entry afterwards
+// (rename-over and unlink keep the inode's pages alive — exactly what lets
+// a ModelRegistry snapshot keep serving a hot-swapped model while a newer
+// file already sits at the same path).  Holders that hand out views into
+// the mapped bytes must keep the MmapFile alive alongside them; GbdtModel
+// does this with a shared_ptr<const MmapFile> member next to its spans.
+
+#include <cstddef>
+#include <filesystem>
+
+namespace aigml::util {
+
+class MmapFile {
+ public:
+  /// Empty (unmapped) handle; data() == nullptr, size() == 0.
+  MmapFile() = default;
+  /// Maps `path` read-only.  Throws std::runtime_error with errno context
+  /// when the file cannot be opened, stat'ed, or mapped.  A zero-length
+  /// file maps to an empty (but valid) handle.
+  explicit MmapFile(const std::filesystem::path& path);
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::filesystem::path path_;
+};
+
+}  // namespace aigml::util

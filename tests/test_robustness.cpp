@@ -232,6 +232,38 @@ TEST(Robustness, GbdtLoadFromDiskFailsCleanly) {
   std::filesystem::remove(path);
 }
 
+// The mmap'ed .gbdt2 loader validates against attacker-controlled bytes
+// before any prediction touches them; the deep structural battery lives in
+// tests/test_model_v2.cpp (ModelV2Hostile) — this is the same random-fuzz
+// floor every other on-disk parser in the repo gets.
+TEST(Robustness, GbdtV2LoadRejectsFuzz) {
+  const auto path = std::filesystem::temp_directory_path() / "aigml_fuzz.gbdt2";
+  Rng rng(0xF026);
+  for (int trial = 0; trial < 150; ++trial) {
+    std::string bytes = trial % 3 == 0 ? "GBT2" : "";  // sometimes a real magic
+    const std::size_t n = rng.next_below(300);
+    for (std::size_t i = 0; i < n; ++i) {
+      bytes.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+    EXPECT_THROW((void)ml::GbdtModel::load_v2(path), std::runtime_error);
+  }
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)ml::GbdtModel::load_v2("/nonexistent/dir/m.gbdt2"), std::runtime_error);
+}
+
+TEST(Robustness, GbdtV2RejectsTruncationOfValidContainer) {
+  std::istringstream in(serialized_tiny_gbdt());
+  const std::string valid = ml::GbdtModel::deserialize(in).serialize_v2();
+  const auto path = std::filesystem::temp_directory_path() / "aigml_trunc.gbdt2";
+  for (const double frac : {0.0, 0.1, 0.35, 0.5, 0.75, 0.95}) {
+    const auto cut = static_cast<std::size_t>(static_cast<double>(valid.size()) * frac);
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << valid.substr(0, cut);
+    EXPECT_THROW((void)ml::GbdtModel::load_v2(path), std::runtime_error) << "frac " << frac;
+  }
+  std::filesystem::remove(path);
+}
+
 TEST(Robustness, DatasetLoadRejectsMalformedCsv) {
   const auto dir = std::filesystem::temp_directory_path();
   const auto path = dir / "aigml_bad.csv";
