@@ -6,7 +6,7 @@
 //   aigml opt <in.aag> <script> [out.aag]         apply scripts ("b;rw;rf")
 //   aigml map <in.aag> [out.v]                    map + STA report [+ Verilog]
 //   aigml datagen <design> <N> <out_prefix>       labeled dataset -> CSV
-//   aigml train <delay.csv> <model.gbdt>          train a delay model
+//   aigml train <data> <model.out>                train a model (--model gbdt|gnn)
 //   aigml convert <in.model> <out.model>          text <-> .gbdt2 container
 //   aigml predict <model.gbdt> <in.aag> [...]     predict post-mapping delay
 //   aigml sa <in.aag> <proxy|truth> <iters>       back-compat alias for
@@ -37,6 +37,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "aig/aiger.hpp"
@@ -51,6 +52,8 @@
 #include "gen/designs.hpp"
 #include "mapper/mapper.hpp"
 #include "ml/gbdt.hpp"
+#include "ml/gnn.hpp"
+#include "ml/model.hpp"
 #include "ml/model_v2.hpp"
 #include "netlist/verilog.hpp"
 #include "opt/recipe.hpp"
@@ -115,10 +118,18 @@ ArgParser datagen_parser() {
 
 ArgParser train_parser() {
   ArgParser p("train");
-  p.positional("data.csv", "labeled dataset (from datagen)")
-      .positional("model.gbdt", "output model path")
-      .option("format", "F", "model container: text | v2 | both (v2/both write the "
-                             ".gbdt2 sibling of the output path)", "text");
+  p.positional("data", "labeled dataset CSV from datagen (gbdt) or a design/generator "
+                       "name to build a labeled corpus from (gnn)")
+      .positional("model.out", "output model path (.gbdt/.gbdt2 or .gnn)")
+      .option("model", "FAM", "model family: gbdt | gnn", "gbdt")
+      .option("format", "F", "gbdt container: text | v2 | both (v2/both write the "
+                             ".gbdt2 sibling of the output path)", "text")
+      .option("target", "T", "gnn label: delay | area", "delay")
+      .option("variants", "N", "gnn corpus size (map+STA-labeled design variants)", "48")
+      .option("epochs", "E", "gnn training epochs", "60")
+      .option("hidden", "H", "gnn hidden width", "16")
+      .option("layers", "L", "gnn message-passing layers", "2")
+      .option("seed", "S", "gnn corpus + init seed", "39338");
   return p;
 }
 
@@ -131,7 +142,7 @@ ArgParser convert_parser() {
 
 ArgParser predict_parser() {
   ArgParser p("predict");
-  p.positional("model.gbdt", "trained model (.gbdt text or .gbdt2 container)")
+  p.positional("model.gbdt", "trained model (.gbdt text, .gbdt2 container, or .gnn)")
       .positional("in.aag", "AIGER file to predict")
       .variadic("more.aag", "additional files (batched through PredictService)")
       .option("quant", "Q", "value representation for .gbdt2 models: none | fp16 | int16",
@@ -151,7 +162,8 @@ ArgParser sa_parser() {
 
 ArgParser serve_parser() {
   ArgParser p("serve");
-  p.option("models", "DIR", "model directory (required; every <name>.gbdt is served)")
+  p.option("models", "DIR",
+           "model directory (required; every <name>.gbdt/.gbdt2/.gnn is served)")
       .option("port", "P", "TCP port (default: ephemeral)")
       .option("host", "H", "bind address", "127.0.0.1")
       .option("batch", "N", "max requests coalesced per batch", "64")
@@ -165,8 +177,10 @@ ArgParser serve_parser() {
 
 ArgParser learn_parser() {
   ArgParser p("learn");
-  p.option("models", "DIR", "model directory to refresh (required; delay.gbdt/area.gbdt, "
-                            "plus base_{delay,area}.csv as the training base when present)")
+  p.option("models", "DIR", "model directory to refresh (required; delay/area gbdt models "
+                            "plus base_{delay,area}.csv as the training base when present; "
+                            "gnn checkpoints refresh in-process via learn=1 — replay "
+                            "buffers carry feature rows, not structures)")
       .option("harvest", "DIR", "directory of replay buffers (*.rpb) to train from (required)")
       .option("min-rows", "N", "retrain once at least N unconsumed harvested rows exist", "16")
       .option("extra-trees", "N", "boosting rounds per warm refresh", "60")
@@ -480,18 +494,76 @@ int cmd_datagen(int argc, char** argv) {
   return 0;
 }
 
+/// `aigml train --model gnn` — the graph family has no CSV to train from
+/// (feature rows cannot reconstruct structure), so the corpus is built the
+/// way the ablation bench builds one: random transform variants of a named
+/// design, each labeled with ground-truth map+STA.  Deterministic for a
+/// fixed seed, so two invocations (delay + area targets) see one corpus.
+int cmd_train_gnn(const ArgParser& args) {
+  const std::string target = args.get("target");
+  if (target != "delay" && target != "area") {
+    throw std::runtime_error("train: --target " + target + ": expected delay | area");
+  }
+  if (args.get("format") != "text") {
+    throw std::runtime_error("train: --format applies to gbdt models (.gnn has a single "
+                             "container; drop --format or use --model gbdt)");
+  }
+  const auto& lib = cell::mini_sky130();
+  const int count = std::max(2, args.get_int("variants"));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
+  std::vector<aig::Aig> pool{build_circuit(args.get("data")).cleanup()};
+  std::unordered_set<std::uint64_t> seen{pool.front().structural_hash()};
+  std::vector<double> delay_labels;
+  std::vector<double> area_labels;
+  const auto label = [&](const aig::Aig& g) {
+    const auto timing = sta::run_sta(map::map_to_cells(g, lib), lib, {});
+    delay_labels.push_back(timing.max_delay_ps);
+    area_labels.push_back(timing.total_area_um2);
+  };
+  label(pool.front());
+  int attempts = 0;
+  while (static_cast<int>(pool.size()) < count && attempts < count * 20) {
+    ++attempts;
+    const std::size_t pick = std::max(rng.next_below(pool.size()), rng.next_below(pool.size()));
+    aig::Aig candidate = flow::random_variant_step(pool[pick], rng);
+    if (!seen.insert(candidate.structural_hash()).second) continue;
+    label(candidate);
+    pool.push_back(std::move(candidate));
+  }
+  std::vector<const aig::Aig*> graphs;
+  graphs.reserve(pool.size());
+  for (const aig::Aig& g : pool) graphs.push_back(&g);
+  ml::GnnParams params;
+  params.hidden = std::max(1, args.get_int("hidden"));
+  params.layers = std::max(1, args.get_int("layers"));
+  params.epochs = std::max(1, args.get_int("epochs"));
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  ml::GnnTrainLog log;
+  const ml::GnnModel model = ml::GnnModel::train(
+      graphs, target == "delay" ? delay_labels : area_labels, params, &log);
+  const std::filesystem::path out_path = args.get("model.out");
+  model.save(out_path);
+  std::printf("trained gnn (hidden %d, layers %d) on %zu graphs of %s, target %s "
+              "(%d epochs) in %.1f s -> %s\n",
+              params.hidden, params.layers, graphs.size(), args.get("data").c_str(),
+              target.c_str(), params.epochs, log.train_seconds, out_path.string().c_str());
+  return 0;
+}
+
 int cmd_train(int argc, char** argv) {
   ArgParser args = train_parser();
   args.parse(argc, argv);
+  const ml::ModelFamily family = ml::model_family_from_name(args.get("model"));
+  if (family == ml::ModelFamily::kGnn) return cmd_train_gnn(args);
   const std::string format = args.get("format");
   if (format != "text" && format != "v2" && format != "both") {
     throw std::runtime_error("train: --format " + format + ": expected text | v2 | both");
   }
-  const auto data = ml::Dataset::load(args.get("data.csv"));
-  if (!data.has_value()) throw std::runtime_error("cannot load " + args.get("data.csv"));
+  const auto data = ml::Dataset::load(args.get("data"));
+  if (!data.has_value()) throw std::runtime_error("cannot load " + args.get("data"));
   ml::TrainLog log;
   const auto model = ml::GbdtModel::train(*data, ml::GbdtParams{}, nullptr, &log);
-  const std::filesystem::path out_path = args.get("model.gbdt");
+  const std::filesystem::path out_path = args.get("model.out");
   std::string written;
   if (format == "text" || format == "both") {
     model.save(out_path);
@@ -518,10 +590,22 @@ int cmd_convert(int argc, char** argv) {
   args.parse(argc, argv);
   const std::filesystem::path in_path = args.get("in.model");
   const std::filesystem::path out_path = args.get("out.model");
+  if (in_path.extension() == ml::kGnnExtension || out_path.extension() == ml::kGnnExtension) {
+    throw std::runtime_error(
+        "convert: re-containers gbdt models only (.gbdt <-> .gbdt2); the gnn family has a "
+        "single container (.gnn) with nothing to convert between — retrain with `aigml "
+        "train --model gnn` to produce one");
+  }
   const bool in_v2 = in_path.extension() == ml::kModelV2Extension;
   const bool out_v2 = out_path.extension() == ml::kModelV2Extension;
-  const ml::GbdtModel model =
-      in_v2 ? ml::GbdtModel::load_v2(in_path) : ml::GbdtModel::load(in_path);
+  // Dispatch on magic (load_model_any) so a gnn checkpoint under a
+  // misleading extension still fails with the family named, not a parse
+  // error deep inside the text reader.
+  const ml::GbdtModel model = [&] {
+    if (in_v2) return ml::GbdtModel::load_v2(in_path);
+    const auto any = ml::load_model_any(in_path);
+    return ml::GbdtModel(ml::require_gbdt(*any, "aigml convert"));
+  }();
   if (out_v2) {
     model.save_v2(out_path);
     const ml::ModelV2Info info = ml::inspect_v2(out_path);
@@ -547,20 +631,36 @@ int cmd_predict(int argc, char** argv) {
   const std::filesystem::path model_path = args.get("model.gbdt");
   const ml::QuantMode quant = ml::quant_mode_from_name(args.get("quant"));
   const bool v2 = model_path.extension() == ml::kModelV2Extension;
+  const bool gnn = model_path.extension() == ml::kGnnExtension;
   if (quant != ml::QuantMode::kNone && !v2) {
     throw std::runtime_error(std::string("predict: --quant ") + ml::to_string(quant) +
-                             " needs a .gbdt2 model (text models have no quantized "
-                             "sections; run `aigml convert`)");
+                             " needs a .gbdt2 model (" +
+                             (gnn ? "gnn models have no quantized sections" :
+                                    "text models have no quantized sections; run "
+                                    "`aigml convert`") + ")");
   }
-  const auto load_model = [&] {
-    return v2 ? ml::GbdtModel::load_v2(model_path, quant) : ml::GbdtModel::load(model_path);
+  // Either family serves predictions: the quantized .gbdt2 path keeps its
+  // dedicated loader, everything else goes through the magic-sniffing
+  // load_model_any — so a .gnn checkpoint predicts straight from the graph.
+  const auto install_model = [&](serve::ModelRegistry& registry) {
+    if (v2 && quant != ml::QuantMode::kNone) {
+      registry.install("delay", ml::GbdtModel::load_v2(model_path, quant));
+      return;
+    }
+    const auto any = ml::load_model_any(model_path);
+    if (any->needs_graph()) {
+      registry.install("delay", ml::GnnModel::load(model_path));
+    } else {
+      registry.install("delay", ml::GbdtModel(ml::require_gbdt(*any, "aigml predict")));
+    }
   };
   if (args.rest().empty()) {
     // Single file: keep the predicted-vs-actual report.
-    const auto model = load_model();
+    serve::ModelRegistry registry;
+    install_model(registry);
+    const auto model = registry.get("delay");
     const aig::Aig g = aig::read_aiger_file(args.get("in.aag"));
-    const auto f = features::extract(g);
-    std::printf("predicted post-mapping delay: %.1f ps\n", model.predict(f));
+    std::printf("predicted post-mapping delay: %.1f ps\n", model->predict(g));
     const auto& lib = cell::mini_sky130();
     const auto timing = sta::run_sta(map::map_to_cells(g, lib), lib, {});
     std::printf("actual (map+STA):             %.1f ps\n", timing.max_delay_ps);
@@ -568,12 +668,13 @@ int cmd_predict(int argc, char** argv) {
   }
   // Multiple files route through the PredictService batch path: the model
   // is loaded once, extraction fans out over the thread pool, and one
-  // predict_all pass answers the whole batch.  A file that fails to read
-  // or predict is reported on its own line without dropping the others.
+  // predict_all (gbdt) or predict_graphs (gnn) pass answers the whole
+  // batch.  A file that fails to read or predict is reported on its own
+  // line without dropping the others.
   std::vector<std::string> files{args.get("in.aag")};
   files.insert(files.end(), args.rest().begin(), args.rest().end());
   serve::ModelRegistry registry;
-  registry.install("delay", load_model());
+  install_model(registry);
   serve::PredictService service(registry);
   std::vector<std::optional<std::future<double>>> futures;
   std::vector<std::string> read_errors(files.size());
@@ -624,9 +725,9 @@ int cmd_serve(int argc, char** argv) {
                 args.get("host").c_str(), port, registry.size(), args.get("models").c_str(),
                 kind);
     for (const auto& info : registry.list()) {
-      std::printf("  model %-16s v%llu  %zu trees, %zu features\n", info.name.c_str(),
-                  static_cast<unsigned long long>(info.version), info.num_trees,
-                  info.num_features);
+      std::printf("  model %-16s v%llu  family %-5s %zu trees, %zu features\n",
+                  info.name.c_str(), static_cast<unsigned long long>(info.version),
+                  info.family.c_str(), info.num_trees, info.num_features);
     }
     std::fflush(stdout);
   };

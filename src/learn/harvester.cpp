@@ -220,7 +220,13 @@ void LabelHarvester::label_batch(std::vector<Pending>& batch) {
     row.pred_delay = batch[i].predicted.delay;
     row.pred_area = batch[i].predicted.area;
     row.features = labels[i].row.features;
-    if (buffer_.add(row)) ++appended;
+    if (buffer_.add(row)) {
+      ++appended;
+      // The sink sees exactly the rows that landed (post-dedup), in the
+      // same commit order — graph-side stores stay in lockstep with the
+      // buffer.
+      if (graph_sink_) graph_sink_(batch[i].graph, row.key, row.delay_ps, row.area_um2);
+    }
   }
   const std::lock_guard lock(mutex_);
   stats_.labeled += appended;

@@ -84,6 +84,16 @@ class LabelHarvester final : public opt::Observer {
   /// writers are per-process, so sibling files must be folded explicitly).
   void seed_known(const ReplayBuffer& other);
 
+  /// Invoked (on the labeling thread) for every row that *landed* in the
+  /// buffer — post-dedup, post-STA — with the labeled structure itself.
+  /// Feature rows cannot reconstruct a graph, so this is how graph-family
+  /// consumers (learn::GraphStore, GNN refreshes) see the structures.
+  using GraphSink = std::function<void(const aig::Aig& graph, std::uint64_t key,
+                                       double delay_ps, double area_um2)>;
+  /// Set before the search starts; not synchronized against a running
+  /// worker.
+  void set_graph_sink(GraphSink sink) { graph_sink_ = std::move(sink); }
+
   // Observer hooks (called from the search thread).
   void on_start(const aig::Aig& initial, const opt::QualityEval& initial_eval,
                 double initial_cost) override;
@@ -122,6 +132,7 @@ class LabelHarvester final : public opt::Observer {
   ReplayBuffer& buffer_;
   const HarvestParams params_;
   std::function<std::uint64_t()> generation_fn_;
+  GraphSink graph_sink_;
   ThreadPool pool_;
 
   // Selection state (search thread only).

@@ -21,6 +21,15 @@ ActiveLearner::ActiveLearner(const cell::Library& lib, serve::ModelRegistry& reg
       harvester_(lib, buffer_, params_.harvest,
                  [this] { return registry_->generation(); }),
       retrainer_(registry, params_.retrain) {
+  // Feature rows cannot reconstruct a graph: every committed label's
+  // structure also lands in the retrainer's GraphStore, which GNN refreshes
+  // fresh-fit on.  Wired unconditionally — the store is bounded and cheap,
+  // and a mid-run family swap (a gnn checkpoint installed over a gbdt name)
+  // must find the structures already collected.
+  harvester_.set_graph_sink(
+      [this](const aig::Aig& g, std::uint64_t key, double delay_ps, double area_um2) {
+        retrainer_.graphs().add(g, key, delay_ps, area_um2);
+      });
   for (const fs::path& sibling : params_.known_replays) {
     if (sibling == params_.replay_file) continue;
     try {
@@ -89,16 +98,22 @@ LearnStats ActiveLearner::stats() const {
   out.duplicates = h.duplicates;
   out.retrains = retrainer_.retrains();
   out.failed_retrains = failed_retrains_;
-  if (buffer_.size() > 0) {
-    if (base_delay_model_ != nullptr && base_area_model_ != nullptr) {
-      out.base_error_pct = model_error_pct(*base_delay_model_, *base_area_model_, buffer_);
+  // Error metrics per family pair: feature-row re-prediction over the
+  // buffer for a gbdt pair, batched graph re-prediction over the GraphStore
+  // for a pair containing a graph model (a GNN cannot predict from a replay
+  // row).  Mixed pairs use the graph path too — the GBDT side falls back to
+  // feature extraction inside Model::predict_graphs.
+  const auto error_of = [this](const std::shared_ptr<const ml::Model>& delay,
+                               const std::shared_ptr<const ml::Model>& area) {
+    if (delay == nullptr || area == nullptr) return 0.0;
+    if (delay->needs_graph() || area->needs_graph()) {
+      return model_error_pct(*delay, *area, retrainer_.graphs());
     }
-    const auto delay = registry_->try_get(params_.retrain.delay_model);
-    const auto area = registry_->try_get(params_.retrain.area_model);
-    if (delay != nullptr && area != nullptr) {
-      out.final_error_pct = model_error_pct(*delay, *area, buffer_);
-    }
-  }
+    return buffer_.size() > 0 ? model_error_pct(*delay, *area, buffer_) : 0.0;
+  };
+  out.base_error_pct = error_of(base_delay_model_, base_area_model_);
+  out.final_error_pct = error_of(registry_->try_get(params_.retrain.delay_model),
+                                 registry_->try_get(params_.retrain.area_model));
   return out;
 }
 
@@ -112,22 +127,45 @@ LearnRunResult run(const opt::Recipe& recipe, const aig::Aig& initial,
         "learn: fallback= applies to cost=serve: runs; learn=1 evaluates locally "
         "(LiveMlCost) and has nothing to degrade from");
   }
-  if (recipe.cost.rfind("ml:", 0) != 0) {
+  std::size_t prefix = 0;
+  if (recipe.cost.rfind("ml:", 0) == 0) {
+    prefix = 3;
+  } else if (recipe.cost.rfind("gnn:", 0) == 0) {
+    prefix = 4;
+  } else {
     throw std::invalid_argument(
         "learn: cost spec '" + recipe.cost +
-        "' is not supported with learn=1 (need ml:<model-dir> so refreshed models have a "
-        "registry to land in)");
+        "' is not supported with learn=1 (need ml:<model-dir> or gnn:<model-dir> so "
+        "refreshed models have a registry to land in)");
   }
-  const fs::path model_dir = recipe.cost.substr(3);
+  // Both dialects accept an optional ":<delay>[,<area>]" model-name suffix
+  // (cost_spec.hpp grammar); absent names default like the cost specs do.
+  std::string rest = recipe.cost.substr(prefix);
+  std::string delay_name = "delay";
+  std::string area_name = "area";
+  if (const std::size_t colon = rest.find(':'); colon != std::string::npos) {
+    const std::string names = rest.substr(colon + 1);
+    rest.resize(colon);
+    const std::size_t comma = names.find(',');
+    delay_name = comma == std::string::npos ? names : names.substr(0, comma);
+    if (comma != std::string::npos) area_name = names.substr(comma + 1);
+    if (delay_name.empty() || area_name.empty()) {
+      throw std::invalid_argument("learn: cost spec '" + recipe.cost +
+                                  "' has an empty model name");
+    }
+  }
+  const fs::path model_dir = rest;
   serve::ModelRegistry registry(model_dir);
-  if (registry.try_get("delay") == nullptr || registry.try_get("area") == nullptr) {
-    throw std::invalid_argument("learn: " + model_dir.string() +
-                                " must contain delay.gbdt and area.gbdt");
+  if (registry.try_get(delay_name) == nullptr || registry.try_get(area_name) == nullptr) {
+    throw std::invalid_argument("learn: " + model_dir.string() + " must contain " + delay_name +
+                                " and " + area_name + " models (.gbdt/.gbdt2/.gnn)");
   }
 
   LearnParams params;
   params.harvest.budget = recipe.learn_budget;
   params.retrain.min_new_rows = std::max(4, recipe.learn_budget / 4);
+  params.retrain.delay_model = delay_name;
+  params.retrain.area_model = area_name;
   if (!recipe.learn_dir.empty()) {
     // Per-process file: replay buffers are single-writer (replay.hpp), and
     // sweeps routinely point several learn=1 runs at one learn_dir.  The
@@ -154,7 +192,7 @@ LearnRunResult run(const opt::Recipe& recipe, const aig::Aig& initial,
     learner.set_base(*base_delay, *base_area);
   }
 
-  serve::LiveMlCost evaluator(registry, "delay", "area");
+  serve::LiveMlCost evaluator(registry, delay_name, area_name);
   const std::unique_ptr<opt::Strategy> strategy = recipe.make_strategy();
   LearnRunResult out;
   out.result = strategy->run(initial, evaluator, recipe.stop_condition(), &learner);

@@ -7,7 +7,8 @@
 //         │ next evaluation polls                       │
 //         │ the registry generation          checkpoint: drain + triggers
 //         │                                             ▼
-//      serve::LiveMlCost ◀──install()── Retrainer (warm-start GBDT refresh)
+//      serve::LiveMlCost ◀──install()── Retrainer (family-dispatched refresh:
+//                                        warm GBDT on rows / GNN on structures)
 //
 // Checkpoints fire on the *selection* count (a pure function of the
 // candidate stream), the harvester is drained before the triggers are
@@ -97,8 +98,8 @@ class ActiveLearner final : public opt::Observer {
  private:
   serve::ModelRegistry* registry_;
   LearnParams params_;
-  std::shared_ptr<const ml::GbdtModel> base_delay_model_;  ///< error baseline
-  std::shared_ptr<const ml::GbdtModel> base_area_model_;
+  std::shared_ptr<const ml::Model> base_delay_model_;  ///< error baseline (any family)
+  std::shared_ptr<const ml::Model> base_area_model_;
   ReplayBuffer buffer_;
   LabelHarvester harvester_;
   Retrainer retrainer_;
@@ -111,11 +112,14 @@ struct LearnRunResult {
   LearnStats stats;
 };
 
-/// Executes `recipe` (which must have learn == true and cost == "ml:<dir>")
-/// with the full active-learning loop attached: LiveMlCost over a registry
-/// loaded from <dir>, harvesting budgeted by recipe.learn_budget, harvest
-/// persisted under recipe.learn_dir (when set) along with refreshed model
-/// files.  Throws std::invalid_argument for unsupported cost specs.
+/// Executes `recipe` (which must have learn == true and a cost of
+/// "ml:<dir>" or "gnn:<dir>[:<delay>[,<area>]]") with the full
+/// active-learning loop attached: LiveMlCost over a registry loaded from
+/// <dir>, harvesting budgeted by recipe.learn_budget, harvest persisted
+/// under recipe.learn_dir (when set) along with refreshed model files.
+/// Both families retrain in-loop — GBDTs warm-refresh on feature rows, GNNs
+/// fresh-fit on the harvested structures (Retrainer header).  Throws
+/// std::invalid_argument for unsupported cost specs.
 [[nodiscard]] LearnRunResult run(const opt::Recipe& recipe, const aig::Aig& initial,
                                  const cell::Library& lib);
 

@@ -1,6 +1,9 @@
 #include "learn/retrainer.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -19,6 +22,48 @@ double percent_error(double predicted, double truth) {
 
 }  // namespace
 
+bool GraphStore::add(aig::Aig graph, std::uint64_t key, double delay_ps, double area_um2) {
+  const std::lock_guard lock(mutex_);
+  if (entries_.size() >= capacity_) return false;
+  if (!keys_.insert(key).second) return false;
+  Entry entry;
+  entry.graph = std::move(graph);
+  entry.key = key;
+  entry.delay_ps = delay_ps;
+  entry.area_um2 = area_um2;
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+std::size_t GraphStore::size() const {
+  const std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+void GraphStore::export_sorted(std::vector<const aig::Aig*>& graphs,
+                               std::vector<double>& delay_ps,
+                               std::vector<double>& area_um2) const {
+  const std::lock_guard lock(mutex_);
+  std::vector<const Entry*> order;
+  order.reserve(entries_.size());
+  for (const Entry& entry : entries_) order.push_back(&entry);
+  // Keys are unique (add() dedups), so the sort is a total order and the
+  // export is independent of arrival order.
+  std::sort(order.begin(), order.end(),
+            [](const Entry* a, const Entry* b) { return a->key < b->key; });
+  graphs.clear();
+  delay_ps.clear();
+  area_um2.clear();
+  graphs.reserve(order.size());
+  delay_ps.reserve(order.size());
+  area_um2.reserve(order.size());
+  for (const Entry* entry : order) {
+    graphs.push_back(&entry->graph);
+    delay_ps.push_back(entry->delay_ps);
+    area_um2.push_back(entry->area_um2);
+  }
+}
+
 double observed_error_pct(const ReplayBuffer& buffer, std::size_t first_row) {
   double sum = 0.0;
   std::size_t count = 0;
@@ -31,21 +76,40 @@ double observed_error_pct(const ReplayBuffer& buffer, std::size_t first_row) {
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
-double model_error_pct(const ml::GbdtModel& delay_model, const ml::GbdtModel& area_model,
+double model_error_pct(const ml::Model& delay_model, const ml::Model& area_model,
                        const ReplayBuffer& buffer, std::size_t first_row) {
   double sum = 0.0;
   std::size_t count = 0;
   for (std::size_t i = first_row; i < buffer.size(); ++i) {
     const ReplayRow& row = buffer.row(i);
-    sum += 0.5 * (percent_error(delay_model.predict(row.features), row.delay_ps) +
-                  percent_error(area_model.predict(row.features), row.area_um2));
+    const std::span<const double> f(row.features.data(), row.features.size());
+    sum += 0.5 * (percent_error(delay_model.predict(f), row.delay_ps) +
+                  percent_error(area_model.predict(f), row.area_um2));
     ++count;
   }
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
+double model_error_pct(const ml::Model& delay_model, const ml::Model& area_model,
+                       const GraphStore& graphs) {
+  std::vector<const aig::Aig*> structures;
+  std::vector<double> delay_ps;
+  std::vector<double> area_um2;
+  graphs.export_sorted(structures, delay_ps, area_um2);
+  if (structures.empty()) return 0.0;
+  const std::span<const aig::Aig* const> batch(structures.data(), structures.size());
+  const std::vector<double> pred_delay = delay_model.predict_graphs(batch);
+  const std::vector<double> pred_area = area_model.predict_graphs(batch);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < structures.size(); ++i) {
+    sum += 0.5 * (percent_error(pred_delay[i], delay_ps[i]) +
+                  percent_error(pred_area[i], area_um2[i]));
+  }
+  return sum / static_cast<double>(structures.size());
+}
+
 Retrainer::Retrainer(serve::ModelRegistry& registry, RetrainParams params)
-    : registry_(&registry), params_(std::move(params)) {}
+    : registry_(&registry), params_(std::move(params)), graphs_(params_.graph_capacity) {}
 
 void Retrainer::set_base(ml::Dataset delay, ml::Dataset area) {
   base_delay_ = std::move(delay);
@@ -71,19 +135,38 @@ bool Retrainer::maybe_retrain(const ReplayBuffer& buffer) {
 }
 
 void Retrainer::retrain(const ReplayBuffer& buffer) {
-  if (buffer.size() == 0 && !has_base_) {
+  if (buffer.size() == 0 && !has_base_ && graphs_.size() == 0) {
     throw std::invalid_argument("Retrainer::retrain: no rows to train on");
   }
   ml::Dataset harvest_delay(features::feature_names());
   ml::Dataset harvest_area(features::feature_names());
   buffer.to_datasets(harvest_delay, harvest_area, "harvest");
 
-  const ml::GbdtModel delay =
-      refresh_one(params_.delay_model, has_base_ ? base_delay_ : ml::Dataset(features::feature_names()),
-                  harvest_delay);
-  const ml::GbdtModel area =
-      refresh_one(params_.area_model, has_base_ ? base_area_ : ml::Dataset(features::feature_names()),
-                  harvest_area);
+  // Family dispatch on the *current* snapshot per name (header comment):
+  // an absent snapshot trains the tree family, matching the pre-§14 loop.
+  const auto current_delay = registry_->try_get(params_.delay_model);
+  const auto current_area = registry_->try_get(params_.area_model);
+  const bool delay_is_gnn = current_delay != nullptr && current_delay->needs_graph();
+  const bool area_is_gnn = current_area != nullptr && current_area->needs_graph();
+
+  std::optional<ml::GbdtModel> delay_gbdt;
+  std::optional<ml::GnnModel> delay_gnn;
+  std::optional<ml::GbdtModel> area_gbdt;
+  std::optional<ml::GnnModel> area_gnn;
+  if (delay_is_gnn) {
+    delay_gnn = refresh_gnn(params_.delay_model, /*delay_target=*/true);
+  } else {
+    delay_gbdt = refresh_one(
+        params_.delay_model,
+        has_base_ ? base_delay_ : ml::Dataset(features::feature_names()), harvest_delay);
+  }
+  if (area_is_gnn) {
+    area_gnn = refresh_gnn(params_.area_model, /*delay_target=*/false);
+  } else {
+    area_gbdt = refresh_one(
+        params_.area_model,
+        has_base_ ? base_area_ : ml::Dataset(features::feature_names()), harvest_area);
+  }
 
   // Both models are fully trained before anything is installed, so a throw
   // anywhere above (or from this chaos site) leaves the registry — and
@@ -93,13 +176,19 @@ void Retrainer::retrain(const ReplayBuffer& buffer) {
   // Install both models before saving either: the in-process consumers flip
   // at the next generation poll, and a failed disk write cannot leave the
   // registry half-refreshed.
-  registry_->install(params_.delay_model, delay);
-  registry_->install(params_.area_model, area);
+  if (delay_is_gnn) {
+    registry_->install(params_.delay_model, *delay_gnn);
+  } else {
+    registry_->install(params_.delay_model, *delay_gbdt);
+  }
+  if (area_is_gnn) {
+    registry_->install(params_.area_model, *area_gnn);
+  } else {
+    registry_->install(params_.area_model, *area_gbdt);
+  }
   if (!params_.save_dir.empty()) {
     std::filesystem::create_directories(params_.save_dir);
-    for (const auto& [name, model] :
-         {std::pair<const std::string&, const ml::GbdtModel&>{params_.delay_model, delay},
-          std::pair<const std::string&, const ml::GbdtModel&>{params_.area_model, area}}) {
+    const auto save_gbdt = [this](const std::string& name, const ml::GbdtModel& model) {
       // fsync'd write-to-temp + durable rename: a concurrent RELOAD in a
       // serving process never observes a half-written model file, and a
       // crash right after the rename cannot roll the directory entry back
@@ -113,6 +202,20 @@ void Retrainer::retrain(const ReplayBuffer& buffer) {
       model.save(temp_path);
       fsio::fsync_path(temp_path);
       fsio::rename_durable(temp_path, final_path);
+    };
+    // GnnModel::save is already write_file_atomic; a same-stem .gbdt/.gbdt2
+    // sibling would shadow the .gnn on RELOAD (registry precedence), but a
+    // gnn-served name never has one — the dispatch above keeps families
+    // stable per name.
+    if (delay_is_gnn) {
+      delay_gnn->save(params_.save_dir / (params_.delay_model + ".gnn"));
+    } else {
+      save_gbdt(params_.delay_model, *delay_gbdt);
+    }
+    if (area_is_gnn) {
+      area_gnn->save(params_.save_dir / (params_.area_model + ".gnn"));
+    } else {
+      save_gbdt(params_.area_model, *area_gbdt);
     }
   }
   ++retrains_;
@@ -131,9 +234,12 @@ ml::GbdtModel Retrainer::refresh_one(const std::string& name, const ml::Dataset&
     throw std::invalid_argument("Retrainer: model '" + name + "' has no training rows");
   }
 
-  const std::shared_ptr<const ml::GbdtModel> current = registry_->try_get(name);
+  const auto current =
+      std::dynamic_pointer_cast<const ml::GbdtModel>(registry_->try_get(name));
   // A warm residual fit needs the base distribution in the batch; harvest
-  // alone would anchor the refresh to a handful of states.
+  // alone would anchor the refresh to a handful of states.  A family
+  // crossover (gnn snapshot under a name now refreshing as gbdt) has no
+  // tree weights to continue from: the cast fails and the fit runs cold.
   const bool warm = params_.warm_start && current != nullptr && has_base_;
   ml::GbdtParams fit = params_.gbdt;
   if (warm) {
@@ -141,6 +247,30 @@ ml::GbdtModel Retrainer::refresh_one(const std::string& name, const ml::Dataset&
     fit.learning_rate = current->learning_rate();  // warm-start contract (gbdt.hpp)
   }
   return ml::GbdtModel::train(merged, fit, nullptr, nullptr, warm ? current.get() : nullptr);
+}
+
+ml::GnnModel Retrainer::refresh_gnn(const std::string& name, bool delay_target) const {
+  std::vector<const aig::Aig*> structures;
+  std::vector<double> delay_ps;
+  std::vector<double> area_um2;
+  graphs_.export_sorted(structures, delay_ps, area_um2);
+  if (structures.empty()) {
+    throw std::invalid_argument("Retrainer: model '" + name +
+                                "' is family=gnn but no labeled structures were stored "
+                                "(wire the harvester's graph sink into graphs())");
+  }
+  const auto current = std::dynamic_pointer_cast<const ml::GnnModel>(registry_->try_get(name));
+  const bool warm = params_.warm_start && current != nullptr;
+  ml::GnnParams fit = params_.gnn;
+  if (warm) {
+    // Warm weights fix the architecture; epochs/lr/seed stay the refresh
+    // knobs (GnnModel::train rejects a dims mismatch, so inherit them).
+    fit.hidden = current->params().hidden;
+    fit.layers = current->params().layers;
+  }
+  const std::span<const aig::Aig* const> batch(structures.data(), structures.size());
+  const std::vector<double>& labels = delay_target ? delay_ps : area_um2;
+  return ml::GnnModel::train(batch, labels, fit, nullptr, warm ? current.get() : nullptr);
 }
 
 }  // namespace aigml::learn

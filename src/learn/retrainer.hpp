@@ -2,8 +2,8 @@
 // Retrainer — the consolidation half of the active-learning loop (DESIGN.md
 // §9): when the harvest has accumulated enough evidence that the serving
 // model is wrong about the states the search actually visits, it refreshes
-// the delay/area GBDTs on base + harvested rows and atomically installs the
-// new snapshots into the live serve::ModelRegistry — the same registry an
+// the delay/area models on base + harvested evidence and atomically installs
+// the new snapshots into the live serve::ModelRegistry — the same registry an
 // in-process LiveMlCost polls and a running `aigml serve` answers from, so
 // one install() moves both the search and remote clients onto the refreshed
 // model at their next evaluation.
@@ -14,21 +14,34 @@
 //     mean |prediction − ground truth| on those rows to exceed it (a model
 //     that is still accurate on harvested states is left alone).
 //
-// The refresh itself: harvest rows (keyed by variant signature) are folded
-// into the base training sets with merge_dedup, the merged set is
-// canonicalized with sorted_by_key — GBDT row subsampling is positional, so
-// canonical order makes the refreshed model independent of the order
-// harvest batches arrived in — and training warm-starts from the current
-// registry snapshot (a short residual fit of `extra_trees` rounds, not a
-// from-scratch 400-tree run; cold when the registry has no model yet or
-// warm_start is off).
+// The refresh is family-dispatched per model name on the *current* registry
+// snapshot (DESIGN.md §14):
+//   * gbdt — harvest rows (keyed by variant signature) are folded into the
+//     base training sets with merge_dedup, the merged set is canonicalized
+//     with sorted_by_key — GBDT row subsampling is positional, so canonical
+//     order makes the refreshed model independent of the order harvest
+//     batches arrived in — and training warm-starts from the current
+//     registry snapshot (a short residual fit of `extra_trees` rounds, not
+//     a from-scratch 400-tree run; cold when the registry has no model yet
+//     or warm_start is off).
+//   * gnn — feature rows cannot reconstruct a graph, so GNN refreshes
+//     fresh-fit on the labeled *structures* in the GraphStore (filled by the
+//     LabelHarvester's graph sink), key-sorted for the same arrival-order
+//     independence, warm-started from the current snapshot's weights.
+// Either way both models train fully before anything installs, so a throw
+// leaves the registry — and the search riding on it — untouched.
 
 #include <cstdint>
 #include <filesystem>
+#include <mutex>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
+#include "aig/aig.hpp"
 #include "learn/replay.hpp"
 #include "ml/gbdt.hpp"
+#include "ml/gnn.hpp"
 #include "serve/registry.hpp"
 
 namespace aigml::learn {
@@ -39,12 +52,56 @@ struct RetrainParams {
   int extra_trees = 60;        ///< boosting rounds per warm refresh
   bool warm_start = true;      ///< continue from the current snapshot (vs cold retrain)
   ml::GbdtParams gbdt;         ///< depth/subsample/seed knobs (num_trees used cold only)
+  /// GNN refresh fit (epochs/lr/seed; hidden/layers yield to the warm
+  /// snapshot's architecture when warm-starting).
+  ml::GnnParams gnn;
+  /// GraphStore bound: labeled structures kept for GNN refreshes (oldest
+  /// evidence wins the slot; new structures past the cap are dropped).
+  std::size_t graph_capacity = 512;
   std::string delay_model = "delay";
   std::string area_model = "area";
-  /// When set, refreshed models are also written here as <name>.gbdt via
-  /// write-to-temp + atomic rename — the directory a `aigml serve --models`
+  /// When set, refreshed models are also written here — <name>.gbdt2 +
+  /// <name>.gbdt for the tree family, <name>.gnn for the graph family — via
+  /// write-to-temp + atomic rename, the directory a `aigml serve --models`
   /// instance RELOADs from.
   std::filesystem::path save_dir;
+};
+
+/// Bounded, dedup-keyed store of labeled AIG structures — the graph-side
+/// twin of the ReplayBuffer.  Feature rows are enough to refresh a GBDT but
+/// cannot reconstruct a graph, so the LabelHarvester's graph sink lands
+/// every committed label's structure here for GNN refreshes.  add() is
+/// called from the labeling worker; readers run with the harvester drained
+/// (the ActiveLearner checkpoint contract), and all entry points lock.
+class GraphStore {
+ public:
+  explicit GraphStore(std::size_t capacity = 512) : capacity_(capacity) {}
+
+  /// Stores one labeled structure; false (nothing stored) when the key is
+  /// already present or the store is at capacity.
+  bool add(aig::Aig graph, std::uint64_t key, double delay_ps, double area_um2);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Pointers + labels in key-sorted order — the canonical order GBDT gets
+  /// via sorted_by_key, so refreshed weights depend on the structure *set*,
+  /// never on harvest arrival order.  Pointers alias store entries: valid
+  /// until the next add(), i.e. callers hold the drain barrier.
+  void export_sorted(std::vector<const aig::Aig*>& graphs, std::vector<double>& delay_ps,
+                     std::vector<double>& area_um2) const;
+
+ private:
+  struct Entry {
+    aig::Aig graph;
+    std::uint64_t key = 0;
+    double delay_ps = 0.0;
+    double area_um2 = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::unordered_set<std::uint64_t> keys_;
+  std::size_t capacity_;
 };
 
 /// Mean absolute percent error of the stored predictions vs ground truth
@@ -54,10 +111,16 @@ struct RetrainParams {
 
 /// Same, but re-predicting with the given models instead of the stored
 /// at-harvest predictions (how the bench scores base vs refreshed models on
-/// an identical row set).
-[[nodiscard]] double model_error_pct(const ml::GbdtModel& delay_model,
-                                     const ml::GbdtModel& area_model,
+/// an identical row set).  Both models must be feature-row families
+/// (needs_graph() == false) — a graph model cannot predict from a replay
+/// row; use the GraphStore overload for those.
+[[nodiscard]] double model_error_pct(const ml::Model& delay_model, const ml::Model& area_model,
                                      const ReplayBuffer& buffer, std::size_t first_row = 0);
+
+/// Graph-family twin: re-predicts the stored structures (batched) and scores
+/// against their STA labels.  0 when the store is empty.
+[[nodiscard]] double model_error_pct(const ml::Model& delay_model, const ml::Model& area_model,
+                                     const GraphStore& graphs);
 
 class Retrainer {
  public:
@@ -88,15 +151,25 @@ class Retrainer {
   /// Buffer size at the last retrain (the "new rows" watermark).
   [[nodiscard]] std::size_t rows_consumed() const noexcept { return rows_consumed_; }
 
+  /// Labeled structures for GNN refreshes — wire the LabelHarvester's graph
+  /// sink at this store's add().
+  [[nodiscard]] GraphStore& graphs() noexcept { return graphs_; }
+  [[nodiscard]] const GraphStore& graphs() const noexcept { return graphs_; }
+
  private:
   [[nodiscard]] ml::GbdtModel refresh_one(const std::string& name, const ml::Dataset& base,
                                           const ml::Dataset& harvest) const;
+  /// Fresh GNN fit on the GraphStore (warm-started from the current
+  /// snapshot's weights); throws std::invalid_argument when the store is
+  /// empty.
+  [[nodiscard]] ml::GnnModel refresh_gnn(const std::string& name, bool delay_target) const;
 
   serve::ModelRegistry* registry_;
   RetrainParams params_;
   ml::Dataset base_delay_;
   ml::Dataset base_area_;
   bool has_base_ = false;
+  GraphStore graphs_;
   std::size_t retrains_ = 0;
   std::size_t rows_consumed_ = 0;
 };

@@ -572,6 +572,10 @@ GbdtModel GbdtModel::deserialize(std::istream& in) {
 }
 
 void GbdtModel::save(const std::filesystem::path& path) const {
+  if (path.extension() == ".gbdt2") {
+    save_v2(path);
+    return;
+  }
   if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
   std::ofstream out(path);
   if (!out) throw std::runtime_error("GbdtModel::save: cannot open " + path.string());

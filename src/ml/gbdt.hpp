@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ml/dataset.hpp"
+#include "ml/model.hpp"
 #include "ml/tree.hpp"
 #include "util/rng.hpp"
 
@@ -76,8 +77,15 @@ struct TrainLog {
   double train_seconds = 0.0;
 };
 
-class GbdtModel {
+class GbdtModel final : public Model {
  public:
+  // Model interface (model.hpp): the flat-feature tree family.
+  [[nodiscard]] ModelFamily family() const noexcept override { return ModelFamily::kGbdt; }
+  // Graph-input entry points ride the base defaults (features::extract ->
+  // the row walk); un-hide them next to the row overloads below.
+  using Model::predict;
+  using Model::predict_all;
+
   /// One node of the inference-optimized forest: the whole ensemble lives in
   /// a single contiguous array laid out tree-by-tree in DFS pre-order, so a
   /// left descent is always `index + 1` and only the right-child index is
@@ -107,7 +115,7 @@ class GbdtModel {
                          const Dataset* valid = nullptr, TrainLog* log = nullptr,
                          const GbdtModel* warm_start = nullptr);
 
-  [[nodiscard]] double predict(std::span<const double> row) const;
+  [[nodiscard]] double predict(std::span<const double> row) const override;
   [[nodiscard]] std::vector<double> predict_all(const Dataset& data) const;
   /// Batch inference over a row-major matrix of `num_rows` feature rows
   /// (values.size() == num_rows * num_features()).  Rows are transposed to
@@ -120,12 +128,12 @@ class GbdtModel {
   /// the result is bit-identical to the scalar walk for every batch shape
   /// at every QuantMode.
   [[nodiscard]] std::vector<double> predict_all(std::span<const double> values,
-                                                std::size_t num_rows) const;
+                                                std::size_t num_rows) const override;
 
-  [[nodiscard]] std::size_t num_trees() const noexcept {
+  [[nodiscard]] std::size_t num_trees() const noexcept override {
     return trees_.empty() ? forest_roots().size() : trees_.size();
   }
-  [[nodiscard]] std::size_t num_features() const noexcept { return num_features_; }
+  [[nodiscard]] std::size_t num_features() const noexcept override { return num_features_; }
   [[nodiscard]] double base_score() const noexcept { return base_score_; }
   /// Per-leaf shrinkage factor (warm-start fits must match it).
   [[nodiscard]] double learning_rate() const noexcept { return learning_rate_; }
@@ -135,7 +143,10 @@ class GbdtModel {
 
   void serialize(std::ostream& out) const;
   [[nodiscard]] static GbdtModel deserialize(std::istream& in);
-  void save(const std::filesystem::path& path) const;
+  /// Writes the text format — except when `path` ends in .gbdt2, which
+  /// routes to save_v2 (the Model-interface dispatch: one save() call works
+  /// for either container).
+  void save(const std::filesystem::path& path) const override;
   [[nodiscard]] static GbdtModel load(const std::filesystem::path& path);
 
   // ---- .gbdt2 binary container (model_v2.cpp; format in DESIGN.md §13) ----

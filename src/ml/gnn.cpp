@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "aig/analysis.hpp"
+#include "util/fsio.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace aigml::ml {
@@ -15,13 +20,28 @@ using aig::NodeId;
 
 namespace {
 
-/// Graph tensors shared by forward and backward passes.
+/// Graph tensors shared by forward and backward passes (the per-graph
+/// reference layout: one small adjacency vector per node).
 struct GraphData {
   std::size_t n = 0;
   std::vector<double> x;                      // n x kGnnNodeFeatures
   std::vector<std::vector<std::uint32_t>> fanins;
   std::vector<std::vector<std::uint32_t>> fanouts;
 };
+
+/// Fills one node's feature row and reports its fanin vars — the single
+/// source of truth for node featurization, shared by the per-graph and the
+/// batched preparation so they cannot drift apart.
+inline void fill_node_features(const Aig& g, NodeId id, const std::vector<std::uint32_t>& levels,
+                               const std::vector<std::uint32_t>& fanout, double max_level,
+                               double* row) {
+  row[0] = g.is_input(id) ? 1.0 : 0.0;
+  row[1] = g.is_and(id) ? 1.0 : 0.0;
+  row[2] = g.is_and(id) && aig::lit_is_complemented(g.fanin0(id)) ? 1.0 : 0.0;
+  row[3] = g.is_and(id) && aig::lit_is_complemented(g.fanin1(id)) ? 1.0 : 0.0;
+  row[4] = static_cast<double>(levels[id]) / max_level;
+  row[5] = std::log2(1.0 + static_cast<double>(fanout[id])) / 6.0;
+}
 
 GraphData prepare(const Aig& g) {
   GraphData d;
@@ -35,11 +55,8 @@ GraphData prepare(const Aig& g) {
       std::max<double>(1.0, *std::max_element(levels.begin(), levels.end()));
   for (NodeId id = 0; id < d.n; ++id) {
     double* row = d.x.data() + static_cast<std::size_t>(id) * kGnnNodeFeatures;
-    row[0] = g.is_input(id) ? 1.0 : 0.0;
-    row[1] = g.is_and(id) ? 1.0 : 0.0;
+    fill_node_features(g, id, levels, fanout, max_level, row);
     if (g.is_and(id)) {
-      row[2] = aig::lit_is_complemented(g.fanin0(id)) ? 1.0 : 0.0;
-      row[3] = aig::lit_is_complemented(g.fanin1(id)) ? 1.0 : 0.0;
       const NodeId v0 = aig::lit_var(g.fanin0(id));
       const NodeId v1 = aig::lit_var(g.fanin1(id));
       d.fanins[id].push_back(v0);
@@ -47,8 +64,6 @@ GraphData prepare(const Aig& g) {
       d.fanouts[v0].push_back(id);
       if (v1 != v0) d.fanouts[v1].push_back(id);
     }
-    row[4] = static_cast<double>(levels[id]) / max_level;
-    row[5] = std::log2(1.0 + static_cast<double>(fanout[id])) / 6.0;
   }
   return d;
 }
@@ -83,9 +98,12 @@ void mean_aggregate_backward(const std::vector<std::vector<std::uint32_t>>& nbrs
   }
 }
 
-/// y (n x dout) += x (n x din) * W (din x dout).
+/// y (n x dout) += x (n x din) * W (din x dout).  The `xv == 0.0` skip is a
+/// load-bearing part of the numeric contract: both the reference and the
+/// batched engine call this exact function, so a sparse input row takes the
+/// identical sequence of additions on both paths.
 void matmul_add(std::span<const double> x, std::size_t n, int din, std::span<const double> w,
-                int dout, std::vector<double>& y) {
+                int dout, std::span<double> y) {
   for (std::size_t v = 0; v < n; ++v) {
     const double* xi = x.data() + v * static_cast<std::size_t>(din);
     double* yi = y.data() + v * static_cast<std::size_t>(dout);
@@ -128,6 +146,16 @@ struct LayerDims {
   }
 };
 
+std::vector<LayerDims> layer_dims(const GnnParams& params) {
+  std::vector<LayerDims> dims;
+  int din = kGnnNodeFeatures;
+  for (int l = 0; l < params.layers; ++l) {
+    dims.push_back(LayerDims{din, params.hidden});
+    din = params.hidden;
+  }
+  return dims;
+}
+
 struct Adam {
   std::vector<double> m, v;
   int t = 0;
@@ -150,19 +178,48 @@ struct Adam {
   }
 };
 
+/// FNV-1a 64 over raw bytes (the .gnn container's integrity word — same
+/// role as the replay file's per-record checksum, learn/replay.cpp).
+std::uint64_t fnv1a(const char* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// .gnn container geometry (gnn.hpp header comment, DESIGN.md §14).
+constexpr std::size_t kGnnHeaderBytes = 80;
+constexpr std::size_t kGnnChecksumOffset = 8;
+constexpr std::size_t kGnnChecksummedFrom = 16;  ///< checksum covers [here, end)
+constexpr int kGnnMaxHidden = 4096;
+constexpr int kGnnMaxLayers = 64;
+
+template <typename T>
+void put(std::string& out, const T& value) {
+  const auto old = out.size();
+  out.resize(old + sizeof(T));
+  std::memcpy(out.data() + old, &value, sizeof(T));
+}
+
+template <typename T>
+T take(std::string_view bytes, std::size_t offset) {
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  return value;
+}
+
+[[noreturn]] void bad_gnn(const std::string& why) {
+  throw std::runtime_error("GnnModel::deserialize: " + why);
+}
+
 }  // namespace
 
 /// Owns the forward/backward machinery; friend of GnnModel.
 class GnnEngine {
  public:
-  explicit GnnEngine(GnnModel& model) : model_(model) {
-    dims_.clear();
-    int din = kGnnNodeFeatures;
-    for (int l = 0; l < model_.params_.layers; ++l) {
-      dims_.push_back(LayerDims{din, model_.params_.hidden});
-      din = model_.params_.hidden;
-    }
-  }
+  explicit GnnEngine(GnnModel& model) : model_(model), dims_(layer_dims(model.params_)) {}
 
   void init_params(Rng& rng) {
     model_.weights_.clear();
@@ -284,7 +341,6 @@ class GnnEngine {
           dhidden[static_cast<std::size_t>(j)];
     }
     // Un-pool.
-    const auto& last = activations_.back();
     std::vector<double> dcurrent(g.n * static_cast<std::size_t>(h), 0.0);
     for (int j = 0; j < h; ++j) {
       const double dmean = dpooled[static_cast<std::size_t>(j)] / static_cast<double>(g.n);
@@ -294,7 +350,6 @@ class GnnEngine {
       dcurrent[argmax_[static_cast<std::size_t>(j)] * static_cast<std::size_t>(h) + static_cast<std::size_t>(j)] +=
           dpooled[static_cast<std::size_t>(h + j)];
     }
-    (void)last;
     // Layers in reverse.
     for (std::size_t l = dims_.size(); l-- > 0;) {
       const LayerDims& d = dims_[l];
@@ -341,29 +396,218 @@ class GnnEngine {
   std::vector<std::size_t> argmax_;
 };
 
+/// Batched inference over the concatenated batch: flat node features, CSR
+/// adjacency with batch-global node ids, per-graph segment offsets.  Every
+/// per-node operation runs in ascending batch-global node order and the
+/// adjacency never crosses a segment, so each graph's arithmetic is the
+/// exact addition sequence the per-graph GnnEngine performs — bit-identity
+/// by construction, with none of the reference path's per-node adjacency
+/// vectors or per-call activation allocations.
+class GnnBatchEngine {
+ public:
+  explicit GnnBatchEngine(const GnnModel& model)
+      : model_(model), dims_(layer_dims(model.params_)) {}
+
+  std::vector<double> predict(std::span<const aig::Aig* const> graphs) {
+    build(graphs);
+    const int h = model_.params_.hidden;
+    const std::size_t width = static_cast<std::size_t>(std::max(kGnnNodeFeatures, h));
+    current_.resize(total_ * width);
+    std::copy(x_.begin(), x_.end(), current_.begin());
+    int din = kGnnNodeFeatures;
+    for (std::size_t l = 0; l < dims_.size(); ++l) {
+      const LayerDims& d = dims_[l];
+      const std::size_t in_elems = total_ * static_cast<std::size_t>(din);
+      const std::span<const double> cur(current_.data(), in_elems);
+      csr_mean_aggregate(fanin_off_, fanin_idx_, cur, din, min_agg_);
+      csr_mean_aggregate(fanout_off_, fanout_idx_, cur, din, mout_agg_);
+      z_.assign(total_ * static_cast<std::size_t>(d.dout), 0.0);
+      const auto& w = model_.weights_[l];
+      const std::size_t block = static_cast<std::size_t>(d.din) * static_cast<std::size_t>(d.dout);
+      matmul_add(cur, total_, d.din, {w.data(), block}, d.dout, z_);
+      matmul_add({min_agg_.data(), in_elems}, total_, d.din, {w.data() + block, block}, d.dout, z_);
+      matmul_add({mout_agg_.data(), in_elems}, total_, d.din, {w.data() + 2 * block, block}, d.dout,
+                 z_);
+      const double* bias = w.data() + 3 * block;
+      for (std::size_t v = 0; v < total_; ++v) {
+        double* zv = z_.data() + v * static_cast<std::size_t>(d.dout);
+        for (int j = 0; j < d.dout; ++j) {
+          zv[static_cast<std::size_t>(j)] =
+              std::max(0.0, zv[static_cast<std::size_t>(j)] + bias[static_cast<std::size_t>(j)]);
+        }
+      }
+      std::copy(z_.begin(), z_.end(), current_.begin());
+      din = d.dout;
+    }
+    // Per-segment readout + head, one graph at a time (same j-then-v loop
+    // order as the reference pooling).
+    std::vector<double> out(graphs.size(), 0.0);
+    std::vector<double> pooled(static_cast<std::size_t>(2 * h));
+    std::vector<double> hidden(static_cast<std::size_t>(h));
+    const auto& u1 = model_.readout1_;
+    const auto& u2 = model_.readout2_;
+    for (std::size_t gi = 0; gi + 1 < seg_.size(); ++gi) {
+      const std::size_t lo = seg_[gi];
+      const std::size_t n = seg_[gi + 1] - lo;
+      const double* cur = current_.data() + lo * static_cast<std::size_t>(h);
+      std::fill(pooled.begin(), pooled.end(), 0.0);
+      for (int j = 0; j < h; ++j) {
+        double best = -std::numeric_limits<double>::infinity();
+        for (std::size_t v = 0; v < n; ++v) {
+          const double val = cur[v * static_cast<std::size_t>(h) + static_cast<std::size_t>(j)];
+          pooled[static_cast<std::size_t>(j)] += val;
+          if (val > best) best = val;
+        }
+        pooled[static_cast<std::size_t>(j)] /= static_cast<double>(n);
+        pooled[static_cast<std::size_t>(h + j)] = best;
+      }
+      for (int j = 0; j < h; ++j) {
+        double acc = u1[static_cast<std::size_t>(2 * h) * static_cast<std::size_t>(h) + static_cast<std::size_t>(j)];
+        for (int i = 0; i < 2 * h; ++i) {
+          acc += pooled[static_cast<std::size_t>(i)] *
+                 u1[static_cast<std::size_t>(i) * static_cast<std::size_t>(h) + static_cast<std::size_t>(j)];
+        }
+        hidden[static_cast<std::size_t>(j)] = std::max(0.0, acc);
+      }
+      double y = u2[static_cast<std::size_t>(h)];
+      for (int j = 0; j < h; ++j) y += hidden[static_cast<std::size_t>(j)] * u2[static_cast<std::size_t>(j)];
+      out[gi] = y * model_.label_std_ + model_.label_mean_;
+    }
+    return out;
+  }
+
+ private:
+  /// Concatenates the batch: features + CSR adjacency in one pass per graph.
+  void build(std::span<const aig::Aig* const> graphs) {
+    seg_.assign(1, 0);
+    total_ = 0;
+    for (const Aig* g : graphs) {
+      total_ += g->num_nodes();
+      seg_.push_back(total_);
+    }
+    x_.assign(total_ * kGnnNodeFeatures, 0.0);
+    fanin_off_.assign(total_ + 1, 0);
+    fanout_off_.assign(total_ + 1, 0);
+    // Degree-counting pass (offsets), then the fill pass below — the fill
+    // appends in ascending node order, which reproduces the reference
+    // adjacency's neighbor order exactly (prepare() pushes in the same
+    // order).
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      const Aig& g = *graphs[gi];
+      const std::size_t base = seg_[gi];
+      for (NodeId id = 0; id < g.num_nodes(); ++id) {
+        if (!g.is_and(id)) continue;
+        const NodeId v0 = aig::lit_var(g.fanin0(id));
+        const NodeId v1 = aig::lit_var(g.fanin1(id));
+        const std::uint32_t fi = v1 != v0 ? 2 : 1;
+        fanin_off_[base + id + 1] += fi;
+        fanout_off_[base + v0 + 1] += 1;
+        if (v1 != v0) fanout_off_[base + v1 + 1] += 1;
+      }
+    }
+    for (std::size_t v = 1; v <= total_; ++v) {
+      fanin_off_[v] += fanin_off_[v - 1];
+      fanout_off_[v] += fanout_off_[v - 1];
+    }
+    fanin_idx_.resize(fanin_off_[total_]);
+    fanout_idx_.resize(fanout_off_[total_]);
+    std::vector<std::uint32_t> fin_cursor(fanin_off_.begin(), fanin_off_.end() - 1);
+    std::vector<std::uint32_t> fout_cursor(fanout_off_.begin(), fanout_off_.end() - 1);
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      const Aig& g = *graphs[gi];
+      const std::size_t base = seg_[gi];
+      const auto levels = aig::levels(g);
+      const auto fanout = aig::fanout_counts(g);
+      const double max_level =
+          std::max<double>(1.0, *std::max_element(levels.begin(), levels.end()));
+      for (NodeId id = 0; id < g.num_nodes(); ++id) {
+        fill_node_features(g, id, levels, fanout, max_level,
+                           x_.data() + (base + id) * kGnnNodeFeatures);
+        if (!g.is_and(id)) continue;
+        const NodeId v0 = aig::lit_var(g.fanin0(id));
+        const NodeId v1 = aig::lit_var(g.fanin1(id));
+        fanin_idx_[fin_cursor[base + id]++] = static_cast<std::uint32_t>(base + v0);
+        if (v1 != v0) fanin_idx_[fin_cursor[base + id]++] = static_cast<std::uint32_t>(base + v1);
+        fanout_idx_[fout_cursor[base + v0]++] = static_cast<std::uint32_t>(base + id);
+        if (v1 != v0) fanout_idx_[fout_cursor[base + v1]++] = static_cast<std::uint32_t>(base + id);
+      }
+    }
+  }
+
+  /// CSR twin of mean_aggregate(): identical per-node sum-then-scale order.
+  void csr_mean_aggregate(const std::vector<std::uint32_t>& off,
+                          const std::vector<std::uint32_t>& idx, std::span<const double> x,
+                          int dim, std::vector<double>& y) {
+    y.assign(x.size(), 0.0);
+    for (std::size_t v = 0; v < total_; ++v) {
+      const std::uint32_t lo = off[v];
+      const std::uint32_t hi = off[v + 1];
+      if (lo == hi) continue;
+      double* out = y.data() + v * static_cast<std::size_t>(dim);
+      for (std::uint32_t e = lo; e < hi; ++e) {
+        const double* in =
+            x.data() + static_cast<std::size_t>(idx[e]) * static_cast<std::size_t>(dim);
+        for (int k = 0; k < dim; ++k) out[static_cast<std::size_t>(k)] += in[static_cast<std::size_t>(k)];
+      }
+      const double inv = 1.0 / static_cast<double>(hi - lo);
+      for (int k = 0; k < dim; ++k) out[static_cast<std::size_t>(k)] *= inv;
+    }
+  }
+
+  const GnnModel& model_;
+  std::vector<LayerDims> dims_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> seg_;  ///< per-graph node offsets, size batch+1
+  std::vector<double> x_;
+  std::vector<std::uint32_t> fanin_off_, fanin_idx_;
+  std::vector<std::uint32_t> fanout_off_, fanout_idx_;
+  // Reused activation buffers (sized total x max(din, dout)).
+  std::vector<double> current_, min_agg_, mout_agg_, z_;
+};
+
 GnnModel GnnModel::train(std::span<const aig::Aig* const> graphs, std::span<const double> labels,
-                         const GnnParams& params, GnnTrainLog* log) {
+                         const GnnParams& params, GnnTrainLog* log, const GnnModel* warm_start) {
   if (graphs.size() != labels.size() || graphs.empty()) {
     throw std::invalid_argument("GnnModel::train: graphs/labels mismatch or empty");
   }
   if (params.layers < 1 || params.hidden < 1) {
     throw std::invalid_argument("GnnModel::train: need at least one layer and one hidden unit");
   }
+  if (warm_start != nullptr && (warm_start->params_.hidden != params.hidden ||
+                                warm_start->params_.layers != params.layers)) {
+    throw std::invalid_argument("GnnModel::train: warm-start dims mismatch (warm hidden/layers " +
+                                std::to_string(warm_start->params_.hidden) + "/" +
+                                std::to_string(warm_start->params_.layers) + " vs params " +
+                                std::to_string(params.hidden) + "/" +
+                                std::to_string(params.layers) + ")");
+  }
   Timer timer;
   GnnModel model;
   model.params_ = params;
-  // Label standardization.
-  const double mean = std::accumulate(labels.begin(), labels.end(), 0.0) /
-                      static_cast<double>(labels.size());
-  double var = 0.0;
-  for (const double y : labels) var += (y - mean) * (y - mean);
-  var /= static_cast<double>(labels.size());
-  model.label_mean_ = mean;
-  model.label_std_ = var > 0.0 ? std::sqrt(var) : 1.0;
+  if (warm_start != nullptr) {
+    // Warm refresh: keep the warm weights AND the warm label standardization
+    // — the weights regress the warm model's standardized target, so
+    // restandardizing against the (possibly shifted) new label set would
+    // start them inconsistent with their own output scale.
+    model.weights_ = warm_start->weights_;
+    model.readout1_ = warm_start->readout1_;
+    model.readout2_ = warm_start->readout2_;
+    model.label_mean_ = warm_start->label_mean_;
+    model.label_std_ = warm_start->label_std_;
+  } else {
+    // Label standardization.
+    const double mean = std::accumulate(labels.begin(), labels.end(), 0.0) /
+                        static_cast<double>(labels.size());
+    double var = 0.0;
+    for (const double y : labels) var += (y - mean) * (y - mean);
+    var /= static_cast<double>(labels.size());
+    model.label_mean_ = mean;
+    model.label_std_ = var > 0.0 ? std::sqrt(var) : 1.0;
+  }
 
   GnnEngine engine(model);
   Rng rng(params.seed);
-  engine.init_params(rng);
+  if (warm_start == nullptr) engine.init_params(rng);
 
   std::vector<GraphData> data;
   data.reserve(graphs.size());
@@ -408,12 +652,158 @@ GnnModel GnnModel::train(std::span<const aig::Aig* const> graphs, std::span<cons
   return model;
 }
 
+double GnnModel::predict(std::span<const double> /*row*/) const {
+  throw std::logic_error(
+      "GnnModel::predict: family=gnn consumes the graph, not a flat feature row "
+      "(send the AIG, or serve a gbdt model for feature-row requests)");
+}
+
 double GnnModel::predict(const aig::Aig& g) const {
   GnnModel& self = const_cast<GnnModel&>(*this);
   GnnEngine engine(self);
   const GraphData data = prepare(g);
   const double standardized = engine.forward(data, /*keep_activations=*/false);
   return standardized * label_std_ + label_mean_;
+}
+
+std::vector<double> GnnModel::predict_graphs(std::span<const aig::Aig* const> graphs) const {
+  if (graphs.empty()) return {};
+  // Large batches split into contiguous chunks, one GnnBatchEngine per
+  // chunk.  Bit-identity with the single-engine pass holds at any thread
+  // count: no arithmetic crosses a graph segment (adjacency, aggregation,
+  // and pooling are all per-graph), and each output lands at its global
+  // index regardless of which chunk computed it.
+  const std::size_t n = graphs.size();
+  const std::size_t chunks =
+      std::min(static_cast<std::size_t>(default_num_threads()), std::max<std::size_t>(1, n / 8));
+  if (chunks <= 1) {
+    GnnBatchEngine engine(*this);
+    return engine.predict(graphs);
+  }
+  std::vector<double> out(n);
+  ThreadPool pool(static_cast<int>(chunks));
+  pool.parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * n / chunks;
+    const std::size_t hi = (c + 1) * n / chunks;
+    GnnBatchEngine engine(*this);
+    const std::vector<double> part = engine.predict(graphs.subspan(lo, hi - lo));
+    std::copy(part.begin(), part.end(), out.begin() + static_cast<std::ptrdiff_t>(lo));
+  });
+  return out;
+}
+
+// ---- .gnn container ------------------------------------------------------
+
+std::string GnnModel::serialize() const {
+  std::string out;
+  out.reserve(kGnnHeaderBytes);
+  out.append("AGNN", 4);
+  put<std::uint32_t>(out, kGnnFormatVersion);
+  put<std::uint64_t>(out, 0);  // checksum backpatched below
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(params_.hidden));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(params_.layers));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(kGnnNodeFeatures));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(params_.epochs));
+  put<std::uint64_t>(out, params_.seed);
+  put<double>(out, params_.learning_rate);
+  put<double>(out, params_.beta1);
+  put<double>(out, params_.beta2);
+  put<double>(out, label_mean_);
+  put<double>(out, label_std_);
+  for (const auto& w : weights_) {
+    for (const double v : w) put<double>(out, v);
+  }
+  for (const double v : readout1_) put<double>(out, v);
+  for (const double v : readout2_) put<double>(out, v);
+  const std::uint64_t sum =
+      fnv1a(out.data() + kGnnChecksummedFrom, out.size() - kGnnChecksummedFrom);
+  std::memcpy(out.data() + kGnnChecksumOffset, &sum, sizeof(sum));
+  return out;
+}
+
+GnnModel GnnModel::deserialize(std::string_view bytes) {
+  if (bytes.size() < kGnnHeaderBytes) bad_gnn("truncated header");
+  if (bytes.substr(0, 4) != "AGNN") bad_gnn("bad magic (expected AGNN)");
+  const auto version = take<std::uint32_t>(bytes, 4);
+  if (version != kGnnFormatVersion) {
+    bad_gnn("unsupported version " + std::to_string(version));
+  }
+  const auto hidden = take<std::uint32_t>(bytes, 16);
+  const auto layers = take<std::uint32_t>(bytes, 20);
+  const auto node_features = take<std::uint32_t>(bytes, 24);
+  if (hidden < 1 || hidden > kGnnMaxHidden) bad_gnn("hidden out of bounds");
+  if (layers < 1 || layers > kGnnMaxLayers) bad_gnn("layers out of bounds");
+  if (node_features != static_cast<std::uint32_t>(kGnnNodeFeatures)) {
+    bad_gnn("node feature width mismatch");
+  }
+
+  GnnModel model;
+  model.params_.hidden = static_cast<int>(hidden);
+  model.params_.layers = static_cast<int>(layers);
+  model.params_.epochs = static_cast<int>(take<std::uint32_t>(bytes, 28));
+  model.params_.seed = take<std::uint64_t>(bytes, 32);
+  model.params_.learning_rate = take<double>(bytes, 40);
+  model.params_.beta1 = take<double>(bytes, 48);
+  model.params_.beta2 = take<double>(bytes, 56);
+  model.label_mean_ = take<double>(bytes, 64);
+  model.label_std_ = take<double>(bytes, 72);
+
+  // Exact-size check BEFORE any tensor allocation: a hostile header cannot
+  // make us allocate what the bytes don't carry, and every truncation (or
+  // extension) is rejected here even when it lands on a tensor boundary.
+  const std::vector<LayerDims> dims = layer_dims(model.params_);
+  std::uint64_t weight_doubles = 0;
+  for (const LayerDims& d : dims) weight_doubles += d.param_count();
+  const std::uint64_t h = hidden;
+  weight_doubles += 2 * h * h + h;  // readout1
+  weight_doubles += h + 1;          // readout2
+  const std::uint64_t expected = kGnnHeaderBytes + weight_doubles * sizeof(double);
+  if (bytes.size() != expected) {
+    bad_gnn("size mismatch (" + std::to_string(bytes.size()) + " bytes, header implies " +
+            std::to_string(expected) + ") — truncated or corrupt");
+  }
+  const std::uint64_t stored_sum = take<std::uint64_t>(bytes, kGnnChecksumOffset);
+  const std::uint64_t actual_sum =
+      fnv1a(bytes.data() + kGnnChecksummedFrom, bytes.size() - kGnnChecksummedFrom);
+  if (stored_sum != actual_sum) bad_gnn("checksum mismatch (corrupt container)");
+
+  const auto finite = [](double v) { return std::isfinite(v); };
+  if (!finite(model.params_.learning_rate) || !finite(model.params_.beta1) ||
+      !finite(model.params_.beta2) || !finite(model.label_mean_) || !finite(model.label_std_) ||
+      model.label_std_ <= 0.0) {
+    bad_gnn("non-finite or degenerate header values");
+  }
+
+  std::size_t offset = kGnnHeaderBytes;
+  const auto take_tensor = [&](std::size_t count) {
+    std::vector<double> t(count);
+    std::memcpy(t.data(), bytes.data() + offset, count * sizeof(double));
+    offset += count * sizeof(double);
+    for (const double v : t) {
+      if (!std::isfinite(v)) bad_gnn("non-finite weight");
+    }
+    return t;
+  };
+  for (const LayerDims& d : dims) model.weights_.push_back(take_tensor(d.param_count()));
+  model.readout1_ = take_tensor(static_cast<std::size_t>(2 * h * h + h));
+  model.readout2_ = take_tensor(static_cast<std::size_t>(h + 1));
+  return model;
+}
+
+void GnnModel::save(const std::filesystem::path& path) const {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  fsio::write_file_atomic(path, serialize());
+}
+
+GnnModel GnnModel::load(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("GnnModel::load: cannot open " + path.string());
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  try {
+    return deserialize(bytes);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path.string() + ": " + e.what());
+  }
 }
 
 }  // namespace aigml::ml

@@ -1,8 +1,9 @@
 #pragma once
-// Message-passing graph neural network for AIG delay prediction — the
+// Message-passing graph neural network for AIG delay/area prediction — the
 // baseline the paper ablates against (§III-B: "GNN-based timing prediction
 // is 2% worse than the decision-tree-based model on average ... and the
-// training cost is also much higher").
+// training cost is also much higher"), wired into the stack as the second
+// Model family (model.hpp, DESIGN.md §14).
 //
 // Architecture (built from scratch; no external tensor library):
 //   node features x_v = [is_pi, is_and, fanin0_neg, fanin1_neg,
@@ -12,18 +13,42 @@
 //                              + W_out mean_{u in fanout(v)} h_u + b)
 //   readout: concat(mean_v h_v, max_v h_v) -> ReLU(U1 .) -> scalar
 // trained with Adam on standardized labels, MSE loss, full backprop
-// implemented manually.
+// implemented manually.  Training is single-threaded and seeded, so a
+// fixed seed yields bit-identical weights at any thread count.
+//
+// Inference comes in two bit-identical shapes:
+//   * predict(g) — the per-graph reference path (fresh buffers per call);
+//   * predict_graphs(batch) — one batched message-passing pass over the
+//     concatenated batch: node features, CSR adjacency, and activations for
+//     every graph live in flat arrays with per-graph segment offsets, so
+//     each layer is one matmul sweep over all nodes and pooling reduces per
+//     segment.  Per-node arithmetic order matches the reference exactly
+//     (adjacency never crosses a segment), so results are bit-identical for
+//     every batch shape — enforced by tests/test_gnn.cpp and bench_gnn.
+//
+// Serialization: the .gnn binary container (version 1) — "AGNN" magic, a
+// fixed header (dims + training hyperparameters + label standardization),
+// an FNV-1a checksum over everything after the checksum word, then the raw
+// f64 weight tensors.  save() goes through fsio::write_file_atomic; load()
+// validates magic/version, bounded dims, the exact file size implied by the
+// header, the checksum, and weight finiteness before touching anything —
+// truncation at any prefix and any single-byte mutation are rejected
+// (hostile-input standard of .gbdt2, DESIGN.md §13).
 
 #include <cstdint>
+#include <filesystem>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "ml/model.hpp"
 #include "util/rng.hpp"
 
 namespace aigml::ml {
 
 inline constexpr int kGnnNodeFeatures = 6;
+inline constexpr std::uint32_t kGnnFormatVersion = 1;
 
 struct GnnParams {
   int hidden = 16;
@@ -41,20 +66,58 @@ struct GnnTrainLog {
   double train_seconds = 0.0;
 };
 
-class GnnModel {
+class GnnModel final : public Model {
  public:
+  // ---- Model interface (model.hpp) ----------------------------------------
+  [[nodiscard]] ModelFamily family() const noexcept override { return ModelFamily::kGnn; }
+  [[nodiscard]] bool needs_graph() const noexcept override { return true; }
+  /// Per-node feature width (NOT a flat-row width — see needs_graph()).
+  [[nodiscard]] std::size_t num_features() const noexcept override {
+    return static_cast<std::size_t>(kGnnNodeFeatures);
+  }
+  /// Flat feature rows carry no graph structure: always throws
+  /// std::logic_error (callers check needs_graph() and route the AIG).
+  [[nodiscard]] double predict(std::span<const double> row) const override;
+
   /// Trains on graphs with raw-unit labels (labels are standardized
   /// internally).  `graphs` entries must outlive the call only.
+  ///
+  /// `warm_start` seeds the optimization from an existing model's weights
+  /// instead of the random init — the cheap "fresh fit on base + harvested
+  /// graphs" refresh the active-learning loop (learn::Retrainer) runs
+  /// in-search.  The warm model's hidden/layers must match params
+  /// (std::invalid_argument otherwise); its label standardization is kept so
+  /// the warm weights start consistent with the regression target's scale.
   static GnnModel train(std::span<const aig::Aig* const> graphs, std::span<const double> labels,
-                        const GnnParams& params, GnnTrainLog* log = nullptr);
+                        const GnnParams& params, GnnTrainLog* log = nullptr,
+                        const GnnModel* warm_start = nullptr);
 
-  /// Predicts the raw-unit label for a graph.
-  [[nodiscard]] double predict(const aig::Aig& g) const;
+  /// Predicts the raw-unit label for a graph (the scalar reference path).
+  [[nodiscard]] double predict(const aig::Aig& g) const override;
+  /// Batched inference: one message-passing pass over the concatenated
+  /// batch, bit-identical to calling predict() per graph (header comment).
+  [[nodiscard]] std::vector<double> predict_graphs(
+      std::span<const aig::Aig* const> graphs) const override;
+
+  // ---- .gnn container (header comment; format in DESIGN.md §14) -----------
+  /// The complete container as bytes.
+  [[nodiscard]] std::string serialize() const;
+  /// Validating parse of serialize() bytes; throws std::runtime_error on
+  /// anything malformed (truncation, mutation, unbounded dims, non-finite
+  /// weights).
+  [[nodiscard]] static GnnModel deserialize(std::string_view bytes);
+  /// serialize() through fsio::write_file_atomic — a reader (or a crash) at
+  /// any instant sees the old container or the new one, never a torn one.
+  void save(const std::filesystem::path& path) const override;
+  [[nodiscard]] static GnnModel load(const std::filesystem::path& path);
 
   [[nodiscard]] const GnnParams& params() const noexcept { return params_; }
+  [[nodiscard]] double label_mean() const noexcept { return label_mean_; }
+  [[nodiscard]] double label_std() const noexcept { return label_std_; }
 
  private:
   friend class GnnEngine;
+  friend class GnnBatchEngine;
   GnnParams params_;
   // Parameters, flattened per layer: W_self, W_in, W_out (H_in x H_out), b.
   std::vector<std::vector<double>> weights_;

@@ -1,0 +1,95 @@
+#include "ml/model.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "features/features.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/gnn.hpp"
+#include "ml/model_v2.hpp"
+
+namespace aigml::ml {
+
+const char* to_string(ModelFamily family) noexcept {
+  switch (family) {
+    case ModelFamily::kGbdt: return "gbdt";
+    case ModelFamily::kGnn: return "gnn";
+  }
+  return "?";
+}
+
+ModelFamily model_family_from_name(const std::string& name) {
+  if (name == "gbdt") return ModelFamily::kGbdt;
+  if (name == "gnn") return ModelFamily::kGnn;
+  throw std::invalid_argument("unknown model family '" + name + "' (expected gbdt | gnn)");
+}
+
+std::vector<double> Model::predict_all(std::span<const double> values,
+                                       std::size_t num_rows) const {
+  const std::size_t width = num_features();
+  if (values.size() != num_rows * width) {
+    throw std::invalid_argument("Model::predict_all: values.size() != num_rows * num_features");
+  }
+  std::vector<double> out;
+  out.reserve(num_rows);
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    out.push_back(predict(values.subspan(i * width, width)));
+  }
+  return out;
+}
+
+double Model::predict(const aig::Aig& g) const {
+  const features::FeatureVector f = features::extract(g);
+  return predict(std::span<const double>(f.data(), f.size()));
+}
+
+std::vector<double> Model::predict_graphs(std::span<const aig::Aig* const> graphs) const {
+  std::vector<double> out;
+  out.reserve(graphs.size());
+  for (const aig::Aig* g : graphs) out.push_back(predict(*g));
+  return out;
+}
+
+namespace {
+
+/// First four bytes of `path` ("" on any read failure) — the magic sniff
+/// for files whose extension does not already decide the family.
+std::string read_magic(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[4] = {};
+  in.read(magic, 4);
+  if (in.gcount() != 4) return {};
+  return std::string(magic, 4);
+}
+
+}  // namespace
+
+std::shared_ptr<const Model> load_model_any(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  if (ext == kModelV2Extension) {
+    return std::make_shared<const GbdtModel>(GbdtModel::load_v2(path));
+  }
+  if (ext == kGnnExtension) {
+    return std::make_shared<const GnnModel>(GnnModel::load(path));
+  }
+  if (ext == ".gbdt") {
+    return std::make_shared<const GbdtModel>(GbdtModel::load(path));
+  }
+  const std::string magic = read_magic(path);
+  if (magic == "GBT2") return std::make_shared<const GbdtModel>(GbdtModel::load_v2(path));
+  if (magic == "AGNN") return std::make_shared<const GnnModel>(GnnModel::load(path));
+  if (magic == "gbdt") return std::make_shared<const GbdtModel>(GbdtModel::load(path));
+  throw std::runtime_error("load_model_any: " + path.string() +
+                           ": unrecognized model file (expected .gbdt, .gbdt2, or .gnn)");
+}
+
+const GbdtModel& require_gbdt(const Model& model, const std::string& context) {
+  const auto* gbdt = dynamic_cast<const GbdtModel*>(&model);
+  if (gbdt == nullptr) {
+    throw std::invalid_argument(context + ": needs a gbdt model, got family=" +
+                                to_string(model.family()));
+  }
+  return *gbdt;
+}
+
+}  // namespace aigml::ml

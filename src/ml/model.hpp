@@ -1,0 +1,107 @@
+#pragma once
+// Model — the family-agnostic inference interface (DESIGN.md §14).
+//
+// Every layer that consumes predictions (serve::ModelRegistry /
+// PredictService, the opt:: cost evaluators, learn::Retrainer, the CLI)
+// talks to this interface instead of a concrete model class, so a second
+// family — today the message-passing GNN, tomorrow anything else — plugs
+// into serving, search, and active learning without touching those layers
+// again.
+//
+// Two input shapes exist because the families genuinely differ:
+//
+//   * flat feature rows (Table II, features::kNumFeatures doubles) — the
+//     GBDT's native input; predict(row) / predict_all(matrix).
+//   * the AIG itself — the GNN's native input; predict(graph) /
+//     predict_graphs(batch).
+//
+// Every model answers graph queries: feature-based families default to
+// features::extract(g) -> predict(row) (extraction is a pure function of
+// the graph, so this is exactly what their callers did by hand).  The
+// reverse is NOT true: a graph-native model has no meaningful answer for a
+// bare feature row and throws — callers that only have rows must check
+// needs_graph() first (serve::PredictService does, per request).
+//
+// Serialization dispatch: each family owns an on-disk extension
+// (.gbdt/.gbdt2 vs .gnn) and a leading magic; load_any() sniffs both so a
+// registry directory can mix families freely.  save() always writes the
+// family's preferred container through fsio::write_file_atomic semantics
+// (GBDT: the .gbdt2 path; GNN: the .gnn container).
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace aigml::ml {
+
+enum class ModelFamily : std::uint8_t { kGbdt = 0, kGnn = 1 };
+
+[[nodiscard]] const char* to_string(ModelFamily family) noexcept;
+/// Parses "gbdt" | "gnn"; throws std::invalid_argument otherwise.
+[[nodiscard]] ModelFamily model_family_from_name(const std::string& name);
+
+/// On-disk extension of the GNN binary container (model.cpp / gnn.cpp).
+inline constexpr const char* kGnnExtension = ".gnn";
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  [[nodiscard]] virtual ModelFamily family() const noexcept = 0;
+  /// True when predictions require graph structure — flat feature rows are
+  /// rejected (predict(row) throws) and callers must route the AIG itself.
+  [[nodiscard]] virtual bool needs_graph() const noexcept { return false; }
+
+  /// Flat-input width for feature families; per-node feature width for
+  /// graph families (display / sanity checks — NOT a row width for them).
+  [[nodiscard]] virtual std::size_t num_features() const noexcept = 0;
+  /// Ensemble size for tree families; 0 for families without a forest
+  /// (keeps registry listings and banners family-agnostic).
+  [[nodiscard]] virtual std::size_t num_trees() const noexcept { return 0; }
+
+  /// Predicts from one flat feature row.  Graph-native families throw
+  /// std::logic_error naming the family.
+  [[nodiscard]] virtual double predict(std::span<const double> row) const = 0;
+  /// Batch over a row-major matrix (values.size() == num_rows *
+  /// num_features()).  Default: a scalar loop; families with a batched
+  /// kernel override (GBDT's branchless tiled walk) — always bit-identical
+  /// to the scalar loop.
+  [[nodiscard]] virtual std::vector<double> predict_all(std::span<const double> values,
+                                                        std::size_t num_rows) const;
+
+  /// Predicts from the graph.  Default for feature families:
+  /// features::extract(g) -> predict(row).
+  [[nodiscard]] virtual double predict(const aig::Aig& g) const;
+  /// Batch over graphs, order-preserving.  Default: a scalar loop; the GNN
+  /// overrides with one batched message-passing pass over the concatenated
+  /// batch, bit-identical to per-graph predict (DESIGN.md §14).
+  [[nodiscard]] virtual std::vector<double> predict_graphs(
+      std::span<const aig::Aig* const> graphs) const;
+
+  /// Writes this model in its family's container format (atomically where
+  /// the family supports it; see the class comment).
+  virtual void save(const std::filesystem::path& path) const = 0;
+};
+
+/// Loads any known model file as an immutable snapshot, dispatching on
+/// extension first (.gbdt2 / .gbdt / .gnn) and on the leading magic bytes
+/// for unknown extensions.  Throws std::runtime_error with an actionable
+/// message for unrecognized or malformed files.
+[[nodiscard]] std::shared_ptr<const Model> load_model_any(const std::filesystem::path& path);
+
+// Forward declared here so require_gbdt can return the concrete type; the
+// definition lives in gbdt.hpp.
+class GbdtModel;
+
+/// Downcast helper for call sites that genuinely need the GBDT (warm-start
+/// residual fits, quantized containers, `aigml convert`).  Throws
+/// std::invalid_argument naming `context` and the actual family when the
+/// model is not a GBDT.
+[[nodiscard]] const GbdtModel& require_gbdt(const Model& model, const std::string& context);
+
+}  // namespace aigml::ml

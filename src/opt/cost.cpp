@@ -104,15 +104,23 @@ QualityEval GroundTruthCost::evaluate_impl(const aig::Aig& g) {
 }
 
 QualityEval MlCost::evaluate_impl(const aig::Aig& g) {
+  if (graph_mode_) return predict_graph(g);
   // extract() runs one fused AnalysisCache traversal (see aig/analysis.hpp).
   return predict(features::extract(g));
 }
 
 QualityEval MlCost::bind_impl(const aig::Aig& g) {
+  if (graph_mode_) {
+    return ctx_.bind_graph(g, [this](const aig::Aig& bound) { return predict_graph(bound); });
+  }
   return ctx_.bind(g, [this](const features::FeatureVector& f) { return predict(f); });
 }
 
 QualityEval MlCost::evaluate_delta_impl(const aig::Aig& g, const aig::DirtyRegion& dirty) {
+  if (graph_mode_) {
+    return ctx_.evaluate_delta_graph(
+        g, dirty, [this](const aig::Aig& candidate) { return predict_graph(candidate); });
+  }
   return ctx_.evaluate_delta(
       g, dirty, [this](const features::FeatureVector& f) { return predict(f); });
 }

@@ -54,6 +54,7 @@
 #include "features/features.hpp"
 #include "mapper/mapper.hpp"
 #include "ml/gbdt.hpp"
+#include "ml/model.hpp"
 #include "sta/sta.hpp"
 #include "util/timer.hpp"
 
@@ -163,6 +164,21 @@ class FeatureContext {
   QualityEval bind(const aig::Aig& g, Derive&& derive) {
     last_q_ = derive(bind_features(g));
     last_q_prev_ = last_q_;
+    derived_valid_ = derived_valid_prev_ = true;
+    return last_q_;
+  }
+
+  /// Graph-input twin of bind(): `derive` is (const aig::Aig&) -> QualityEval
+  /// — for models that consume the graph itself (family=gnn) rather than the
+  /// flat feature vector.  The feature/analysis context still binds (it keys
+  /// the memo and powers the dirty-region bookkeeping); only the derivation
+  /// input differs.
+  template <typename DeriveGraph>
+  QualityEval bind_graph(const aig::Aig& g, DeriveGraph&& derive) {
+    bind_features(g);
+    last_q_ = derive(g);
+    last_q_prev_ = last_q_;
+    derived_valid_ = derived_valid_prev_ = true;
     return last_q_;
   }
 
@@ -184,8 +200,10 @@ class FeatureContext {
                              bool reuse_derived = true) {
     const features::FeatureVector f = update(g, dirty);
     last_q_prev_ = last_q_;
+    derived_valid_prev_ = derived_valid_;
     if (!reuse_derived) {
       last_q_ = derive(f);
+      derived_valid_ = true;
       return last_q_;
     }
     if (const QualityEval* memoized = payload()) {
@@ -194,6 +212,39 @@ class FeatureContext {
       if (extractor_.last_update_changed()) last_q_ = derive(f);
       set_payload(last_q_);
     }
+    derived_valid_ = true;
+    return last_q_;
+  }
+
+  /// Graph-input twin of evaluate_delta().  The feature-path's
+  /// features-unchanged short-circuit is UNSOUND here (equal feature vectors
+  /// do not imply equal structure, and a graph model sees the structure), so
+  /// the reuse ladder is strictly structural:
+  ///   1. exact-structure memo hit  -> replay the remembered derived value;
+  ///   2. dirty.empty()             -> the candidate IS the bound graph
+  ///                                   (diff_region found no change), keep
+  ///                                   the current value — unless a model
+  ///                                   swap invalidated it (derived_valid_);
+  ///   3. otherwise                 -> derive(g) and remember.
+  /// `reuse_derived = false` (RemoteCost) additionally forces derive(g) on
+  /// every structural change or invalidation, replaying nothing.
+  template <typename DeriveGraph>
+  QualityEval evaluate_delta_graph(const aig::Aig& g, const aig::DirtyRegion& dirty,
+                                   DeriveGraph&& derive, bool reuse_derived = true) {
+    update(g, dirty);
+    last_q_prev_ = last_q_;
+    derived_valid_prev_ = derived_valid_;
+    if (dirty.empty() && derived_valid_) return last_q_;
+    if (reuse_derived) {
+      if (const QualityEval* memoized = payload()) {
+        last_q_ = *memoized;
+        derived_valid_ = true;
+        return last_q_;
+      }
+    }
+    last_q_ = derive(g);
+    derived_valid_ = true;
+    if (reuse_derived) set_payload(last_q_);
     return last_q_;
   }
 
@@ -205,6 +256,7 @@ class FeatureContext {
     cache_.rollback();
     extractor_.rollback();
     last_q_ = last_q_prev_;
+    derived_valid_ = derived_valid_prev_;
   }
 
   /// Model-swap hook (serve::LiveMlCost): the derivation function itself
@@ -220,6 +272,20 @@ class FeatureContext {
     for (auto& entry : memo_) entry->has_payload = false;
     last_q_ = derive(extractor_.features());
     last_q_prev_ = last_q_;
+    derived_valid_ = derived_valid_prev_ = true;
+  }
+
+  /// Graph-mode model-swap hook: same staleness event as refresh_derived(),
+  /// but the new derivation needs the *graph*, which the context does not
+  /// retain — so instead of eagerly re-deriving, mark every remembered
+  /// derived value stale (memo payloads + the bound value).  The next
+  /// evaluate_delta_graph() re-derives even when diff_region finds no change
+  /// (rung 2 above checks derived_valid_), so a no-op move cannot
+  /// short-circuit to an old-generation prediction.  Must be called between
+  /// moves on a bound context.
+  void invalidate_derived() noexcept {
+    for (auto& entry : memo_) entry->has_payload = false;
+    derived_valid_ = derived_valid_prev_ = false;
   }
 
   static constexpr std::size_t kMemoEntries = 8;
@@ -255,6 +321,8 @@ class FeatureContext {
   MemoEntry* active_entry_ = nullptr;  ///< entry hit/remembered by last update()
   QualityEval last_q_;       ///< derived value for the context's features
   QualityEval last_q_prev_;  ///< pre-update value, restored on rollback
+  bool derived_valid_ = true;       ///< false after invalidate_derived() until re-derived
+  bool derived_valid_prev_ = true;  ///< pre-update flag, restored on rollback
 };
 
 }  // namespace detail
@@ -314,32 +382,42 @@ class GroundTruthCost final : public CostEvaluator {
   sta::StaParams sta_params_;
 };
 
-/// ML predictions: feature extraction + GBDT inference for delay and area.
+/// ML predictions for delay and area — family-agnostic over ml::Model.
+/// A gbdt pair runs feature extraction + forest inference; when either model
+/// needs_graph() (family=gnn) the evaluator switches to the FeatureContext's
+/// graph path and derives via Model::predict(const Aig&) for both models (a
+/// gbdt partner in a mixed pair extracts its own features — correctness over
+/// a micro-optimization nobody configures).
 /// Two ownership modes: borrow models trained/owned by the caller, or hold
 /// shared immutable snapshots handed out by serve::ModelRegistry (see
 /// serve::make_ml_cost) — the snapshot stays valid for this evaluator's
 /// lifetime even if the registry hot-swaps a newer version underneath.
 /// Incrementally, features come from the persistent FeatureContext (delta
 /// analysis repair + delta extraction); inference cost is size-independent
-/// and paid on both paths.
+/// and paid on both paths.  The graph path reuses derived values only on
+/// exact-structure evidence (memo hit or empty diff), never on feature
+/// equality — see FeatureContext::evaluate_delta_graph.
 class MlCost final : public CostEvaluator {
  public:
-  MlCost(const ml::GbdtModel& delay_model, const ml::GbdtModel& area_model)
-      : delay_model_(&delay_model), area_model_(&area_model) {}
+  MlCost(const ml::Model& delay_model, const ml::Model& area_model)
+      : delay_model_(&delay_model), area_model_(&area_model),
+        graph_mode_(delay_model.needs_graph() || area_model.needs_graph()) {}
 
-  MlCost(std::shared_ptr<const ml::GbdtModel> delay_model,
-         std::shared_ptr<const ml::GbdtModel> area_model)
+  MlCost(std::shared_ptr<const ml::Model> delay_model,
+         std::shared_ptr<const ml::Model> area_model)
       : delay_snapshot_(std::move(delay_model)), area_snapshot_(std::move(area_model)),
         delay_model_(delay_snapshot_.get()), area_model_(area_snapshot_.get()) {
     if (delay_model_ == nullptr || area_model_ == nullptr) {
       throw std::invalid_argument("MlCost: null model snapshot");
     }
+    graph_mode_ = delay_model_->needs_graph() || area_model_->needs_graph();
   }
 
   [[nodiscard]] std::string name() const override { return "ml"; }
   [[nodiscard]] bool supports_incremental() const noexcept override { return true; }
-  /// GbdtModel::predict is const and lock-free, so forks sharing the model
-  /// (pointers in borrowing mode, refcounted snapshots otherwise) are safe.
+  /// Model::predict is const and lock-free for both families, so forks
+  /// sharing the model (pointers in borrowing mode, refcounted snapshots
+  /// otherwise) are safe.
   [[nodiscard]] bool supports_speculation() const noexcept override { return true; }
   [[nodiscard]] std::unique_ptr<CostEvaluator> fork_worker() const override {
     if (delay_snapshot_ != nullptr) return std::make_unique<MlCost>(delay_snapshot_, area_snapshot_);
@@ -355,13 +433,18 @@ class MlCost final : public CostEvaluator {
 
  private:
   [[nodiscard]] QualityEval predict(const features::FeatureVector& f) const {
-    return QualityEval{delay_model_->predict(f), area_model_->predict(f)};
+    return QualityEval{delay_model_->predict(std::span<const double>(f.data(), f.size())),
+                       area_model_->predict(std::span<const double>(f.data(), f.size()))};
+  }
+  [[nodiscard]] QualityEval predict_graph(const aig::Aig& g) const {
+    return QualityEval{delay_model_->predict(g), area_model_->predict(g)};
   }
 
-  std::shared_ptr<const ml::GbdtModel> delay_snapshot_;  ///< keepalives (may be null
-  std::shared_ptr<const ml::GbdtModel> area_snapshot_;   ///< in borrowing mode)
-  const ml::GbdtModel* delay_model_;
-  const ml::GbdtModel* area_model_;
+  std::shared_ptr<const ml::Model> delay_snapshot_;  ///< keepalives (may be null
+  std::shared_ptr<const ml::Model> area_snapshot_;   ///< in borrowing mode)
+  const ml::Model* delay_model_;
+  const ml::Model* area_model_;
+  bool graph_mode_ = false;  ///< either model needs_graph()
   detail::FeatureContext ctx_;
 };
 

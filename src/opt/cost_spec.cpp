@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "ml/gnn.hpp"
+
 namespace aigml::opt {
 
 namespace {
@@ -66,6 +68,40 @@ std::unique_ptr<CostEvaluator> make_ml_from_dir(const std::string& spec, const s
   auto delay = load_model_from_dir(spec, dir, "delay", quant);
   auto area = load_model_from_dir(spec, dir, "area", quant);
   return std::make_unique<MlCost>(std::move(delay), std::move(area));
+}
+
+std::unique_ptr<CostEvaluator> make_gnn_from_dir(const std::string& spec,
+                                                 const std::string& rest) {
+  // rest = <model-dir>[:<delay-name>[,<area-name>]]
+  namespace fs = std::filesystem;
+  const std::size_t dir_end = rest.find(':');
+  const std::string dir = rest.substr(0, dir_end);
+  if (dir.empty()) fail(spec, "empty model directory");
+  std::string delay_name = "delay";
+  std::string area_name = "area";
+  if (dir_end != std::string::npos) {
+    const std::string names = rest.substr(dir_end + 1);
+    const std::size_t comma = names.find(',');
+    delay_name = names.substr(0, comma);
+    if (comma != std::string::npos) area_name = names.substr(comma + 1);
+    if (delay_name.empty() || area_name.empty()) {
+      fail(spec, "empty model name (expected <delay-name>[,<area-name>])");
+    }
+  }
+  std::shared_ptr<const ml::GnnModel> models[2];
+  const std::string* names[2] = {&delay_name, &area_name};
+  for (int i = 0; i < 2; ++i) {
+    const fs::path path = fs::path(dir) / (*names[i] + ml::kGnnExtension);
+    if (!fs::exists(path)) {
+      fail(spec, "expected " + path.string() + " (train one with `aigml train --model gnn`)");
+    }
+    try {
+      models[i] = std::make_shared<const ml::GnnModel>(ml::GnnModel::load(path));
+    } catch (const std::exception& e) {
+      fail(spec, e.what());
+    }
+  }
+  return std::make_unique<MlCost>(std::move(models[0]), std::move(models[1]));
 }
 
 std::unique_ptr<CostEvaluator> make_remote(const std::string& spec, const std::string& rest,
@@ -143,15 +179,36 @@ RemoteCost::RemoteCost(const std::string& host, std::uint16_t port, std::string 
   } catch (const std::exception&) {
     if (fallback_kind_ == Fallback::kNone) throw;
   }
+  resolve_families();
+}
+
+void RemoteCost::resolve_families() {
+  // Disconnected (fallback-configured) construction keeps the gbdt default:
+  // feature rows are the degraded path's native input anyway, and a server
+  // that comes up later serving a GNN under these names is a configuration
+  // the operator opted into reconnect-blind (header contract).
+  if (client_ == nullptr) return;
+  for (const std::string& model : {delay_model_, area_model_}) {
+    try {
+      if (client_->family(model) == "gnn") graph_mode_ = true;
+    } catch (const std::exception&) {
+      // Pre-FAMILY server or unknown model: assume gbdt; a wrong guess
+      // surfaces as an actionable ERR on the first FEATURES request.
+    }
+  }
 }
 
 std::string RemoteCost::name() const { return "serve:" + host_ + ":" + std::to_string(port_); }
 
 QualityEval RemoteCost::evaluate_impl(const aig::Aig& g) {
+  if (graph_mode_) return query_graph(g);
   return query(features::extract(g));
 }
 
 QualityEval RemoteCost::bind_impl(const aig::Aig& g) {
+  if (graph_mode_) {
+    return ctx_.bind_graph(g, [this](const aig::Aig& bound) { return query_graph(bound); });
+  }
   return ctx_.bind(g, [this](const features::FeatureVector& f) { return query(f); });
 }
 
@@ -162,6 +219,13 @@ QualityEval RemoteCost::evaluate_delta_impl(const aig::Aig& g, const aig::DirtyR
   // see the new one.  Feature extraction stays incremental (the features
   // are model-independent), and %.17g wire formatting round-trips exactly,
   // so each query is still bit-identical to a from-scratch evaluate().
+  // Graph mode rides the same rule via evaluate_delta_graph: the context's
+  // structural bookkeeping stays incremental, every move ships the AIG.
+  if (graph_mode_) {
+    return ctx_.evaluate_delta_graph(
+        g, dirty, [this](const aig::Aig& candidate) { return query_graph(candidate); },
+        /*reuse_derived=*/false);
+  }
   return ctx_.evaluate_delta(
       g, dirty, [this](const features::FeatureVector& f) { return query(f); },
       /*reuse_derived=*/false);
@@ -183,6 +247,24 @@ double RemoteCost::predict_remote(const std::string& model, const features::Feat
       if (attempt >= options_.max_retries) throw;
       // Deterministic exponential backoff — no jitter, so a seeded chaos run
       // replays the same schedule.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(options_.backoff_ms) << attempt));
+    }
+  }
+}
+
+double RemoteCost::predict_remote_graph(const std::string& model, const aig::Aig& g) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (client_ == nullptr) {
+        client_ = std::make_unique<serve::Client>(
+            host_, port_,
+            serve::ClientOptions{options_.connect_timeout_ms, options_.io_timeout_ms});
+      }
+      return client_->predict(model, g);
+    } catch (const std::exception&) {
+      client_.reset();
+      if (attempt >= options_.max_retries) throw;
       std::this_thread::sleep_for(
           std::chrono::milliseconds(static_cast<long>(options_.backoff_ms) << attempt));
     }
@@ -220,6 +302,27 @@ QualityEval RemoteCost::query(const features::FeatureVector& f) {
   return fallback_eval(f);
 }
 
+QualityEval RemoteCost::query_graph(const aig::Aig& g) {
+  if (!breaker_open_) {
+    try {
+      // PREDICT works for both families server-side, so graph mode ships the
+      // AIG for BOTH models — one wire dialect per evaluator, and a gbdt
+      // partner's features are extracted where the model lives.
+      const double delay = predict_remote_graph(delay_model_, g);
+      const double area = predict_remote_graph(area_model_, g);
+      consecutive_failures_ = 0;
+      return QualityEval{delay, area};
+    } catch (const std::exception&) {
+      if (fallback_kind_ == Fallback::kNone) throw;
+      if (++consecutive_failures_ >= options_.breaker_threshold) breaker_open_ = true;
+    }
+  }
+  // Degraded graph evaluations drop to the feature-based fallback oracles —
+  // honest values in the fallback's units, exactly like the feature path.
+  ++degraded_;
+  return fallback_eval(features::extract(g));
+}
+
 std::unique_ptr<CostEvaluator> make_cost(const std::string& spec, const CostContext& ctx) {
   if (spec.rfind("serve:", 0) != 0 && !ctx.serve_fallback.empty()) {
     fail(spec, "fallback '" + ctx.serve_fallback +
@@ -248,8 +351,10 @@ std::unique_ptr<CostEvaluator> make_cost(const std::string& spec, const CostCont
     if (dir.empty()) fail(spec, "empty model directory");
     return make_ml_from_dir(spec, dir, ctx.quant);
   }
+  if (spec.rfind("gnn:", 0) == 0) return make_gnn_from_dir(spec, spec.substr(4));
   if (spec.rfind("serve:", 0) == 0) return make_remote(spec, spec.substr(6), ctx);
   fail(spec, "unknown evaluator (expected proxy | gt | ml | ml:<model-dir> | "
+             "gnn:<model-dir>[:<delay>[,<area>]] | "
              "serve:<host>:<port>[:<delay-model>[,<area-model>]])");
 }
 

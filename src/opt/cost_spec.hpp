@@ -10,6 +10,11 @@
 //                                    CostContext (delay_model / area_model)
 //   "ml:<model-dir>"                 MlCost over <dir>/delay.gbdt and
 //                                    <dir>/area.gbdt loaded from disk
+//   "gnn:<model-dir>[:<delay>[,<area>]]"
+//                                    MlCost in graph mode over
+//                                    <dir>/<name>.gnn containers (names
+//                                    default to "delay" / "area") — the GNN
+//                                    family consumes the AIG itself
 //   "serve:<host>:<port>[:<delay-model>[,<area-model>]]"
 //                                    RemoteCost — every evaluation is
 //                                    answered by a running `aigml serve`
@@ -32,8 +37,8 @@ namespace aigml::opt {
 /// borrowed: the caller keeps them alive for the evaluator's lifetime.
 struct CostContext {
   const cell::Library* library = nullptr;  ///< for "gt" (and sweep re-scoring)
-  std::shared_ptr<const ml::GbdtModel> delay_model;  ///< for "ml" (in-memory)
-  std::shared_ptr<const ml::GbdtModel> area_model;
+  std::shared_ptr<const ml::Model> delay_model;  ///< for "ml" (in-memory, any family)
+  std::shared_ptr<const ml::Model> area_model;
   /// Degradation policy for "serve:" specs (the recipe's `fallback=` key):
   /// "" (fail hard, the historical behavior), "proxy" (degrade to the
   /// structural proxies), or "ml:<dir>" (degrade to local GBDT models).
@@ -47,8 +52,8 @@ struct CostContext {
 
 /// Non-owning shared_ptr view of a caller-owned model — the bridge from
 /// by-value model holders (flow::TrainedModels) into CostContext.
-[[nodiscard]] inline std::shared_ptr<const ml::GbdtModel> borrow_model(const ml::GbdtModel& m) {
-  return std::shared_ptr<const ml::GbdtModel>(std::shared_ptr<const ml::GbdtModel>(), &m);
+[[nodiscard]] inline std::shared_ptr<const ml::Model> borrow_model(const ml::Model& m) {
+  return std::shared_ptr<const ml::Model>(std::shared_ptr<const ml::Model>(), &m);
 }
 
 /// Resilience policy for RemoteCost (DESIGN.md §10).  Defaults are tuned
@@ -68,6 +73,16 @@ struct RemoteCostOptions {
 /// carries 22 doubles instead of a full AIG.  %.17g formatting round-trips
 /// IEEE doubles exactly, so a remote evaluation is bit-identical to a local
 /// MlCost over the same model snapshots.  One connection per evaluator.
+///
+/// Model families: at construction (when connected) the evaluator asks the
+/// server each model's family (the FAMILY verb; servers without it are
+/// assumed gbdt).  When either served model is a GNN the evaluator runs in
+/// graph mode — each evaluation ships the candidate AIG inline (PREDICT)
+/// for BOTH models instead of a feature row, since a graph model cannot
+/// consume 22 doubles.  Families are resolved once, not per move: a server
+/// restart that *changes a model's family* mid-run is out of contract
+/// (hot-swaps within a family are the supported path).  If construction
+/// starts disconnected (fallback configured), families default to gbdt.
 ///
 /// Failure policy (DESIGN.md §10): each request gets up to 1 + max_retries
 /// attempts with deterministic exponential backoff, reconnecting before
@@ -112,9 +127,12 @@ class RemoteCost final : public CostEvaluator {
   enum class Fallback { kNone, kProxy, kMl };
 
   [[nodiscard]] QualityEval query(const features::FeatureVector& f);
+  [[nodiscard]] QualityEval query_graph(const aig::Aig& g);
   [[nodiscard]] double predict_remote(const std::string& model,
                                       const features::FeatureVector& f);
+  [[nodiscard]] double predict_remote_graph(const std::string& model, const aig::Aig& g);
   [[nodiscard]] QualityEval fallback_eval(const features::FeatureVector& f) const;
+  void resolve_families();
 
   std::string host_;
   std::uint16_t port_;
@@ -125,6 +143,7 @@ class RemoteCost final : public CostEvaluator {
   std::shared_ptr<const ml::GbdtModel> fb_delay_;
   std::shared_ptr<const ml::GbdtModel> fb_area_;
   std::unique_ptr<serve::Client> client_;  ///< null while disconnected
+  bool graph_mode_ = false;  ///< either served model is family=gnn
   int consecutive_failures_ = 0;
   bool breaker_open_ = false;
   std::uint64_t degraded_ = 0;

@@ -313,6 +313,15 @@ void BatchServer::process_text_line(Conn& c, const std::string& line) {
     }
     if (request.command == "STATS") return text_reply(c, "OK " + stats_reply());
 
+    if (request.command == "FAMILY") {
+      if (request.arg.empty()) return text_reply(c, "ERR usage: FAMILY <model>");
+      const auto snapshot = registry_.try_get(request.arg);
+      if (snapshot == nullptr) {
+        return text_reply(c, "ERR unknown model '" + sanitize_message(request.arg) + "'");
+      }
+      return text_reply(c, std::string("OK ") + ml::to_string(snapshot->family()));
+    }
+
     if (request.command == "PREDICT") {
       if (request.arg.empty() || request.payload.empty()) {
         return text_reply(c, "ERR usage: PREDICT <model> <escaped-aag>");

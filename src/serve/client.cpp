@@ -45,6 +45,8 @@ double Client::predict_features(const std::string& model, std::span<const double
   return std::stod(request(line));
 }
 
+std::string Client::family(const std::string& model) { return request("FAMILY " + model); }
+
 std::string Client::reload() { return request("RELOAD"); }
 
 std::string Client::stats() { return request("STATS"); }

@@ -38,6 +38,10 @@ class Client {
   [[nodiscard]] double predict(const std::string& model, const aig::Aig& g);
   /// Prediction from a pre-extracted feature row.
   [[nodiscard]] double predict_features(const std::string& model, std::span<const double> row);
+  /// The model's family ("gbdt" | "gnn") via the FAMILY verb; throws
+  /// std::runtime_error when the model is unknown or the server predates
+  /// the verb.
+  [[nodiscard]] std::string family(const std::string& model);
   /// Asks the server to re-scan its model directory; returns the summary.
   std::string reload();
   /// One-line JSON stats document.

@@ -15,6 +15,7 @@ LiveMlCost::LiveMlCost(const ModelRegistry& registry, std::string delay_model,
   generation_seen_ = registry_->generation();
   delay_ = registry_->get(delay_name_);
   area_ = registry_->get(area_name_);
+  graph_mode_ = delay_->needs_graph() || area_->needs_graph();
 }
 
 void LiveMlCost::refresh() {
@@ -26,26 +27,42 @@ void LiveMlCost::refresh() {
   if (delay == delay_ && area == area_) return;  // bump was for another model
   delay_ = std::move(delay);
   area_ = std::move(area);
+  graph_mode_ = delay_->needs_graph() || area_->needs_graph();
   ++swaps_;
   if (bound_) {
-    ctx_.refresh_derived([this](const features::FeatureVector& f) { return predict(f); });
+    if (graph_mode_) {
+      // The context cannot re-derive without the graph (header comment):
+      // defer — mark every remembered derived value stale so the next
+      // evaluate_delta re-runs inference even on a structural no-op.
+      ctx_.invalidate_derived();
+    } else {
+      ctx_.refresh_derived([this](const features::FeatureVector& f) { return predict(f); });
+    }
   }
 }
 
 opt::QualityEval LiveMlCost::evaluate_impl(const aig::Aig& g) {
   refresh();
+  if (graph_mode_) return predict_graph(g);
   return predict(features::extract(g));
 }
 
 opt::QualityEval LiveMlCost::bind_impl(const aig::Aig& g) {
   refresh();
   bound_ = true;
+  if (graph_mode_) {
+    return ctx_.bind_graph(g, [this](const aig::Aig& bound) { return predict_graph(bound); });
+  }
   return ctx_.bind(g, [this](const features::FeatureVector& f) { return predict(f); });
 }
 
 opt::QualityEval LiveMlCost::evaluate_delta_impl(const aig::Aig& g,
                                                  const aig::DirtyRegion& dirty) {
   refresh();
+  if (graph_mode_) {
+    return ctx_.evaluate_delta_graph(
+        g, dirty, [this](const aig::Aig& candidate) { return predict_graph(candidate); });
+  }
   return ctx_.evaluate_delta(g, dirty,
                              [this](const features::FeatureVector& f) { return predict(f); });
 }

@@ -18,6 +18,16 @@
 //   * the feature side (analysis snapshots, delta extraction, the memo's
 //     structural keys) is model-independent and stays fully incremental.
 //
+// Family-agnostic like opt::MlCost: when either pinned snapshot is a GNN
+// (Model::needs_graph()) evaluation runs through the FeatureContext's graph
+// path.  On a swap the graph-mode context is invalidated rather than
+// eagerly re-derived (invalidate_derived — the context does not retain the
+// bound graph), so the next evaluation re-runs inference under the new
+// model even when the move is a structural no-op.  A swap may also change
+// the family itself (a gnn checkpoint installed over a gbdt name):
+// graph_mode_ is recomputed per refresh, and the context handles the
+// crossover because both paths share its structural bookkeeping.
+//
 // Between swaps, LiveMlCost is bit-identical to an opt::MlCost over the
 // same snapshots (tests/test_learn.cpp locks this in), so `learn=0` runs
 // cannot be perturbed by the plumbing existing.
@@ -65,14 +75,19 @@ class LiveMlCost final : public opt::CostEvaluator {
   void refresh();
 
   [[nodiscard]] opt::QualityEval predict(const features::FeatureVector& f) const {
-    return opt::QualityEval{delay_->predict(f), area_->predict(f)};
+    return opt::QualityEval{delay_->predict(std::span<const double>(f.data(), f.size())),
+                            area_->predict(std::span<const double>(f.data(), f.size()))};
+  }
+  [[nodiscard]] opt::QualityEval predict_graph(const aig::Aig& g) const {
+    return opt::QualityEval{delay_->predict(g), area_->predict(g)};
   }
 
   const ModelRegistry* registry_;
   std::string delay_name_;
   std::string area_name_;
-  std::shared_ptr<const ml::GbdtModel> delay_;
-  std::shared_ptr<const ml::GbdtModel> area_;
+  std::shared_ptr<const ml::Model> delay_;
+  std::shared_ptr<const ml::Model> area_;
+  bool graph_mode_ = false;  ///< either pinned snapshot needs_graph(); per-refresh
   std::uint64_t generation_seen_ = 0;
   std::uint64_t swaps_ = 0;
   bool bound_ = false;

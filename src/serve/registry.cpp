@@ -20,6 +20,13 @@ std::int64_t mtime_ns(const fs::path& path) {
   return static_cast<std::int64_t>(t.time_since_epoch().count());
 }
 
+/// Sibling precedence per stem (registry.hpp header comment): higher wins.
+int format_rank(const std::string& ext) {
+  if (ext == ".gbdt2") return 2;
+  if (ext == ".gbdt") return 1;
+  return 0;  // .gnn
+}
+
 }  // namespace
 
 ModelRegistry::ModelRegistry(fs::path dir) : dir_(std::move(dir)) {
@@ -34,8 +41,8 @@ ModelRegistry::ModelRegistry(fs::path dir) : dir_(std::move(dir)) {
   }
 }
 
-void ModelRegistry::install(const std::string& name, ml::GbdtModel model) {
-  auto snapshot = std::make_shared<const ml::GbdtModel>(std::move(model));
+void ModelRegistry::install_snapshot(const std::string& name,
+                                     std::shared_ptr<const ml::Model> snapshot) {
   const std::lock_guard lock(mutex_);
   Entry& entry = entries_[name];
   entry.model = std::move(snapshot);
@@ -48,13 +55,21 @@ void ModelRegistry::install(const std::string& name, ml::GbdtModel model) {
   generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
-std::shared_ptr<const ml::GbdtModel> ModelRegistry::get(const std::string& name) const {
+void ModelRegistry::install(const std::string& name, ml::GbdtModel model) {
+  install_snapshot(name, std::make_shared<const ml::GbdtModel>(std::move(model)));
+}
+
+void ModelRegistry::install(const std::string& name, ml::GnnModel model) {
+  install_snapshot(name, std::make_shared<const ml::GnnModel>(std::move(model)));
+}
+
+std::shared_ptr<const ml::Model> ModelRegistry::get(const std::string& name) const {
   auto snapshot = try_get(name);
   if (snapshot == nullptr) throw std::out_of_range("ModelRegistry: unknown model '" + name + "'");
   return snapshot;
 }
 
-std::shared_ptr<const ml::GbdtModel> ModelRegistry::try_get(const std::string& name) const {
+std::shared_ptr<const ml::Model> ModelRegistry::try_get(const std::string& name) const {
   const std::lock_guard lock(mutex_);
   const auto it = entries_.find(name);
   return it == entries_.end() ? nullptr : it->second.model;
@@ -69,21 +84,21 @@ ReloadReport ModelRegistry::reload() {
     fs::path path;
     std::int64_t size = 0;
     std::int64_t mtime = 0;
-    bool v2 = false;
+    std::string ext;
   };
-  // One candidate per stem; a .gbdt2 sibling shadows the text file so every
-  // consumer of the same model name rides the mmap path when it exists.
+  // One candidate per stem, picked by format_rank (.gbdt2 > .gbdt > .gnn).
   std::map<std::string, Candidate> by_name;
   for (const auto& dirent : fs::directory_iterator(dir_)) {
-    const auto ext = dirent.path().extension();
-    if (!dirent.is_regular_file() || (ext != ".gbdt" && ext != ".gbdt2")) continue;
-    const bool v2 = ext == ".gbdt2";
+    const auto ext = dirent.path().extension().string();
+    if (!dirent.is_regular_file() || (ext != ".gbdt" && ext != ".gbdt2" && ext != ".gnn")) {
+      continue;
+    }
     const std::string name = dirent.path().stem().string();
     const auto it = by_name.find(name);
-    if (it != by_name.end() && it->second.v2 && !v2) continue;  // keep the v2 sibling
+    if (it != by_name.end() && format_rank(it->second.ext) > format_rank(ext)) continue;
     std::error_code ec;
     const auto size = static_cast<std::int64_t>(fs::file_size(dirent.path(), ec));
-    by_name[name] = {name, dirent.path(), ec ? 0 : size, mtime_ns(dirent.path()), v2};
+    by_name[name] = {name, dirent.path(), ec ? 0 : size, mtime_ns(dirent.path()), ext};
   }
   std::vector<Candidate> candidates;
   candidates.reserve(by_name.size());
@@ -102,11 +117,20 @@ ReloadReport ModelRegistry::reload() {
     // Parse outside the lock — loading a 5000-tree model must not stall
     // concurrent get() calls.  Serving always reads the container's fp64
     // values (quantization is an opt-in of local ml:/predict consumers).
-    std::shared_ptr<const ml::GbdtModel> snapshot;
+    std::shared_ptr<const ml::Model> snapshot;
+    std::string format;
     Timer load_timer;
     try {
-      snapshot = std::make_shared<const ml::GbdtModel>(
-          c.v2 ? ml::GbdtModel::load_v2(c.path) : ml::GbdtModel::load(c.path));
+      if (c.ext == ".gbdt2") {
+        snapshot = std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load_v2(c.path));
+        format = "v2";
+      } else if (c.ext == ".gnn") {
+        snapshot = std::make_shared<const ml::GnnModel>(ml::GnnModel::load(c.path));
+        format = "gnn1";
+      } else {
+        snapshot = std::make_shared<const ml::GbdtModel>(ml::GbdtModel::load(c.path));
+        format = "text";
+      }
     } catch (const std::exception& e) {
       report.errors.push_back(c.path.string() + ": " + e.what());
       continue;  // keep the previous snapshot, if any
@@ -119,7 +143,7 @@ ReloadReport ModelRegistry::reload() {
     entry.path = c.path.string();
     entry.file_size = c.size;
     entry.file_mtime_ns = c.mtime;
-    entry.format = c.v2 ? "v2" : "text";
+    entry.format = format;
     entry.load_seconds = load_seconds;
     generation_.fetch_add(1, std::memory_order_acq_rel);
     ++report.loaded;
@@ -138,8 +162,16 @@ std::vector<ModelInfo> ModelRegistry::list() const {
   std::vector<ModelInfo> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
-    out.push_back({name, entry.version, entry.model->num_trees(), entry.model->num_features(),
-                   entry.path, entry.format, entry.load_seconds});
+    ModelInfo info;
+    info.name = name;
+    info.family = ml::to_string(entry.model->family());
+    info.version = entry.version;
+    info.num_trees = entry.model->num_trees();
+    info.num_features = entry.model->num_features();
+    info.path = entry.path;
+    info.format = entry.format;
+    info.load_seconds = entry.load_seconds;
+    out.push_back(std::move(info));
   }
   return out;
 }

@@ -1,21 +1,26 @@
 #pragma once
-// ModelRegistry — named, versioned GBDT models with atomic hot-swap.
+// ModelRegistry — named, versioned model snapshots with atomic hot-swap,
+// family-agnostic (ml::Model — gbdt forests and gnn graph models serve from
+// the same registry, DESIGN.md §14).
 //
 // The registry owns one immutable snapshot per model name.  get() hands out
-// std::shared_ptr<const GbdtModel> copies, so a long-lived client (an open
+// std::shared_ptr<const ml::Model> copies, so a long-lived client (an open
 // optimization loop, an in-flight batch) keeps predicting against the
 // snapshot it started with even while reload() swaps in a newer version —
 // no client ever observes a half-loaded model, and old snapshots stay valid
 // until their last holder drops them.
 //
-// Disk layout: every `<name>.gbdt` (text) or `<name>.gbdt2` (binary mmap
-// container, DESIGN.md §13) directly inside the model directory is a model
-// named `<name>`; when both exist the .gbdt2 sibling wins and the text file
-// is the fallback.  reload() re-reads the directory; a model that fails to
-// parse keeps its previous snapshot (the failure is reported, not
-// propagated into serving).  Versions count successful (re)loads per name,
-// starting at 1.  A v2 snapshot keeps its mmap alive for as long as any
-// client holds it, so hot-swapping the file under a served model is safe.
+// Disk layout: every `<name>.gbdt` (text), `<name>.gbdt2` (binary mmap
+// container, DESIGN.md §13), or `<name>.gnn` (GNN container, DESIGN.md §14)
+// directly inside the model directory is a model named `<name>`; when
+// siblings share a stem the precedence is .gbdt2 > .gbdt > .gnn (the mmap
+// container wins, and a tree family shadows a same-named gnn so a stray
+// checkpoint cannot silently change a model's family).  reload() re-reads
+// the directory; a model that fails to parse keeps its previous snapshot
+// (the failure is reported, not propagated into serving).  Versions count
+// successful (re)loads per name, starting at 1.  A v2 snapshot keeps its
+// mmap alive for as long as any client holds it, so hot-swapping the file
+// under a served model is safe.
 
 #include <atomic>
 #include <cstdint>
@@ -27,6 +32,8 @@
 #include <vector>
 
 #include "ml/gbdt.hpp"
+#include "ml/gnn.hpp"
+#include "ml/model.hpp"
 
 namespace aigml::opt {
 class MlCost;
@@ -36,11 +43,12 @@ namespace aigml::serve {
 
 struct ModelInfo {
   std::string name;
+  std::string family;              ///< "gbdt" | "gnn" (ml::to_string(model->family()))
   std::uint64_t version = 0;       ///< bumps on every successful (re)load / install
-  std::size_t num_trees = 0;
-  std::size_t num_features = 0;
+  std::size_t num_trees = 0;       ///< 0 for non-tree families
+  std::size_t num_features = 0;    ///< flat-row width (gbdt) or per-node width (gnn)
   std::string path;                ///< empty for install()ed in-memory models
-  std::string format;              ///< "v2" (mmap container) | "text" | "memory"
+  std::string format;              ///< "v2" (mmap) | "text" | "gnn1" | "memory"
   double load_seconds = 0.0;       ///< wall time of the last (re)load; 0 for installs
 };
 
@@ -64,11 +72,12 @@ class ModelRegistry {
 
   /// Registers / replaces an in-memory model under `name` (atomic swap).
   void install(const std::string& name, ml::GbdtModel model);
+  void install(const std::string& name, ml::GnnModel model);
 
   /// Current snapshot for `name`; throws std::out_of_range when unknown.
-  [[nodiscard]] std::shared_ptr<const ml::GbdtModel> get(const std::string& name) const;
+  [[nodiscard]] std::shared_ptr<const ml::Model> get(const std::string& name) const;
   /// Like get() but returns nullptr when unknown.
-  [[nodiscard]] std::shared_ptr<const ml::GbdtModel> try_get(const std::string& name) const;
+  [[nodiscard]] std::shared_ptr<const ml::Model> try_get(const std::string& name) const;
 
   /// Re-scans the model directory, loading new and changed files.  Parsing
   /// happens outside the registry lock; each successfully parsed model is
@@ -92,14 +101,16 @@ class ModelRegistry {
 
  private:
   struct Entry {
-    std::shared_ptr<const ml::GbdtModel> model;
+    std::shared_ptr<const ml::Model> model;
     std::uint64_t version = 0;
     std::string path;
     std::int64_t file_size = -1;    ///< -1 for in-memory installs
     std::int64_t file_mtime_ns = 0;
-    std::string format = "memory";  ///< "v2" | "text" | "memory" (ModelInfo::format)
+    std::string format = "memory";  ///< ModelInfo::format
     double load_seconds = 0.0;
   };
+
+  void install_snapshot(const std::string& name, std::shared_ptr<const ml::Model> snapshot);
 
   std::filesystem::path dir_;
   mutable std::mutex mutex_;

@@ -198,6 +198,15 @@ std::string PredictServer::handle_request(const std::string& line) {
       return "OK " + render_stats_json(registry_, service_.stats());
     }
 
+    if (request.command == "FAMILY") {
+      if (request.arg.empty()) return "ERR usage: FAMILY <model>";
+      const auto snapshot = registry_.try_get(request.arg);
+      if (snapshot == nullptr) {
+        return "ERR unknown model '" + sanitize_message(request.arg) + "'";
+      }
+      return std::string("OK ") + ml::to_string(snapshot->family());
+    }
+
     return "ERR unknown command '" + sanitize_message(request.command) + "'";
   } catch (const std::exception& e) {
     return "ERR " + sanitize_message(e.what());

@@ -213,12 +213,54 @@ void PredictService::process_batch(std::vector<Request>& batch) {
     for (const std::size_t i : failed) stats_.latency.add_us(us_since(batch[i].enqueued_at));
   };
   for (auto& [model_name, indices] : groups) {
-    const std::shared_ptr<const ml::GbdtModel> snapshot = registry_.try_get(model_name);
+    const std::shared_ptr<const ml::Model> snapshot = registry_.try_get(model_name);
     if (snapshot == nullptr) {
       account(model_name, {}, indices);
       for (const std::size_t i : indices) {
         fulfill_error(batch[i], std::make_exception_ptr(std::out_of_range(
                                     "PredictService: unknown model '" + model_name + "'")));
+      }
+      continue;
+    }
+    if (snapshot->needs_graph()) {
+      // Graph-family group (gnn): answer every graph request in submission
+      // order with one batched message-passing pass — bit-identical to
+      // per-graph predict() (gnn.hpp contract).  Feature-row requests
+      // cannot feed a graph model and fail individually.
+      std::vector<std::size_t> done_idx;
+      std::vector<std::size_t> fail_idx;
+      std::vector<const aig::Aig*> graphs;
+      for (const std::size_t i : indices) {
+        if (batch[i].graph.has_value()) {
+          graphs.push_back(&*batch[i].graph);
+          done_idx.push_back(i);
+        } else {
+          fail_idx.push_back(i);
+        }
+      }
+      std::vector<double> answers;
+      std::exception_ptr group_error;
+      try {
+        answers = snapshot->predict_graphs(graphs);
+      } catch (...) {
+        group_error = std::current_exception();
+      }
+      if (group_error != nullptr) {
+        fail_idx.insert(fail_idx.end(), done_idx.begin(), done_idx.end());
+        done_idx.clear();
+      }
+      account(model_name, done_idx, fail_idx);
+      for (std::size_t v = 0; v < done_idx.size(); ++v) {
+        fulfill_value(batch[done_idx[v]], answers[v]);
+      }
+      for (const std::size_t i : fail_idx) {
+        fulfill_error(batch[i],
+                      group_error != nullptr
+                          ? group_error
+                          : std::make_exception_ptr(std::runtime_error(
+                                "PredictService: model '" + model_name +
+                                "' is family=gnn and consumes graphs, not feature rows "
+                                "(use PREDICT with an inline AIG)")));
       }
       continue;
     }

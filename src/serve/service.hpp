@@ -5,11 +5,13 @@
 // std::future<double>s back.  A dedicated drainer thread coalesces pending
 // requests into batches: after the first request arrives it waits up to
 // `batch_wait_us` for the queue to fill (bounded by `max_batch`), then
-// groups the batch by model, fans feature extraction out over the shared
-// util::ThreadPool into one flat row-major matrix, and answers each model
-// group with a single GbdtModel::predict_all pass over the flat DFS forest.
-// Batched results are bit-identical to one-at-a-time predict() — batching
-// changes scheduling, never values (tests/test_serve.cpp locks this in).
+// groups the batch by model.  A gbdt group fans feature extraction out over
+// the shared util::ThreadPool into one flat row-major matrix and answers
+// with a single predict_all pass over the flat DFS forest; a gnn group
+// (Model::needs_graph()) answers with one batched predict_graphs pass over
+// the concatenated batch.  Batched results are bit-identical to
+// one-at-a-time predict() for both families — batching changes scheduling,
+// never values (tests/test_serve.cpp, tests/test_model_iface.cpp).
 //
 // The registry snapshot for a batch is taken once per model group, so a
 // concurrent hot-swap (reload/install) flips predictions between two valid

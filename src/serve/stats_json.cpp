@@ -22,7 +22,8 @@ std::string render_stats_json(const ModelRegistry& registry, const ServiceStats&
     // container), "text" (a registry that silently fell back to re-parsing
     // .gbdt), or "memory" (install()ed); "load_ms" is that load's wall time.
     out << (first ? "" : ",") << "{\"name\":\"" << json_escape(info.name)
-        << "\",\"version\":" << info.version << ",\"trees\":" << info.num_trees
+        << "\",\"family\":\"" << json_escape(info.family) << "\",\"version\":" << info.version
+        << ",\"trees\":" << info.num_trees
         << ",\"features\":" << info.num_features << ",\"format\":\"" << json_escape(info.format)
         << "\",\"load_ms\":" << format_double(info.load_seconds * 1e3)
         << ",\"predictions\":" << predictions << "}";

@@ -1,0 +1,352 @@
+// Tests for the GNN model family (DESIGN.md §14): training determinism at
+// any thread count, the .gnn container's round-trip and hostile-input
+// battery (truncation at every prefix, every single-byte mutation), the
+// batched-vs-scalar bit-identity contract across batch shapes — including
+// the chunk-parallel path predict_graphs takes on large batches — warm-start
+// refresh semantics, and cost=gnn: SA trajectory identity for inc=0|1 and
+// par=0|1.  The Gnn* suites also run under TSan in CI.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "flow/datagen.hpp"
+#include "gen/circuits.hpp"
+#include "ml/gnn.hpp"
+#include "ml/model.hpp"
+#include "opt/cost_spec.hpp"
+#include "opt/sa.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace aigml {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Temp directory removed on scope exit.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& stem)
+      : path(fs::temp_directory_path() / (stem + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+/// Restores the process-default thread count on scope exit.
+struct ThreadScope {
+  explicit ThreadScope(int n) { set_default_threads(n); }
+  ~ThreadScope() { set_default_threads(0); }
+};
+
+/// `count` structurally distinct variants of a parity tree — small graphs,
+/// so whole-corpus sweeps stay fast.
+std::vector<aig::Aig> variant_corpus(int width, int count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<aig::Aig> pool{gen::parity_tree(width).cleanup()};
+  std::unordered_set<std::uint64_t> seen{pool.front().structural_hash()};
+  int attempts = 0;
+  while (static_cast<int>(pool.size()) < count && attempts < count * 30) {
+    ++attempts;
+    const std::size_t pick = std::max(rng.next_below(pool.size()), rng.next_below(pool.size()));
+    aig::Aig candidate = flow::random_variant_step(pool[pick], rng);
+    if (!seen.insert(candidate.structural_hash()).second) continue;
+    pool.push_back(std::move(candidate));
+  }
+  return pool;
+}
+
+std::vector<const aig::Aig*> as_pointers(const std::vector<aig::Aig>& corpus) {
+  std::vector<const aig::Aig*> out;
+  for (const aig::Aig& g : corpus) out.push_back(&g);
+  return out;
+}
+
+std::vector<double> node_count_labels(const std::vector<aig::Aig>& corpus) {
+  std::vector<double> out;
+  for (const aig::Aig& g : corpus) out.push_back(static_cast<double>(g.num_ands()));
+  return out;
+}
+
+/// A small trained model shared across the container tests.
+ml::GnnModel tiny_model(int hidden = 3, int layers = 1, int epochs = 3) {
+  const std::vector<aig::Aig> corpus = variant_corpus(5, 12, 0xA1);
+  ml::GnnParams params;
+  params.hidden = hidden;
+  params.layers = layers;
+  params.epochs = epochs;
+  return ml::GnnModel::train(as_pointers(corpus), node_count_labels(corpus), params);
+}
+
+}  // namespace
+
+// ---- training determinism ---------------------------------------------------
+
+// The contract gnn.hpp states: training is single-threaded and seeded, so a
+// fixed seed yields bit-identical weights regardless of the process-default
+// thread count (which other subsystems may set arbitrarily).
+TEST(GnnTrain, DeterministicAcrossRerunsAndThreadCounts) {
+  const std::vector<aig::Aig> corpus = variant_corpus(5, 16, 0xB2);
+  const auto graphs = as_pointers(corpus);
+  const auto labels = node_count_labels(corpus);
+  ml::GnnParams params;
+  params.hidden = 4;
+  params.layers = 2;
+  params.epochs = 4;
+
+  const std::string first = ml::GnnModel::train(graphs, labels, params).serialize();
+  const std::string again = ml::GnnModel::train(graphs, labels, params).serialize();
+  EXPECT_EQ(first, again) << "same seed, same corpus, different weights";
+
+  for (const int threads : {1, 3, 7}) {
+    ThreadScope scope(threads);
+    const std::string at_n = ml::GnnModel::train(graphs, labels, params).serialize();
+    EXPECT_EQ(first, at_n) << "training drifted at default_num_threads=" << threads;
+  }
+
+  ml::GnnParams other = params;
+  other.seed = params.seed + 1;
+  EXPECT_NE(first, ml::GnnModel::train(graphs, labels, other).serialize())
+      << "seed is not reaching the weight init";
+}
+
+// ---- .gnn container ---------------------------------------------------------
+
+TEST(GnnContainer, SerializeDeserializeRoundTrip) {
+  const ml::GnnModel model = tiny_model();
+  const std::string bytes = model.serialize();
+  const ml::GnnModel back = ml::GnnModel::deserialize(bytes);
+  EXPECT_EQ(bytes, back.serialize());
+  EXPECT_EQ(model.params().hidden, back.params().hidden);
+  EXPECT_EQ(model.params().layers, back.params().layers);
+  EXPECT_EQ(model.label_mean(), back.label_mean());
+  EXPECT_EQ(model.label_std(), back.label_std());
+
+  const aig::Aig probe = gen::parity_tree(6).cleanup();
+  EXPECT_EQ(model.predict(probe), back.predict(probe));
+}
+
+TEST(GnnContainer, SaveLoadRoundTripAndLoadAnyDispatch) {
+  TempDir dir("aigml_gnn_save");
+  const ml::GnnModel model = tiny_model();
+  const fs::path path = dir.path / "delay.gnn";
+  model.save(path);
+
+  const ml::GnnModel back = ml::GnnModel::load(path);
+  EXPECT_EQ(model.serialize(), back.serialize());
+
+  const std::shared_ptr<const ml::Model> any = ml::load_model_any(path);
+  ASSERT_NE(any, nullptr);
+  EXPECT_EQ(any->family(), ml::ModelFamily::kGnn);
+  EXPECT_TRUE(any->needs_graph());
+  const aig::Aig probe = gen::parity_tree(4).cleanup();
+  EXPECT_EQ(model.predict(probe), any->predict(probe));
+}
+
+TEST(GnnHostile, RejectsTruncationAtEveryPrefix) {
+  const std::string bytes = tiny_model().serialize();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW((void)ml::GnnModel::deserialize(bytes.substr(0, cut)), std::runtime_error)
+        << "prefix of " << cut << " bytes accepted";
+  }
+  // One byte appended is as malformed as one byte missing.
+  EXPECT_THROW((void)ml::GnnModel::deserialize(bytes + '\0'), std::runtime_error);
+}
+
+TEST(GnnHostile, RejectsEverySingleByteMutation) {
+  // Every byte of the container is covered by magic, bounded-dims checks,
+  // the implied-size check, or the checksum — so no single-byte flip may
+  // load.  Exhaustive over positions, two flip patterns each.
+  const std::string valid = tiny_model().serialize();
+  for (std::size_t at = 0; at < valid.size(); ++at) {
+    for (const char flip : {static_cast<char>(0x01), static_cast<char>(0xFF)}) {
+      std::string mutant = valid;
+      mutant[at] ^= flip;
+      EXPECT_THROW((void)ml::GnnModel::deserialize(mutant), std::runtime_error)
+          << "byte " << at << " xor " << static_cast<int>(flip) << " accepted";
+    }
+  }
+}
+
+// ---- batched inference ------------------------------------------------------
+
+// The tentpole contract: predict_graphs is bit-identical to per-graph
+// predict at every batch shape, through both the single-engine path (small
+// batches) and the chunk-parallel path (large batches, any thread count).
+TEST(GnnBatch, BatchedMatchesScalarAtEveryShape1To200) {
+  const std::vector<aig::Aig> corpus = variant_corpus(5, 200, 0xC3);
+  ASSERT_GE(corpus.size(), 64u) << "variant generator starved";
+  const auto graphs = as_pointers(corpus);
+
+  ml::GnnParams params;
+  params.hidden = 6;
+  params.layers = 2;
+  params.epochs = 2;
+  const ml::GnnModel model =
+      ml::GnnModel::train(graphs, node_count_labels(corpus), params);
+
+  std::vector<double> scalar;
+  for (const aig::Aig* g : graphs) scalar.push_back(model.predict(*g));
+
+  // Force a multi-chunk split even on 1-core runners: n >= 16 fans out.
+  ThreadScope scope(4);
+  for (std::size_t n = 1; n <= graphs.size(); ++n) {
+    const std::vector<double> batched =
+        model.predict_graphs(std::span<const aig::Aig* const>(graphs.data(), n));
+    ASSERT_EQ(batched.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(batched[i], scalar[i]) << "shape " << n << " graph " << i;
+    }
+  }
+}
+
+TEST(GnnBatch, ChunkCountDoesNotChangeResults) {
+  const std::vector<aig::Aig> corpus = variant_corpus(6, 48, 0xD4);
+  const auto graphs = as_pointers(corpus);
+  ml::GnnParams params;
+  params.hidden = 4;
+  params.layers = 1;
+  params.epochs = 2;
+  const ml::GnnModel model =
+      ml::GnnModel::train(graphs, node_count_labels(corpus), params);
+
+  std::vector<double> reference;
+  {
+    ThreadScope scope(1);
+    reference = model.predict_graphs(graphs);
+  }
+  for (const int threads : {2, 3, 5, 16}) {
+    ThreadScope scope(threads);
+    const std::vector<double> chunked = model.predict_graphs(graphs);
+    ASSERT_EQ(reference.size(), chunked.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(reference[i], chunked[i]) << "threads " << threads << " graph " << i;
+    }
+  }
+}
+
+TEST(GnnBatch, EmptyBatchYieldsEmpty) {
+  const ml::GnnModel model = tiny_model();
+  EXPECT_TRUE(model.predict_graphs({}).empty());
+}
+
+// ---- Model-interface edges --------------------------------------------------
+
+TEST(GnnModel, FlatFeatureRowThrowsNamingTheFamily) {
+  const ml::GnnModel model = tiny_model();
+  const std::vector<double> row(6, 0.5);
+  try {
+    (void)model.predict(std::span<const double>(row));
+    FAIL() << "flat-row predict did not throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("gnn"), std::string::npos) << e.what();
+  }
+}
+
+// ---- warm start -------------------------------------------------------------
+
+TEST(GnnTrain, WarmStartRefreshesAndKeepsScale) {
+  const std::vector<aig::Aig> corpus = variant_corpus(5, 14, 0xE5);
+  const auto graphs = as_pointers(corpus);
+  const auto labels = node_count_labels(corpus);
+  ml::GnnParams params;
+  params.hidden = 4;
+  params.layers = 1;
+  params.epochs = 3;
+  const ml::GnnModel base = ml::GnnModel::train(graphs, labels, params);
+
+  // A warm refresh from the base differs from a cold fit (it starts at the
+  // base's weights, not the seed init) and still predicts finite values.
+  const ml::GnnModel warm = ml::GnnModel::train(graphs, labels, params, nullptr, &base);
+  const ml::GnnModel cold = ml::GnnModel::train(graphs, labels, params);
+  EXPECT_NE(warm.serialize(), cold.serialize());
+  EXPECT_TRUE(std::isfinite(warm.predict(corpus.front())));
+
+  // Dimension mismatch between warm source and params is a caller bug.
+  ml::GnnParams wider = params;
+  wider.hidden = 8;
+  EXPECT_THROW((void)ml::GnnModel::train(graphs, labels, wider, nullptr, &base),
+               std::invalid_argument);
+}
+
+// ---- cost=gnn: through the search -------------------------------------------
+
+namespace {
+
+opt::OptResult run_sa_gnn(const aig::Aig& g, const std::string& spec, bool incremental,
+                          int windows, bool parallel) {
+  opt::CostContext ctx;
+  const auto cost = opt::make_cost(spec, ctx);
+  opt::SaParams params;
+  params.iterations = 40;
+  params.seed = 11;
+  params.incremental = incremental;
+  params.windows = windows;
+  params.parallel = parallel;
+  opt::StopCondition stop;
+  stop.max_iterations = params.iterations;
+  return opt::SaStrategy(params).run(g, *cost, stop);
+}
+
+void expect_same_trajectory(const opt::OptResult& a, const opt::OptResult& b,
+                            const char* where) {
+  ASSERT_EQ(a.history.size(), b.history.size()) << where;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].script_index, b.history[i].script_index) << where << " iter " << i;
+    EXPECT_EQ(a.history[i].delay, b.history[i].delay) << where << " iter " << i;
+    EXPECT_EQ(a.history[i].area, b.history[i].area) << where << " iter " << i;
+    EXPECT_EQ(a.history[i].cost, b.history[i].cost) << where << " iter " << i;
+    EXPECT_EQ(a.history[i].accepted, b.history[i].accepted) << where << " iter " << i;
+  }
+  EXPECT_EQ(a.initial_cost, b.initial_cost) << where;
+  EXPECT_EQ(a.best_cost, b.best_cost) << where;
+}
+
+}  // namespace
+
+// The acceptance trajectory contract: `cost=gnn:<dir>` drives SA with
+// bit-identical trajectories whether move evaluation is incremental or
+// from-scratch, and (windowed) whether proposals evaluate serially or on the
+// thread pool.
+TEST(GnnCost, SaTrajectoryIdenticalIncrementalAndParallel) {
+  TempDir dir("aigml_gnn_cost");
+  const std::vector<aig::Aig> corpus = variant_corpus(6, 16, 0xF6);
+  const auto graphs = as_pointers(corpus);
+  ml::GnnParams params;
+  params.hidden = 4;
+  params.layers = 1;
+  params.epochs = 2;
+  std::vector<double> delay_labels, area_labels;
+  for (const aig::Aig& g : corpus) {
+    delay_labels.push_back(50.0 + static_cast<double>(g.num_nodes()));
+    area_labels.push_back(2.0 * static_cast<double>(g.num_ands()));
+  }
+  ml::GnnModel::train(graphs, delay_labels, params).save(dir.path / "delay.gnn");
+  ml::GnnModel::train(graphs, area_labels, params).save(dir.path / "area.gnn");
+
+  const std::string spec = "gnn:" + dir.path.string();
+  const aig::Aig g = gen::parity_tree(7).cleanup();
+
+  const opt::OptResult inc = run_sa_gnn(g, spec, /*incremental=*/true, 0, false);
+  const opt::OptResult scratch = run_sa_gnn(g, spec, /*incremental=*/false, 0, false);
+  expect_same_trajectory(inc, scratch, "inc=1 vs inc=0");
+
+  const opt::OptResult serial = run_sa_gnn(g, spec, true, /*windows=*/4, /*parallel=*/false);
+  for (const int threads : {2, 4}) {
+    ThreadScope scope(threads);
+    const opt::OptResult par = run_sa_gnn(g, spec, true, 4, /*parallel=*/true);
+    expect_same_trajectory(serial, par, "par=0 vs par=1");
+  }
+}
+
+}  // namespace aigml

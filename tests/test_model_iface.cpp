@@ -1,0 +1,275 @@
+// Tests for the family-agnostic Model interface (DESIGN.md §14): family
+// naming, load_model_any dispatch over extensions and magic bytes,
+// require_gbdt's actionable downcast, registry precedence when siblings
+// share a stem (.gbdt2 > .gbdt > .gnn), family reporting in listings, and —
+// the serving contract — hot-swapping a model between families under
+// concurrent PredictService load without a torn or invalid prediction.
+// The ModelIface* suites also run under TSan in CI.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "features/features.hpp"
+#include "flow/datagen.hpp"
+#include "gen/circuits.hpp"
+#include "ml/dataset.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/gnn.hpp"
+#include "ml/model.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+
+namespace aigml {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Temp directory removed on scope exit.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& stem)
+      : path(fs::temp_directory_path() / (stem + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+/// A small GBDT on real Table II features, so graph queries work end to end.
+ml::GbdtModel small_gbdt(std::uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset data(features::feature_names());
+  std::vector<aig::Aig> pool{gen::parity_tree(5).cleanup()};
+  for (int i = 0; i < 24; ++i) {
+    pool.push_back(flow::random_variant_step(pool[rng.next_below(pool.size())], rng));
+    data.append(features::extract(pool.back()),
+                10.0 + static_cast<double>(pool.back().num_nodes()), "t");
+  }
+  ml::GbdtParams p;
+  p.num_trees = 4;
+  p.max_depth = 3;
+  p.seed = seed;
+  return ml::GbdtModel::train(data, p);
+}
+
+ml::GnnModel small_gnn(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<aig::Aig> pool{gen::parity_tree(5).cleanup()};
+  std::vector<const aig::Aig*> graphs;
+  std::vector<double> labels;
+  for (int i = 0; i < 12; ++i) {
+    pool.push_back(flow::random_variant_step(pool[rng.next_below(pool.size())], rng));
+  }
+  for (const aig::Aig& g : pool) {
+    graphs.push_back(&g);
+    labels.push_back(static_cast<double>(g.num_ands()));
+  }
+  ml::GnnParams params;
+  params.hidden = 4;
+  params.layers = 1;
+  params.epochs = 2;
+  params.seed = seed;
+  return ml::GnnModel::train(graphs, labels, params);
+}
+
+void write_bytes(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+// ---- family naming ----------------------------------------------------------
+
+TEST(ModelIface, FamilyNamesRoundTrip) {
+  EXPECT_STREQ(ml::to_string(ml::ModelFamily::kGbdt), "gbdt");
+  EXPECT_STREQ(ml::to_string(ml::ModelFamily::kGnn), "gnn");
+  EXPECT_EQ(ml::model_family_from_name("gbdt"), ml::ModelFamily::kGbdt);
+  EXPECT_EQ(ml::model_family_from_name("gnn"), ml::ModelFamily::kGnn);
+  EXPECT_THROW((void)ml::model_family_from_name("transformer"), std::invalid_argument);
+}
+
+// ---- load_model_any dispatch ------------------------------------------------
+
+TEST(ModelIface, LoadAnyDispatchesAllThreeContainers) {
+  TempDir dir("aigml_iface_any");
+  const ml::GbdtModel gbdt = small_gbdt(0x11);
+  const ml::GnnModel gnn = small_gnn(0x12);
+
+  {
+    std::ofstream out(dir.path / "m.gbdt");
+    gbdt.serialize(out);
+  }
+  gbdt.save_v2(dir.path / "m.gbdt2");
+  gnn.save(dir.path / "m.gnn");
+
+  const aig::Aig probe = gen::parity_tree(4).cleanup();
+  for (const char* name : {"m.gbdt", "m.gbdt2"}) {
+    const auto loaded = ml::load_model_any(dir.path / name);
+    ASSERT_NE(loaded, nullptr) << name;
+    EXPECT_EQ(loaded->family(), ml::ModelFamily::kGbdt) << name;
+    EXPECT_FALSE(loaded->needs_graph()) << name;
+    EXPECT_EQ(loaded->num_trees(), 4u) << name;
+    EXPECT_EQ(loaded->predict(probe), gbdt.predict(features::extract(probe))) << name;
+  }
+  const auto loaded_gnn = ml::load_model_any(dir.path / "m.gnn");
+  EXPECT_EQ(loaded_gnn->family(), ml::ModelFamily::kGnn);
+  EXPECT_TRUE(loaded_gnn->needs_graph());
+  EXPECT_EQ(loaded_gnn->num_trees(), 0u);
+  EXPECT_EQ(loaded_gnn->predict(probe), gnn.predict(probe));
+
+  // Unknown extension: dispatch falls back to the leading magic bytes.
+  fs::copy_file(dir.path / "m.gnn", dir.path / "checkpoint.bin");
+  EXPECT_EQ(ml::load_model_any(dir.path / "checkpoint.bin")->family(), ml::ModelFamily::kGnn);
+
+  // Garbage is refused with an actionable message, not a crash.
+  write_bytes(dir.path / "junk.bin", "definitely not a model");
+  EXPECT_THROW((void)ml::load_model_any(dir.path / "junk.bin"), std::runtime_error);
+  EXPECT_THROW((void)ml::load_model_any(dir.path / "missing.gnn"), std::runtime_error);
+}
+
+TEST(ModelIface, RequireGbdtNamesContextAndFamily) {
+  const ml::GnnModel gnn = small_gnn(0x13);
+  try {
+    (void)ml::require_gbdt(gnn, "unit-test");
+    FAIL() << "require_gbdt accepted a gnn";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unit-test"), std::string::npos) << what;
+    EXPECT_NE(what.find("gnn"), std::string::npos) << what;
+  }
+  const ml::GbdtModel gbdt = small_gbdt(0x14);
+  EXPECT_EQ(&ml::require_gbdt(gbdt, "unit-test"), &gbdt);
+}
+
+// ---- registry families and precedence ---------------------------------------
+
+TEST(ModelIfaceRegistry, StemPrecedenceGbdt2OverGbdtOverGnn) {
+  const ml::GbdtModel gbdt = small_gbdt(0x21);
+  const ml::GnnModel gnn = small_gnn(0x22);
+  const auto family_of = [&](const std::vector<std::string>& files) {
+    TempDir dir("aigml_iface_prec");
+    for (const std::string& f : files) {
+      if (f == "delay.gbdt") {
+        std::ofstream out(dir.path / f);
+        gbdt.serialize(out);
+      } else if (f == "delay.gbdt2") {
+        gbdt.save_v2(dir.path / f);
+      } else {
+        gnn.save(dir.path / f);
+      }
+    }
+    serve::ModelRegistry registry(dir.path);
+    const auto infos = registry.list();
+    EXPECT_EQ(infos.size(), 1u) << "siblings must collapse to one model";
+    return infos.empty() ? std::string() : infos.front().family + "/" + infos.front().format;
+  };
+  EXPECT_EQ(family_of({"delay.gbdt2", "delay.gbdt", "delay.gnn"}), "gbdt/v2");
+  EXPECT_EQ(family_of({"delay.gbdt", "delay.gnn"}), "gbdt/text");
+  EXPECT_EQ(family_of({"delay.gnn"}), "gnn/gnn1");
+}
+
+TEST(ModelIfaceRegistry, ListReportsFamilies) {
+  serve::ModelRegistry registry;
+  registry.install("delay", small_gbdt(0x31));
+  registry.install("area", small_gnn(0x32));
+  for (const auto& info : registry.list()) {
+    if (info.name == "delay") {
+      EXPECT_EQ(info.family, "gbdt");
+      EXPECT_EQ(info.num_features, features::kNumFeatures);
+    } else {
+      EXPECT_EQ(info.name, "area");
+      EXPECT_EQ(info.family, "gnn");
+      EXPECT_EQ(info.num_features, static_cast<std::size_t>(ml::kGnnNodeFeatures));
+    }
+    EXPECT_EQ(info.format, "memory");
+  }
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+// ---- hot-swap between families under serving load ---------------------------
+
+// The registry contract under a family change: every in-flight prediction is
+// answered by one complete snapshot — either family's value, never a torn
+// state, an exception, or a crash.
+TEST(ModelIfaceRegistry, HotSwapBetweenFamiliesUnderServiceLoad) {
+  const ml::GbdtModel gbdt = small_gbdt(0x41);
+  const ml::GnnModel gnn = small_gnn(0x42);
+  const aig::Aig probe = gen::parity_tree(5).cleanup();
+  const double gbdt_value = gbdt.predict(features::extract(probe));
+  const double gnn_value = gnn.predict(probe);
+  ASSERT_NE(gbdt_value, gnn_value) << "need distinguishable families for this test";
+
+  serve::ModelRegistry registry;
+  registry.install("delay", gbdt);
+  serve::PredictService service(registry);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::atomic<int> answered{0};
+  std::thread hammer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const double value = service.predict("delay", probe);
+      if (value != gbdt_value && value != gnn_value) bad.fetch_add(1);
+      answered.fetch_add(1);
+    }
+  });
+  for (int swap = 0; swap < 60; ++swap) {
+    if (swap % 2 == 0) {
+      registry.install("delay", gnn);
+    } else {
+      registry.install("delay", gbdt);
+    }
+  }
+  // Let the hammer observe the final family too, then stop.
+  while (answered.load() < 50) std::this_thread::yield();
+  stop.store(true);
+  hammer.join();
+
+  EXPECT_EQ(bad.load(), 0) << "a prediction matched neither family's snapshot";
+  EXPECT_GE(registry.version("delay"), 61u);
+  EXPECT_EQ(service.predict("delay", probe), gbdt_value);
+}
+
+// ---- service batching over graphs -------------------------------------------
+
+TEST(ModelIfaceService, GnnBatchMatchesScalarThroughService) {
+  const ml::GnnModel gnn = small_gnn(0x51);
+  serve::ModelRegistry registry;
+  registry.install("delay", gnn);
+  serve::PredictService service(registry);
+
+  Rng rng(0x52);
+  std::vector<aig::Aig> graphs{gen::parity_tree(5).cleanup()};
+  for (int i = 0; i < 20; ++i) {
+    graphs.push_back(flow::random_variant_step(graphs[rng.next_below(graphs.size())], rng));
+  }
+  const std::vector<double> batch = service.predict_batch("delay", graphs);
+  ASSERT_EQ(batch.size(), graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    EXPECT_EQ(batch[i], gnn.predict(graphs[i])) << "graph " << i;
+  }
+}
+
+TEST(ModelIfaceService, FeatureRowAgainstGnnFailsTheRequest) {
+  serve::ModelRegistry registry;
+  registry.install("delay", small_gnn(0x61));
+  serve::PredictService service(registry);
+  auto future =
+      service.submit_features("delay", std::vector<double>(features::kNumFeatures, 0.5));
+  EXPECT_THROW((void)future.get(), std::exception);
+}
+
+}  // namespace aigml

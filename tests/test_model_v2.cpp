@@ -486,7 +486,10 @@ TEST(ModelV2Registry, ReloadPrefersV2SiblingAndReportsFormat) {
   serve::ModelRegistry registry(dir.path);
   const auto values = random_matrix(0xC3, 1, 6);
   EXPECT_EQ(registry.get("delay")->predict(values), b.predict(values));
-  EXPECT_TRUE(registry.get("delay")->is_mapped());
+  // is_mapped is tree-family-specific; the registry hands out ml::Model.
+  const auto v2 = std::dynamic_pointer_cast<const ml::GbdtModel>(registry.get("delay"));
+  ASSERT_NE(v2, nullptr);
+  EXPECT_TRUE(v2->is_mapped());
   const auto infos = registry.list();
   ASSERT_EQ(infos.size(), 1u);
   EXPECT_EQ(infos[0].format, "v2");
